@@ -1,0 +1,59 @@
+// Ablation: sender-side opportunistic batching in the local-cluster runtime
+// (paper Section VI-A/VI-D). Batching amortizes the per-send fixed cost;
+// the Paxos leader — which sends the most messages per command — benefits
+// the most, which is the paper's explanation for Paxos beating the
+// multi-leader protocols on small commands.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "harness/latency_experiment.h"
+#include "harness/report.h"
+#include "runtime/throughput.h"
+
+int main() {
+  using namespace crsm;
+
+  std::printf("Ablation: sender-side batching, five replicas, 100B commands "
+              "(cluster-equivalent kops/s)\n\n");
+
+  struct Proto {
+    const char* label;
+    RtCluster::ProtocolFactory factory;
+  };
+  const std::size_t n = 5;
+  const std::vector<Proto> protos = {
+      {"Clock-RSM", clock_rsm_factory(n)},
+      {"Mencius-bcast", mencius_factory(n)},
+      {"Paxos", paxos_factory(n, 0, false)},
+      {"Paxos-bcast", paxos_factory(n, 0, true)},
+  };
+
+  Table t({"protocol", "unbatched kops/s", "batched kops/s", "speedup",
+           "batched max CPU share"});
+  for (const Proto& p : protos) {
+    double results[2] = {0.0, 0.0};
+    double share = 0.0;
+    for (int batched = 0; batched < 2; ++batched) {
+      ThroughputOptions opt;
+      opt.num_replicas = n;
+      opt.clients_per_replica = 32;
+      opt.payload_bytes = 100;
+      opt.warmup_s = 0.5;
+      opt.duration_s = 2.0;
+      opt.sender_batching = batched == 1;
+      const ThroughputResult r = run_throughput(opt, p.factory);
+      results[batched] = r.kops_per_sec_bottleneck;
+      if (batched == 1) share = r.max_cpu_share;
+    }
+    t.add_row({p.label, fmt_count(results[0]), fmt_count(results[1]),
+               fmt_count(results[1] / std::max(results[0], 1e-9), 2) + "x",
+               fmt_pct(share)});
+  }
+  t.print(std::cout);
+
+  std::printf("\nExpected shape: every protocol gains; the leader-based "
+              "protocols gain the most\nbecause their leader amortizes the "
+              "deepest send batches (paper Section VI-D).\n");
+  return 0;
+}

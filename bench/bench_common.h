@@ -1,0 +1,81 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/latency_experiment.h"
+#include "harness/report.h"
+#include "util/topology.h"
+
+namespace crsm::bench {
+
+// The paper's workload (Section VI-B): 40 clients per active replica, 64 B
+// update commands, think time U(0, 80) ms, CLOCKTIME extension with
+// delta = 5 ms, NTP-grade clocks.
+inline LatencyExperimentOptions paper_options(LatencyMatrix m,
+                                              std::uint64_t seed = 42) {
+  LatencyExperimentOptions o;
+  o.matrix = std::move(m);
+  o.workload.clients_per_replica = 40;
+  o.workload.think_min_ms = 0.0;
+  o.workload.think_max_ms = 80.0;
+  o.workload.payload_bytes = 64;
+  o.seed = seed;
+  o.warmup_s = 2.0;
+  o.duration_s = 20.0;
+  o.clock_skew_ms = 2.0;
+  o.jitter_ms = 0.5;
+  return o;
+}
+
+struct ProtocolRun {
+  std::string label;
+  LatencyExperimentResult result;
+};
+
+// Runs the four protocols of the paper on one scenario. `leader` applies to
+// Paxos and Paxos-bcast.
+inline std::vector<ProtocolRun> run_four_protocols(
+    const LatencyExperimentOptions& opt, ReplicaId leader) {
+  const std::size_t n = opt.matrix.size();
+  std::vector<ProtocolRun> runs;
+  runs.push_back({"Paxos", run_latency_experiment(
+                               opt, paxos_factory(n, leader, false))});
+  runs.push_back({"Mencius-bcast",
+                  run_latency_experiment(opt, mencius_factory(n))});
+  runs.push_back({"Paxos-bcast", run_latency_experiment(
+                                     opt, paxos_factory(n, leader, true))});
+  runs.push_back({"Clock-RSM",
+                  run_latency_experiment(opt, clock_rsm_factory(n))});
+  return runs;
+}
+
+// Prints the per-replica average and 95th-percentile table that the paper's
+// bar figures (1, 2 and 5) report.
+inline void print_latency_figure(const std::vector<ProtocolRun>& runs,
+                                 const std::vector<std::size_t>& sites,
+                                 ReplicaId leader) {
+  std::vector<std::string> headers = {"protocol"};
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    std::string site = ec2_site_name(sites[i]);
+    if (static_cast<ReplicaId>(i) == leader) site += " (L)";
+    headers.push_back(site + " avg");
+    headers.push_back(site + " p95");
+  }
+  Table t(headers);
+  for (const ProtocolRun& run : runs) {
+    std::vector<std::string> row = {run.label};
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      const LatencyStats& s = run.result.per_replica[i];
+      row.push_back(s.empty() ? "-" : fmt_ms(s.mean()));
+      row.push_back(s.empty() ? "-" : fmt_ms(s.percentile(95)));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace crsm::bench

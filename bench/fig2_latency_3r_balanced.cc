@@ -1,0 +1,24 @@
+// Reproduces paper Figure 2: average and 95th-percentile commit latency at
+// each of three replicas {CA, VA, IR} under balanced workloads, with the
+// Paxos / Paxos-bcast leader at (a) CA and (b) VA.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace crsm;
+  using namespace crsm::bench;
+
+  const std::vector<std::size_t> sites = {0, 1, 2};  // CA VA IR
+  const LatencyMatrix m = ec2_matrix().submatrix(sites);
+
+  for (const ReplicaId leader : {ReplicaId{0}, ReplicaId{1}}) {
+    std::printf("\nFigure 2(%c): three replicas, balanced workload, leader at %s\n",
+                leader == 0 ? 'a' : 'b', ec2_site_name(sites[leader]));
+    std::printf("(commit latency in ms; avg and 95th percentile per replica)\n\n");
+    const auto runs = run_four_protocols(paper_options(m), leader);
+    print_latency_figure(runs, sites, leader);
+  }
+  return 0;
+}

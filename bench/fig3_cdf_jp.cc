@@ -1,0 +1,34 @@
+// Reproduces paper Figure 3: commit latency distribution (CDF) at the JP
+// replica with five replicas {CA, VA, IR, JP, SG}, leader at CA, balanced
+// workload.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace crsm;
+  using namespace crsm::bench;
+
+  const std::vector<std::size_t> sites = {0, 1, 2, 3, 4};
+  const std::size_t jp = 3;
+  const LatencyMatrix m = ec2_matrix().submatrix(sites);
+
+  std::printf("Figure 3: latency CDF at JP, five replicas, leader at CA, "
+              "balanced workload\n\n");
+  const auto runs = run_four_protocols(paper_options(m), /*leader=*/0);
+  for (const ProtocolRun& run : runs) {
+    print_cdf(std::cout, run.label, run.result.per_replica[jp].cdf(20));
+    std::printf("\n");
+  }
+
+  // Summary row mirroring the paper's reading of the figure.
+  Table t({"protocol", "min", "p50", "p95", "max"});
+  for (const ProtocolRun& run : runs) {
+    const LatencyStats& s = run.result.per_replica[jp];
+    t.add_row({run.label, fmt_ms(s.min()), fmt_ms(s.percentile(50)),
+               fmt_ms(s.percentile(95)), fmt_ms(s.max())});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces paper Figure 4: commit latency distribution (CDF) at the CA
+// replica with three replicas {CA, VA, IR}, leader at VA, balanced workload.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace crsm;
+  using namespace crsm::bench;
+
+  const std::vector<std::size_t> sites = {0, 1, 2};
+  const std::size_t ca = 0;
+  const LatencyMatrix m = ec2_matrix().submatrix(sites);
+
+  std::printf("Figure 4: latency CDF at CA, three replicas, leader at VA, "
+              "balanced workload\n\n");
+  const auto runs = run_four_protocols(paper_options(m), /*leader=*/1);
+  for (const ProtocolRun& run : runs) {
+    print_cdf(std::cout, run.label, run.result.per_replica[ca].cdf(20));
+    std::printf("\n");
+  }
+
+  Table t({"protocol", "min", "p50", "p95", "max"});
+  for (const ProtocolRun& run : runs) {
+    const LatencyStats& s = run.result.per_replica[ca];
+    t.add_row({run.label, fmt_ms(s.min()), fmt_ms(s.percentile(50)),
+               fmt_ms(s.percentile(95)), fmt_ms(s.max())});
+  }
+  t.print(std::cout);
+  return 0;
+}

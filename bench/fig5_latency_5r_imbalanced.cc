@@ -1,0 +1,60 @@
+// Reproduces paper Figure 5: average and 95th-percentile commit latency at
+// each of five replicas under an IMBALANCED workload — for each bar, clients
+// issue requests to only that one replica. Leader of Paxos / Paxos-bcast at
+// CA.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace crsm;
+  using namespace crsm::bench;
+
+  const std::vector<std::size_t> sites = {0, 1, 2, 3, 4};  // CA VA IR JP SG
+  const LatencyMatrix m = ec2_matrix().submatrix(sites);
+  const ReplicaId leader = 0;  // CA
+
+  std::printf("Figure 5: five replicas, imbalanced workload (clients at one "
+              "replica per run), leader at CA\n");
+  std::printf("(commit latency in ms at the active replica)\n\n");
+
+  struct Row {
+    std::string label;
+    std::vector<double> avg, p95;
+  };
+  std::vector<Row> rows = {{"Paxos", {}, {}},
+                           {"Mencius-bcast", {}, {}},
+                           {"Paxos-bcast", {}, {}},
+                           {"Clock-RSM", {}, {}}};
+
+  for (std::size_t active = 0; active < sites.size(); ++active) {
+    LatencyExperimentOptions opt = paper_options(m, /*seed=*/42 + active);
+    opt.workload.active_replicas = {static_cast<ReplicaId>(active)};
+    const auto runs = run_four_protocols(opt, leader);
+    for (std::size_t p = 0; p < runs.size(); ++p) {
+      const LatencyStats& s = runs[p].result.per_replica[active];
+      rows[p].avg.push_back(s.mean());
+      rows[p].p95.push_back(s.percentile(95));
+    }
+  }
+
+  std::vector<std::string> headers = {"protocol"};
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    std::string site = ec2_site_name(sites[i]);
+    if (static_cast<ReplicaId>(i) == leader) site += " (L)";
+    headers.push_back(site + " avg");
+    headers.push_back(site + " p95");
+  }
+  Table t(headers);
+  for (const Row& r : rows) {
+    std::vector<std::string> cells = {r.label};
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      cells.push_back(fmt_ms(r.avg[i]));
+      cells.push_back(fmt_ms(r.p95[i]));
+    }
+    t.add_row(std::move(cells));
+  }
+  t.print(std::cout);
+  return 0;
+}

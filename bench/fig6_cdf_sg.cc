@@ -1,0 +1,34 @@
+// Reproduces paper Figure 6: commit latency distribution (CDF) at the SG
+// replica with five replicas, imbalanced workload (clients only at SG),
+// leader of Paxos / Paxos-bcast at CA.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace crsm;
+  using namespace crsm::bench;
+
+  const std::vector<std::size_t> sites = {0, 1, 2, 3, 4};
+  const std::size_t sg = 4;
+  LatencyExperimentOptions opt = paper_options(ec2_matrix().submatrix(sites));
+  opt.workload.active_replicas = {static_cast<ReplicaId>(sg)};
+
+  std::printf("Figure 6: latency CDF at SG, five replicas, imbalanced "
+              "workload, leader at CA\n\n");
+  const auto runs = run_four_protocols(opt, /*leader=*/0);
+  for (const ProtocolRun& run : runs) {
+    print_cdf(std::cout, run.label, run.result.per_replica[sg].cdf(20));
+    std::printf("\n");
+  }
+
+  Table t({"protocol", "min", "p50", "p95", "max"});
+  for (const ProtocolRun& run : runs) {
+    const LatencyStats& s = run.result.per_replica[sg];
+    t.add_row({run.label, fmt_ms(s.min()), fmt_ms(s.percentile(50)),
+               fmt_ms(s.percentile(95)), fmt_ms(s.max())});
+  }
+  t.print(std::cout);
+  return 0;
+}

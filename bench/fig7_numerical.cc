@@ -1,0 +1,33 @@
+// Reproduces paper Figure 7: numerical (closed-form) average commit latency
+// of Clock-RSM vs Paxos-bcast over ALL combinations of three, five and seven
+// replicas at the EC2 sites of Table III. "all" averages every replica of
+// every group; "highest" averages each group's worst replica. Paxos-bcast
+// always gets its best leader.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/latency_model.h"
+#include "harness/report.h"
+#include "util/topology.h"
+
+int main() {
+  using namespace crsm;
+
+  std::printf("Figure 7: average commit latency over all EC2 placement "
+              "combinations (ms)\n\n");
+  Table t({"group size", "groups", "Paxos-bcast all", "Clock-RSM all",
+           "Paxos-bcast highest", "Clock-RSM highest"});
+  for (std::size_t k : {3u, 5u, 7u}) {
+    const GroupSweepResult r = sweep_groups(ec2_matrix(), k);
+    t.add_row({std::to_string(k) + " replicas", std::to_string(r.num_groups),
+               fmt_ms(r.paxos_bcast_avg_all), fmt_ms(r.clock_rsm_avg_all),
+               fmt_ms(r.paxos_bcast_avg_highest),
+               fmt_ms(r.clock_rsm_avg_highest)});
+  }
+  t.print(std::cout);
+
+  std::printf("\nPaper shape: Clock-RSM lower for 5 and 7 replicas on both "
+              "metrics,\nwith a larger gap on the highest-latency replica; "
+              "Paxos-bcast slightly\nbetter with 3 replicas.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reproduces paper Figure 8: throughput of the four protocols with five
+// replicas on a "local cluster" (here: five replica threads in one process
+// with real message serialization and in-memory logging, matching the
+// paper's memory-logging setup) for small (10B), medium (100B) and large
+// (1000B) commands.
+//
+// Expected shape (paper Section VI-D): Clock-RSM and Mencius-bcast are
+// similar at all sizes (same communication pattern); Paxos/Paxos-bcast are
+// ahead for small/medium commands thanks to leader-side batching, but the
+// leader becomes the bottleneck for large commands; Paxos edges Paxos-bcast
+// (lower message complexity).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "harness/latency_experiment.h"
+#include "harness/report.h"
+#include "runtime/throughput.h"
+
+int main() {
+  using namespace crsm;
+
+  std::printf("Figure 8: throughput (kops/s), five replicas, in-process "
+              "cluster, memory logging\n\n");
+
+  struct Proto {
+    const char* label;
+    RtCluster::ProtocolFactory factory;
+  };
+  const std::size_t n = 5;
+  const std::vector<Proto> protos = {
+      {"Clock-RSM", clock_rsm_factory(n)},
+      {"Mencius-bcast", mencius_factory(n)},
+      {"Paxos", paxos_factory(n, 0, false)},
+      {"Paxos-bcast", paxos_factory(n, 0, true)},
+  };
+
+  // "cluster kops/s" divides committed ops by the busiest replica's CPU
+  // time: the throughput an N-machine cluster would sustain. On a host with
+  // >= N cores it matches the raw measurement; on smaller hosts it is the
+  // number to compare against the paper, because Figure 8's story is about
+  // which replica saturates first (the Paxos leader vs. everyone evenly).
+  Table t({"protocol", "10B cluster kops/s", "100B cluster kops/s",
+           "1000B cluster kops/s", "1000B max CPU share", "raw 1000B kops/s"});
+  for (const Proto& p : protos) {
+    std::vector<std::string> row = {p.label};
+    double last_share = 0.0, last_raw = 0.0;
+    for (const std::size_t size : {std::size_t{10}, std::size_t{100},
+                                   std::size_t{1000}}) {
+      ThroughputOptions opt;
+      opt.num_replicas = n;
+      opt.clients_per_replica = 32;
+      opt.payload_bytes = size;
+      opt.warmup_s = 0.5;
+      opt.duration_s = 2.0;
+      const ThroughputResult r = run_throughput(opt, p.factory);
+      row.push_back(fmt_count(r.kops_per_sec_bottleneck));
+      last_share = r.max_cpu_share;
+      last_raw = r.kops_per_sec;
+    }
+    row.push_back(fmt_pct(last_share));
+    row.push_back(fmt_count(last_raw));
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+
+  std::printf("\nPaper shape to check: Clock-RSM ~ Mencius-bcast at all "
+              "sizes; the Paxos leader\nconcentrates CPU (max share >> 20%%) "
+              "and becomes the bottleneck for 1000B\ncommands, where the "
+              "multi-leader protocols win.\n");
+  return 0;
+}

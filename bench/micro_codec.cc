@@ -1,0 +1,57 @@
+// Microbenchmarks: message serialization (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/codec.h"
+#include "common/message.h"
+
+namespace {
+
+using namespace crsm;
+
+Message make_prepare(std::size_t payload) {
+  Message m;
+  m.type = MsgType::kPrepare;
+  m.from = 3;
+  m.epoch = 1;
+  m.ts = Timestamp{123456789, 3};
+  m.cmd.client = 42;
+  m.cmd.seq = 7;
+  m.cmd.payload.assign(payload, 'x');
+  return m;
+}
+
+void BM_EncodePrepare(benchmark::State& state) {
+  const Message m = make_prepare(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::string out = m.encode();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(m.encode().size()));
+}
+BENCHMARK(BM_EncodePrepare)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_DecodePrepare(benchmark::State& state) {
+  const std::string wire = make_prepare(static_cast<std::size_t>(state.range(0))).encode();
+  for (auto _ : state) {
+    Message m = Message::decode(wire);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_DecodePrepare)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_VarintEncode(benchmark::State& state) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    Encoder e;
+    e.var(v++);
+    benchmark::DoNotOptimize(e.str());
+  }
+}
+BENCHMARK(BM_VarintEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Microbenchmarks: command log append and recovery replay (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "storage/command_log.h"
+#include "storage/recovery.h"
+
+namespace {
+
+using namespace crsm;
+
+LogRecord make_prepare(Tick t, std::size_t payload) {
+  Command c;
+  c.client = 1;
+  c.seq = t;
+  c.payload.assign(payload, 'x');
+  return LogRecord::prepare(Timestamp{t, 0}, std::move(c));
+}
+
+void BM_MemLogAppend(benchmark::State& state) {
+  MemLog log;
+  Tick t = 1;
+  for (auto _ : state) {
+    log.append(make_prepare(t, static_cast<std::size_t>(state.range(0))));
+    log.append(LogRecord::commit(Timestamp{t, 0}));
+    ++t;
+  }
+}
+BENCHMARK(BM_MemLogAppend)->Arg(64)->Arg(1000);
+
+void BM_ReplayLog(benchmark::State& state) {
+  std::vector<LogRecord> records;
+  const auto n = static_cast<Tick>(state.range(0));
+  for (Tick t = 1; t <= n; ++t) {
+    records.push_back(make_prepare(t, 64));
+    records.push_back(LogRecord::commit(Timestamp{t, 0}));
+  }
+  for (auto _ : state) {
+    ReplayResult r = replay_log(records);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ReplayLog)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

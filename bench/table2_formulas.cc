@@ -1,0 +1,68 @@
+// Reproduces paper Table II (closed-form commit latency per protocol) by
+// evaluating the formulas on the paper's deployments, and prints the
+// Table III latency matrix the models consume.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/latency_model.h"
+#include "harness/report.h"
+#include "util/topology.h"
+
+namespace {
+
+using namespace crsm;
+
+void print_table3() {
+  std::printf("Table III: average round-trip latencies (ms) between EC2 "
+              "data centers\n\n");
+  std::vector<std::string> headers = {""};
+  for (std::size_t j = 0; j < kNumEc2Sites; ++j) headers.push_back(ec2_site_name(j));
+  Table t(headers);
+  for (std::size_t i = 0; i < kNumEc2Sites; ++i) {
+    std::vector<std::string> row = {ec2_site_name(i)};
+    for (std::size_t j = 0; j < kNumEc2Sites; ++j) {
+      row.push_back(i == j ? "-" : fmt_ms(ec2_matrix().rtt_ms(i, j), 0));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+}
+
+void print_formula_eval(const std::vector<std::size_t>& sites, std::size_t leader) {
+  const LatencyMatrix m = ec2_matrix().submatrix(sites);
+  LatencyModel model(m);
+  std::printf("\nTable II evaluated on {%s}, leader at %s (balanced "
+              "workload; ms)\n\n",
+              group_name(sites).c_str(), ec2_site_name(sites[leader]));
+  Table t({"replica", "Paxos", "Paxos-bcast", "Mencius-bcast [lo, hi]",
+           "Clock-RSM"});
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const auto [mlo, mhi] = model.mencius_bcast_balanced(i);
+    std::string name = ec2_site_name(sites[i]);
+    if (i == leader) name += " (L)";
+    t.add_row({name, fmt_ms(model.paxos(leader, i)),
+               fmt_ms(model.paxos_bcast_precise(leader, i)),
+               "[" + fmt_ms(mlo) + ", " + fmt_ms(mhi) + "]",
+               fmt_ms(model.clock_rsm_balanced(i))});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  print_table3();
+
+  std::printf("\nTable II: steps / message complexity\n\n");
+  Table t({"protocol", "steps", "complexity"});
+  t.add_row({"Paxos", "4 / 2", "O(N)"});
+  t.add_row({"Paxos-bcast", "3 / 2", "O(N^2)"});
+  t.add_row({"Mencius-bcast", "2", "O(N^2)"});
+  t.add_row({"Clock-RSM", "2", "O(N^2)"});
+  t.print(std::cout);
+
+  print_formula_eval({0, 1, 2, 3, 4}, /*leader=*/0);  // Fig. 1(a) deployment
+  print_formula_eval({0, 1, 2, 3, 4}, /*leader=*/1);  // Fig. 1(b)
+  print_formula_eval({0, 1, 2}, /*leader=*/1);        // Fig. 2(b)
+  return 0;
+}

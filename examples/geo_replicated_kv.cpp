@@ -1,0 +1,63 @@
+// Geo-replicated key-value service: the paper's five-data-center deployment
+// under a realistic balanced workload, comparing the user-visible commit
+// latency of all four protocols at every site.
+//
+// Build & run:  ./build/examples/geo_replicated_kv [seconds]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/latency_experiment.h"
+#include "harness/report.h"
+#include "util/topology.h"
+
+using namespace crsm;
+
+int main(int argc, char** argv) {
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 10.0;
+
+  const std::vector<std::size_t> sites = {0, 1, 2, 3, 4};  // CA VA IR JP SG
+  LatencyExperimentOptions opt;
+  opt.matrix = ec2_matrix().submatrix(sites);
+  opt.workload.clients_per_replica = 40;
+  opt.workload.payload_bytes = 64;
+  opt.duration_s = seconds;
+  opt.warmup_s = 1.0;
+  opt.clock_skew_ms = 2.0;
+  opt.jitter_ms = 0.5;
+
+  std::printf("Geo-replicated KV store across %zu EC2 data centers, "
+              "%zu clients/site, %.0fs simulated\n\n",
+              sites.size(), opt.workload.clients_per_replica, seconds);
+
+  struct Entry {
+    const char* label;
+    SimWorld::ProtocolFactory factory;
+  };
+  const std::size_t n = sites.size();
+  const std::vector<Entry> protocols = {
+      {"Clock-RSM", clock_rsm_factory(n)},
+      {"Paxos-bcast (leader VA)", paxos_factory(n, 1, true)},
+      {"Paxos (leader VA)", paxos_factory(n, 1, false)},
+      {"Mencius-bcast", mencius_factory(n)},
+  };
+
+  Table t({"protocol", "site", "avg ms", "p50 ms", "p95 ms", "p99 ms", "ops"});
+  for (const Entry& e : protocols) {
+    const LatencyExperimentResult r = run_latency_experiment(opt, e.factory);
+    for (std::size_t i = 0; i < n; ++i) {
+      const LatencyStats& s = r.per_replica[i];
+      t.add_row({i == 0 ? e.label : "", ec2_site_name(sites[i]),
+                 fmt_ms(s.mean()), fmt_ms(s.percentile(50)),
+                 fmt_ms(s.percentile(95)), fmt_ms(s.percentile(99)),
+                 std::to_string(s.count())});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf("\nReading the table: Clock-RSM keeps latency uniform across "
+              "sites because every\nreplica commits via its own majority; "
+              "leader-based protocols privilege the\nleader site and tax "
+              "everyone else with a forwarding hop.\n");
+  return 0;
+}

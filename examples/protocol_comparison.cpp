@@ -1,0 +1,88 @@
+// Protocol playground: pick any subset of the paper's EC2 sites and compare
+// analytical commit latency (Table II formulas) with the simulator for all
+// four protocols.
+//
+// Build & run:  ./build/examples/protocol_comparison CA VA IR JP SG
+//               ./build/examples/protocol_comparison CA IR BR
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/latency_model.h"
+#include "harness/latency_experiment.h"
+#include "harness/report.h"
+#include "util/topology.h"
+
+using namespace crsm;
+
+int main(int argc, char** argv) {
+  // Parse site names (default: the paper's five-replica deployment).
+  std::vector<std::size_t> sites;
+  for (int a = 1; a < argc; ++a) {
+    bool found = false;
+    for (std::size_t s = 0; s < kNumEc2Sites; ++s) {
+      if (std::strcmp(argv[a], ec2_site_name(s)) == 0) {
+        sites.push_back(s);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown site '%s' (use CA VA IR JP SG AU BR)\n",
+                   argv[a]);
+      return 1;
+    }
+  }
+  if (sites.empty()) sites = {0, 1, 2, 3, 4};
+  if (sites.size() < 3) {
+    std::fprintf(stderr, "need at least 3 sites\n");
+    return 1;
+  }
+
+  const LatencyMatrix m = ec2_matrix().submatrix(sites);
+  LatencyModel model(m);
+  const std::size_t leader = model.best_leader_paxos_bcast();
+  const std::size_t n = sites.size();
+
+  std::printf("Deployment {%s}; best Paxos leader: %s\n\n",
+              group_name(sites).c_str(), ec2_site_name(sites[leader]));
+
+  // Analytical prediction (balanced workload).
+  std::printf("Analytical commit latency (Table II, balanced; ms):\n\n");
+  Table a({"replica", "Paxos", "Paxos-bcast", "Mencius [lo,hi]", "Clock-RSM"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [lo, hi] = model.mencius_bcast_balanced(i);
+    a.add_row({std::string(ec2_site_name(sites[i])) + (i == leader ? " (L)" : ""),
+               fmt_ms(model.paxos(leader, i)),
+               fmt_ms(model.paxos_bcast_precise(leader, i)),
+               "[" + fmt_ms(lo) + "," + fmt_ms(hi) + "]",
+               fmt_ms(model.clock_rsm_balanced(i))});
+  }
+  a.print(std::cout);
+
+  // Simulation (paper workload, shortened).
+  LatencyExperimentOptions opt;
+  opt.matrix = m;
+  opt.duration_s = 8.0;
+  opt.warmup_s = 1.0;
+  opt.clock_skew_ms = 2.0;
+
+  std::printf("\nSimulated average commit latency (40 clients/site; ms):\n\n");
+  Table s({"replica", "Paxos", "Paxos-bcast", "Mencius-bcast", "Clock-RSM"});
+  const auto paxos = run_latency_experiment(
+      opt, paxos_factory(n, static_cast<ReplicaId>(leader), false));
+  const auto pbcast = run_latency_experiment(
+      opt, paxos_factory(n, static_cast<ReplicaId>(leader), true));
+  const auto mencius = run_latency_experiment(opt, mencius_factory(n));
+  const auto clock = run_latency_experiment(opt, clock_rsm_factory(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    s.add_row({std::string(ec2_site_name(sites[i])) + (i == leader ? " (L)" : ""),
+               fmt_ms(paxos.per_replica[i].mean()),
+               fmt_ms(pbcast.per_replica[i].mean()),
+               fmt_ms(mencius.per_replica[i].mean()),
+               fmt_ms(clock.per_replica[i].mean())});
+  }
+  s.print(std::cout);
+  return 0;
+}

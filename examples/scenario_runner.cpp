@@ -1,0 +1,187 @@
+// Scenario runner: a small CLI over the simulation harness for custom
+// experiments beyond the paper's fixed figures.
+//
+// Usage:
+//   scenario_runner [--protocol clockrsm|paxos|paxos-bcast|mencius]
+//                   [--sites CA,VA,IR,...]      (default CA,VA,IR,JP,SG)
+//                   [--leader SITE]             (paxos modes; default best)
+//                   [--clients N]               (per site, default 40)
+//                   [--imbalanced SITE]         (clients at one site only)
+//                   [--duration SECONDS]        (default 15)
+//                   [--seed N] [--skew MS] [--jitter MS]
+//                   [--csv]                     (emit per-site CSV rows)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/latency_model.h"
+#include "harness/latency_experiment.h"
+#include "harness/report.h"
+#include "util/topology.h"
+
+using namespace crsm;
+
+namespace {
+
+int site_index(const std::string& name) {
+  for (std::size_t s = 0; s < kNumEc2Sites; ++s) {
+    if (name == ec2_site_name(s)) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+std::vector<std::size_t> parse_sites(const std::string& arg) {
+  std::vector<std::size_t> sites;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::string tok =
+        arg.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!tok.empty()) {
+      const int s = site_index(tok);
+      if (s < 0) {
+        std::fprintf(stderr, "unknown site '%s'\n", tok.c_str());
+        std::exit(1);
+      }
+      sites.push_back(static_cast<std::size_t>(s));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return sites;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string protocol = "clockrsm";
+  std::vector<std::size_t> sites = {0, 1, 2, 3, 4};
+  int leader = -1;
+  int imbalanced = -1;
+  LatencyExperimentOptions opt;
+  opt.workload.clients_per_replica = 40;
+  opt.duration_s = 15.0;
+  opt.warmup_s = 1.5;
+  opt.clock_skew_ms = 2.0;
+  bool csv = false;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string flag = argv[a];
+    auto next = [&]() -> std::string {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(1);
+      }
+      return argv[++a];
+    };
+    if (flag == "--protocol") {
+      protocol = next();
+    } else if (flag == "--sites") {
+      sites = parse_sites(next());
+    } else if (flag == "--leader") {
+      leader = site_index(next());
+    } else if (flag == "--clients") {
+      opt.workload.clients_per_replica = std::stoul(next());
+    } else if (flag == "--imbalanced") {
+      imbalanced = site_index(next());
+    } else if (flag == "--duration") {
+      opt.duration_s = std::stod(next());
+    } else if (flag == "--seed") {
+      opt.seed = std::stoull(next());
+    } else if (flag == "--skew") {
+      opt.clock_skew_ms = std::stod(next());
+    } else if (flag == "--jitter") {
+      opt.jitter_ms = std::stod(next());
+    } else if (flag == "--csv") {
+      csv = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 1;
+    }
+  }
+
+  if (sites.size() < 3) {
+    std::fprintf(stderr, "need at least 3 sites\n");
+    return 1;
+  }
+  opt.matrix = ec2_matrix().submatrix(sites);
+  const std::size_t n = sites.size();
+
+  // Map global site choices to group-local indices.
+  auto local_index = [&sites](int global) -> int {
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (sites[i] == static_cast<std::size_t>(global)) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  if (imbalanced >= 0) {
+    const int li = local_index(imbalanced);
+    if (li < 0) {
+      std::fprintf(stderr, "--imbalanced site not in --sites\n");
+      return 1;
+    }
+    opt.workload.active_replicas = {static_cast<ReplicaId>(li)};
+  }
+  ReplicaId leader_local = 0;
+  if (leader >= 0) {
+    const int li = local_index(leader);
+    if (li < 0) {
+      std::fprintf(stderr, "--leader site not in --sites\n");
+      return 1;
+    }
+    leader_local = static_cast<ReplicaId>(li);
+  } else {
+    leader_local =
+        static_cast<ReplicaId>(LatencyModel(opt.matrix).best_leader_paxos_bcast());
+  }
+
+  SimWorld::ProtocolFactory factory;
+  if (protocol == "clockrsm") {
+    factory = clock_rsm_factory(n);
+  } else if (protocol == "paxos") {
+    factory = paxos_factory(n, leader_local, false);
+  } else if (protocol == "paxos-bcast") {
+    factory = paxos_factory(n, leader_local, true);
+  } else if (protocol == "mencius") {
+    factory = mencius_factory(n);
+  } else {
+    std::fprintf(stderr, "unknown protocol %s\n", protocol.c_str());
+    return 1;
+  }
+
+  const LatencyExperimentResult r = run_latency_experiment(opt, factory);
+
+  if (csv) {
+    std::printf("site,count,avg_ms,p50_ms,p95_ms,p99_ms,max_ms\n");
+    for (std::size_t i = 0; i < n; ++i) {
+      const LatencyStats& s = r.per_replica[i];
+      std::printf("%s,%zu,%.2f,%.2f,%.2f,%.2f,%.2f\n", ec2_site_name(sites[i]),
+                  s.count(), s.mean(), s.percentile(50), s.percentile(95),
+                  s.percentile(99), s.max());
+    }
+    return 0;
+  }
+
+  std::printf("%s over {%s}%s, %zu clients/site, %.0fs simulated, "
+              "%llu commands, %llu messages\n\n",
+              r.protocol.c_str(), group_name(sites).c_str(),
+              protocol.rfind("paxos", 0) == 0
+                  ? (std::string(", leader ") + ec2_site_name(sites[leader_local]))
+                        .c_str()
+                  : "",
+              opt.workload.clients_per_replica, opt.duration_s,
+              static_cast<unsigned long long>(r.total_commands),
+              static_cast<unsigned long long>(r.messages_sent));
+  Table t({"site", "ops", "avg ms", "p50 ms", "p95 ms", "p99 ms"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const LatencyStats& s = r.per_replica[i];
+    t.add_row({ec2_site_name(sites[i]), std::to_string(s.count()),
+               fmt_ms(s.mean()), fmt_ms(s.percentile(50)),
+               fmt_ms(s.percentile(95)), fmt_ms(s.percentile(99))});
+  }
+  t.print(std::cout);
+  return 0;
+}

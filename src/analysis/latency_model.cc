@@ -1,0 +1,170 @@
+#include "analysis/latency_model.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace crsm {
+
+double LatencyModel::majority_rtt(std::size_t i) const {
+  return 2.0 * paper_median(d_.row(i));
+}
+
+double LatencyModel::max_oneway(std::size_t i) const {
+  return max_of(d_.row(i));
+}
+
+double LatencyModel::prefix_replication(std::size_t i) const {
+  // max over originators j of the majority (median) of two-hop paths
+  // j -> k -> i: the slowest concurrent command's majority replication, as
+  // observed from i.
+  double worst = 0.0;
+  for (std::size_t j = 0; j < n(); ++j) {
+    std::vector<double> two_hop(n());
+    for (std::size_t k = 0; k < n(); ++k) {
+      two_hop[k] = d_.oneway_ms(j, k) + d_.oneway_ms(k, i);
+    }
+    worst = std::max(worst, paper_median(std::move(two_hop)));
+  }
+  return worst;
+}
+
+double LatencyModel::clock_rsm_balanced(std::size_t i) const {
+  return std::max({majority_rtt(i), max_oneway(i), prefix_replication(i)});
+}
+
+double LatencyModel::clock_rsm_imbalanced(std::size_t i) const {
+  return std::max(majority_rtt(i), max_oneway(i));
+}
+
+double LatencyModel::clock_rsm_imbalanced_light(std::size_t i, double delta_ms) const {
+  return std::max(majority_rtt(i), max_oneway(i) + delta_ms);
+}
+
+double LatencyModel::clock_rsm_imbalanced_light_no_ext(std::size_t i) const {
+  return 2.0 * max_oneway(i);
+}
+
+double LatencyModel::paxos(std::size_t leader, std::size_t i) const {
+  const double base = 2.0 * paper_median(d_.row(leader));
+  if (i == leader) return base;
+  return 2.0 * d_.oneway_ms(i, leader) + base;
+}
+
+double LatencyModel::paxos_bcast(std::size_t leader, std::size_t i) const {
+  const double base = 2.0 * paper_median(d_.row(leader));
+  if (i == leader) return base;
+  return d_.oneway_ms(i, leader) + base;
+}
+
+double LatencyModel::paxos_bcast_precise(std::size_t leader, std::size_t i) const {
+  if (i == leader) return 2.0 * paper_median(d_.row(leader));
+  std::vector<double> two_hop(n());
+  for (std::size_t k = 0; k < n(); ++k) {
+    two_hop[k] = d_.oneway_ms(leader, k) + d_.oneway_ms(k, i);
+  }
+  return d_.oneway_ms(i, leader) + paper_median(std::move(two_hop));
+}
+
+double LatencyModel::mencius_bcast_imbalanced(std::size_t i) const {
+  return 2.0 * max_oneway(i);
+}
+
+std::pair<double, double> LatencyModel::mencius_bcast_balanced(std::size_t i) const {
+  const double q = clock_rsm_balanced(i);
+  return {q, q + max_oneway(i)};
+}
+
+namespace {
+
+template <typename PerReplica>
+std::size_t best_leader(std::size_t n, PerReplica&& latency_with_leader) {
+  std::size_t best = 0;
+  double best_avg = std::numeric_limits<double>::max();
+  for (std::size_t l = 0; l < n; ++l) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += latency_with_leader(l, i);
+    if (sum < best_avg) {
+      best_avg = sum;
+      best = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t LatencyModel::best_leader_paxos_bcast() const {
+  return best_leader(n(), [this](std::size_t l, std::size_t i) {
+    return paxos_bcast_precise(l, i);
+  });
+}
+
+std::size_t LatencyModel::best_leader_paxos() const {
+  return best_leader(n(), [this](std::size_t l, std::size_t i) {
+    return paxos(l, i);
+  });
+}
+
+GroupSweepResult sweep_groups(const LatencyMatrix& all, std::size_t k) {
+  if (k == 0 || k > all.size()) throw std::invalid_argument("bad group size");
+  GroupSweepResult out;
+  out.group_size = k;
+
+  std::vector<double> paxos_all;
+  std::vector<double> clock_all;
+  std::vector<double> paxos_highest;
+  std::vector<double> clock_highest;
+  std::size_t improved = 0;
+  std::size_t regressed = 0;
+  double improved_abs = 0.0;
+  double regressed_abs = 0.0;
+
+  for (const auto& group : combinations(all.size(), k)) {
+    ++out.num_groups;
+    LatencyModel model(all.submatrix(group));
+    const std::size_t leader = model.best_leader_paxos_bcast();
+    double pmax = 0.0, cmax = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double p = model.paxos_bcast_precise(leader, i);
+      const double c = model.clock_rsm_balanced(i);
+      paxos_all.push_back(p);
+      clock_all.push_back(c);
+      pmax = std::max(pmax, p);
+      cmax = std::max(cmax, c);
+      if (c < p - 1e-9) {
+        ++improved;
+        improved_abs += p - c;
+      } else {
+        ++regressed;
+        regressed_abs += c - p;
+      }
+    }
+    paxos_highest.push_back(pmax);
+    clock_highest.push_back(cmax);
+  }
+
+  out.paxos_bcast_avg_all = mean_of(paxos_all);
+  out.clock_rsm_avg_all = mean_of(clock_all);
+  out.paxos_bcast_avg_highest = mean_of(paxos_highest);
+  out.clock_rsm_avg_highest = mean_of(clock_highest);
+  const double total = static_cast<double>(improved + regressed);
+  out.improved_fraction = improved / total;
+  out.regressed_fraction = regressed / total;
+  // Relative deltas are normalized by the overall Paxos-bcast mean, which is
+  // how the paper's Table IV percentages are computed (e.g. 3 replicas:
+  // 9.9 ms / 158 ms ~= 6.2%).
+  if (improved > 0) {
+    out.improved_abs_ms = improved_abs / improved;
+    out.improved_rel = out.improved_abs_ms / out.paxos_bcast_avg_all;
+  }
+  if (regressed > 0) {
+    out.regressed_abs_ms = regressed_abs / regressed;
+    out.regressed_rel = out.regressed_abs_ms / out.paxos_bcast_avg_all;
+  }
+  return out;
+}
+
+}  // namespace crsm

@@ -1,0 +1,92 @@
+// Closed-form commit latency models (paper Table II, Section IV).
+//
+// All functions take a one-way LatencyMatrix and return milliseconds.
+// median(S) is the element at index floor(|S|/2) of the ascending sort of S,
+// where S includes the zero self-distance — exactly the cost of reaching a
+// majority quorum.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/topology.h"
+
+namespace crsm {
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyMatrix m) : d_(std::move(m)) {}
+
+  [[nodiscard]] const LatencyMatrix& matrix() const { return d_; }
+  [[nodiscard]] std::size_t n() const { return d_.size(); }
+
+  // --- building blocks ---
+  // 2 * median({d(i,k)}): round trip to a majority from i.
+  [[nodiscard]] double majority_rtt(std::size_t i) const;
+  // max_k d(i,k): one-way to the farthest replica.
+  [[nodiscard]] double max_oneway(std::size_t i) const;
+  // max_j median_k(d(j,k) + d(k,i)): worst two-hop majority path into i.
+  [[nodiscard]] double prefix_replication(std::size_t i) const;
+
+  // --- Clock-RSM (Algorithm 1 + 2, Table II bottom row) ---
+  // Balanced: max(lc1, lc2_best, lc3_worst).
+  [[nodiscard]] double clock_rsm_balanced(std::size_t i) const;
+  // Imbalanced, moderate/heavy load: max(lc1, lc2_best).
+  [[nodiscard]] double clock_rsm_imbalanced(std::size_t i) const;
+  // Imbalanced, light load with the CLOCKTIME extension (period delta_ms):
+  // max(lc1, lc2_best + delta).
+  [[nodiscard]] double clock_rsm_imbalanced_light(std::size_t i, double delta_ms) const;
+  // Imbalanced, light load without the extension: 2 * max_oneway.
+  [[nodiscard]] double clock_rsm_imbalanced_light_no_ext(std::size_t i) const;
+
+  // --- Multi-Paxos (Table II top row) ---
+  [[nodiscard]] double paxos(std::size_t leader, std::size_t i) const;
+  // --- Paxos-bcast ---
+  // Table II row formula for non-leader replicas:
+  // d(i,l) + 2*median({d(l,k)}). This is what the paper plugs into the
+  // Figure 7 / Table IV numerical sweeps.
+  [[nodiscard]] double paxos_bcast(std::size_t leader, std::size_t i) const;
+  // The tighter Section IV-B text derivation:
+  // d(i,l) + median_k(d(l,k) + d(k,i)). Matches the simulator exactly.
+  [[nodiscard]] double paxos_bcast_precise(std::size_t leader, std::size_t i) const;
+
+  // --- Mencius-bcast ---
+  [[nodiscard]] double mencius_bcast_imbalanced(std::size_t i) const;
+  // Balanced: [q, q + max_oneway], q = Clock-RSM balanced latency.
+  [[nodiscard]] std::pair<double, double> mencius_bcast_balanced(std::size_t i) const;
+
+  // Leader minimizing the mean per-replica latency (how the paper picks the
+  // Paxos-bcast leader in the Figure 7 / Table IV sweeps).
+  [[nodiscard]] std::size_t best_leader_paxos_bcast() const;
+  [[nodiscard]] std::size_t best_leader_paxos() const;
+
+ private:
+  LatencyMatrix d_;
+};
+
+// Aggregates for the Figure 7 / Table IV sweep over one group size.
+struct GroupSweepResult {
+  std::size_t group_size = 0;
+  std::size_t num_groups = 0;
+  // Means over every replica of every group.
+  double paxos_bcast_avg_all = 0.0;
+  double clock_rsm_avg_all = 0.0;
+  // Means over each group's worst replica.
+  double paxos_bcast_avg_highest = 0.0;
+  double clock_rsm_avg_highest = 0.0;
+  // Table IV: replicas where Clock-RSM is lower / not lower than
+  // Paxos-bcast, with mean absolute and relative deltas per class.
+  double improved_fraction = 0.0;
+  double improved_abs_ms = 0.0;   // mean (paxos - clock) over improved
+  double improved_rel = 0.0;      // mean (paxos - clock)/paxos over improved
+  double regressed_fraction = 0.0;
+  double regressed_abs_ms = 0.0;  // mean (clock - paxos) over the rest
+  double regressed_rel = 0.0;
+};
+
+// Sweeps every k-subset of the sites of `all` (paper: the 7 EC2 sites),
+// comparing Clock-RSM (balanced) against Paxos-bcast with its best leader.
+[[nodiscard]] GroupSweepResult sweep_groups(const LatencyMatrix& all, std::size_t k);
+
+}  // namespace crsm

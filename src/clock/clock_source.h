@@ -1,0 +1,25 @@
+// Loosely synchronized physical clock abstraction (Section II-A).
+#pragma once
+
+#include "common/types.h"
+
+namespace crsm {
+
+// A per-replica physical clock. Clock-RSM requires only that (a) each
+// replica's clock is monotonically increasing and (b) clocks are *loosely*
+// synchronized — correctness never depends on the skew bound, only latency
+// does (Section III-B, line 8 wait).
+//
+// Implementations must guarantee that consecutive calls return strictly
+// increasing values; the protocols rely on this to send messages in
+// timestamp order over FIFO channels.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+
+  // Current local physical time in microseconds, strictly increasing across
+  // calls on the same replica.
+  [[nodiscard]] virtual Tick now_us() = 0;
+};
+
+}  // namespace crsm

@@ -1,0 +1,30 @@
+#include "clock/sim_clock.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace crsm {
+
+SimClock::SimClock(std::function<Tick()> sim_now, double skew_us, double rate)
+    : sim_now_(std::move(sim_now)), skew_us_(skew_us), rate_(rate) {
+  if (!sim_now_) throw std::invalid_argument("SimClock needs a time source");
+  if (rate_ <= 0.0) throw std::invalid_argument("clock rate must be positive");
+}
+
+Tick SimClock::now_us() {
+  const double raw =
+      static_cast<double>(sim_now_()) * rate_ + skew_us_;
+  // Physical clocks never run backwards and the protocols additionally rely
+  // on strict monotonicity across reads (to send in timestamp order).
+  Tick t = raw <= 0.0 ? 0 : static_cast<Tick>(raw);
+  if (t <= last_) t = last_ + 1;
+  last_ = t;
+  return t;
+}
+
+Tick SimClock::local_delay_to_sim(Tick local_delay_us) const {
+  return static_cast<Tick>(std::ceil(static_cast<double>(local_delay_us) / rate_));
+}
+
+}  // namespace crsm

@@ -1,0 +1,36 @@
+// Simulated physical clock with configurable skew and drift.
+#pragma once
+
+#include <functional>
+
+#include "clock/clock_source.h"
+#include "common/types.h"
+
+namespace crsm {
+
+// Models an NTP-disciplined clock inside the discrete-event simulator.
+// local_time = simulation_time * rate + skew, clamped to be strictly
+// increasing across reads. Skew models a constant NTP offset; rate models
+// oscillator drift (1.0 = perfect).
+class SimClock final : public ClockSource {
+ public:
+  // `sim_now` reads the simulator's current virtual time in microseconds.
+  SimClock(std::function<Tick()> sim_now, double skew_us = 0.0, double rate = 1.0);
+
+  [[nodiscard]] Tick now_us() override;
+
+  // Converts a delay expressed in this clock's local time domain to the
+  // simulator's time domain (used to honor timer requests under drift).
+  [[nodiscard]] Tick local_delay_to_sim(Tick local_delay_us) const;
+
+  [[nodiscard]] double skew_us() const { return skew_us_; }
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  std::function<Tick()> sim_now_;
+  double skew_us_;
+  double rate_;
+  Tick last_ = 0;
+};
+
+}  // namespace crsm

@@ -1,0 +1,20 @@
+#include "clock/system_clock.h"
+
+#include <chrono>
+
+namespace crsm {
+
+SystemClock::SystemClock(std::int64_t offset_us) : offset_us_(offset_us) {}
+
+Tick SystemClock::now_us() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  std::int64_t v = us + offset_us_;
+  if (v < 0) v = 0;
+  Tick t = static_cast<Tick>(v);
+  if (t <= last_) t = last_ + 1;
+  last_ = t;
+  return t;
+}
+
+}  // namespace crsm

@@ -1,0 +1,562 @@
+#include "clockrsm/clock_rsm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "storage/recovery.h"
+
+namespace crsm {
+
+namespace {
+
+struct TsHash {
+  std::size_t operator()(const Timestamp& ts) const {
+    return std::hash<Tick>()(ts.ticks) * 1000003u ^ std::hash<ReplicaId>()(ts.origin);
+  }
+};
+
+bool contains(const std::vector<ReplicaId>& v, ReplicaId r) {
+  return std::find(v.begin(), v.end(), r) != v.end();
+}
+
+}  // namespace
+
+ClockRsmReplica::ClockRsmReplica(ProtocolEnv& env, std::vector<ReplicaId> spec,
+                                 ClockRsmOptions opt)
+    : env_(env), opt_(opt), spec_(std::move(spec)), config_(spec_) {
+  if (spec_.empty()) throw std::invalid_argument("empty replica specification");
+  if (!contains(spec_, env_.self())) {
+    throw std::invalid_argument("replica not in specification");
+  }
+  if (opt_.reconfig_enabled && !opt_.clocktime_enabled) {
+    // CLOCKTIME doubles as the failure detector heartbeat.
+    throw std::invalid_argument("reconfig requires the clock-time extension");
+  }
+  for (ReplicaId r : config_) latest_tv_[r] = 0;
+  if (opt_.reconfig_enabled) {
+    std::vector<ReplicaId> peers;
+    for (ReplicaId r : spec_) {
+      if (r != env_.self()) peers.push_back(r);
+    }
+    fd_ = std::make_unique<FailureDetector>(std::move(peers), opt_.fd_timeout_us);
+  }
+}
+
+void ClockRsmReplica::start() {
+  const bool recovering = !env_.log().records().empty() ||
+                          env_.recovery_floor() > kZeroTimestamp;
+  if (recovering) replay_from_log();
+  if (opt_.clocktime_enabled) arm_clocktime_timer();
+  if (opt_.reconfig_enabled) {
+    fd_->reset_all(env_.clock_now());
+    arm_failure_detector_timer();
+    if (recovering) {
+      // Reintegration (Section V-B): after replaying the log, rejoin the
+      // current configuration via reconfiguration. If epochs advanced while
+      // we were down, stale SUSPENDs are answered with the corresponding
+      // consensus decisions and we catch up epoch by epoch.
+      frozen_ = true;  // do not process normal traffic until reintegrated
+      reconfigure(spec_);
+    }
+  }
+}
+
+void ClockRsmReplica::replay_from_log() {
+  // Crash recovery (Section V-B): committed commands replay in timestamp
+  // order; PREPARE entries without a COMMIT mark stay unresolved until the
+  // replica rejoins via reconfiguration (which re-derives them from a
+  // majority), so they are intentionally not re-entered into PendingCmds.
+  const Timestamp floor = env_.recovery_floor();
+  ReplayResult rr = replay_log(env_.log().records());
+  for (const LogRecord& r : rr.committed) {
+    if (r.ts > floor) env_.deliver(r.cmd, r.ts, /*local_origin=*/false);
+  }
+  last_commit_ts_ = std::max(floor, rr.last_commit_ts);
+  last_sent_ = last_commit_ts_.ticks;
+  for (const LogRecord& r : env_.log().records()) {
+    if (r.ts.origin == env_.self()) last_sent_ = std::max(last_sent_, r.ts.ticks);
+  }
+  for (auto& [r, tv] : latest_tv_) tv = std::max(tv, last_commit_ts_.ticks);
+}
+
+bool ClockRsmReplica::in_config() const { return contains(config_, env_.self()); }
+
+Tick ClockRsmReplica::next_send_ticks() {
+  Tick t = env_.clock_now();
+  if (t <= last_sent_) t = last_sent_ + 1;
+  last_sent_ = t;
+  return t;
+}
+
+void ClockRsmReplica::broadcast(const Message& m) {
+  for (ReplicaId r : config_) env_.send(r, m);
+}
+
+Tick ClockRsmReplica::min_latest_tv() const {
+  Tick m = std::numeric_limits<Tick>::max();
+  for (ReplicaId r : config_) {
+    auto it = latest_tv_.find(r);
+    const Tick v = it == latest_tv_.end() ? 0 : it->second;
+    m = std::min(m, v);
+  }
+  return m;
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 1: replication protocol
+// --------------------------------------------------------------------------
+
+void ClockRsmReplica::submit(Command cmd) {
+  if (frozen_ || !in_config()) {
+    deferred_submits_.push_back(std::move(cmd));
+    return;
+  }
+  handle_request(std::move(cmd));
+}
+
+void ClockRsmReplica::handle_request(Command cmd) {
+  // Lines 1-3: assign the latest clock time and broadcast PREPARE.
+  Message m;
+  m.type = MsgType::kPrepare;
+  m.epoch = epoch_;
+  m.ts = Timestamp{next_send_ticks(), env_.self()};
+  m.cmd = std::move(cmd);
+  ++stats_.prepares_sent;
+  broadcast(m);
+}
+
+void ClockRsmReplica::on_message(const Message& m) {
+  if (fd_) fd_->heartbeat(m.from, env_.clock_now());
+
+  switch (m.type) {
+    // Consensus messages are routed by instance id regardless of epoch.
+    case MsgType::kConsPrepare:
+    case MsgType::kConsPromise:
+    case MsgType::kConsAccept:
+    case MsgType::kConsAccepted:
+    case MsgType::kConsDecide:
+      consensus(m.epoch).on_message(m);
+      return;
+
+    case MsgType::kSuspend:
+      handle_suspend(m);
+      return;
+    case MsgType::kSuspendOk:
+      handle_suspend_ok(m);
+      return;
+    case MsgType::kRetrieveCmds:
+      handle_retrieve_cmds(m);
+      return;
+    case MsgType::kRetrieveReply:
+      handle_retrieve_reply(m);
+      return;
+
+    case MsgType::kPrepare:
+    case MsgType::kPrepareOk:
+    case MsgType::kClockTime:
+      // Normal-case messages are only meaningful within the current epoch
+      // (Section V-A: the epoch number lets us ignore messages from older
+      // epochs; newer-epoch messages are dropped too — the consensus
+      // decision will bring us up to date).
+      if (m.epoch != epoch_) {
+        if (m.epoch < epoch_) {
+          // Help a laggard catch up: answer with the decision that created
+          // our current epoch (idempotent; decisions are self-contained).
+          auto it = consensus_.find(epoch_);
+          if (it != consensus_.end() && it->second->decided()) {
+            Message d;
+            d.type = MsgType::kConsDecide;
+            d.epoch = epoch_;
+            d.blob = it->second->decision();
+            env_.send(m.from, d);
+          }
+        }
+        return;
+      }
+      if (m.type == MsgType::kPrepare) {
+        handle_prepare(m);
+      } else if (m.type == MsgType::kPrepareOk) {
+        handle_prepare_ok(m);
+      } else {
+        handle_clock_time(m);
+      }
+      return;
+
+    default:
+      return;  // not a Clock-RSM message
+  }
+}
+
+void ClockRsmReplica::handle_prepare(const Message& m) {
+  // Line 8 of Algorithm 3: a suspended replica stops processing PREPARE.
+  if (frozen_) return;
+  if (!contains(config_, m.from)) return;
+  if (m.ts <= last_commit_ts_) return;  // defensive: already superseded
+
+  // Lines 4-7.
+  pending_.emplace(m.ts, Pending{m.cmd});
+  auto& tv = latest_tv_[m.from];
+  tv = std::max(tv, m.ts.ticks);
+  env_.log().append(LogRecord::prepare(m.ts, m.cmd));
+  env_.log().sync();
+
+  // Lines 8-10: wait until ts < Clock, then acknowledge to all replicas.
+  // The wait is highly unlikely with reasonably synchronized clocks; it only
+  // triggers when the sender's clock runs ahead of ours by more than the
+  // one-way network latency.
+  const Tick now = env_.clock_now();
+  if (now > m.ts.ticks) {
+    ack_prepare(m.ts, epoch_);
+  } else {
+    ++stats_.clock_waits;
+    env_.schedule_after(m.ts.ticks - now + 1,
+                        [this, ts = m.ts, e = epoch_] { ack_prepare(ts, e); });
+  }
+  maybe_commit();
+}
+
+void ClockRsmReplica::ack_prepare(Timestamp ts, Epoch epoch_at_receipt) {
+  if (frozen_ || epoch_ != epoch_at_receipt) return;
+  Message ok;
+  ok.type = MsgType::kPrepareOk;
+  ok.epoch = epoch_;
+  ok.ts = ts;
+  ok.clock_ts = next_send_ticks();
+  broadcast(ok);
+}
+
+void ClockRsmReplica::handle_prepare_ok(const Message& m) {
+  if (!contains(config_, m.from)) return;
+  // Lines 11-13.
+  auto& tv = latest_tv_[m.from];
+  tv = std::max(tv, m.clock_ts);
+  if (m.ts > last_commit_ts_) {
+    ++rep_counter_[m.ts];
+  }
+  maybe_commit();
+}
+
+void ClockRsmReplica::handle_clock_time(const Message& m) {
+  if (!contains(config_, m.from)) return;
+  auto& tv = latest_tv_[m.from];
+  tv = std::max(tv, m.clock_ts);
+  maybe_commit();
+}
+
+bool ClockRsmReplica::stable(Timestamp ts) const {
+  // Because every replica sends messages in strictly increasing timestamp
+  // order over FIFO links, LatestTV[k] >= ts.ticks means no message (and in
+  // particular no PREPARE) with a smaller timestamp can still arrive.
+  return ts.ticks <= min_latest_tv();
+}
+
+void ClockRsmReplica::maybe_commit() {
+  // Lines 14-23: commit the smallest pending timestamp while (1) majority
+  // replication, (2) stable order and (3) prefix replication hold. Checking
+  // only the head of PendingCmds and executing in timestamp order makes
+  // condition (3) inductive.
+  while (!pending_.empty()) {
+    const auto it = pending_.begin();
+    const Timestamp ts = it->first;
+    auto rc = rep_counter_.find(ts);
+    if (rc == rep_counter_.end() ||
+        static_cast<std::size_t>(rc->second) < majority(spec_.size())) {
+      break;
+    }
+    if (!stable(ts)) break;
+
+    Command cmd = std::move(it->second.cmd);
+    pending_.erase(it);
+    rep_counter_.erase(rc);
+
+    env_.log().append(LogRecord::commit(ts));
+    last_commit_ts_ = ts;
+    ++stats_.committed;
+    env_.deliver(cmd, ts, ts.origin == env_.self());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 2: periodic clock time broadcast
+// --------------------------------------------------------------------------
+
+void ClockRsmReplica::arm_clocktime_timer() {
+  env_.schedule_after(opt_.clocktime_delta_us, [this] {
+    if (!frozen_ && in_config()) {
+      const Tick now = env_.clock_now();
+      const Tick own = latest_tv_[env_.self()];
+      if (now >= own + opt_.clocktime_delta_us) {
+        Message m;
+        m.type = MsgType::kClockTime;
+        m.epoch = epoch_;
+        m.clock_ts = next_send_ticks();
+        ++stats_.clocktimes_sent;
+        broadcast(m);
+      }
+    }
+    arm_clocktime_timer();
+  });
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 3: reconfiguration
+// --------------------------------------------------------------------------
+
+SingleDecreePaxos& ClockRsmReplica::consensus(Epoch instance) {
+  auto it = consensus_.find(instance);
+  if (it == consensus_.end()) {
+    auto inst = std::make_unique<SingleDecreePaxos>(
+        env_, spec_, instance,
+        [this, instance](const std::string& blob) {
+          on_consensus_decide(instance, blob);
+        },
+        opt_.consensus_retry_us);
+    it = consensus_.emplace(instance, std::move(inst)).first;
+  }
+  return *it->second;
+}
+
+void ClockRsmReplica::reconfigure(std::vector<ReplicaId> new_config) {
+  if (reconfig_in_progress_) return;
+  for (ReplicaId r : new_config) {
+    if (!contains(spec_, r)) throw std::invalid_argument("config not in spec");
+  }
+  if (new_config.size() < majority(spec_.size())) {
+    throw std::invalid_argument("new configuration below majority of spec");
+  }
+  reconfig_in_progress_ = true;
+  proposed_epoch_ = epoch_ + 1;
+  proposed_config_ = std::move(new_config);
+  proposed_cts_ = last_commit_ts_;
+  suspend_oks_.clear();
+  collected_cmds_.clear();
+
+  Message m;
+  m.type = MsgType::kSuspend;
+  m.epoch = proposed_epoch_;
+  m.ts = proposed_cts_;
+  for (ReplicaId r : spec_) env_.send(r, m);
+}
+
+void ClockRsmReplica::handle_suspend(const Message& m) {
+  if (m.epoch <= epoch_) {
+    // Stale reconfigurer (e.g. a recovering replica many epochs behind): if
+    // we know the decision of that instance, answer it directly so the
+    // sender can catch up.
+    auto it = consensus_.find(m.epoch);
+    if (it != consensus_.end() && it->second->decided()) {
+      Message d;
+      d.type = MsgType::kConsDecide;
+      d.epoch = m.epoch;
+      d.blob = it->second->decision();
+      env_.send(m.from, d);
+    }
+    return;
+  }
+  // Lines 7-10: freeze the log and hand over everything above cts.
+  frozen_ = true;
+  Message r;
+  r.type = MsgType::kSuspendOk;
+  r.epoch = m.epoch;
+  std::unordered_set<Timestamp, TsHash> seen;
+  for (const LogRecord& rec : env_.log().records()) {
+    if (rec.type == LogType::kPrepare && rec.ts > m.ts && seen.insert(rec.ts).second) {
+      r.records.push_back(rec);
+    }
+  }
+  env_.send(m.from, r);
+}
+
+void ClockRsmReplica::handle_suspend_ok(const Message& m) {
+  if (!reconfig_in_progress_ || m.epoch != proposed_epoch_) return;
+  if (!suspend_oks_.insert(m.from).second) return;
+  for (const LogRecord& rec : m.records) {
+    collected_cmds_.emplace(rec.ts, rec.cmd);
+  }
+  if (suspend_oks_.size() >= majority(spec_.size())) {
+    ReconfigDecision dec;
+    dec.config = proposed_config_;
+    dec.cts = proposed_cts_;
+    dec.cmds.reserve(collected_cmds_.size());
+    for (const auto& [ts, cmd] : collected_cmds_) {
+      dec.cmds.push_back(LogRecord::prepare(ts, cmd));
+    }
+    consensus(proposed_epoch_).propose(dec.encode());
+  }
+}
+
+void ClockRsmReplica::handle_retrieve_cmds(const Message& m) {
+  // Lines 29-31: return logged commands with from < ts <= to.
+  const Timestamp from = m.ts;
+  const Timestamp to{m.clock_ts, static_cast<ReplicaId>(m.a)};
+  Message r;
+  r.type = MsgType::kRetrieveReply;
+  r.epoch = m.epoch;
+  std::unordered_set<Timestamp, TsHash> seen;
+  for (const LogRecord& rec : env_.log().records()) {
+    if (rec.type == LogType::kPrepare && rec.ts > from && rec.ts <= to &&
+        seen.insert(rec.ts).second) {
+      r.records.push_back(rec);
+    }
+  }
+  env_.send(m.from, r);
+}
+
+void ClockRsmReplica::handle_retrieve_reply(const Message& m) {
+  if (!fetching_for_epoch_ || m.epoch != *fetching_for_epoch_) return;
+  if (!fetch_replies_.insert(m.from).second) return;
+  for (const LogRecord& rec : m.records) {
+    if (rec.ts > last_commit_ts_ && rec.ts <= fetch_to_) {
+      fetched_cmds_.emplace(rec.ts, rec.cmd);
+    }
+  }
+  if (fetch_replies_.size() >= majority(spec_.size())) {
+    const Epoch e = *fetching_for_epoch_;
+    fetching_for_epoch_.reset();
+    auto it = undelivered_decisions_.find(e);
+    assert(it != undelivered_decisions_.end());
+    ReconfigDecision dec = it->second;
+    std::map<Timestamp, Command> extra = std::move(fetched_cmds_);
+    fetched_cmds_.clear();
+    finish_decision(e, dec, std::move(extra));
+  }
+}
+
+void ClockRsmReplica::on_consensus_decide(Epoch instance, const std::string& blob) {
+  if (instance <= epoch_) return;
+  undelivered_decisions_[instance] = ReconfigDecision::decode(blob);
+  try_apply_decisions();
+}
+
+void ClockRsmReplica::try_apply_decisions() {
+  if (fetching_for_epoch_) return;  // state transfer in flight
+  // Decisions are self-contained (config + cts + all commands above cts from
+  // a majority), so when several epochs are pending only the newest matters.
+  while (!undelivered_decisions_.empty()) {
+    auto it = std::prev(undelivered_decisions_.end());
+    const Epoch e = it->first;
+    if (e <= epoch_) {
+      undelivered_decisions_.clear();
+      return;
+    }
+    ReconfigDecision dec = it->second;
+    undelivered_decisions_.clear();
+    apply_decision(e, dec);
+    return;
+  }
+}
+
+void ClockRsmReplica::apply_decision(Epoch e, const ReconfigDecision& dec) {
+  if (dec.cts > last_commit_ts_) {
+    // Lines 12-14: we lag behind the decided timestamp; fetch the missing
+    // prefix from a majority before applying the decided commands.
+    frozen_ = true;
+    fetching_for_epoch_ = e;
+    undelivered_decisions_[e] = dec;
+    fetch_to_ = dec.cts;
+    fetch_replies_.clear();
+    fetched_cmds_.clear();
+    Message m;
+    m.type = MsgType::kRetrieveCmds;
+    m.epoch = e;
+    m.ts = last_commit_ts_;
+    m.clock_ts = dec.cts.ticks;
+    m.a = dec.cts.origin;
+    for (ReplicaId r : spec_) env_.send(r, m);
+    return;
+  }
+  finish_decision(e, dec, {});
+}
+
+void ClockRsmReplica::finish_decision(Epoch e, const ReconfigDecision& dec,
+                                      std::map<Timestamp, Command> extra) {
+  // `extra` holds state-transferred commands in (last_commit_ts, dec.cts];
+  // dec.cmds holds every command above dec.cts that could have committed.
+  std::map<Timestamp, Command> to_apply = std::move(extra);
+  std::unordered_set<Timestamp, TsHash> decided_set;
+  for (const LogRecord& rec : dec.cmds) {
+    decided_set.insert(rec.ts);
+    if (rec.ts > last_commit_ts_) to_apply.emplace(rec.ts, rec.cmd);
+  }
+
+  // Line 15: drop uncommitted PREPAREs above cts that did not survive.
+  env_.log().remove_uncommitted_above(
+      dec.cts, [&decided_set](const Timestamp& ts) { return decided_set.contains(ts); });
+
+  // Lines 16-20: apply the surviving commands in timestamp order.
+  std::unordered_set<Timestamp, TsHash> in_log;
+  for (const LogRecord& rec : env_.log().records()) {
+    if (rec.type == LogType::kPrepare) in_log.insert(rec.ts);
+  }
+  for (const auto& [ts, cmd] : to_apply) {
+    if (ts <= last_commit_ts_) continue;
+    if (!in_log.contains(ts)) {
+      env_.log().append(LogRecord::prepare(ts, cmd));
+      in_log.insert(ts);
+    }
+    env_.log().append(LogRecord::commit(ts));
+    last_commit_ts_ = ts;
+    ++stats_.committed;
+    env_.deliver(cmd, ts, ts.origin == env_.self());
+  }
+  env_.log().sync();
+
+  // Lines 21-24: install the new epoch and configuration.
+  epoch_ = e;
+  config_ = dec.config;
+  ++stats_.reconfigurations;
+  latest_tv_.clear();
+  const Tick base = std::max(last_commit_ts_.ticks, dec.cts.ticks);
+  for (ReplicaId r : config_) latest_tv_[r] = base;
+  last_sent_ = std::max(last_sent_, base);
+  pending_.clear();
+  rep_counter_.clear();
+  frozen_ = false;
+  reconfig_in_progress_ = false;
+  suspend_oks_.clear();
+  collected_cmds_.clear();
+  if (fd_) fd_->reset_all(env_.clock_now());
+
+  if (in_config()) {
+    // Resume processing queued client requests.
+    while (!deferred_submits_.empty()) {
+      Command c = std::move(deferred_submits_.front());
+      deferred_submits_.pop_front();
+      handle_request(std::move(c));
+    }
+  } else if (opt_.reconfig_enabled) {
+    // We were removed (e.g. falsely suspected, or we are rejoining after
+    // recovery): ask to be added back.
+    std::vector<ReplicaId> cfg = config_;
+    cfg.push_back(env_.self());
+    std::sort(cfg.begin(), cfg.end());
+    reconfigure(std::move(cfg));
+  }
+}
+
+void ClockRsmReplica::arm_failure_detector_timer() {
+  env_.schedule_after(opt_.fd_check_interval_us, [this] {
+    if (!frozen_ && !reconfig_in_progress_ && in_config()) {
+      const Tick now = env_.clock_now();
+      std::vector<ReplicaId> next;
+      bool changed = false;
+      for (ReplicaId r : config_) {
+        if (r != env_.self() && fd_->is_suspect(r, now)) {
+          changed = true;
+        } else {
+          next.push_back(r);
+        }
+      }
+      if (changed && next.size() >= majority(spec_.size())) {
+        reconfigure(std::move(next));
+      }
+    }
+    arm_failure_detector_timer();
+  });
+}
+
+}  // namespace crsm

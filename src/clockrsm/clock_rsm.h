@@ -1,0 +1,148 @@
+// Clock-RSM replication protocol (paper Algorithms 1, 2 and 3).
+//
+// A multi-leader state machine replication protocol that totally orders
+// commands by loosely synchronized physical clock timestamps. A command
+// commits at a replica once (1) a majority of replicas logged it,
+// (2) its order is stable — no smaller-timestamped message can still
+// arrive — and (3) all smaller-timestamped commands committed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "clockrsm/reconfig.h"
+#include "common/message.h"
+#include "common/types.h"
+#include "consensus/single_decree_paxos.h"
+#include "rsm/failure_detector.h"
+#include "rsm/protocol.h"
+
+namespace crsm {
+
+struct ClockRsmOptions {
+  // Algorithm 2: periodic clock-time broadcast. The paper enables it with
+  // delta = 5 ms in all EC2 experiments.
+  bool clocktime_enabled = true;
+  Tick clocktime_delta_us = 5'000;
+
+  // Algorithm 3: failure-detector-driven reconfiguration. When enabled,
+  // CLOCKTIME doubles as the heartbeat, so clocktime_enabled must be true.
+  bool reconfig_enabled = false;
+  Tick fd_timeout_us = 600'000;
+  Tick fd_check_interval_us = 150'000;
+  Tick consensus_retry_us = 400'000;
+};
+
+class ClockRsmReplica final : public ReplicaProtocol {
+ public:
+  // `spec` is the administrator-fixed replica specification; the initial
+  // configuration equals the specification.
+  ClockRsmReplica(ProtocolEnv& env, std::vector<ReplicaId> spec,
+                  ClockRsmOptions opt = {});
+
+  void start() override;
+  void submit(Command cmd) override;
+  void on_message(const Message& m) override;
+  [[nodiscard]] std::string name() const override { return "Clock-RSM"; }
+
+  // Manually initiates reconfiguration to `new_config` (subset of Spec).
+  // Also invoked automatically on failure suspicion when reconfig_enabled.
+  void reconfigure(std::vector<ReplicaId> new_config);
+
+  // --- introspection (tests, harness) ---
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
+  [[nodiscard]] const std::vector<ReplicaId>& config() const { return config_; }
+  [[nodiscard]] const std::vector<ReplicaId>& spec() const { return spec_; }
+  [[nodiscard]] Timestamp last_commit_ts() const { return last_commit_ts_; }
+  [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+  [[nodiscard]] bool in_config() const;
+
+  struct Stats {
+    std::uint64_t committed = 0;
+    std::uint64_t prepares_sent = 0;
+    std::uint64_t clocktimes_sent = 0;
+    std::uint64_t clock_waits = 0;      // line-8 waits actually taken
+    std::uint64_t reconfigurations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    Command cmd;
+  };
+
+  // --- Algorithm 1 ---
+  void handle_request(Command cmd);
+  void handle_prepare(const Message& m);
+  void ack_prepare(Timestamp ts, Epoch epoch_at_receipt);
+  void handle_prepare_ok(const Message& m);
+  void handle_clock_time(const Message& m);
+  void maybe_commit();
+  [[nodiscard]] bool stable(Timestamp ts) const;
+
+  // --- Algorithm 2 ---
+  void arm_clocktime_timer();
+
+  // --- Algorithm 3 ---
+  void handle_suspend(const Message& m);
+  void handle_suspend_ok(const Message& m);
+  void handle_retrieve_cmds(const Message& m);
+  void handle_retrieve_reply(const Message& m);
+  void on_consensus_decide(Epoch instance, const std::string& blob);
+  void try_apply_decisions();
+  void apply_decision(Epoch e, const ReconfigDecision& dec);
+  void finish_decision(Epoch e, const ReconfigDecision& dec,
+                       std::map<Timestamp, Command> extra);
+  SingleDecreePaxos& consensus(Epoch instance);
+  void arm_failure_detector_timer();
+  void replay_from_log();
+
+  void broadcast(const Message& m);
+  [[nodiscard]] Tick next_send_ticks();
+  [[nodiscard]] Tick min_latest_tv() const;
+
+  ProtocolEnv& env_;
+  ClockRsmOptions opt_;
+
+  // Hard state (beyond the log, which lives in the env).
+  std::vector<ReplicaId> spec_;
+  std::vector<ReplicaId> config_;
+  Epoch epoch_ = 0;
+
+  // Soft state (Table I).
+  std::map<Timestamp, Pending> pending_;
+  std::map<Timestamp, int> rep_counter_;
+  std::unordered_map<ReplicaId, Tick> latest_tv_;
+  Timestamp last_commit_ts_;
+  Tick last_sent_ = 0;  // enforces sending in strictly increasing ts order
+
+  // Reconfiguration state.
+  bool frozen_ = false;
+  bool reconfig_in_progress_ = false;
+  Epoch proposed_epoch_ = 0;
+  std::vector<ReplicaId> proposed_config_;
+  Timestamp proposed_cts_;
+  std::set<ReplicaId> suspend_oks_;
+  std::map<Timestamp, Command> collected_cmds_;
+  std::unordered_map<Epoch, std::unique_ptr<SingleDecreePaxos>> consensus_;
+  std::map<Epoch, ReconfigDecision> undelivered_decisions_;
+  // State-transfer-in-progress bookkeeping (per pending decision epoch).
+  std::optional<Epoch> fetching_for_epoch_;
+  Timestamp fetch_to_;
+  std::set<ReplicaId> fetch_replies_;
+  std::map<Timestamp, Command> fetched_cmds_;
+  std::deque<Command> deferred_submits_;
+  std::unique_ptr<FailureDetector> fd_;
+
+  Stats stats_;
+};
+
+}  // namespace crsm

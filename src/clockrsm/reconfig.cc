@@ -1,0 +1,33 @@
+#include "clockrsm/reconfig.h"
+
+#include "common/codec.h"
+#include "common/message.h"
+
+namespace crsm {
+
+std::string ReconfigDecision::encode() const {
+  std::string out;
+  Encoder e(&out);
+  e.var(config.size());
+  for (ReplicaId r : config) e.u32(r);
+  e.timestamp(cts);
+  e.var(cmds.size());
+  for (const LogRecord& r : cmds) encode_log_record(r, &out);
+  return out;
+}
+
+ReconfigDecision ReconfigDecision::decode(const std::string& blob) {
+  Decoder d(blob);
+  ReconfigDecision out;
+  const std::uint64_t nc = d.var();
+  out.config.reserve(nc);
+  for (std::uint64_t i = 0; i < nc; ++i) out.config.push_back(d.u32());
+  out.cts = d.timestamp();
+  const std::uint64_t nr = d.var();
+  out.cmds.reserve(nr);
+  for (std::uint64_t i = 0; i < nr; ++i) out.cmds.push_back(decode_log_record(d));
+  if (!d.done()) throw CodecError("trailing bytes in ReconfigDecision");
+  return out;
+}
+
+}  // namespace crsm

@@ -1,0 +1,27 @@
+// Reconfiguration decision value agreed on by consensus (Algorithm 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/log_record.h"
+#include "common/types.h"
+
+namespace crsm {
+
+// The value proposed at line 6 of Algorithm 3 and decided at line 11:
+// the next configuration, the reconfigurer's last commit timestamp, and the
+// union of commands (PREPARE entries with ts > cts) collected from a
+// majority of Spec — every command that could have been committed.
+struct ReconfigDecision {
+  std::vector<ReplicaId> config;
+  Timestamp cts;
+  std::vector<LogRecord> cmds;  // kPrepare records, any order
+
+  friend bool operator==(const ReconfigDecision&, const ReconfigDecision&) = default;
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static ReconfigDecision decode(const std::string& blob);
+};
+
+}  // namespace crsm

@@ -1,0 +1,24 @@
+// Client commands replicated by the state machine protocols.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace crsm {
+
+// An opaque state machine command issued by a client. `payload` carries the
+// application-level operation (for the bundled key-value store, an encoded
+// PUT/GET/DEL); the replication protocols never interpret it.
+struct Command {
+  ClientId client = 0;
+  std::uint64_t seq = 0;  // client-local sequence number, unique per client
+  std::string payload;
+
+  friend bool operator==(const Command&, const Command&) = default;
+
+  [[nodiscard]] bool empty() const { return client == 0 && seq == 0 && payload.empty(); }
+};
+
+}  // namespace crsm

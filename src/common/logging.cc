@@ -1,0 +1,74 @@
+#include "common/logging.h"
+
+#include <ostream>
+#include <utility>
+
+namespace crsm {
+
+const char* trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kDebug: return "DEBUG";
+    case TraceLevel::kInfo: return "INFO";
+    case TraceLevel::kWarn: return "WARN";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string() const {
+  std::string s;
+  s += "[" + std::to_string(time_us) + "us r";
+  s += replica == kNoReplica ? "?" : std::to_string(replica);
+  s += " ";
+  s += trace_level_name(level);
+  s += " " + category + "] " + message;
+  return s;
+}
+
+void Tracer::record(TraceEvent ev) {
+  if (mirror_ && ev.level >= mirror_level_) {
+    *mirror_ << ev.to_string() << '\n';
+  }
+  if (events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::log(Tick time_us, ReplicaId replica, TraceLevel level,
+                 std::string category, std::string message) {
+  record(TraceEvent{time_us, replica, level, std::move(category),
+                    std::move(message)});
+}
+
+void Tracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::by_category(const std::string& category) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.category == category) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t Tracer::count(const std::string& category) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.category == category) ++n;
+  }
+  return n;
+}
+
+void Tracer::mirror_to(std::ostream* os, TraceLevel level) {
+  mirror_ = os;
+  mirror_level_ = level;
+}
+
+void Tracer::dump(std::ostream& os) const {
+  for (const TraceEvent& e : events_) os << e.to_string() << '\n';
+}
+
+}  // namespace crsm

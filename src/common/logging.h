@@ -1,0 +1,70 @@
+// Lightweight structured event tracing for protocol debugging and the
+// examples. Not a general-purpose logger: a bounded in-memory ring of
+// protocol events with optional mirroring to stderr, designed so traces can
+// be asserted on in tests and dumped when a simulation misbehaves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crsm {
+
+enum class TraceLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+};
+
+[[nodiscard]] const char* trace_level_name(TraceLevel level);
+
+struct TraceEvent {
+  Tick time_us = 0;        // domain time (simulated or monotonic)
+  ReplicaId replica = kNoReplica;
+  TraceLevel level = TraceLevel::kInfo;
+  std::string category;    // e.g. "prepare", "commit", "reconfig"
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// A bounded ring buffer of trace events. Thread-compatible (callers
+// serialize); the simulator and each runtime replica own their own tracer
+// or share one guarded externally.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(TraceEvent ev);
+  void log(Tick time_us, ReplicaId replica, TraceLevel level,
+           std::string category, std::string message);
+
+  // Events in arrival order (oldest first).
+  [[nodiscard]] const std::deque<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  void clear();
+
+  // All events matching the category, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> by_category(const std::string& category) const;
+  [[nodiscard]] std::size_t count(const std::string& category) const;
+
+  // Mirrors every recorded event at or above `level` to the stream.
+  void mirror_to(std::ostream* os, TraceLevel level = TraceLevel::kInfo);
+
+  // Dumps all buffered events to the stream.
+  void dump(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+  std::ostream* mirror_ = nullptr;
+  TraceLevel mirror_level_ = TraceLevel::kInfo;
+};
+
+}  // namespace crsm

@@ -1,0 +1,168 @@
+#include "common/message.h"
+
+#include "common/codec.h"
+
+namespace crsm {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPrepare: return "PREPARE";
+    case MsgType::kPrepareOk: return "PREPAREOK";
+    case MsgType::kClockTime: return "CLOCKTIME";
+    case MsgType::kForward: return "FORWARD";
+    case MsgType::kPhase2a: return "PHASE2A";
+    case MsgType::kPhase2b: return "PHASE2B";
+    case MsgType::kCommitNotify: return "COMMIT";
+    case MsgType::kMenPropose: return "M-PROPOSE";
+    case MsgType::kMenAck: return "M-ACK";
+    case MsgType::kSuspend: return "SUSPEND";
+    case MsgType::kSuspendOk: return "SUSPENDOK";
+    case MsgType::kRetrieveCmds: return "RETRIEVECMDS";
+    case MsgType::kRetrieveReply: return "RETRIEVEREPLY";
+    case MsgType::kConsPrepare: return "C-PREPARE";
+    case MsgType::kConsPromise: return "C-PROMISE";
+    case MsgType::kConsAccept: return "C-ACCEPT";
+    case MsgType::kConsAccepted: return "C-ACCEPTED";
+    case MsgType::kConsDecide: return "C-DECIDE";
+  }
+  return "UNKNOWN";
+}
+
+void encode_command(const Command& c, std::string* out) {
+  Encoder e(out);
+  e.var(c.client);
+  e.var(c.seq);
+  e.bytes(c.payload);
+}
+
+Command decode_command(Decoder& d) {
+  Command c;
+  c.client = d.var();
+  c.seq = d.var();
+  c.payload = d.bytes();
+  return c;
+}
+
+void encode_log_record(const LogRecord& r, std::string* out) {
+  Encoder e(out);
+  e.u8(static_cast<std::uint8_t>(r.type));
+  e.timestamp(r.ts);
+  if (r.type == LogType::kPrepare) encode_command(r.cmd, out);
+}
+
+LogRecord decode_log_record(Decoder& d) {
+  LogRecord r;
+  r.type = static_cast<LogType>(d.u8());
+  if (r.type != LogType::kPrepare && r.type != LogType::kCommit) {
+    throw CodecError("bad log record type");
+  }
+  r.ts = d.timestamp();
+  if (r.type == LogType::kPrepare) r.cmd = decode_command(d);
+  return r;
+}
+
+namespace {
+
+// Field presence per message type, so the wire representation stays compact.
+struct Shape {
+  bool ts = false;
+  bool clock_ts = false;
+  bool slot = false;
+  bool a = false;
+  bool b = false;
+  bool cmd = false;
+  bool records = false;
+  bool blob = false;
+};
+
+Shape shape_of(MsgType t) {
+  switch (t) {
+    case MsgType::kPrepare: return {.ts = true, .cmd = true};
+    case MsgType::kPrepareOk: return {.ts = true, .clock_ts = true};
+    case MsgType::kClockTime: return {.clock_ts = true};
+    case MsgType::kForward: return {.a = true, .cmd = true};
+    case MsgType::kPhase2a: return {.slot = true, .a = true, .cmd = true};
+    case MsgType::kPhase2b: return {.slot = true};
+    case MsgType::kCommitNotify: return {.slot = true};
+    case MsgType::kMenPropose: return {.slot = true, .cmd = true};
+    case MsgType::kMenAck: return {.slot = true, .a = true};
+    case MsgType::kSuspend: return {.ts = true};
+    case MsgType::kSuspendOk: return {.records = true};
+    case MsgType::kRetrieveCmds: return {.ts = true, .clock_ts = true, .a = true};
+    case MsgType::kRetrieveReply: return {.a = true, .records = true};
+    case MsgType::kConsPrepare: return {.a = true};
+    case MsgType::kConsPromise: return {.a = true, .b = true, .blob = true};
+    case MsgType::kConsAccept: return {.a = true, .blob = true};
+    case MsgType::kConsAccepted: return {.a = true};
+    case MsgType::kConsDecide: return {.blob = true};
+  }
+  return {};
+}
+
+}  // namespace
+
+void Message::encode(std::string* out) const {
+  std::string body;
+  Encoder e(&body);
+  e.u8(static_cast<std::uint8_t>(type));
+  e.u32(from);
+  e.var(epoch);
+  const Shape s = shape_of(type);
+  if (s.ts) e.timestamp(ts);
+  if (s.clock_ts) e.u64(clock_ts);
+  if (s.slot) e.var(slot);
+  if (s.a) e.var(a);
+  if (s.b) e.var(b);
+  if (s.cmd) encode_command(cmd, &body);
+  if (s.records) {
+    e.var(records.size());
+    for (const LogRecord& r : records) encode_log_record(r, &body);
+  }
+  if (s.blob) e.bytes(blob);
+
+  Encoder frame(out);
+  frame.bytes(body);
+}
+
+std::string Message::encode() const {
+  std::string out;
+  encode(&out);
+  return out;
+}
+
+Message Message::decode_stream(std::string_view buf, std::size_t* pos) {
+  std::string_view rest = buf.substr(*pos);
+  Decoder frame(rest);
+  std::string body = frame.bytes();
+  *pos += rest.size() - frame.remaining();
+
+  Decoder d(body);
+  Message m;
+  m.type = static_cast<MsgType>(d.u8());
+  m.from = d.u32();
+  m.epoch = d.var();
+  const Shape s = shape_of(m.type);
+  if (s.ts) m.ts = d.timestamp();
+  if (s.clock_ts) m.clock_ts = d.u64();
+  if (s.slot) m.slot = d.var();
+  if (s.a) m.a = d.var();
+  if (s.b) m.b = d.var();
+  if (s.cmd) m.cmd = decode_command(d);
+  if (s.records) {
+    std::uint64_t n = d.var();
+    m.records.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) m.records.push_back(decode_log_record(d));
+  }
+  if (s.blob) m.blob = d.bytes();
+  if (!d.done()) throw CodecError("trailing bytes in message body");
+  return m;
+}
+
+Message Message::decode(std::string_view framed) {
+  std::size_t pos = 0;
+  Message m = decode_stream(framed, &pos);
+  if (pos != framed.size()) throw CodecError("trailing bytes after message");
+  return m;
+}
+
+}  // namespace crsm

@@ -1,0 +1,80 @@
+// Wire messages for all replication protocols in this repository.
+//
+// A single tagged struct keeps the simulator, the real-thread runtime and
+// the tests protocol-agnostic: every protocol reactor consumes `Message`.
+// Encoding is per-type and writes only the fields the type uses, so message
+// sizes on the wire stay honest for the throughput experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/command.h"
+#include "common/log_record.h"
+#include "common/types.h"
+
+namespace crsm {
+
+enum class MsgType : std::uint8_t {
+  // --- Clock-RSM (Algorithm 1 + 2) ---
+  kPrepare = 1,    // <PREPARE cmd, ts>
+  kPrepareOk = 2,  // <PREPAREOK ts, clockTs>
+  kClockTime = 3,  // <CLOCKTIME ts>
+
+  // --- Multi-Paxos / Paxos-bcast ---
+  kForward = 10,   // non-leader forwards a client command to the leader
+  kPhase2a = 11,   // leader -> all: accept(slot, cmd, origin)
+  kPhase2b = 12,   // acceptor ack; to leader (classic) or broadcast (bcast)
+  kCommitNotify = 13,  // leader -> all (classic mode only)
+
+  // --- Mencius-bcast ---
+  kMenPropose = 20,  // owner -> all: propose(slot, cmd)
+  kMenAck = 21,      // broadcast ack(slot) carrying the sender's skip bound
+
+  // --- Reconfiguration (Algorithm 3) ---
+  kSuspend = 30,        // <SUSPEND e, cts>
+  kSuspendOk = 31,      // <SUSPENDOK e, cmds>
+  kRetrieveCmds = 32,   // <RETRIEVECMDS from, to>
+  kRetrieveReply = 33,  // <RETRIEVEREPLY cmds>
+
+  // --- Single-decree Paxos used by reconfiguration PROPOSE/DECIDE ---
+  kConsPrepare = 40,   // phase 1a (ballot)
+  kConsPromise = 41,   // phase 1b (ballot, accepted ballot, accepted value)
+  kConsAccept = 42,    // phase 2a (ballot, value)
+  kConsAccepted = 43,  // phase 2b (ballot)
+  kConsDecide = 44,    // learned decision (value)
+};
+
+[[nodiscard]] const char* msg_type_name(MsgType t);
+
+struct Message {
+  MsgType type{};
+  ReplicaId from = kNoReplica;
+  Epoch epoch = 0;  // Clock-RSM epoch, or consensus instance id
+
+  Timestamp ts;       // command timestamp (Clock-RSM); reconfig cts
+  Tick clock_ts = 0;  // PREPAREOK/CLOCKTIME physical clock value
+  Slot slot = 0;      // Paxos / Mencius slot; RETRIEVECMDS `from` bound
+  std::uint64_t a = 0;  // generic: origin replica, skip bound, ballot, `to` bound
+  std::uint64_t b = 0;  // generic: accepted ballot
+
+  Command cmd;
+  std::vector<LogRecord> records;  // SUSPENDOK / RETRIEVEREPLY payloads
+  std::string blob;                // consensus value (encoded ReconfigDecision)
+
+  // Serialization. `encode` appends to `out`, framed with a length prefix so
+  // streams of messages can be concatenated; `decode_stream` consumes one
+  // framed message and advances `pos`.
+  void encode(std::string* out) const;
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static Message decode(std::string_view framed);
+  [[nodiscard]] static Message decode_stream(std::string_view buf, std::size_t* pos);
+};
+
+void encode_command(const Command& c, std::string* out);
+[[nodiscard]] Command decode_command(class Decoder& d);
+void encode_log_record(const LogRecord& r, std::string* out);
+[[nodiscard]] LogRecord decode_log_record(class Decoder& d);
+
+}  // namespace crsm

@@ -1,0 +1,150 @@
+#include "consensus/single_decree_paxos.h"
+
+#include <utility>
+
+namespace crsm {
+
+SingleDecreePaxos::SingleDecreePaxos(ProtocolEnv& env,
+                                     std::vector<ReplicaId> participants,
+                                     Epoch instance, DecideFn on_decide,
+                                     Tick retry_us)
+    : env_(env),
+      participants_(std::move(participants)),
+      instance_(instance),
+      on_decide_(std::move(on_decide)),
+      retry_us_(retry_us) {}
+
+std::uint64_t SingleDecreePaxos::next_ballot() {
+  ++round_;
+  // Globally unique, increasing per proposer: round * N + self + 1.
+  return round_ * participants_.size() + env_.self() + 1;
+}
+
+void SingleDecreePaxos::bcast(Message m) {
+  m.epoch = instance_;
+  for (ReplicaId p : participants_) env_.send(p, m);
+}
+
+void SingleDecreePaxos::propose(std::string value) {
+  if (proposing_ || decided_) return;
+  proposing_ = true;
+  my_value_ = std::move(value);
+  begin_round();
+}
+
+void SingleDecreePaxos::begin_round() {
+  if (decided_) return;
+  ballot_ = next_ballot();
+  promises_ = 0;
+  accepts_ = 0;
+  in_phase2_ = false;
+  best_accepted_ballot_ = 0;
+  best_accepted_value_.clear();
+  Message m;
+  m.type = MsgType::kConsPrepare;
+  m.a = ballot_;
+  bcast(std::move(m));
+  arm_retry();
+}
+
+void SingleDecreePaxos::arm_retry() {
+  const std::uint64_t token = ++retry_token_;
+  // Stagger retries by replica id so dueling proposers eventually separate.
+  const Tick delay = retry_us_ + retry_us_ / 4 * env_.self();
+  env_.schedule_after(delay, [this, token] {
+    if (decided_ || token != retry_token_ || !proposing_) return;
+    begin_round();
+  });
+}
+
+void SingleDecreePaxos::decide(const std::string& value) {
+  if (decided_) return;
+  decided_ = value;
+  if (on_decide_) on_decide_(*decided_);
+}
+
+void SingleDecreePaxos::on_message(const Message& m) {
+  switch (m.type) {
+    case MsgType::kConsPrepare: {
+      if (decided_) {
+        Message d;
+        d.type = MsgType::kConsDecide;
+        d.epoch = instance_;
+        d.blob = *decided_;
+        env_.send(m.from, d);
+        return;
+      }
+      if (m.a > promised_) {
+        promised_ = m.a;
+        Message r;
+        r.type = MsgType::kConsPromise;
+        r.epoch = instance_;
+        r.a = m.a;
+        r.b = accepted_ballot_;
+        r.blob = accepted_value_;
+        env_.send(m.from, r);
+      }
+      return;
+    }
+    case MsgType::kConsPromise: {
+      if (decided_ || !proposing_ || in_phase2_ || m.a != ballot_) return;
+      ++promises_;
+      if (m.b > best_accepted_ballot_) {
+        best_accepted_ballot_ = m.b;
+        best_accepted_value_ = m.blob;
+      }
+      if (static_cast<std::size_t>(promises_) >= majority(participants_.size())) {
+        in_phase2_ = true;
+        phase2_value_ =
+            best_accepted_ballot_ > 0 ? best_accepted_value_ : my_value_;
+        Message a;
+        a.type = MsgType::kConsAccept;
+        a.a = ballot_;
+        a.blob = phase2_value_;
+        bcast(std::move(a));
+        arm_retry();
+      }
+      return;
+    }
+    case MsgType::kConsAccept: {
+      if (decided_) {
+        Message d;
+        d.type = MsgType::kConsDecide;
+        d.epoch = instance_;
+        d.blob = *decided_;
+        env_.send(m.from, d);
+        return;
+      }
+      if (m.a >= promised_) {
+        promised_ = m.a;
+        accepted_ballot_ = m.a;
+        accepted_value_ = m.blob;
+        Message r;
+        r.type = MsgType::kConsAccepted;
+        r.epoch = instance_;
+        r.a = m.a;
+        env_.send(m.from, r);
+      }
+      return;
+    }
+    case MsgType::kConsAccepted: {
+      if (decided_ || !proposing_ || !in_phase2_ || m.a != ballot_) return;
+      ++accepts_;
+      if (static_cast<std::size_t>(accepts_) >= majority(participants_.size())) {
+        Message d;
+        d.type = MsgType::kConsDecide;
+        d.blob = phase2_value_;
+        bcast(std::move(d));
+        decide(phase2_value_);
+      }
+      return;
+    }
+    case MsgType::kConsDecide:
+      decide(m.blob);
+      return;
+    default:
+      return;  // not a consensus message
+  }
+}
+
+}  // namespace crsm

@@ -1,0 +1,77 @@
+// Single-decree Paxos: the PROPOSE/DECIDE primitive of Algorithm 3.
+//
+// The reconfiguration protocol runs one instance per epoch over all replicas
+// in Spec; two or more replicas may propose different next configurations
+// and consensus picks one. This is a textbook synod: phase 1 (prepare /
+// promise), phase 2 (accept / accepted), plus a learner broadcast (decide)
+// and an answer-stragglers rule (a decided acceptor replies DECIDE to any
+// later prepare, so replicas that missed the decision catch up).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/message.h"
+#include "common/types.h"
+#include "rsm/protocol.h"
+
+namespace crsm {
+
+class SingleDecreePaxos {
+ public:
+  using DecideFn = std::function<void(const std::string& value)>;
+
+  // `instance` keys the messages (Message::epoch). `retry_us` is the phase
+  // timeout after which a proposer retries with a higher ballot.
+  SingleDecreePaxos(ProtocolEnv& env, std::vector<ReplicaId> participants,
+                    Epoch instance, DecideFn on_decide, Tick retry_us = 500'000);
+
+  // Starts proposing `value`. Idempotent; a second call is ignored.
+  void propose(std::string value);
+
+  // Feeds a kCons* message whose epoch matches this instance.
+  void on_message(const Message& m);
+
+  [[nodiscard]] bool decided() const { return decided_.has_value(); }
+  [[nodiscard]] const std::string& decision() const { return *decided_; }
+  [[nodiscard]] Epoch instance() const { return instance_; }
+
+ private:
+  [[nodiscard]] std::uint64_t next_ballot();
+  void begin_round();
+  void arm_retry();
+  void decide(const std::string& value);
+  void bcast(Message m);
+
+  ProtocolEnv& env_;
+  std::vector<ReplicaId> participants_;
+  Epoch instance_;
+  DecideFn on_decide_;
+  Tick retry_us_;
+
+  // proposer
+  bool proposing_ = false;
+  std::string my_value_;
+  std::uint64_t ballot_ = 0;        // current round's ballot (0 = none)
+  std::uint64_t round_ = 0;
+  int promises_ = 0;
+  std::uint64_t best_accepted_ballot_ = 0;
+  std::string best_accepted_value_;
+  std::string phase2_value_;
+  int accepts_ = 0;
+  bool in_phase2_ = false;
+  std::uint64_t retry_token_ = 0;   // invalidates stale retry timers
+
+  // acceptor
+  std::uint64_t promised_ = 0;
+  std::uint64_t accepted_ballot_ = 0;
+  std::string accepted_value_;
+
+  // learner
+  std::optional<std::string> decided_;
+};
+
+}  // namespace crsm

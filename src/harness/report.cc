@@ -1,0 +1,67 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace crsm {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      for (std::size_t p = row[c].size(); p < width[c]; ++p) os << ' ';
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_ms(double ms, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, ms);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_count(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void print_cdf(std::ostream& os, const std::string& label,
+               const std::vector<std::pair<double, double>>& cdf) {
+  os << "# " << label << " (latency_ms cumulative_percent)\n";
+  for (const auto& [lat, frac] : cdf) {
+    os << fmt_ms(lat, 2) << ' ' << fmt_ms(frac * 100.0, 1) << '\n';
+  }
+}
+
+}  // namespace crsm

@@ -1,0 +1,33 @@
+// ASCII reporting helpers for benches and examples.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crsm {
+
+// A simple right-padded ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+[[nodiscard]] std::string fmt_ms(double ms, int precision = 1);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+[[nodiscard]] std::string fmt_count(double v, int precision = 1);
+
+// Prints a CDF as "latency_ms cumulative_percent" rows, one series per call
+// (gnuplot-ready; mirrors the paper's Figures 3, 4 and 6).
+void print_cdf(std::ostream& os, const std::string& label,
+               const std::vector<std::pair<double, double>>& cdf);
+
+}  // namespace crsm

@@ -1,0 +1,124 @@
+#include "kv/kv_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/codec.h"
+
+namespace crsm {
+
+std::string KvRequest::encode() const {
+  std::string out;
+  Encoder e(&out);
+  e.u8(static_cast<std::uint8_t>(op));
+  e.bytes(key);
+  if (op == KvOp::kPut) e.bytes(value);
+  return out;
+}
+
+KvRequest KvRequest::decode(const std::string& payload) {
+  Decoder d(payload);
+  KvRequest r;
+  r.op = static_cast<KvOp>(d.u8());
+  if (r.op != KvOp::kPut && r.op != KvOp::kGet && r.op != KvOp::kDel) {
+    throw CodecError("bad kv op");
+  }
+  r.key = d.bytes();
+  if (r.op == KvOp::kPut) r.value = d.bytes();
+  return r;
+}
+
+KvRequest KvRequest::sized_put(const std::string& key, std::size_t payload_bytes) {
+  KvRequest r;
+  r.op = KvOp::kPut;
+  r.key = key;
+  // Header: 1 (op) + varint(key len) + key + varint(value len). The varint
+  // length prefix grows with the value, so adjust until the size converges
+  // (or the target is smaller than the header, in which case return the
+  // smallest possible encoding).
+  long value_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    r.value.assign(static_cast<std::size_t>(std::max(0L, value_len)), 'v');
+    const long sz = static_cast<long>(r.encode().size());
+    const long target = static_cast<long>(payload_bytes);
+    if (sz == target || (sz > target && value_len == 0)) break;
+    value_len += target - sz;
+  }
+  return r;
+}
+
+std::string KvStore::apply(const Command& cmd) {
+  const KvRequest r = KvRequest::decode(cmd.payload);
+  switch (r.op) {
+    case KvOp::kPut:
+      map_[r.key] = r.value;
+      return "OK";
+    case KvOp::kGet: {
+      auto it = map_.find(r.key);
+      return it == map_.end() ? std::string() : it->second;
+    }
+    case KvOp::kDel:
+      map_.erase(r.key);
+      return "OK";
+  }
+  return {};
+}
+
+std::uint64_t KvStore::state_digest() const {
+  // Order-independent digest: XOR of per-entry FNV-1a hashes plus size.
+  std::uint64_t acc = 0xcbf29ce484222325ULL + map_.size();
+  for (const auto& [k, v] : map_) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](const std::string& s) {
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+      }
+      h ^= 0xff;
+      h *= 0x100000001b3ULL;
+    };
+    mix(k);
+    mix(v);
+    acc ^= h;
+  }
+  return acc;
+}
+
+const std::string* KvStore::get(const std::string& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+std::string KvStore::snapshot() const {
+  // Deterministic encoding: entries sorted by key.
+  std::vector<const std::pair<const std::string, std::string>*> entries;
+  entries.reserve(map_.size());
+  for (const auto& kv : map_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::string out;
+  Encoder e(&out);
+  e.var(entries.size());
+  for (const auto* kv : entries) {
+    e.bytes(kv->first);
+    e.bytes(kv->second);
+  }
+  return out;
+}
+
+void KvStore::restore(const std::string& snapshot) {
+  Decoder d(snapshot);
+  std::unordered_map<std::string, std::string> next;
+  const std::uint64_t n = d.var();
+  next.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = d.bytes();
+    next.emplace(std::move(key), d.bytes());
+  }
+  if (!d.done()) throw CodecError("trailing bytes in KvStore snapshot");
+  map_ = std::move(next);
+}
+
+}  // namespace crsm

@@ -1,0 +1,50 @@
+// In-memory replicated key-value store (the paper's evaluation application).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "rsm/state_machine.h"
+
+namespace crsm {
+
+// Operations carried in Command::payload.
+enum class KvOp : std::uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kDel = 3,
+};
+
+struct KvRequest {
+  KvOp op = KvOp::kPut;
+  std::string key;
+  std::string value;  // kPut only
+
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static KvRequest decode(const std::string& payload);
+
+  // A kPut whose encoded payload is exactly `payload_bytes` long (padding
+  // the value), matching the paper's fixed-size update commands.
+  [[nodiscard]] static KvRequest sized_put(const std::string& key,
+                                           std::size_t payload_bytes);
+};
+
+// Deterministic string -> string map. GETs flow through replication too
+// (the paper's clients only issue updates, but the store supports reads for
+// the examples).
+class KvStore final : public StateMachine {
+ public:
+  std::string apply(const Command& cmd) override;
+  [[nodiscard]] std::uint64_t state_digest() const override;
+  [[nodiscard]] std::string snapshot() const override;
+  void restore(const std::string& snapshot) override;
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] const std::string* get(const std::string& key) const;
+
+ private:
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace crsm

@@ -1,0 +1,133 @@
+#include "mencius/mencius.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace crsm {
+
+MenciusReplica::MenciusReplica(ProtocolEnv& env, std::vector<ReplicaId> replicas)
+    : env_(env), replicas_(std::move(replicas)), skip_bound_(replicas_.size(), 0) {
+  if (replicas_.empty()) throw std::invalid_argument("empty replica set");
+  self_index_ = index_of(env_.self());
+  next_own_ = self_index_;
+}
+
+std::size_t MenciusReplica::index_of(ReplicaId r) const {
+  auto it = std::find(replicas_.begin(), replicas_.end(), r);
+  if (it == replicas_.end()) throw std::invalid_argument("replica not in set");
+  return static_cast<std::size_t>(it - replicas_.begin());
+}
+
+Slot MenciusReplica::next_own_slot_from(Slot at_least) const {
+  const Slot n = replicas_.size();
+  if (at_least <= self_index_) return self_index_;
+  // Smallest s >= at_least with s ≡ self_index (mod n).
+  const Slot k = (at_least - self_index_ + n - 1) / n;
+  return self_index_ + k * n;
+}
+
+void MenciusReplica::broadcast(const Message& m) {
+  for (ReplicaId r : replicas_) env_.send(r, m);
+}
+
+void MenciusReplica::submit(Command cmd) {
+  const Slot s = next_own_;
+  next_own_ = s + replicas_.size();
+  ++stats_.proposed;
+  Message m;
+  m.type = MsgType::kMenPropose;
+  m.slot = s;
+  m.cmd = std::move(cmd);
+  broadcast(m);  // the owner acknowledges its own proposal via loopback
+}
+
+void MenciusReplica::on_message(const Message& m) {
+  switch (m.type) {
+    case MsgType::kMenPropose:
+      handle_propose(m);
+      return;
+    case MsgType::kMenAck:
+      handle_ack(m);
+      return;
+    default:
+      return;
+  }
+}
+
+void MenciusReplica::handle_propose(const Message& m) {
+  if (owner(m.slot) != m.from) return;  // only owners may propose a slot
+  const std::size_t from_idx = index_of(m.from);
+
+  if (m.slot >= next_exec_) {
+    SlotState& st = slots_[m.slot];
+    st.cmd = m.cmd;
+    st.has_cmd = true;
+    env_.log().append(LogRecord::prepare(Timestamp{m.slot, m.from}, m.cmd));
+    env_.log().sync();
+  }
+
+  // Owners propose their slots in increasing order and announce skips before
+  // jumping ahead (FIFO), so every own slot of the sender below this one is
+  // already accounted for.
+  skip_bound_[from_idx] = std::max(skip_bound_[from_idx], m.slot);
+
+  if (m.from != env_.self()) {
+    // Promise to skip our own unused slots below the proposed slot, so the
+    // proposer does not wait for rounds we will never use. The promise is
+    // carried by the broadcast acknowledgement.
+    const Slot own_floor = next_own_slot_from(m.slot);
+    if (own_floor > next_own_) {
+      stats_.skipped += (own_floor - next_own_) / replicas_.size();
+      next_own_ = own_floor;
+    }
+  }
+
+  Message ack;
+  ack.type = MsgType::kMenAck;
+  ack.slot = m.slot;
+  ack.a = next_own_;  // skip bound: our own slots below this are used/skipped
+  broadcast(ack);
+  try_execute();
+}
+
+void MenciusReplica::handle_ack(const Message& m) {
+  const std::size_t from_idx = index_of(m.from);
+  skip_bound_[from_idx] = std::max(skip_bound_[from_idx], static_cast<Slot>(m.a));
+  if (m.slot >= next_exec_) {
+    slots_[m.slot].acks.insert(m.from);
+  }
+  try_execute();
+}
+
+void MenciusReplica::try_execute() {
+  for (;;) {
+    auto it = slots_.find(next_exec_);
+    if (it != slots_.end() && it->second.has_cmd) {
+      SlotState& st = it->second;
+      if (st.acks.size() < majority(replicas_.size())) return;
+      SlotState done = std::move(st);
+      slots_.erase(it);
+      const ReplicaId own = owner(next_exec_);
+      const Timestamp ts{next_exec_, own};
+      env_.log().append(LogRecord::commit(ts));
+      ++next_exec_;
+      ++stats_.executed;
+      env_.deliver(done.cmd, ts, own == env_.self());
+      continue;
+    }
+    // Unproposed slot: executable as a skip only once its owner promised
+    // not to use it. Acknowledgements prove a slot *was* proposed, so a
+    // slot with recorded acks (entry present) always waits for its payload:
+    // senders announce skips before proposing past them, and channels are
+    // FIFO, so a skip bound never overtakes the proposal it covers.
+    if (it == slots_.end() &&
+        skip_bound_[next_exec_ % replicas_.size()] > next_exec_) {
+      ++next_exec_;
+      continue;
+    }
+    return;
+  }
+}
+
+}  // namespace crsm

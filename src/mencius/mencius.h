@@ -1,0 +1,78 @@
+// Mencius-bcast baseline (Section IV-C).
+//
+// Slot ownership rotates round-robin: slot s belongs to replica s mod N.
+// Each replica proposes its clients' commands in its own slots. When a
+// replica acknowledges a proposal for slot s it also promises to skip its
+// own unused slots below s; the promise (a "skip bound") rides on the
+// broadcast acknowledgement. A slot executes once it is majority-accepted
+// and every smaller slot is known filled (executed or skipped) — which is
+// exactly where the delayed-commit problem comes from: a command may wait
+// for concurrent commands from other replicas (balanced workloads), or for
+// skip promises that take a full round trip (imbalanced workloads).
+//
+// The paper evaluates Mencius-bcast in failure-free runs only; like the
+// paper's implementation, this one does not include Mencius' revocation
+// mechanism for crashed coordinators.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/message.h"
+#include "common/types.h"
+#include "rsm/protocol.h"
+
+namespace crsm {
+
+class MenciusReplica final : public ReplicaProtocol {
+ public:
+  MenciusReplica(ProtocolEnv& env, std::vector<ReplicaId> replicas);
+
+  void submit(Command cmd) override;
+  void on_message(const Message& m) override;
+  [[nodiscard]] std::string name() const override { return "Mencius-bcast"; }
+
+  [[nodiscard]] ReplicaId owner(Slot s) const {
+    return replicas_[s % replicas_.size()];
+  }
+  [[nodiscard]] Slot executed_upto() const { return next_exec_; }
+
+  struct Stats {
+    std::uint64_t proposed = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t skipped = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct SlotState {
+    Command cmd;
+    bool has_cmd = false;
+    std::set<ReplicaId> acks;
+  };
+
+  void handle_propose(const Message& m);
+  void handle_ack(const Message& m);
+  void try_execute();
+  void broadcast(const Message& m);
+  [[nodiscard]] std::size_t index_of(ReplicaId r) const;
+  // Smallest slot owned by this replica that is >= `at_least`.
+  [[nodiscard]] Slot next_own_slot_from(Slot at_least) const;
+
+  ProtocolEnv& env_;
+  std::vector<ReplicaId> replicas_;
+  std::size_t self_index_ = 0;
+
+  std::map<Slot, SlotState> slots_;  // proposed slots not yet executed
+  // skip_bound_[k]: every slot owned by replicas_[k] below this bound that
+  // was not proposed is skipped.
+  std::vector<Slot> skip_bound_;
+  Slot next_own_ = 0;   // smallest own slot not yet used or skipped
+  Slot next_exec_ = 0;  // next slot to execute
+  Stats stats_;
+};
+
+}  // namespace crsm

@@ -1,0 +1,84 @@
+// Multi-Paxos baseline (Section IV-B), classic and phase-2b-broadcast modes.
+//
+// A designated leader orders all commands: non-leader replicas forward
+// client commands to the leader; the leader assigns consecutive slots and
+// runs phase 2 with all replicas (phase 1 is implicit for a stable leader).
+//
+//  * kClassic ("Paxos"): acceptors send phase-2b to the leader only; the
+//    leader broadcasts a commit notification once a majority accepted.
+//    Non-leader commit latency: 2*d(i,l) + 2*median(d(l,*)).
+//  * kBroadcast ("Paxos-bcast"): acceptors broadcast phase-2b; every replica
+//    learns commits directly. Non-leader commit latency:
+//    d(i,l) + median_k(d(l,k) + d(k,i)).
+//
+// Leader election/failover is out of scope for the latency study (the paper
+// fixes the leader per experiment); the leader is a constructor parameter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/message.h"
+#include "common/types.h"
+#include "rsm/protocol.h"
+
+namespace crsm {
+
+enum class PaxosMode {
+  kClassic,
+  kBroadcast,
+};
+
+class PaxosReplica final : public ReplicaProtocol {
+ public:
+  PaxosReplica(ProtocolEnv& env, std::vector<ReplicaId> replicas,
+               ReplicaId leader, PaxosMode mode);
+
+  void submit(Command cmd) override;
+  void on_message(const Message& m) override;
+  [[nodiscard]] std::string name() const override {
+    return mode_ == PaxosMode::kClassic ? "Paxos" : "Paxos-bcast";
+  }
+
+  [[nodiscard]] bool is_leader() const { return env_.self() == leader_; }
+  [[nodiscard]] ReplicaId leader() const { return leader_; }
+  [[nodiscard]] Slot executed_upto() const { return next_exec_; }
+
+  struct Stats {
+    std::uint64_t proposed = 0;   // slots assigned (leader only)
+    std::uint64_t forwarded = 0;  // commands forwarded to the leader
+    std::uint64_t executed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct SlotState {
+    Command cmd;
+    ReplicaId origin = kNoReplica;
+    bool has_cmd = false;
+    bool committed = false;
+    std::set<ReplicaId> acks;
+  };
+
+  void leader_propose(Command cmd, ReplicaId origin);
+  void handle_phase2a(const Message& m);
+  void handle_phase2b(const Message& m);
+  void handle_commit_notify(const Message& m);
+  void try_execute();
+  void broadcast(const Message& m);
+
+  ProtocolEnv& env_;
+  std::vector<ReplicaId> replicas_;
+  ReplicaId leader_;
+  PaxosMode mode_;
+
+  std::map<Slot, SlotState> slots_;
+  Slot next_slot_ = 0;  // leader: next slot to assign
+  Slot next_exec_ = 0;  // next slot to execute, at every replica
+  Stats stats_;
+};
+
+}  // namespace crsm

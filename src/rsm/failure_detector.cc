@@ -1,0 +1,37 @@
+#include "rsm/failure_detector.h"
+
+#include <algorithm>
+
+namespace crsm {
+
+FailureDetector::FailureDetector(std::vector<ReplicaId> peers, Tick timeout_us)
+    : timeout_us_(timeout_us) {
+  for (ReplicaId p : peers) last_seen_[p] = 0;
+}
+
+void FailureDetector::heartbeat(ReplicaId peer, Tick now) {
+  auto it = last_seen_.find(peer);
+  if (it == last_seen_.end()) return;  // not monitored
+  it->second = std::max(it->second, now);
+}
+
+std::vector<ReplicaId> FailureDetector::suspects(Tick now) const {
+  std::vector<ReplicaId> out;
+  for (const auto& [peer, seen] : last_seen_) {
+    if (now > seen && now - seen > timeout_us_) out.push_back(peer);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool FailureDetector::is_suspect(ReplicaId peer, Tick now) const {
+  auto it = last_seen_.find(peer);
+  if (it == last_seen_.end()) return false;
+  return now > it->second && now - it->second > timeout_us_;
+}
+
+void FailureDetector::reset_all(Tick now) {
+  for (auto& [peer, seen] : last_seen_) seen = now;
+}
+
+}  // namespace crsm

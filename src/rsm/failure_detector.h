@@ -1,0 +1,37 @@
+// Timeout-based eventually-perfect failure detector (Section II-A).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crsm {
+
+// Tracks the last time a message was received from each peer and reports
+// peers silent for longer than the timeout as suspected. May be wrong
+// (premature suspicion) — Clock-RSM's reconfiguration tolerates that; it
+// only needs eventual completeness and eventual accuracy for liveness.
+class FailureDetector {
+ public:
+  FailureDetector(std::vector<ReplicaId> peers, Tick timeout_us);
+
+  // Records life signs from `peer` at local time `now`.
+  void heartbeat(ReplicaId peer, Tick now);
+
+  // Peers whose last heartbeat is older than the timeout at time `now`.
+  [[nodiscard]] std::vector<ReplicaId> suspects(Tick now) const;
+
+  [[nodiscard]] bool is_suspect(ReplicaId peer, Tick now) const;
+
+  // Resets the deadline of all peers to `now` (e.g. after reconfiguration).
+  void reset_all(Tick now);
+
+  [[nodiscard]] Tick timeout_us() const { return timeout_us_; }
+
+ private:
+  std::unordered_map<ReplicaId, Tick> last_seen_;
+  Tick timeout_us_;
+};
+
+}  // namespace crsm

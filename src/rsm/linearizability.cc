@@ -1,0 +1,68 @@
+#include "rsm/linearizability.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace crsm {
+
+namespace {
+
+std::string op_name(const OpRecord& op) {
+  return "op(client=" + std::to_string(op.client) +
+         ", seq=" + std::to_string(op.seq) + ")";
+}
+
+}  // namespace
+
+LinearizabilityResult check_real_time_order(std::vector<OpRecord> ops) {
+  LinearizabilityResult res;
+  for (const OpRecord& op : ops) {
+    if (op.response_us < op.invoke_us) {
+      res.ok = false;
+      res.violation = op_name(op) + " responded before it was invoked";
+      return res;
+    }
+  }
+
+  std::sort(ops.begin(), ops.end(), [](const OpRecord& a, const OpRecord& b) {
+    return a.order_index < b.order_index;
+  });
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    if (ops[i].order_index == ops[i - 1].order_index) {
+      res.ok = false;
+      res.violation = op_name(ops[i]) + " and " + op_name(ops[i - 1]) +
+                      " share order index " + std::to_string(ops[i].order_index);
+      return res;
+    }
+  }
+
+  // suffix_min_resp[i] = smallest response time among ops[i..]. If an op
+  // ordered *after* b responded before b was invoked, real time is violated.
+  const std::size_t n = ops.size();
+  std::vector<Tick> suffix_min_resp(n + 1, std::numeric_limits<Tick>::max());
+  std::vector<std::size_t> suffix_argmin(n + 1, n);
+  for (std::size_t i = n; i-- > 0;) {
+    if (ops[i].response_us < suffix_min_resp[i + 1]) {
+      suffix_min_resp[i] = ops[i].response_us;
+      suffix_argmin[i] = i;
+    } else {
+      suffix_min_resp[i] = suffix_min_resp[i + 1];
+      suffix_argmin[i] = suffix_argmin[i + 1];
+    }
+  }
+  for (std::size_t b = 0; b < n; ++b) {
+    if (suffix_min_resp[b + 1] < ops[b].invoke_us) {
+      const OpRecord& a = ops[suffix_argmin[b + 1]];
+      res.ok = false;
+      res.violation = op_name(a) + " completed at " +
+                      std::to_string(a.response_us) + "us, before " +
+                      op_name(ops[b]) + " was invoked at " +
+                      std::to_string(ops[b].invoke_us) +
+                      "us, yet is ordered after it";
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace crsm

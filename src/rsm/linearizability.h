@@ -1,0 +1,43 @@
+// Linearizability checking for replicated command histories (Section II-B,
+// Claim 5).
+//
+// The protocols in this repository establish a single total execution order
+// (verified separately by the agreement tests). Given that order, an
+// execution is linearizable iff the order respects real time: whenever
+// operation `a` completed (its client got the reply) before operation `b`
+// was invoked, `a` must precede `b` in the total order. This checker
+// verifies exactly that condition over recorded operation histories, in
+// O(n log n).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crsm {
+
+// One client operation as observed at its origin replica.
+struct OpRecord {
+  ClientId client = 0;
+  std::uint64_t seq = 0;
+  Tick invoke_us = 0;    // when the client issued the command
+  Tick response_us = 0;  // when the client received the reply
+  std::uint64_t order_index = 0;  // position in the (agreed) total order
+};
+
+struct LinearizabilityResult {
+  bool ok = true;
+  std::string violation;  // human-readable description of the first failure
+
+  explicit operator bool() const { return ok; }
+};
+
+// Checks that the total order respects real time:
+//   response(a) < invoke(b)  =>  order_index(a) < order_index(b).
+// Also validates basic sanity: response >= invoke for every op and
+// order indexes are unique.
+[[nodiscard]] LinearizabilityResult check_real_time_order(std::vector<OpRecord> ops);
+
+}  // namespace crsm

@@ -1,0 +1,68 @@
+// Interfaces between replication protocols and their execution environment.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/command.h"
+#include "common/message.h"
+#include "common/types.h"
+#include "storage/command_log.h"
+
+namespace crsm {
+
+// Everything a protocol reactor may do to the outside world. Implemented by
+// the discrete-event simulator (SimEnv) and by the real-thread runtime
+// (RtEnv); protocol code is engine-agnostic and strictly single-threaded.
+//
+// Guarantees provided by every implementation:
+//  * send(): reliable, per-(sender,receiver) FIFO delivery (Section II-A
+//    assumes FIFO channels); sending to self enqueues a local delivery and
+//    never re-enters the protocol synchronously.
+//  * clock_now(): strictly increasing local physical time in microseconds,
+//    loosely synchronized across replicas.
+//  * schedule_after(): fires `fn` once after the delay, in the replica's
+//    execution context (never concurrently with message handling).
+class ProtocolEnv {
+ public:
+  virtual ~ProtocolEnv() = default;
+
+  [[nodiscard]] virtual ReplicaId self() const = 0;
+
+  virtual void send(ReplicaId to, const Message& m) = 0;
+  [[nodiscard]] virtual Tick clock_now() = 0;
+  virtual void schedule_after(Tick delay_us, std::function<void()> fn) = 0;
+  [[nodiscard]] virtual CommandLog& log() = 0;
+
+  // Reports a command as committed and executed at this replica, in the
+  // protocol's total order. `local_origin` is true iff this replica
+  // originated the command (and therefore owes its client a reply).
+  virtual void deliver(const Command& cmd, Timestamp ts, bool local_origin) = 0;
+
+  // Highest commit timestamp covered by an installed checkpoint, if any
+  // (Section V-B). Recovery replays the log only above this floor; the
+  // environment is responsible for restoring the state machine from the
+  // checkpoint before start().
+  [[nodiscard]] virtual Timestamp recovery_floor() const { return kZeroTimestamp; }
+};
+
+// A replication protocol instance at one replica: an event-driven reactor.
+// All entry points run in the replica's single execution context.
+class ReplicaProtocol {
+ public:
+  virtual ~ReplicaProtocol() = default;
+
+  // Called once before any message; protocols start periodic timers here.
+  virtual void start() {}
+
+  // A local client's <REQUEST cmd>.
+  virtual void submit(Command cmd) = 0;
+
+  // A message from a peer replica.
+  virtual void on_message(const Message& m) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace crsm

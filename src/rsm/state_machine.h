@@ -1,0 +1,30 @@
+// Deterministic state machine interface (Section II-B).
+#pragma once
+
+#include <string>
+
+#include "common/command.h"
+
+namespace crsm {
+
+// The application replicated by the protocols. `apply` must be
+// deterministic: identical command sequences produce identical states and
+// outputs at every replica.
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  // Executes one command atomically and returns its output.
+  virtual std::string apply(const Command& cmd) = 0;
+
+  // A digest of the current state, used by tests to check replica agreement.
+  [[nodiscard]] virtual std::uint64_t state_digest() const = 0;
+
+  // Serializes the full state for checkpointing (Section V-B). Must be
+  // deterministic: equal states produce equal snapshots.
+  [[nodiscard]] virtual std::string snapshot() const = 0;
+  // Replaces the current state with a previously taken snapshot.
+  virtual void restore(const std::string& snapshot) = 0;
+};
+
+}  // namespace crsm

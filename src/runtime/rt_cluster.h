@@ -1,0 +1,108 @@
+// Multithreaded in-process cluster: the substrate for the paper's
+// local-cluster throughput experiment (Section VI-D).
+//
+// Each replica is one thread running the same single-threaded protocol
+// reactors used in the simulator. Messages are genuinely serialized to
+// bytes on the sender thread and decoded on the receiver thread over
+// per-(sender,receiver) FIFO queues, so per-command CPU cost scales with
+// command size and message count exactly as a socket-based deployment's
+// would (minus the kernel). Replicas log to memory, matching the paper's
+// throughput setup ("replicas log commands to main memory").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/command.h"
+#include "common/message.h"
+#include "common/types.h"
+#include "rsm/protocol.h"
+#include "rsm/state_machine.h"
+
+namespace crsm {
+
+class RtCluster {
+ public:
+  using ProtocolFactory =
+      std::function<std::unique_ptr<ReplicaProtocol>(ProtocolEnv&, ReplicaId)>;
+  using StateMachineFactory = std::function<std::unique_ptr<StateMachine>()>;
+  // Runs on the origin replica's thread whenever one of its own commands
+  // executes; used by clients to unblock.
+  using ReplyHook = std::function<void(ReplicaId, const Command&)>;
+
+  struct Options {
+    // Emulated network-stack cost, in extra per-byte passes executed on the
+    // sender thread for every message. An in-process queue moves a byte for
+    // ~1 cheap memcpy, while a real send costs several kernel copies plus
+    // checksumming (the paper's local-cluster bottleneck: "message sending
+    // and receiving is the major consumer of CPU cycles"). 0 disables.
+    unsigned wire_passes_per_byte = 8;
+    // Opportunistic sender-side batching (paper Section VI-A: "batches the
+    // same type of messages being processed whenever possible ... without
+    // waiting intentionally"): messages produced during one processing pass
+    // are buffered per destination and handed over with a single queue
+    // operation at the end of the pass. Amortizes the per-send fixed cost —
+    // most beneficial to the Paxos leader, which sends the most messages.
+    bool sender_batching = false;
+  };
+
+  RtCluster(std::size_t n, ProtocolFactory protocol_factory,
+            StateMachineFactory sm_factory, Options opt);
+  RtCluster(std::size_t n, ProtocolFactory protocol_factory,
+            StateMachineFactory sm_factory)
+      : RtCluster(n, std::move(protocol_factory), std::move(sm_factory),
+                  Options{}) {}
+  ~RtCluster();
+
+  RtCluster(const RtCluster&) = delete;
+  RtCluster& operator=(const RtCluster&) = delete;
+
+  void set_reply_hook(ReplyHook hook) { reply_hook_ = std::move(hook); }
+
+  // Starts the replica threads (calls start() on each protocol instance).
+  void start();
+  // Stops and joins all replica threads.
+  void stop();
+
+  [[nodiscard]] std::size_t num_replicas() const { return replicas_.size(); }
+
+  // Thread-safe: enqueues a client command at replica r.
+  void submit(ReplicaId r, Command cmd);
+
+  // Total commands executed at replica r (any origin).
+  [[nodiscard]] std::uint64_t executed(ReplicaId r) const;
+  // Cumulative time replica r's thread spent doing protocol work
+  // (microseconds). On a host with fewer cores than replicas, this is the
+  // basis for estimating the throughput an N-machine cluster would reach:
+  // the busiest replica is the bottleneck.
+  [[nodiscard]] std::uint64_t busy_us(ReplicaId r) const;
+  // Total wire bytes moved (all links).
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_.load(); }
+
+ private:
+  struct Replica;
+
+  void route(ReplicaId from, ReplicaId to, const Message& m);
+  // Serializes `m` (paying the emulated wire cost) into a batch buffer.
+  void encode_for_link(ReplicaId from, ReplicaId to, const Message& m,
+                       std::string* buf);
+  // Hands a buffer of framed messages to the destination's inbound link.
+  void deliver_bytes(ReplicaId from, ReplicaId to, std::string bytes);
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  ReplyHook reply_hook_;
+  Options opt_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> messages_sent_{0};
+};
+
+}  // namespace crsm

@@ -1,0 +1,129 @@
+#include "runtime/throughput.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/kv_store.h"
+#include "workload/workload.h"
+
+namespace crsm {
+
+namespace {
+
+// One outstanding request per client; the reply hook flips the flag.
+struct Completion {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t done_upto = 0;  // highest seq acknowledged
+
+  void complete(std::uint64_t seq) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      done_upto = std::max(done_upto, seq);
+    }
+    cv.notify_one();
+  }
+
+  // Returns false on timeout (cluster stopping).
+  bool wait_for_seq(std::uint64_t seq, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lk(mu);
+    return cv.wait_for(lk, timeout, [&] { return done_upto >= seq; });
+  }
+};
+
+}  // namespace
+
+ThroughputResult run_throughput(const ThroughputOptions& opt,
+                                const RtCluster::ProtocolFactory& factory) {
+  RtCluster::Options copt;
+  copt.sender_batching = opt.sender_batching;
+  RtCluster cluster(opt.num_replicas, factory,
+                    [] { return std::make_unique<KvStore>(); }, copt);
+
+  // Completion registry, sized up front: client ids are dense per replica.
+  std::unordered_map<ClientId, std::unique_ptr<Completion>> completions;
+  for (ReplicaId r = 0; r < opt.num_replicas; ++r) {
+    if (opt.only_replica >= 0 && static_cast<int>(r) != opt.only_replica) continue;
+    for (std::size_t c = 0; c < opt.clients_per_replica; ++c) {
+      completions.emplace(make_client_id(r, c), std::make_unique<Completion>());
+    }
+  }
+
+  cluster.set_reply_hook([&completions](ReplicaId, const Command& cmd) {
+    auto it = completions.find(cmd.client);
+    if (it != completions.end()) it->second->complete(cmd.seq);
+  });
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+  std::atomic<std::uint64_t> measured_ops{0};
+
+  cluster.start();
+
+  const std::string payload =
+      KvRequest::sized_put("key", opt.payload_bytes).encode();
+
+  std::vector<std::thread> clients;
+  for (auto& [id, completion] : completions) {
+    clients.emplace_back([&, id = id, comp = completion.get()] {
+      const ReplicaId home = client_home(id);
+      std::uint64_t seq = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        Command cmd;
+        cmd.client = id;
+        cmd.seq = ++seq;
+        cmd.payload = payload;
+        cluster.submit(home, std::move(cmd));
+        if (!comp->wait_for_seq(seq, std::chrono::milliseconds(2000))) {
+          break;  // stuck or shutting down
+        }
+        if (measuring.load(std::memory_order_relaxed)) {
+          measured_ops.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(opt.warmup_s));
+  const std::uint64_t bytes_before = cluster.bytes_sent();
+  std::vector<std::uint64_t> busy_before(opt.num_replicas);
+  for (ReplicaId r = 0; r < opt.num_replicas; ++r) busy_before[r] = cluster.busy_us(r);
+  measuring.store(true);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(opt.duration_s));
+  measuring.store(false);
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t bytes_after = cluster.bytes_sent();
+  std::uint64_t max_busy = 0, total_busy = 0;
+  for (ReplicaId r = 0; r < opt.num_replicas; ++r) {
+    const std::uint64_t b = cluster.busy_us(r) - busy_before[r];
+    max_busy = std::max(max_busy, b);
+    total_busy += b;
+  }
+
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  cluster.stop();
+
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  ThroughputResult res;
+  res.total_ops = measured_ops.load();
+  res.kops_per_sec = res.total_ops / secs / 1000.0;
+  res.mb_per_sec_wire =
+      static_cast<double>(bytes_after - bytes_before) / secs / 1e6;
+  if (max_busy > 0) {
+    res.kops_per_sec_bottleneck =
+        static_cast<double>(res.total_ops) / (static_cast<double>(max_busy) / 1e6) /
+        1000.0;
+    res.max_cpu_share = static_cast<double>(max_busy) / static_cast<double>(total_busy);
+  }
+  return res;
+}
+
+}  // namespace crsm

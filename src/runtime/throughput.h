@@ -1,0 +1,44 @@
+// Closed-loop saturating throughput measurement on the RtCluster
+// (paper Figure 8 methodology).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "runtime/rt_cluster.h"
+
+namespace crsm {
+
+struct ThroughputOptions {
+  std::size_t num_replicas = 5;
+  std::size_t clients_per_replica = 32;  // enough to saturate
+  std::size_t payload_bytes = 100;
+  double warmup_s = 0.5;
+  double duration_s = 2.0;
+  // Imbalanced option (clients at one replica only); -1 = all replicas.
+  int only_replica = -1;
+  // Forwarded to RtCluster::Options::sender_batching.
+  bool sender_batching = false;
+};
+
+struct ThroughputResult {
+  double kops_per_sec = 0.0;       // committed commands per second (origin view)
+  double mb_per_sec_wire = 0.0;    // wire bytes moved per second
+  std::uint64_t total_ops = 0;
+  // Throughput implied by the busiest replica's CPU time: what an N-machine
+  // cluster would sustain (ops / max-replica busy seconds). On hosts with
+  // >= N cores this converges to kops_per_sec; on smaller hosts it is the
+  // meaningful number for comparing protocols whose load distribution
+  // differs (the Paxos leader vs the symmetric multi-leader protocols).
+  double kops_per_sec_bottleneck = 0.0;
+  // Busiest replica's share of total protocol CPU (1/N = perfectly even).
+  double max_cpu_share = 0.0;
+};
+
+// Spawns closed-loop client threads against an RtCluster running the given
+// protocol and measures committed ops/s over the measurement window.
+[[nodiscard]] ThroughputResult run_throughput(
+    const ThroughputOptions& opt, const RtCluster::ProtocolFactory& factory);
+
+}  // namespace crsm

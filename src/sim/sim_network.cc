@@ -1,0 +1,77 @@
+#include "sim/sim_network.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace crsm {
+
+SimNetwork::SimNetwork(Simulator& sim, LatencyMatrix matrix, Rng rng, Options opt)
+    : sim_(sim),
+      matrix_(std::move(matrix)),
+      rng_(rng),
+      opt_(opt),
+      handlers_(matrix_.size()),
+      crashed_(matrix_.size(), false),
+      links_(matrix_.size() * matrix_.size()) {}
+
+void SimNetwork::register_replica(ReplicaId id, Handler handler) {
+  if (id >= handlers_.size()) throw std::out_of_range("register_replica");
+  handlers_[id] = std::move(handler);
+}
+
+std::size_t SimNetwork::link_index(ReplicaId from, ReplicaId to) const {
+  return static_cast<std::size_t>(from) * matrix_.size() + to;
+}
+
+void SimNetwork::send(ReplicaId from, ReplicaId to, Message m) {
+  if (from >= handlers_.size() || to >= handlers_.size()) {
+    throw std::out_of_range("SimNetwork::send");
+  }
+  ++messages_sent_;
+  if (opt_.count_bytes) bytes_sent_ += m.encode().size();
+
+  LinkState& link = links_[link_index(from, to)];
+  if (crashed_[from] || crashed_[to] || link.blocked) {
+    ++messages_dropped_;
+    return;
+  }
+
+  Tick arrival = sim_.now() + matrix_.oneway_us(from, to);
+  if (opt_.jitter_ms > 0.0 && from != to) {
+    arrival += ms_to_us(rng_.uniform(0.0, opt_.jitter_ms));
+  }
+  // FIFO per link: never deliver before an earlier message on the same link.
+  if (arrival <= link.last_arrival) arrival = link.last_arrival + 1;
+  link.last_arrival = arrival;
+
+  sim_.at(arrival, [this, to, m = std::move(m)]() {
+    if (crashed_[to] || !handlers_[to]) {
+      ++messages_dropped_;
+      return;
+    }
+    ++messages_delivered_;
+    handlers_[to](m);
+  });
+}
+
+void SimNetwork::crash(ReplicaId id) {
+  if (id >= crashed_.size()) throw std::out_of_range("crash");
+  crashed_[id] = true;
+}
+
+void SimNetwork::recover(ReplicaId id) {
+  if (id >= crashed_.size()) throw std::out_of_range("recover");
+  crashed_[id] = false;
+}
+
+bool SimNetwork::crashed(ReplicaId id) const {
+  if (id >= crashed_.size()) throw std::out_of_range("crashed");
+  return crashed_[id];
+}
+
+void SimNetwork::set_partitioned(ReplicaId a, ReplicaId b, bool blocked) {
+  links_[link_index(a, b)].blocked = blocked;
+  links_[link_index(b, a)].blocked = blocked;
+}
+
+}  // namespace crsm

@@ -1,0 +1,167 @@
+#include "sim/sim_world.h"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "storage/checkpoint.h"
+
+namespace crsm {
+
+// Per-replica execution context: env implementation plus owned state. A
+// `generation` counter invalidates pending timers across crash/restart.
+struct SimWorld::ReplicaCtx final : public ProtocolEnv {
+  SimWorld* world = nullptr;
+  ReplicaId id = kNoReplica;
+  std::unique_ptr<SimClock> clk;
+  std::unique_ptr<CommandLog> log_store;
+  std::unique_ptr<StateMachine> sm;
+  std::unique_ptr<ReplicaProtocol> proto;
+  std::vector<ExecRecord> executed;
+  bool alive = true;
+  std::uint64_t generation = 0;
+  std::optional<Checkpoint> checkpoint;  // durable across crash/restart
+  Timestamp floor = kZeroTimestamp;      // installed checkpoint's coverage
+  std::string log_path;                  // non-empty when file-backed
+
+  // --- ProtocolEnv ---
+  [[nodiscard]] ReplicaId self() const override { return id; }
+
+  void send(ReplicaId to, const Message& m) override {
+    Message copy = m;
+    copy.from = id;
+    world->network_->send(id, to, std::move(copy));
+  }
+
+  [[nodiscard]] Tick clock_now() override { return clk->now_us(); }
+
+  void schedule_after(Tick delay_us, std::function<void()> fn) override {
+    const std::uint64_t gen = generation;
+    world->sim_.after(clk->local_delay_to_sim(delay_us),
+                      [this, gen, fn = std::move(fn)]() {
+                        if (alive && generation == gen) fn();
+                      });
+  }
+
+  [[nodiscard]] CommandLog& log() override { return *log_store; }
+
+  [[nodiscard]] Timestamp recovery_floor() const override { return floor; }
+
+  void deliver(const Command& cmd, Timestamp ts, bool local_origin) override {
+    const std::string out = sm->apply(cmd);
+    executed.push_back(ExecRecord{ts, cmd, world->sim_.now()});
+    if (world->commit_hook_) world->commit_hook_(id, cmd, ts, local_origin);
+  }
+};
+
+SimWorld::SimWorld(SimWorldOptions opt, ProtocolFactory protocol_factory,
+                   StateMachineFactory sm_factory)
+    : opt_(std::move(opt)),
+      protocol_factory_(std::move(protocol_factory)),
+      sm_factory_(std::move(sm_factory)),
+      rng_(opt_.seed) {
+  const std::size_t n = opt_.matrix.size();
+  if (n == 0) throw std::invalid_argument("SimWorld needs at least one replica");
+
+  network_ = std::make_unique<SimNetwork>(
+      sim_, opt_.matrix, rng_.fork(),
+      SimNetwork::Options{.jitter_ms = opt_.jitter_ms, .count_bytes = opt_.count_bytes});
+
+  Rng clock_rng = rng_.fork();
+  for (std::size_t i = 0; i < n; ++i) {
+    auto ctx = std::make_unique<ReplicaCtx>();
+    ctx->world = this;
+    ctx->id = static_cast<ReplicaId>(i);
+    const double skew_us =
+        opt_.clock_skew_ms > 0.0
+            ? clock_rng.uniform(-opt_.clock_skew_ms, opt_.clock_skew_ms) * 1000.0
+            : 0.0;
+    const double rate =
+        opt_.clock_drift > 0.0
+            ? 1.0 + clock_rng.uniform(-opt_.clock_drift, opt_.clock_drift)
+            : 1.0;
+    ctx->clk = std::make_unique<SimClock>([this] { return sim_.now(); }, skew_us, rate);
+    if (opt_.log_dir.empty()) {
+      ctx->log_store = std::make_unique<MemLog>();
+    } else {
+      ctx->log_path = opt_.log_dir + "/replica-" + std::to_string(i) + ".log";
+      ctx->log_store = std::make_unique<FileLog>(ctx->log_path);
+    }
+    ctx->sm = sm_factory_();
+    ctx->proto = protocol_factory_(*ctx, ctx->id);
+    replicas_.push_back(std::move(ctx));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ReplicaCtx* ctx = replicas_[i].get();
+    network_->register_replica(static_cast<ReplicaId>(i), [ctx](const Message& m) {
+      if (ctx->alive) ctx->proto->on_message(m);
+    });
+  }
+}
+
+SimWorld::~SimWorld() = default;
+
+void SimWorld::start() {
+  for (auto& r : replicas_) r->proto->start();
+}
+
+ReplicaProtocol& SimWorld::protocol(ReplicaId i) { return *replicas_.at(i)->proto; }
+StateMachine& SimWorld::state_machine(ReplicaId i) { return *replicas_.at(i)->sm; }
+CommandLog& SimWorld::log(ReplicaId i) { return *replicas_.at(i)->log_store; }
+SimClock& SimWorld::clock(ReplicaId i) { return *replicas_.at(i)->clk; }
+
+void SimWorld::submit(ReplicaId i, Command cmd) {
+  ReplicaCtx* ctx = replicas_.at(i).get();
+  sim_.after(0, [ctx, cmd = std::move(cmd)]() {
+    if (ctx->alive) ctx->proto->submit(cmd);
+  });
+}
+
+const std::vector<ExecRecord>& SimWorld::execution(ReplicaId i) const {
+  return replicas_.at(i)->executed;
+}
+
+void SimWorld::crash(ReplicaId i) {
+  ReplicaCtx* ctx = replicas_.at(i).get();
+  ctx->alive = false;
+  ++ctx->generation;
+  network_->crash(i);
+}
+
+bool SimWorld::crashed(ReplicaId i) const { return !replicas_.at(i)->alive; }
+
+void SimWorld::restart(ReplicaId i) {
+  ReplicaCtx* ctx = replicas_.at(i).get();
+  if (ctx->alive) throw std::logic_error("restart of a live replica");
+  ++ctx->generation;
+  ctx->alive = true;
+  ctx->executed.clear();
+  ctx->sm = sm_factory_();  // volatile state is lost; rebuilt below
+  if (!ctx->log_path.empty()) {
+    // Genuine restart: close and reopen the on-disk log, replaying it.
+    ctx->log_store.reset();
+    ctx->log_store = std::make_unique<FileLog>(ctx->log_path);
+  }
+  if (ctx->checkpoint) {
+    ctx->sm->restore(ctx->checkpoint->state);
+    ctx->floor = ctx->checkpoint->last_applied;
+  } else {
+    ctx->floor = kZeroTimestamp;
+  }
+  ctx->proto = protocol_factory_(*ctx, ctx->id);
+  network_->recover(i);
+  ctx->proto->start();
+}
+
+void SimWorld::take_checkpoint(ReplicaId i, Timestamp last_applied, Epoch epoch) {
+  ReplicaCtx* ctx = replicas_.at(i).get();
+  ctx->checkpoint = crsm::take_checkpoint(*ctx->sm, last_applied, epoch);
+  truncate_covered_prefix(*ctx->log_store, *ctx->checkpoint);
+}
+
+bool SimWorld::has_checkpoint(ReplicaId i) const {
+  return replicas_.at(i)->checkpoint.has_value();
+}
+
+}  // namespace crsm

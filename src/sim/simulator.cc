@@ -1,0 +1,35 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace crsm {
+
+void Simulator::at(Tick t, Fn fn) {
+  if (t < now_) t = now_;  // clamp; scheduling in the past means "immediately"
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the event is copied out so the
+  // handler may schedule further events safely.
+  Event e = queue_.top();
+  queue_.pop();
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(Tick t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace crsm

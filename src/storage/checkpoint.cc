@@ -1,0 +1,85 @@
+#include "storage/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+#include "common/codec.h"
+#include "storage/recovery.h"
+
+namespace crsm {
+
+std::string Checkpoint::encode() const {
+  std::string out;
+  Encoder e(&out);
+  e.timestamp(last_applied);
+  e.var(epoch);
+  e.bytes(state);
+  return out;
+}
+
+Checkpoint Checkpoint::decode(const std::string& blob) {
+  Decoder d(blob);
+  Checkpoint cp;
+  cp.last_applied = d.timestamp();
+  cp.epoch = d.var();
+  cp.state = d.bytes();
+  if (!d.done()) throw CodecError("trailing bytes in Checkpoint");
+  return cp;
+}
+
+Checkpoint take_checkpoint(const StateMachine& sm, Timestamp last_applied,
+                           Epoch epoch) {
+  Checkpoint cp;
+  cp.last_applied = last_applied;
+  cp.epoch = epoch;
+  cp.state = sm.snapshot();
+  return cp;
+}
+
+void truncate_covered_prefix(CommandLog& log, const Checkpoint& cp) {
+  log.truncate_prefix(cp.last_applied);
+}
+
+Timestamp recover_with_checkpoint(const std::optional<Checkpoint>& cp,
+                                  const CommandLog& log, StateMachine& sm) {
+  Timestamp floor = kZeroTimestamp;
+  if (cp) {
+    sm.restore(cp->state);
+    floor = cp->last_applied;
+  }
+  ReplayResult rr = replay_log(log.records());
+  for (const LogRecord& rec : rr.committed) {
+    if (rec.ts > floor) sm.apply(rec.cmd);
+  }
+  return std::max(floor, rr.last_commit_ts);
+}
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& cp) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::system_error(errno, std::generic_category(),
+                                      "checkpoint open " + tmp);
+    const std::string blob = cp.encode();
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) throw std::system_error(errno, std::generic_category(),
+                                      "checkpoint write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "checkpoint rename " + path);
+  }
+}
+
+std::optional<Checkpoint> read_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string blob((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return Checkpoint::decode(blob);
+}
+
+}  // namespace crsm

@@ -1,0 +1,163 @@
+#include "storage/command_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <unordered_set>
+
+#include "common/codec.h"
+#include "common/message.h"
+
+namespace crsm {
+
+namespace {
+
+struct TimestampHash {
+  std::size_t operator()(const Timestamp& ts) const {
+    return std::hash<Tick>()(ts.ticks) * 1000003u ^ std::hash<ReplicaId>()(ts.origin);
+  }
+};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+std::string encode_framed(const LogRecord& r) {
+  std::string body;
+  encode_log_record(r, &body);
+  std::string framed;
+  Encoder e(&framed);
+  e.bytes(body);
+  return framed;
+}
+
+}  // namespace
+
+void filter_uncommitted_above(std::vector<LogRecord>* records, Timestamp bound,
+                              const std::function<bool(const Timestamp&)>& keep) {
+  std::unordered_set<Timestamp, TimestampHash> committed;
+  for (const LogRecord& r : *records) {
+    if (r.type == LogType::kCommit) committed.insert(r.ts);
+  }
+  std::vector<LogRecord> out;
+  out.reserve(records->size());
+  std::unordered_set<Timestamp, TimestampHash> removed;
+  for (LogRecord& r : *records) {
+    const bool above = r.ts > bound;
+    if (r.type == LogType::kPrepare && above && !committed.contains(r.ts) &&
+        !(keep && keep(r.ts))) {
+      removed.insert(r.ts);
+      continue;
+    }
+    if (r.type == LogType::kCommit && removed.contains(r.ts)) continue;
+    out.push_back(std::move(r));
+  }
+  *records = std::move(out);
+}
+
+void MemLog::remove_uncommitted_above(Timestamp bound,
+                                      const std::function<bool(const Timestamp&)>& keep) {
+  filter_uncommitted_above(&records_, bound, keep);
+}
+
+namespace {
+void erase_prefix(std::vector<LogRecord>* records, Timestamp upto) {
+  std::erase_if(*records, [upto](const LogRecord& r) { return r.ts <= upto; });
+}
+}  // namespace
+
+void MemLog::truncate_prefix(Timestamp upto) { erase_prefix(&records_, upto); }
+
+FileLog::FileLog(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) throw_errno("FileLog open " + path_);
+
+  // Replay the existing file; stop at (and trim) any torn tail.
+  std::string contents;
+  char buf[1 << 16];
+  ::lseek(fd_, 0, SEEK_SET);
+  for (;;) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) throw_errno("FileLog read " + path_);
+    if (n == 0) break;
+    contents.append(buf, static_cast<std::size_t>(n));
+  }
+  std::size_t pos = 0;
+  std::size_t good = 0;
+  while (pos < contents.size()) {
+    try {
+      Decoder frame(std::string_view(contents).substr(pos));
+      std::string body = frame.bytes();
+      Decoder d(body);
+      records_.push_back(decode_log_record(d));
+      pos = contents.size() - frame.remaining();
+      good = pos;
+    } catch (const CodecError&) {
+      break;  // torn tail
+    }
+  }
+  if (good != contents.size()) {
+    if (::ftruncate(fd_, static_cast<off_t>(good)) != 0) {
+      throw_errno("FileLog truncate torn tail " + path_);
+    }
+  }
+}
+
+FileLog::~FileLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void FileLog::append(const LogRecord& r) {
+  records_.push_back(r);
+  const std::string framed = encode_framed(r);
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("FileLog append " + path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void FileLog::sync() {
+  if (::fdatasync(fd_) != 0) throw_errno("FileLog sync " + path_);
+}
+
+void FileLog::remove_uncommitted_above(Timestamp bound,
+                                       const std::function<bool(const Timestamp&)>& keep) {
+  filter_uncommitted_above(&records_, bound, keep);
+  rewrite_all();
+}
+
+void FileLog::truncate_prefix(Timestamp upto) {
+  erase_prefix(&records_, upto);
+  rewrite_all();
+}
+
+void FileLog::rewrite_all() {
+  // Reconfiguration is rare (Section V-C); a full rewrite keeps the format
+  // simple and crash-safe enough for this use (write temp, no rename needed
+  // since reconfiguration re-derives state from a majority anyway).
+  if (::ftruncate(fd_, 0) != 0) throw_errno("FileLog rewrite " + path_);
+  ::lseek(fd_, 0, SEEK_END);
+  std::string all;
+  for (const LogRecord& r : records_) all += encode_framed(r);
+  std::size_t off = 0;
+  while (off < all.size()) {
+    ssize_t n = ::write(fd_, all.data() + off, all.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("FileLog rewrite " + path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  sync();
+}
+
+}  // namespace crsm

@@ -1,0 +1,93 @@
+// Stable-storage command log (Section III-A, hard state `Log`).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/log_record.h"
+#include "common/types.h"
+
+namespace crsm {
+
+// Append-only log of PREPARE entries and COMMIT marks. PREPARE entries are
+// appended in arrival order (not necessarily timestamp order); COMMIT marks
+// are appended in timestamp order, and always after the matching PREPARE —
+// recovery (Section V-B) depends on both invariants.
+//
+// `truncate_suffix` exists for reconfiguration (Algorithm 3, line 15): it
+// removes PREPARE entries above the decided timestamp that were never
+// committed.
+class CommandLog {
+ public:
+  virtual ~CommandLog() = default;
+
+  virtual void append(const LogRecord& r) = 0;
+  // Flushes to stable storage; a durability point for PREPAREOK.
+  virtual void sync() {}
+
+  [[nodiscard]] virtual const std::vector<LogRecord>& records() const = 0;
+  [[nodiscard]] std::size_t size() const { return records().size(); }
+
+  // Removes every kPrepare record with ts > bound whose timestamp does not
+  // appear in `keep`, and every kCommit mark for a removed prepare.
+  // (Committed entries are never above `bound` when this is called.)
+  virtual void remove_uncommitted_above(Timestamp bound,
+                                        const std::function<bool(const Timestamp&)>& keep) = 0;
+
+  // Removes every record with ts <= upto. Used after checkpointing: the
+  // snapshot covers that prefix, and every PREPARE at or below the last
+  // commit mark is necessarily committed (execution is in timestamp order).
+  virtual void truncate_prefix(Timestamp upto) = 0;
+};
+
+// In-memory log; used by the simulator (the paper ignores disk latency in
+// WAN analysis) and by the throughput runtime (the paper logs to memory in
+// the local-cluster experiment for the same reason).
+class MemLog final : public CommandLog {
+ public:
+  void append(const LogRecord& r) override { records_.push_back(r); }
+  [[nodiscard]] const std::vector<LogRecord>& records() const override { return records_; }
+  void remove_uncommitted_above(Timestamp bound,
+                                const std::function<bool(const Timestamp&)>& keep) override;
+  void truncate_prefix(Timestamp upto) override;
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+// File-backed log with a write-through in-memory mirror. Records are framed
+// with a length prefix; a truncated tail (torn write at crash) is tolerated
+// and discarded at open.
+class FileLog final : public CommandLog {
+ public:
+  // Opens (creating if absent) and replays the file into memory.
+  explicit FileLog(std::string path);
+  ~FileLog() override;
+
+  FileLog(const FileLog&) = delete;
+  FileLog& operator=(const FileLog&) = delete;
+
+  void append(const LogRecord& r) override;
+  void sync() override;
+  [[nodiscard]] const std::vector<LogRecord>& records() const override { return records_; }
+  void remove_uncommitted_above(Timestamp bound,
+                                const std::function<bool(const Timestamp&)>& keep) override;
+  void truncate_prefix(Timestamp upto) override;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void rewrite_all();
+
+  std::string path_;
+  int fd_ = -1;
+  std::vector<LogRecord> records_;
+};
+
+// Shared implementation of remove_uncommitted_above over a record vector.
+void filter_uncommitted_above(std::vector<LogRecord>* records, Timestamp bound,
+                              const std::function<bool(const Timestamp&)>& keep);
+
+}  // namespace crsm

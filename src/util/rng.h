@@ -1,0 +1,44 @@
+// Deterministic pseudo-random numbers for simulations and workloads.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace crsm {
+
+// Thin wrapper over a seeded mt19937_64 so every experiment is reproducible
+// from its seed. All simulation randomness (think times, key choice, clock
+// skew, network jitter) flows through one of these.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+  }
+
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  // Derives an independent child generator; useful to give each replica or
+  // client its own stream while staying reproducible from the root seed.
+  [[nodiscard]] Rng fork() { return Rng(gen_()); }
+
+  [[nodiscard]] std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace crsm

@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace crsm {
+
+void LatencyStats::add(double sample_ms) {
+  samples_.push_back(sample_ms);
+  sorted_valid_ = false;
+}
+
+void LatencyStats::merge(const LatencyStats& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_valid_ = false;
+}
+
+void LatencyStats::clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void LatencyStats::sort_if_needed() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double LatencyStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double LatencyStats::min() const {
+  sort_if_needed();
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double LatencyStats::max() const {
+  sort_if_needed();
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+double LatencyStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double LatencyStats::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  sort_if_needed();
+  if (p == 0.0) return sorted_.front();
+  const auto n = static_cast<double>(sorted_.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank == 0) rank = 1;
+  return sorted_[rank - 1];
+}
+
+std::vector<std::pair<double, double>> LatencyStats::cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  sort_if_needed();
+  out.reserve(points);
+  const std::size_t n = sorted_.size();
+  for (std::size_t i = 1; i <= points; ++i) {
+    const std::size_t rank = std::max<std::size_t>(1, i * n / points);
+    out.emplace_back(sorted_[rank - 1],
+                     static_cast<double>(rank) / static_cast<double>(n));
+  }
+  return out;
+}
+
+std::vector<std::size_t> LatencyStats::histogram(double lo, double hi,
+                                                 std::size_t buckets) const {
+  if (buckets == 0 || hi <= lo) throw std::invalid_argument("bad histogram spec");
+  std::vector<std::size_t> bins(buckets, 0);
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (double s : samples_) {
+    auto idx = static_cast<long>((s - lo) / width);
+    idx = std::clamp<long>(idx, 0, static_cast<long>(buckets) - 1);
+    bins[static_cast<std::size_t>(idx)]++;
+  }
+  return bins;
+}
+
+double paper_median(std::vector<double> v) {
+  if (v.empty()) throw std::invalid_argument("median of empty set");
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double max_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return *std::max_element(v.begin(), v.end());
+}
+
+}  // namespace crsm

@@ -1,0 +1,56 @@
+// Latency statistics: mean, percentiles, CDFs, histograms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crsm {
+
+// Accumulates latency samples (milliseconds) and answers the summary
+// questions the paper's figures ask: average, 95th percentile, CDF series.
+class LatencyStats {
+ public:
+  void add(double sample_ms);
+  void merge(const LatencyStats& other);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+
+  // Nearest-rank percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  // (latency, cumulative fraction in [0,1]) pairs at `points` evenly spaced
+  // ranks, suitable for plotting the paper's CDF figures (Figs. 3, 4, 6).
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(std::size_t points = 100) const;
+
+  // Fixed-width histogram over [lo, hi) with `buckets` bins; out-of-range
+  // samples clamp into the first/last bin.
+  [[nodiscard]] std::vector<std::size_t> histogram(double lo, double hi,
+                                                   std::size_t buckets) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void sort_if_needed() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Median as used throughout the paper's latency analysis (Section IV): the
+// element at index floor(n/2) of the ascending sort. For a set that includes
+// the zero self-distance this is exactly the cost of reaching a majority.
+[[nodiscard]] double paper_median(std::vector<double> v);
+
+[[nodiscard]] double mean_of(const std::vector<double>& v);
+[[nodiscard]] double max_of(const std::vector<double>& v);
+
+}  // namespace crsm

@@ -1,0 +1,117 @@
+#include "util/topology.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace crsm {
+
+void LatencyMatrix::set_rtt_ms(std::size_t i, std::size_t j, double rtt_ms) {
+  set_oneway_ms(i, j, rtt_ms / 2.0);
+}
+
+void LatencyMatrix::set_oneway_ms(std::size_t i, std::size_t j, double ms) {
+  if (i >= n_ || j >= n_) throw std::out_of_range("LatencyMatrix::set");
+  oneway_ms_[i * n_ + j] = ms;
+  oneway_ms_[j * n_ + i] = ms;
+}
+
+double LatencyMatrix::oneway_ms(std::size_t i, std::size_t j) const {
+  if (i >= n_ || j >= n_) throw std::out_of_range("LatencyMatrix::get");
+  return oneway_ms_[i * n_ + j];
+}
+
+std::vector<double> LatencyMatrix::row(std::size_t i) const {
+  std::vector<double> r(n_);
+  for (std::size_t j = 0; j < n_; ++j) r[j] = oneway_ms(i, j);
+  return r;
+}
+
+LatencyMatrix LatencyMatrix::submatrix(const std::vector<std::size_t>& sites) const {
+  LatencyMatrix m(sites.size());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    for (std::size_t j = 0; j < sites.size(); ++j) {
+      m.set_oneway_ms(i, j, oneway_ms(sites[i], sites[j]));
+    }
+  }
+  return m;
+}
+
+LatencyMatrix LatencyMatrix::uniform(std::size_t n, double oneway) {
+  LatencyMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) m.set_oneway_ms(i, j, oneway);
+  }
+  return m;
+}
+
+const char* ec2_site_name(std::size_t site) {
+  static constexpr std::array<const char*, kNumEc2Sites> kNames = {
+      "CA", "VA", "IR", "JP", "SG", "AU", "BR"};
+  if (site >= kNames.size()) throw std::out_of_range("ec2_site_name");
+  return kNames[site];
+}
+
+const LatencyMatrix& ec2_matrix() {
+  static const LatencyMatrix kMatrix = [] {
+    // Round-trip milliseconds from paper Table III.
+    LatencyMatrix m(kNumEc2Sites);
+    const auto CA = static_cast<std::size_t>(Ec2Site::CA);
+    const auto VA = static_cast<std::size_t>(Ec2Site::VA);
+    const auto IR = static_cast<std::size_t>(Ec2Site::IR);
+    const auto JP = static_cast<std::size_t>(Ec2Site::JP);
+    const auto SG = static_cast<std::size_t>(Ec2Site::SG);
+    const auto AU = static_cast<std::size_t>(Ec2Site::AU);
+    const auto BR = static_cast<std::size_t>(Ec2Site::BR);
+    m.set_rtt_ms(CA, VA, 83);
+    m.set_rtt_ms(CA, IR, 170);
+    m.set_rtt_ms(CA, JP, 125);
+    m.set_rtt_ms(CA, SG, 171);
+    m.set_rtt_ms(CA, AU, 187);
+    m.set_rtt_ms(CA, BR, 212);
+    m.set_rtt_ms(VA, IR, 101);
+    m.set_rtt_ms(VA, JP, 215);
+    m.set_rtt_ms(VA, SG, 254);
+    m.set_rtt_ms(VA, AU, 220);
+    m.set_rtt_ms(VA, BR, 137);
+    m.set_rtt_ms(IR, JP, 280);
+    m.set_rtt_ms(IR, SG, 216);
+    m.set_rtt_ms(IR, AU, 305);
+    m.set_rtt_ms(IR, BR, 216);
+    m.set_rtt_ms(JP, SG, 77);
+    m.set_rtt_ms(JP, AU, 129);
+    m.set_rtt_ms(JP, BR, 368);
+    m.set_rtt_ms(SG, AU, 188);
+    m.set_rtt_ms(SG, BR, 369);
+    m.set_rtt_ms(AU, BR, 349);
+    return m;
+  }();
+  return kMatrix;
+}
+
+std::vector<std::vector<std::size_t>> combinations(std::size_t n, std::size_t k) {
+  std::vector<std::vector<std::size_t>> out;
+  if (k > n) return out;
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    out.push_back(idx);
+    // Advance the rightmost index that can still move.
+    std::size_t i = k;
+    while (i > 0 && idx[i - 1] == n - k + (i - 1)) --i;
+    if (i == 0) break;
+    ++idx[i - 1];
+    for (std::size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return out;
+}
+
+std::string group_name(const std::vector<std::size_t>& sites) {
+  std::string s;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (i > 0) s += "+";
+    s += ec2_site_name(sites[i]);
+  }
+  return s;
+}
+
+}  // namespace crsm

@@ -1,0 +1,68 @@
+// Inter-datacenter latency topology (paper Table III) and group enumeration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crsm {
+
+// A symmetric matrix of one-way message latencies (milliseconds) between N
+// replica sites, with zero diagonal. This is the input to both the
+// analytical latency models (Section IV) and the discrete-event simulator.
+class LatencyMatrix {
+ public:
+  LatencyMatrix() = default;
+  explicit LatencyMatrix(std::size_t n) : n_(n), oneway_ms_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  // Sets the round-trip latency between i and j (symmetric).
+  void set_rtt_ms(std::size_t i, std::size_t j, double rtt_ms);
+  void set_oneway_ms(std::size_t i, std::size_t j, double ms);
+
+  [[nodiscard]] double oneway_ms(std::size_t i, std::size_t j) const;
+  [[nodiscard]] double rtt_ms(std::size_t i, std::size_t j) const {
+    return 2.0 * oneway_ms(i, j);
+  }
+  [[nodiscard]] Tick oneway_us(std::size_t i, std::size_t j) const {
+    return ms_to_us(oneway_ms(i, j));
+  }
+
+  // Row of one-way latencies from replica i to every replica (incl. self=0).
+  [[nodiscard]] std::vector<double> row(std::size_t i) const;
+
+  // Restriction of this matrix to the given subset of sites, preserving
+  // the subset's order. Used for sweeping replica-placement groups (Fig. 7).
+  [[nodiscard]] LatencyMatrix submatrix(const std::vector<std::size_t>& sites) const;
+
+  // A uniform topology where every distinct pair has the same one-way
+  // latency; handy for tests and ablations.
+  [[nodiscard]] static LatencyMatrix uniform(std::size_t n, double oneway_ms);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> oneway_ms_;
+};
+
+// The seven EC2 sites of Table III, in the paper's order.
+enum class Ec2Site : std::size_t { CA = 0, VA = 1, IR = 2, JP = 3, SG = 4, AU = 5, BR = 6 };
+inline constexpr std::size_t kNumEc2Sites = 7;
+
+[[nodiscard]] const char* ec2_site_name(std::size_t site);
+
+// Average round-trip latencies between EC2 data centers as measured by the
+// paper (Table III), returned as a one-way (RTT/2) latency matrix over
+// {CA, VA, IR, JP, SG, AU, BR}.
+[[nodiscard]] const LatencyMatrix& ec2_matrix();
+
+// All k-subsets of {0..n-1} in lexicographic order.
+[[nodiscard]] std::vector<std::vector<std::size_t>> combinations(std::size_t n,
+                                                                 std::size_t k);
+
+// Human-readable name of a site group, e.g. "CA+VA+IR".
+[[nodiscard]] std::string group_name(const std::vector<std::size_t>& sites);
+
+}  // namespace crsm

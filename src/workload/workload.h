@@ -1,0 +1,41 @@
+// Closed-loop client workload specification (Section VI-B).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crsm {
+
+// The paper's EC2 setup: 40 clients per data center issuing 64 B update
+// commands in a closed loop with think time uniform in [0, 80] ms. Balanced
+// workloads run clients at every replica; imbalanced workloads at one.
+struct WorkloadOptions {
+  std::size_t clients_per_replica = 40;
+  double think_min_ms = 0.0;
+  double think_max_ms = 80.0;
+  std::size_t payload_bytes = 64;
+  std::size_t key_space = 1000;
+  // Replicas with clients attached; empty means every replica (balanced).
+  std::vector<ReplicaId> active_replicas;
+
+  [[nodiscard]] bool is_active(ReplicaId r, std::size_t num_replicas) const {
+    if (active_replicas.empty()) return r < num_replicas;
+    for (ReplicaId a : active_replicas) {
+      if (a == r) return true;
+    }
+    return false;
+  }
+};
+
+// Packs (home replica, client index) into a globally unique non-zero id.
+[[nodiscard]] constexpr ClientId make_client_id(ReplicaId home, std::size_t idx) {
+  return (static_cast<ClientId>(home) << 32) | (idx + 1);
+}
+[[nodiscard]] constexpr ReplicaId client_home(ClientId id) {
+  return static_cast<ReplicaId>(id >> 32);
+}
+
+}  // namespace crsm

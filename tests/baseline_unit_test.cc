@@ -1,0 +1,242 @@
+// Message-level unit tests for the Paxos and Mencius baselines.
+#include <gtest/gtest.h>
+
+#include "mencius/mencius.h"
+#include "mock_env.h"
+#include "paxos/multi_paxos.h"
+
+namespace crsm {
+namespace {
+
+using test::MockEnv;
+
+const std::vector<ReplicaId> kAll = {0, 1, 2};
+
+Command cmd(std::uint64_t seq) {
+  Command c;
+  c.client = 3;
+  c.seq = seq;
+  c.payload = "x";
+  return c;
+}
+
+// --- Paxos ---
+
+TEST(PaxosUnit, NonLeaderForwardsToLeader) {
+  MockEnv env(2);
+  PaxosReplica replica(env, kAll, /*leader=*/0, PaxosMode::kClassic);
+  replica.submit(cmd(1));
+  ASSERT_EQ(env.sent.size(), 1u);
+  EXPECT_EQ(env.sent[0].to, 0u);
+  EXPECT_EQ(env.sent[0].msg.type, MsgType::kForward);
+  EXPECT_EQ(env.sent[0].msg.a, 2u);  // origin rides along for the reply
+}
+
+TEST(PaxosUnit, LeaderAssignsConsecutiveSlots) {
+  MockEnv env(0);
+  PaxosReplica leader(env, kAll, 0, PaxosMode::kClassic);
+  leader.submit(cmd(1));
+  leader.submit(cmd(2));
+  const auto p2a = env.sent_of(MsgType::kPhase2a);
+  ASSERT_EQ(p2a.size(), 6u);  // two broadcasts of three
+  EXPECT_EQ(p2a[0].msg.slot, 0u);
+  EXPECT_EQ(p2a[3].msg.slot, 1u);
+}
+
+TEST(PaxosUnit, AcceptorLogsAndAcksLeaderOnlyInClassic) {
+  MockEnv env(1);
+  PaxosReplica acceptor(env, kAll, 0, PaxosMode::kClassic);
+  Message m;
+  m.type = MsgType::kPhase2a;
+  m.from = 0;
+  m.slot = 0;
+  m.a = 2;
+  m.cmd = cmd(1);
+  acceptor.on_message(m);
+  EXPECT_EQ(env.log().size(), 1u);
+  ASSERT_EQ(env.sent.size(), 1u);
+  EXPECT_EQ(env.sent[0].to, 0u);
+  EXPECT_EQ(env.sent[0].msg.type, MsgType::kPhase2b);
+}
+
+TEST(PaxosUnit, AcceptorBroadcastsAckInBcastMode) {
+  MockEnv env(1);
+  PaxosReplica acceptor(env, kAll, 0, PaxosMode::kBroadcast);
+  Message m;
+  m.type = MsgType::kPhase2a;
+  m.from = 0;
+  m.slot = 0;
+  m.a = 2;
+  m.cmd = cmd(1);
+  acceptor.on_message(m);
+  EXPECT_EQ(env.count_sent(MsgType::kPhase2b), 3u);
+}
+
+TEST(PaxosUnit, ExecutionWaitsForPayloadWhenAcksOutrunPhase2a) {
+  MockEnv env(2);
+  PaxosReplica replica(env, kAll, 0, PaxosMode::kBroadcast);
+  Message b;
+  b.type = MsgType::kPhase2b;
+  b.slot = 0;
+  b.from = 0;
+  replica.on_message(b);
+  b.from = 1;
+  replica.on_message(b);
+  EXPECT_TRUE(env.delivered.empty());  // majority acked but no command yet
+  Message a;
+  a.type = MsgType::kPhase2a;
+  a.from = 0;
+  a.slot = 0;
+  a.a = 0;
+  a.cmd = cmd(1);
+  replica.on_message(a);
+  ASSERT_EQ(env.delivered.size(), 1u);
+  EXPECT_FALSE(env.delivered[0].local_origin);
+}
+
+TEST(PaxosUnit, SlotsExecuteInOrderEvenWhenLaterCommitsFirst) {
+  MockEnv env(1);
+  PaxosReplica replica(env, kAll, 0, PaxosMode::kClassic);
+  for (Slot s : {0u, 1u}) {
+    Message a;
+    a.type = MsgType::kPhase2a;
+    a.from = 0;
+    a.slot = s;
+    a.a = 0;
+    a.cmd = cmd(s + 1);
+    replica.on_message(a);
+  }
+  Message c;
+  c.type = MsgType::kCommitNotify;
+  c.from = 0;
+  c.slot = 1;
+  replica.on_message(c);
+  EXPECT_TRUE(env.delivered.empty());  // slot 0 not yet committed
+  c.slot = 0;
+  replica.on_message(c);
+  ASSERT_EQ(env.delivered.size(), 2u);
+  EXPECT_EQ(env.delivered[0].cmd, cmd(1));
+  EXPECT_EQ(env.delivered[1].cmd, cmd(2));
+}
+
+TEST(PaxosUnit, StaleAcksForExecutedSlotsAreIgnored) {
+  MockEnv env(0);
+  PaxosReplica leader(env, kAll, 0, PaxosMode::kClassic);
+  leader.submit(cmd(1));
+  Message a;  // loop back our own 2a
+  a.type = MsgType::kPhase2a;
+  a.from = 0;
+  a.slot = 0;
+  a.a = 0;
+  a.cmd = cmd(1);
+  leader.on_message(a);
+  Message b;
+  b.type = MsgType::kPhase2b;
+  b.slot = 0;
+  b.from = 0;
+  leader.on_message(b);
+  b.from = 1;
+  leader.on_message(b);
+  ASSERT_EQ(env.delivered.size(), 1u);
+  EXPECT_TRUE(env.delivered[0].local_origin);
+  b.from = 2;  // straggler ack after execution: no double delivery
+  leader.on_message(b);
+  EXPECT_EQ(env.delivered.size(), 1u);
+}
+
+// --- Mencius ---
+
+TEST(MenciusUnit, ProposesInOwnSlotsOnly) {
+  MockEnv env(1);
+  MenciusReplica replica(env, kAll);
+  replica.submit(cmd(1));
+  replica.submit(cmd(2));
+  const auto props = env.sent_of(MsgType::kMenPropose);
+  ASSERT_EQ(props.size(), 6u);
+  EXPECT_EQ(props[0].msg.slot, 1u);  // own slots of replica 1: 1, 4, 7...
+  EXPECT_EQ(props[3].msg.slot, 4u);
+}
+
+TEST(MenciusUnit, AckCarriesSkipPromise) {
+  MockEnv env(2);
+  MenciusReplica replica(env, kAll);
+  Message p;
+  p.type = MsgType::kMenPropose;
+  p.from = 1;
+  p.slot = 4;  // replica 1's second slot
+  p.cmd = cmd(1);
+  replica.on_message(p);
+  const auto acks = env.sent_of(MsgType::kMenAck);
+  ASSERT_EQ(acks.size(), 3u);  // broadcast
+  EXPECT_EQ(acks[0].msg.slot, 4u);
+  // Replica 2 promises to skip its own slots below 4 (slot 2): its next own
+  // slot is now 5.
+  EXPECT_EQ(acks[0].msg.a, 5u);
+  EXPECT_EQ(replica.stats().skipped, 1u);
+}
+
+TEST(MenciusUnit, SkippedSlotsExecuteWithoutPayload) {
+  MockEnv env(0);
+  MenciusReplica replica(env, kAll);
+  // Proposal for slot 2 (owned by replica 2) arrives with slots 0,1 unused.
+  Message p;
+  p.type = MsgType::kMenPropose;
+  p.from = 2;
+  p.slot = 2;
+  p.cmd = cmd(1);
+  replica.on_message(p);
+  // Acks from a majority; their skip bounds cover slots 0 and 1.
+  Message a;
+  a.type = MsgType::kMenAck;
+  a.slot = 2;
+  a.from = 1;
+  a.a = 4;  // replica 1 skips slot 1
+  replica.on_message(a);
+  a.from = 0;
+  a.a = 3;  // we (replica 0) skip slot 0
+  replica.on_message(a);
+  a.from = 2;
+  a.a = 5;
+  replica.on_message(a);
+  ASSERT_EQ(env.delivered.size(), 1u);
+  EXPECT_EQ(env.delivered[0].ts.ticks, 2u);  // slots 0,1 skipped silently
+  EXPECT_EQ(replica.executed_upto(), 3u);
+}
+
+TEST(MenciusUnit, ProposedSlotNeverSkippedEvenIfBoundPassesIt) {
+  MockEnv env(0);
+  MenciusReplica replica(env, kAll);
+  // Proposal for slot 1 exists (entry recorded) but lacks majority acks.
+  Message p;
+  p.type = MsgType::kMenPropose;
+  p.from = 1;
+  p.slot = 1;
+  p.cmd = cmd(1);
+  replica.on_message(p);
+  // A later ack raises replica 1's bound beyond slot 1.
+  Message a;
+  a.type = MsgType::kMenAck;
+  a.slot = 4;
+  a.from = 1;
+  a.a = 7;
+  replica.on_message(a);
+  // Slot 0 (ours, unproposed) is not skippable without our own promise, and
+  // slot 1 must wait for acks: nothing executes.
+  EXPECT_TRUE(env.delivered.empty());
+}
+
+TEST(MenciusUnit, OwnerAcksItsOwnProposalViaLoopback) {
+  MockEnv env(0);
+  MenciusReplica replica(env, kAll);
+  replica.submit(cmd(1));
+  // Loop back our own proposal: we ack it ourselves.
+  Message p = env.sent_of(MsgType::kMenPropose)[0].msg;
+  env.clear_sent();
+  replica.on_message(p);
+  const auto acks = env.sent_of(MsgType::kMenAck);
+  ASSERT_EQ(acks.size(), 3u);
+  EXPECT_EQ(acks[0].msg.slot, 0u);
+}
+
+}  // namespace
+}  // namespace crsm

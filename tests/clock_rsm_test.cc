@@ -1,0 +1,288 @@
+// Protocol tests for Clock-RSM (Algorithms 1 and 2) in the simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clockrsm/clock_rsm.h"
+#include "storage/recovery.h"
+#include "test_util.h"
+
+namespace crsm {
+namespace {
+
+using test::expect_agreement;
+using test::expect_timestamp_order;
+using test::kv_factory;
+using test::kv_put;
+using test::world_opts;
+
+SimWorld::ProtocolFactory factory(std::size_t n, bool clocktime = true,
+                                  Tick delta_us = 5'000) {
+  return clock_rsm_factory(n, clocktime, delta_us);
+}
+
+TEST(ClockRsm, SingleCommandCommitsEverywhere) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 20.0)), factory(3), kv_factory());
+  w.start();
+  w.submit(0, kv_put(1, 1, "k", "v"));
+  w.sim().run_until(ms_to_us(500.0));
+  for (ReplicaId r = 0; r < 3; ++r) {
+    ASSERT_EQ(w.execution(r).size(), 1u) << "replica " << r;
+    EXPECT_EQ(w.execution(r)[0].cmd.seq, 1u);
+  }
+  expect_agreement(w);
+}
+
+TEST(ClockRsm, RepliesOnlyAtOriginReplica) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 20.0)), factory(3), kv_factory());
+  int replies = 0;
+  ReplicaId reply_replica = kNoReplica;
+  w.set_commit_hook([&](ReplicaId r, const Command&, Timestamp, bool local) {
+    if (local) {
+      ++replies;
+      reply_replica = r;
+    }
+  });
+  w.start();
+  w.submit(2, kv_put(1, 1, "k", "v"));
+  w.sim().run_until(ms_to_us(500.0));
+  EXPECT_EQ(replies, 1);
+  EXPECT_EQ(reply_replica, 2u);
+}
+
+TEST(ClockRsm, ConcurrentCommandsTotallyOrdered) {
+  SimWorld w(world_opts(test::ec2_five(), /*seed=*/3), factory(5), kv_factory());
+  w.start();
+  // Every replica proposes concurrently, repeatedly.
+  for (int round = 0; round < 20; ++round) {
+    for (ReplicaId r = 0; r < 5; ++r) {
+      w.sim().after(ms_to_us(10.0 * round), [&w, r, round] {
+        w.submit(r, kv_put(make_client_id(r, 0), round + 1,
+                           "k" + std::to_string(r), std::to_string(round)));
+      });
+    }
+  }
+  w.sim().run_until(ms_to_us(5'000.0));
+  ASSERT_EQ(w.execution(0).size(), 100u);
+  expect_agreement(w);
+  expect_timestamp_order(w);
+}
+
+TEST(ClockRsm, CommitLatencyMatchesMajorityRttOnUniformTopology) {
+  // Uniform 20 ms one-way, 5 replicas: lc1 = 2*20, lc2 = 20, lc3 <= 40.
+  // A lone command with the CLOCKTIME extension commits in ~max(40, 20+5).
+  SimWorld w(world_opts(LatencyMatrix::uniform(5, 20.0)), factory(5), kv_factory());
+  Tick committed_at = 0;
+  w.set_commit_hook([&](ReplicaId, const Command&, Timestamp, bool local) {
+    if (local) committed_at = w.sim().now();
+  });
+  w.start();
+  Tick sent_at = ms_to_us(100.0);
+  w.sim().after(sent_at, [&] { w.submit(0, kv_put(1, 1, "k", "v")); });
+  w.sim().run_until(ms_to_us(1'000.0));
+  ASSERT_GT(committed_at, 0u);
+  const double latency_ms = us_to_ms(committed_at - sent_at);
+  EXPECT_GE(latency_ms, 40.0);
+  EXPECT_LE(latency_ms, 50.0);  // 2*median + slack for the Δ=5ms extension
+}
+
+TEST(ClockRsm, StallsWithoutClockTimeUnderLoneCommand) {
+  // Without Algorithm 2 and with no other traffic, a lone command cannot
+  // become stable until the other replicas' PREPAREOKs carry their clocks:
+  // it needs the full 2*max round trip (paper: imbalanced light load,
+  // no extension -> 2*max one-way).
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 50.0)),
+             factory(3, /*clocktime=*/false), kv_factory());
+  Tick committed_at = 0;
+  w.set_commit_hook([&](ReplicaId, const Command&, Timestamp, bool local) {
+    if (local) committed_at = w.sim().now();
+  });
+  w.start();
+  w.submit(0, kv_put(1, 1, "k", "v"));
+  w.sim().run_until(ms_to_us(2'000.0));
+  ASSERT_GT(committed_at, 0u);
+  EXPECT_NEAR(us_to_ms(committed_at), 100.0, 2.0);  // 2 * max one-way
+}
+
+TEST(ClockRsm, ClockTimeExtensionBoundsLoneCommandLatency) {
+  // With the extension (delta = 5 ms), the same lone command commits in
+  // roughly max(2*median, max + delta) = max(100, 55) = 100?? No: uniform
+  // topology, 3 replicas: 2*median = 2*50 = 100 and max = 50. The majority
+  // round trip dominates either way; use asymmetric topology instead:
+  // d(0,1) = 10, d(0,2) = 100, d(1,2) = 100.
+  // Without extension: 2*max = 200. With: max(2*10, 100 + delta) ~ 105.
+  SimWorld w(world_opts(test::tri(10.0, 100.0, 100.0)),
+             factory(3, /*clocktime=*/true, /*delta_us=*/5'000), kv_factory());
+  Tick committed_at = 0;
+  w.set_commit_hook([&](ReplicaId, const Command&, Timestamp, bool local) {
+    if (local) committed_at = w.sim().now();
+  });
+  w.start();
+  const Tick sent_at = ms_to_us(50.0);
+  w.sim().after(sent_at, [&] { w.submit(0, kv_put(1, 1, "k", "v")); });
+  w.sim().run_until(ms_to_us(2'000.0));
+  ASSERT_GT(committed_at, 0u);
+  const double latency_ms = us_to_ms(committed_at - sent_at);
+  EXPECT_GE(latency_ms, 100.0);
+  EXPECT_LE(latency_ms, 112.0);
+}
+
+TEST(ClockRsm, TimestampTiesBrokenByReplicaId) {
+  // With zero latency to self and identical clocks, two replicas can assign
+  // the same tick; the replica id must break the tie deterministically.
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 15.0)), factory(3), kv_factory());
+  w.start();
+  // Submit at exactly the same simulated instant at two replicas.
+  w.submit(0, kv_put(make_client_id(0, 0), 1, "a", "x"));
+  w.submit(1, kv_put(make_client_id(1, 0), 1, "a", "y"));
+  w.sim().run_until(ms_to_us(500.0));
+  ASSERT_EQ(w.execution(0).size(), 2u);
+  expect_agreement(w);
+  // Final value identical everywhere (the later timestamp wins).
+  const std::string* v0 = static_cast<KvStore&>(w.state_machine(0)).get("a");
+  ASSERT_NE(v0, nullptr);
+  for (ReplicaId r = 1; r < 3; ++r) {
+    const std::string* v = static_cast<KvStore&>(w.state_machine(r)).get("a");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, *v0);
+  }
+}
+
+TEST(ClockRsm, ToleratesLargeClockSkew) {
+  // Correctness must not depend on synchronization precision (Section II-A).
+  // 200 ms skew >> 20 ms latency forces the line-8 wait path.
+  SimWorldOptions o = world_opts(LatencyMatrix::uniform(3, 20.0), 11);
+  o.clock_skew_ms = 200.0;
+  SimWorld w(o, factory(3), kv_factory());
+  w.start();
+  for (int i = 0; i < 10; ++i) {
+    for (ReplicaId r = 0; r < 3; ++r) {
+      w.sim().after(ms_to_us(30.0 * i), [&w, r, i] {
+        w.submit(r, kv_put(make_client_id(r, 0), i + 1, "k", "v"));
+      });
+    }
+  }
+  w.sim().run_until(ms_to_us(10'000.0));
+  ASSERT_EQ(w.execution(0).size(), 30u);
+  expect_agreement(w);
+  expect_timestamp_order(w);
+}
+
+TEST(ClockRsm, ClockDriftDoesNotBreakAgreement) {
+  SimWorldOptions o = world_opts(LatencyMatrix::uniform(5, 20.0), 13);
+  o.clock_skew_ms = 5.0;
+  o.clock_drift = 0.01;  // 1% oscillator error, far beyond real hardware
+  SimWorld w(o, factory(5), kv_factory());
+  w.start();
+  for (int i = 0; i < 10; ++i) {
+    for (ReplicaId r = 0; r < 5; ++r) {
+      w.sim().after(ms_to_us(25.0 * i),
+                    [&w, r, i] { w.submit(r, kv_put(make_client_id(r, 0), i + 1,
+                                                    "k" + std::to_string(i), "v")); });
+    }
+  }
+  w.sim().run_until(ms_to_us(10'000.0));
+  ASSERT_EQ(w.execution(0).size(), 50u);
+  expect_agreement(w);
+}
+
+TEST(ClockRsm, MessageComplexityIsQuadratic) {
+  // One command: 1 PREPARE broadcast (N msgs) + N PREPAREOK broadcasts
+  // (N^2) => N + N^2 protocol messages, plus CLOCKTIME noise.
+  SimWorld w(world_opts(LatencyMatrix::uniform(5, 20.0)),
+             factory(5, /*clocktime=*/false), kv_factory());
+  w.start();
+  w.submit(0, kv_put(1, 1, "k", "v"));
+  w.sim().run_until(ms_to_us(500.0));
+  EXPECT_EQ(w.network().messages_sent(), 5u + 25u);
+}
+
+TEST(ClockRsm, CommitMarksAppendedInTimestampOrder) {
+  SimWorld w(world_opts(test::ec2_five(), 17), factory(5), kv_factory());
+  w.start();
+  for (int i = 0; i < 10; ++i) {
+    for (ReplicaId r = 0; r < 5; ++r) {
+      w.sim().after(ms_to_us(15.0 * i), [&w, r, i] {
+        w.submit(r, kv_put(make_client_id(r, 0), i + 1, "x", "y"));
+      });
+    }
+  }
+  w.sim().run_until(ms_to_us(5'000.0));
+  for (ReplicaId r = 0; r < 5; ++r) {
+    Timestamp prev = kZeroTimestamp;
+    for (const LogRecord& rec : w.log(r).records()) {
+      if (rec.type != LogType::kCommit) continue;
+      EXPECT_LT(prev, rec.ts) << "commit marks out of order at replica " << r;
+      prev = rec.ts;
+    }
+  }
+}
+
+TEST(ClockRsm, PrepareLoggedBeforeCommitMark) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), factory(3), kv_factory());
+  w.start();
+  for (int i = 0; i < 5; ++i) w.submit(0, kv_put(1, i + 1, "k", "v"));
+  w.sim().run_until(ms_to_us(1'000.0));
+  for (ReplicaId r = 0; r < 3; ++r) {
+    // replay_log throws if any COMMIT mark lacks a preceding PREPARE.
+    EXPECT_NO_THROW((void)replay_log(w.log(r).records()));
+  }
+}
+
+TEST(ClockRsm, RestartReplaysLogDeterministically) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), factory(3), kv_factory());
+  w.start();
+  for (int i = 0; i < 8; ++i) w.submit(0, kv_put(1, i + 1, "k" + std::to_string(i), "v"));
+  w.sim().run_until(ms_to_us(1'000.0));
+  ASSERT_EQ(w.execution(2).size(), 8u);
+  const auto digest_before = w.state_machine(2).state_digest();
+
+  w.crash(2);
+  w.sim().run_until(ms_to_us(1'100.0));
+  w.restart(2);
+  w.sim().run_until(ms_to_us(1'200.0));
+
+  EXPECT_EQ(w.execution(2).size(), 8u);  // rebuilt by replay
+  EXPECT_EQ(w.state_machine(2).state_digest(), digest_before);
+  expect_agreement(w);
+}
+
+TEST(ClockRsm, SurvivingMajorityKeepsCommittingAfterSilentCrash) {
+  // With Spec = 5 and one crashed replica, commits continue: majority
+  // replication needs 3 of 5 and stable order only consults Config... which
+  // still contains the crashed replica, so progress requires removing it
+  // (reconfiguration, tested separately). Here we verify the protocol does
+  // NOT commit while a Config member is silent — the documented stall that
+  // motivates Section V.
+  SimWorld w(world_opts(LatencyMatrix::uniform(5, 10.0)), factory(5), kv_factory());
+  w.start();
+  w.sim().run_until(ms_to_us(100.0));
+  w.crash(4);
+  std::size_t committed_before = w.execution(0).size();
+  w.submit(0, kv_put(1, 1, "k", "v"));
+  w.sim().run_until(ms_to_us(2'000.0));
+  EXPECT_EQ(w.execution(0).size(), committed_before)
+      << "must stall while a Config member is silent";
+}
+
+TEST(ClockRsm, LoneCommandStatsCountWaits) {
+  SimWorldOptions o = world_opts(LatencyMatrix::uniform(3, 5.0), 23);
+  o.clock_skew_ms = 100.0;  // skew >> latency forces line-8 waits
+  SimWorld w(o, factory(3), kv_factory());
+  w.start();
+  // Submit from every replica: whichever clock runs ahead, some receiver's
+  // clock is behind the sender's timestamp by more than the 5 ms latency.
+  for (ReplicaId r = 0; r < 3; ++r) {
+    w.submit(r, kv_put(make_client_id(r, 0), 1, "k", "v"));
+  }
+  w.sim().run_until(ms_to_us(3'000.0));
+  std::uint64_t waits = 0;
+  for (ReplicaId r = 0; r < 3; ++r) {
+    waits += static_cast<ClockRsmReplica&>(w.protocol(r)).stats().clock_waits;
+  }
+  EXPECT_GT(waits, 0u);
+  ASSERT_EQ(w.execution(0).size(), 3u);
+}
+
+}  // namespace
+}  // namespace crsm

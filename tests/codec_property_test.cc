@@ -1,0 +1,155 @@
+// Property tests: randomized round-trips for every wire message type and
+// robustness of the decoder against truncation at every byte offset.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/codec.h"
+#include "common/message.h"
+#include "util/rng.h"
+
+namespace crsm {
+namespace {
+
+const MsgType kAllTypes[] = {
+    MsgType::kPrepare,       MsgType::kPrepareOk,   MsgType::kClockTime,
+    MsgType::kForward,       MsgType::kPhase2a,     MsgType::kPhase2b,
+    MsgType::kCommitNotify,  MsgType::kMenPropose,  MsgType::kMenAck,
+    MsgType::kSuspend,       MsgType::kSuspendOk,   MsgType::kRetrieveCmds,
+    MsgType::kRetrieveReply, MsgType::kConsPrepare, MsgType::kConsPromise,
+    MsgType::kConsAccept,    MsgType::kConsAccepted, MsgType::kConsDecide};
+
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  std::string s(rng.uniform_int(0, max_len), '\0');
+  for (char& c : s) c = static_cast<char>(rng.uniform_int(0, 255));
+  return s;
+}
+
+Message random_message(Rng& rng, MsgType type) {
+  Message m;
+  m.type = type;
+  m.from = static_cast<ReplicaId>(rng.uniform_int(0, 100));
+  m.epoch = rng.uniform_int(0, 1'000'000);
+  m.ts = Timestamp{rng.uniform_int(0, ~0ULL >> 1),
+                   static_cast<ReplicaId>(rng.uniform_int(0, 100))};
+  m.clock_ts = rng.uniform_int(0, ~0ULL >> 1);
+  m.slot = rng.uniform_int(0, 1'000'000'000);
+  m.a = rng.uniform_int(0, ~0ULL >> 1);
+  m.b = rng.uniform_int(0, ~0ULL >> 1);
+  m.cmd.client = rng.uniform_int(0, ~0ULL >> 1);
+  m.cmd.seq = rng.uniform_int(0, ~0ULL >> 1);
+  m.cmd.payload = random_bytes(rng, 200);
+  const std::size_t nrec = rng.uniform_int(0, 4);
+  for (std::size_t i = 0; i < nrec; ++i) {
+    Command c;
+    c.client = rng.uniform_int(1, 100);
+    c.seq = rng.uniform_int(1, 100);
+    c.payload = random_bytes(rng, 50);
+    const Timestamp ts{rng.uniform_int(0, 1'000'000),
+                       static_cast<ReplicaId>(rng.uniform_int(0, 10))};
+    if (rng.bernoulli(0.7)) {
+      m.records.push_back(LogRecord::prepare(ts, std::move(c)));
+    } else {
+      m.records.push_back(LogRecord::commit(ts));
+    }
+  }
+  m.blob = random_bytes(rng, 300);
+  return m;
+}
+
+// Clears fields the wire format does not carry for this type, so encoded
+// round-trips can be compared field-by-field against the original.
+class MessageRoundTrip : public ::testing::TestWithParam<MsgType> {};
+
+TEST_P(MessageRoundTrip, RandomizedMessagesSurviveEncodeDecode) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Message original = random_message(rng, GetParam());
+    const std::string wire = original.encode();
+    const Message decoded = Message::decode(wire);
+    // Header fields always survive.
+    EXPECT_EQ(decoded.type, original.type);
+    EXPECT_EQ(decoded.from, original.from);
+    EXPECT_EQ(decoded.epoch, original.epoch);
+    // Re-encoding the decoded message is a fixed point.
+    EXPECT_EQ(decoded.encode(), wire);
+  }
+}
+
+TEST_P(MessageRoundTrip, TruncationAtAnyOffsetThrowsNotCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 3);
+  const Message original = random_message(rng, GetParam());
+  const std::string wire = original.encode();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_THROW((void)Message::decode(wire.substr(0, cut)), CodecError)
+        << "cut at " << cut << "/" << wire.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, MessageRoundTrip,
+                         ::testing::ValuesIn(kAllTypes),
+                         [](const auto& info) {
+                           std::string s = msg_type_name(info.param);
+                           for (char& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(CodecProperty, VarintRoundTripRandom) {
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.uniform_int(0, ~0ULL >> rng.uniform_int(0, 63));
+    Encoder e;
+    e.var(v);
+    Decoder d(e.str());
+    EXPECT_EQ(d.var(), v);
+    EXPECT_TRUE(d.done());
+  }
+}
+
+TEST(CodecProperty, MixedFieldsRoundTripRandom) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    Encoder e;
+    const std::uint8_t a = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.uniform_int(0, ~0u));
+    const std::uint64_t c = rng.uniform_int(0, ~0ULL >> 1);
+    const std::string s = random_bytes(rng, 100);
+    e.u8(a);
+    e.bytes(s);
+    e.u32(b);
+    e.var(c);
+    e.u64(c);
+    Decoder d(e.str());
+    EXPECT_EQ(d.u8(), a);
+    EXPECT_EQ(d.bytes(), s);
+    EXPECT_EQ(d.u32(), b);
+    EXPECT_EQ(d.var(), c);
+    EXPECT_EQ(d.u64(), c);
+    EXPECT_TRUE(d.done());
+  }
+}
+
+TEST(CodecProperty, GoldenWireFormat) {
+  // Locks the wire layout: changing the codec breaks cross-version logs.
+  Message m;
+  m.type = MsgType::kPrepareOk;
+  m.from = 2;
+  m.epoch = 3;
+  m.ts = Timestamp{256, 1};
+  m.clock_ts = 300;
+  const std::string wire = m.encode();
+  // frame len | type | from(4) | epoch | ts.ticks(8) | ts.origin(4) | clock(8)
+  const unsigned char expected[] = {26,  2, 2, 0, 0, 0, 3,
+                                    0, 1, 0, 0, 0, 0, 0, 0,  // ticks LE
+                                    1, 0, 0, 0,              // origin
+                                    44, 1, 0, 0, 0, 0, 0, 0};  // clock 300
+  ASSERT_EQ(wire.size(), sizeof(expected));
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(wire[i]), expected[i]) << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace crsm

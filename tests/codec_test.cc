@@ -1,0 +1,231 @@
+// Unit tests for the binary codec and wire message serialization.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/codec.h"
+#include "common/message.h"
+
+namespace crsm {
+namespace {
+
+TEST(Codec, FixedWidthRoundTrip) {
+  Encoder e;
+  e.u8(0x7f);
+  e.u32(0xdeadbeef);
+  e.u64(0x0123456789abcdefULL);
+  Decoder d(e.str());
+  EXPECT_EQ(d.u8(), 0x7f);
+  EXPECT_EQ(d.u32(), 0xdeadbeefu);
+  EXPECT_EQ(d.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Codec, VarintRoundTripBoundaries) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  (1ULL << 32) - 1,
+                                  1ULL << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : values) {
+    Encoder e;
+    e.var(v);
+    Decoder d(e.str());
+    EXPECT_EQ(d.var(), v) << v;
+    EXPECT_TRUE(d.done());
+  }
+}
+
+TEST(Codec, VarintSmallValuesAreOneByte) {
+  for (std::uint64_t v = 0; v < 128; ++v) {
+    Encoder e;
+    e.var(v);
+    EXPECT_EQ(e.str().size(), 1u);
+  }
+}
+
+TEST(Codec, BytesRoundTrip) {
+  Encoder e;
+  e.bytes("");
+  e.bytes("hello");
+  std::string big(100000, 'x');
+  e.bytes(big);
+  Decoder d(e.str());
+  EXPECT_EQ(d.bytes(), "");
+  EXPECT_EQ(d.bytes(), "hello");
+  EXPECT_EQ(d.bytes(), big);
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Codec, TimestampRoundTrip) {
+  Encoder e;
+  e.timestamp(Timestamp{123456789, 42});
+  Decoder d(e.str());
+  const Timestamp ts = d.timestamp();
+  EXPECT_EQ(ts.ticks, 123456789u);
+  EXPECT_EQ(ts.origin, 42u);
+}
+
+TEST(Codec, TruncatedInputThrows) {
+  Encoder e;
+  e.u64(7);
+  for (std::size_t cut = 0; cut < 8; ++cut) {
+    Decoder d(std::string_view(e.str()).substr(0, cut));
+    EXPECT_THROW((void)d.u64(), CodecError) << cut;
+  }
+}
+
+TEST(Codec, TruncatedBytesThrows) {
+  Encoder e;
+  e.bytes("hello world");
+  Decoder d(std::string_view(e.str()).substr(0, 5));
+  EXPECT_THROW((void)d.bytes(), CodecError);
+}
+
+TEST(Codec, VarintOverflowThrows) {
+  std::string bad(11, static_cast<char>(0xff));
+  Decoder d(bad);
+  EXPECT_THROW((void)d.var(), CodecError);
+}
+
+Command make_cmd() {
+  Command c;
+  c.client = 0x1234;
+  c.seq = 99;
+  c.payload = "payload-bytes";
+  return c;
+}
+
+TEST(Message, PrepareRoundTrip) {
+  Message m;
+  m.type = MsgType::kPrepare;
+  m.from = 3;
+  m.epoch = 7;
+  m.ts = Timestamp{1000001, 3};
+  m.cmd = make_cmd();
+  const Message r = Message::decode(m.encode());
+  EXPECT_EQ(r.type, MsgType::kPrepare);
+  EXPECT_EQ(r.from, 3u);
+  EXPECT_EQ(r.epoch, 7u);
+  EXPECT_EQ(r.ts, (Timestamp{1000001, 3}));
+  EXPECT_EQ(r.cmd, make_cmd());
+}
+
+TEST(Message, PrepareOkRoundTrip) {
+  Message m;
+  m.type = MsgType::kPrepareOk;
+  m.from = 1;
+  m.ts = Timestamp{55, 2};
+  m.clock_ts = 60;
+  const Message r = Message::decode(m.encode());
+  EXPECT_EQ(r.ts, (Timestamp{55, 2}));
+  EXPECT_EQ(r.clock_ts, 60u);
+  EXPECT_TRUE(r.cmd.empty());
+}
+
+TEST(Message, AllTypesRoundTripWithoutError) {
+  const MsgType types[] = {
+      MsgType::kPrepare,      MsgType::kPrepareOk,    MsgType::kClockTime,
+      MsgType::kForward,      MsgType::kPhase2a,      MsgType::kPhase2b,
+      MsgType::kCommitNotify, MsgType::kMenPropose,   MsgType::kMenAck,
+      MsgType::kSuspend,      MsgType::kSuspendOk,    MsgType::kRetrieveCmds,
+      MsgType::kRetrieveReply, MsgType::kConsPrepare, MsgType::kConsPromise,
+      MsgType::kConsAccept,   MsgType::kConsAccepted, MsgType::kConsDecide};
+  for (MsgType t : types) {
+    Message m;
+    m.type = t;
+    m.from = 2;
+    m.epoch = 5;
+    m.ts = Timestamp{17, 1};
+    m.clock_ts = 18;
+    m.slot = 9;
+    m.a = 11;
+    m.b = 13;
+    m.cmd = make_cmd();
+    m.records.push_back(LogRecord::prepare(Timestamp{3, 0}, make_cmd()));
+    m.records.push_back(LogRecord::commit(Timestamp{3, 0}));
+    m.blob = "blobby";
+    const Message r = Message::decode(m.encode());
+    EXPECT_EQ(r.type, t) << msg_type_name(t);
+    EXPECT_EQ(r.from, 2u);
+    EXPECT_EQ(r.epoch, 5u);
+  }
+}
+
+TEST(Message, RecordsRoundTrip) {
+  Message m;
+  m.type = MsgType::kSuspendOk;
+  m.from = 0;
+  m.records.push_back(LogRecord::prepare(Timestamp{10, 1}, make_cmd()));
+  m.records.push_back(LogRecord::commit(Timestamp{10, 1}));
+  const Message r = Message::decode(m.encode());
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0].type, LogType::kPrepare);
+  EXPECT_EQ(r.records[0].cmd, make_cmd());
+  EXPECT_EQ(r.records[1].type, LogType::kCommit);
+  EXPECT_EQ(r.records[1].ts, (Timestamp{10, 1}));
+}
+
+TEST(Message, StreamDecodeMultiple) {
+  Message a;
+  a.type = MsgType::kClockTime;
+  a.from = 0;
+  a.clock_ts = 111;
+  Message b;
+  b.type = MsgType::kPhase2b;
+  b.from = 1;
+  b.slot = 22;
+
+  std::string buf;
+  a.encode(&buf);
+  b.encode(&buf);
+
+  std::size_t pos = 0;
+  const Message ra = Message::decode_stream(buf, &pos);
+  const Message rb = Message::decode_stream(buf, &pos);
+  EXPECT_EQ(pos, buf.size());
+  EXPECT_EQ(ra.clock_ts, 111u);
+  EXPECT_EQ(rb.slot, 22u);
+}
+
+TEST(Message, DecodeRejectsTrailingGarbage) {
+  Message m;
+  m.type = MsgType::kClockTime;
+  m.clock_ts = 1;
+  std::string buf = m.encode();
+  buf += "garbage";
+  EXPECT_THROW((void)Message::decode(buf), CodecError);
+}
+
+TEST(Message, CompactEncodingForSmallMessages) {
+  Message m;
+  m.type = MsgType::kPhase2b;
+  m.from = 1;
+  m.slot = 5;
+  // type(1) + from(4) + epoch(1) + slot(1) + frame prefix(1) = 8 bytes.
+  EXPECT_LE(m.encode().size(), 10u);
+}
+
+TEST(Timestamp, OrderingWithTieBreak) {
+  EXPECT_LT((Timestamp{5, 0}), (Timestamp{6, 0}));
+  EXPECT_LT((Timestamp{5, 0}), (Timestamp{5, 1}));
+  EXPECT_EQ((Timestamp{5, 1}), (Timestamp{5, 1}));
+  EXPECT_GT((Timestamp{6, 0}), (Timestamp{5, 9}));
+}
+
+TEST(Majority, Sizes) {
+  EXPECT_EQ(majority(1), 1u);
+  EXPECT_EQ(majority(2), 2u);
+  EXPECT_EQ(majority(3), 2u);
+  EXPECT_EQ(majority(4), 3u);
+  EXPECT_EQ(majority(5), 3u);
+  EXPECT_EQ(majority(7), 4u);
+}
+
+}  // namespace
+}  // namespace crsm

@@ -1,0 +1,130 @@
+// Tests for the single-decree Paxos used by reconfiguration.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "consensus/single_decree_paxos.h"
+#include "sim/sim_world.h"
+#include "test_util.h"
+
+namespace crsm {
+namespace {
+
+// A minimal protocol wrapper hosting one consensus instance per replica.
+class ConsensusHost final : public ReplicaProtocol {
+ public:
+  ConsensusHost(ProtocolEnv& env, std::vector<ReplicaId> all)
+      : inst_(env, std::move(all), /*instance=*/1,
+              [this](const std::string& v) { decided = v; },
+              /*retry_us=*/200'000) {}
+
+  void submit(Command cmd) override { inst_.propose(cmd.payload); }
+  void on_message(const Message& m) override { inst_.on_message(m); }
+  [[nodiscard]] std::string name() const override { return "consensus-host"; }
+
+  std::optional<std::string> decided;
+
+ private:
+  SingleDecreePaxos inst_;
+};
+
+SimWorld::ProtocolFactory host_factory(std::size_t n) {
+  std::vector<ReplicaId> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<ReplicaId>(i);
+  return [all](ProtocolEnv& env, ReplicaId) {
+    return std::make_unique<ConsensusHost>(env, all);
+  };
+}
+
+Command value_cmd(const std::string& v) {
+  Command c;
+  c.client = 1;
+  c.seq = 1;
+  c.payload = v;
+  return c;
+}
+
+ConsensusHost& host(SimWorld& w, ReplicaId r) {
+  return static_cast<ConsensusHost&>(w.protocol(r));
+}
+
+TEST(SingleDecreePaxos, SingleProposerDecidesEverywhere) {
+  SimWorld w(test::world_opts(LatencyMatrix::uniform(3, 20.0)), host_factory(3),
+             test::kv_factory());
+  w.start();
+  w.submit(0, value_cmd("alpha"));
+  w.sim().run_until(ms_to_us(2'000.0));
+  for (ReplicaId r = 0; r < 3; ++r) {
+    ASSERT_TRUE(host(w, r).decided.has_value()) << "replica " << r;
+    EXPECT_EQ(*host(w, r).decided, "alpha");
+  }
+}
+
+TEST(SingleDecreePaxos, DuelingProposersAgreeOnOneValue) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    SimWorld w(test::world_opts(test::ec2_five(), seed), host_factory(5),
+               test::kv_factory());
+    w.start();
+    w.submit(0, value_cmd("from-0"));
+    w.submit(3, value_cmd("from-3"));
+    w.sim().run_until(ms_to_us(20'000.0));
+    ASSERT_TRUE(host(w, 0).decided.has_value()) << "seed " << seed;
+    const std::string& v = *host(w, 0).decided;
+    EXPECT_TRUE(v == "from-0" || v == "from-3");
+    for (ReplicaId r = 1; r < 5; ++r) {
+      ASSERT_TRUE(host(w, r).decided.has_value()) << "replica " << r;
+      EXPECT_EQ(*host(w, r).decided, v) << "replica " << r;
+    }
+  }
+}
+
+TEST(SingleDecreePaxos, DecidesWithMinorityCrashed) {
+  SimWorld w(test::world_opts(LatencyMatrix::uniform(5, 15.0)), host_factory(5),
+             test::kv_factory());
+  w.start();
+  w.crash(3);
+  w.crash(4);
+  w.submit(0, value_cmd("survivor"));
+  w.sim().run_until(ms_to_us(5'000.0));
+  for (ReplicaId r = 0; r < 3; ++r) {
+    ASSERT_TRUE(host(w, r).decided.has_value()) << "replica " << r;
+    EXPECT_EQ(*host(w, r).decided, "survivor");
+  }
+}
+
+TEST(SingleDecreePaxos, StragglerLearnsFromPrepare) {
+  // A replica partitioned during the decision learns the value when it later
+  // probes with a prepare (the answer-stragglers rule).
+  SimWorld w(test::world_opts(LatencyMatrix::uniform(3, 10.0)), host_factory(3),
+             test::kv_factory());
+  w.start();
+  w.network().set_partitioned(0, 2, true);
+  w.network().set_partitioned(1, 2, true);
+  w.submit(0, value_cmd("early"));
+  w.sim().run_until(ms_to_us(2'000.0));
+  EXPECT_TRUE(host(w, 0).decided.has_value());
+  EXPECT_FALSE(host(w, 2).decided.has_value());
+
+  w.network().set_partitioned(0, 2, false);
+  w.network().set_partitioned(1, 2, false);
+  w.submit(2, value_cmd("late"));
+  w.sim().run_until(ms_to_us(10'000.0));
+  ASSERT_TRUE(host(w, 2).decided.has_value());
+  EXPECT_EQ(*host(w, 2).decided, "early");
+}
+
+TEST(SingleDecreePaxos, ProposeIsIdempotent) {
+  SimWorld w(test::world_opts(LatencyMatrix::uniform(3, 10.0)), host_factory(3),
+             test::kv_factory());
+  w.start();
+  w.submit(0, value_cmd("first"));
+  w.submit(0, value_cmd("second"));  // ignored: already proposing
+  w.sim().run_until(ms_to_us(2'000.0));
+  ASSERT_TRUE(host(w, 0).decided.has_value());
+  EXPECT_EQ(*host(w, 0).decided, "first");
+}
+
+}  // namespace
+}  // namespace crsm

@@ -1,0 +1,155 @@
+// Message-level unit tests for the single-decree Paxos synod logic:
+// promise supersession, value adoption, straggler answers.
+#include <gtest/gtest.h>
+
+#include "consensus/single_decree_paxos.h"
+#include "mock_env.h"
+
+namespace crsm {
+namespace {
+
+using test::MockEnv;
+
+const std::vector<ReplicaId> kAll = {0, 1, 2};
+constexpr Epoch kInstance = 1;
+
+struct Fixture {
+  MockEnv env;
+  std::string decided;
+  SingleDecreePaxos paxos;
+
+  explicit Fixture(ReplicaId self)
+      : env(self),
+        paxos(env, kAll, kInstance, [this](const std::string& v) { decided = v; }) {}
+};
+
+Message msg(MsgType t, ReplicaId from, std::uint64_t ballot,
+            std::uint64_t accepted_ballot = 0, std::string value = {}) {
+  Message m;
+  m.type = t;
+  m.from = from;
+  m.epoch = kInstance;
+  m.a = ballot;
+  m.b = accepted_ballot;
+  m.blob = std::move(value);
+  return m;
+}
+
+TEST(ConsensusUnit, ProposeStartsPhase1WithUniqueBallot) {
+  Fixture f(0);
+  f.paxos.propose("v");
+  const auto prepares = f.env.sent_of(MsgType::kConsPrepare);
+  ASSERT_EQ(prepares.size(), 3u);
+  EXPECT_EQ(prepares[0].msg.a % kAll.size(), 1u);  // round*N + self + 1
+  ASSERT_EQ(f.env.timers.size(), 1u);              // retry armed
+}
+
+TEST(ConsensusUnit, AcceptorPromisesHigherBallotsOnly) {
+  Fixture f(1);
+  f.paxos.on_message(msg(MsgType::kConsPrepare, 0, 10));
+  ASSERT_EQ(f.env.count_sent(MsgType::kConsPromise), 1u);
+  f.env.clear_sent();
+  f.paxos.on_message(msg(MsgType::kConsPrepare, 2, 5));  // lower: ignored
+  EXPECT_EQ(f.env.count_sent(MsgType::kConsPromise), 0u);
+  f.paxos.on_message(msg(MsgType::kConsPrepare, 2, 11));
+  EXPECT_EQ(f.env.count_sent(MsgType::kConsPromise), 1u);
+}
+
+TEST(ConsensusUnit, ProposerAdoptsHighestAcceptedValue) {
+  Fixture f(0);
+  f.paxos.propose("mine");
+  const std::uint64_t b = f.env.sent_of(MsgType::kConsPrepare)[0].msg.a;
+  f.env.clear_sent();
+  // Two promises; one reports a previously accepted value.
+  f.paxos.on_message(msg(MsgType::kConsPromise, 1, b, /*accepted=*/3, "theirs"));
+  f.paxos.on_message(msg(MsgType::kConsPromise, 2, b, 0, ""));
+  const auto accepts = f.env.sent_of(MsgType::kConsAccept);
+  ASSERT_EQ(accepts.size(), 3u);
+  EXPECT_EQ(accepts[0].msg.blob, "theirs") << "must adopt the accepted value";
+}
+
+TEST(ConsensusUnit, ProposerUsesOwnValueWhenNoneAccepted) {
+  Fixture f(0);
+  f.paxos.propose("mine");
+  const std::uint64_t b = f.env.sent_of(MsgType::kConsPrepare)[0].msg.a;
+  f.paxos.on_message(msg(MsgType::kConsPromise, 1, b));
+  f.paxos.on_message(msg(MsgType::kConsPromise, 2, b));
+  EXPECT_EQ(f.env.sent_of(MsgType::kConsAccept)[0].msg.blob, "mine");
+}
+
+TEST(ConsensusUnit, MajorityAcceptsDecideAndBroadcast) {
+  Fixture f(0);
+  f.paxos.propose("v");
+  const std::uint64_t b = f.env.sent_of(MsgType::kConsPrepare)[0].msg.a;
+  f.paxos.on_message(msg(MsgType::kConsPromise, 1, b));
+  f.paxos.on_message(msg(MsgType::kConsPromise, 2, b));
+  f.paxos.on_message(msg(MsgType::kConsAccepted, 1, b));
+  EXPECT_TRUE(f.decided.empty());
+  f.paxos.on_message(msg(MsgType::kConsAccepted, 2, b));
+  EXPECT_EQ(f.decided, "v");
+  EXPECT_TRUE(f.paxos.decided());
+  EXPECT_EQ(f.env.count_sent(MsgType::kConsDecide), 3u);
+}
+
+TEST(ConsensusUnit, DecidedAcceptorAnswersStragglers) {
+  Fixture f(1);
+  f.paxos.on_message(msg(MsgType::kConsDecide, 0, 0, 0, "done"));
+  EXPECT_EQ(f.decided, "done");
+  f.env.clear_sent();
+  f.paxos.on_message(msg(MsgType::kConsPrepare, 2, 99));
+  const auto replies = f.env.sent_of(MsgType::kConsDecide);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].to, 2u);
+  EXPECT_EQ(replies[0].msg.blob, "done");
+  // Same for a stray accept.
+  f.env.clear_sent();
+  f.paxos.on_message(msg(MsgType::kConsAccept, 2, 100, 0, "other"));
+  EXPECT_EQ(f.env.count_sent(MsgType::kConsDecide), 1u);
+  EXPECT_EQ(f.env.count_sent(MsgType::kConsAccepted), 0u);
+}
+
+TEST(ConsensusUnit, RetryTimerRaisesBallot) {
+  Fixture f(0);
+  f.paxos.propose("v");
+  const std::uint64_t b1 = f.env.sent_of(MsgType::kConsPrepare)[0].msg.a;
+  f.env.clear_sent();
+  f.env.set_clock(f.env.clock() + 10'000'000);
+  f.env.fire_due_timers();
+  const auto again = f.env.sent_of(MsgType::kConsPrepare);
+  ASSERT_EQ(again.size(), 3u);
+  EXPECT_GT(again[0].msg.a, b1);
+}
+
+TEST(ConsensusUnit, NoRetryAfterDecision) {
+  Fixture f(0);
+  f.paxos.propose("v");
+  f.paxos.on_message(msg(MsgType::kConsDecide, 1, 0, 0, "other"));
+  EXPECT_EQ(f.decided, "other");
+  f.env.clear_sent();
+  f.env.set_clock(f.env.clock() + 10'000'000);
+  f.env.fire_due_timers();
+  EXPECT_EQ(f.env.count_sent(MsgType::kConsPrepare), 0u);
+}
+
+TEST(ConsensusUnit, StalePromisesIgnored) {
+  Fixture f(0);
+  f.paxos.propose("v");
+  const std::uint64_t b = f.env.sent_of(MsgType::kConsPrepare)[0].msg.a;
+  f.paxos.on_message(msg(MsgType::kConsPromise, 1, b - 1));  // wrong ballot
+  f.paxos.on_message(msg(MsgType::kConsPromise, 1, b));
+  // One valid promise (plus none from self-loopback here): no phase 2 yet.
+  EXPECT_EQ(f.env.count_sent(MsgType::kConsAccept), 0u);
+}
+
+TEST(ConsensusUnit, AcceptorRejectsAcceptBelowPromise) {
+  Fixture f(1);
+  f.paxos.on_message(msg(MsgType::kConsPrepare, 0, 50));
+  f.env.clear_sent();
+  f.paxos.on_message(msg(MsgType::kConsAccept, 2, 10, 0, "low"));
+  EXPECT_EQ(f.env.count_sent(MsgType::kConsAccepted), 0u);
+  f.paxos.on_message(msg(MsgType::kConsAccept, 0, 50, 0, "ok"));
+  EXPECT_EQ(f.env.count_sent(MsgType::kConsAccepted), 1u);
+}
+
+}  // namespace
+}  // namespace crsm

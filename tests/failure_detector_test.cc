@@ -1,0 +1,56 @@
+// Unit tests for the timeout-based failure detector.
+#include <gtest/gtest.h>
+
+#include "rsm/failure_detector.h"
+
+namespace crsm {
+namespace {
+
+TEST(FailureDetector, SilentPeerBecomesSuspect) {
+  FailureDetector fd({1, 2}, /*timeout_us=*/1000);
+  fd.reset_all(0);
+  EXPECT_TRUE(fd.suspects(500).empty());
+  EXPECT_EQ(fd.suspects(2000), (std::vector<ReplicaId>{1, 2}));
+}
+
+TEST(FailureDetector, HeartbeatClearsSuspicion) {
+  FailureDetector fd({1, 2}, 1000);
+  fd.reset_all(0);
+  fd.heartbeat(1, 1500);
+  const auto s = fd.suspects(2000);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], 2u);
+  EXPECT_FALSE(fd.is_suspect(1, 2000));
+  EXPECT_TRUE(fd.is_suspect(2, 2000));
+}
+
+TEST(FailureDetector, HeartbeatsNeverMoveBackwards) {
+  FailureDetector fd({1}, 1000);
+  fd.heartbeat(1, 5000);
+  fd.heartbeat(1, 100);  // stale heartbeat must not regress the deadline
+  EXPECT_FALSE(fd.is_suspect(1, 5500));
+}
+
+TEST(FailureDetector, UnknownPeerIgnored) {
+  FailureDetector fd({1}, 1000);
+  fd.heartbeat(99, 5000);
+  EXPECT_FALSE(fd.is_suspect(99, 10'000));
+}
+
+TEST(FailureDetector, ResetAllRestartsTimeouts) {
+  FailureDetector fd({1, 2}, 1000);
+  fd.reset_all(0);
+  EXPECT_FALSE(fd.suspects(5000).empty());
+  fd.reset_all(5000);
+  EXPECT_TRUE(fd.suspects(5500).empty());
+}
+
+TEST(FailureDetector, ExactTimeoutBoundaryIsNotSuspect) {
+  FailureDetector fd({1}, 1000);
+  fd.reset_all(0);
+  EXPECT_FALSE(fd.is_suspect(1, 1000));
+  EXPECT_TRUE(fd.is_suspect(1, 1001));
+}
+
+}  // namespace
+}  // namespace crsm

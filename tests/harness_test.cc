@@ -1,0 +1,133 @@
+// Tests for the experiment harness, reporting helpers and workload plumbing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/latency_experiment.h"
+#include "harness/report.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace crsm {
+namespace {
+
+TEST(Workload, ClientIdsEncodeHomeReplica) {
+  const ClientId id = make_client_id(3, 7);
+  EXPECT_EQ(client_home(id), 3u);
+  EXPECT_NE(id, 0u);
+  EXPECT_NE(make_client_id(3, 7), make_client_id(3, 8));
+  EXPECT_NE(make_client_id(3, 7), make_client_id(4, 7));
+}
+
+TEST(Workload, ActiveReplicaSelection) {
+  WorkloadOptions w;
+  EXPECT_TRUE(w.is_active(0, 3));  // empty set: all active
+  EXPECT_TRUE(w.is_active(2, 3));
+  w.active_replicas = {1};
+  EXPECT_FALSE(w.is_active(0, 3));
+  EXPECT_TRUE(w.is_active(1, 3));
+}
+
+TEST(LatencyExperiment, BalancedWorkloadProducesSamplesEverywhere) {
+  LatencyExperimentOptions opt;
+  opt.matrix = LatencyMatrix::uniform(3, 15.0);
+  opt.workload.clients_per_replica = 5;
+  opt.duration_s = 3.0;
+  opt.warmup_s = 0.5;
+  const auto r = run_latency_experiment(opt, clock_rsm_factory(3));
+  EXPECT_EQ(r.protocol, "Clock-RSM");
+  EXPECT_GT(r.total_commands, 0u);
+  EXPECT_GT(r.messages_sent, 0u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(r.per_replica[i].count(), 10u) << "replica " << i;
+  }
+  EXPECT_EQ(r.aggregate().count(), r.per_replica[0].count() +
+                                       r.per_replica[1].count() +
+                                       r.per_replica[2].count());
+}
+
+TEST(LatencyExperiment, ImbalancedWorkloadOnlySamplesActiveReplica) {
+  LatencyExperimentOptions opt;
+  opt.matrix = LatencyMatrix::uniform(3, 15.0);
+  opt.workload.clients_per_replica = 5;
+  opt.workload.active_replicas = {2};
+  opt.duration_s = 3.0;
+  opt.warmup_s = 0.5;
+  const auto r = run_latency_experiment(opt, clock_rsm_factory(3));
+  EXPECT_EQ(r.per_replica[0].count(), 0u);
+  EXPECT_EQ(r.per_replica[1].count(), 0u);
+  EXPECT_GT(r.per_replica[2].count(), 10u);
+}
+
+TEST(LatencyExperiment, DeterministicForSameSeed) {
+  LatencyExperimentOptions opt;
+  opt.matrix = test::ec2_three();
+  opt.workload.clients_per_replica = 8;
+  opt.duration_s = 2.0;
+  opt.warmup_s = 0.5;
+  opt.seed = 77;
+  opt.jitter_ms = 1.0;
+  opt.clock_skew_ms = 2.0;
+  const auto a = run_latency_experiment(opt, clock_rsm_factory(3));
+  const auto b = run_latency_experiment(opt, clock_rsm_factory(3));
+  ASSERT_EQ(a.total_commands, b.total_commands);
+  ASSERT_EQ(a.messages_sent, b.messages_sent);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(a.per_replica[i].count(), b.per_replica[i].count());
+    EXPECT_DOUBLE_EQ(a.per_replica[i].mean(), b.per_replica[i].mean());
+  }
+}
+
+TEST(LatencyExperiment, DifferentSeedsDiffer) {
+  LatencyExperimentOptions opt;
+  opt.matrix = test::ec2_three();
+  opt.workload.clients_per_replica = 8;
+  opt.duration_s = 2.0;
+  opt.warmup_s = 0.5;
+  opt.jitter_ms = 1.0;
+  opt.seed = 1;
+  const auto a = run_latency_experiment(opt, clock_rsm_factory(3));
+  opt.seed = 2;
+  const auto b = run_latency_experiment(opt, clock_rsm_factory(3));
+  // Means are close but the sampled series are not identical.
+  EXPECT_NE(a.per_replica[0].samples(), b.per_replica[0].samples());
+}
+
+TEST(Report, TableAlignsAndPrints) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"much-longer-name", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Report, TableRejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(fmt_ms(12.345), "12.3");
+  EXPECT_EQ(fmt_ms(12.345, 2), "12.35");
+  EXPECT_EQ(fmt_pct(0.686), "68.6%");
+  EXPECT_EQ(fmt_count(59.44), "59.4");
+}
+
+TEST(Report, CdfOutput) {
+  LatencyStats s;
+  s.add(10.0);
+  s.add(20.0);
+  std::ostringstream out;
+  print_cdf(out, "test-series", s.cdf(2));
+  const std::string str = out.str();
+  EXPECT_NE(str.find("# test-series"), std::string::npos);
+  EXPECT_NE(str.find("10.00"), std::string::npos);
+  EXPECT_NE(str.find("100.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crsm

@@ -1,0 +1,120 @@
+// Unit tests for the key-value store state machine.
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+#include "kv/kv_store.h"
+
+namespace crsm {
+namespace {
+
+Command cmd_of(const KvRequest& r) {
+  Command c;
+  c.client = 1;
+  c.seq = 1;
+  c.payload = r.encode();
+  return c;
+}
+
+TEST(KvRequest, RoundTrip) {
+  KvRequest r;
+  r.op = KvOp::kPut;
+  r.key = "k1";
+  r.value = "v1";
+  const KvRequest d = KvRequest::decode(r.encode());
+  EXPECT_EQ(d.op, KvOp::kPut);
+  EXPECT_EQ(d.key, "k1");
+  EXPECT_EQ(d.value, "v1");
+}
+
+TEST(KvRequest, GetAndDelOmitValue) {
+  KvRequest g;
+  g.op = KvOp::kGet;
+  g.key = "k";
+  const KvRequest dg = KvRequest::decode(g.encode());
+  EXPECT_EQ(dg.op, KvOp::kGet);
+  EXPECT_TRUE(dg.value.empty());
+
+  KvRequest del;
+  del.op = KvOp::kDel;
+  del.key = "k";
+  EXPECT_EQ(KvRequest::decode(del.encode()).op, KvOp::kDel);
+}
+
+TEST(KvRequest, BadOpThrows) {
+  std::string bad = "\x09";
+  bad += '\0';
+  EXPECT_THROW((void)KvRequest::decode(bad), CodecError);
+}
+
+TEST(KvRequest, SizedPutHitsTargetPayload) {
+  for (std::size_t target : {10u, 64u, 100u, 1000u}) {
+    const KvRequest r = KvRequest::sized_put("key-123", target);
+    EXPECT_EQ(r.encode().size(), target) << target;
+  }
+}
+
+TEST(KvStore, PutGetDel) {
+  KvStore kv;
+  KvRequest put;
+  put.op = KvOp::kPut;
+  put.key = "a";
+  put.value = "1";
+  EXPECT_EQ(kv.apply(cmd_of(put)), "OK");
+  KvRequest get;
+  get.op = KvOp::kGet;
+  get.key = "a";
+  EXPECT_EQ(kv.apply(cmd_of(get)), "1");
+  KvRequest del;
+  del.op = KvOp::kDel;
+  del.key = "a";
+  EXPECT_EQ(kv.apply(cmd_of(del)), "OK");
+  EXPECT_EQ(kv.apply(cmd_of(get)), "");
+  EXPECT_EQ(kv.size(), 0u);
+}
+
+TEST(KvStore, DigestIsOrderIndependentOverState) {
+  KvStore a, b;
+  KvRequest p1;
+  p1.op = KvOp::kPut;
+  p1.key = "x";
+  p1.value = "1";
+  KvRequest p2;
+  p2.op = KvOp::kPut;
+  p2.key = "y";
+  p2.value = "2";
+  a.apply(cmd_of(p1));
+  a.apply(cmd_of(p2));
+  b.apply(cmd_of(p2));
+  b.apply(cmd_of(p1));
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+}
+
+TEST(KvStore, DigestDistinguishesStates) {
+  KvStore a, b;
+  KvRequest p;
+  p.op = KvOp::kPut;
+  p.key = "x";
+  p.value = "1";
+  a.apply(cmd_of(p));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+  p.value = "2";
+  b.apply(cmd_of(p));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(KvStore, OverwriteKeepsLatestValue) {
+  KvStore kv;
+  KvRequest p;
+  p.op = KvOp::kPut;
+  p.key = "k";
+  p.value = "old";
+  kv.apply(cmd_of(p));
+  p.value = "new";
+  kv.apply(cmd_of(p));
+  ASSERT_NE(kv.get("k"), nullptr);
+  EXPECT_EQ(*kv.get("k"), "new");
+  EXPECT_EQ(kv.size(), 1u);
+}
+
+}  // namespace
+}  // namespace crsm

@@ -1,0 +1,153 @@
+// Tests for the closed-form latency models (Table II) and the Figure 7 /
+// Table IV sweeps.
+#include <gtest/gtest.h>
+
+#include "analysis/latency_model.h"
+#include "test_util.h"
+#include "util/topology.h"
+
+namespace crsm {
+namespace {
+
+TEST(LatencyModel, UniformTopologyBuildingBlocks) {
+  LatencyModel m(LatencyMatrix::uniform(5, 30.0));
+  EXPECT_DOUBLE_EQ(m.majority_rtt(0), 60.0);
+  EXPECT_DOUBLE_EQ(m.max_oneway(0), 30.0);
+  // Two-hop j->k->i medians on a uniform topology: for j != i the sums are
+  // {30, 30, 60, 60, 60} -> median 60; for j == i, {0,60,60,60,60} -> 60.
+  EXPECT_DOUBLE_EQ(m.prefix_replication(0), 60.0);
+  EXPECT_DOUBLE_EQ(m.clock_rsm_balanced(0), 60.0);
+  EXPECT_DOUBLE_EQ(m.clock_rsm_imbalanced(0), 60.0);
+}
+
+TEST(LatencyModel, PaxosFormulasUniform) {
+  LatencyModel m(LatencyMatrix::uniform(5, 30.0));
+  EXPECT_DOUBLE_EQ(m.paxos(0, 0), 60.0);          // leader
+  EXPECT_DOUBLE_EQ(m.paxos(0, 1), 60.0 + 60.0);   // 2*d + 2*median
+  EXPECT_DOUBLE_EQ(m.paxos_bcast(0, 0), 60.0);
+  // d(1,0) + median_k(d(0,k)+d(k,1)) = 30 + 60 = 90.
+  EXPECT_DOUBLE_EQ(m.paxos_bcast(0, 1), 90.0);
+}
+
+TEST(LatencyModel, MenciusFormulas) {
+  LatencyModel m(LatencyMatrix::uniform(5, 30.0));
+  EXPECT_DOUBLE_EQ(m.mencius_bcast_imbalanced(0), 60.0);  // 2 * max one-way
+  const auto [lo, hi] = m.mencius_bcast_balanced(0);
+  EXPECT_DOUBLE_EQ(lo, 60.0);
+  EXPECT_DOUBLE_EQ(hi, 90.0);
+}
+
+TEST(LatencyModel, Ec2ThreeReplicaCase) {
+  // {CA, VA, IR}: one-way CA-VA 41.5, CA-IR 85, VA-IR 50.5.
+  LatencyModel m(test::ec2_three());
+  // CA: majority rtt = 2*41.5 = 83; max one-way = 85.
+  EXPECT_DOUBLE_EQ(m.majority_rtt(0), 83.0);
+  EXPECT_DOUBLE_EQ(m.max_oneway(0), 85.0);
+  EXPECT_DOUBLE_EQ(m.clock_rsm_imbalanced(0), 85.0);
+  // The paper (Fig. 2 discussion): with VA the Paxos-bcast leader, all
+  // replicas take roughly one round trip to their nearest replica.
+  const std::size_t leader = m.best_leader_paxos_bcast();
+  EXPECT_EQ(leader, 1u);  // VA
+}
+
+TEST(LatencyModel, ClockRsmVsPaxosBcastIntuition) {
+  // Section IV-D: Clock-RSM beats Paxos-bcast at a non-leader replica i
+  // whenever dmax - 2*dmedian < dfwd. Verify on the five-site EC2 group
+  // with leader at VA: Clock-RSM should win at all non-leader replicas.
+  LatencyModel m(test::ec2_five());
+  const std::size_t leader = 1;  // VA
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i == leader) continue;
+    EXPECT_LT(m.clock_rsm_balanced(i), m.paxos_bcast_precise(leader, i))
+        << "replica " << ec2_site_name(i);
+  }
+}
+
+TEST(LatencyModel, LeaderAdvantageAtLeaderReplica) {
+  // At the leader itself Paxos-bcast commits in one majority round trip;
+  // Clock-RSM additionally waits for the stable order from the farthest
+  // replica, so it can be slightly slower there (paper Fig. 1).
+  LatencyModel m(test::ec2_five());
+  const std::size_t leader = 1;  // VA
+  EXPECT_GE(m.clock_rsm_balanced(leader), m.paxos_bcast(leader, leader));
+}
+
+TEST(LatencyModel, BestLeaderMinimizesMean) {
+  LatencyModel m(test::ec2_five());
+  const std::size_t best = m.best_leader_paxos_bcast();
+  double best_avg = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) best_avg += m.paxos_bcast_precise(best, i);
+  for (std::size_t l = 0; l < 5; ++l) {
+    double avg = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) avg += m.paxos_bcast_precise(l, i);
+    EXPECT_GE(avg, best_avg) << "leader " << l;
+  }
+}
+
+TEST(LatencyModel, ImbalancedLightLoadVariants) {
+  LatencyModel m(test::ec2_five());
+  // No extension: a lone command pays 2*max.
+  EXPECT_DOUBLE_EQ(m.clock_rsm_imbalanced_light_no_ext(0), 2.0 * m.max_oneway(0));
+  // With the extension the latency collapses to ~max + delta.
+  EXPECT_LT(m.clock_rsm_imbalanced_light(0, 5.0),
+            m.clock_rsm_imbalanced_light_no_ext(0));
+  EXPECT_DOUBLE_EQ(m.clock_rsm_imbalanced_light(0, 0.0),
+                   m.clock_rsm_imbalanced(0));
+}
+
+// --- Figure 7 / Table IV sweeps ---
+
+TEST(GroupSweep, CountsGroups) {
+  EXPECT_EQ(sweep_groups(ec2_matrix(), 3).num_groups, 35u);
+  EXPECT_EQ(sweep_groups(ec2_matrix(), 5).num_groups, 21u);
+  EXPECT_EQ(sweep_groups(ec2_matrix(), 7).num_groups, 1u);
+}
+
+TEST(GroupSweep, ThreeReplicasFavorPaxosBcast) {
+  // Paper Table IV, 3-replica row: Clock-RSM improves 0% of replicas and is
+  // ~6.2% / ~9.9 ms worse on average (best-leader Paxos-bcast is optimal in
+  // this special case).
+  const GroupSweepResult r = sweep_groups(ec2_matrix(), 3);
+  EXPECT_LT(r.improved_fraction, 0.05);
+  EXPECT_GT(r.regressed_fraction, 0.95);
+  EXPECT_NEAR(r.regressed_abs_ms, 9.9, 2.0);
+  EXPECT_NEAR(r.regressed_rel, 0.062, 0.02);
+}
+
+TEST(GroupSweep, FiveReplicasFavorClockRsm) {
+  // Paper Table IV, 5-replica row: ~68.6% improved by ~15.2% / ~31.9 ms.
+  const GroupSweepResult r = sweep_groups(ec2_matrix(), 5);
+  EXPECT_NEAR(r.improved_fraction, 0.686, 0.03);
+  EXPECT_NEAR(r.improved_rel, 0.152, 0.02);
+  EXPECT_NEAR(r.improved_abs_ms, 31.9, 3.0);
+  EXPECT_NEAR(r.regressed_abs_ms, 30.6, 3.0);
+  EXPECT_NEAR(r.regressed_rel, 0.146, 0.02);
+  // Figure 7: Clock-RSM lower on both aggregate metrics.
+  EXPECT_LT(r.clock_rsm_avg_all, r.paxos_bcast_avg_all);
+  EXPECT_LT(r.clock_rsm_avg_highest, r.paxos_bcast_avg_highest);
+}
+
+TEST(GroupSweep, SevenReplicasFavorClockRsmMore) {
+  // Paper Table IV, 7-replica row: ~85.7% improved by ~21.5% / ~50.2 ms.
+  const GroupSweepResult r = sweep_groups(ec2_matrix(), 7);
+  EXPECT_NEAR(r.improved_fraction, 0.857, 0.03);
+  EXPECT_NEAR(r.improved_rel, 0.215, 0.03);
+  EXPECT_NEAR(r.improved_abs_ms, 50.2, 4.0);
+  EXPECT_LT(r.clock_rsm_avg_all, r.paxos_bcast_avg_all);
+  EXPECT_LT(r.clock_rsm_avg_highest, r.paxos_bcast_avg_highest);
+}
+
+TEST(GroupSweep, FractionsSumToOne) {
+  for (std::size_t k : {3u, 5u, 7u}) {
+    const GroupSweepResult r = sweep_groups(ec2_matrix(), k);
+    EXPECT_NEAR(r.improved_fraction + r.regressed_fraction, 1.0, 1e-12);
+  }
+}
+
+TEST(GroupSweep, BadSizeThrows) {
+  EXPECT_THROW((void)sweep_groups(ec2_matrix(), 0), std::invalid_argument);
+  EXPECT_THROW((void)sweep_groups(ec2_matrix(), 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crsm

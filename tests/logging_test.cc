@@ -1,0 +1,76 @@
+// Unit tests for the structured tracer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace crsm {
+namespace {
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer t;
+  t.log(1, 0, TraceLevel::kInfo, "a", "first");
+  t.log(2, 1, TraceLevel::kInfo, "b", "second");
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].message, "first");
+  EXPECT_EQ(t.events()[1].message, "second");
+  EXPECT_EQ(t.events()[1].replica, 1u);
+}
+
+TEST(Tracer, BoundedRingDropsOldest) {
+  Tracer t(3);
+  for (int i = 0; i < 5; ++i) {
+    t.log(i, 0, TraceLevel::kInfo, "c", std::to_string(i));
+  }
+  ASSERT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.events().front().message, "2");
+  EXPECT_EQ(t.dropped(), 2u);
+}
+
+TEST(Tracer, FiltersByCategory) {
+  Tracer t;
+  t.log(1, 0, TraceLevel::kInfo, "commit", "x");
+  t.log(2, 0, TraceLevel::kInfo, "prepare", "y");
+  t.log(3, 0, TraceLevel::kInfo, "commit", "z");
+  EXPECT_EQ(t.count("commit"), 2u);
+  EXPECT_EQ(t.count("prepare"), 1u);
+  EXPECT_EQ(t.count("nope"), 0u);
+  const auto commits = t.by_category("commit");
+  ASSERT_EQ(commits.size(), 2u);
+  EXPECT_EQ(commits[1].message, "z");
+}
+
+TEST(Tracer, MirrorsAtOrAboveLevel) {
+  Tracer t;
+  std::ostringstream out;
+  t.mirror_to(&out, TraceLevel::kWarn);
+  t.log(1, 0, TraceLevel::kDebug, "a", "quiet");
+  t.log(2, 0, TraceLevel::kWarn, "a", "loud");
+  EXPECT_EQ(out.str().find("quiet"), std::string::npos);
+  EXPECT_NE(out.str().find("loud"), std::string::npos);
+}
+
+TEST(Tracer, DumpAndClear) {
+  Tracer t;
+  t.log(5, 2, TraceLevel::kInfo, "cat", "hello");
+  std::ostringstream out;
+  t.dump(out);
+  EXPECT_NE(out.str().find("hello"), std::string::npos);
+  EXPECT_NE(out.str().find("r2"), std::string::npos);
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TraceEvent, ToStringFormat) {
+  TraceEvent e{123, 4, TraceLevel::kWarn, "reconfig", "epoch moved"};
+  const std::string s = e.to_string();
+  EXPECT_NE(s.find("123us"), std::string::npos);
+  EXPECT_NE(s.find("r4"), std::string::npos);
+  EXPECT_NE(s.find("WARN"), std::string::npos);
+  EXPECT_NE(s.find("reconfig"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace crsm

@@ -1,0 +1,154 @@
+// Protocol tests for Mencius-bcast in the simulator.
+#include <gtest/gtest.h>
+
+#include "mencius/mencius.h"
+#include "test_util.h"
+
+namespace crsm {
+namespace {
+
+using test::expect_agreement;
+using test::kv_factory;
+using test::kv_put;
+using test::world_opts;
+
+TEST(Mencius, SingleCommandCommitsEverywhere) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 20.0)), mencius_factory(3),
+             kv_factory());
+  w.start();
+  w.submit(0, kv_put(1, 1, "k", "v"));
+  w.sim().run_until(ms_to_us(500.0));
+  for (ReplicaId r = 0; r < 3; ++r) ASSERT_EQ(w.execution(r).size(), 1u);
+  expect_agreement(w);
+}
+
+TEST(Mencius, SlotOwnershipRotates) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), mencius_factory(3),
+             kv_factory());
+  w.start();
+  auto& m0 = static_cast<MenciusReplica&>(w.protocol(0));
+  EXPECT_EQ(m0.owner(0), 0u);
+  EXPECT_EQ(m0.owner(1), 1u);
+  EXPECT_EQ(m0.owner(2), 2u);
+  EXPECT_EQ(m0.owner(3), 0u);
+  EXPECT_EQ(m0.owner(7), 1u);
+}
+
+TEST(Mencius, ImbalancedLoneCommandNeedsFullRoundTripToAll) {
+  // Only replica 0 proposes. Committing a slot requires skip promises from
+  // every other replica for its slots below it: 2 * max one-way
+  // (Section IV-C). Slot 0 is special (nothing precedes it), so measure the
+  // second command, which occupies slot 3 and must wait for slots 1 and 2
+  // to be skipped.
+  SimWorld w(world_opts(test::tri(10.0, 80.0, 50.0)), mencius_factory(3),
+             kv_factory());
+  Tick committed_at = 0;
+  w.set_commit_hook([&](ReplicaId r, const Command& c, Timestamp, bool local) {
+    if (local && r == 0 && c.seq == 2) committed_at = w.sim().now();
+  });
+  w.start();
+  w.submit(0, kv_put(1, 1, "k", "v"));
+  w.submit(0, kv_put(1, 2, "k", "w"));
+  w.sim().run_until(ms_to_us(1'000.0));
+  ASSERT_GT(committed_at, 0u);
+  EXPECT_NEAR(us_to_ms(committed_at), 160.0, 2.0);  // 2 * 80ms
+}
+
+TEST(Mencius, SkippedSlotsAreCountedAndExecutionHasNoGaps) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), mencius_factory(3),
+             kv_factory());
+  w.start();
+  for (int i = 0; i < 6; ++i) w.submit(1, kv_put(1, i + 1, "k", std::to_string(i)));
+  w.sim().run_until(ms_to_us(2'000.0));
+  ASSERT_EQ(w.execution(0).size(), 6u);
+  expect_agreement(w);
+  std::uint64_t skips = 0;
+  for (ReplicaId r = 0; r < 3; ++r) {
+    skips += static_cast<MenciusReplica&>(w.protocol(r)).stats().skipped;
+  }
+  EXPECT_GT(skips, 0u);  // replicas 0 and 2 must skip their interleaved slots
+}
+
+TEST(Mencius, BalancedConcurrentCommandsAgree) {
+  SimWorld w(world_opts(test::ec2_five(), 7), mencius_factory(5), kv_factory());
+  w.start();
+  for (int i = 0; i < 20; ++i) {
+    for (ReplicaId r = 0; r < 5; ++r) {
+      w.sim().after(ms_to_us(12.0 * i), [&w, r, i] {
+        w.submit(r, kv_put(make_client_id(r, 0), i + 1, "k" + std::to_string(r),
+                           std::to_string(i)));
+      });
+    }
+  }
+  w.sim().run_until(ms_to_us(10'000.0));
+  ASSERT_EQ(w.execution(0).size(), 100u);
+  expect_agreement(w);
+  // Slot order is increasing at every replica.
+  for (ReplicaId r = 0; r < 5; ++r) {
+    const auto& exec = w.execution(r);
+    for (std::size_t i = 1; i < exec.size(); ++i) {
+      EXPECT_LT(exec[i - 1].ts.ticks, exec[i].ts.ticks);
+    }
+  }
+}
+
+TEST(Mencius, DelayedCommitObservableUnderConcurrency) {
+  // A command at r0 can be delayed by a concurrent slightly-earlier command
+  // from r1 that reaches r0 late: the delayed commit problem. We verify the
+  // commit of r0's lone command is later than its no-contention latency.
+  const LatencyMatrix m = test::tri(100.0, 10.0, 100.0);
+  // Baseline: no contention.
+  Tick solo_commit = 0;
+  {
+    SimWorld w(world_opts(m), mencius_factory(3), kv_factory());
+    w.set_commit_hook([&](ReplicaId r, const Command&, Timestamp, bool local) {
+      if (local && r == 0) solo_commit = w.sim().now();
+    });
+    w.start();
+    w.submit(0, kv_put(1, 1, "k", "v"));
+    w.sim().run_until(ms_to_us(2'000.0));
+    ASSERT_GT(solo_commit, 0u);
+  }
+  // Contended: r1 proposes just before r0.
+  Tick contended_commit = 0;
+  {
+    SimWorld w(world_opts(m), mencius_factory(3), kv_factory());
+    w.set_commit_hook([&](ReplicaId r, const Command& c, Timestamp, bool local) {
+      if (local && r == 0 && c.client == 1) contended_commit = w.sim().now();
+    });
+    w.start();
+    w.submit(1, kv_put(2, 1, "other", "w"));
+    w.submit(0, kv_put(1, 1, "k", "v"));
+    w.sim().run_until(ms_to_us(2'000.0));
+    ASSERT_GT(contended_commit, 0u);
+  }
+  EXPECT_GE(contended_commit, solo_commit);
+}
+
+TEST(Mencius, MessageComplexityQuadratic) {
+  // One command: PROPOSE(N) + N ACK broadcasts (N^2).
+  SimWorld w(world_opts(LatencyMatrix::uniform(5, 20.0)), mencius_factory(5),
+             kv_factory());
+  w.start();
+  w.submit(0, kv_put(1, 1, "k", "v"));
+  w.sim().run_until(ms_to_us(1'000.0));
+  EXPECT_EQ(w.network().messages_sent(), 5u + 25u);
+}
+
+TEST(Mencius, NonOwnerProposalsIgnored) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), mencius_factory(3),
+             kv_factory());
+  w.start();
+  // Forge a proposal for slot 1 (owned by replica 1) from replica 0.
+  Message forged;
+  forged.type = MsgType::kMenPropose;
+  forged.from = 0;
+  forged.slot = 1;
+  forged.cmd = kv_put(1, 1, "k", "v");
+  w.protocol(2).on_message(forged);
+  w.sim().run_until(ms_to_us(500.0));
+  EXPECT_TRUE(w.execution(2).empty());
+}
+
+}  // namespace
+}  // namespace crsm

@@ -1,0 +1,119 @@
+// Cross-validation: the discrete-event simulator against the closed-form
+// latency models of Section IV, across EC2 and randomized topologies.
+//
+// For the leader-based protocols the formulas are exact, so simulated means
+// must match tightly. For Clock-RSM the balanced formula is a worst-case
+// over concurrent proposals, so the simulated mean must fall between the
+// imbalanced (lower) and balanced (upper) predictions. For Mencius-bcast
+// the paper gives the range [q, q + max one-way].
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/latency_model.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace crsm {
+namespace {
+
+LatencyMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  LatencyMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      m.set_oneway_ms(i, j, rng.uniform(10.0, 150.0));
+    }
+  }
+  return m;
+}
+
+struct TopoParam {
+  std::string name;
+  LatencyMatrix matrix;
+};
+
+std::vector<TopoParam> topologies() {
+  return {
+      {"Ec2Three", test::ec2_three()},
+      {"Ec2Five", test::ec2_five()},
+      {"Uniform5", LatencyMatrix::uniform(5, 30.0)},
+      {"Random5a", random_matrix(5, 101)},
+      {"Random5b", random_matrix(5, 202)},
+      {"Random7", random_matrix(7, 303)},
+  };
+}
+
+class ModelVsSimTest : public ::testing::TestWithParam<TopoParam> {
+ protected:
+  LatencyExperimentOptions options() const {
+    LatencyExperimentOptions o;
+    o.matrix = GetParam().matrix;
+    o.workload.clients_per_replica = 20;
+    o.duration_s = 8.0;
+    o.warmup_s = 1.5;
+    o.clock_skew_ms = 1.0;
+    o.seed = 9;
+    return o;
+  }
+};
+
+TEST_P(ModelVsSimTest, PaxosClassicMatchesFormula) {
+  const LatencyExperimentOptions opt = options();
+  LatencyModel model(opt.matrix);
+  const std::size_t leader = model.best_leader_paxos();
+  const auto r = run_latency_experiment(
+      opt, paxos_factory(opt.matrix.size(), static_cast<ReplicaId>(leader), false));
+  for (std::size_t i = 0; i < opt.matrix.size(); ++i) {
+    ASSERT_FALSE(r.per_replica[i].empty()) << "replica " << i;
+    EXPECT_NEAR(r.per_replica[i].mean(), model.paxos(leader, i), 6.0)
+        << "replica " << i;
+  }
+}
+
+TEST_P(ModelVsSimTest, PaxosBcastMatchesPreciseFormula) {
+  const LatencyExperimentOptions opt = options();
+  LatencyModel model(opt.matrix);
+  const std::size_t leader = model.best_leader_paxos_bcast();
+  const auto r = run_latency_experiment(
+      opt, paxos_factory(opt.matrix.size(), static_cast<ReplicaId>(leader), true));
+  for (std::size_t i = 0; i < opt.matrix.size(); ++i) {
+    ASSERT_FALSE(r.per_replica[i].empty()) << "replica " << i;
+    EXPECT_NEAR(r.per_replica[i].mean(), model.paxos_bcast_precise(leader, i), 6.0)
+        << "replica " << i;
+  }
+}
+
+TEST_P(ModelVsSimTest, ClockRsmBetweenImbalancedAndBalancedBounds) {
+  const LatencyExperimentOptions opt = options();
+  LatencyModel model(opt.matrix);
+  const auto r =
+      run_latency_experiment(opt, clock_rsm_factory(opt.matrix.size()));
+  for (std::size_t i = 0; i < opt.matrix.size(); ++i) {
+    ASSERT_FALSE(r.per_replica[i].empty()) << "replica " << i;
+    const double mean = r.per_replica[i].mean();
+    EXPECT_GE(mean, model.clock_rsm_imbalanced(i) - 4.0) << "replica " << i;
+    EXPECT_LE(mean, model.clock_rsm_balanced(i) + 10.0) << "replica " << i;
+  }
+}
+
+TEST_P(ModelVsSimTest, MenciusWithinDelayedCommitRange) {
+  const LatencyExperimentOptions opt = options();
+  LatencyModel model(opt.matrix);
+  const auto r = run_latency_experiment(opt, mencius_factory(opt.matrix.size()));
+  for (std::size_t i = 0; i < opt.matrix.size(); ++i) {
+    ASSERT_FALSE(r.per_replica[i].empty()) << "replica " << i;
+    const auto [lo, hi] = model.mencius_bcast_balanced(i);
+    const double mean = r.per_replica[i].mean();
+    EXPECT_GE(mean, lo - 6.0) << "replica " << i;
+    EXPECT_LE(mean, hi + 10.0) << "replica " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ModelVsSimTest,
+                         ::testing::ValuesIn(topologies()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace crsm

@@ -1,0 +1,251 @@
+// Tests for Clock-RSM reconfiguration, recovery and reintegration
+// (Algorithm 3, Section V).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clockrsm/clock_rsm.h"
+#include "test_util.h"
+
+namespace crsm {
+namespace {
+
+using test::expect_agreement;
+using test::kv_factory;
+using test::kv_put;
+using test::world_opts;
+
+ClockRsmOptions reconfig_options() {
+  ClockRsmOptions o;
+  o.clocktime_enabled = true;
+  o.clocktime_delta_us = 5'000;
+  o.reconfig_enabled = true;
+  o.fd_timeout_us = 400'000;       // 400 ms: fast detection for tests
+  o.fd_check_interval_us = 100'000;
+  o.consensus_retry_us = 300'000;
+  return o;
+}
+
+SimWorld::ProtocolFactory reconfig_factory(std::size_t n,
+                                           ClockRsmOptions o = reconfig_options()) {
+  std::vector<ReplicaId> spec(n);
+  for (std::size_t i = 0; i < n; ++i) spec[i] = static_cast<ReplicaId>(i);
+  return [spec, o](ProtocolEnv& env, ReplicaId) {
+    return std::make_unique<ClockRsmReplica>(env, spec, o);
+  };
+}
+
+ClockRsmReplica& crsm_at(SimWorld& w, ReplicaId r) {
+  return static_cast<ClockRsmReplica&>(w.protocol(r));
+}
+
+TEST(Reconfig, ManualRemovalRestoresProgress) {
+  // 3 replicas; r2 crashes; without reconfiguration commits stall (stable
+  // order needs r2's clock); removing r2 restores progress.
+  ClockRsmOptions o = reconfig_options();
+  o.reconfig_enabled = true;
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), reconfig_factory(3, o),
+             kv_factory());
+  w.start();
+  w.submit(0, kv_put(1, 1, "a", "1"));
+  w.sim().run_until(ms_to_us(200.0));
+  ASSERT_EQ(w.execution(0).size(), 1u);
+
+  w.crash(2);
+  // Disable the automatic detector path by reconfiguring manually first.
+  crsm_at(w, 0).reconfigure({0, 1});
+  w.sim().run_until(ms_to_us(1'000.0));
+  EXPECT_EQ(crsm_at(w, 0).epoch(), 1u);
+  EXPECT_EQ(crsm_at(w, 1).epoch(), 1u);
+  EXPECT_EQ(crsm_at(w, 0).config(), (std::vector<ReplicaId>{0, 1}));
+
+  w.submit(0, kv_put(1, 2, "b", "2"));
+  w.submit(1, kv_put(2, 1, "c", "3"));
+  w.sim().run_until(ms_to_us(2'000.0));
+  EXPECT_EQ(w.execution(0).size(), 3u);
+  EXPECT_EQ(w.execution(1).size(), 3u);
+}
+
+TEST(Reconfig, FailureDetectorRemovesCrashedReplicaAutomatically) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(5, 10.0)), reconfig_factory(5),
+             kv_factory());
+  w.start();
+  w.submit(0, kv_put(1, 1, "a", "1"));
+  w.sim().run_until(ms_to_us(300.0));
+  ASSERT_EQ(w.execution(0).size(), 1u);
+
+  w.crash(4);
+  // Detection (400 ms) + reconfiguration; give it a couple of seconds.
+  w.sim().run_until(ms_to_us(3'000.0));
+  EXPECT_GE(crsm_at(w, 0).epoch(), 1u);
+  EXPECT_EQ(crsm_at(w, 0).config().size(), 4u);
+
+  w.submit(1, kv_put(2, 1, "b", "2"));
+  w.sim().run_until(ms_to_us(4'000.0));
+  EXPECT_EQ(w.execution(1).size(), 2u);
+  // All survivors in the same epoch and configuration.
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_EQ(crsm_at(w, r).epoch(), crsm_at(w, 0).epoch()) << "replica " << r;
+    EXPECT_EQ(crsm_at(w, r).config(), crsm_at(w, 0).config());
+  }
+  expect_agreement(w);
+}
+
+TEST(Reconfig, CommandsLoggedAtMajoritySurviveReconfiguration) {
+  // A command majority-logged but not yet committed when the coordinator
+  // crashes must be preserved by the SUSPEND/consensus collection
+  // (Claim 3: anything that could have committed survives).
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 30.0)), reconfig_factory(3),
+             kv_factory());
+  w.start();
+  w.sim().run_until(ms_to_us(100.0));
+  // Submit at r0 and crash it after PREPARE reaches everyone (one-way 30ms)
+  // but before commit (needs ~60ms+).
+  w.submit(0, kv_put(1, 1, "survivor", "yes"));
+  w.sim().run_until(ms_to_us(140.0));  // PREPAREs logged at r1, r2
+  w.crash(0);
+  w.sim().run_until(ms_to_us(5'000.0));
+
+  // r1/r2 reconfigure to {1,2}; the command must have been applied.
+  EXPECT_GE(crsm_at(w, 1).epoch(), 1u);
+  bool found = false;
+  for (const ExecRecord& e : w.execution(1)) {
+    if (e.cmd.client == 1 && e.cmd.seq == 1) found = true;
+  }
+  EXPECT_TRUE(found) << "majority-logged command lost in reconfiguration";
+  expect_agreement(w);
+}
+
+TEST(Reconfig, RecoveredReplicaRejoinsAndCatchesUp) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), reconfig_factory(3),
+             kv_factory());
+  w.start();
+  w.submit(0, kv_put(1, 1, "a", "1"));
+  w.sim().run_until(ms_to_us(300.0));
+  ASSERT_EQ(w.execution(2).size(), 1u);
+
+  w.crash(2);
+  w.sim().run_until(ms_to_us(3'000.0));  // survivors reconfigure to {0,1}
+  ASSERT_GE(crsm_at(w, 0).epoch(), 1u);
+  ASSERT_EQ(crsm_at(w, 0).config().size(), 2u);
+
+  // Progress while r2 is down.
+  w.submit(0, kv_put(1, 2, "b", "2"));
+  w.submit(1, kv_put(2, 1, "c", "3"));
+  w.sim().run_until(ms_to_us(4'000.0));
+  ASSERT_EQ(w.execution(0).size(), 3u);
+
+  // r2 restarts: replays its log, then rejoins via reconfiguration and
+  // catches up on the commands it missed.
+  w.restart(2);
+  w.sim().run_until(ms_to_us(12'000.0));
+  EXPECT_TRUE(crsm_at(w, 2).in_config());
+  EXPECT_EQ(crsm_at(w, 2).epoch(), crsm_at(w, 0).epoch());
+  EXPECT_EQ(w.execution(2).size(), 3u);
+  EXPECT_EQ(w.state_machine(2).state_digest(), w.state_machine(0).state_digest());
+
+  // And the rejoined replica participates in new commits.
+  w.submit(2, kv_put(3, 1, "d", "4"));
+  w.sim().run_until(ms_to_us(15'000.0));
+  EXPECT_EQ(w.execution(2).size(), 4u);
+  expect_agreement(w);
+}
+
+TEST(Reconfig, ClientCommandsDeferredDuringFreezeAreReplayed) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), reconfig_factory(3),
+             kv_factory());
+  w.start();
+  w.sim().run_until(ms_to_us(100.0));
+  w.crash(2);
+  // Submit while the system is (about to be) frozen by reconfiguration.
+  crsm_at(w, 0).reconfigure({0, 1});
+  w.submit(0, kv_put(1, 1, "during", "freeze"));
+  w.sim().run_until(ms_to_us(3'000.0));
+  ASSERT_GE(crsm_at(w, 0).epoch(), 1u);
+  bool found = false;
+  for (const ExecRecord& e : w.execution(0)) {
+    if (e.cmd.client == 1 && e.cmd.seq == 1) found = true;
+  }
+  EXPECT_TRUE(found) << "deferred submission was lost";
+}
+
+TEST(Reconfig, EpochsAndConfigValidation) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), reconfig_factory(3),
+             kv_factory());
+  w.start();
+  EXPECT_THROW(crsm_at(w, 0).reconfigure({0, 1, 9}), std::invalid_argument);
+  EXPECT_THROW(crsm_at(w, 0).reconfigure({0}), std::invalid_argument);
+}
+
+TEST(Reconfig, ConcurrentReconfigurersConverge) {
+  // Two replicas suspect the crashed one simultaneously and both trigger
+  // RECONFIGURE; consensus must pick exactly one next configuration.
+  SimWorld w(world_opts(LatencyMatrix::uniform(5, 15.0)), reconfig_factory(5),
+             kv_factory());
+  w.start();
+  w.sim().run_until(ms_to_us(100.0));
+  w.crash(4);
+  crsm_at(w, 0).reconfigure({0, 1, 2, 3});
+  crsm_at(w, 1).reconfigure({1, 2, 3});  // different proposal
+  w.sim().run_until(ms_to_us(5'000.0));
+  const Epoch e0 = crsm_at(w, 0).epoch();
+  ASSERT_GE(e0, 1u);
+  const auto cfg = crsm_at(w, 2).config();
+  EXPECT_TRUE(cfg.size() == 4u || cfg.size() == 3u);
+  for (ReplicaId r = 0; r < 4; ++r) {
+    if (!crsm_at(w, r).in_config()) continue;
+    EXPECT_EQ(crsm_at(w, r).config(), cfg) << "replica " << r;
+  }
+  // Progress afterwards from a member of the new configuration.
+  const ReplicaId member = cfg[0];
+  w.submit(member, kv_put(1, 1, "after", "ok"));
+  w.sim().run_until(ms_to_us(10'000.0));
+  bool found = false;
+  for (const ExecRecord& e : w.execution(member)) {
+    if (e.cmd.client == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Reconfig, FalseSuspicionRemovedReplicaRejoins) {
+  // A partition makes r2 look dead; survivors remove it. When the partition
+  // heals, r2 (still alive, now out of the configuration) rejoins.
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), reconfig_factory(3),
+             kv_factory());
+  w.start();
+  w.sim().run_until(ms_to_us(100.0));
+  w.network().set_partitioned(2, 0, true);
+  w.network().set_partitioned(2, 1, true);
+  w.sim().run_until(ms_to_us(3'000.0));
+  ASSERT_GE(crsm_at(w, 0).epoch(), 1u);
+  ASSERT_EQ(crsm_at(w, 0).config().size(), 2u);
+
+  w.network().set_partitioned(2, 0, false);
+  w.network().set_partitioned(2, 1, false);
+  w.sim().run_until(ms_to_us(15'000.0));
+  EXPECT_TRUE(crsm_at(w, 2).in_config());
+  EXPECT_EQ(crsm_at(w, 2).epoch(), crsm_at(w, 0).epoch());
+
+  w.submit(2, kv_put(9, 1, "rejoined", "yes"));
+  w.sim().run_until(ms_to_us(20'000.0));
+  bool found = false;
+  for (const ExecRecord& e : w.execution(0)) {
+    if (e.cmd.client == 9) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Reconfig, StatsCountReconfigurations) {
+  SimWorld w(world_opts(LatencyMatrix::uniform(3, 10.0)), reconfig_factory(3),
+             kv_factory());
+  w.start();
+  w.sim().run_until(ms_to_us(100.0));
+  w.crash(2);
+  crsm_at(w, 0).reconfigure({0, 1});
+  w.sim().run_until(ms_to_us(2'000.0));
+  EXPECT_EQ(crsm_at(w, 0).stats().reconfigurations, 1u);
+  EXPECT_EQ(crsm_at(w, 1).stats().reconfigurations, 1u);
+}
+
+}  // namespace
+}  // namespace crsm

@@ -1,0 +1,117 @@
+// Reproduction regression tests: the paper's headline claims, asserted on
+// shortened versions of the actual experiments so CI catches any change
+// that silently breaks the reproduction (see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include "analysis/latency_model.h"
+#include "harness/latency_experiment.h"
+#include "test_util.h"
+
+namespace crsm {
+namespace {
+
+LatencyExperimentOptions paper_opts(LatencyMatrix m, std::uint64_t seed = 42) {
+  LatencyExperimentOptions o;
+  o.matrix = std::move(m);
+  o.workload.clients_per_replica = 20;  // shortened but saturating enough
+  o.duration_s = 8.0;
+  o.warmup_s = 1.5;
+  o.clock_skew_ms = 2.0;
+  o.seed = seed;
+  return o;
+}
+
+// Figure 1 claim: with five replicas, Clock-RSM beats Paxos-bcast at every
+// non-leader replica and is at worst slightly slower at the leader.
+TEST(Reproduction, Fig1ClockRsmBeatsPaxosBcastAtNonLeaders) {
+  const LatencyMatrix m = test::ec2_five();
+  for (ReplicaId leader : {ReplicaId{0}, ReplicaId{1}}) {
+    const auto clock = run_latency_experiment(paper_opts(m), clock_rsm_factory(5));
+    const auto pb =
+        run_latency_experiment(paper_opts(m), paxos_factory(5, leader, true));
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (i == leader) {
+        // "similar or slightly higher at the leader replicas"
+        EXPECT_LT(clock.per_replica[i].mean(),
+                  pb.per_replica[i].mean() * 1.40)
+            << "leader " << ec2_site_name(i);
+      } else {
+        EXPECT_LT(clock.per_replica[i].mean(), pb.per_replica[i].mean())
+            << "non-leader " << ec2_site_name(i) << ", leader "
+            << ec2_site_name(leader);
+      }
+    }
+    // "the highest latency of Clock-RSM at all replicas is lower".
+    double cmax = 0, pmax = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      cmax = std::max(cmax, clock.per_replica[i].mean());
+      pmax = std::max(pmax, pb.per_replica[i].mean());
+    }
+    EXPECT_LT(cmax, pmax);
+  }
+}
+
+// Clock-RSM always provides lower latency than Mencius-bcast (paper §VI-B).
+TEST(Reproduction, ClockRsmBeatsMenciusEverywhere) {
+  const LatencyMatrix m = test::ec2_five();
+  const auto clock = run_latency_experiment(paper_opts(m), clock_rsm_factory(5));
+  const auto mencius = run_latency_experiment(paper_opts(m), mencius_factory(5));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_LE(clock.per_replica[i].mean(), mencius.per_replica[i].mean() + 1.0)
+        << ec2_site_name(i);
+    // And the Mencius p95 spread (delayed commit) exceeds Clock-RSM's.
+    const double mspread = mencius.per_replica[i].percentile(95) -
+                           mencius.per_replica[i].percentile(50);
+    const double cspread = clock.per_replica[i].percentile(95) -
+                           clock.per_replica[i].percentile(50);
+    EXPECT_GT(mspread, cspread) << ec2_site_name(i);
+  }
+}
+
+// Figure 2 claim: three replicas with the best leader (VA) are a special
+// case where Paxos-bcast ~= Clock-RSM at every site (within a few percent).
+TEST(Reproduction, Fig2ThreeReplicasNearTie) {
+  const LatencyMatrix m = test::ec2_three();
+  const auto clock = run_latency_experiment(paper_opts(m), clock_rsm_factory(3));
+  const auto pb = run_latency_experiment(paper_opts(m), paxos_factory(3, 1, true));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(clock.per_replica[i].mean(), pb.per_replica[i].mean(),
+                pb.per_replica[i].mean() * 0.08)
+        << ec2_site_name(i);
+  }
+}
+
+// Figure 5 claim: under imbalanced load Mencius-bcast pays a full round
+// trip to the farthest replica while Clock-RSM stays near its balanced
+// latency.
+TEST(Reproduction, Fig5ImbalancedShapes) {
+  const LatencyMatrix m = test::ec2_five();
+  LatencyModel model(m);
+  for (const std::size_t active : {std::size_t{1}, std::size_t{4}}) {  // VA, SG
+    LatencyExperimentOptions o = paper_opts(m, 42 + active);
+    o.workload.active_replicas = {static_cast<ReplicaId>(active)};
+    const auto clock = run_latency_experiment(o, clock_rsm_factory(5));
+    const auto mencius = run_latency_experiment(o, mencius_factory(5));
+    EXPECT_NEAR(mencius.per_replica[active].mean(),
+                model.mencius_bcast_imbalanced(active), 8.0)
+        << ec2_site_name(active);
+    EXPECT_NEAR(clock.per_replica[active].mean(),
+                model.clock_rsm_imbalanced(active), 10.0)
+        << ec2_site_name(active);
+    EXPECT_LT(clock.per_replica[active].mean(),
+              mencius.per_replica[active].mean());
+  }
+}
+
+// Table IV claim: the improved/regressed split across all EC2 groups.
+TEST(Reproduction, TableIVSplits) {
+  const GroupSweepResult r5 = sweep_groups(ec2_matrix(), 5);
+  EXPECT_NEAR(r5.improved_fraction, 0.686, 0.001);  // exact split
+  const GroupSweepResult r7 = sweep_groups(ec2_matrix(), 7);
+  EXPECT_NEAR(r7.improved_fraction, 6.0 / 7.0, 0.001);
+  const GroupSweepResult r3 = sweep_groups(ec2_matrix(), 3);
+  EXPECT_DOUBLE_EQ(r3.improved_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace crsm

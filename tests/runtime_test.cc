@@ -1,0 +1,142 @@
+// Tests for the multithreaded runtime: real threads, serialized messages.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "harness/latency_experiment.h"
+#include "kv/kv_store.h"
+#include "runtime/rt_cluster.h"
+#include "runtime/throughput.h"
+
+namespace crsm {
+namespace {
+
+std::unique_ptr<StateMachine> kv() { return std::make_unique<KvStore>(); }
+
+Command put(ClientId client, std::uint64_t seq, const std::string& key) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  KvRequest r;
+  r.op = KvOp::kPut;
+  r.key = key;
+  r.value = std::to_string(seq);
+  c.payload = r.encode();
+  return c;
+}
+
+// Waits until `pred` holds or the deadline passes.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds deadline =
+                               std::chrono::milliseconds(5000)) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+class RtClusterTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  RtCluster::ProtocolFactory factory(std::size_t n) const {
+    const std::string p = GetParam();
+    if (p == "clockrsm") return clock_rsm_factory(n);
+    if (p == "paxos") return paxos_factory(n, 0, false);
+    if (p == "paxos-bcast") return paxos_factory(n, 0, true);
+    return mencius_factory(n);
+  }
+};
+
+TEST_P(RtClusterTest, CommandsCommitAtAllReplicas) {
+  RtCluster cluster(3, factory(3), kv);
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+  for (int i = 0; i < 10; ++i) cluster.submit(0, put(1, i + 1, "k"));
+  EXPECT_TRUE(eventually([&] {
+    return replies.load() == 10 && cluster.executed(0) == 10 &&
+           cluster.executed(1) == 10 && cluster.executed(2) == 10;
+  }));
+  cluster.stop();
+}
+
+TEST_P(RtClusterTest, ConcurrentOriginsAllCommit) {
+  RtCluster cluster(3, factory(3), kv);
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+  constexpr int kPerReplica = 25;
+  for (int i = 0; i < kPerReplica; ++i) {
+    for (ReplicaId r = 0; r < 3; ++r) {
+      cluster.submit(r, put(make_client_id(r, 0), i + 1, "k" + std::to_string(r)));
+    }
+  }
+  EXPECT_TRUE(eventually([&] { return replies.load() == 3 * kPerReplica; }));
+  EXPECT_TRUE(eventually([&] {
+    return cluster.executed(0) == 3 * kPerReplica &&
+           cluster.executed(1) == 3 * kPerReplica &&
+           cluster.executed(2) == 3 * kPerReplica;
+  }));
+  cluster.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, RtClusterTest,
+                         ::testing::Values("clockrsm", "paxos", "paxos-bcast",
+                                           "mencius"),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (char& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(RtCluster, StopIsIdempotentAndJoins) {
+  RtCluster cluster(3, clock_rsm_factory(3), kv);
+  cluster.start();
+  cluster.submit(0, put(1, 1, "k"));
+  cluster.stop();
+  cluster.stop();  // no-op
+}
+
+TEST(RtCluster, CountsWireTraffic) {
+  RtCluster cluster(3, clock_rsm_factory(3), kv);
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+  cluster.submit(0, put(1, 1, "key"));
+  ASSERT_TRUE(eventually([&] { return replies.load() == 1; }));
+  cluster.stop();
+  EXPECT_GT(cluster.messages_sent(), 0u);
+  EXPECT_GT(cluster.bytes_sent(), 0u);
+}
+
+TEST(Throughput, MeasuresCommittedOps) {
+  ThroughputOptions opt;
+  opt.num_replicas = 3;
+  opt.clients_per_replica = 4;
+  opt.payload_bytes = 64;
+  opt.warmup_s = 0.1;
+  opt.duration_s = 0.4;
+  const ThroughputResult r = run_throughput(opt, clock_rsm_factory(3));
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.kops_per_sec, 0.0);
+}
+
+TEST(Throughput, ImbalancedOptionRestrictsOrigins) {
+  ThroughputOptions opt;
+  opt.num_replicas = 3;
+  opt.clients_per_replica = 2;
+  opt.payload_bytes = 32;
+  opt.warmup_s = 0.05;
+  opt.duration_s = 0.2;
+  opt.only_replica = 1;
+  const ThroughputResult r = run_throughput(opt, mencius_factory(3));
+  EXPECT_GT(r.total_ops, 0u);
+}
+
+}  // namespace
+}  // namespace crsm

@@ -1,0 +1,161 @@
+// Unit tests for command logs and crash-recovery replay.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "storage/command_log.h"
+#include "storage/recovery.h"
+
+namespace crsm {
+namespace {
+
+Command cmd(std::uint64_t seq) {
+  Command c;
+  c.client = 1;
+  c.seq = seq;
+  c.payload = "p" + std::to_string(seq);
+  return c;
+}
+
+TEST(MemLog, AppendAndRead) {
+  MemLog log;
+  log.append(LogRecord::prepare(Timestamp{1, 0}, cmd(1)));
+  log.append(LogRecord::commit(Timestamp{1, 0}));
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records()[0].type, LogType::kPrepare);
+  EXPECT_EQ(log.records()[1].type, LogType::kCommit);
+}
+
+TEST(MemLog, RemoveUncommittedAbove) {
+  MemLog log;
+  log.append(LogRecord::prepare(Timestamp{1, 0}, cmd(1)));
+  log.append(LogRecord::commit(Timestamp{1, 0}));
+  log.append(LogRecord::prepare(Timestamp{5, 0}, cmd(5)));   // uncommitted, above
+  log.append(LogRecord::prepare(Timestamp{6, 1}, cmd(6)));   // uncommitted, kept
+  log.append(LogRecord::prepare(Timestamp{7, 0}, cmd(7)));   // committed, above
+  log.append(LogRecord::commit(Timestamp{7, 0}));
+  log.remove_uncommitted_above(Timestamp{2, 0}, [](const Timestamp& ts) {
+    return ts == Timestamp{6, 1};
+  });
+  ASSERT_EQ(log.size(), 5u);
+  EXPECT_EQ(log.records()[2].ts, (Timestamp{6, 1}));
+  EXPECT_EQ(log.records()[3].ts, (Timestamp{7, 0}));
+}
+
+class FileLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("crsm_log_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(FileLogTest, PersistsAcrossReopen) {
+  {
+    FileLog log(path_.string());
+    log.append(LogRecord::prepare(Timestamp{1, 0}, cmd(1)));
+    log.append(LogRecord::commit(Timestamp{1, 0}));
+    log.sync();
+  }
+  FileLog reopened(path_.string());
+  ASSERT_EQ(reopened.size(), 2u);
+  EXPECT_EQ(reopened.records()[0].cmd, cmd(1));
+  EXPECT_EQ(reopened.records()[1].type, LogType::kCommit);
+}
+
+TEST_F(FileLogTest, ToleratesTornTail) {
+  {
+    FileLog log(path_.string());
+    log.append(LogRecord::prepare(Timestamp{1, 0}, cmd(1)));
+    log.append(LogRecord::prepare(Timestamp{2, 0}, cmd(2)));
+    log.sync();
+  }
+  // Simulate a torn write: chop the last few bytes.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 3);
+
+  FileLog reopened(path_.string());
+  ASSERT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(reopened.records()[0].cmd, cmd(1));
+  // The torn tail is trimmed; appending continues cleanly.
+  reopened.append(LogRecord::prepare(Timestamp{3, 0}, cmd(3)));
+  reopened.sync();
+  FileLog again(path_.string());
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again.records()[1].cmd, cmd(3));
+}
+
+TEST_F(FileLogTest, RemoveUncommittedRewrites) {
+  {
+    FileLog log(path_.string());
+    log.append(LogRecord::prepare(Timestamp{1, 0}, cmd(1)));
+    log.append(LogRecord::commit(Timestamp{1, 0}));
+    log.append(LogRecord::prepare(Timestamp{9, 2}, cmd(9)));
+    log.remove_uncommitted_above(Timestamp{1, 0}, nullptr);
+  }
+  FileLog reopened(path_.string());
+  ASSERT_EQ(reopened.size(), 2u);
+}
+
+TEST(Replay, CommittedInTimestampOrder) {
+  std::vector<LogRecord> recs;
+  // PREPAREs arrive out of timestamp order; COMMIT marks are in order.
+  recs.push_back(LogRecord::prepare(Timestamp{2, 1}, cmd(2)));
+  recs.push_back(LogRecord::prepare(Timestamp{1, 0}, cmd(1)));
+  recs.push_back(LogRecord::commit(Timestamp{1, 0}));
+  recs.push_back(LogRecord::commit(Timestamp{2, 1}));
+  recs.push_back(LogRecord::prepare(Timestamp{3, 0}, cmd(3)));  // no commit
+
+  const ReplayResult r = replay_log(recs);
+  ASSERT_EQ(r.committed.size(), 2u);
+  EXPECT_EQ(r.committed[0].ts, (Timestamp{1, 0}));
+  EXPECT_EQ(r.committed[1].ts, (Timestamp{2, 1}));
+  EXPECT_EQ(r.last_commit_ts, (Timestamp{2, 1}));
+  ASSERT_EQ(r.unresolved.size(), 1u);
+  EXPECT_EQ(r.unresolved[0].ts, (Timestamp{3, 0}));
+}
+
+TEST(Replay, EmptyLog) {
+  const ReplayResult r = replay_log({});
+  EXPECT_TRUE(r.committed.empty());
+  EXPECT_TRUE(r.unresolved.empty());
+  EXPECT_EQ(r.last_commit_ts, kZeroTimestamp);
+}
+
+TEST(Replay, CommitWithoutPrepareThrows) {
+  std::vector<LogRecord> recs;
+  recs.push_back(LogRecord::commit(Timestamp{1, 0}));
+  EXPECT_THROW((void)replay_log(recs), std::runtime_error);
+}
+
+TEST(Replay, OutOfOrderCommitMarksThrow) {
+  std::vector<LogRecord> recs;
+  recs.push_back(LogRecord::prepare(Timestamp{1, 0}, cmd(1)));
+  recs.push_back(LogRecord::prepare(Timestamp{2, 0}, cmd(2)));
+  recs.push_back(LogRecord::commit(Timestamp{2, 0}));
+  recs.push_back(LogRecord::commit(Timestamp{1, 0}));
+  EXPECT_THROW((void)replay_log(recs), std::runtime_error);
+}
+
+TEST(Replay, ApplyCallbackRunsInOrder) {
+  std::vector<LogRecord> recs;
+  recs.push_back(LogRecord::prepare(Timestamp{5, 0}, cmd(5)));
+  recs.push_back(LogRecord::prepare(Timestamp{4, 1}, cmd(4)));
+  recs.push_back(LogRecord::commit(Timestamp{4, 1}));
+  recs.push_back(LogRecord::commit(Timestamp{5, 0}));
+  std::vector<std::uint64_t> seen;
+  replay_and_apply(recs, [&](const Command& c, Timestamp) { seen.push_back(c.seq); });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{4, 5}));
+}
+
+}  // namespace
+}  // namespace crsm

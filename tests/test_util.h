@@ -1,0 +1,96 @@
+// Shared helpers for protocol tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/latency_experiment.h"
+#include "kv/kv_store.h"
+#include "sim/sim_world.h"
+#include "util/topology.h"
+
+namespace crsm::test {
+
+// Triangle topology with the given one-way latencies (ms).
+inline LatencyMatrix tri(double ab, double ac, double bc) {
+  LatencyMatrix m(3);
+  m.set_oneway_ms(0, 1, ab);
+  m.set_oneway_ms(0, 2, ac);
+  m.set_oneway_ms(1, 2, bc);
+  return m;
+}
+
+// The paper's three-replica deployment {CA, VA, IR}.
+inline LatencyMatrix ec2_three() {
+  return ec2_matrix().submatrix({0, 1, 2});
+}
+
+// The paper's five-replica deployment {CA, VA, IR, JP, SG}.
+inline LatencyMatrix ec2_five() {
+  return ec2_matrix().submatrix({0, 1, 2, 3, 4});
+}
+
+inline SimWorldOptions world_opts(LatencyMatrix m, std::uint64_t seed = 1) {
+  SimWorldOptions o;
+  o.matrix = std::move(m);
+  o.seed = seed;
+  return o;
+}
+
+inline SimWorld::StateMachineFactory kv_factory() {
+  return [] { return std::make_unique<KvStore>(); };
+}
+
+inline Command kv_put(ClientId client, std::uint64_t seq, const std::string& key,
+                      const std::string& value) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  KvRequest r;
+  r.op = KvOp::kPut;
+  r.key = key;
+  r.value = value;
+  c.payload = r.encode();
+  return c;
+}
+
+// Asserts every live replica executed the same command sequence (same
+// commands, same order) and that the state machines agree.
+inline void expect_agreement(SimWorld& w) {
+  ReplicaId ref_id = kNoReplica;
+  for (ReplicaId r = 0; r < w.num_replicas(); ++r) {
+    if (!w.crashed(r)) {
+      ref_id = r;
+      break;
+    }
+  }
+  ASSERT_NE(ref_id, kNoReplica) << "no live replica";
+  const auto& ref = w.execution(ref_id);
+  for (ReplicaId r = ref_id + 1; r < w.num_replicas(); ++r) {
+    if (w.crashed(r)) continue;
+    const auto& exec = w.execution(r);
+    ASSERT_EQ(exec.size(), ref.size()) << "replica " << r << " diverged in length";
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(exec[i].ts, ref[i].ts) << "replica " << r << " order differs at " << i;
+      EXPECT_EQ(exec[i].cmd, ref[i].cmd) << "replica " << r << " cmd differs at " << i;
+    }
+    EXPECT_EQ(w.state_machine(r).state_digest(), w.state_machine(ref_id).state_digest())
+        << "replica " << r << " state digest differs";
+  }
+}
+
+// Asserts executions are totally ordered by timestamp at each replica.
+inline void expect_timestamp_order(SimWorld& w) {
+  for (ReplicaId r = 0; r < w.num_replicas(); ++r) {
+    const auto& exec = w.execution(r);
+    for (std::size_t i = 1; i < exec.size(); ++i) {
+      EXPECT_LT(exec[i - 1].ts, exec[i].ts)
+          << "replica " << r << " executed out of timestamp order at " << i;
+    }
+  }
+}
+
+}  // namespace crsm::test

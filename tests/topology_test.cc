@@ -1,0 +1,94 @@
+// Unit tests for the EC2 topology data and group enumeration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/topology.h"
+
+namespace crsm {
+namespace {
+
+TEST(LatencyMatrix, SymmetricWithZeroDiagonal) {
+  const LatencyMatrix& m = ec2_matrix();
+  ASSERT_EQ(m.size(), kNumEc2Sites);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.oneway_ms(i, i), 0.0);
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m.oneway_ms(i, j), m.oneway_ms(j, i));
+    }
+  }
+}
+
+TEST(LatencyMatrix, TableThreeSpotChecks) {
+  const LatencyMatrix& m = ec2_matrix();
+  const auto s = [](Ec2Site x) { return static_cast<std::size_t>(x); };
+  EXPECT_DOUBLE_EQ(m.rtt_ms(s(Ec2Site::CA), s(Ec2Site::VA)), 83.0);
+  EXPECT_DOUBLE_EQ(m.rtt_ms(s(Ec2Site::IR), s(Ec2Site::JP)), 280.0);
+  EXPECT_DOUBLE_EQ(m.rtt_ms(s(Ec2Site::SG), s(Ec2Site::BR)), 369.0);
+  EXPECT_DOUBLE_EQ(m.rtt_ms(s(Ec2Site::JP), s(Ec2Site::SG)), 77.0);
+  EXPECT_DOUBLE_EQ(m.oneway_ms(s(Ec2Site::CA), s(Ec2Site::JP)), 62.5);
+}
+
+TEST(LatencyMatrix, OutOfRangeThrows) {
+  const LatencyMatrix& m = ec2_matrix();
+  EXPECT_THROW((void)m.oneway_ms(0, 99), std::out_of_range);
+  LatencyMatrix w(2);
+  EXPECT_THROW(w.set_oneway_ms(2, 0, 1.0), std::out_of_range);
+}
+
+TEST(LatencyMatrix, SubmatrixPreservesOrderAndValues) {
+  const LatencyMatrix& m = ec2_matrix();
+  const std::vector<std::size_t> sites = {static_cast<std::size_t>(Ec2Site::CA),
+                                          static_cast<std::size_t>(Ec2Site::VA),
+                                          static_cast<std::size_t>(Ec2Site::IR)};
+  const LatencyMatrix sub = m.submatrix(sites);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.rtt_ms(0, 1), 83.0);
+  EXPECT_DOUBLE_EQ(sub.rtt_ms(0, 2), 170.0);
+  EXPECT_DOUBLE_EQ(sub.rtt_ms(1, 2), 101.0);
+}
+
+TEST(LatencyMatrix, UniformTopology) {
+  const LatencyMatrix u = LatencyMatrix::uniform(4, 25.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(u.oneway_ms(i, j), i == j ? 0.0 : 25.0);
+    }
+  }
+}
+
+TEST(LatencyMatrix, RowIncludesSelfZero) {
+  const auto row = ec2_matrix().row(0);
+  ASSERT_EQ(row.size(), kNumEc2Sites);
+  EXPECT_DOUBLE_EQ(row[0], 0.0);
+  EXPECT_DOUBLE_EQ(row[1], 41.5);
+}
+
+TEST(Combinations, CountsMatchBinomials) {
+  EXPECT_EQ(combinations(7, 3).size(), 35u);
+  EXPECT_EQ(combinations(7, 5).size(), 21u);
+  EXPECT_EQ(combinations(7, 7).size(), 1u);
+  EXPECT_EQ(combinations(5, 5).size(), 1u);
+  EXPECT_EQ(combinations(3, 4).size(), 0u);
+}
+
+TEST(Combinations, AllDistinctAndSorted) {
+  const auto groups = combinations(6, 3);
+  std::set<std::vector<std::size_t>> seen;
+  for (const auto& g : groups) {
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+    EXPECT_LT(g.back(), 6u);
+    EXPECT_TRUE(seen.insert(g).second) << "duplicate group";
+  }
+}
+
+TEST(SiteNames, AllSeven) {
+  EXPECT_STREQ(ec2_site_name(0), "CA");
+  EXPECT_STREQ(ec2_site_name(6), "BR");
+  EXPECT_THROW((void)ec2_site_name(7), std::out_of_range);
+  EXPECT_EQ(group_name({0, 1, 2}), "CA+VA+IR");
+}
+
+}  // namespace
+}  // namespace crsm
