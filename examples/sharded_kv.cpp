@@ -1,0 +1,86 @@
+// Sharded KV: partition the key space across two independent Clock-RSM
+// replica groups and watch commands route, commit and stay isolated.
+//
+// Build & run:  ./build/examples/sharded_kv
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clockrsm/clock_rsm.h"
+#include "kv/kv_store.h"
+#include "shard/sharded_cluster.h"
+#include "util/topology.h"
+
+using namespace crsm;
+
+int main() {
+  // 1. Describe one replica group: the paper's CA / VA / IR EC2 sites.
+  //    Every group uses the same three-site topology.
+  ShardedClusterOptions opts;
+  opts.num_shards = 2;
+  opts.world.matrix = ec2_matrix().submatrix({0, 1, 2});
+  opts.world.seed = 1;
+  opts.world.clock_skew_ms = 2.0;
+
+  // 2. Build the cluster: each group runs Clock-RSM over its own KvStore.
+  std::vector<ReplicaId> spec = {0, 1, 2};
+  ShardedCluster cluster(
+      opts,
+      [&spec](ProtocolEnv& env, ReplicaId) {
+        return std::make_unique<ClockRsmReplica>(env, spec);
+      },
+      [] { return std::make_unique<KvStore>(); });
+
+  // 3. Observe commits cluster-wide; the hook also reports which group
+  //    committed the command.
+  cluster.set_commit_hook([](ShardId s, ReplicaId r, const Command& cmd,
+                             Timestamp ts, bool local_origin) {
+    if (!local_origin) return;
+    const KvRequest req = KvRequest::decode(cmd.payload);
+    std::printf("  shard %u replica %u committed %s=%s (ts %s)\n", s, r,
+                req.key.c_str(), req.value.c_str(), ts.to_string().c_str());
+  });
+
+  cluster.start();
+
+  // 4. Submit writes; the router hashes each key to its owning group.
+  const std::vector<std::pair<std::string, std::string>> writes = {
+      {"user:42", "alice"}, {"user:43", "bob"},
+      {"cart:42", "book"},  {"cart:43", "pen"},
+  };
+  std::printf("routing %zu writes across %zu groups:\n", writes.size(),
+              cluster.num_shards());
+  ClientId client = 1;
+  for (const auto& [key, value] : writes) {
+    Command cmd;
+    cmd.client = client++;
+    cmd.seq = 1;
+    cmd.payload = KvRequest{KvOp::kPut, key, value}.encode();
+    const ShardId s = cluster.submit(/*home=*/0, cmd);
+    std::printf("  %s -> shard %u\n", key.c_str(), s);
+  }
+
+  // 5. Run half a simulated second and inspect each group's state: groups
+  //    hold disjoint key sets, so their digests evolve independently.
+  std::printf("commits:\n");
+  cluster.run_until(ms_to_us(500.0));
+
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    auto& kv = static_cast<KvStore&>(cluster.shard(s).state_machine(0));
+    std::printf("shard %u holds %zu keys, digest %016llx, committed %llu\n", s,
+                kv.size(),
+                static_cast<unsigned long long>(cluster.shard_digest(s)),
+                static_cast<unsigned long long>(cluster.committed(s)));
+  }
+
+  // 6. Reads go to the key's owning group.
+  for (const auto& [key, value] : writes) {
+    const ShardId s = cluster.router().shard_of_key(key);
+    auto& kv = static_cast<KvStore&>(cluster.shard(s).state_machine(0));
+    const std::string* got = kv.get(key);
+    std::printf("read %s from shard %u: %s\n", key.c_str(), s,
+                got ? got->c_str() : "<none>");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Runs a sharded throughput/latency experiment: N independent replica
+// groups, each with its own closed-loop client population over its own
+// slice of the key space (the throughput-scaling scenario the single-group
+// reproduction cannot express).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shard/sharded_cluster.h"
+#include "sim/sim_world.h"
+#include "util/stats.h"
+#include "util/topology.h"
+#include "workload/workload.h"
+
+namespace crsm {
+
+struct ShardedExperimentOptions {
+  std::size_t num_shards = 1;
+  // Topology of ONE replica group; every group uses the same matrix.
+  LatencyMatrix matrix;
+  // Client population of ONE group (clients_per_replica at each active
+  // replica of each group, so total offered load scales with num_shards).
+  WorkloadOptions workload;
+  std::uint64_t seed = 1;
+  double warmup_s = 1.0;      // simulated seconds discarded
+  double duration_s = 10.0;   // simulated seconds measured
+  double clock_skew_ms = 2.0;
+  double jitter_ms = 0.0;
+};
+
+struct ShardedExperimentResult {
+  std::string protocol;
+  std::size_t num_shards = 0;
+  double measured_s = 0.0;
+  // Commit latency and committed-command counts per group, measured at the
+  // originating replica inside the measurement window.
+  std::vector<LatencyStats> per_shard_latency;
+  std::vector<std::uint64_t> per_shard_commands;
+  std::uint64_t total_commands = 0;
+
+  // Aggregate committed commands per second across all groups.
+  [[nodiscard]] double commands_per_sec() const {
+    return measured_s > 0 ? static_cast<double>(total_commands) / measured_s : 0.0;
+  }
+  [[nodiscard]] LatencyStats aggregate_latency() const;
+};
+
+// Builds a ShardedCluster with the given protocol factory over KvStores,
+// partitions the workload key space across groups with the cluster's
+// router, attaches per-group closed-loop clients and runs warmup + duration
+// of simulated time.
+[[nodiscard]] ShardedExperimentResult run_sharded_experiment(
+    const ShardedExperimentOptions& opt, const SimWorld::ProtocolFactory& factory);
+
+}  // namespace crsm

@@ -49,6 +49,15 @@ KvRequest KvRequest::sized_put(const std::string& key, std::size_t payload_bytes
   return r;
 }
 
+std::uint64_t kv_key_hash(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 std::string KvStore::apply(const Command& cmd) {
   const KvRequest r = KvRequest::decode(cmd.payload);
   switch (r.op) {

@@ -1,8 +1,13 @@
 // In-memory replicated key-value store (the paper's evaluation application).
+//
+// In a sharded deployment (src/shard) each replica group runs its own
+// independent KvStore over a disjoint slice of the key space; ShardRouter
+// uses kv_key_hash below to decide which group owns a key.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "rsm/state_machine.h"
@@ -29,6 +34,12 @@ struct KvRequest {
   [[nodiscard]] static KvRequest sized_put(const std::string& key,
                                            std::size_t payload_bytes);
 };
+
+// Stable 64-bit FNV-1a hash of a key. This is the canonical key hash for
+// partitioning the key space across replica groups (ShardRouter); it is
+// deterministic across platforms and runs, so every process maps a key to
+// the same shard.
+[[nodiscard]] std::uint64_t kv_key_hash(std::string_view key);
 
 // Deterministic string -> string map. GETs flow through replication too
 // (the paper's clients only issue updates, but the store supports reads for

@@ -1,0 +1,21 @@
+#include "shard/shard_router.h"
+
+#include <stdexcept>
+
+#include "kv/kv_store.h"
+
+namespace crsm {
+
+ShardRouter::ShardRouter(std::size_t num_shards) : num_shards_(num_shards) {
+  if (num_shards == 0) throw std::invalid_argument("ShardRouter: num_shards == 0");
+}
+
+ShardId ShardRouter::shard_of_key(std::string_view key) const {
+  return static_cast<ShardId>(kv_key_hash(key) % num_shards_);
+}
+
+ShardId ShardRouter::shard_of(const Command& cmd) const {
+  return shard_of_key(KvRequest::decode(cmd.payload).key);
+}
+
+}  // namespace crsm

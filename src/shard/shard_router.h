@@ -1,0 +1,44 @@
+// Key-space partitioning across independent replica groups (shards).
+//
+// Clock-RSM (and the Paxos/Mencius baselines) totally order all commands
+// through a single replica group, so one group's commit pipeline caps total
+// throughput. The shard layer scales past that limit by running N fully
+// independent groups side by side and statically partitioning the KV key
+// space among them: commands for different shards never synchronize, so
+// aggregate throughput grows with the shard count while per-command commit
+// latency stays that of a single group.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/command.h"
+#include "common/types.h"
+
+namespace crsm {
+
+// Identifies one replica group in a sharded deployment; dense [0, N).
+using ShardId = std::uint32_t;
+
+// Stateless key -> group mapping by stable hashing (kv_key_hash, FNV-1a).
+// Deterministic across processes, platforms and runs: every router with the
+// same shard count agrees on the owner of every key, so clients, the
+// harness and tests can each build their own instance.
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t num_shards);
+
+  [[nodiscard]] std::size_t num_shards() const { return num_shards_; }
+
+  [[nodiscard]] ShardId shard_of_key(std::string_view key) const;
+
+  // Routes a KV command by the key inside its encoded KvRequest payload.
+  // Throws CodecError if the payload is not a KvRequest.
+  [[nodiscard]] ShardId shard_of(const Command& cmd) const;
+
+ private:
+  std::size_t num_shards_;
+};
+
+}  // namespace crsm

@@ -1,0 +1,69 @@
+#include "shard/sharded_cluster.h"
+
+#include <utility>
+
+namespace crsm {
+
+namespace {
+
+// SplitMix64-style fork so per-group seeds are decorrelated even when the
+// base seeds of two experiments are adjacent integers.
+std::uint64_t fork_seed(std::uint64_t base, std::size_t shard) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ShardedCluster::ShardedCluster(ShardedClusterOptions opt,
+                               const SimWorld::ProtocolFactory& protocol_factory,
+                               const SimWorld::StateMachineFactory& sm_factory)
+    : router_(opt.num_shards), committed_(opt.num_shards, 0) {
+  shards_.reserve(opt.num_shards);
+  for (std::size_t s = 0; s < opt.num_shards; ++s) {
+    SimWorldOptions wopt = opt.world;
+    wopt.seed = fork_seed(opt.world.seed, s);
+    shards_.push_back(
+        std::make_unique<SimWorld>(std::move(wopt), protocol_factory, sm_factory));
+    const ShardId sid = static_cast<ShardId>(s);
+    shards_.back()->set_commit_hook(
+        [this, sid](ReplicaId r, const Command& cmd, Timestamp ts, bool local) {
+          if (local) ++committed_[sid];
+          if (hook_) hook_(sid, r, cmd, ts, local);
+        });
+  }
+}
+
+void ShardedCluster::start() {
+  for (auto& w : shards_) w->start();
+}
+
+std::size_t ShardedCluster::replicas_per_shard() const {
+  return shards_.front()->num_replicas();
+}
+
+ShardId ShardedCluster::submit(ReplicaId home, Command cmd) {
+  const ShardId s = router_.shard_of(cmd);
+  shards_[s]->submit(home, std::move(cmd));
+  return s;
+}
+
+void ShardedCluster::run_until(Tick t) {
+  for (auto& w : shards_) w->sim().run_until(t);
+}
+
+void ShardedCluster::set_commit_hook(CommitHook hook) { hook_ = std::move(hook); }
+
+std::uint64_t ShardedCluster::total_committed() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : committed_) sum += c;
+  return sum;
+}
+
+std::uint64_t ShardedCluster::shard_digest(ShardId s) {
+  return shards_[s]->state_machine(0).state_digest();
+}
+
+}  // namespace crsm

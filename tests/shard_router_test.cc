@@ -1,0 +1,114 @@
+// Shard layer: deterministic routing, full shard coverage, and state
+// isolation between replica groups.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clockrsm/clock_rsm.h"
+#include "kv/kv_store.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_cluster.h"
+#include "test_util.h"
+#include "util/topology.h"
+
+namespace crsm::test {
+namespace {
+
+TEST(ShardRouter, DeterministicAcrossInstancesAndCalls) {
+  const ShardRouter a(4), b(4);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const ShardId s = a.shard_of_key(key);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(s, a.shard_of_key(key)) << "unstable across calls: " << key;
+    EXPECT_EQ(s, b.shard_of_key(key)) << "instances disagree: " << key;
+  }
+}
+
+TEST(ShardRouter, SingleShardTakesEverything) {
+  const ShardRouter r(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.shard_of_key("key-" + std::to_string(i)), 0u);
+  }
+}
+
+TEST(ShardRouter, AllShardsReachable) {
+  for (const std::size_t n : {2u, 4u, 8u}) {
+    const ShardRouter r(n);
+    std::set<ShardId> seen;
+    for (int i = 0; i < 1000; ++i) {
+      seen.insert(r.shard_of_key("key-" + std::to_string(i)));
+    }
+    EXPECT_EQ(seen.size(), n) << n << " shards, only " << seen.size()
+                              << " reachable from 1000 keys";
+  }
+}
+
+TEST(ShardRouter, CommandRoutingMatchesKeyRouting) {
+  const ShardRouter r(4);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    Command cmd = kv_put(/*client=*/1, /*seq=*/i + 1, key, "v");
+    EXPECT_EQ(r.shard_of(cmd), r.shard_of_key(key));
+  }
+}
+
+TEST(ShardRouter, RejectsZeroShards) {
+  EXPECT_THROW(ShardRouter(0), std::invalid_argument);
+}
+
+// Picks a key owned by `want` under the given router.
+std::string key_in_shard(const ShardRouter& r, ShardId want) {
+  for (int i = 0;; ++i) {
+    std::string key = "iso-" + std::to_string(i);
+    if (r.shard_of_key(key) == want) return key;
+  }
+}
+
+TEST(ShardedCluster, DigestIsolationBetweenGroups) {
+  ShardedClusterOptions opts;
+  opts.num_shards = 2;
+  opts.world.matrix = LatencyMatrix::uniform(3, 10.0);
+  opts.world.seed = 7;
+
+  std::vector<ReplicaId> spec = {0, 1, 2};
+  ShardedCluster cluster(
+      opts,
+      [&spec](ProtocolEnv& env, ReplicaId) {
+        return std::make_unique<ClockRsmReplica>(env, spec);
+      },
+      kv_factory());
+  cluster.start();
+
+  const std::uint64_t empty_digest = KvStore().state_digest();
+  ASSERT_EQ(cluster.shard_digest(0), empty_digest);
+  ASSERT_EQ(cluster.shard_digest(1), empty_digest);
+
+  // Write a key owned by group 0: only group 0's digest may change.
+  const std::string k0 = key_in_shard(cluster.router(), 0);
+  ASSERT_EQ(cluster.submit(0, kv_put(1, 1, k0, "zero")), 0u);
+  cluster.run_until(ms_to_us(500.0));
+  EXPECT_NE(cluster.shard_digest(0), empty_digest);
+  EXPECT_EQ(cluster.shard_digest(1), empty_digest);
+  EXPECT_EQ(cluster.committed(0), 1u);
+  EXPECT_EQ(cluster.committed(1), 0u);
+
+  // Then a key owned by group 1: group 0's digest must not move.
+  const std::uint64_t digest0 = cluster.shard_digest(0);
+  const std::string k1 = key_in_shard(cluster.router(), 1);
+  ASSERT_EQ(cluster.submit(1, kv_put(2, 1, k1, "one")), 1u);
+  cluster.run_until(ms_to_us(1000.0));
+  EXPECT_EQ(cluster.shard_digest(0), digest0);
+  EXPECT_NE(cluster.shard_digest(1), empty_digest);
+  EXPECT_EQ(cluster.total_committed(), 2u);
+
+  // Within each group, all replicas still agree.
+  expect_agreement(cluster.shard(0));
+  expect_agreement(cluster.shard(1));
+}
+
+}  // namespace
+}  // namespace crsm::test
