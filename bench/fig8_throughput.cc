@@ -42,6 +42,11 @@ int main() {
   // which replica saturates first (the Paxos leader vs. everyone evenly).
   Table t({"protocol", "10B cluster kops/s", "100B cluster kops/s",
            "1000B cluster kops/s", "1000B max CPU share", "raw 1000B kops/s"});
+  struct WireRow {
+    const char* label;
+    ThroughputResult r;  // 100B run
+  };
+  std::vector<WireRow> wire_rows;
   for (const Proto& p : protos) {
     std::vector<std::string> row = {p.label};
     double last_share = 0.0, last_raw = 0.0;
@@ -55,6 +60,7 @@ int main() {
       opt.duration_s = 2.0;
       const ThroughputResult r = run_throughput(opt, p.factory);
       row.push_back(fmt_count(r.kops_per_sec_bottleneck));
+      if (size == 100) wire_rows.push_back({p.label, r});
       last_share = r.max_cpu_share;
       last_raw = r.kops_per_sec;
     }
@@ -63,6 +69,15 @@ int main() {
     t.add_row(std::move(row));
   }
   t.print(std::cout);
+
+  // Wire-pipeline counters (100B commands). With the encode-once fan-out
+  // pipeline, encodes/cmd is ~msgs/cmd divided by the broadcast fan-out.
+  std::printf("\nWire counters per committed command (100B):\n");
+  for (const WireRow& w : wire_rows) {
+    std::printf("  %-14s msgs/cmd %6.2f   bytes/cmd %8.1f   encodes/cmd %6.2f\n",
+                w.label, w.r.msgs_per_cmd, w.r.bytes_per_cmd,
+                w.r.encodes_per_cmd);
+  }
 
   std::printf("\nPaper shape to check: Clock-RSM ~ Mencius-bcast at all "
               "sizes; the Paxos leader\nconcentrates CPU (max share >> 20%%) "

@@ -3,6 +3,7 @@
 
 #include "common/codec.h"
 #include "common/message.h"
+#include "common/wire_frame.h"
 
 namespace {
 
@@ -41,6 +42,45 @@ void BM_DecodePrepare(benchmark::State& state) {
                           static_cast<int64_t>(wire.size()));
 }
 BENCHMARK(BM_DecodePrepare)->Arg(10)->Arg(100)->Arg(1000);
+
+// Zero-copy decode: payloads stay views into the receive buffer (the
+// transport hot path). Compare against BM_DecodePrepare (owning).
+void BM_DecodePrepareView(benchmark::State& state) {
+  const std::string wire = make_prepare(static_cast<std::size_t>(state.range(0))).encode();
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    Message m = Message::decode_stream_view(wire, &pos);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_DecodePrepareView)->Arg(10)->Arg(100)->Arg(1000);
+
+// Fan-out cost for a 5-replica broadcast: per-destination encode (the old
+// pipeline) vs one WireFrame shared by every link (encode-once).
+void BM_Broadcast5EncodePerLink(benchmark::State& state) {
+  const Message m = make_prepare(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (int dst = 0; dst < 5; ++dst) {
+      std::string out = m.encode();
+      benchmark::DoNotOptimize(out);
+    }
+  }
+}
+BENCHMARK(BM_Broadcast5EncodePerLink)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Broadcast5EncodeOnce(benchmark::State& state) {
+  const Message m = make_prepare(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    WireFrame f(m);
+    for (int dst = 0; dst < 5; ++dst) {
+      std::string_view bytes = f.bytes();
+      benchmark::DoNotOptimize(bytes);
+    }
+  }
+}
+BENCHMARK(BM_Broadcast5EncodeOnce)->Arg(10)->Arg(100)->Arg(1000);
 
 void BM_VarintEncode(benchmark::State& state) {
   std::uint64_t v = 0;

@@ -93,7 +93,9 @@ Tick ClockRsmReplica::next_send_ticks() {
 }
 
 void ClockRsmReplica::broadcast(const Message& m) {
-  for (ReplicaId r : config_) env_.send(r, m);
+  // Fan-out goes through the environment's transport, which serializes the
+  // message once for all destinations.
+  env_.multicast(config_, m);
 }
 
 Tick ClockRsmReplica::min_latest_tv() const {
@@ -339,7 +341,7 @@ void ClockRsmReplica::reconfigure(std::vector<ReplicaId> new_config) {
   m.type = MsgType::kSuspend;
   m.epoch = proposed_epoch_;
   m.ts = proposed_cts_;
-  for (ReplicaId r : spec_) env_.send(r, m);
+  env_.multicast(spec_, m);
 }
 
 void ClockRsmReplica::handle_suspend(const Message& m) {
@@ -466,7 +468,7 @@ void ClockRsmReplica::apply_decision(Epoch e, const ReconfigDecision& dec) {
     m.ts = last_commit_ts_;
     m.clock_ts = dec.cts.ticks;
     m.a = dec.cts.origin;
-    for (ReplicaId r : spec_) env_.send(r, m);
+    env_.multicast(spec_, m);
     return;
   }
   finish_decision(e, dec, {});

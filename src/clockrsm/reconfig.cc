@@ -16,7 +16,7 @@ std::string ReconfigDecision::encode() const {
   return out;
 }
 
-ReconfigDecision ReconfigDecision::decode(const std::string& blob) {
+ReconfigDecision ReconfigDecision::decode(std::string_view blob) {
   Decoder d(blob);
   ReconfigDecision out;
   const std::uint64_t nc = d.var();

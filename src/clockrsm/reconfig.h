@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/log_record.h"
@@ -21,7 +22,7 @@ struct ReconfigDecision {
   friend bool operator==(const ReconfigDecision&, const ReconfigDecision&) = default;
 
   [[nodiscard]] std::string encode() const;
-  [[nodiscard]] static ReconfigDecision decode(const std::string& blob);
+  [[nodiscard]] static ReconfigDecision decode(std::string_view blob);
 };
 
 }  // namespace crsm

@@ -1,0 +1,137 @@
+// Copy-on-retain byte buffer for wire payloads.
+//
+// The zero-copy receive path (ThreadTransport::poll) decodes messages whose
+// payload fields are *views* into the pooled receive buffer: no bytes are
+// copied while a message is merely inspected and routed. The moment protocol
+// code stores a payload past the handler call — ClockRSM's pending map,
+// Paxos/Mencius slot state, a command-log append — the store goes through
+// Bytes' copy constructor/assignment, which always materializes an owned
+// copy. That single rule ("a copy owns") is what makes view payloads safe to
+// hand to unmodified protocol code.
+//
+// Ownership rules:
+//  * Bytes built from std::string / const char* own their bytes.
+//  * Bytes::view(v) borrows `v`; the borrow is only valid while the backing
+//    buffer is (one transport poll pass). Views never escape the handler
+//    unless copied, because copying produces an owned Bytes.
+//  * Moving preserves the mode: moving a view moves the borrow (still only
+//    valid within the handler scope); moving an owned Bytes transfers the
+//    owned storage.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace crsm {
+
+class Bytes {
+ public:
+  Bytes() = default;
+
+  // Owning constructors (implicit: payloads are assigned from encoded
+  // strings all over the tests and examples).
+  Bytes(std::string s) : owned_(std::move(s)), view_(owned_), is_view_(false) {}
+  Bytes(const char* s) : Bytes(std::string(s)) {}
+
+  // Borrows `v` without copying. Only the decode path should create these.
+  [[nodiscard]] static Bytes view(std::string_view v) {
+    Bytes b;
+    b.view_ = v;
+    b.is_view_ = true;
+    return b;
+  }
+
+  // Copying always yields an owned Bytes: this is the copy-on-retain point.
+  Bytes(const Bytes& o) : owned_(o.view_), view_(owned_), is_view_(false) {}
+  Bytes& operator=(const Bytes& o) {
+    if (this != &o) {
+      // Materialize through a temporary: `o` may be a view into owned_.
+      std::string tmp(o.view_);
+      owned_ = std::move(tmp);
+      view_ = owned_;
+      is_view_ = false;
+    }
+    return *this;
+  }
+
+  Bytes(Bytes&& o) noexcept { steal(std::move(o)); }
+  Bytes& operator=(Bytes&& o) noexcept {
+    if (this != &o) steal(std::move(o));
+    return *this;
+  }
+
+  Bytes& operator=(std::string s) {
+    owned_ = std::move(s);
+    view_ = owned_;
+    is_view_ = false;
+    return *this;
+  }
+  Bytes& operator=(const char* s) { return *this = std::string(s); }
+
+  [[nodiscard]] std::string_view view() const { return view_; }
+  operator std::string_view() const { return view_; }  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] const char* data() const { return view_.data(); }
+  [[nodiscard]] std::size_t size() const { return view_.size(); }
+  [[nodiscard]] bool empty() const { return view_.empty(); }
+  [[nodiscard]] bool is_view() const { return is_view_; }
+
+  // Owned copy of the contents (for code that needs a std::string).
+  [[nodiscard]] std::string str() const { return std::string(view_); }
+
+  void clear() {
+    owned_.clear();
+    view_ = owned_;
+    is_view_ = false;
+  }
+
+  void assign(std::size_t n, char c) {
+    owned_.assign(n, c);
+    view_ = owned_;
+    is_view_ = false;
+  }
+
+  // Converts a view in place into an owned copy (no-op when already owned).
+  void ensure_owned() {
+    if (is_view_) {
+      owned_.assign(view_.begin(), view_.end());
+      view_ = owned_;
+      is_view_ = false;
+    }
+  }
+
+  // Strings and literals compare via the implicit owning constructors; a
+  // dedicated string_view overload would make those comparisons ambiguous.
+  friend bool operator==(const Bytes& a, const Bytes& b) {
+    return a.view_ == b.view_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Bytes& b) {
+    return os << b.view_;
+  }
+
+ private:
+  void steal(Bytes&& o) noexcept {
+    if (o.is_view_) {
+      view_ = o.view_;
+      is_view_ = true;
+      owned_.clear();
+    } else {
+      owned_ = std::move(o.owned_);
+      view_ = owned_;  // the moved string's data pointer may have changed
+      is_view_ = false;
+    }
+    o.owned_.clear();
+    o.view_ = o.owned_;
+    o.is_view_ = false;
+  }
+
+  std::string owned_;
+  std::string_view view_;  // always valid: points into owned_ or a borrow
+  bool is_view_ = false;
+};
+
+}  // namespace crsm

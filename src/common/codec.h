@@ -6,6 +6,7 @@
 // scales with payload size the same way a protobuf encoding would.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -15,6 +16,14 @@
 #include "common/types.h"
 
 namespace crsm {
+
+// The fixed-width integer paths memcpy host-order bytes straight onto the
+// wire, so the documented little-endian assumption must hold at compile
+// time. A big-endian port needs byte-swap fallbacks in u32/u64 (and the
+// matching decoders) before this assert may be relaxed.
+static_assert(std::endian::native == std::endian::little,
+              "codec.h assumes a little-endian host; add byte-swapping to "
+              "Encoder/Decoder u32/u64 before porting to big-endian");
 
 // Thrown when decoding malformed or truncated input.
 class CodecError : public std::runtime_error {
@@ -109,13 +118,17 @@ class Decoder {
     }
   }
 
-  [[nodiscard]] std::string bytes() {
+  // Zero-copy variant: the returned view borrows the decoder's input and is
+  // only valid while that buffer is.
+  [[nodiscard]] std::string_view bytes_view() {
     std::uint64_t n = var();
     need(n);
-    std::string s(in_.substr(pos_, n));
+    std::string_view s = in_.substr(pos_, n);
     pos_ += n;
     return s;
   }
+
+  [[nodiscard]] std::string bytes() { return std::string(bytes_view()); }
 
   [[nodiscard]] Timestamp timestamp() {
     Timestamp ts;
@@ -129,7 +142,10 @@ class Decoder {
 
  private:
   void need(std::uint64_t n) const {
-    if (pos_ + n > in_.size()) throw CodecError("truncated input");
+    // Compare against the remaining length rather than `pos_ + n`: an
+    // adversarial varint length near UINT64_MAX would wrap the addition and
+    // slip truncated input past the bounds check.
+    if (n > in_.size() - pos_) throw CodecError("truncated input");
   }
 
   std::string_view in_;

@@ -2,19 +2,21 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 
+#include "common/bytes.h"
 #include "common/types.h"
 
 namespace crsm {
 
 // An opaque state machine command issued by a client. `payload` carries the
 // application-level operation (for the bundled key-value store, an encoded
-// PUT/GET/DEL); the replication protocols never interpret it.
+// PUT/GET/DEL); the replication protocols never interpret it. The payload is
+// a copy-on-retain Bytes so the transport receive path can decode commands
+// as views into its pooled buffer (see common/bytes.h).
 struct Command {
   ClientId client = 0;
   std::uint64_t seq = 0;  // client-local sequence number, unique per client
-  std::string payload;
+  Bytes payload;
 
   friend bool operator==(const Command&, const Command&) = default;
 

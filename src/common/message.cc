@@ -28,6 +28,36 @@ const char* msg_type_name(MsgType t) {
   return "UNKNOWN";
 }
 
+namespace {
+
+// Shared field decoders. In view mode, byte fields borrow the decoder's
+// input buffer (zero-copy); otherwise they own their bytes.
+Bytes decode_payload(Decoder& d, bool view_mode) {
+  std::string_view v = d.bytes_view();
+  return view_mode ? Bytes::view(v) : Bytes(std::string(v));
+}
+
+Command decode_command_impl(Decoder& d, bool view_mode) {
+  Command c;
+  c.client = d.var();
+  c.seq = d.var();
+  c.payload = decode_payload(d, view_mode);
+  return c;
+}
+
+LogRecord decode_log_record_impl(Decoder& d, bool view_mode) {
+  LogRecord r;
+  r.type = static_cast<LogType>(d.u8());
+  if (r.type != LogType::kPrepare && r.type != LogType::kCommit) {
+    throw CodecError("bad log record type");
+  }
+  r.ts = d.timestamp();
+  if (r.type == LogType::kPrepare) r.cmd = decode_command_impl(d, view_mode);
+  return r;
+}
+
+}  // namespace
+
 void encode_command(const Command& c, std::string* out) {
   Encoder e(out);
   e.var(c.client);
@@ -36,11 +66,7 @@ void encode_command(const Command& c, std::string* out) {
 }
 
 Command decode_command(Decoder& d) {
-  Command c;
-  c.client = d.var();
-  c.seq = d.var();
-  c.payload = d.bytes();
-  return c;
+  return decode_command_impl(d, /*view_mode=*/false);
 }
 
 void encode_log_record(const LogRecord& r, std::string* out) {
@@ -51,14 +77,7 @@ void encode_log_record(const LogRecord& r, std::string* out) {
 }
 
 LogRecord decode_log_record(Decoder& d) {
-  LogRecord r;
-  r.type = static_cast<LogType>(d.u8());
-  if (r.type != LogType::kPrepare && r.type != LogType::kCommit) {
-    throw CodecError("bad log record type");
-  }
-  r.ts = d.timestamp();
-  if (r.type == LogType::kPrepare) r.cmd = decode_command(d);
-  return r;
+  return decode_log_record_impl(d, /*view_mode=*/false);
 }
 
 namespace {
@@ -99,6 +118,43 @@ Shape shape_of(MsgType t) {
   return {};
 }
 
+Message decode_stream_impl(std::string_view buf, std::size_t* pos,
+                           bool view_mode) {
+  std::string_view rest = buf.substr(*pos);
+  Decoder frame(rest);
+  // The frame body is a view either way; only field payloads differ in
+  // ownership. This removes the per-message body copy from every decode.
+  std::string_view body = frame.bytes_view();
+  *pos += rest.size() - frame.remaining();
+
+  Decoder d(body);
+  Message m;
+  m.type = static_cast<MsgType>(d.u8());
+  m.from = d.u32();
+  m.epoch = d.var();
+  const Shape s = shape_of(m.type);
+  if (s.ts) m.ts = d.timestamp();
+  if (s.clock_ts) m.clock_ts = d.u64();
+  if (s.slot) m.slot = d.var();
+  if (s.a) m.a = d.var();
+  if (s.b) m.b = d.var();
+  if (s.cmd) m.cmd = decode_command_impl(d, view_mode);
+  if (s.records) {
+    std::uint64_t n = d.var();
+    // Every record costs >= 13 bytes on the wire, so a count larger than the
+    // remaining body is malformed; checking before reserve() keeps corrupt
+    // counts from turning into huge allocations instead of CodecError.
+    if (n > d.remaining()) throw CodecError("implausible record count");
+    m.records.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      m.records.push_back(decode_log_record_impl(d, view_mode));
+    }
+  }
+  if (s.blob) m.blob = decode_payload(d, view_mode);
+  if (!d.done()) throw CodecError("trailing bytes in message body");
+  return m;
+}
+
 }  // namespace
 
 void Message::encode(std::string* out) const {
@@ -131,31 +187,11 @@ std::string Message::encode() const {
 }
 
 Message Message::decode_stream(std::string_view buf, std::size_t* pos) {
-  std::string_view rest = buf.substr(*pos);
-  Decoder frame(rest);
-  std::string body = frame.bytes();
-  *pos += rest.size() - frame.remaining();
+  return decode_stream_impl(buf, pos, /*view_mode=*/false);
+}
 
-  Decoder d(body);
-  Message m;
-  m.type = static_cast<MsgType>(d.u8());
-  m.from = d.u32();
-  m.epoch = d.var();
-  const Shape s = shape_of(m.type);
-  if (s.ts) m.ts = d.timestamp();
-  if (s.clock_ts) m.clock_ts = d.u64();
-  if (s.slot) m.slot = d.var();
-  if (s.a) m.a = d.var();
-  if (s.b) m.b = d.var();
-  if (s.cmd) m.cmd = decode_command(d);
-  if (s.records) {
-    std::uint64_t n = d.var();
-    m.records.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) m.records.push_back(decode_log_record(d));
-  }
-  if (s.blob) m.blob = d.bytes();
-  if (!d.done()) throw CodecError("trailing bytes in message body");
-  return m;
+Message Message::decode_stream_view(std::string_view buf, std::size_t* pos) {
+  return decode_stream_impl(buf, pos, /*view_mode=*/true);
 }
 
 Message Message::decode(std::string_view framed) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/command.h"
 #include "common/log_record.h"
 #include "common/types.h"
@@ -61,15 +62,23 @@ struct Message {
 
   Command cmd;
   std::vector<LogRecord> records;  // SUSPENDOK / RETRIEVEREPLY payloads
-  std::string blob;                // consensus value (encoded ReconfigDecision)
+  Bytes blob;                      // consensus value (encoded ReconfigDecision)
 
   // Serialization. `encode` appends to `out`, framed with a length prefix so
   // streams of messages can be concatenated; `decode_stream` consumes one
-  // framed message and advances `pos`.
+  // framed message and advances `pos`. The returned message owns all its
+  // payload bytes.
   void encode(std::string* out) const;
   [[nodiscard]] std::string encode() const;
   [[nodiscard]] static Message decode(std::string_view framed);
   [[nodiscard]] static Message decode_stream(std::string_view buf, std::size_t* pos);
+
+  // Zero-copy variant for the transport hot path: payload fields (`cmd`,
+  // `records`, `blob`) decode into views borrowing `buf`, so no payload byte
+  // is copied. The returned message must not outlive `buf`; anything a
+  // handler stores becomes an owned copy via Bytes' copy-on-retain.
+  [[nodiscard]] static Message decode_stream_view(std::string_view buf,
+                                                  std::size_t* pos);
 };
 
 void encode_command(const Command& c, std::string* out);

@@ -1,0 +1,81 @@
+// Encode-once wire frames for the fan-out send path.
+//
+// The paper's throughput experiment (Section VI-D) pins the local-cluster
+// bottleneck on message sending/receiving CPU. Every protocol here is
+// broadcast-heavy: a PREPARE or PHASE2A goes to all N replicas. Serializing
+// the same Message once per link made encoding cost scale with fan-out; a
+// WireFrame serializes it at most once and hands the same bytes to every
+// link it is sent on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/message.h"
+#include "common/types.h"
+
+namespace crsm {
+
+// One outgoing message, shared by every link it travels. Holds the decoded
+// struct (so in-process transports can deliver without re-decoding) and a
+// lazily produced, cached encoding (so byte-stream transports serialize at
+// most once regardless of fan-out).
+//
+// Not thread-safe: a frame is built, encoded and handed to links on the
+// sending thread; receivers only ever see the immutable byte copies/shared
+// message, never the frame itself.
+class WireFrame {
+ public:
+  // The message is moved into shared storage up front: SimTransport's
+  // delivery events retain it past the send call without a second deep
+  // copy, and the byte-stream path pays only this one control-block
+  // allocation per frame (amortized over the fan-out; the encoding itself
+  // is cached inline, not behind another allocation).
+  explicit WireFrame(Message m)
+      : msg_(std::make_shared<const Message>(std::move(m))) {}
+
+  [[nodiscard]] const Message& msg() const { return *msg_; }
+  [[nodiscard]] const std::shared_ptr<const Message>& shared_msg() const {
+    return msg_;
+  }
+
+  // True once bytes() has produced the encoding (lets transports count
+  // actual encode calls).
+  [[nodiscard]] bool encoded_yet() const { return encoded_; }
+
+  // Framed wire bytes (length-prefixed, concatenable). Encoded on first use
+  // and cached; the view is valid for this frame's lifetime.
+  [[nodiscard]] std::string_view bytes() const {
+    if (!encoded_) {
+      msg_->encode(&bytes_);
+      encoded_ = true;
+    }
+    return bytes_;
+  }
+
+ private:
+  std::shared_ptr<const Message> msg_;
+  mutable std::string bytes_;  // filled at most once
+  mutable bool encoded_ = false;
+};
+
+// Per-sender helper: stamps outgoing messages with the sender id (protocols
+// leave Message::from blank; the environment owns identity) and wraps them
+// into frames.
+class FrameWriter {
+ public:
+  explicit FrameWriter(ReplicaId self) : self_(self) {}
+
+  [[nodiscard]] WireFrame frame(const Message& m) const {
+    Message copy = m;
+    copy.from = self_;
+    return WireFrame(std::move(copy));
+  }
+
+ private:
+  ReplicaId self_;
+};
+
+}  // namespace crsm

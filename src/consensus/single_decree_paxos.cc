@@ -22,7 +22,7 @@ std::uint64_t SingleDecreePaxos::next_ballot() {
 
 void SingleDecreePaxos::bcast(Message m) {
   m.epoch = instance_;
-  for (ReplicaId p : participants_) env_.send(p, m);
+  env_.multicast(participants_, m);
 }
 
 void SingleDecreePaxos::propose(std::string value) {
@@ -57,9 +57,9 @@ void SingleDecreePaxos::arm_retry() {
   });
 }
 
-void SingleDecreePaxos::decide(const std::string& value) {
+void SingleDecreePaxos::decide(std::string_view value) {
   if (decided_) return;
-  decided_ = value;
+  decided_ = std::string(value);
   if (on_decide_) on_decide_(*decided_);
 }
 
@@ -91,7 +91,7 @@ void SingleDecreePaxos::on_message(const Message& m) {
       ++promises_;
       if (m.b > best_accepted_ballot_) {
         best_accepted_ballot_ = m.b;
-        best_accepted_value_ = m.blob;
+        best_accepted_value_ = m.blob.str();  // retain: copy out of the frame
       }
       if (static_cast<std::size_t>(promises_) >= majority(participants_.size())) {
         in_phase2_ = true;
@@ -118,7 +118,7 @@ void SingleDecreePaxos::on_message(const Message& m) {
       if (m.a >= promised_) {
         promised_ = m.a;
         accepted_ballot_ = m.a;
-        accepted_value_ = m.blob;
+        accepted_value_ = m.blob.str();  // retain: copy out of the frame
         Message r;
         r.type = MsgType::kConsAccepted;
         r.epoch = instance_;

@@ -12,6 +12,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/message.h"
@@ -43,7 +44,7 @@ class SingleDecreePaxos {
   [[nodiscard]] std::uint64_t next_ballot();
   void begin_round();
   void arm_retry();
-  void decide(const std::string& value);
+  void decide(std::string_view value);
   void bcast(Message m);
 
   ProtocolEnv& env_;

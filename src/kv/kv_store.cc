@@ -18,7 +18,7 @@ std::string KvRequest::encode() const {
   return out;
 }
 
-KvRequest KvRequest::decode(const std::string& payload) {
+KvRequest KvRequest::decode(std::string_view payload) {
   Decoder d(payload);
   KvRequest r;
   r.op = static_cast<KvOp>(d.u8());

@@ -27,7 +27,8 @@ struct KvRequest {
   std::string value;  // kPut only
 
   [[nodiscard]] std::string encode() const;
-  [[nodiscard]] static KvRequest decode(const std::string& payload);
+  // Accepts any byte view (Command::payload converts implicitly).
+  [[nodiscard]] static KvRequest decode(std::string_view payload);
 
   // A kPut whose encoded payload is exactly `payload_bytes` long (padding
   // the value), matching the paper's fixed-size update commands.

@@ -28,7 +28,8 @@ Slot MenciusReplica::next_own_slot_from(Slot at_least) const {
 }
 
 void MenciusReplica::broadcast(const Message& m) {
-  for (ReplicaId r : replicas_) env_.send(r, m);
+  // Encode-once fan-out via the environment's transport.
+  env_.multicast(replicas_, m);
 }
 
 void MenciusReplica::submit(Command cmd) {

@@ -16,7 +16,8 @@ PaxosReplica::PaxosReplica(ProtocolEnv& env, std::vector<ReplicaId> replicas,
 }
 
 void PaxosReplica::broadcast(const Message& m) {
-  for (ReplicaId r : replicas_) env_.send(r, m);
+  // Encode-once fan-out via the environment's transport.
+  env_.multicast(replicas_, m);
 }
 
 void PaxosReplica::submit(Command cmd) {

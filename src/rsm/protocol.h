@@ -31,6 +31,15 @@ class ProtocolEnv {
   [[nodiscard]] virtual ReplicaId self() const = 0;
 
   virtual void send(ReplicaId to, const Message& m) = 0;
+
+  // Fan-out send: `m` goes to every replica in `tos` (FIFO per link, same
+  // guarantees as send). Environments backed by a Transport serialize the
+  // message at most once regardless of fan-out; this default keeps scripted
+  // test environments and the send() contract unchanged.
+  virtual void multicast(const std::vector<ReplicaId>& tos, const Message& m) {
+    for (ReplicaId to : tos) send(to, m);
+  }
+
   [[nodiscard]] virtual Tick clock_now() = 0;
   virtual void schedule_after(Tick delay_us, std::function<void()> fn) = 0;
   [[nodiscard]] virtual CommandLog& log() = 0;

@@ -2,30 +2,20 @@
 
 #include <algorithm>
 #include <chrono>
-#include <string_view>
 #include <utility>
 
 #include "clock/system_clock.h"
+#include "common/wire_frame.h"
 #include "storage/command_log.h"
 
 namespace crsm {
 
 // One replica thread plus its environment. All protocol entry points run on
 // the owning thread; cross-thread interaction happens only through the
-// byte queues and the submit queue.
+// transport's byte queues and the submit queue.
 struct RtCluster::Replica final : public ProtocolEnv {
   RtCluster* cluster = nullptr;
   ReplicaId id = kNoReplica;
-
-  // Per-sender FIFO inbound links carrying framed message bytes. Senders
-  // append under the link mutex; the receiver swaps the buffer out, which
-  // batches decoding opportunistically (the paper's implementations batch
-  // the same way: "whenever possible ... without waiting intentionally").
-  struct Link {
-    std::mutex mu;
-    std::string buf;
-  };
-  std::vector<std::unique_ptr<Link>> in;
 
   std::mutex submit_mu;
   std::deque<Command> submits;
@@ -48,30 +38,16 @@ struct RtCluster::Replica final : public ProtocolEnv {
   std::atomic<std::uint64_t> executed{0};
   std::atomic<std::uint64_t> busy_us{0};
 
-  // Sender-side batch buffers (one per destination), flushed at the end of
-  // each processing pass when Options::sender_batching is on.
-  std::vector<std::string> out_bufs;
-
   // --- ProtocolEnv (called from this replica's thread only) ---
   [[nodiscard]] ReplicaId self() const override { return id; }
 
   void send(ReplicaId to, const Message& m) override {
-    Message copy = m;
-    copy.from = id;
-    if (cluster->opt_.sender_batching && to != id) {
-      cluster->encode_for_link(id, to, copy, &out_bufs[to]);
-      return;
-    }
-    cluster->route(id, to, copy);
+    cluster->transport_.send(id, to, FrameWriter(id).frame(m));
   }
 
-  void flush_out_bufs() {
-    for (std::size_t to = 0; to < out_bufs.size(); ++to) {
-      if (out_bufs[to].empty()) continue;
-      cluster->deliver_bytes(id, static_cast<ReplicaId>(to),
-                             std::move(out_bufs[to]));
-      out_bufs[to].clear();
-    }
+  // The fan-out hot path: one Message copy, one serialization, N links.
+  void multicast(const std::vector<ReplicaId>& tos, const Message& m) override {
+    cluster->transport_.multicast(id, tos, FrameWriter(id).frame(m));
   }
 
   [[nodiscard]] Tick clock_now() override { return clock.now_us(); }
@@ -99,7 +75,6 @@ struct RtCluster::Replica final : public ProtocolEnv {
 
   void run() {
     proto->start();
-    std::string batch;
     std::deque<Command> local_submits;
     while (cluster->running_.load(std::memory_order_acquire)) {
       bool did_work = false;
@@ -116,20 +91,9 @@ struct RtCluster::Replica final : public ProtocolEnv {
       }
       local_submits.clear();
 
-      // 2. Inbound messages, one link at a time (FIFO per link).
-      for (auto& link : in) {
-        {
-          std::lock_guard<std::mutex> lk(link->mu);
-          batch.swap(link->buf);
-        }
-        if (batch.empty()) continue;
-        std::size_t pos = 0;
-        while (pos < batch.size()) {
-          proto->on_message(Message::decode_stream(batch, &pos));
-        }
-        batch.clear();
-        did_work = true;
-      }
+      // 2. Inbound messages, one link at a time (FIFO per link), decoded
+      // zero-copy out of the transport's pooled receive buffer.
+      if (cluster->transport_.poll(id)) did_work = true;
 
       // 3. Due timers.
       if (!timers.empty()) {
@@ -148,7 +112,7 @@ struct RtCluster::Replica final : public ProtocolEnv {
 
       // Flush unconditionally: start() or timers may have produced output
       // even on passes that saw no inbound work.
-      if (cluster->opt_.sender_batching) flush_out_bufs();
+      cluster->transport_.flush(id);
 
       if (did_work) {
         const auto spent = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -167,16 +131,15 @@ struct RtCluster::Replica final : public ProtocolEnv {
 
 RtCluster::RtCluster(std::size_t n, ProtocolFactory protocol_factory,
                      StateMachineFactory sm_factory, Options opt)
-    : opt_(opt) {
+    : transport_(n, opt) {
   for (std::size_t i = 0; i < n; ++i) {
     auto r = std::make_unique<Replica>();
     r->cluster = this;
     r->id = static_cast<ReplicaId>(i);
-    r->out_bufs.resize(n);
-    for (std::size_t s = 0; s < n; ++s) {
-      r->in.push_back(std::make_unique<Replica::Link>());
-    }
     r->sm = sm_factory();
+    transport_.register_replica(
+        r->id, [rp = r.get()](const Message& m) { rp->proto->on_message(m); },
+        [rp = r.get()] { rp->wake(); });
     replicas_.push_back(std::move(r));
   }
   // Protocol construction happens after all replicas exist so factories may
@@ -201,54 +164,6 @@ void RtCluster::stop() {
     r->wake();
     if (r->thread.joinable()) r->thread.join();
   }
-}
-
-namespace {
-
-// Burns sender-side CPU proportional to message size, standing in for the
-// kernel network stack (copies + checksum) a socket-based deployment pays.
-std::uint64_t wire_work(std::string_view bytes, unsigned passes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned p = 0; p < passes; ++p) {
-    for (unsigned char c : bytes) {
-      h ^= c;
-      h *= 0x100000001b3ULL;
-    }
-  }
-  return h;
-}
-
-}  // namespace
-
-void RtCluster::encode_for_link(ReplicaId from, ReplicaId to, const Message& m,
-                                std::string* buf) {
-  const std::size_t before = buf->size();
-  m.encode(buf);
-  if (opt_.wire_passes_per_byte > 0 && to != from) {
-    // Only the newly appended bytes pay the per-byte stack cost.
-    volatile std::uint64_t sink =
-        wire_work(std::string_view(buf->data() + before, buf->size() - before),
-                  opt_.wire_passes_per_byte);
-    (void)sink;
-  }
-  bytes_sent_.fetch_add(buf->size() - before, std::memory_order_relaxed);
-  messages_sent_.fetch_add(1, std::memory_order_relaxed);
-}
-
-void RtCluster::deliver_bytes(ReplicaId from, ReplicaId to, std::string bytes) {
-  Replica& dst = *replicas_.at(to);
-  Replica::Link& link = *dst.in.at(from);
-  {
-    std::lock_guard<std::mutex> lk(link.mu);
-    link.buf.append(bytes);
-  }
-  if (to != from) dst.wake();  // self-sends are drained by the current loop pass
-}
-
-void RtCluster::route(ReplicaId from, ReplicaId to, const Message& m) {
-  std::string bytes;
-  encode_for_link(from, to, m, &bytes);
-  deliver_bytes(from, to, std::move(bytes));
 }
 
 void RtCluster::submit(ReplicaId r, Command cmd) {

@@ -2,12 +2,13 @@
 // local-cluster throughput experiment (Section VI-D).
 //
 // Each replica is one thread running the same single-threaded protocol
-// reactors used in the simulator. Messages are genuinely serialized to
-// bytes on the sender thread and decoded on the receiver thread over
-// per-(sender,receiver) FIFO queues, so per-command CPU cost scales with
-// command size and message count exactly as a socket-based deployment's
-// would (minus the kernel). Replicas log to memory, matching the paper's
-// throughput setup ("replicas log commands to main memory").
+// reactors used in the simulator. The wire pipeline is a ThreadTransport
+// (src/transport): messages are genuinely serialized to bytes on the sender
+// thread — at most once per fan-out — and decoded zero-copy on the receiver
+// thread over per-(sender,receiver) FIFO queues, so per-command CPU cost
+// scales with command size and message count exactly as a socket-based
+// deployment's would (minus the kernel). Replicas log to memory, matching
+// the paper's throughput setup ("replicas log commands to main memory").
 #pragma once
 
 #include <atomic>
@@ -25,6 +26,7 @@
 #include "common/types.h"
 #include "rsm/protocol.h"
 #include "rsm/state_machine.h"
+#include "transport/thread_transport.h"
 
 namespace crsm {
 
@@ -37,21 +39,8 @@ class RtCluster {
   // executes; used by clients to unblock.
   using ReplyHook = std::function<void(ReplicaId, const Command&)>;
 
-  struct Options {
-    // Emulated network-stack cost, in extra per-byte passes executed on the
-    // sender thread for every message. An in-process queue moves a byte for
-    // ~1 cheap memcpy, while a real send costs several kernel copies plus
-    // checksumming (the paper's local-cluster bottleneck: "message sending
-    // and receiving is the major consumer of CPU cycles"). 0 disables.
-    unsigned wire_passes_per_byte = 8;
-    // Opportunistic sender-side batching (paper Section VI-A: "batches the
-    // same type of messages being processed whenever possible ... without
-    // waiting intentionally"): messages produced during one processing pass
-    // are buffered per destination and handed over with a single queue
-    // operation at the end of the pass. Amortizes the per-send fixed cost —
-    // most beneficial to the Paxos leader, which sends the most messages.
-    bool sender_batching = false;
-  };
+  // Wire behavior lives in the transport; see ThreadTransport::Options.
+  using Options = ThreadTransport::Options;
 
   RtCluster(std::size_t n, ProtocolFactory protocol_factory,
             StateMachineFactory sm_factory, Options opt);
@@ -83,26 +72,23 @@ class RtCluster {
   // basis for estimating the throughput an N-machine cluster would reach:
   // the busiest replica is the bottleneck.
   [[nodiscard]] std::uint64_t busy_us(ReplicaId r) const;
-  // Total wire bytes moved (all links).
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_.load(); }
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_.load(); }
+
+  // --- wire counters (all links) ---
+  [[nodiscard]] std::uint64_t bytes_sent() const { return transport_.bytes_sent(); }
+  [[nodiscard]] std::uint64_t messages_sent() const { return transport_.messages_sent(); }
+  // Actual Message serializations; < messages_sent() proves fan-out
+  // encode-once is in effect (a 5-replica broadcast encodes once, sends 5).
+  [[nodiscard]] std::uint64_t encode_calls() const { return transport_.encode_calls(); }
+
+  [[nodiscard]] const ThreadTransport& transport() const { return transport_; }
 
  private:
   struct Replica;
 
-  void route(ReplicaId from, ReplicaId to, const Message& m);
-  // Serializes `m` (paying the emulated wire cost) into a batch buffer.
-  void encode_for_link(ReplicaId from, ReplicaId to, const Message& m,
-                       std::string* buf);
-  // Hands a buffer of framed messages to the destination's inbound link.
-  void deliver_bytes(ReplicaId from, ReplicaId to, std::string bytes);
-
   std::vector<std::unique_ptr<Replica>> replicas_;
+  ThreadTransport transport_;
   ReplyHook reply_hook_;
-  Options opt_;
   std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> bytes_sent_{0};
-  std::atomic<std::uint64_t> messages_sent_{0};
 };
 
 }  // namespace crsm

@@ -92,6 +92,8 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
 
   std::this_thread::sleep_for(std::chrono::duration<double>(opt.warmup_s));
   const std::uint64_t bytes_before = cluster.bytes_sent();
+  const std::uint64_t msgs_before = cluster.messages_sent();
+  const std::uint64_t encodes_before = cluster.encode_calls();
   std::vector<std::uint64_t> busy_before(opt.num_replicas);
   for (ReplicaId r = 0; r < opt.num_replicas; ++r) busy_before[r] = cluster.busy_us(r);
   measuring.store(true);
@@ -100,6 +102,8 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
   measuring.store(false);
   const auto t1 = std::chrono::steady_clock::now();
   const std::uint64_t bytes_after = cluster.bytes_sent();
+  const std::uint64_t msgs_after = cluster.messages_sent();
+  const std::uint64_t encodes_after = cluster.encode_calls();
   std::uint64_t max_busy = 0, total_busy = 0;
   for (ReplicaId r = 0; r < opt.num_replicas; ++r) {
     const std::uint64_t b = cluster.busy_us(r) - busy_before[r];
@@ -122,6 +126,12 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
         static_cast<double>(res.total_ops) / (static_cast<double>(max_busy) / 1e6) /
         1000.0;
     res.max_cpu_share = static_cast<double>(max_busy) / static_cast<double>(total_busy);
+  }
+  if (res.total_ops > 0) {
+    const double ops = static_cast<double>(res.total_ops);
+    res.msgs_per_cmd = static_cast<double>(msgs_after - msgs_before) / ops;
+    res.bytes_per_cmd = static_cast<double>(bytes_after - bytes_before) / ops;
+    res.encodes_per_cmd = static_cast<double>(encodes_after - encodes_before) / ops;
   }
   return res;
 }

@@ -34,6 +34,12 @@ struct ThroughputResult {
   double kops_per_sec_bottleneck = 0.0;
   // Busiest replica's share of total protocol CPU (1/N = perfectly even).
   double max_cpu_share = 0.0;
+  // Wire-pipeline counters over the measurement window, normalized per
+  // committed command. encodes_per_cmd < msgs_per_cmd shows fan-out
+  // encode-once at work (a 5-replica broadcast encodes once, sends 5).
+  double msgs_per_cmd = 0.0;
+  double bytes_per_cmd = 0.0;
+  double encodes_per_cmd = 0.0;
 };
 
 // Spawns closed-loop client threads against an RtCluster running the given

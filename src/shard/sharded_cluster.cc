@@ -66,4 +66,17 @@ std::uint64_t ShardedCluster::shard_digest(ShardId s) {
   return shards_[s]->state_machine(0).state_digest();
 }
 
+TransportStats ShardedCluster::wire_stats() const {
+  TransportStats sum;
+  for (const auto& w : shards_) {
+    const TransportStats s = w->network().stats();
+    sum.messages_sent += s.messages_sent;
+    sum.messages_delivered += s.messages_delivered;
+    sum.messages_dropped += s.messages_dropped;
+    sum.bytes_sent += s.bytes_sent;
+    sum.encode_calls += s.encode_calls;
+  }
+  return sum;
+}
+
 }  // namespace crsm

@@ -70,6 +70,10 @@ class ShardedCluster {
   // hold disjoint key ranges, so digests evolve independently.
   [[nodiscard]] std::uint64_t shard_digest(ShardId s);
 
+  // Aggregate wire traffic across every group's transport (messages, bytes,
+  // drops, encode calls). Groups share nothing, so this is a plain sum.
+  [[nodiscard]] TransportStats wire_stats() const;
+
  private:
   ShardRouter router_;
   std::vector<std::unique_ptr<SimWorld>> shards_;

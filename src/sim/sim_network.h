@@ -1,77 +1,12 @@
-// Simulated wide-area network with non-uniform latencies.
+// Backward-compatible name for the simulator-side transport. The link,
+// jitter, crash and partition logic lives in transport/sim_transport.h,
+// sharing the Transport interface with the real-thread runtime.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <unordered_map>
-#include <vector>
-
-#include "common/message.h"
-#include "common/types.h"
-#include "sim/simulator.h"
-#include "util/rng.h"
-#include "util/topology.h"
+#include "transport/sim_transport.h"
 
 namespace crsm {
 
-// Reliable, per-link FIFO message transport over a LatencyMatrix, with
-// optional symmetric jitter, crash and partition injection, and traffic
-// accounting (used to verify the paper's message-complexity claims).
-//
-// Replica ids are indices into the latency matrix.
-class SimNetwork {
- public:
-  using Handler = std::function<void(const Message&)>;
-
-  struct Options {
-    double jitter_ms = 0.0;  // uniform [0, jitter_ms) added per message
-    bool count_bytes = false;
-  };
-
-  SimNetwork(Simulator& sim, LatencyMatrix matrix, Rng rng, Options opt);
-  SimNetwork(Simulator& sim, LatencyMatrix matrix, Rng rng)
-      : SimNetwork(sim, std::move(matrix), rng, Options{}) {}
-
-  void register_replica(ReplicaId id, Handler handler);
-
-  // Sends `m` from -> to. Drops it if either endpoint is crashed (at send or
-  // delivery time) or the link is partitioned. Delivery preserves FIFO order
-  // per (from, to) link even under jitter.
-  void send(ReplicaId from, ReplicaId to, Message m);
-
-  void crash(ReplicaId id);
-  void recover(ReplicaId id);
-  [[nodiscard]] bool crashed(ReplicaId id) const;
-
-  // Blocks/unblocks both directions between a and b.
-  void set_partitioned(ReplicaId a, ReplicaId b, bool blocked);
-
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
-  [[nodiscard]] std::uint64_t messages_delivered() const { return messages_delivered_; }
-  [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
-  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
-
-  [[nodiscard]] const LatencyMatrix& matrix() const { return matrix_; }
-
- private:
-  struct LinkState {
-    Tick last_arrival = 0;
-    bool blocked = false;
-  };
-
-  [[nodiscard]] std::size_t link_index(ReplicaId from, ReplicaId to) const;
-
-  Simulator& sim_;
-  LatencyMatrix matrix_;
-  Rng rng_;
-  Options opt_;
-  std::vector<Handler> handlers_;
-  std::vector<bool> crashed_;
-  std::vector<LinkState> links_;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t messages_delivered_ = 0;
-  std::uint64_t messages_dropped_ = 0;
-  std::uint64_t bytes_sent_ = 0;
-};
+using SimNetwork = SimTransport;
 
 }  // namespace crsm

@@ -28,9 +28,13 @@ struct SimWorld::ReplicaCtx final : public ProtocolEnv {
   [[nodiscard]] ReplicaId self() const override { return id; }
 
   void send(ReplicaId to, const Message& m) override {
-    Message copy = m;
-    copy.from = id;
-    world->network_->send(id, to, std::move(copy));
+    world->network_->send(id, to, FrameWriter(id).frame(m));
+  }
+
+  // One frame per fan-out: the Message is copied and (when byte counting is
+  // on) serialized once, then shared by every destination link.
+  void multicast(const std::vector<ReplicaId>& tos, const Message& m) override {
+    world->network_->multicast(id, tos, FrameWriter(id).frame(m));
   }
 
   [[nodiscard]] Tick clock_now() override { return clk->now_us(); }

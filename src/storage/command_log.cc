@@ -91,8 +91,9 @@ FileLog::FileLog(std::string path) : path_(std::move(path)) {
   while (pos < contents.size()) {
     try {
       Decoder frame(std::string_view(contents).substr(pos));
-      std::string body = frame.bytes();
-      Decoder d(body);
+      // The frame body stays a view into `contents`; decode_log_record owns
+      // every byte it returns, so nothing dangles past replay.
+      Decoder d(frame.bytes_view());
       records_.push_back(decode_log_record(d));
       pos = contents.size() - frame.remaining();
       good = pos;

@@ -1,11 +1,11 @@
-#include "sim/sim_network.h"
+#include "transport/sim_transport.h"
 
 #include <stdexcept>
 #include <utility>
 
 namespace crsm {
 
-SimNetwork::SimNetwork(Simulator& sim, LatencyMatrix matrix, Rng rng, Options opt)
+SimTransport::SimTransport(Simulator& sim, LatencyMatrix matrix, Rng rng, Options opt)
     : sim_(sim),
       matrix_(std::move(matrix)),
       rng_(rng),
@@ -14,25 +14,30 @@ SimNetwork::SimNetwork(Simulator& sim, LatencyMatrix matrix, Rng rng, Options op
       crashed_(matrix_.size(), false),
       links_(matrix_.size() * matrix_.size()) {}
 
-void SimNetwork::register_replica(ReplicaId id, Handler handler) {
+void SimTransport::register_replica(ReplicaId id, Handler handler) {
   if (id >= handlers_.size()) throw std::out_of_range("register_replica");
   handlers_[id] = std::move(handler);
 }
 
-std::size_t SimNetwork::link_index(ReplicaId from, ReplicaId to) const {
+std::size_t SimTransport::link_index(ReplicaId from, ReplicaId to) const {
   return static_cast<std::size_t>(from) * matrix_.size() + to;
 }
 
-void SimNetwork::send(ReplicaId from, ReplicaId to, Message m) {
+void SimTransport::send(ReplicaId from, ReplicaId to, const WireFrame& f) {
   if (from >= handlers_.size() || to >= handlers_.size()) {
-    throw std::out_of_range("SimNetwork::send");
+    throw std::out_of_range("SimTransport::send");
   }
-  ++messages_sent_;
-  if (opt_.count_bytes) bytes_sent_ += m.encode().size();
+  ++stats_.messages_sent;
+  if (opt_.count_bytes) {
+    // Fan-out sends share the frame's cached encoding: one encode call, one
+    // byte count per destination (matching what each link would carry).
+    if (!f.encoded_yet()) ++stats_.encode_calls;
+    stats_.bytes_sent += f.bytes().size();
+  }
 
   LinkState& link = links_[link_index(from, to)];
   if (crashed_[from] || crashed_[to] || link.blocked) {
-    ++messages_dropped_;
+    ++stats_.messages_dropped;
     return;
   }
 
@@ -44,32 +49,33 @@ void SimNetwork::send(ReplicaId from, ReplicaId to, Message m) {
   if (arrival <= link.last_arrival) arrival = link.last_arrival + 1;
   link.last_arrival = arrival;
 
-  sim_.at(arrival, [this, to, m = std::move(m)]() {
+  // All destinations of a multicast share one immutable Message.
+  sim_.at(arrival, [this, to, m = f.shared_msg()]() {
     if (crashed_[to] || !handlers_[to]) {
-      ++messages_dropped_;
+      ++stats_.messages_dropped;
       return;
     }
-    ++messages_delivered_;
-    handlers_[to](m);
+    ++stats_.messages_delivered;
+    handlers_[to](*m);
   });
 }
 
-void SimNetwork::crash(ReplicaId id) {
+void SimTransport::crash(ReplicaId id) {
   if (id >= crashed_.size()) throw std::out_of_range("crash");
   crashed_[id] = true;
 }
 
-void SimNetwork::recover(ReplicaId id) {
+void SimTransport::recover(ReplicaId id) {
   if (id >= crashed_.size()) throw std::out_of_range("recover");
   crashed_[id] = false;
 }
 
-bool SimNetwork::crashed(ReplicaId id) const {
+bool SimTransport::crashed(ReplicaId id) const {
   if (id >= crashed_.size()) throw std::out_of_range("crashed");
   return crashed_[id];
 }
 
-void SimNetwork::set_partitioned(ReplicaId a, ReplicaId b, bool blocked) {
+void SimTransport::set_partitioned(ReplicaId a, ReplicaId b, bool blocked) {
   links_[link_index(a, b)].blocked = blocked;
   links_[link_index(b, a)].blocked = blocked;
 }

@@ -1,0 +1,56 @@
+// Transport: the shared wire pipeline under both execution engines.
+//
+// A Transport moves framed messages between replicas over reliable,
+// per-(sender,receiver) FIFO links — the channel model Section II-A assumes.
+// Two implementations exist:
+//
+//  * SimTransport   — discrete-event delivery over a LatencyMatrix with
+//                     jitter, crash and partition injection (the simulator).
+//  * ThreadTransport — real byte streams between replica threads with an
+//                     emulated per-byte network-stack cost (the local-cluster
+//                     throughput runtime).
+//
+// Both consume WireFrames, so a broadcast is serialized at most once no
+// matter how many links it fans out to, and both account traffic uniformly
+// (TransportStats) so experiments can compare protocols by message and byte
+// complexity as well as by encode work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "common/wire_frame.h"
+
+namespace crsm {
+
+// Uniform traffic accounting. `encode_calls` counts actual Message
+// serializations; with fan-out encode-once it is <= messages_sent (for a
+// broadcast-heavy protocol, roughly messages_sent / fan-out).
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t encode_calls = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends one frame from -> to. FIFO per (from, to) link.
+  virtual void send(ReplicaId from, ReplicaId to, const WireFrame& f) = 0;
+
+  // Fan-out: hands the same frame to every destination link in order. The
+  // frame is serialized at most once (WireFrame caches its encoding), so the
+  // default per-destination loop already encodes once per multicast.
+  virtual void multicast(ReplicaId from, const std::vector<ReplicaId>& tos,
+                         const WireFrame& f) {
+    for (ReplicaId to : tos) send(from, to, f);
+  }
+
+  [[nodiscard]] virtual TransportStats stats() const = 0;
+};
+
+}  // namespace crsm

@@ -1,0 +1,115 @@
+// Unit tests for the copy-on-retain Bytes payload type (common/bytes.h):
+// the ownership rules the zero-copy receive path depends on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/command.h"
+
+namespace crsm {
+namespace {
+
+TEST(Bytes, DefaultIsEmptyOwned) {
+  Bytes b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_FALSE(b.is_view());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(Bytes, OwningConstructionAndAssignment) {
+  Bytes b(std::string("hello"));
+  EXPECT_FALSE(b.is_view());
+  EXPECT_EQ(b, "hello");
+
+  b = "literal";
+  EXPECT_EQ(b, "literal");
+  EXPECT_FALSE(b.is_view());
+
+  b.assign(3, 'x');
+  EXPECT_EQ(b, "xxx");
+
+  b.clear();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(Bytes, ViewBorrowsWithoutCopy) {
+  const std::string backing = "payload-bytes";
+  Bytes v = Bytes::view(backing);
+  EXPECT_TRUE(v.is_view());
+  EXPECT_EQ(v.data(), backing.data());  // no copy
+  EXPECT_EQ(v, "payload-bytes");
+}
+
+TEST(Bytes, CopyOfViewOwns) {
+  const std::string backing = "transient";
+  Bytes v = Bytes::view(backing);
+
+  Bytes stored = v;  // copy-on-retain
+  EXPECT_FALSE(stored.is_view());
+  EXPECT_NE(stored.data(), backing.data());
+  EXPECT_EQ(stored, "transient");
+
+  Bytes assigned;
+  assigned = v;
+  EXPECT_FALSE(assigned.is_view());
+  EXPECT_EQ(assigned, "transient");
+}
+
+TEST(Bytes, CopyOfOwnedDeepCopies) {
+  Bytes a("original");
+  Bytes b = a;
+  EXPECT_FALSE(b.is_view());
+  a = "changed";
+  EXPECT_EQ(b, "original");
+}
+
+TEST(Bytes, MovePreservesModeAndContents) {
+  // Moving an owned Bytes transfers storage; the view must track the moved
+  // string (its data pointer can change under SSO).
+  Bytes owned(std::string(64, 'a'));  // beyond SSO
+  const Bytes moved = std::move(owned);
+  EXPECT_FALSE(moved.is_view());
+  EXPECT_EQ(moved, std::string(64, 'a'));
+
+  const std::string backing = "borrowed";
+  Bytes view = Bytes::view(backing);
+  const Bytes moved_view = std::move(view);
+  EXPECT_TRUE(moved_view.is_view());
+  EXPECT_EQ(moved_view.data(), backing.data());
+}
+
+TEST(Bytes, EnsureOwnedMaterializesInPlace) {
+  const std::string backing = "pinned";
+  Bytes b = Bytes::view(backing);
+  b.ensure_owned();
+  EXPECT_FALSE(b.is_view());
+  EXPECT_NE(b.data(), backing.data());
+  EXPECT_EQ(b, "pinned");
+}
+
+TEST(Bytes, SelfAssignmentIsSafe) {
+  Bytes b("self");
+  b = *&b;
+  EXPECT_EQ(b, "self");
+}
+
+TEST(Command, CopyRetainsViewPayloadAsOwned) {
+  // The pattern every protocol relies on: a decoded message's command views
+  // the receive buffer; storing it (map insert, log append) copies.
+  std::string buffer = "kv-operation-bytes";
+  Command wire_cmd;
+  wire_cmd.client = 1;
+  wire_cmd.seq = 2;
+  wire_cmd.payload = Bytes::view(buffer);
+
+  Command stored = wire_cmd;  // what pending_.emplace / log append do
+  buffer.assign(buffer.size(), '?');  // receive buffer recycled
+
+  EXPECT_FALSE(stored.payload.is_view());
+  EXPECT_EQ(stored.payload, "kv-operation-bytes");
+}
+
+}  // namespace
+}  // namespace crsm

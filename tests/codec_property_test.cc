@@ -131,6 +131,30 @@ TEST(CodecProperty, MixedFieldsRoundTripRandom) {
   }
 }
 
+TEST(CodecProperty, AdversarialVarintLengthNearUint64MaxThrows) {
+  // Regression: Decoder::need() used to test `pos_ + n > in_.size()`, which
+  // wraps for varint length prefixes near UINT64_MAX and let truncated input
+  // pass the bounds check. The check must compare against remaining bytes.
+  const std::uint64_t huge_lengths[] = {~0ULL, ~0ULL - 1, ~0ULL - 7,
+                                        (1ULL << 63) + 1};
+  for (std::uint64_t n : huge_lengths) {
+    Encoder e;
+    e.var(n);
+    std::string data = e.str();
+    data += "abc";  // a few real bytes so pos_ > 0 paths are exercised too
+    Decoder d(data);
+    EXPECT_THROW((void)d.bytes(), CodecError) << "length " << n;
+
+    // Same prefix consumed mid-stream (non-zero pos_).
+    Encoder e2;
+    e2.u32(7);
+    e2.var(n);
+    Decoder d2(e2.str());
+    EXPECT_EQ(d2.u32(), 7u);
+    EXPECT_THROW((void)d2.bytes_view(), CodecError) << "length " << n;
+  }
+}
+
 TEST(CodecProperty, GoldenWireFormat) {
   // Locks the wire layout: changing the codec breaks cross-version logs.
   Message m;

@@ -20,7 +20,7 @@ class ConsensusHost final : public ReplicaProtocol {
               [this](const std::string& v) { decided = v; },
               /*retry_us=*/200'000) {}
 
-  void submit(Command cmd) override { inst_.propose(cmd.payload); }
+  void submit(Command cmd) override { inst_.propose(cmd.payload.str()); }
   void on_message(const Message& m) override { inst_.on_message(m); }
   [[nodiscard]] std::string name() const override { return "consensus-host"; }
 

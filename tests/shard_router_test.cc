@@ -73,6 +73,7 @@ TEST(ShardedCluster, DigestIsolationBetweenGroups) {
   opts.num_shards = 2;
   opts.world.matrix = LatencyMatrix::uniform(3, 10.0);
   opts.world.seed = 7;
+  opts.world.count_bytes = true;  // so wire_stats() below counts encodes
 
   std::vector<ReplicaId> spec = {0, 1, 2};
   ShardedCluster cluster(
@@ -108,6 +109,17 @@ TEST(ShardedCluster, DigestIsolationBetweenGroups) {
   // Within each group, all replicas still agree.
   expect_agreement(cluster.shard(0));
   expect_agreement(cluster.shard(1));
+
+  // Cluster-wide wire accounting sums the per-group transports; with the
+  // encode-once pipeline, frames (encode calls) stay strictly below link
+  // messages on these 3-replica broadcast groups.
+  const TransportStats ws = cluster.wire_stats();
+  EXPECT_EQ(ws.messages_sent,
+            cluster.shard(0).network().messages_sent() +
+                cluster.shard(1).network().messages_sent());
+  EXPECT_GT(ws.encode_calls, 0u);
+  EXPECT_LT(ws.encode_calls, ws.messages_sent);
+  EXPECT_GT(ws.bytes_sent, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Tests for the shared Transport layer: fan-out encode-once on both
+// implementations, FIFO byte streams with zero-copy decode on
+// ThreadTransport, and the acceptance counters from the wire-pipeline
+// refactor (a broadcast message is serialized exactly once regardless of
+// fan-out, with bytes-on-the-wire unchanged).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/wire_frame.h"
+#include "runtime/rt_cluster.h"
+#include "test_util.h"
+#include "transport/thread_transport.h"
+
+namespace crsm {
+namespace {
+
+using test::ec2_five;
+using test::kv_factory;
+using test::kv_put;
+using test::world_opts;
+
+// --- WireFrame ------------------------------------------------------------
+
+TEST(WireFrame, EncodesLazilyAndOnce) {
+  Message m;
+  m.type = MsgType::kClockTime;
+  m.from = 1;
+  m.clock_ts = 42;
+
+  WireFrame f(m);
+  EXPECT_FALSE(f.encoded_yet());
+  const std::string_view first = f.bytes();
+  EXPECT_TRUE(f.encoded_yet());
+  const std::string_view second = f.bytes();
+  // Same cached buffer, not a re-encode.
+  EXPECT_EQ(first.data(), second.data());
+  EXPECT_EQ(std::string(first), m.encode());
+}
+
+TEST(WireFrame, FrameWriterStampsSender) {
+  Message m;
+  m.type = MsgType::kPhase2b;
+  m.slot = 7;
+  const WireFrame f = FrameWriter(3).frame(m);
+  EXPECT_EQ(f.msg().from, 3u);
+  // The wire bytes carry the stamped sender.
+  EXPECT_EQ(Message::decode(f.bytes()).from, 3u);
+}
+
+// --- SimTransport ---------------------------------------------------------
+
+TEST(SimTransportEncodeOnce, FiveReplicaClockRsmEncodesOncePerBroadcast) {
+  // One command: 1 PREPARE broadcast + 5 PREPAREOK broadcasts = 6 frames,
+  // 30 link messages. encode_calls must count frames, not link messages,
+  // while messages_sent/bytes_sent keep per-link accounting.
+  SimWorldOptions opt = world_opts(ec2_five());
+  opt.count_bytes = true;
+  SimWorld w(opt, clock_rsm_factory(5, /*clocktime_enabled=*/false), kv_factory());
+  w.start();
+  w.submit(0, kv_put(1, 1, "k", "v"));
+  w.sim().run_until(ms_to_us(500.0));
+
+  EXPECT_EQ(w.network().messages_sent(), 5u + 25u);
+  EXPECT_EQ(w.network().encode_calls(), 1u + 5u);
+  EXPECT_GT(w.network().bytes_sent(), 0u);
+
+  const TransportStats s = w.network().stats();
+  EXPECT_EQ(s.messages_sent, w.network().messages_sent());
+  EXPECT_EQ(s.encode_calls, w.network().encode_calls());
+}
+
+TEST(SimTransportEncodeOnce, ByteCountMatchesPerLinkEncoding) {
+  // Independent check that sharing one encoding across N links accounts the
+  // same bytes as encoding per link (wire format byte-compatibility).
+  Simulator sim;
+  SimTransport net(sim, LatencyMatrix::uniform(3, 1.0), Rng(1),
+                   SimTransport::Options{.count_bytes = true});
+  for (ReplicaId r = 0; r < 3; ++r) net.register_replica(r, [](const Message&) {});
+
+  Message m;
+  m.type = MsgType::kMenPropose;
+  m.from = 0;
+  m.slot = 9;
+  m.cmd = kv_put(1, 1, "key", "value");
+
+  const WireFrame f(m);
+  net.multicast(0, {0, 1, 2}, f);
+  EXPECT_EQ(net.messages_sent(), 3u);
+  EXPECT_EQ(net.encode_calls(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 3 * m.encode().size());
+}
+
+// --- ThreadTransport ------------------------------------------------------
+
+TEST(ThreadTransport, FifoDeliveryAndZeroCopyDecode) {
+  ThreadTransport tt(2, ThreadTransport::Options{.wire_passes_per_byte = 0});
+
+  std::vector<std::uint64_t> seen;
+  std::vector<bool> payload_was_view;
+  Command retained;  // simulates a protocol storing a command
+  tt.register_replica(
+      1,
+      [&](const Message& m) {
+        seen.push_back(m.slot);
+        payload_was_view.push_back(m.cmd.payload.is_view());
+        retained = m.cmd;  // copy-on-retain
+      },
+      [] {});
+  tt.register_replica(0, [](const Message&) {}, [] {});
+
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    Message m;
+    m.type = MsgType::kMenPropose;
+    m.from = 0;
+    m.slot = s;
+    m.cmd = test::kv_put(7, s + 1, "key", "value-" + std::to_string(s));
+    tt.send(0, 1, WireFrame(std::move(m)));
+  }
+
+  EXPECT_TRUE(tt.poll(1));
+  ASSERT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2}));
+  // Hot path decoded payloads as views into the pooled receive buffer...
+  for (bool v : payload_was_view) EXPECT_TRUE(v);
+  // ...but anything stored became an owned copy with intact bytes.
+  EXPECT_FALSE(retained.payload.is_view());
+  EXPECT_EQ(retained, test::kv_put(7, 3, "key", "value-2"));
+  EXPECT_FALSE(tt.poll(1));  // drained
+
+  EXPECT_EQ(tt.messages_sent(), 3u);
+  EXPECT_EQ(tt.messages_delivered(), 3u);
+  EXPECT_EQ(tt.encode_calls(), 3u);  // three distinct frames
+}
+
+TEST(ThreadTransport, MulticastEncodesOnceAndBatchingFlushes) {
+  ThreadTransport tt(3, ThreadTransport::Options{.wire_passes_per_byte = 0,
+                                                 .sender_batching = true});
+  std::atomic<int> got1{0}, got2{0};
+  tt.register_replica(0, [](const Message&) {}, [] {});
+  tt.register_replica(1, [&](const Message&) { ++got1; }, [] {});
+  tt.register_replica(2, [&](const Message&) { ++got2; }, [] {});
+
+  Message m;
+  m.type = MsgType::kClockTime;
+  m.from = 0;
+  m.clock_ts = 11;
+  tt.multicast(0, {0, 1, 2}, WireFrame(std::move(m)));
+
+  EXPECT_EQ(tt.encode_calls(), 1u);
+  EXPECT_EQ(tt.messages_sent(), 3u);
+
+  // Peer sends are batched until flush; the self-send was delivered
+  // immediately (drained by the sender's own pass).
+  EXPECT_FALSE(tt.poll(1));
+  tt.flush(0);
+  EXPECT_TRUE(tt.poll(1));
+  EXPECT_TRUE(tt.poll(2));
+  EXPECT_TRUE(tt.poll(0));
+  EXPECT_EQ(got1.load(), 1);
+  EXPECT_EQ(got2.load(), 1);
+}
+
+// --- RtCluster end-to-end (acceptance criterion) --------------------------
+
+TEST(RtClusterEncodeOnce, FiveReplicaClockRsmEncodeCallsDropBelowMessages) {
+  const std::size_t n = 5;
+  RtCluster cluster(
+      n, clock_rsm_factory(n), kv_factory(),
+      RtCluster::Options{.wire_passes_per_byte = 0, .sender_batching = false});
+
+  std::atomic<std::uint64_t> done{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++done; });
+  cluster.start();
+  const std::uint64_t kCmds = 50;
+  for (std::uint64_t i = 0; i < kCmds; ++i) {
+    cluster.submit(static_cast<ReplicaId>(i % n),
+                   kv_put(make_client_id(i % n, 0), i + 1, "k", "v"));
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < kCmds && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  cluster.stop();
+  ASSERT_EQ(done.load(), kCmds);
+
+  // Every Clock-RSM message is a broadcast to all 5 replicas, so frames
+  // (encode calls) must be ~messages/5; allow slack for timer-driven
+  // CLOCKTIME traffic but require a clear drop below per-message encoding.
+  const std::uint64_t msgs = cluster.messages_sent();
+  const std::uint64_t encodes = cluster.encode_calls();
+  EXPECT_GT(msgs, 0u);
+  EXPECT_GT(encodes, 0u);
+  EXPECT_LE(encodes * 4, msgs) << "fan-out encode-once not in effect";
+  EXPECT_GT(cluster.bytes_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace crsm
