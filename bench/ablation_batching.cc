@@ -7,15 +7,21 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.h"
 #include "harness/latency_experiment.h"
 #include "harness/report.h"
 #include "runtime/throughput.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
+  using namespace crsm::bench;
 
-  std::printf("Ablation: sender-side batching, five replicas, 100B commands "
-              "(cluster-equivalent kops/s)\n\n");
+  const BenchArgs args = parse_bench_args(argc, argv);  // fixed-size workload
+  JsonResult jr("ablation_batching");
+  if (!args.json) {
+    std::printf("Ablation: sender-side batching, five replicas, 100B commands "
+                "(cluster-equivalent kops/s)\n\n");
+  }
 
   struct Proto {
     const char* label;
@@ -46,9 +52,15 @@ int main() {
       results[batched] = r.kops_per_sec_bottleneck;
       if (batched == 1) share = r.max_cpu_share;
     }
+    jr.add(metric_key(p.label) + "_unbatched_kops", results[0]);
+    jr.add(metric_key(p.label) + "_batched_kops", results[1]);
     t.add_row({p.label, fmt_count(results[0]), fmt_count(results[1]),
                fmt_count(results[1] / std::max(results[0], 1e-9), 2) + "x",
                fmt_pct(share)});
+  }
+  if (args.json) {
+    jr.print(std::cout);
+    return 0;
   }
   t.print(std::cout);
 

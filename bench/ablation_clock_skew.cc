@@ -9,23 +9,33 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
   using namespace crsm::bench;
 
+  const BenchArgs args = parse_bench_args(argc, argv);
   const LatencyMatrix m = ec2_matrix().submatrix({0, 1, 2, 3, 4});
-  std::printf("Ablation: clock skew bound vs Clock-RSM latency (balanced "
-              "workload, five replicas; ms)\n\n");
+  JsonResult jr("ablation_clock_skew");
+  jr.add("seed", args.seed);
+  if (!args.json) {
+    std::printf("Ablation: clock skew bound vs Clock-RSM latency (balanced "
+                "workload, five replicas; ms)\n\n");
+  }
 
   Table t({"skew bound", "avg latency", "p95 latency"});
   for (const double skew_ms : {0.0, 2.0, 10.0, 50.0, 100.0, 250.0}) {
-    LatencyExperimentOptions opt = paper_options(m);
+    LatencyExperimentOptions opt = paper_options(m, args.seed);
     opt.clock_skew_ms = skew_ms;
     opt.duration_s = 10.0;
     const auto result = run_latency_experiment(opt, clock_rsm_factory(m.size()));
     const LatencyStats all = result.aggregate();
+    jr.add("skew_" + fmt_ms(skew_ms, 0) + "ms_avg_ms", all.mean());
     t.add_row({"±" + fmt_ms(skew_ms, 0) + "ms", fmt_ms(all.mean()),
                fmt_ms(all.percentile(95))});
+  }
+  if (args.json) {
+    jr.print(std::cout);
+    return 0;
   }
   t.print(std::cout);
 

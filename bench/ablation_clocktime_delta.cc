@@ -9,17 +9,22 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
   using namespace crsm::bench;
 
+  const BenchArgs args = parse_bench_args(argc, argv);
   const LatencyMatrix m = ec2_matrix().submatrix({0, 1, 2, 3, 4});
-  std::printf("Ablation: CLOCKTIME interval delta vs lone-command latency "
-              "(light imbalanced load at CA, five replicas; ms)\n\n");
+  JsonResult jr("ablation_clocktime_delta");
+  jr.add("seed", args.seed);
+  if (!args.json) {
+    std::printf("Ablation: CLOCKTIME interval delta vs lone-command latency "
+                "(light imbalanced load at CA, five replicas; ms)\n\n");
+  }
 
   Table t({"delta", "avg latency", "p95 latency", "CLOCKTIME msgs/s/replica"});
   for (const double delta_ms : {-1.0, 1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
-    LatencyExperimentOptions opt = paper_options(m);
+    LatencyExperimentOptions opt = paper_options(m, args.seed);
     // Light load: a single client with long think time at CA only.
     opt.workload.clients_per_replica = 1;
     opt.workload.think_min_ms = 200.0;
@@ -35,8 +40,15 @@ int main() {
     // Rough CLOCKTIME rate: broadcasts happen at most every delta.
     const std::string rate =
         enabled ? fmt_count(1000.0 / std::max(delta_ms, 1.0), 1) : "0 (disabled)";
+    jr.add((enabled ? "delta_" + fmt_ms(delta_ms, 0) + "ms" : "delta_off") +
+               "_avg_ms",
+           s.mean());
     t.add_row({enabled ? fmt_ms(delta_ms, 0) + "ms" : "off", fmt_ms(s.mean()),
                fmt_ms(s.percentile(95)), rate});
+  }
+  if (args.json) {
+    jr.print(std::cout);
+    return 0;
   }
   t.print(std::cout);
 

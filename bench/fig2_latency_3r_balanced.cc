@@ -6,19 +6,32 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
   using namespace crsm::bench;
 
+  const BenchArgs args = parse_bench_args(argc, argv);
   const std::vector<std::size_t> sites = {0, 1, 2};  // CA VA IR
   const LatencyMatrix m = ec2_matrix().submatrix(sites);
 
+  JsonResult jr("fig2_latency_3r_balanced");
+  jr.add("seed", args.seed);
   for (const ReplicaId leader : {ReplicaId{0}, ReplicaId{1}}) {
-    std::printf("\nFigure 2(%c): three replicas, balanced workload, leader at %s\n",
-                leader == 0 ? 'a' : 'b', ec2_site_name(sites[leader]));
-    std::printf("(commit latency in ms; avg and 95th percentile per replica)\n\n");
-    const auto runs = run_four_protocols(paper_options(m), leader);
-    print_latency_figure(runs, sites, leader);
+    if (!args.json) {
+      std::printf("\nFigure 2(%c): three replicas, balanced workload, leader at %s\n",
+                  leader == 0 ? 'a' : 'b', ec2_site_name(sites[leader]));
+      std::printf("(commit latency in ms; avg and 95th percentile per replica)\n\n");
+    }
+    const auto runs = run_four_protocols(paper_options(m, args.seed), leader);
+    for (const ProtocolRun& run : runs) {
+      const LatencyStats all = run.result.aggregate();
+      const std::string prefix =
+          metric_key(run.label) + (leader == 0 ? "_leader_ca" : "_leader_va");
+      jr.add(prefix + "_avg_ms", all.mean());
+      jr.add(prefix + "_p95_ms", all.percentile(95));
+    }
+    if (!args.json) print_latency_figure(runs, sites, leader);
   }
+  if (args.json) jr.print(std::cout);
   return 0;
 }

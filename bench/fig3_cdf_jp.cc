@@ -6,29 +6,26 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
   using namespace crsm::bench;
 
+  const BenchArgs args = parse_bench_args(argc, argv);
   const std::vector<std::size_t> sites = {0, 1, 2, 3, 4};
   const std::size_t jp = 3;
   const LatencyMatrix m = ec2_matrix().submatrix(sites);
 
-  std::printf("Figure 3: latency CDF at JP, five replicas, leader at CA, "
+  if (!args.json) std::printf("Figure 3: latency CDF at JP, five replicas, leader at CA, "
               "balanced workload\n\n");
-  const auto runs = run_four_protocols(paper_options(m), /*leader=*/0);
-  for (const ProtocolRun& run : runs) {
-    print_cdf(std::cout, run.label, run.result.per_replica[jp].cdf(20));
-    std::printf("\n");
+  const auto runs = run_four_protocols(paper_options(m, args.seed), /*leader=*/0);
+  if (!args.json) {
+    for (const ProtocolRun& run : runs) {
+      print_cdf(std::cout, run.label, run.result.per_replica[jp].cdf(20));
+      std::printf("\n");
+    }
   }
 
   // Summary row mirroring the paper's reading of the figure.
-  Table t({"protocol", "min", "p50", "p95", "max"});
-  for (const ProtocolRun& run : runs) {
-    const LatencyStats& s = run.result.per_replica[jp];
-    t.add_row({run.label, fmt_ms(s.min()), fmt_ms(s.percentile(50)),
-               fmt_ms(s.percentile(95)), fmt_ms(s.max())});
-  }
-  t.print(std::cout);
+  print_cdf_summary(args, "fig3_cdf_jp", runs, jp);
   return 0;
 }

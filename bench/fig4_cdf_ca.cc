@@ -5,28 +5,25 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
   using namespace crsm::bench;
 
+  const BenchArgs args = parse_bench_args(argc, argv);
   const std::vector<std::size_t> sites = {0, 1, 2};
   const std::size_t ca = 0;
   const LatencyMatrix m = ec2_matrix().submatrix(sites);
 
-  std::printf("Figure 4: latency CDF at CA, three replicas, leader at VA, "
+  if (!args.json) std::printf("Figure 4: latency CDF at CA, three replicas, leader at VA, "
               "balanced workload\n\n");
-  const auto runs = run_four_protocols(paper_options(m), /*leader=*/1);
-  for (const ProtocolRun& run : runs) {
-    print_cdf(std::cout, run.label, run.result.per_replica[ca].cdf(20));
-    std::printf("\n");
+  const auto runs = run_four_protocols(paper_options(m, args.seed), /*leader=*/1);
+  if (!args.json) {
+    for (const ProtocolRun& run : runs) {
+      print_cdf(std::cout, run.label, run.result.per_replica[ca].cdf(20));
+      std::printf("\n");
+    }
   }
 
-  Table t({"protocol", "min", "p50", "p95", "max"});
-  for (const ProtocolRun& run : runs) {
-    const LatencyStats& s = run.result.per_replica[ca];
-    t.add_row({run.label, fmt_ms(s.min()), fmt_ms(s.percentile(50)),
-               fmt_ms(s.percentile(95)), fmt_ms(s.max())});
-  }
-  t.print(std::cout);
+  print_cdf_summary(args, "fig4_cdf_ca", runs, ca);
   return 0;
 }

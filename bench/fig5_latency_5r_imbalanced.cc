@@ -7,17 +7,21 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
   using namespace crsm::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv);
 
   const std::vector<std::size_t> sites = {0, 1, 2, 3, 4};  // CA VA IR JP SG
   const LatencyMatrix m = ec2_matrix().submatrix(sites);
   const ReplicaId leader = 0;  // CA
 
-  std::printf("Figure 5: five replicas, imbalanced workload (clients at one "
-              "replica per run), leader at CA\n");
-  std::printf("(commit latency in ms at the active replica)\n\n");
+  if (!args.json) {
+    std::printf("Figure 5: five replicas, imbalanced workload (clients at one "
+                "replica per run), leader at CA\n");
+    std::printf("(commit latency in ms at the active replica)\n\n");
+  }
 
   struct Row {
     std::string label;
@@ -29,7 +33,7 @@ int main() {
                            {"Clock-RSM", {}, {}}};
 
   for (std::size_t active = 0; active < sites.size(); ++active) {
-    LatencyExperimentOptions opt = paper_options(m, /*seed=*/42 + active);
+    LatencyExperimentOptions opt = paper_options(m, args.seed + active);
     opt.workload.active_replicas = {static_cast<ReplicaId>(active)};
     const auto runs = run_four_protocols(opt, leader);
     for (std::size_t p = 0; p < runs.size(); ++p) {
@@ -46,15 +50,21 @@ int main() {
     headers.push_back(site + " avg");
     headers.push_back(site + " p95");
   }
+  JsonResult jr("fig5_latency_5r_imbalanced");
+  jr.add("seed", args.seed);
   Table t(headers);
   for (const Row& r : rows) {
     std::vector<std::string> cells = {r.label};
     for (std::size_t i = 0; i < sites.size(); ++i) {
+      const std::string prefix =
+          metric_key(r.label) + "_" + metric_key(ec2_site_name(sites[i]));
+      jr.add(prefix + "_avg_ms", r.avg[i]);
+      jr.add(prefix + "_p95_ms", r.p95[i]);
       cells.push_back(fmt_ms(r.avg[i]));
       cells.push_back(fmt_ms(r.p95[i]));
     }
     t.add_row(std::move(cells));
   }
-  t.print(std::cout);
+  print_result(args, jr, t);
   return 0;
 }

@@ -6,29 +6,26 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
   using namespace crsm::bench;
 
+  const BenchArgs args = parse_bench_args(argc, argv);
   const std::vector<std::size_t> sites = {0, 1, 2, 3, 4};
   const std::size_t sg = 4;
-  LatencyExperimentOptions opt = paper_options(ec2_matrix().submatrix(sites));
+  LatencyExperimentOptions opt = paper_options(ec2_matrix().submatrix(sites), args.seed);
   opt.workload.active_replicas = {static_cast<ReplicaId>(sg)};
 
-  std::printf("Figure 6: latency CDF at SG, five replicas, imbalanced "
+  if (!args.json) std::printf("Figure 6: latency CDF at SG, five replicas, imbalanced "
               "workload, leader at CA\n\n");
   const auto runs = run_four_protocols(opt, /*leader=*/0);
-  for (const ProtocolRun& run : runs) {
-    print_cdf(std::cout, run.label, run.result.per_replica[sg].cdf(20));
-    std::printf("\n");
+  if (!args.json) {
+    for (const ProtocolRun& run : runs) {
+      print_cdf(std::cout, run.label, run.result.per_replica[sg].cdf(20));
+      std::printf("\n");
+    }
   }
 
-  Table t({"protocol", "min", "p50", "p95", "max"});
-  for (const ProtocolRun& run : runs) {
-    const LatencyStats& s = run.result.per_replica[sg];
-    t.add_row({run.label, fmt_ms(s.min()), fmt_ms(s.percentile(50)),
-               fmt_ms(s.percentile(95)), fmt_ms(s.max())});
-  }
-  t.print(std::cout);
+  print_cdf_summary(args, "fig6_cdf_sg", runs, sg);
   return 0;
 }

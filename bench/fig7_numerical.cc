@@ -7,22 +7,39 @@
 #include <iostream>
 
 #include "analysis/latency_model.h"
+#include "bench_common.h"
 #include "harness/report.h"
 #include "util/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
+  using namespace crsm::bench;
 
-  std::printf("Figure 7: average commit latency over all EC2 placement "
-              "combinations (ms)\n\n");
+  // Closed-form model sweep: deterministic, so --seed is accepted for
+  // interface uniformity but has nothing to randomize.
+  const BenchArgs args = parse_bench_args(argc, argv);
+  JsonResult jr("fig7_numerical");
+  if (!args.json) {
+    std::printf("Figure 7: average commit latency over all EC2 placement "
+                "combinations (ms)\n\n");
+  }
   Table t({"group size", "groups", "Paxos-bcast all", "Clock-RSM all",
            "Paxos-bcast highest", "Clock-RSM highest"});
   for (std::size_t k : {3u, 5u, 7u}) {
     const GroupSweepResult r = sweep_groups(ec2_matrix(), k);
+    const std::string prefix = std::to_string(k) + "r_";
+    jr.add(prefix + "paxos_bcast_all_ms", r.paxos_bcast_avg_all);
+    jr.add(prefix + "clock_rsm_all_ms", r.clock_rsm_avg_all);
+    jr.add(prefix + "paxos_bcast_highest_ms", r.paxos_bcast_avg_highest);
+    jr.add(prefix + "clock_rsm_highest_ms", r.clock_rsm_avg_highest);
     t.add_row({std::to_string(k) + " replicas", std::to_string(r.num_groups),
                fmt_ms(r.paxos_bcast_avg_all), fmt_ms(r.clock_rsm_avg_all),
                fmt_ms(r.paxos_bcast_avg_highest),
                fmt_ms(r.clock_rsm_avg_highest)});
+  }
+  if (args.json) {
+    jr.print(std::cout);
+    return 0;
   }
   t.print(std::cout);
 

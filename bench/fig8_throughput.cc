@@ -13,15 +13,23 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.h"
 #include "harness/latency_experiment.h"
 #include "harness/report.h"
 #include "runtime/throughput.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
+  using namespace crsm::bench;
 
-  std::printf("Figure 8: throughput (kops/s), five replicas, in-process "
-              "cluster, memory logging\n\n");
+  // Saturating closed-loop runtime measurement; --seed accepted for
+  // interface uniformity (clients send fixed-size puts, nothing random).
+  const BenchArgs args = parse_bench_args(argc, argv);
+  JsonResult jr("fig8_throughput");
+  if (!args.json) {
+    std::printf("Figure 8: throughput (kops/s), five replicas, in-process "
+                "cluster, memory logging\n\n");
+  }
 
   struct Proto {
     const char* label;
@@ -59,6 +67,8 @@ int main() {
       opt.warmup_s = 0.5;
       opt.duration_s = 2.0;
       const ThroughputResult r = run_throughput(opt, p.factory);
+      jr.add(metric_key(p.label) + "_" + std::to_string(size) + "b_kops",
+             r.kops_per_sec_bottleneck);
       row.push_back(fmt_count(r.kops_per_sec_bottleneck));
       if (size == 100) wire_rows.push_back({p.label, r});
       last_share = r.max_cpu_share;
@@ -67,6 +77,15 @@ int main() {
     row.push_back(fmt_pct(last_share));
     row.push_back(fmt_count(last_raw));
     t.add_row(std::move(row));
+  }
+  for (const WireRow& w : wire_rows) {
+    jr.add(metric_key(w.label) + "_msgs_per_cmd", w.r.msgs_per_cmd);
+    jr.add(metric_key(w.label) + "_bytes_per_cmd", w.r.bytes_per_cmd);
+    jr.add(metric_key(w.label) + "_encodes_per_cmd", w.r.encodes_per_cmd);
+  }
+  if (args.json) {
+    jr.print(std::cout);
+    return 0;
   }
   t.print(std::cout);
 

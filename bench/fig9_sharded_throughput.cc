@@ -21,11 +21,17 @@
 #include "harness/report.h"
 #include "util/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
+  using namespace crsm::bench;
 
-  std::printf("Figure 9: sharded Clock-RSM aggregate throughput, three-replica\n"
-              "groups on {CA, VA, IR}, paper balanced workload per group\n\n");
+  const BenchArgs args = parse_bench_args(argc, argv);
+  JsonResult jr("fig9_sharded_throughput");
+  jr.add("seed", args.seed);
+  if (!args.json) {
+    std::printf("Figure 9: sharded Clock-RSM aggregate throughput, three-replica\n"
+                "groups on {CA, VA, IR}, paper balanced workload per group\n\n");
+  }
 
   ShardedExperimentOptions base;
   base.matrix = ec2_matrix().submatrix({0, 1, 2});
@@ -34,7 +40,7 @@ int main() {
   base.workload.think_max_ms = 80.0;
   base.workload.payload_bytes = 64;
   base.workload.key_space = 1000;
-  base.seed = 42;
+  base.seed = args.seed;
   base.warmup_s = 1.0;
   base.duration_s = 10.0;
   base.clock_skew_ms = 2.0;
@@ -52,16 +58,23 @@ int main() {
         run_sharded_experiment(opt, clock_rsm_factory(n));
     rates.push_back(r.commands_per_sec());
     const LatencyStats lat = r.aggregate_latency();
+    jr.add("shards_" + std::to_string(shards) + "_cmds_per_sec",
+           r.commands_per_sec());
+    jr.add("shards_" + std::to_string(shards) + "_lat_avg_ms", lat.mean());
     t.add_row({std::to_string(shards),
                std::to_string(shards * n * opt.workload.clients_per_replica),
                fmt_count(r.commands_per_sec() / 1000.0, 2),
                fmt_count(rates.back() / rates.front(), 2) + "x",
                fmt_ms(lat.mean()), fmt_ms(lat.percentile(95))});
   }
-  t.print(std::cout);
-
   // 1 -> 4 shards covers rates[0..2]; 8 shards is reported for the curve.
   bool monotonic = rates[1] > rates[0] && rates[2] > rates[1];
+  if (args.json) {
+    jr.add("monotonic_1_to_4", std::uint64_t{monotonic ? 1u : 0u});
+    jr.print(std::cout);
+    return monotonic ? 0 : 1;
+  }
+  t.print(std::cout);
   std::printf("\n1 -> 4 shard aggregate throughput monotonically increasing: %s\n",
               monotonic ? "yes" : "NO (unexpected)");
   std::printf("Shape to check: near-linear speedup (groups share nothing) with\n"

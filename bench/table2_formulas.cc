@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "analysis/latency_model.h"
+#include "bench_common.h"
 #include "harness/report.h"
 #include "util/topology.h"
 
@@ -50,7 +51,26 @@ void print_formula_eval(const std::vector<std::size_t>& sites, std::size_t leade
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace crsm::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv);  // deterministic models
+  if (args.json) {
+    // The five-replica Fig. 1(a) deployment, leader at CA: the headline
+    // closed-form numbers of Table II.
+    const LatencyMatrix m = ec2_matrix().submatrix({0, 1, 2, 3, 4});
+    LatencyModel model(m);
+    JsonResult jr("table2_formulas");
+    for (std::size_t i = 0; i < 5; ++i) {
+      const std::string site = metric_key(ec2_site_name(i));
+      jr.add("paxos_" + site + "_ms", model.paxos(0, i));
+      jr.add("paxos_bcast_" + site + "_ms", model.paxos_bcast_precise(0, i));
+      jr.add("clock_rsm_" + site + "_ms", model.clock_rsm_balanced(i));
+    }
+    jr.print(std::cout);
+    return 0;
+  }
+
   print_table3();
 
   std::printf("\nTable II: steps / message complexity\n\n");

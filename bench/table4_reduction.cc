@@ -5,21 +5,36 @@
 #include <iostream>
 
 #include "analysis/latency_model.h"
+#include "bench_common.h"
 #include "harness/report.h"
 #include "util/topology.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crsm;
+  using namespace crsm::bench;
 
-  std::printf("Table IV: latency reduction of Clock-RSM over Paxos-bcast\n\n");
+  const BenchArgs args = parse_bench_args(argc, argv);  // deterministic sweep
+  JsonResult jr("table4_reduction");
+  if (!args.json) {
+    std::printf("Table IV: latency reduction of Clock-RSM over Paxos-bcast\n\n");
+  }
   Table t({"replicas", "percentage", "absolute reduction", "relative reduction"});
   for (std::size_t k : {3u, 5u, 7u}) {
     const GroupSweepResult r = sweep_groups(ec2_matrix(), k);
+    const std::string prefix = std::to_string(k) + "r_";
+    jr.add(prefix + "improved_fraction", r.improved_fraction);
+    jr.add(prefix + "improved_abs_ms", r.improved_abs_ms);
+    jr.add(prefix + "regressed_fraction", r.regressed_fraction);
+    jr.add(prefix + "regressed_abs_ms", r.regressed_abs_ms);
     t.add_row({std::to_string(k) + " replicas", fmt_pct(r.improved_fraction),
                fmt_ms(r.improved_abs_ms) + "ms", fmt_pct(r.improved_rel)});
     t.add_row({"", fmt_pct(r.regressed_fraction),
                "-" + fmt_ms(r.regressed_abs_ms) + "ms",
                "-" + fmt_pct(r.regressed_rel)});
+  }
+  if (args.json) {
+    jr.print(std::cout);
+    return 0;
   }
   t.print(std::cout);
 

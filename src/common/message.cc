@@ -24,6 +24,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kConsAccept: return "C-ACCEPT";
     case MsgType::kConsAccepted: return "C-ACCEPTED";
     case MsgType::kConsDecide: return "C-DECIDE";
+    case MsgType::kClientRequest: return "CLIENTREQ";
+    case MsgType::kClientReply: return "CLIENTREPLY";
   }
   return "UNKNOWN";
 }
@@ -114,6 +116,8 @@ Shape shape_of(MsgType t) {
     case MsgType::kConsAccept: return {.a = true, .blob = true};
     case MsgType::kConsAccepted: return {.a = true};
     case MsgType::kConsDecide: return {.blob = true};
+    case MsgType::kClientRequest: return {.cmd = true};
+    case MsgType::kClientReply: return {.cmd = true, .blob = true};
   }
   return {};
 }

@@ -45,6 +45,10 @@ enum class MsgType : std::uint8_t {
   kConsAccept = 42,    // phase 2a (ballot, value)
   kConsAccepted = 43,  // phase 2b (ballot)
   kConsDecide = 44,    // learned decision (value)
+
+  // --- Client <-> node wire protocol (crsm_node / crsm_client) ---
+  kClientRequest = 50,  // client -> node: cmd to replicate
+  kClientReply = 51,    // node -> client: cmd (client/seq echo), blob = output
 };
 
 [[nodiscard]] const char* msg_type_name(MsgType t);

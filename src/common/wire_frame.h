@@ -8,15 +8,47 @@
 // link it is sent on.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 
+#include "common/codec.h"
 #include "common/message.h"
 #include "common/types.h"
 
 namespace crsm {
+
+// Upper bound on a single frame body. Real messages are far smaller (the
+// largest are RETRIEVEREPLY record batches); anything bigger coming off a
+// socket is a corrupt or hostile length prefix, and rejecting it here keeps
+// stream reassembly from buffering gigabytes before the decoder ever runs.
+inline constexpr std::uint64_t kMaxFrameBody = 1ull << 30;
+
+// Scans the frame header (the varint body-length prefix every encoded
+// Message starts with) at the front of `buf`. Returns the total size of the
+// first frame — header plus body — or 0 if `buf` does not yet hold a
+// complete frame. Throws CodecError on a malformed or implausible header,
+// the signal for a stream reader to drop the connection.
+[[nodiscard]] inline std::size_t frame_size(std::string_view buf) {
+  std::uint64_t len = 0;
+  int shift = 0;
+  std::size_t header = 0;
+  for (;;) {
+    // Overflow first: ten continuation bytes are malformed no matter how
+    // many more bytes arrive, so this must not be mistaken for "partial".
+    if (shift > 63) throw CodecError("frame header varint overflow");
+    if (header >= buf.size()) return 0;  // header itself still partial
+    const auto b = static_cast<std::uint8_t>(buf[header++]);
+    len |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  if (len > kMaxFrameBody) throw CodecError("implausible frame length");
+  if (buf.size() - header < len) return 0;  // body still partial
+  return header + static_cast<std::size_t>(len);
+}
 
 // One outgoing message, shared by every link it travels. Holds the decoded
 // struct (so in-process transports can deliver without re-decoding) and a
@@ -30,9 +62,9 @@ class WireFrame {
  public:
   // The message is moved into shared storage up front: SimTransport's
   // delivery events retain it past the send call without a second deep
-  // copy, and the byte-stream path pays only this one control-block
-  // allocation per frame (amortized over the fan-out; the encoding itself
-  // is cached inline, not behind another allocation).
+  // copy. The cached encoding is shared storage too, so socket transports
+  // can queue the same buffer on every outbound link; both allocations are
+  // per frame, amortized over the fan-out.
   explicit WireFrame(Message m)
       : msg_(std::make_shared<const Message>(std::move(m))) {}
 
@@ -47,9 +79,16 @@ class WireFrame {
 
   // Framed wire bytes (length-prefixed, concatenable). Encoded on first use
   // and cached; the view is valid for this frame's lifetime.
-  [[nodiscard]] std::string_view bytes() const {
+  [[nodiscard]] std::string_view bytes() const { return *shared_bytes(); }
+
+  // The same cached encoding behind shared ownership, for transports whose
+  // links outlive the frame (TcpTransport queues the encoding on N per-peer
+  // send queues: one serialization, one buffer, N references).
+  [[nodiscard]] const std::shared_ptr<const std::string>& shared_bytes() const {
     if (!encoded_) {
-      msg_->encode(&bytes_);
+      auto b = std::make_shared<std::string>();
+      msg_->encode(b.get());
+      bytes_ = std::move(b);
       encoded_ = true;
     }
     return bytes_;
@@ -57,7 +96,7 @@ class WireFrame {
 
  private:
   std::shared_ptr<const Message> msg_;
-  mutable std::string bytes_;  // filled at most once
+  mutable std::shared_ptr<const std::string> bytes_;  // filled at most once
   mutable bool encoded_ = false;
 };
 

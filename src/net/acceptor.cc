@@ -1,0 +1,70 @@
+#include "net/acceptor.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace {
+// How long to stop accepting after a persistent failure (EMFILE/ENFILE):
+// long enough to let fds free up, short enough to recover promptly.
+constexpr std::uint64_t kAcceptPauseUs = 100'000;
+}  // namespace
+
+namespace crsm::net {
+
+Acceptor::Acceptor(EventLoop& loop, const std::string& host, std::uint16_t port)
+    : loop_(loop), listen_sock_(tcp_listen(host, port)) {
+  port_ = local_port(listen_sock_.fd());
+}
+
+Acceptor::~Acceptor() { stop(); }
+
+void Acceptor::start(OnAccept on_accept) {
+  on_accept_ = std::move(on_accept);
+  loop_.add_fd(listen_sock_.fd(), EPOLLIN,
+               [this](std::uint32_t) { handle_readable(); });
+  started_ = true;
+}
+
+void Acceptor::stop() {
+  if (!started_) return;
+  started_ = false;
+  if (!paused_) loop_.del_fd(listen_sock_.fd());
+  paused_ = false;
+}
+
+void Acceptor::handle_readable() {
+  for (;;) {
+    const int fd = ::accept4(listen_sock_.fd(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      on_accept_(Socket(fd));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+        errno == ECONNABORTED) {
+      return;  // queue drained (or one aborted handshake consumed)
+    }
+    // Persistent failure — typically EMFILE/ENFILE. The backlog keeps the
+    // fd readable, so returning here would busy-spin the level-triggered
+    // loop at 100% CPU; instead stop accepting briefly and retry.
+    pause_and_resume();
+    return;
+  }
+}
+
+void Acceptor::pause_and_resume() {
+  if (paused_) return;
+  paused_ = true;
+  loop_.del_fd(listen_sock_.fd());
+  (void)loop_.schedule_after(kAcceptPauseUs, [this] {
+    if (!started_ || !paused_) return;
+    paused_ = false;
+    loop_.add_fd(listen_sock_.fd(), EPOLLIN,
+                 [this](std::uint32_t) { handle_readable(); });
+  });
+}
+
+}  // namespace crsm::net

@@ -1,0 +1,44 @@
+// Listening socket driven by the EventLoop: accepts until EAGAIN on each
+// readiness event and hands connected, non-blocking sockets to a callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/event_loop.h"
+#include "net/socket.h"
+
+namespace crsm::net {
+
+class Acceptor {
+ public:
+  using OnAccept = std::function<void(Socket&&)>;
+
+  // Binds and listens immediately (so an ephemeral port is known before the
+  // loop runs); registration with the loop happens in start().
+  Acceptor(EventLoop& loop, const std::string& host, std::uint16_t port);
+  ~Acceptor();
+
+  Acceptor(const Acceptor&) = delete;
+  Acceptor& operator=(const Acceptor&) = delete;
+
+  // Loop-thread only.
+  void start(OnAccept on_accept);
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void handle_readable();
+  void pause_and_resume();
+
+  EventLoop& loop_;
+  Socket listen_sock_;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  bool paused_ = false;
+  OnAccept on_accept_;
+};
+
+}  // namespace crsm::net

@@ -1,0 +1,94 @@
+// Single-threaded epoll event loop: fd readiness callbacks, monotonic
+// timers and a thread-safe task queue, in the style of the netbench
+// epoll receivers (one io context per thread, eventfd wakeup).
+//
+// Threading contract: every callback — fd events, timers, posted tasks —
+// runs on the thread that called run(). Only post(), wakeup() and stop()
+// may be called from other threads. A NodeRuntime runs its whole replica
+// (protocol reactor included) on this one thread, so protocol code keeps
+// the single-threaded execution model it has under the simulator and the
+// thread runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace crsm::net {
+
+using TimerId = std::uint64_t;
+
+class EventLoop {
+ public:
+  // `events` is the ready-mask from epoll (EPOLLIN/EPOLLOUT/EPOLLERR...).
+  using FdCallback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Registers `fd` for edge-less (level-triggered) readiness callbacks.
+  // `interest` is the epoll event mask (EPOLLIN | EPOLLOUT as needed).
+  void add_fd(int fd, std::uint32_t interest, FdCallback cb);
+  void mod_fd(int fd, std::uint32_t interest);
+  void del_fd(int fd);
+
+  // One-shot timer; loop-thread only. Returns an id usable with
+  // cancel_timer (cancellation is loop-thread only too).
+  TimerId schedule_after(std::uint64_t delay_us, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  // Thread-safe: enqueues `fn` to run on the loop thread and wakes it.
+  void post(std::function<void()> fn);
+
+  // Runs until stop(). The calling thread becomes the loop thread.
+  void run();
+  // Thread-safe; run() returns after finishing the current dispatch pass.
+  // A stop() issued before run() latches: run() returns immediately.
+  void stop();
+  void wakeup();
+
+  [[nodiscard]] bool on_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+
+  // Monotonic microseconds, the loop's timer clock.
+  [[nodiscard]] static std::uint64_t mono_us();
+
+ private:
+  struct Timer {
+    std::uint64_t deadline_us;
+    TimerId id;
+    bool operator>(const Timer& o) const {
+      return deadline_us != o.deadline_us ? deadline_us > o.deadline_us
+                                          : id > o.id;
+    }
+  };
+
+  void drain_posted();
+  void fire_due_timers();
+  [[nodiscard]] int next_timeout_ms() const;
+
+  int epfd_ = -1;
+  int wake_fd_ = -1;  // eventfd
+  std::unordered_map<int, FdCallback> fds_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timer_heap_;
+  std::unordered_map<TimerId, std::function<void()>> timer_fns_;  // erased = cancelled
+  TimerId next_timer_ = 1;
+
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::thread::id loop_thread_;
+};
+
+}  // namespace crsm::net

@@ -1,0 +1,147 @@
+// Length-prefixed frame streaming over one non-blocking TCP connection.
+//
+// Read side: raw socket bytes are appended to a FrameAssembler, which
+// reassembles arbitrarily chunked input (1-byte reads, a varint header torn
+// across reads, many frames coalesced into one read) back into whole
+// frames; complete frames are decoded zero-copy with
+// Message::decode_stream_view straight out of the assembler's buffer.
+//
+// Write side: frames are queued as shared encodings (the WireFrame
+// shared_bytes() buffer), so a fan-out queues N references to one
+// serialization, and flushed with writev — one syscall covers every pending
+// frame the kernel will take.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/message.h"
+#include "common/wire_frame.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+
+namespace crsm::net {
+
+// Reassembles a byte stream into complete length-prefixed frames. Owns a
+// single contiguous buffer; complete_prefix() exposes the longest run of
+// whole frames as a view so decoding can stay zero-copy, and consume()
+// drops decoded bytes while keeping any partial tail for the next read.
+class FrameAssembler {
+ public:
+  void append(std::string_view bytes) { buf_.append(bytes); }
+
+  // View over every complete frame currently buffered (possibly several,
+  // possibly none). Valid until the next append()/consume(). Throws
+  // CodecError on a malformed frame header — the caller should drop the
+  // connection.
+  [[nodiscard]] std::string_view complete_prefix() const {
+    std::size_t end = 0;
+    for (;;) {
+      const std::size_t n = crsm::frame_size(std::string_view(buf_).substr(end));
+      if (n == 0) break;
+      end += n;
+    }
+    return std::string_view(buf_).substr(0, end);
+  }
+
+  // Drops the first `n` bytes (a decoded complete_prefix).
+  void consume(std::size_t n) { buf_.erase(0, n); }
+
+  // Raw buffered bytes (used for the fixed-size hello preamble, which is
+  // not framed).
+  [[nodiscard]] std::string_view data() const { return buf_; }
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// The 8-byte connection preamble both ends exchange before frames flow:
+// a magic word plus the sender's identity (replica id, or kClientHello for
+// a client driver). The acceptor learns who dialed; the dialer learns which
+// replica answered.
+inline constexpr std::uint32_t kHelloMagic = 0x4352534dU;  // "CRSM"
+inline constexpr std::uint32_t kClientHello = 0xFFFFFFFFU;
+
+// The preamble's one wire format, shared by FrameConn and SyncClient.
+[[nodiscard]] std::string encode_hello(std::uint32_t id);
+// Parses the first 8 bytes of `buf`; returns false on bad magic (the
+// caller should drop the connection). `buf` must hold >= 8 bytes.
+[[nodiscard]] bool parse_hello(std::string_view buf, std::uint32_t* id);
+
+class FrameConn {
+ public:
+  using MessageHandler = std::function<void(const Message&)>;
+  // `id` is the peer's hello identity (replica id or kClientHello).
+  using HelloHandler = std::function<void(std::uint32_t id)>;
+  // Fired once, on EOF, I/O error or protocol error; the connection is
+  // already deregistered when it runs. The owner should destroy the conn.
+  using CloseHandler = std::function<void()>;
+
+  // Takes ownership of a connected non-blocking socket. All methods are
+  // loop-thread only.
+  FrameConn(EventLoop& loop, Socket sock);
+  ~FrameConn();
+
+  FrameConn(const FrameConn&) = delete;
+  FrameConn& operator=(const FrameConn&) = delete;
+
+  // Registers with the loop and sends our hello. Inbound frames before the
+  // peer's hello arrives are buffered; `on_hello` fires first, then
+  // `on_message` once per decoded frame.
+  void start(std::uint32_t hello_id, HelloHandler on_hello,
+             MessageHandler on_message, CloseHandler on_close);
+
+  // Queues one encoded frame and tries to write immediately. The shared
+  // buffer keeps fan-out zero-copy: every conn queues the same encoding.
+  void send(std::shared_ptr<const std::string> frame);
+
+  // Attempts to drain the send queue right now (writev until done or
+  // EAGAIN). Returns false if the connection died.
+  bool flush();
+
+  [[nodiscard]] std::size_t pending_bytes() const { return pending_bytes_; }
+  [[nodiscard]] bool closed() const { return closed_; }
+  [[nodiscard]] int fd() const { return sock_.fd(); }
+
+  // Unsent frames (our hello preamble excluded), for requeueing onto a
+  // replacement connection after a reconnect. The partially written head
+  // frame is included from offset 0: the receiver discards partial frames
+  // on close, so a full resend cannot duplicate. Leaves the queue empty.
+  [[nodiscard]] std::deque<std::shared_ptr<const std::string>> take_pending();
+
+  void close();  // deregisters and closes; does NOT fire on_close
+
+ private:
+  struct Pending {
+    std::shared_ptr<const std::string> buf;
+    std::size_t offset = 0;
+    bool is_hello = false;
+  };
+
+  void handle_events(std::uint32_t events);
+  void handle_readable();
+  bool write_some();  // one writev pass; false if the conn died
+  void update_interest();
+  void fail();  // close + fire on_close
+
+  EventLoop& loop_;
+  Socket sock_;
+  FrameAssembler assembler_;
+  std::deque<Pending> out_;
+  std::size_t pending_bytes_ = 0;
+  bool want_write_ = false;
+  bool hello_received_ = false;
+  bool closed_ = false;
+
+  HelloHandler on_hello_;
+  MessageHandler on_message_;
+  CloseHandler on_close_;
+};
+
+}  // namespace crsm::net

@@ -1,0 +1,101 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace crsm::net {
+
+namespace {
+
+[[noreturn]] void die(const std::string& op) {
+  throw NetError(op + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("inet_pton: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) die("fcntl");
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  // Latency matters more than segment coalescing for consensus traffic; a
+  // failure here (e.g. on a non-TCP test socket) is not fatal.
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!s.valid()) die("socket");
+  const int one = 1;
+  if (::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    die("setsockopt(SO_REUSEADDR)");
+  }
+  const sockaddr_in addr = make_addr(host, port);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    die("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(s.fd(), backlog) < 0) die("listen");
+  return s;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    die("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   bool* in_progress) {
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!s.valid()) die("socket");
+  const sockaddr_in addr = make_addr(host, port);
+  const int rc =
+      ::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    *in_progress = false;
+  } else if (errno == EINPROGRESS) {
+    *in_progress = true;
+  } else {
+    // Synchronous refusal (e.g. ECONNREFUSED on loopback): hand back an
+    // invalid socket so the caller's retry path runs instead of throwing.
+    s.reset();
+    *in_progress = false;
+  }
+  return s;
+}
+
+int connect_result(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return errno;
+  return err;
+}
+
+}  // namespace crsm::net

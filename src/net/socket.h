@@ -1,0 +1,69 @@
+// RAII socket ownership and the small set of BSD-socket helpers the net
+// subsystem needs. Everything here is non-blocking-friendly: listeners and
+// outbound connects are created O_NONBLOCK so they can be driven by the
+// epoll EventLoop without ever stalling a replica's thread.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace crsm::net {
+
+// Thrown for unrecoverable socket-layer failures (bind/listen/setsockopt);
+// per-connection I/O errors are reported through callbacks instead, since a
+// lost peer is an expected event, not an exception.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Move-only owner of a file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { reset(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+void set_nonblocking(int fd);
+void set_tcp_nodelay(int fd);
+
+// Binds and listens on host:port (IPv4), SO_REUSEADDR, non-blocking.
+// `port` 0 picks an ephemeral port; read it back with local_port().
+[[nodiscard]] Socket tcp_listen(const std::string& host, std::uint16_t port,
+                                int backlog = 128);
+
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+// Starts a non-blocking connect. On return the socket is either already
+// connected (`*in_progress` false, loopback fast path) or mid-handshake
+// (`*in_progress` true): wait for EPOLLOUT, then check connect_result().
+[[nodiscard]] Socket tcp_connect(const std::string& host, std::uint16_t port,
+                                 bool* in_progress);
+
+// SO_ERROR after a non-blocking connect completes; 0 means connected.
+[[nodiscard]] int connect_result(int fd);
+
+}  // namespace crsm::net

@@ -1,0 +1,102 @@
+#include "net/sync_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/wire_frame.h"
+
+namespace crsm::net {
+
+SyncClient::SyncClient(const std::string& host, std::uint16_t port) {
+  sock_ = Socket(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!sock_.valid()) throw NetError("socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad IPv4 address '" + host + "'");
+  }
+  if (::connect(sock_.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    throw NetError("connect " + host + ":" + std::to_string(port) + ": " +
+                   std::strerror(errno));
+  }
+  set_tcp_nodelay(sock_.fd());
+
+  write_all(encode_hello(kClientHello));
+
+  while (assembler_.buffered() < 8) read_into_assembler(5000);
+  std::uint32_t sid;
+  if (!parse_hello(assembler_.data(), &sid)) throw NetError("bad server hello");
+  assembler_.consume(8);
+  server_id_ = sid;
+}
+
+void SyncClient::send_request(const Command& cmd) {
+  Message m;
+  m.type = MsgType::kClientRequest;
+  m.cmd = cmd;
+  write_all(m.encode());
+}
+
+Message SyncClient::read_reply(int timeout_ms) {
+  for (;;) {
+    const std::string_view frames = assembler_.complete_prefix();
+    if (!frames.empty()) {
+      std::size_t pos = 0;
+      const Message m = Message::decode_stream(frames, &pos);
+      assembler_.consume(pos);
+      if (m.type == MsgType::kClientReply) return m;
+      continue;  // ignore anything else
+    }
+    read_into_assembler(timeout_ms);
+  }
+}
+
+std::string SyncClient::call(const Command& cmd, int timeout_ms) {
+  send_request(cmd);
+  for (;;) {
+    const Message reply = read_reply(timeout_ms);
+    if (reply.cmd.client == cmd.client && reply.cmd.seq == cmd.seq) {
+      return reply.blob.str();
+    }
+    // A stale reply from an earlier (timed out or duplicate) request.
+  }
+}
+
+void SyncClient::write_all(const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(sock_.fd(), bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw NetError(std::string("write: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void SyncClient::read_into_assembler(int timeout_ms) {
+  if (timeout_ms >= 0) {
+    pollfd p{sock_.fd(), POLLIN, 0};
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc == 0) throw NetError("read timeout");
+    if (rc < 0) throw NetError(std::string("poll: ") + std::strerror(errno));
+  }
+  char chunk[16 * 1024];
+  const ssize_t n = ::read(sock_.fd(), chunk, sizeof(chunk));
+  if (n == 0) throw NetError("server closed connection");
+  if (n < 0) {
+    if (errno == EINTR) return;
+    throw NetError(std::string("read: ") + std::strerror(errno));
+  }
+  assembler_.append(std::string_view(chunk, static_cast<std::size_t>(n)));
+}
+
+}  // namespace crsm::net

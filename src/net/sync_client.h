@@ -1,0 +1,48 @@
+// Blocking client-side connection to a crsm node: the driver-side
+// counterpart of the node's client path. Speaks the hello preamble plus
+// kClientRequest/kClientReply frames over one TCP socket. Used by the
+// crsm_client load driver and the TCP integration tests; one instance per
+// thread (no internal locking).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/command.h"
+#include "common/message.h"
+#include "common/types.h"
+#include "net/frame_conn.h"
+#include "net/socket.h"
+
+namespace crsm::net {
+
+class SyncClient {
+ public:
+  // Connects (blocking), sends the client hello and waits for the server's
+  // hello. Throws NetError on failure.
+  SyncClient(const std::string& host, std::uint16_t port);
+
+  // The replica id of the node that answered.
+  [[nodiscard]] ReplicaId server_id() const { return server_id_; }
+
+  // Fire-and-forget request.
+  void send_request(const Command& cmd);
+
+  // Blocks until the next kClientReply frame (any client/seq) or the
+  // timeout; throws NetError on timeout or disconnect.
+  [[nodiscard]] Message read_reply(int timeout_ms = -1);
+
+  // send_request + read replies until one matches (cmd.client, cmd.seq);
+  // returns the execution output (reply blob).
+  [[nodiscard]] std::string call(const Command& cmd, int timeout_ms = -1);
+
+ private:
+  void write_all(const std::string& bytes);
+  void read_into_assembler(int timeout_ms);  // one blocking read
+
+  Socket sock_;
+  FrameAssembler assembler_;
+  ReplicaId server_id_ = kNoReplica;
+};
+
+}  // namespace crsm::net

@@ -1,0 +1,115 @@
+#include "runtime/node.h"
+
+#include <future>
+#include <utility>
+
+namespace crsm {
+
+NodeRuntime::NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
+                         StateMachineFactory sm_factory)
+    : cfg_(cfg),
+      transport_(loop_, cfg.id, cfg.transport),
+      sm_(sm_factory()),
+      proto_(protocol_factory(*this, cfg.id)) {
+  transport_.register_handler([this](const Message& m) { on_peer_message(m); });
+  transport_.set_client_handlers(
+      [this](std::uint64_t conn, const Message& m) { on_client_message(conn, m); },
+      [this](std::uint64_t conn) { on_client_closed(conn); });
+}
+
+NodeRuntime::~NodeRuntime() { stop(); }
+
+void NodeRuntime::start(std::vector<TcpPeer> peers) {
+  if (started_) return;
+  started_ = true;
+  // All initialization that touches the loop (fd registration, protocol
+  // timers) runs as the loop's first task, on the loop thread.
+  loop_.post([this, peers = std::move(peers)]() mutable {
+    transport_.start(std::move(peers));
+    proto_->start();
+  });
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void NodeRuntime::stop() {
+  if (!started_) return;
+  started_ = false;
+  loop_.post([this] { transport_.shutdown(); });
+  loop_.stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void NodeRuntime::submit(Command cmd) {
+  loop_.post([this, cmd = std::move(cmd)]() mutable {
+    proto_->submit(std::move(cmd));
+  });
+}
+
+std::uint64_t NodeRuntime::state_digest() {
+  // Stopped (or never started): the loop thread is gone, so a posted task
+  // would never run — but with no loop thread the state machine is also
+  // safe to read directly.
+  if (!started_) return sm_->state_digest();
+  std::promise<std::uint64_t> p;
+  auto f = p.get_future();
+  loop_.post([this, &p] { p.set_value(sm_->state_digest()); });
+  return f.get();
+}
+
+// --- ProtocolEnv -----------------------------------------------------------
+
+void NodeRuntime::send(ReplicaId to, const Message& m) {
+  transport_.send(cfg_.id, to, FrameWriter(cfg_.id).frame(m));
+}
+
+void NodeRuntime::multicast(const std::vector<ReplicaId>& tos, const Message& m) {
+  transport_.multicast(cfg_.id, tos, FrameWriter(cfg_.id).frame(m));
+}
+
+void NodeRuntime::schedule_after(Tick delay_us, std::function<void()> fn) {
+  (void)loop_.schedule_after(delay_us, std::move(fn));
+}
+
+void NodeRuntime::deliver(const Command& cmd, Timestamp ts, bool local_origin) {
+  const std::string output = sm_->apply(cmd);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (commit_hook_) commit_hook_(cmd, ts, local_origin);
+  if (!local_origin) return;
+  if (reply_hook_) reply_hook_(cmd);
+  // Networked client: route the reply to the socket that carried the
+  // request (if it is still up; a vanished client just loses its reply and
+  // retries, Section II-B's at-least-once client contract).
+  auto it = client_routes_.find(cmd.client);
+  if (it == client_routes_.end()) return;
+  Message reply;
+  reply.type = MsgType::kClientReply;
+  reply.cmd.client = cmd.client;
+  reply.cmd.seq = cmd.seq;
+  reply.blob = output;
+  transport_.send_to_client(it->second, FrameWriter(cfg_.id).frame(reply));
+}
+
+// --- inbound ---------------------------------------------------------------
+
+void NodeRuntime::on_peer_message(const Message& m) { proto_->on_message(m); }
+
+void NodeRuntime::on_client_message(std::uint64_t conn, const Message& m) {
+  if (m.type != MsgType::kClientRequest) return;  // protocol misuse; ignore
+  client_routes_[m.cmd.client] = conn;
+  // The decoded command views the connection's receive buffer; copying into
+  // an owned Command here is the copy-on-retain point.
+  Command owned = m.cmd;
+  proto_->submit(std::move(owned));
+}
+
+void NodeRuntime::on_client_closed(std::uint64_t conn) {
+  for (auto it = client_routes_.begin(); it != client_routes_.end();) {
+    if (it->second == conn) {
+      it = client_routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace crsm

@@ -1,0 +1,124 @@
+// NodeRuntime: one replica of a real TCP deployment.
+//
+// Hosts any ReplicaProtocol (Clock-RSM, Paxos, Mencius) over a TcpTransport
+// on a single epoll EventLoop thread: inbound frames, protocol timers,
+// client requests and in-process submits all execute there, so protocol
+// code keeps the strictly single-threaded reactor model it has under the
+// simulator and the thread runtime (ProtocolEnv contract).
+//
+// Clients reach the node through the same listening port as peers (the
+// hello preamble tells them apart) speaking kClientRequest/kClientReply
+// frames; the node routes each reply to the socket that carried the
+// request. The crsm_node binary is a thin CLI around this class, and
+// TcpCluster (tcp_cluster.h) boots N of them on loopback for tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "clock/system_clock.h"
+#include "common/command.h"
+#include "common/message.h"
+#include "common/types.h"
+#include "common/wire_frame.h"
+#include "net/event_loop.h"
+#include "rsm/protocol.h"
+#include "rsm/state_machine.h"
+#include "storage/command_log.h"
+#include "transport/tcp_transport.h"
+
+namespace crsm {
+
+struct NodeConfig {
+  ReplicaId id = 0;
+  TcpTransport::Options transport;
+};
+
+class NodeRuntime final : private ProtocolEnv {
+ public:
+  using ProtocolFactory =
+      std::function<std::unique_ptr<ReplicaProtocol>(ProtocolEnv&, ReplicaId)>;
+  using StateMachineFactory = std::function<std::unique_ptr<StateMachine>()>;
+  // Runs on the node's loop thread when a locally originated command
+  // executes; in-process harnesses use it the way RtCluster does.
+  using ReplyHook = std::function<void(const Command&)>;
+  // Runs on the loop thread for every executed command (any origin), in
+  // execution order — the basis for agreement/linearizability checks.
+  using CommitHook = std::function<void(const Command&, Timestamp ts, bool local)>;
+
+  // Binds the listening socket immediately: with transport.listen_port == 0
+  // the kernel-assigned port is readable via port() before start().
+  NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
+              StateMachineFactory sm_factory);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return transport_.port(); }
+  [[nodiscard]] ReplicaId id() const { return cfg_.id; }
+
+  void set_reply_hook(ReplyHook hook) { reply_hook_ = std::move(hook); }
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+  // Spawns the loop thread, starts accepting/dialing (peers[id] is this
+  // node's own address) and calls the protocol's start().
+  void start(std::vector<TcpPeer> peers);
+  // Stops the loop, closes every connection and joins. Idempotent.
+  void stop();
+
+  // Thread-safe: submits a client command at this replica (the in-process
+  // equivalent of a kClientRequest).
+  void submit(Command cmd);
+
+  [[nodiscard]] std::uint64_t executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] TransportStats transport_stats() const {
+    return transport_.stats();
+  }
+  [[nodiscard]] const TcpTransport& transport() const { return transport_; }
+  // Digest of the replica's state machine. While running, executes on the
+  // loop thread (posted, blocking the caller); once stopped, reads
+  // directly. Call from the thread that controls start()/stop().
+  [[nodiscard]] std::uint64_t state_digest();
+
+ private:
+  // --- ProtocolEnv (loop thread only) ---
+  [[nodiscard]] ReplicaId self() const override { return cfg_.id; }
+  void send(ReplicaId to, const Message& m) override;
+  void multicast(const std::vector<ReplicaId>& tos, const Message& m) override;
+  [[nodiscard]] Tick clock_now() override { return clock_.now_us(); }
+  void schedule_after(Tick delay_us, std::function<void()> fn) override;
+  [[nodiscard]] CommandLog& log() override { return log_store_; }
+  void deliver(const Command& cmd, Timestamp ts, bool local_origin) override;
+
+  void on_peer_message(const Message& m);
+  void on_client_message(std::uint64_t conn, const Message& m);
+  void on_client_closed(std::uint64_t conn);
+
+  NodeConfig cfg_;
+  net::EventLoop loop_;
+  TcpTransport transport_;
+  SystemClock clock_;
+  MemLog log_store_;
+  std::unique_ptr<StateMachine> sm_;
+  std::unique_ptr<ReplicaProtocol> proto_;
+  ReplyHook reply_hook_;
+  CommitHook commit_hook_;
+
+  // client id -> client connection that most recently requested with it.
+  std::unordered_map<ClientId, std::uint64_t> client_routes_;
+
+  std::thread thread_;
+  bool started_ = false;
+  std::atomic<std::uint64_t> executed_{0};
+};
+
+}  // namespace crsm

@@ -160,6 +160,9 @@ void RtCluster::start() {
 
 void RtCluster::stop() {
   if (!running_.exchange(false)) return;
+  // Release any sender stalled in bounded-queue backpressure before
+  // joining: its receiver may already have left its drain loop.
+  transport_.shutdown();
   for (auto& r : replicas_) {
     r->wake();
     if (r->thread.joinable()) r->thread.join();

@@ -1,0 +1,76 @@
+#include "runtime/tcp_cluster.h"
+
+#include <utility>
+
+namespace crsm {
+
+TcpCluster::TcpCluster(std::size_t n, ProtocolFactory protocol_factory,
+                       StateMachineFactory sm_factory, Options opt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeConfig cfg;
+    cfg.id = static_cast<ReplicaId>(i);
+    cfg.transport.listen_host = "127.0.0.1";
+    cfg.transport.listen_port = 0;  // ephemeral; resolved before start()
+    cfg.transport.max_pending_bytes = opt.max_pending_bytes;
+    cfg.transport.policy = opt.policy;
+    nodes_.push_back(std::make_unique<NodeRuntime>(cfg, protocol_factory,
+                                                   sm_factory));
+  }
+}
+
+TcpCluster::~TcpCluster() { stop(); }
+
+void TcpCluster::set_reply_hook(ReplyHook hook) {
+  for (auto& node : nodes_) {
+    node->set_reply_hook(
+        [hook, r = node->id()](const Command& cmd) { hook(r, cmd); });
+  }
+}
+
+void TcpCluster::set_commit_hook(CommitHook hook) {
+  for (auto& node : nodes_) {
+    node->set_commit_hook([hook, r = node->id()](const Command& cmd,
+                                                 Timestamp ts, bool local) {
+      hook(r, cmd, ts, local);
+    });
+  }
+}
+
+void TcpCluster::start() {
+  if (started_) return;
+  started_ = true;
+  // Every listener was bound in the constructor, so the full address table
+  // is known before any node dials.
+  std::vector<TcpPeer> peers;
+  peers.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    peers.push_back(TcpPeer{"127.0.0.1", node->port()});
+  }
+  for (auto& node : nodes_) node->start(peers);
+}
+
+void TcpCluster::stop() {
+  if (!started_) return;
+  started_ = false;
+  for (auto& node : nodes_) node->stop();
+}
+
+void TcpCluster::submit(ReplicaId r, Command cmd) {
+  nodes_.at(r)->submit(std::move(cmd));
+}
+
+TransportStats TcpCluster::stats() const {
+  TransportStats total;
+  for (const auto& node : nodes_) {
+    const TransportStats s = node->transport_stats();
+    total.messages_sent += s.messages_sent;
+    total.messages_delivered += s.messages_delivered;
+    total.messages_dropped += s.messages_dropped;
+    total.bytes_sent += s.bytes_sent;
+    total.encode_calls += s.encode_calls;
+    total.backpressure_blocks += s.backpressure_blocks;
+  }
+  return total;
+}
+
+}  // namespace crsm

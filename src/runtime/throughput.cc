@@ -3,13 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "kv/kv_store.h"
+#include "runtime/tcp_cluster.h"
 #include "workload/workload.h"
 
 namespace crsm {
@@ -37,16 +40,16 @@ struct Completion {
   }
 };
 
-}  // namespace
-
-ThroughputResult run_throughput(const ThroughputOptions& opt,
-                                const RtCluster::ProtocolFactory& factory) {
-  RtCluster::Options copt;
-  copt.sender_batching = opt.sender_batching;
-  RtCluster cluster(opt.num_replicas, factory,
-                    [] { return std::make_unique<KvStore>(); }, copt);
-
-  // Completion registry, sized up front: client ids are dense per replica.
+// The shared closed-loop driver behind both runtimes. Works against any
+// cluster exposing set_reply_hook/(start|stop)/submit with the RtCluster
+// signatures. Returns (committed ops in the window, window seconds); the
+// caller snapshots its own counters in the two callbacks, which run right
+// before and right after the measurement window while the cluster is live.
+template <typename Cluster>
+std::pair<std::uint64_t, double> drive_closed_loop(
+    Cluster& cluster, const ThroughputOptions& opt,
+    const std::function<void()>& on_measure_start,
+    const std::function<void()>& on_measure_end) {
   std::unordered_map<ClientId, std::unique_ptr<Completion>> completions;
   for (ReplicaId r = 0; r < opt.num_replicas; ++r) {
     if (opt.only_replica >= 0 && static_cast<int>(r) != opt.only_replica) continue;
@@ -54,7 +57,6 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
       completions.emplace(make_client_id(r, c), std::make_unique<Completion>());
     }
   }
-
   cluster.set_reply_hook([&completions](ReplicaId, const Command& cmd) {
     auto it = completions.find(cmd.client);
     if (it != completions.end()) it->second->complete(cmd.seq);
@@ -91,48 +93,93 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
   }
 
   std::this_thread::sleep_for(std::chrono::duration<double>(opt.warmup_s));
-  const std::uint64_t bytes_before = cluster.bytes_sent();
-  const std::uint64_t msgs_before = cluster.messages_sent();
-  const std::uint64_t encodes_before = cluster.encode_calls();
-  std::vector<std::uint64_t> busy_before(opt.num_replicas);
-  for (ReplicaId r = 0; r < opt.num_replicas; ++r) busy_before[r] = cluster.busy_us(r);
+  on_measure_start();
   measuring.store(true);
   const auto t0 = std::chrono::steady_clock::now();
   std::this_thread::sleep_for(std::chrono::duration<double>(opt.duration_s));
   measuring.store(false);
   const auto t1 = std::chrono::steady_clock::now();
-  const std::uint64_t bytes_after = cluster.bytes_sent();
-  const std::uint64_t msgs_after = cluster.messages_sent();
-  const std::uint64_t encodes_after = cluster.encode_calls();
-  std::uint64_t max_busy = 0, total_busy = 0;
-  for (ReplicaId r = 0; r < opt.num_replicas; ++r) {
-    const std::uint64_t b = cluster.busy_us(r) - busy_before[r];
-    max_busy = std::max(max_busy, b);
-    total_busy += b;
-  }
+  on_measure_end();
 
   stop.store(true);
   for (std::thread& t : clients) t.join();
   cluster.stop();
 
-  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return {measured_ops.load(), std::chrono::duration<double>(t1 - t0).count()};
+}
+
+void fill_per_cmd(ThroughputResult* res, const TransportStats& before,
+                  const TransportStats& after, double secs) {
+  res->mb_per_sec_wire =
+      static_cast<double>(after.bytes_sent - before.bytes_sent) / secs / 1e6;
+  if (res->total_ops == 0) return;
+  const double ops = static_cast<double>(res->total_ops);
+  res->msgs_per_cmd =
+      static_cast<double>(after.messages_sent - before.messages_sent) / ops;
+  res->bytes_per_cmd =
+      static_cast<double>(after.bytes_sent - before.bytes_sent) / ops;
+  res->encodes_per_cmd =
+      static_cast<double>(after.encode_calls - before.encode_calls) / ops;
+}
+
+}  // namespace
+
+ThroughputResult run_throughput(const ThroughputOptions& opt,
+                                const RtCluster::ProtocolFactory& factory) {
+  RtCluster::Options copt;
+  copt.sender_batching = opt.sender_batching;
+  RtCluster cluster(opt.num_replicas, factory,
+                    [] { return std::make_unique<KvStore>(); }, copt);
+
+  TransportStats before, after;
+  std::vector<std::uint64_t> busy_before(opt.num_replicas);
+  std::uint64_t max_busy = 0, total_busy = 0;
+  const auto [ops, secs] = drive_closed_loop(
+      cluster, opt,
+      [&] {
+        before = cluster.transport().stats();
+        for (ReplicaId r = 0; r < opt.num_replicas; ++r) {
+          busy_before[r] = cluster.busy_us(r);
+        }
+      },
+      [&] {
+        after = cluster.transport().stats();
+        for (ReplicaId r = 0; r < opt.num_replicas; ++r) {
+          const std::uint64_t b = cluster.busy_us(r) - busy_before[r];
+          max_busy = std::max(max_busy, b);
+          total_busy += b;
+        }
+      });
+
   ThroughputResult res;
-  res.total_ops = measured_ops.load();
+  res.total_ops = ops;
   res.kops_per_sec = res.total_ops / secs / 1000.0;
-  res.mb_per_sec_wire =
-      static_cast<double>(bytes_after - bytes_before) / secs / 1e6;
   if (max_busy > 0) {
     res.kops_per_sec_bottleneck =
         static_cast<double>(res.total_ops) / (static_cast<double>(max_busy) / 1e6) /
         1000.0;
     res.max_cpu_share = static_cast<double>(max_busy) / static_cast<double>(total_busy);
   }
-  if (res.total_ops > 0) {
-    const double ops = static_cast<double>(res.total_ops);
-    res.msgs_per_cmd = static_cast<double>(msgs_after - msgs_before) / ops;
-    res.bytes_per_cmd = static_cast<double>(bytes_after - bytes_before) / ops;
-    res.encodes_per_cmd = static_cast<double>(encodes_after - encodes_before) / ops;
-  }
+  fill_per_cmd(&res, before, after, secs);
+  return res;
+}
+
+ThroughputResult run_tcp_throughput(const ThroughputOptions& opt,
+                                    const RtCluster::ProtocolFactory& factory) {
+  TcpCluster cluster(opt.num_replicas, factory,
+                     [] { return std::make_unique<KvStore>(); });
+
+  TransportStats before, after;
+  const auto [ops, secs] = drive_closed_loop(
+      cluster, opt, [&] { before = cluster.stats(); },
+      [&] { after = cluster.stats(); });
+
+  ThroughputResult res;
+  res.total_ops = ops;
+  res.kops_per_sec = res.total_ops / secs / 1000.0;
+  // Per-replica busy time is not tracked by the event-loop runtime;
+  // kops_per_sec_bottleneck/max_cpu_share stay zero (see throughput.h).
+  fill_per_cmd(&res, before, after, secs);
   return res;
 }
 

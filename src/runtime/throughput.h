@@ -47,4 +47,12 @@ struct ThroughputResult {
 [[nodiscard]] ThroughputResult run_throughput(
     const ThroughputOptions& opt, const RtCluster::ProtocolFactory& factory);
 
+// Same closed-loop measurement against a TcpCluster: N node processes'
+// worth of runtime in one process, every inter-replica message over a real
+// loopback TCP socket. `sender_batching` is ignored (the TCP write path
+// batches via writev); the CPU-share fields are zero (per-replica busy time
+// is not tracked by the event-loop runtime), so compare `kops_per_sec`.
+[[nodiscard]] ThroughputResult run_tcp_throughput(
+    const ThroughputOptions& opt, const RtCluster::ProtocolFactory& factory);
+
 }  // namespace crsm

@@ -75,6 +75,7 @@ TransportStats ShardedCluster::wire_stats() const {
     sum.messages_dropped += s.messages_dropped;
     sum.bytes_sent += s.bytes_sent;
     sum.encode_calls += s.encode_calls;
+    sum.backpressure_blocks += s.backpressure_blocks;
   }
   return sum;
 }

@@ -1,0 +1,335 @@
+#include "transport/tcp_transport.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace crsm {
+
+TcpTransport::TcpTransport(net::EventLoop& loop, ReplicaId self, Options opt)
+    : loop_(loop),
+      self_(self),
+      opt_(std::move(opt)),
+      acceptor_(loop, opt_.listen_host, opt_.listen_port) {}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::start(std::vector<TcpPeer> peers) {
+  if (started_) return;
+  started_ = true;
+  peers_.resize(peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) peers_[i].addr = peers[i];
+  acceptor_.start([this](net::Socket&& s) { on_accept(std::move(s)); });
+  // Deterministic dial direction — the lower id dials the higher — gives
+  // each unordered pair exactly one socket regardless of startup order.
+  for (ReplicaId j = self_ + 1; j < peers_.size(); ++j) dial(j);
+}
+
+void TcpTransport::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  acceptor_.stop();
+  routes_.clear();
+  for (PeerLink& link : peers_) {
+    if (link.connector) link.connector->stop();
+    link.conn.reset();
+    link.backlog.clear();
+    link.backlog_bytes = 0;
+  }
+  pending_.clear();
+  clients_.clear();
+  graveyard_.clear();
+  connected_count_.store(0, std::memory_order_relaxed);
+}
+
+void TcpTransport::dial(ReplicaId to) {
+  PeerLink& link = peers_[to];
+  if (!link.connector) {
+    link.connector = std::make_unique<net::Connector>(
+        loop_, link.addr.host, link.addr.port, opt_.reconnect);
+  }
+  link.connector->start([this, to](net::Socket&& s) {
+    auto conn = std::make_unique<net::FrameConn>(loop_, std::move(s));
+    adopt_peer_conn(to, std::move(conn), /*needs_start=*/true);
+  });
+}
+
+void TcpTransport::adopt_peer_conn(ReplicaId id,
+                                   std::unique_ptr<net::FrameConn> conn,
+                                   bool needs_start) {
+  PeerLink& link = peers_[id];
+  if (link.conn) {
+    // Simultaneous repair (both sides raced): keep the newest socket and
+    // requeue whatever the old one had not fully written.
+    routes_.erase(link.conn.get());
+    auto unsent = link.conn->take_pending();
+    while (!unsent.empty()) {
+      link.backlog_bytes += unsent.back()->size();
+      link.backlog.push_front(std::move(unsent.back()));
+      unsent.pop_back();
+    }
+    connected_count_.fetch_sub(1, std::memory_order_relaxed);
+    bury(std::move(link.conn));
+  }
+  net::FrameConn* raw = conn.get();
+  link.conn = std::move(conn);
+  routes_[raw] = Route{/*is_client=*/false, id};
+  connected_count_.fetch_add(1, std::memory_order_relaxed);
+  if (needs_start) {
+    // A fresh socket from our Connector. We know who we dialed; a
+    // mismatched hello answer means the mesh is miswired — drop and retry
+    // rather than corrupt the link. (Accepted sockets were started at
+    // accept time and already routed here by their hello, which is itself
+    // the proof of a healthy link.)
+    raw->start(
+        self_,
+        [this, raw, id](std::uint32_t hello) {
+          if (hello != id) {
+            on_conn_closed(raw);
+          } else {
+            peers_[id].redial_delay_us = 0;
+          }
+        },
+        [this, raw](const Message& m) { on_conn_message(raw, m); },
+        [this, raw] { on_conn_closed(raw); });
+  } else {
+    link.redial_delay_us = 0;
+  }
+  if (!link.conn || link.conn.get() != raw) return;  // torn down synchronously
+  // Flush frames queued while the link was down (FIFO preserved: backlog
+  // first, then new sends go straight to the connection).
+  while (!link.backlog.empty() && link.conn && !link.conn->closed()) {
+    auto frame = std::move(link.backlog.front());
+    link.backlog.pop_front();
+    link.backlog_bytes -= frame->size();
+    link.conn->send(std::move(frame));
+  }
+}
+
+void TcpTransport::on_accept(net::Socket&& sock) {
+  auto conn = std::make_unique<net::FrameConn>(loop_, std::move(sock));
+  net::FrameConn* raw = conn.get();
+  const std::uint64_t gen = ++accept_gen_;
+  pending_.emplace(raw, PendingConn{std::move(conn), gen});
+  // A connection that never says hello is dead weight: drop it after the
+  // window. The generation check makes a stale timer (this address reused
+  // by a later accept) a no-op.
+  (void)loop_.schedule_after(opt_.hello_timeout_us, [this, raw, gen] {
+    auto it = pending_.find(raw);
+    if (it == pending_.end() || it->second.gen != gen) return;
+    bury(std::move(it->second.conn));
+    pending_.erase(it);
+  });
+  raw->start(
+      self_,
+      [this, raw](std::uint32_t hello) {
+        auto it = pending_.find(raw);
+        if (it == pending_.end()) return;
+        std::unique_ptr<net::FrameConn> owned = std::move(it->second.conn);
+        pending_.erase(it);
+        if (hello == net::kClientHello) {
+          const std::uint64_t conn_id = next_client_id_++;
+          routes_[raw] = Route{/*is_client=*/true, conn_id};
+          clients_.emplace(conn_id, std::move(owned));
+          return;
+        }
+        if (hello < peers_.size() && hello != self_) {
+          adopt_peer_conn(static_cast<ReplicaId>(hello), std::move(owned),
+                          /*needs_start=*/false);
+          return;
+        }
+        owned->close();  // nonsense hello
+        bury(std::move(owned));
+      },
+      [this, raw](const Message& m) { on_conn_message(raw, m); },
+      [this, raw] { on_conn_closed(raw); });
+}
+
+void TcpTransport::on_conn_message(net::FrameConn* raw, const Message& m) {
+  auto it = routes_.find(raw);
+  if (it == routes_.end()) return;  // torn down mid-batch
+  if (it->second.is_client) {
+    if (client_handler_) client_handler_(it->second.id, m);
+    return;
+  }
+  messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+  if (handler_) handler_(m);
+}
+
+void TcpTransport::on_conn_closed(net::FrameConn* raw) {
+  auto pending_it = pending_.find(raw);
+  if (pending_it != pending_.end()) {
+    bury(std::move(pending_it->second.conn));
+    pending_.erase(pending_it);
+    return;
+  }
+  auto route_it = routes_.find(raw);
+  if (route_it == routes_.end()) return;
+  const Route route = route_it->second;
+  routes_.erase(route_it);
+  if (route.is_client) {
+    auto it = clients_.find(route.id);
+    if (it != clients_.end()) {
+      bury(std::move(it->second));
+      clients_.erase(it);
+    }
+    if (client_close_) client_close_(route.id);
+    return;
+  }
+  const auto id = static_cast<ReplicaId>(route.id);
+  PeerLink& link = peers_[id];
+  if (link.conn.get() != raw) return;  // already replaced
+  raw->close();
+  auto unsent = link.conn->take_pending();
+  while (!unsent.empty()) {
+    link.backlog_bytes += unsent.back()->size();
+    link.backlog.push_front(std::move(unsent.back()));
+    unsent.pop_back();
+  }
+  connected_count_.fetch_sub(1, std::memory_order_relaxed);
+  bury(std::move(link.conn));
+  // Automatic reconnect: the dial side re-arms its Connector; the accept
+  // side waits for the peer to redial. The Connector's own backoff only
+  // covers failed connects, so throttle here too — a connection that
+  // establishes and then immediately dies (wrong hello, flapping peer)
+  // must not redial at line rate.
+  if (!shut_down_ && self_ < id) {
+    link.redial_delay_us = std::clamp<std::uint64_t>(
+        link.redial_delay_us * 2, opt_.reconnect.initial_backoff_us,
+        opt_.reconnect.max_backoff_us);
+    (void)loop_.schedule_after(link.redial_delay_us, [this, id] {
+      if (!shut_down_ && !peers_[id].conn) dial(id);
+    });
+  }
+}
+
+void TcpTransport::bury(std::unique_ptr<net::FrameConn> conn) {
+  if (!conn) return;
+  conn->close();
+  graveyard_.push_back(std::move(conn));
+  if (graveyard_.size() == 1) {
+    // Destroy once the callback stack that closed it has unwound.
+    loop_.post([this] { graveyard_.clear(); });
+  }
+}
+
+void TcpTransport::send(ReplicaId from, ReplicaId to, const WireFrame& f) {
+  if (from != self_ || to >= peers_.size()) {
+    throw std::out_of_range("TcpTransport::send: bad replica id");
+  }
+  const bool fresh = !f.encoded_yet();
+  std::shared_ptr<const std::string> bytes = f.shared_bytes();
+  if (fresh) encode_calls_.fetch_add(1, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(bytes->size(), std::memory_order_relaxed);
+
+  if (to == self_) {
+    // Local delivery skips the wire but keeps the async contract: the
+    // handler runs on a later loop pass, never synchronously inside send.
+    loop_.post([this, msg = f.shared_msg()] {
+      messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+      if (handler_) handler_(*msg);
+    });
+    return;
+  }
+  if (loop_.on_loop_thread()) {
+    send_on_loop(to, std::move(bytes));
+  } else {
+    loop_.post([this, to, b = std::move(bytes)]() mutable {
+      send_on_loop(to, std::move(b));
+    });
+  }
+}
+
+void TcpTransport::multicast(ReplicaId from, const std::vector<ReplicaId>& tos,
+                             const WireFrame& f) {
+  // The first send() encodes (shared); every further destination reuses the
+  // same buffer — one serialization, N link queues.
+  for (ReplicaId to : tos) send(from, to, f);
+}
+
+void TcpTransport::send_on_loop(ReplicaId to,
+                                std::shared_ptr<const std::string> bytes) {
+  if (shut_down_) return;
+  PeerLink& link = peers_[to];
+  const std::size_t limit = opt_.max_pending_bytes;
+  // An empty queue always admits, whatever the frame's size — otherwise a
+  // single frame larger than the limit could never be sent at all (dropped
+  // on every retry, or blocked on a wait that cannot succeed).
+  if (!link.conn || link.conn->closed()) {
+    // Link down: queue for the reconnect. Blocking here would deadlock the
+    // loop that performs the reconnect, so kBlock queues unbounded while
+    // disconnected; kDrop sheds as usual.
+    if (limit > 0 && opt_.policy == BackpressurePolicy::kDrop &&
+        !link.backlog.empty() && link.backlog_bytes + bytes->size() > limit) {
+      messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    link.backlog_bytes += bytes->size();
+    link.backlog.push_back(std::move(bytes));
+    return;
+  }
+  if (limit > 0 && opt_.policy == BackpressurePolicy::kDrop &&
+      link.conn->pending_bytes() > 0 &&
+      link.conn->pending_bytes() + bytes->size() > limit) {
+    messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  link.conn->send(std::move(bytes));
+  if (limit > 0 && opt_.policy == BackpressurePolicy::kBlock &&
+      link.conn && link.conn->pending_bytes() > limit) {
+    apply_backpressure(link);
+  }
+}
+
+void TcpTransport::apply_backpressure(PeerLink& link) {
+  // The kernel buffer and our queue are both full: stall this sender until
+  // the peer drains. This intentionally holds up the loop thread — that is
+  // what backpressure means for a single-threaded replica — and bails out
+  // if the connection dies underneath us. The stall is bounded: two peers
+  // back-pressuring each other would otherwise deadlock (neither loop
+  // reads while blocked in here), so after the deadline the frame stays
+  // queued beyond the limit and the loop resumes draining both directions.
+  backpressure_blocks_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t deadline_us = net::EventLoop::mono_us() + 1'000'000;
+  while (!shut_down_ && link.conn && !link.conn->closed() &&
+         link.conn->pending_bytes() > opt_.max_pending_bytes &&
+         net::EventLoop::mono_us() < deadline_us) {
+    pollfd p{link.conn->fd(), POLLOUT, 0};
+    (void)::poll(&p, 1, 50);
+    if (link.conn && !link.conn->closed()) (void)link.conn->flush();
+  }
+}
+
+void TcpTransport::send_to_client(std::uint64_t conn, const WireFrame& f) {
+  auto it = clients_.find(conn);
+  if (it == clients_.end()) return;  // client went away; reply dropped
+  const bool fresh = !f.encoded_yet();
+  std::shared_ptr<const std::string> bytes = f.shared_bytes();
+  // Client replies are transport traffic like any other: counting all
+  // three preserves the documented encode_calls <= messages_sent
+  // invariant on reply-heavy nodes.
+  if (fresh) encode_calls_.fetch_add(1, std::memory_order_relaxed);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(bytes->size(), std::memory_order_relaxed);
+  it->second->send(std::move(bytes));
+}
+
+std::size_t TcpTransport::connected_peers() const {
+  return connected_count_.load(std::memory_order_relaxed);
+}
+
+TransportStats TcpTransport::stats() const {
+  TransportStats s;
+  s.messages_sent = messages_sent_.load(std::memory_order_relaxed);
+  s.messages_delivered = messages_delivered_.load(std::memory_order_relaxed);
+  s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.encode_calls = encode_calls_.load(std::memory_order_relaxed);
+  s.backpressure_blocks = backpressure_blocks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace crsm

@@ -1,0 +1,197 @@
+// Transport over real TCP sockets, driven by the src/net event loop.
+//
+// One node process hosts one replica; TcpTransport is that replica's view
+// of the full mesh. Each unordered replica pair shares exactly one socket
+// (the lower id dials, the higher id accepts — with automatic reconnect
+// from the dialing side), so per-(from,to) FIFO falls out of TCP byte
+// ordering. A single listening port serves both peer links and client
+// drivers; an 8-byte hello preamble exchanged on every connection tells the
+// acceptor who dialed and tells clients which replica answered.
+//
+// Hot-path properties, matching the other transports:
+//  * Fan-out encode-once: a multicast serializes its Message a single time
+//    (WireFrame shared encoding); every peer link queues a reference to the
+//    same buffer, and FrameConn's writev hands the kernel each link's copy.
+//  * Zero-copy receive: inbound bytes are reassembled (FrameConn) and
+//    decoded as views into the connection's receive buffer
+//    (Message::decode_stream_view); handlers copy only what they retain.
+//  * Uniform accounting: TransportStats counts per-link messages/bytes and
+//    per-frame encodes exactly like SimTransport and ThreadTransport.
+//
+// Send queues are bounded (Options::max_pending_bytes): a connected link
+// over its limit either blocks the sender until the kernel drains
+// (kBlock — counted) or sheds the frame (kDrop). While a peer link is down,
+// frames queue at the transport and are re-sent on reconnect; only frames
+// fully written to a socket that then died can be lost, so the channel is
+// reliable-FIFO while a connection lives and at-most-once across repairs.
+//
+// Threading: everything runs on the EventLoop thread, including the
+// registered message handler. send()/multicast() from other threads post
+// onto the loop (used by in-process harnesses); stats() is thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/message.h"
+#include "common/types.h"
+#include "net/acceptor.h"
+#include "net/connector.h"
+#include "net/event_loop.h"
+#include "net/frame_conn.h"
+#include "transport/transport.h"
+
+namespace crsm {
+
+// One replica's address in the mesh.
+struct TcpPeer {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct TcpTransportOptions {
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;  // 0 = ephemeral; read back with port()
+  // Bounded send queue: max bytes pending per peer link (transport queue +
+  // connection buffer). 0 = unbounded.
+  std::size_t max_pending_bytes = 0;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  net::ConnectorOptions reconnect;
+  // Accepted connections must identify themselves within this window or be
+  // dropped — otherwise silent connections (port scanners, wedged peers)
+  // would pin fds forever.
+  std::uint64_t hello_timeout_us = 10'000'000;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  // Client-driver connections (hello id net::kClientHello) are surfaced by
+  // connection, so the host can route replies back to the right socket.
+  using ClientHandler = std::function<void(std::uint64_t conn, const Message&)>;
+  using ClientCloseHandler = std::function<void(std::uint64_t conn)>;
+  using Options = TcpTransportOptions;
+
+  // Binds the listener immediately (so an ephemeral port is readable before
+  // any thread runs); everything else happens in start().
+  TcpTransport(net::EventLoop& loop, ReplicaId self, Options opt);
+  ~TcpTransport() override;
+
+  [[nodiscard]] std::uint16_t port() const { return acceptor_.port(); }
+  [[nodiscard]] ReplicaId self() const { return self_; }
+
+  void register_handler(Handler on_message) { handler_ = std::move(on_message); }
+  void set_client_handlers(ClientHandler on_message, ClientCloseHandler on_close) {
+    client_handler_ = std::move(on_message);
+    client_close_ = std::move(on_close);
+  }
+
+  // Loop-thread only: starts accepting and dials every peer with a higher
+  // id than ours (peers[self] is our own entry and is ignored).
+  void start(std::vector<TcpPeer> peers);
+  // Loop-thread only: closes every connection and stops redialing.
+  void shutdown();
+
+  // --- Transport ---
+  // `from` must be self(). Callable from any thread; off-loop calls post.
+  void send(ReplicaId from, ReplicaId to, const WireFrame& f) override;
+  void multicast(ReplicaId from, const std::vector<ReplicaId>& tos,
+                 const WireFrame& f) override;
+  [[nodiscard]] TransportStats stats() const override;
+
+  void send_to_client(std::uint64_t conn, const WireFrame& f);
+
+  // Live peer links (connected and past the hello), for tests/monitoring.
+  [[nodiscard]] std::size_t connected_peers() const;
+
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t messages_delivered() const {
+    return messages_delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t encode_calls() const {
+    return encode_calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PeerLink {
+    TcpPeer addr;
+    std::unique_ptr<net::Connector> connector;  // dial side only (self < id)
+    std::unique_ptr<net::FrameConn> conn;       // the pair's one socket
+    // Frames awaiting a live connection (or requeued after one died).
+    std::deque<std::shared_ptr<const std::string>> backlog;
+    std::size_t backlog_bytes = 0;
+    // Delay before the next redial after an established connection died.
+    // Doubles per consecutive death (a connect-then-die cycle — e.g. a
+    // miswired mesh answering with the wrong hello — must not churn
+    // unthrottled) and resets once a link proves healthy.
+    std::uint64_t redial_delay_us = 0;
+  };
+
+  // What a live connection is: the peer link it serves or the client id it
+  // carries. Looked up per event, so a connection torn down mid-dispatch
+  // simply stops routing.
+  struct Route {
+    bool is_client = false;
+    std::uint64_t id = 0;
+  };
+
+  void send_on_loop(ReplicaId to, std::shared_ptr<const std::string> bytes);
+  void dial(ReplicaId to);
+  void adopt_peer_conn(ReplicaId id, std::unique_ptr<net::FrameConn> conn,
+                       bool needs_start);
+  void on_accept(net::Socket&& sock);
+  void on_conn_message(net::FrameConn* raw, const Message& m);
+  void on_conn_closed(net::FrameConn* raw);
+  void apply_backpressure(PeerLink& link);
+  void bury(std::unique_ptr<net::FrameConn> conn);
+
+  net::EventLoop& loop_;
+  const ReplicaId self_;
+  const Options opt_;
+  net::Acceptor acceptor_;
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  std::vector<PeerLink> peers_;
+  std::unordered_map<net::FrameConn*, Route> routes_;
+
+  // An accepted connection whose hello has not arrived yet. `gen` guards
+  // the hello-timeout timer against FrameConn address reuse: the timer
+  // only fires teardown when the entry it armed for is still the one live.
+  struct PendingConn {
+    std::unique_ptr<net::FrameConn> conn;
+    std::uint64_t gen = 0;
+  };
+  std::unordered_map<net::FrameConn*, PendingConn> pending_;
+  std::uint64_t accept_gen_ = 0;
+  // Client-driver connections, keyed by a stable id.
+  std::unordered_map<std::uint64_t, std::unique_ptr<net::FrameConn>> clients_;
+  std::uint64_t next_client_id_ = 1;
+  // Closed connections awaiting safe (post-callback) destruction.
+  std::vector<std::unique_ptr<net::FrameConn>> graveyard_;
+  std::atomic<std::size_t> connected_count_{0};
+
+  Handler handler_;
+  ClientHandler client_handler_;
+  ClientCloseHandler client_close_;
+
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> encode_calls_{0};
+  std::atomic<std::uint64_t> backpressure_blocks_{0};
+};
+
+}  // namespace crsm

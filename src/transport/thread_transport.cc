@@ -1,5 +1,6 @@
 #include "transport/thread_transport.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -26,6 +27,7 @@ ThreadTransport::ThreadTransport(std::size_t n, Options opt) : opt_(opt) {
   for (std::size_t i = 0; i < n; ++i) {
     auto p = std::make_unique<Peer>();
     p->out_bufs.resize(n);
+    p->out_counts.resize(n, 0);
     for (std::size_t s = 0; s < n; ++s) p->in.push_back(std::make_unique<Link>());
     peers_.push_back(std::move(p));
   }
@@ -59,27 +61,69 @@ void ThreadTransport::send(ReplicaId from, ReplicaId to, const WireFrame& f) {
 
   if (opt_.sender_batching && to != from) {
     peers_[from]->out_bufs[to].append(bytes);
+    peers_[from]->out_counts[to] += 1;
     return;
   }
-  write_link(from, to, bytes);
+  write_link(from, to, bytes, /*msg_count=*/1);
 }
 
 void ThreadTransport::flush(ReplicaId from) {
   if (!opt_.sender_batching) return;
-  auto& bufs = peers_.at(from)->out_bufs;
-  for (std::size_t to = 0; to < bufs.size(); ++to) {
-    if (bufs[to].empty()) continue;
-    write_link(from, static_cast<ReplicaId>(to), bufs[to]);
-    bufs[to].clear();  // keeps capacity for the next pass
+  Peer& p = *peers_.at(from);
+  for (std::size_t to = 0; to < p.out_bufs.size(); ++to) {
+    if (p.out_bufs[to].empty()) continue;
+    write_link(from, static_cast<ReplicaId>(to), p.out_bufs[to],
+               p.out_counts[to]);
+    p.out_bufs[to].clear();  // keeps capacity for the next pass
+    p.out_counts[to] = 0;
+  }
+}
+
+void ThreadTransport::shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& peer : peers_) {
+    for (auto& link : peer->in) {
+      std::lock_guard<std::mutex> lk(link->mu);
+      link->drained.notify_all();
+    }
   }
 }
 
 void ThreadTransport::write_link(ReplicaId from, ReplicaId to,
-                                 std::string_view bytes) {
+                                 std::string_view bytes,
+                                 std::uint64_t msg_count) {
   Peer& dst = *peers_[to];
   Link& link = *dst.in[from];
   {
-    std::lock_guard<std::mutex> lk(link.mu);
+    std::unique_lock<std::mutex> lk(link.mu);
+    // Bounded queue. Self-links are exempt: the receiver IS the sender, so
+    // blocking would deadlock and dropping would wedge the protocol. An
+    // empty link always admits, whatever the append's size — otherwise a
+    // single frame (or sender batch) larger than the limit could never be
+    // sent at all: blocked forever under kBlock, starved under kDrop.
+    const std::size_t limit = opt_.max_link_bytes;
+    const auto over = [&] {
+      return !link.buf.empty() && link.buf.size() + bytes.size() > limit;
+    };
+    if (limit > 0 && to != from && over() &&
+        !shutdown_.load(std::memory_order_acquire)) {
+      if (opt_.overflow == BackpressurePolicy::kDrop) {
+        messages_dropped_.fetch_add(msg_count, std::memory_order_relaxed);
+        return;
+      }
+      // kBlock: stall this sender until the receiver drains (poll() swaps
+      // the buffer out and notifies) or the transport shuts down. The
+      // stall is bounded: two replicas back-pressuring each other would
+      // otherwise deadlock (a blocked sender never reaches its own poll()),
+      // so after the deadline the append proceeds beyond the limit.
+      backpressure_blocks_.fetch_add(1, std::memory_order_relaxed);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(1000);
+      while (over() && !shutdown_.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < deadline) {
+        link.drained.wait_for(lk, std::chrono::milliseconds(100));
+      }
+    }
     link.buf.append(bytes);
   }
   // Self-sends are drained by the current loop pass; no wake needed.
@@ -95,6 +139,8 @@ bool ThreadTransport::poll(ReplicaId r) {
       std::lock_guard<std::mutex> lk(link->mu);
       p.scratch.swap(link->buf);
     }
+    // The link emptied: release any sender blocked on the bounded queue.
+    if (opt_.max_link_bytes > 0) link->drained.notify_all();
     if (p.scratch.empty()) continue;
     std::size_t pos = 0;
     while (pos < p.scratch.size()) {
@@ -115,6 +161,8 @@ TransportStats ThreadTransport::stats() const {
   s.messages_delivered = messages_delivered();
   s.bytes_sent = bytes_sent();
   s.encode_calls = encode_calls();
+  s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
+  s.backpressure_blocks = backpressure_blocks_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -48,6 +49,13 @@ class ThreadTransport final : public Transport {
     // Sender-side batching: buffer outbound bytes per destination during a
     // processing pass; flush() hands each buffer over in one queue op.
     bool sender_batching = false;
+    // Bounded send queue: max bytes buffered per (sender, receiver) link.
+    // 0 = unbounded. Over the limit, `overflow` decides: kBlock stalls the
+    // sending thread until the receiver drains (backpressure_blocks in
+    // stats); kDrop sheds the message (messages_dropped). Self-links are
+    // exempt — a replica can always talk to itself.
+    std::size_t max_link_bytes = 0;
+    BackpressurePolicy overflow = BackpressurePolicy::kBlock;
   };
 
   ThreadTransport(std::size_t n, Options opt);
@@ -65,6 +73,12 @@ class ThreadTransport final : public Transport {
   // Flushes `from`'s per-destination batch buffers (no-op when unbatched).
   // Called on the sender's thread at the end of each processing pass.
   void flush(ReplicaId from);
+
+  // Releases senders blocked on full links (kBlock policy) and makes all
+  // subsequent sends bypass the limit. Call before joining replica threads:
+  // a receiver that has stopped draining would otherwise hold its senders
+  // in the backpressure wait forever.
+  void shutdown();
 
   // Drains all inbound links of `r` on the receiver's thread, decoding
   // frames zero-copy and invoking the registered handler once per message.
@@ -93,15 +107,20 @@ class ThreadTransport final : public Transport {
   // receiver swaps the buffer out wholesale, which batches decoding
   // opportunistically and recycles buffer capacity back and forth (the
   // "pool": two strings per link alternate between filling and draining).
+  // `drained` is signalled after each swap so senders blocked on a full
+  // link (bounded queue, kBlock) can resume.
   struct Link {
     std::mutex mu;
     std::string buf;
+    std::condition_variable drained;
   };
 
   struct Peer {
     std::vector<std::unique_ptr<Link>> in;  // indexed by sender id
     // Sender-side batch buffers (one per destination); sender thread only.
     std::vector<std::string> out_bufs;
+    // Messages in each batch buffer, for accurate drop accounting.
+    std::vector<std::uint64_t> out_counts;
     // Receiver-side drain buffer; receiver thread only. Decoded messages
     // view into it until the next swap.
     std::string scratch;
@@ -109,14 +128,18 @@ class ThreadTransport final : public Transport {
     WakeFn wake;
   };
 
-  void write_link(ReplicaId from, ReplicaId to, std::string_view bytes);
+  void write_link(ReplicaId from, ReplicaId to, std::string_view bytes,
+                  std::uint64_t msg_count);
 
   std::vector<std::unique_ptr<Peer>> peers_;
   Options opt_;
+  std::atomic<bool> shutdown_{false};
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> messages_delivered_{0};
   std::atomic<std::uint64_t> encode_calls_{0};
+  std::atomic<std::uint64_t> messages_dropped_{0};
+  std::atomic<std::uint64_t> backpressure_blocks_{0};
 };
 
 }  // namespace crsm

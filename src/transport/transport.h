@@ -27,12 +27,24 @@ namespace crsm {
 // Uniform traffic accounting. `encode_calls` counts actual Message
 // serializations; with fan-out encode-once it is <= messages_sent (for a
 // broadcast-heavy protocol, roughly messages_sent / fan-out).
+// `messages_dropped` and `backpressure_blocks` surface the bounded
+// send-queue policy (below): overload tests assert on them.
 struct TransportStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t encode_calls = 0;
+  std::uint64_t backpressure_blocks = 0;
+};
+
+// What a bounded send queue does when an outbound link is over its byte
+// limit. kBlock applies backpressure to the sender (counted in
+// backpressure_blocks); kDrop sheds the message (counted in
+// messages_dropped) — the overload-shedding mode for saturation tests.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,
+  kDrop,
 };
 
 class Transport {

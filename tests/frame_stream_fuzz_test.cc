@@ -1,17 +1,22 @@
 // Fuzz tests for the framed wire stream: concatenated, truncated and
-// bit-flipped frame sequences for every message type. The decoder must
-// either round-trip faithfully or throw CodecError — never read out of
-// bounds (the CI sanitizer job backs that claim) and never surface any
-// other failure mode. Both the owning decoder (decode_stream) and the
-// zero-copy transport decoder (decode_stream_view) are exercised.
+// bit-flipped frame sequences for every message type, plus socket-style
+// adversarial chunking (1-byte reads, headers torn across reads, coalesced
+// frames) through the FrameConn reassembly path (FrameAssembler). The
+// decoder must either round-trip faithfully or throw CodecError — never
+// read out of bounds (the CI sanitizer job backs that claim) and never
+// surface any other failure mode. Both the owning decoder (decode_stream)
+// and the zero-copy transport decoder (decode_stream_view) are exercised.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "common/codec.h"
 #include "common/message.h"
+#include "common/wire_frame.h"
+#include "net/frame_conn.h"
 #include "util/rng.h"
 
 namespace crsm {
@@ -23,7 +28,8 @@ const MsgType kAllTypes[] = {
     MsgType::kCommitNotify,  MsgType::kMenPropose,  MsgType::kMenAck,
     MsgType::kSuspend,       MsgType::kSuspendOk,   MsgType::kRetrieveCmds,
     MsgType::kRetrieveReply, MsgType::kConsPrepare, MsgType::kConsPromise,
-    MsgType::kConsAccept,    MsgType::kConsAccepted, MsgType::kConsDecide};
+    MsgType::kConsAccept,    MsgType::kConsAccepted, MsgType::kConsDecide,
+    MsgType::kClientRequest, MsgType::kClientReply};
 
 std::string random_bytes(Rng& rng, std::size_t max_len) {
   std::string s(rng.uniform_int(0, max_len), '\0');
@@ -166,6 +172,98 @@ TEST_P(FrameStreamFuzz, BitFlipsEitherDecodeOrThrowCodecError) {
       }
     }
   }
+}
+
+// --- Socket-style reassembly (FrameConn's FrameAssembler) ------------------
+
+// Feeds `stream` into a FrameAssembler in the given chunk sizes, decoding
+// (and retaining, view-mode copy-on-retain) every frame as soon as it
+// completes — exactly what FrameConn does per read() burst.
+std::vector<Message> drain_chunked(std::string_view stream,
+                                   const std::vector<std::size_t>& chunks) {
+  net::FrameAssembler assembler;
+  std::vector<Message> out;
+  std::size_t fed = 0;
+  for (std::size_t chunk : chunks) {
+    assembler.append(stream.substr(fed, chunk));
+    fed += std::min(chunk, stream.size() - fed);
+    const std::string_view ready = assembler.complete_prefix();
+    std::size_t pos = 0;
+    while (pos < ready.size()) {
+      const Message m = Message::decode_stream_view(ready, &pos);
+      out.push_back(m);  // copy, not move: copy-on-retain owns the payloads
+    }
+    assembler.consume(pos);
+  }
+  EXPECT_EQ(fed, stream.size()) << "test bug: chunks must cover the stream";
+  EXPECT_EQ(assembler.buffered(), 0u) << "partial frame left after full feed";
+  return out;
+}
+
+void expect_round_trip(const std::vector<Message>& decoded,
+                       std::string_view stream, const char* mode) {
+  std::string reencoded;
+  for (const Message& m : decoded) m.encode(&reencoded);
+  EXPECT_EQ(reencoded, stream) << "chunking mode: " << mode;
+}
+
+TEST_P(FrameStreamFuzz, AdversarialChunkingReassembles) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 257 + 11);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t k = rng.uniform_int(1, 5);
+    std::string stream;
+    for (std::size_t i = 0; i < k; ++i) {
+      random_message(rng, GetParam()).encode(&stream);
+    }
+
+    // 1-byte reads: every frame header is torn byte by byte.
+    expect_round_trip(
+        drain_chunked(stream, std::vector<std::size_t>(stream.size(), 1)),
+        stream, "one-byte");
+
+    // Everything coalesced into a single read.
+    expect_round_trip(drain_chunked(stream, {stream.size()}), stream,
+                      "coalesced");
+
+    // Header split from body: 1 byte (half the varint header when the frame
+    // is >127 bytes, the whole header otherwise), then the rest.
+    if (stream.size() > 1) {
+      expect_round_trip(drain_chunked(stream, {1, stream.size() - 1}), stream,
+                        "header-split");
+    }
+
+    // Random chunk sizes, biased small so header tears are common.
+    std::vector<std::size_t> chunks;
+    std::size_t covered = 0;
+    while (covered < stream.size()) {
+      const std::size_t c = rng.uniform_int(1, 7);
+      chunks.push_back(c);
+      covered += c;
+    }
+    expect_round_trip(drain_chunked(stream, chunks), stream, "random");
+  }
+}
+
+TEST(FrameAssemblerFuzz, PartialTailSurvivesUntilCompleted) {
+  Rng rng(99);
+  Message m = random_message(rng, MsgType::kSuspendOk);
+  const std::string frame = m.encode();
+  ASSERT_GT(frame.size(), 4u);
+
+  net::FrameAssembler assembler;
+  // Feed all but the last byte: nothing must complete.
+  assembler.append(std::string_view(frame).substr(0, frame.size() - 1));
+  EXPECT_TRUE(assembler.complete_prefix().empty());
+  EXPECT_EQ(assembler.buffered(), frame.size() - 1);
+  // The final byte completes exactly one frame.
+  assembler.append(std::string_view(frame).substr(frame.size() - 1));
+  const std::string_view ready = assembler.complete_prefix();
+  EXPECT_EQ(ready.size(), frame.size());
+  std::size_t pos = 0;
+  const Message decoded = Message::decode_stream_view(ready, &pos);
+  std::string reencoded;
+  decoded.encode(&reencoded);
+  EXPECT_EQ(reencoded, frame);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTypes, FrameStreamFuzz,

@@ -1,0 +1,266 @@
+// Tests for the src/net building blocks: EventLoop timers/posts,
+// FrameAssembler reassembly, Acceptor/Connector establishment (including
+// connect-before-listen retry) and FrameConn round trips on loopback.
+#include <gtest/gtest.h>
+
+#include <sys/epoll.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/wire_frame.h"
+#include "net/acceptor.h"
+#include "net/connector.h"
+#include "net/event_loop.h"
+#include "net/frame_conn.h"
+#include "net/socket.h"
+#include "test_util.h"
+
+namespace crsm {
+namespace {
+
+using net::Acceptor;
+using net::Connector;
+using net::EventLoop;
+using net::FrameAssembler;
+using net::FrameConn;
+using net::Socket;
+
+// Runs an EventLoop on a background thread for a test's duration.
+class LoopThread {
+ public:
+  LoopThread() : thread_([this] { loop_.run(); }) {}
+  ~LoopThread() {
+    loop_.stop();
+    thread_.join();
+  }
+  EventLoop& loop() { return loop_; }
+
+ private:
+  EventLoop loop_;
+  std::thread thread_;
+};
+
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds deadline =
+                               std::chrono::milliseconds(5000)) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// --- EventLoop -------------------------------------------------------------
+
+TEST(EventLoop, PostRunsOnLoopThreadInOrder) {
+  LoopThread lt;
+  std::vector<int> order;
+  std::atomic<bool> done{false};
+  for (int i = 0; i < 10; ++i) {
+    lt.loop().post([&, i] {
+      EXPECT_TRUE(lt.loop().on_loop_thread());
+      order.push_back(i);
+      if (i == 9) done = true;
+    });
+  }
+  ASSERT_TRUE(eventually([&] { return done.load(); }));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(EventLoop, TimersFireInDeadlineOrder) {
+  LoopThread lt;
+  std::vector<int> order;
+  std::atomic<int> fired{0};
+  lt.loop().post([&] {
+    lt.loop().schedule_after(30'000, [&] { order.push_back(3); ++fired; });
+    lt.loop().schedule_after(5'000, [&] { order.push_back(1); ++fired; });
+    lt.loop().schedule_after(15'000, [&] { order.push_back(2); ++fired; });
+  });
+  ASSERT_TRUE(eventually([&] { return fired.load() == 3; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, CancelledTimerDoesNotFire) {
+  LoopThread lt;
+  std::atomic<bool> fired{false};
+  std::atomic<bool> late{false};
+  lt.loop().post([&] {
+    const net::TimerId id = lt.loop().schedule_after(10'000, [&] { fired = true; });
+    lt.loop().cancel_timer(id);
+    lt.loop().schedule_after(50'000, [&] { late = true; });
+  });
+  ASSERT_TRUE(eventually([&] { return late.load(); }));
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(EventLoop, StopBeforeRunReturnsImmediately) {
+  EventLoop loop;
+  loop.stop();
+  loop.run();  // must not hang
+}
+
+// --- FrameAssembler --------------------------------------------------------
+
+TEST(FrameAssembler, ReassemblesAcrossArbitraryChunks) {
+  Message m;
+  m.type = MsgType::kClientRequest;
+  m.cmd = test::kv_put(7, 1, "key", "value");
+  const std::string frame = m.encode();
+
+  // Three coalesced frames, fed one byte at a time.
+  std::string stream = frame + frame + frame;
+  FrameAssembler a;
+  std::size_t seen = 0;
+  for (char c : stream) {
+    a.append(std::string_view(&c, 1));
+    const std::string_view ready = a.complete_prefix();
+    std::size_t pos = 0;
+    while (pos < ready.size()) {
+      (void)Message::decode_stream_view(ready, &pos);
+      ++seen;
+    }
+    a.consume(pos);
+  }
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ(a.buffered(), 0u);
+}
+
+TEST(FrameAssembler, MalformedHeaderThrows) {
+  FrameAssembler a;
+  // 10 continuation bytes = varint longer than any valid u64.
+  a.append(std::string(10, '\xff'));
+  EXPECT_THROW((void)a.complete_prefix(), CodecError);
+}
+
+TEST(WireFrame, SharedBytesIsCachedAndMatchesEncode) {
+  Message m;
+  m.type = MsgType::kClockTime;
+  m.clock_ts = 99;
+  const WireFrame f(m);
+  const auto b1 = f.shared_bytes();
+  const auto b2 = f.shared_bytes();
+  EXPECT_EQ(b1.get(), b2.get());  // one encode, one buffer
+  EXPECT_EQ(*b1, m.encode());
+  EXPECT_EQ(f.bytes(), std::string_view(*b1));
+}
+
+// --- Acceptor / Connector / FrameConn --------------------------------------
+
+// One established FrameConn pair over loopback: frames sent from one end
+// arrive decoded on the other, hellos carry identity both ways.
+TEST(FrameConnLoopback, HelloAndFramesRoundTrip) {
+  LoopThread lt;
+  EventLoop& loop = lt.loop();
+
+  std::unique_ptr<Acceptor> acceptor;
+  std::unique_ptr<Connector> connector;
+  std::unique_ptr<FrameConn> server, client;
+  std::atomic<std::uint32_t> server_saw_hello{0}, client_saw_hello{0};
+  std::atomic<std::uint64_t> server_got{0};
+  std::vector<std::uint64_t> slots;
+
+  std::atomic<std::uint16_t> port{0};
+  loop.post([&] {
+    acceptor = std::make_unique<Acceptor>(loop, "127.0.0.1", 0);
+    acceptor->start([&](Socket&& s) {
+      server = std::make_unique<FrameConn>(loop, std::move(s));
+      server->start(
+          /*hello_id=*/1, [&](std::uint32_t id) { server_saw_hello = id; },
+          [&](const Message& m) {
+            slots.push_back(m.slot);
+            ++server_got;
+          },
+          [] {});
+    });
+    port = acceptor->port();
+  });
+  ASSERT_TRUE(eventually([&] { return port.load() != 0; }));
+
+  loop.post([&] {
+    connector = std::make_unique<Connector>(loop, "127.0.0.1", port.load());
+    connector->start([&](Socket&& s) {
+      client = std::make_unique<FrameConn>(loop, std::move(s));
+      client->start(
+          /*hello_id=*/2, [&](std::uint32_t id) { client_saw_hello = id; },
+          [](const Message&) {}, [] {});
+      for (std::uint64_t i = 0; i < 5; ++i) {
+        Message m;
+        m.type = MsgType::kMenAck;
+        m.slot = i;
+        m.a = i * 10;
+        client->send(WireFrame(std::move(m)).shared_bytes());
+      }
+    });
+  });
+
+  ASSERT_TRUE(eventually([&] { return server_got.load() == 5; }));
+  EXPECT_EQ(server_saw_hello.load(), 2u);
+  EXPECT_EQ(client_saw_hello.load(), 1u);
+  EXPECT_EQ(slots, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+
+  std::atomic<bool> cleaned{false};
+  loop.post([&] {
+    client.reset();
+    server.reset();
+    connector.reset();
+    acceptor.reset();
+    cleaned = true;
+  });
+  ASSERT_TRUE(eventually([&] { return cleaned.load(); }));
+}
+
+// A connector started before any listener exists must keep retrying with
+// backoff and succeed once the listener appears — the reconnect primitive.
+TEST(ConnectorRetry, ConnectsAfterListenerAppears) {
+  LoopThread lt;
+  EventLoop& loop = lt.loop();
+
+  // Reserve an ephemeral port, remember it, and close the listener so the
+  // first connect attempts are refused.
+  std::uint16_t port = 0;
+  {
+    Socket probe = net::tcp_listen("127.0.0.1", 0);
+    port = net::local_port(probe.fd());
+  }
+
+  std::unique_ptr<Connector> connector;
+  std::atomic<bool> connected{false};
+  loop.post([&] {
+    net::ConnectorOptions copt;
+    copt.initial_backoff_us = 2'000;
+    copt.max_backoff_us = 20'000;
+    connector = std::make_unique<Connector>(loop, "127.0.0.1", port, copt);
+    connector->start([&](Socket&&) { connected = true; });
+  });
+
+  // Let several refused attempts happen.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(connected.load());
+
+  std::unique_ptr<Acceptor> acceptor;
+  std::atomic<bool> accepted{false};
+  loop.post([&] {
+    acceptor = std::make_unique<Acceptor>(loop, "127.0.0.1", port);
+    acceptor->start([&](Socket&&) { accepted = true; });
+  });
+
+  ASSERT_TRUE(eventually([&] { return connected.load() && accepted.load(); }));
+  EXPECT_GT(connector->attempts(), 1u);
+
+  std::atomic<bool> cleaned{false};
+  loop.post([&] {
+    connector.reset();
+    acceptor.reset();
+    cleaned = true;
+  });
+  ASSERT_TRUE(eventually([&] { return cleaned.load(); }));
+}
+
+}  // namespace
+}  // namespace crsm

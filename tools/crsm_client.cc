@@ -1,0 +1,167 @@
+// crsm_client: closed-loop load driver for a crsm_node cluster.
+//
+//   crsm_client --server host:port [--clients K] [--duration S]
+//               [--payload BYTES] [--seed N] [--json]
+//
+// Opens K connections to one node, each running a closed loop of
+// kClientRequest KV puts (one outstanding request per connection), and
+// reports throughput plus client-observed commit latency percentiles.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "kv/kv_store.h"
+#include "net/sync_client.h"
+#include "util/stats.h"
+#include "workload/workload.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --server host:port [--clients K] [--duration S]\n"
+               "          [--payload BYTES] [--seed N] [--json]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crsm;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t clients = 8;
+  double duration_s = 5.0;
+  std::size_t payload = 64;
+  std::uint64_t seed = 42;
+  bool json = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (a == "--server") {
+        const std::string entry = next();
+        const std::size_t colon = entry.rfind(':');
+        if (colon == std::string::npos) usage(argv[0]);
+        host = entry.substr(0, colon);
+        port = static_cast<std::uint16_t>(std::stoul(entry.substr(colon + 1)));
+      } else if (a == "--clients") {
+        clients = std::stoul(next());
+      } else if (a == "--duration") {
+        duration_s = std::stod(next());
+      } else if (a == "--payload") {
+        payload = std::stoul(next());
+      } else if (a == "--seed") {
+        seed = std::stoull(next());
+      } else if (a == "--json") {
+        json = true;
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+        usage(argv[0]);
+      }
+    }
+  } catch (const std::exception& e) {  // stoul/stod on malformed numbers
+    std::fprintf(stderr, "bad argument: %s\n", e.what());
+    usage(argv[0]);
+  }
+  if (port == 0) usage(argv[0]);
+  (void)seed;  // reserved for future randomized workloads; accepted uniformly
+
+  // Disambiguate client ids across concurrently running crsm_client
+  // processes: the node routes replies by (client, seq), so two drivers
+  // reusing index 0..K-1 would consume each other's replies. Folding the
+  // pid into the per-process index base keeps ids unique in practice.
+  const std::size_t index_base =
+      static_cast<std::size_t>(::getpid() % 0xFFFF) * 0x10000;
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::mutex stats_mu;
+  LatencyStats latency;
+
+  const std::string payload_bytes =
+      KvRequest::sized_put("key", payload).encode();
+
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        net::SyncClient conn(host, port);
+        const ClientId id = make_client_id(conn.server_id(), index_base + c);
+        LatencyStats local;
+        std::uint64_t seq = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+          Command cmd;
+          cmd.client = id;
+          cmd.seq = ++seq;
+          cmd.payload = payload_bytes;
+          const auto t0 = std::chrono::steady_clock::now();
+          (void)conn.call(cmd, /*timeout_ms=*/10'000);
+          const auto t1 = std::chrono::steady_clock::now();
+          local.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
+          ops.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> lk(stats_mu);
+        latency.merge(local);
+      } catch (const std::exception& e) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr, "client %zu: %s\n", c, e.what());
+      }
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const double cmds_per_sec = static_cast<double>(ops.load()) / secs;
+  if (json) {
+    bench::JsonResult jr("crsm_client");
+    jr.add("server", host + ":" + std::to_string(port));
+    jr.add("clients", static_cast<std::uint64_t>(clients));
+    jr.add("payload_bytes", static_cast<std::uint64_t>(payload));
+    jr.add("duration_s", secs);
+    jr.add("ops", ops.load());
+    jr.add("cmds_per_sec", cmds_per_sec);
+    jr.add("errors", errors.load());
+    jr.add("latency_mean_ms", latency.empty() ? 0.0 : latency.mean());
+    jr.add("latency_p50_ms", latency.empty() ? 0.0 : latency.percentile(50));
+    jr.add("latency_p95_ms", latency.empty() ? 0.0 : latency.percentile(95));
+    jr.add("latency_p99_ms", latency.empty() ? 0.0 : latency.percentile(99));
+    jr.print(std::cout);
+  } else {
+    std::printf("crsm_client: %llu ops in %.2fs -> %.1f cmds/s (%zu clients, "
+                "%zuB payload)\n",
+                static_cast<unsigned long long>(ops.load()), secs, cmds_per_sec,
+                clients, payload);
+    if (!latency.empty()) {
+      std::printf("latency ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+                  latency.mean(), latency.percentile(50), latency.percentile(95),
+                  latency.percentile(99), latency.max());
+    }
+    if (errors.load() > 0) {
+      std::printf("errors: %llu\n", static_cast<unsigned long long>(errors.load()));
+    }
+  }
+  return errors.load() == 0 ? 0 : 1;
+}

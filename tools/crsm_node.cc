@@ -1,0 +1,155 @@
+// crsm_node: one replica of a real TCP deployment.
+//
+// Hosts a NodeRuntime (any of the four protocols) given the cluster's full
+// address table. Peers connect on the same port as clients; see
+// docs/DEPLOYMENT.md for a 3-node walkthrough.
+//
+//   crsm_node --id 0 --peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
+//             [--protocol clockrsm|paxos|paxos-bcast|mencius] [--stats-every 5]
+//
+// The listen address is peers[id]. Runs until SIGINT/SIGTERM, printing
+// periodic wire/commit counters to stderr.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/latency_experiment.h"
+#include "kv/kv_store.h"
+#include "runtime/node.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --id N --peers host:port,host:port,... \\\n"
+               "          [--protocol clockrsm|paxos|paxos-bcast|mencius] "
+               "[--stats-every SECONDS]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<crsm::TcpPeer> parse_peers(const std::string& arg) {
+  std::vector<crsm::TcpPeer> peers;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    std::size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string entry = arg.substr(start, comma - start);
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad peer '%s' (want host:port)\n", entry.c_str());
+      std::exit(2);
+    }
+    crsm::TcpPeer p;
+    p.host = entry.substr(0, colon);
+    p.port = static_cast<std::uint16_t>(std::stoul(entry.substr(colon + 1)));
+    peers.push_back(std::move(p));
+    start = comma + 1;
+  }
+  return peers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crsm;
+
+  ReplicaId id = kNoReplica;
+  std::vector<TcpPeer> peers;
+  std::string protocol = "clockrsm";
+  int stats_every = 5;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (a == "--id") {
+        id = static_cast<ReplicaId>(std::stoul(next()));
+      } else if (a == "--peers") {
+        peers = parse_peers(next());
+      } else if (a == "--protocol") {
+        protocol = next();
+      } else if (a == "--stats-every") {
+        stats_every = std::atoi(next().c_str());
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+        usage(argv[0]);
+      }
+    }
+  } catch (const std::exception& e) {  // stoul/stod on malformed numbers
+    std::fprintf(stderr, "bad argument: %s\n", e.what());
+    usage(argv[0]);
+  }
+  if (id == kNoReplica || peers.empty() || id >= peers.size()) usage(argv[0]);
+
+  const std::size_t n = peers.size();
+  NodeRuntime::ProtocolFactory factory;
+  if (protocol == "clockrsm") {
+    factory = clock_rsm_factory(n);
+  } else if (protocol == "paxos") {
+    factory = paxos_factory(n, 0, false);
+  } else if (protocol == "paxos-bcast") {
+    factory = paxos_factory(n, 0, true);
+  } else if (protocol == "mencius") {
+    factory = mencius_factory(n);
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s'\n", protocol.c_str());
+    usage(argv[0]);
+  }
+
+  NodeConfig cfg;
+  cfg.id = id;
+  cfg.transport.listen_host = peers[id].host;
+  cfg.transport.listen_port = peers[id].port;
+
+  NodeRuntime node(cfg, factory, [] { return std::make_unique<KvStore>(); });
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  node.start(peers);
+  std::fprintf(stderr, "crsm_node: replica %u (%s) listening on %s:%u, %zu peers\n",
+               id, protocol.c_str(), peers[id].host.c_str(), node.port(), n - 1);
+
+  std::uint64_t last_executed = 0;
+  auto last = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const auto now = std::chrono::steady_clock::now();
+    if (stats_every > 0 &&
+        now - last >= std::chrono::seconds(stats_every)) {
+      const double secs = std::chrono::duration<double>(now - last).count();
+      const std::uint64_t exec = node.executed();
+      const TransportStats s = node.transport_stats();
+      std::fprintf(stderr,
+                   "crsm_node[%u]: %.0f cmds/s | executed %llu | sent %llu msgs "
+                   "%llu bytes | encodes %llu | dropped %llu | blocks %llu\n",
+                   id, static_cast<double>(exec - last_executed) / secs,
+                   static_cast<unsigned long long>(exec),
+                   static_cast<unsigned long long>(s.messages_sent),
+                   static_cast<unsigned long long>(s.bytes_sent),
+                   static_cast<unsigned long long>(s.encode_calls),
+                   static_cast<unsigned long long>(s.messages_dropped),
+                   static_cast<unsigned long long>(s.backpressure_blocks));
+      last_executed = exec;
+      last = now;
+    }
+  }
+  std::fprintf(stderr, "crsm_node[%u]: shutting down\n", id);
+  node.stop();
+  return 0;
+}
