@@ -1,8 +1,32 @@
-// Microbenchmarks: command log append and recovery replay (google-benchmark).
-#include <benchmark/benchmark.h>
+// Storage microbenchmark: the group-commit batch-size sweep.
+//
+// Measures the append+fsync path of the WAL under the durability discipline
+// the runtime actually uses: every record demands a durability point
+// (CommandLog::sync), and GroupCommitLog amortizes B of them into one
+// fdatasync (the event-loop pass-end flush). Sweeping B shows why group
+// commit is what makes a FileLog-backed node competitive with MemLog —
+// records/s climbs roughly linearly with the batch until the write() cost
+// dominates — and the MemLog and no-fsync rows bound the range. A replay
+// row covers the recovery side: how fast a WAL scans back into memory.
+//
+// Follows the shared bench CLI contract (--seed N, --json); results land in
+// BENCH_storage.json at the repo root. Unlike micro_codec this needs no
+// Google Benchmark: timings are plain steady_clock over fixed record
+// counts, dominated by syscalls.
+#include <unistd.h>
 
-#include "storage/command_log.h"
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/report.h"
 #include "storage/recovery.h"
+#include "storage/replica_storage.h"
 
 namespace {
 
@@ -16,33 +40,121 @@ LogRecord make_prepare(Tick t, std::size_t payload) {
   return LogRecord::prepare(Timestamp{t, 0}, std::move(c));
 }
 
-void BM_MemLogAppend(benchmark::State& state) {
-  MemLog log;
-  Tick t = 1;
-  for (auto _ : state) {
-    log.append(make_prepare(t, static_cast<std::size_t>(state.range(0))));
-    log.append(LogRecord::commit(Timestamp{t, 0}));
-    ++t;
-  }
-}
-BENCHMARK(BM_MemLogAppend)->Arg(64)->Arg(1000);
+constexpr std::size_t kPayload = 64;   // the paper's command size
+constexpr std::size_t kRecords = 2000; // appends per measured run
 
-void BM_ReplayLog(benchmark::State& state) {
-  std::vector<LogRecord> records;
-  const auto n = static_cast<Tick>(state.range(0));
-  for (Tick t = 1; t <= n; ++t) {
-    records.push_back(make_prepare(t, 64));
-    records.push_back(LogRecord::commit(Timestamp{t, 0}));
-  }
-  for (auto _ : state) {
-    ReplayResult r = replay_log(records);
-    benchmark::DoNotOptimize(r);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(n));
+double records_per_sec(std::size_t n, std::chrono::steady_clock::duration d) {
+  const double secs = std::chrono::duration<double>(d).count();
+  return secs > 0 ? static_cast<double>(n) / secs : 0.0;
 }
-BENCHMARK(BM_ReplayLog)->Arg(1000)->Arg(10000);
+
+// Appends kRecords prepares through a GroupCommitLog in batches of `batch`
+// sync requests per flush; returns records/s.
+double run_batched(const std::string& path, std::size_t batch) {
+  std::filesystem::remove(path);
+  GroupCommitLog log(std::make_unique<FileLog>(path), /*defer_sync=*/true);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    log.append(make_prepare(static_cast<Tick>(i + 1), kPayload));
+    log.sync();  // the protocol's per-record durability request
+    if ((i + 1) % batch == 0) (void)log.flush();
+  }
+  (void)log.flush();
+  const auto t1 = std::chrono::steady_clock::now();
+  std::filesystem::remove(path);
+  return records_per_sec(kRecords, t1 - t0);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace crsm::bench;
+
+  const BenchArgs args = parse_bench_args(argc, argv);
+  (void)args.seed;  // fixed workload; accepted for CLI uniformity
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("crsm_micro_storage_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  const std::string wal = dir + "/wal.log";
+
+  JsonResult jr("micro_storage");
+  Table t({"log", "fsync batch", "records/s"});
+  const auto add = [&](const std::string& label, const std::string& batch,
+                       const std::string& key, double rps) {
+    jr.add(key, rps);
+    t.add_row({label, batch, fmt_count(rps, 0)});
+  };
+
+  // Bounds: pure in-memory appends, and file appends with no fsync at all.
+  {
+    MemLog log;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      log.append(make_prepare(static_cast<Tick>(i + 1), kPayload));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    add("MemLog", "-", "memlog_records_per_sec", records_per_sec(kRecords, t1 - t0));
+  }
+  {
+    std::filesystem::remove(wal);
+    FileLog log(wal);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      log.append(make_prepare(static_cast<Tick>(i + 1), kPayload));
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    add("FileLog (no fsync)", "-", "filelog_nosync_records_per_sec",
+        records_per_sec(kRecords, t1 - t0));
+  }
+
+  // The sweep: one fdatasync per B durability requests.
+  for (const std::size_t batch : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const double rps = run_batched(wal, batch);
+    add("FileLog + group commit", std::to_string(batch),
+        "batch_" + std::to_string(batch) + "_records_per_sec", rps);
+  }
+
+  // Recovery replay: reload the WAL and rebuild the committed sequence.
+  {
+    std::filesystem::remove(wal);
+    {
+      FileLog log(wal);
+      for (std::size_t i = 0; i < kRecords; ++i) {
+        const auto ts = Timestamp{static_cast<Tick>(i + 1), 0};
+        log.append(make_prepare(ts.ticks, kPayload));
+        log.append(LogRecord::commit(ts));
+      }
+      log.sync();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    FileLog reopened(wal);
+    const ReplayResult rr = replay_log(reopened.records());
+    const auto t1 = std::chrono::steady_clock::now();
+    if (rr.committed.size() != kRecords) {
+      std::fprintf(stderr, "replay mismatch: %zu committed\n", rr.committed.size());
+      return 1;
+    }
+    add("FileLog replay", "-", "replay_records_per_sec",
+        records_per_sec(kRecords, t1 - t0));
+  }
+
+  std::filesystem::remove_all(dir);
+
+  if (args.json) {
+    jr.print(std::cout);
+    return 0;
+  }
+  std::printf("Storage microbenchmark: %zu records, %zuB payload\n\n", kRecords,
+              kPayload);
+  t.print(std::cout);
+  std::printf(
+      "\nShape to check: records/s at batch 1 is fsync-bound (one fdatasync "
+      "per record);\nthroughput grows with the batch until write() cost "
+      "dominates, closing most of the\ngap to the no-fsync bound. That gap "
+      "closure is what the runtime's per-pass group\ncommit buys a durable "
+      "node.\n");
+  return 0;
+}

@@ -7,6 +7,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/codec.h"
+#include "storage/checkpoint.h"
 #include "storage/recovery.h"
 
 namespace crsm {
@@ -21,6 +23,17 @@ struct TsHash {
 
 bool contains(const std::vector<ReplicaId>& v, ReplicaId r) {
   return std::find(v.begin(), v.end(), r) != v.end();
+}
+
+// Timestamps with a COMMIT mark in `records` (catch-up serving/recovery
+// needs to tell genuinely committed prepares from stale ones).
+std::unordered_set<Timestamp, TsHash> commit_marks(
+    const std::vector<LogRecord>& records) {
+  std::unordered_set<Timestamp, TsHash> marks;
+  for (const LogRecord& r : records) {
+    if (r.type == LogType::kCommit) marks.insert(r.ts);
+  }
+  return marks;
 }
 
 }  // namespace
@@ -62,6 +75,8 @@ void ClockRsmReplica::start() {
       frozen_ = true;  // do not process normal traffic until reintegrated
       reconfigure(spec_);
     }
+  } else if (recovering && opt_.catchup_on_recovery) {
+    begin_catchup();
   }
 }
 
@@ -113,7 +128,7 @@ Tick ClockRsmReplica::min_latest_tv() const {
 // --------------------------------------------------------------------------
 
 void ClockRsmReplica::submit(Command cmd) {
-  if (frozen_ || !in_config()) {
+  if (frozen_ || catching_up_ || !in_config()) {
     deferred_submits_.push_back(std::move(cmd));
     return;
   }
@@ -155,6 +170,15 @@ void ClockRsmReplica::on_message(const Message& m) {
       return;
     case MsgType::kRetrieveReply:
       handle_retrieve_reply(m);
+      return;
+
+    // Catch-up is epoch-agnostic like the retrieve machinery: a recovering
+    // replica's epoch may lag the group's.
+    case MsgType::kCatchupReq:
+      handle_catchup_req(m);
+      return;
+    case MsgType::kCatchupReply:
+      handle_catchup_reply(m);
       return;
 
     case MsgType::kPrepare:
@@ -237,7 +261,7 @@ void ClockRsmReplica::handle_prepare_ok(const Message& m) {
   auto& tv = latest_tv_[m.from];
   tv = std::max(tv, m.clock_ts);
   if (m.ts > last_commit_ts_) {
-    ++rep_counter_[m.ts];
+    rep_counter_[m.ts].insert(m.from);
   }
   maybe_commit();
 }
@@ -257,6 +281,10 @@ bool ClockRsmReplica::stable(Timestamp ts) const {
 }
 
 void ClockRsmReplica::maybe_commit() {
+  // A replica still catching up after a crash must not execute: commands it
+  // missed while down may order below its pending head, and only the
+  // catch-up replies can reveal them.
+  if (catching_up_) return;
   // Lines 14-23: commit the smallest pending timestamp while (1) majority
   // replication, (2) stable order and (3) prefix replication hold. Checking
   // only the head of PendingCmds and executing in timestamp order makes
@@ -264,9 +292,16 @@ void ClockRsmReplica::maybe_commit() {
   while (!pending_.empty()) {
     const auto it = pending_.begin();
     const Timestamp ts = it->first;
+    if (ts <= last_commit_ts_) {
+      // Superseded while pending (e.g. committed through catch-up, or
+      // covered by an installed checkpoint): executing it now would break
+      // timestamp order. Drop it.
+      pending_.erase(it);
+      rep_counter_.erase(ts);
+      continue;
+    }
     auto rc = rep_counter_.find(ts);
-    if (rc == rep_counter_.end() ||
-        static_cast<std::size_t>(rc->second) < majority(spec_.size())) {
+    if (rc == rep_counter_.end() || rc->second.size() < majority(spec_.size())) {
       break;
     }
     if (!stable(ts)) break;
@@ -426,6 +461,260 @@ void ClockRsmReplica::handle_retrieve_reply(const Message& m) {
     fetched_cmds_.clear();
     finish_decision(e, dec, std::move(extra));
   }
+}
+
+// --------------------------------------------------------------------------
+// Crash-restart catch-up (Section V-B, durable runtime)
+//
+// A replica that rebooted from its WAL has the committed prefix it synced
+// before the crash, but may have lost in-flight PREPAREs (frames written to
+// its dead socket) and the PREPAREOKs that replicated them. Peers can commit
+// such a command without resending it to us — replication already reached a
+// majority, and stability only needs our post-restart CLOCKTIME — so replay
+// alone cannot rebuild the total order. Catch-up closes the gap with an
+// open-ended RETRIEVECMDS-style fetch: peers return every PREPARE above our
+// last commit plus their own commit bound (all their log entries at or below
+// the bound are committed, in timestamp order), and we poll until our commit
+// timestamp passes the barrier — the highest timestamp any peer had seen
+// when we rejoined, which bounds everything the crash could have lost.
+// While catching up we keep logging and acking new PREPAREs (peers stay
+// unblocked; nothing new can be lost over the fresh connections) but defer
+// local execution and client submissions.
+// --------------------------------------------------------------------------
+
+void ClockRsmReplica::begin_catchup() {
+  bool has_peer = false;
+  for (ReplicaId r : config_) has_peer |= (r != env_.self());
+  if (!has_peer) return;  // single-replica group: replay was everything
+  catching_up_ = true;
+  // Re-stage the replayed log's unresolved tail (PREPAREs with no COMMIT
+  // mark) and re-announce it. If a peer also holds one of these it can now
+  // reach majority again and commit — essential when *several* replicas
+  // restart together and all soft state (replication counters) was lost.
+  // Re-acking is idempotent: the counter tracks distinct ackers.
+  const auto marks = commit_marks(env_.log().records());
+  for (const LogRecord& rec : env_.log().records()) {
+    if (rec.type != LogType::kPrepare || rec.ts <= last_commit_ts_ ||
+        marks.contains(rec.ts) || pending_.contains(rec.ts)) {
+      continue;
+    }
+    pending_.emplace(rec.ts, Pending{rec.cmd});
+    catchup_restaged_.insert(rec.ts);
+    ack_prepare(rec.ts, epoch_);
+  }
+  send_catchup_request();
+  arm_catchup_timer();
+}
+
+void ClockRsmReplica::send_catchup_request() {
+  Message m;
+  m.type = MsgType::kCatchupReq;
+  m.epoch = epoch_;
+  m.ts = last_commit_ts_;
+  std::vector<ReplicaId> peers;
+  for (ReplicaId r : config_) {
+    if (r != env_.self()) peers.push_back(r);
+  }
+  env_.multicast(peers, m);
+  ++stats_.catchup_rounds;
+}
+
+void ClockRsmReplica::arm_catchup_timer() {
+  env_.schedule_after(opt_.catchup_interval_us, [this] {
+    if (!catching_up_) return;
+    // Barrier fallback: if some peer never answers (it crashed too), settle
+    // for a majority of replies after a grace period instead of hanging.
+    constexpr std::uint64_t kFallbackRounds = 20;
+    maybe_set_catchup_barrier(stats_.catchup_rounds >= kFallbackRounds);
+    maybe_finish_catchup();
+    if (!catching_up_) return;
+    send_catchup_request();
+    arm_catchup_timer();
+  });
+}
+
+void ClockRsmReplica::handle_catchup_req(const Message& m) {
+  // Read-only over our log; served even while frozen or catching up
+  // ourselves — several replicas restarting together must be able to feed
+  // each other, or a full-cluster restart would deadlock. The requester
+  // treats every record at or below our commit bound as committed, so only
+  // prepares with an actual COMMIT mark may travel below the bound: a
+  // replica mid-recovery can hold stale pre-crash prepares under an
+  // already-advanced bound that never committed anywhere.
+  Message r;
+  r.type = MsgType::kCatchupReply;
+  r.epoch = epoch_;
+  r.ts = last_commit_ts_;
+  const auto marks = commit_marks(env_.log().records());
+  std::unordered_set<Timestamp, TsHash> seen;
+  for (const LogRecord& rec : env_.log().records()) {
+    if (rec.type != LogType::kPrepare || rec.ts <= m.ts) continue;
+    if (rec.ts <= last_commit_ts_ && !marks.contains(rec.ts)) continue;
+    if (seen.insert(rec.ts).second) r.records.push_back(rec);
+  }
+  if (env_.recovery_floor() > m.ts) {
+    // Our log was truncated past the requested range; the checkpoint stands
+    // in for the missing committed prefix.
+    r.blob = env_.encoded_checkpoint();
+    r.a = r.blob.empty() ? 0 : 1;
+  }
+  env_.send(m.from, r);
+}
+
+void ClockRsmReplica::handle_catchup_reply(const Message& m) {
+  if (!catching_up_) return;
+
+  // The barrier only grows from *first* replies: anything a later reply
+  // adds arrived over the fresh (reliable) connections and is not at risk.
+  Timestamp peer_max = m.ts;
+  for (const LogRecord& rec : m.records) {
+    peer_max = std::max(peer_max, rec.ts);
+    catchup_restaged_.erase(rec.ts);  // a peer holds it too: not an orphan
+  }
+  if (catchup_replied_.insert(m.from).second) {
+    catchup_candidate_barrier_ = std::max(catchup_candidate_barrier_, peer_max);
+    maybe_set_catchup_barrier(/*fallback=*/false);
+  }
+
+  // A checkpoint replaces the committed prefix our peer's log no longer
+  // holds (and anything we replayed below it). Everything the snapshot
+  // covers must leave the soft state too: a pending entry at or below the
+  // new commit floor is already executed inside the snapshot, and running
+  // it again through maybe_commit would re-execute it out of order.
+  if (m.a == 1 && !m.blob.empty()) {
+    // The covered timestamp leads the encoding; peek it without decoding
+    // the (potentially large) snapshot twice — install does the full parse.
+    Decoder peek(m.blob.view());
+    const Timestamp cp_last_applied = peek.timestamp();
+    if (cp_last_applied > last_commit_ts_) {
+      env_.install_checkpoint(m.blob.view());
+      last_commit_ts_ = cp_last_applied;
+      pending_.erase(pending_.begin(),
+                     pending_.upper_bound(last_commit_ts_));
+      rep_counter_.erase(rep_counter_.begin(),
+                         rep_counter_.upper_bound(last_commit_ts_));
+    }
+  }
+
+  std::unordered_set<Timestamp, TsHash> in_log;
+  for (const LogRecord& rec : env_.log().records()) {
+    if (rec.type == LogType::kPrepare) in_log.insert(rec.ts);
+  }
+  // Split the fetched prepares at the responder's commit bound: everything
+  // at or below it is committed in timestamp order (the peer's log holds no
+  // uncommitted entry under its last commit), the rest is still open.
+  std::map<Timestamp, Command> committed;
+  std::map<Timestamp, Command> open;
+  for (const LogRecord& rec : m.records) {
+    if (rec.type != LogType::kPrepare) continue;
+    (rec.ts <= m.ts ? committed : open).emplace(rec.ts, rec.cmd);
+  }
+  bool appended = false;
+  for (const auto& [ts, cmd] : committed) {
+    if (ts <= last_commit_ts_) continue;
+    if (!in_log.contains(ts)) {
+      env_.log().append(LogRecord::prepare(ts, cmd));
+      in_log.insert(ts);
+    }
+    appended = true;
+    env_.log().append(LogRecord::commit(ts));
+    last_commit_ts_ = ts;
+    ++stats_.committed;
+    ++stats_.catchup_commits;
+    pending_.erase(ts);
+    rep_counter_.erase(ts);
+    env_.deliver(cmd, ts, ts.origin == env_.self());
+  }
+  // Open entries are staged like a normal PREPARE and acked: when several
+  // replicas recover together the pre-crash replication counters are gone,
+  // so these re-acks are what lets an in-flight command reach majority
+  // again (idempotent — the counter tracks distinct ackers). As in
+  // handle_prepare, the durability request precedes the ack, so a durable
+  // environment holds the PREPAREOK until the append is actually stable.
+  for (const auto& [ts, cmd] : open) {
+    if (ts <= last_commit_ts_ || pending_.contains(ts)) continue;
+    if (!in_log.contains(ts)) {
+      env_.log().append(LogRecord::prepare(ts, cmd));
+      in_log.insert(ts);
+      appended = true;
+    }
+    pending_.emplace(ts, Pending{cmd});
+    env_.log().sync();
+    appended = false;  // the sync request covers everything appended so far
+    ack_prepare(ts, epoch_);
+  }
+  // One trailing durability request when commits were appended without a
+  // subsequent open-entry sync; skipped entirely for an empty reply (no
+  // pointless fdatasync per poll round).
+  if (appended) env_.log().sync();
+  maybe_finish_catchup();
+}
+
+void ClockRsmReplica::maybe_set_catchup_barrier(bool fallback) {
+  if (catchup_barrier_known_) return;
+  std::size_t peers = 0;
+  for (ReplicaId r : config_) peers += (r != env_.self()) ? 1 : 0;
+  const bool all = catchup_replied_.size() >= peers;
+  const bool quorum = catchup_replied_.size() + 1 >= majority(spec_.size());
+  if (all || (fallback && quorum)) {
+    catchup_barrier_known_ = true;
+    catchup_all_replied_ = all;
+    catchup_barrier_ = catchup_candidate_barrier_;
+  }
+}
+
+void ClockRsmReplica::maybe_finish_catchup() {
+  if (!catching_up_ || !catchup_barrier_known_) return;
+  if (last_commit_ts_ < catchup_barrier_) return;
+  catching_up_ = false;
+  // Orphans: re-staged prepares no reply confirmed exist only on this
+  // machine. They can never reach majority (peers may even have committed
+  // past them), so left pending they would head-block maybe_commit forever.
+  // Drop them — their clients retry (at-least-once). Only with replies from
+  // *every* peer is "no one else has it" actually known; under the
+  // majority fallback a silent peer might still hold (and later commit) the
+  // entry, so there the conservative choice is to keep it pending.
+  std::set<Timestamp> dropped;
+  if (catchup_all_replied_) {
+    for (const Timestamp& ts : catchup_restaged_) {
+      if (ts <= last_commit_ts_ || !pending_.contains(ts)) continue;
+      pending_.erase(ts);
+      rep_counter_.erase(ts);
+      dropped.insert(ts);
+    }
+  }
+  catchup_restaged_.clear();
+  // Restore the committed-prefix invariant: a pre-crash PREPARE of ours that
+  // no majority saw has no COMMIT mark but may now sit below last_commit_ts_
+  // (or is a dropped orphan above it); it must not linger, or a later
+  // catch-up/retrieve served from this log would hand it out again. Only
+  // rewrite the log when such a record actually exists — a FileLog rewrite
+  // is a full rewrite.
+  const auto marks = commit_marks(env_.log().records());
+  bool stale = false;
+  for (const LogRecord& rec : env_.log().records()) {
+    if (rec.type == LogType::kPrepare && !marks.contains(rec.ts) &&
+        (rec.ts <= last_commit_ts_ || dropped.contains(rec.ts))) {
+      stale = true;
+      break;
+    }
+  }
+  if (stale) {
+    env_.log().remove_uncommitted_above(
+        kZeroTimestamp, [this, &dropped](const Timestamp& ts) {
+          return ts > last_commit_ts_ && !dropped.contains(ts);
+        });
+  }
+  const Tick base = last_commit_ts_.ticks;
+  for (auto& [r, tv] : latest_tv_) tv = std::max(tv, base);
+  last_sent_ = std::max(last_sent_, base);
+  catchup_replied_.clear();
+  while (!deferred_submits_.empty()) {
+    Command c = std::move(deferred_submits_.front());
+    deferred_submits_.pop_front();
+    handle_request(std::move(c));
+  }
+  maybe_commit();
 }
 
 void ClockRsmReplica::on_consensus_decide(Epoch instance, const std::string& blob) {

@@ -49,6 +49,17 @@ struct ClockRsmOptions {
   Tick fd_timeout_us = 600'000;
   Tick fd_check_interval_us = 150'000;
   Tick consensus_retry_us = 400'000;
+
+  // Crash-restart catch-up (Section V-B, specialized for the durable TCP
+  // runtime): a replica that boots with prior state (log/checkpoint) replays
+  // it, then retrieves the commands it missed from live peers via
+  // CATCHUPREQ/CATCHUPREPLY — an open-ended variant of the RETRIEVECMDS
+  // log-range fetch — before it resumes committing and accepting clients.
+  // Off by default: simulator restart tests keep replay-only behavior, and
+  // the reconfiguration path subsumes catch-up via SUSPEND + consensus.
+  // Requires a live majority; see docs/OPERATIONS.md.
+  bool catchup_on_recovery = false;
+  Tick catchup_interval_us = 100'000;  // poll until caught up
 };
 
 class ClockRsmReplica final : public ReplicaProtocol {
@@ -74,6 +85,7 @@ class ClockRsmReplica final : public ReplicaProtocol {
   [[nodiscard]] Timestamp last_commit_ts() const { return last_commit_ts_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
   [[nodiscard]] bool frozen() const { return frozen_; }
+  [[nodiscard]] bool catching_up() const { return catching_up_; }
   [[nodiscard]] bool in_config() const;
 
   struct Stats {
@@ -82,6 +94,8 @@ class ClockRsmReplica final : public ReplicaProtocol {
     std::uint64_t clocktimes_sent = 0;
     std::uint64_t clock_waits = 0;      // line-8 waits actually taken
     std::uint64_t reconfigurations = 0;
+    std::uint64_t catchup_rounds = 0;   // CATCHUPREQ broadcasts sent
+    std::uint64_t catchup_commits = 0;  // commands committed via catch-up
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -116,6 +130,15 @@ class ClockRsmReplica final : public ReplicaProtocol {
   void arm_failure_detector_timer();
   void replay_from_log();
 
+  // --- crash-restart catch-up (durable runtime) ---
+  void begin_catchup();
+  void send_catchup_request();
+  void arm_catchup_timer();
+  void handle_catchup_req(const Message& m);
+  void handle_catchup_reply(const Message& m);
+  void maybe_set_catchup_barrier(bool fallback);
+  void maybe_finish_catchup();
+
   void broadcast(const Message& m);
   [[nodiscard]] Tick next_send_ticks();
   [[nodiscard]] Tick min_latest_tv() const;
@@ -128,9 +151,12 @@ class ClockRsmReplica final : public ReplicaProtocol {
   std::vector<ReplicaId> config_;
   Epoch epoch_ = 0;
 
-  // Soft state (Table I).
+  // Soft state (Table I). The replication counter tracks *distinct* ackers
+  // so duplicate PREPAREOKs (crash-restart re-acks, catch-up staging) are
+  // idempotent: majority means a majority of replicas, never a count that a
+  // repeated sender could inflate.
   std::map<Timestamp, Pending> pending_;
-  std::map<Timestamp, int> rep_counter_;
+  std::map<Timestamp, std::set<ReplicaId>> rep_counter_;
   std::unordered_map<ReplicaId, Tick> latest_tv_;
   Timestamp last_commit_ts_;
   Tick last_sent_ = 0;  // enforces sending in strictly increasing ts order
@@ -152,6 +178,21 @@ class ClockRsmReplica final : public ReplicaProtocol {
   std::map<Timestamp, Command> fetched_cmds_;
   std::deque<Command> deferred_submits_;
   std::unique_ptr<FailureDetector> fd_;
+
+  // Catch-up state. The barrier is the highest timestamp any peer had seen
+  // when we rejoined: every command that could have been lost to the crash
+  // is at or below it, so catch-up may end once last_commit_ts_ passes it.
+  bool catching_up_ = false;
+  bool catchup_barrier_known_ = false;
+  bool catchup_all_replied_ = false;  // barrier built from every peer
+  Timestamp catchup_barrier_;
+  Timestamp catchup_candidate_barrier_;
+  std::set<ReplicaId> catchup_replied_;  // peers whose first reply arrived
+  // Our replayed unresolved prepares, pending confirmation that some peer
+  // also holds them. One still unconfirmed when catch-up ends never left
+  // this machine: it can never reach majority and is dropped (the client
+  // retries), or it would head-block pending_ forever.
+  std::set<Timestamp> catchup_restaged_;
 
   Stats stats_;
 };

@@ -19,6 +19,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kSuspendOk: return "SUSPENDOK";
     case MsgType::kRetrieveCmds: return "RETRIEVECMDS";
     case MsgType::kRetrieveReply: return "RETRIEVEREPLY";
+    case MsgType::kCatchupReq: return "CATCHUPREQ";
+    case MsgType::kCatchupReply: return "CATCHUPREPLY";
     case MsgType::kConsPrepare: return "C-PREPARE";
     case MsgType::kConsPromise: return "C-PROMISE";
     case MsgType::kConsAccept: return "C-ACCEPT";
@@ -111,6 +113,12 @@ Shape shape_of(MsgType t) {
     case MsgType::kSuspendOk: return {.records = true};
     case MsgType::kRetrieveCmds: return {.ts = true, .clock_ts = true, .a = true};
     case MsgType::kRetrieveReply: return {.a = true, .records = true};
+    case MsgType::kCatchupReq: return {.ts = true};
+    case MsgType::kCatchupReply:
+      // ts = responder's last commit bound; a = 1 when blob carries the
+      // responder's checkpoint (needed when its log was truncated past the
+      // requested range); records = PREPARE entries above the request's ts.
+      return {.ts = true, .a = true, .records = true, .blob = true};
     case MsgType::kConsPrepare: return {.a = true};
     case MsgType::kConsPromise: return {.a = true, .b = true, .blob = true};
     case MsgType::kConsAccept: return {.a = true, .blob = true};

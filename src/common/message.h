@@ -39,6 +39,10 @@ enum class MsgType : std::uint8_t {
   kRetrieveCmds = 32,   // <RETRIEVECMDS from, to>
   kRetrieveReply = 33,  // <RETRIEVEREPLY cmds>
 
+  // --- Crash-restart catch-up (Section V-B, durable runtime) ---
+  kCatchupReq = 34,    // <CATCHUPREQ from-ts>: log-range retrieve, open-ended
+  kCatchupReply = 35,  // <CATCHUPREPLY commit-bound, prepares, checkpoint?>
+
   // --- Single-decree Paxos used by reconfiguration PROPOSE/DECIDE ---
   kConsPrepare = 40,   // phase 1a (ballot)
   kConsPromise = 41,   // phase 1b (ballot, accepted ballot, accepted value)

@@ -117,13 +117,18 @@ LatencyExperimentResult run_latency_experiment(
 
 SimWorld::ProtocolFactory clock_rsm_factory(std::size_t n, bool clocktime_enabled,
                                             Tick delta_us) {
+  ClockRsmOptions o;
+  o.clocktime_enabled = clocktime_enabled;
+  o.clocktime_delta_us = delta_us;
+  return clock_rsm_factory(n, o);
+}
+
+SimWorld::ProtocolFactory clock_rsm_factory(std::size_t n,
+                                            const ClockRsmOptions& opt) {
   std::vector<ReplicaId> spec(n);
   for (std::size_t i = 0; i < n; ++i) spec[i] = static_cast<ReplicaId>(i);
-  return [spec, clocktime_enabled, delta_us](ProtocolEnv& env, ReplicaId) {
-    ClockRsmOptions o;
-    o.clocktime_enabled = clocktime_enabled;
-    o.clocktime_delta_us = delta_us;
-    return std::make_unique<ClockRsmReplica>(env, spec, o);
+  return [spec, opt](ProtocolEnv& env, ReplicaId) {
+    return std::make_unique<ClockRsmReplica>(env, spec, opt);
   };
 }
 

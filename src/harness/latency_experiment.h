@@ -13,6 +13,8 @@
 
 namespace crsm {
 
+struct ClockRsmOptions;  // clockrsm/clock_rsm.h
+
 struct LatencyExperimentOptions {
   LatencyMatrix matrix;
   WorkloadOptions workload;
@@ -45,6 +47,9 @@ struct LatencyExperimentResult {
 [[nodiscard]] SimWorld::ProtocolFactory clock_rsm_factory(std::size_t n,
                                                           bool clocktime_enabled = true,
                                                           Tick delta_us = 5'000);
+// Full-options variant (durable runtimes enable catchup_on_recovery here).
+[[nodiscard]] SimWorld::ProtocolFactory clock_rsm_factory(
+    std::size_t n, const ClockRsmOptions& opt);
 [[nodiscard]] SimWorld::ProtocolFactory paxos_factory(std::size_t n, ReplicaId leader,
                                                       bool broadcast);
 [[nodiscard]] SimWorld::ProtocolFactory mencius_factory(std::size_t n);

@@ -160,10 +160,12 @@ void EventLoop::run() {
     }
     drain_posted();
     fire_due_timers();
+    if (pass_end_hook_) pass_end_hook_();
   }
   // Run tasks posted between the final dispatch and stop(), so shutdown
   // work posted from other threads is not silently dropped.
   drain_posted();
+  if (pass_end_hook_) pass_end_hook_();
 }
 
 }  // namespace crsm::net

@@ -48,6 +48,15 @@ class EventLoop {
   // Thread-safe: enqueues `fn` to run on the loop thread and wakes it.
   void post(std::function<void()> fn);
 
+  // Runs `fn` on the loop thread once per iteration, after the pass's fd
+  // events, posted tasks and due timers have all been dispatched and before
+  // the loop blocks again. This is the natural group-commit point: work
+  // accumulated across one pass (e.g. WAL appends) can be made durable with
+  // a single fsync here. Set before run() (or from the loop thread).
+  void set_pass_end_hook(std::function<void()> fn) {
+    pass_end_hook_ = std::move(fn);
+  }
+
   // Runs until stop(). The calling thread becomes the loop thread.
   void run();
   // Thread-safe; run() returns after finishing the current dispatch pass.
@@ -86,6 +95,7 @@ class EventLoop {
 
   std::mutex posted_mu_;
   std::vector<std::function<void()>> posted_;
+  std::function<void()> pass_end_hook_;
 
   std::atomic<bool> stop_requested_{false};
   std::thread::id loop_thread_;

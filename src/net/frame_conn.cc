@@ -1,6 +1,7 @@
 #include "net/frame_conn.h"
 
 #include <sys/epoll.h>
+#include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
@@ -79,7 +80,14 @@ bool FrameConn::write_some() {
     ++niov;
   }
   if (niov == 0) return true;
-  const ssize_t n = ::writev(sock_.fd(), iov, niov);
+  // sendmsg + MSG_NOSIGNAL rather than writev: a peer that died (or was
+  // kill -9'd) can reset the connection between our readiness check and
+  // this write, and a raw writev would then raise SIGPIPE and kill the
+  // whole process instead of surfacing EPIPE to the close path below.
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = static_cast<std::size_t>(niov);
+  const ssize_t n = ::sendmsg(sock_.fd(), &msg, MSG_NOSIGNAL);
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
       if (!want_write_) {

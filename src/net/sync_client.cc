@@ -73,7 +73,10 @@ std::string SyncClient::call(const Command& cmd, int timeout_ms) {
 void SyncClient::write_all(const std::string& bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::write(sock_.fd(), bytes.data() + off, bytes.size() - off);
+    // MSG_NOSIGNAL: a server killed mid-conversation must surface EPIPE as
+    // a NetError, not SIGPIPE the client process.
+    const ssize_t n = ::send(sock_.fd(), bytes.data() + off,
+                             bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw NetError(std::string("write: ") + std::strerror(errno));

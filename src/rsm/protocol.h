@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/command.h"
@@ -54,6 +55,17 @@ class ProtocolEnv {
   // environment is responsible for restoring the state machine from the
   // checkpoint before start().
   [[nodiscard]] virtual Timestamp recovery_floor() const { return kZeroTimestamp; }
+
+  // Latest checkpoint, serialized (Checkpoint::encode; "" = none). Served to
+  // recovering peers whose catch-up request predates our recovery floor —
+  // the covered log prefix is gone, so the snapshot stands in for it.
+  [[nodiscard]] virtual std::string encoded_checkpoint() const { return {}; }
+
+  // Installs a checkpoint received from a peer during catch-up: restores the
+  // state machine from it, truncates the covered log prefix and advances
+  // recovery_floor(). Default no-op: scripted/simulated environments do not
+  // support remote checkpoints.
+  virtual void install_checkpoint(std::string_view blob) { (void)blob; }
 };
 
 // A replication protocol instance at one replica: an event-driven reactor.

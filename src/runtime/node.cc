@@ -7,14 +7,19 @@ namespace crsm {
 
 NodeRuntime::NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
                          StateMachineFactory sm_factory)
-    : cfg_(cfg),
+    : StorageBackedEnv(cfg.storage),
+      cfg_(cfg),
       transport_(loop_, cfg.id, cfg.transport),
-      sm_(sm_factory()),
-      proto_(protocol_factory(*this, cfg.id)) {
+      sm_(sm_factory()) {
+  // The checkpoint (if any) must be in the state machine before the
+  // protocol exists: start() replays the WAL only above recovery_floor().
+  storage_.restore_into(*sm_);
+  proto_ = protocol_factory(*this, cfg_.id);
   transport_.register_handler([this](const Message& m) { on_peer_message(m); });
   transport_.set_client_handlers(
       [this](std::uint64_t conn, const Message& m) { on_client_message(conn, m); },
       [this](std::uint64_t conn) { on_client_closed(conn); });
+  loop_.set_pass_end_hook([this] { flush_durability(); });
 }
 
 NodeRuntime::~NodeRuntime() { stop(); }
@@ -58,21 +63,64 @@ std::uint64_t NodeRuntime::state_digest() {
 
 // --- ProtocolEnv -----------------------------------------------------------
 
+void NodeRuntime::dispatch(HeldSend&& send) {
+  // Group commit: any frame produced while the WAL owes a durability point
+  // waits for the pass-end fsync — in particular the PREPAREOK acknowledging
+  // the append that made the sync owed. Held frames keep their order, and
+  // once anything is held, everything later in the pass queues behind it
+  // even if the sync was meanwhile satisfied (e.g. a checkpoint truncation
+  // rewrote + synced the WAL): per-link FIFO in increasing-timestamp order
+  // is what Clock-RSM's stability argument rests on.
+  if (storage_.sync_pending() || !held_.empty()) {
+    storage_.count_held_message();
+    held_.push_back(std::move(send));
+    return;
+  }
+  if (send.to_client) {
+    transport_.send_to_client(send.client_conn, send.frame);
+  } else {
+    transport_.multicast(cfg_.id, send.tos, send.frame);
+  }
+}
+
+void NodeRuntime::flush_durability() {
+  storage_.flush();  // one fdatasync covers the whole pass's appends
+  if (held_.empty()) return;
+  std::vector<HeldSend> held;
+  held.swap(held_);
+  for (HeldSend& h : held) dispatch(std::move(h));
+}
+
 void NodeRuntime::send(ReplicaId to, const Message& m) {
-  transport_.send(cfg_.id, to, FrameWriter(cfg_.id).frame(m));
+  // Volatile nodes never owe a durability point: skip the HeldSend wrapper
+  // (and its vector allocation) on that hot path entirely.
+  if (!storage_.durable()) {
+    transport_.send(cfg_.id, to, FrameWriter(cfg_.id).frame(m));
+    return;
+  }
+  dispatch(HeldSend{{to}, 0, false, FrameWriter(cfg_.id).frame(m)});
 }
 
 void NodeRuntime::multicast(const std::vector<ReplicaId>& tos, const Message& m) {
-  transport_.multicast(cfg_.id, tos, FrameWriter(cfg_.id).frame(m));
+  if (!storage_.durable()) {
+    transport_.multicast(cfg_.id, tos, FrameWriter(cfg_.id).frame(m));
+    return;
+  }
+  dispatch(HeldSend{tos, 0, false, FrameWriter(cfg_.id).frame(m)});
 }
 
 void NodeRuntime::schedule_after(Tick delay_us, std::function<void()> fn) {
   (void)loop_.schedule_after(delay_us, std::move(fn));
 }
 
+void NodeRuntime::install_checkpoint(std::string_view blob) {
+  storage_.install_checkpoint(blob, *sm_);
+}
+
 void NodeRuntime::deliver(const Command& cmd, Timestamp ts, bool local_origin) {
   const std::string output = sm_->apply(cmd);
   executed_.fetch_add(1, std::memory_order_relaxed);
+  storage_.note_commit(*sm_, ts);
   if (commit_hook_) commit_hook_(cmd, ts, local_origin);
   if (!local_origin) return;
   if (reply_hook_) reply_hook_(cmd);
@@ -86,7 +134,11 @@ void NodeRuntime::deliver(const Command& cmd, Timestamp ts, bool local_origin) {
   reply.cmd.client = cmd.client;
   reply.cmd.seq = cmd.seq;
   reply.blob = output;
-  transport_.send_to_client(it->second, FrameWriter(cfg_.id).frame(reply));
+  if (!storage_.durable()) {
+    transport_.send_to_client(it->second, FrameWriter(cfg_.id).frame(reply));
+    return;
+  }
+  dispatch(HeldSend{{}, it->second, true, FrameWriter(cfg_.id).frame(reply)});
 }
 
 // --- inbound ---------------------------------------------------------------

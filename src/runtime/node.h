@@ -11,6 +11,17 @@
 // frames; the node routes each reply to the socket that carried the
 // request. The crsm_node binary is a thin CLI around this class, and
 // TcpCluster (tcp_cluster.h) boots N of them on loopback for tests.
+//
+// Durability (NodeConfig::storage): with a log directory configured the
+// node runs on a FileLog WAL with group commit — protocol durability
+// requests (CommandLog::sync) accumulate over one event-loop pass, every
+// outbound message produced while a sync is owed is held back, and the
+// loop's pass-end hook issues a single fdatasync and then releases the held
+// frames. PREPAREOK therefore never precedes the durability point it
+// acknowledges, at one fsync per pass instead of one per append. On boot
+// the node restores the checkpoint (if any) into the state machine and the
+// hosted protocol replays the WAL; Clock-RSM with catchup_on_recovery then
+// fetches whatever it missed from live peers (see clock_rsm.h).
 #pragma once
 
 #include <atomic>
@@ -30,7 +41,7 @@
 #include "net/event_loop.h"
 #include "rsm/protocol.h"
 #include "rsm/state_machine.h"
-#include "storage/command_log.h"
+#include "storage/replica_storage.h"
 #include "transport/tcp_transport.h"
 
 namespace crsm {
@@ -38,9 +49,12 @@ namespace crsm {
 struct NodeConfig {
   ReplicaId id = 0;
   TcpTransport::Options transport;
+  // storage.dir empty = volatile MemLog (PR 3 behavior); set = durable,
+  // restartable node. See StorageOptions.
+  StorageOptions storage;
 };
 
-class NodeRuntime final : private ProtocolEnv {
+class NodeRuntime final : private StorageBackedEnv {
  public:
   using ProtocolFactory =
       std::function<std::unique_ptr<ReplicaProtocol>(ProtocolEnv&, ReplicaId)>;
@@ -83,6 +97,9 @@ class NodeRuntime final : private ProtocolEnv {
   [[nodiscard]] TransportStats transport_stats() const {
     return transport_.stats();
   }
+  [[nodiscard]] StorageStats storage_stats() const { return storage_.stats(); }
+  // True when boot found prior durable state (the node is a restart).
+  [[nodiscard]] bool recovering() const { return storage_.recovering(); }
   [[nodiscard]] const TcpTransport& transport() const { return transport_; }
   // Digest of the replica's state machine. While running, executes on the
   // loop thread (posted, blocking the caller); once stopped, reads
@@ -90,28 +107,40 @@ class NodeRuntime final : private ProtocolEnv {
   [[nodiscard]] std::uint64_t state_digest();
 
  private:
-  // --- ProtocolEnv (loop thread only) ---
+  // --- ProtocolEnv (loop thread only; log()/recovery_floor()/
+  // encoded_checkpoint() come from StorageBackedEnv) ---
   [[nodiscard]] ReplicaId self() const override { return cfg_.id; }
   void send(ReplicaId to, const Message& m) override;
   void multicast(const std::vector<ReplicaId>& tos, const Message& m) override;
   [[nodiscard]] Tick clock_now() override { return clock_.now_us(); }
   void schedule_after(Tick delay_us, std::function<void()> fn) override;
-  [[nodiscard]] CommandLog& log() override { return log_store_; }
   void deliver(const Command& cmd, Timestamp ts, bool local_origin) override;
+  void install_checkpoint(std::string_view blob) override;
 
   void on_peer_message(const Message& m);
   void on_client_message(std::uint64_t conn, const Message& m);
   void on_client_closed(std::uint64_t conn);
 
+  // Group commit: outbound frames produced while a WAL sync is owed wait
+  // here; the loop's pass-end hook fsyncs once, then releases them in order.
+  struct HeldSend {
+    std::vector<ReplicaId> tos;  // peer fan-out (empty for client sends)
+    std::uint64_t client_conn = 0;
+    bool to_client = false;
+    WireFrame frame;
+  };
+  void dispatch(HeldSend&& send);
+  void flush_durability();
+
   NodeConfig cfg_;
   net::EventLoop loop_;
   TcpTransport transport_;
   SystemClock clock_;
-  MemLog log_store_;
   std::unique_ptr<StateMachine> sm_;
   std::unique_ptr<ReplicaProtocol> proto_;
   ReplyHook reply_hook_;
   CommitHook commit_hook_;
+  std::vector<HeldSend> held_;
 
   // client id -> client connection that most recently requested with it.
   std::unordered_map<ClientId, std::uint64_t> client_routes_;

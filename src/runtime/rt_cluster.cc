@@ -6,14 +6,19 @@
 
 #include "clock/system_clock.h"
 #include "common/wire_frame.h"
-#include "storage/command_log.h"
+#include "storage/replica_storage.h"
 
 namespace crsm {
 
 // One replica thread plus its environment. All protocol entry points run on
 // the owning thread; cross-thread interaction happens only through the
-// transport's byte queues and the submit queue.
-struct RtCluster::Replica final : public ProtocolEnv {
+// transport's byte queues and the submit queue. Storage is the shared
+// StorageBackedEnv seam with no directory: a volatile in-memory log,
+// matching the paper's throughput setup ("replicas log commands to main
+// memory").
+struct RtCluster::Replica final : public StorageBackedEnv {
+  Replica() : StorageBackedEnv(StorageOptions{}) {}
+
   RtCluster* cluster = nullptr;
   ReplicaId id = kNoReplica;
 
@@ -31,7 +36,6 @@ struct RtCluster::Replica final : public ProtocolEnv {
   bool has_work = false;
 
   SystemClock clock;
-  MemLog log_store;
   std::unique_ptr<StateMachine> sm;
   std::unique_ptr<ReplicaProtocol> proto;
   std::thread thread;
@@ -55,8 +59,6 @@ struct RtCluster::Replica final : public ProtocolEnv {
   void schedule_after(Tick delay_us, std::function<void()> fn) override {
     timers.push_back(Timer{clock.now_us() + delay_us, std::move(fn)});
   }
-
-  [[nodiscard]] CommandLog& log() override { return log_store; }
 
   void deliver(const Command& cmd, Timestamp ts, bool local_origin) override {
     (void)ts;

@@ -1,38 +1,74 @@
 #include "runtime/tcp_cluster.h"
 
+#include <stdexcept>
 #include <utility>
 
 namespace crsm {
 
+std::unique_ptr<NodeRuntime> TcpCluster::make_node(ReplicaId id,
+                                                   std::uint16_t port) const {
+  NodeConfig cfg;
+  cfg.id = id;
+  cfg.transport.listen_host = "127.0.0.1";
+  cfg.transport.listen_port = port;  // 0 = ephemeral; resolved before start()
+  cfg.transport.max_pending_bytes = opt_.max_pending_bytes;
+  cfg.transport.policy = opt_.policy;
+  if (!opt_.log_dir.empty()) {
+    cfg.storage.dir = opt_.log_dir + "/node-" + std::to_string(id);
+    cfg.storage.group_commit = opt_.group_commit;
+    cfg.storage.checkpoint_every = opt_.checkpoint_every;
+  }
+  return std::make_unique<NodeRuntime>(cfg, protocol_factory_, sm_factory_);
+}
+
+void TcpCluster::install_hooks(NodeRuntime& node) const {
+  if (reply_hook_) {
+    node.set_reply_hook([hook = reply_hook_, r = node.id()](const Command& cmd) {
+      hook(r, cmd);
+    });
+  }
+  if (commit_hook_) {
+    node.set_commit_hook([hook = commit_hook_, r = node.id()](
+                             const Command& cmd, Timestamp ts, bool local) {
+      hook(r, cmd, ts, local);
+    });
+  }
+}
+
+std::vector<TcpPeer> TcpCluster::peer_table() const {
+  std::vector<TcpPeer> peers;
+  peers.reserve(ports_.size());
+  for (std::uint16_t p : ports_) peers.push_back(TcpPeer{"127.0.0.1", p});
+  return peers;
+}
+
 TcpCluster::TcpCluster(std::size_t n, ProtocolFactory protocol_factory,
-                       StateMachineFactory sm_factory, Options opt) {
+                       StateMachineFactory sm_factory, Options opt)
+    : protocol_factory_(std::move(protocol_factory)),
+      sm_factory_(std::move(sm_factory)),
+      opt_(std::move(opt)) {
   for (std::size_t i = 0; i < n; ++i) {
-    NodeConfig cfg;
-    cfg.id = static_cast<ReplicaId>(i);
-    cfg.transport.listen_host = "127.0.0.1";
-    cfg.transport.listen_port = 0;  // ephemeral; resolved before start()
-    cfg.transport.max_pending_bytes = opt.max_pending_bytes;
-    cfg.transport.policy = opt.policy;
-    nodes_.push_back(std::make_unique<NodeRuntime>(cfg, protocol_factory,
-                                                   sm_factory));
+    nodes_.push_back(make_node(static_cast<ReplicaId>(i), 0));
+    // The kernel-assigned port is the node's address for the whole cluster
+    // lifetime: a restarted node rebinds it (SO_REUSEADDR) so peers' redial
+    // loops find the replacement at the same place.
+    ports_.push_back(nodes_.back()->port());
   }
 }
 
 TcpCluster::~TcpCluster() { stop(); }
 
 void TcpCluster::set_reply_hook(ReplyHook hook) {
+  reply_hook_ = std::move(hook);
   for (auto& node : nodes_) {
-    node->set_reply_hook(
-        [hook, r = node->id()](const Command& cmd) { hook(r, cmd); });
+    if (node) install_hooks(*node);
   }
 }
 
 void TcpCluster::set_commit_hook(CommitHook hook) {
+  commit_hook_ = std::move(hook);
   for (auto& node : nodes_) {
-    node->set_commit_hook([hook, r = node->id()](const Command& cmd,
-                                                 Timestamp ts, bool local) {
-      hook(r, cmd, ts, local);
-    });
+    if (node) install_hooks(*node);
   }
 }
 
@@ -40,28 +76,43 @@ void TcpCluster::start() {
   if (started_) return;
   started_ = true;
   // Every listener was bound in the constructor, so the full address table
-  // is known before any node dials.
-  std::vector<TcpPeer> peers;
-  peers.reserve(nodes_.size());
+  // is known before any node dials. A node killed before this start stays
+  // down until restart(r).
   for (auto& node : nodes_) {
-    peers.push_back(TcpPeer{"127.0.0.1", node->port()});
+    if (node) node->start(peer_table());
   }
-  for (auto& node : nodes_) node->start(peers);
 }
 
 void TcpCluster::stop() {
   if (!started_) return;
   started_ = false;
-  for (auto& node : nodes_) node->stop();
+  for (auto& node : nodes_) {
+    if (node) node->stop();
+  }
+}
+
+void TcpCluster::kill(ReplicaId r) {
+  nodes_.at(r).reset();
+}
+
+void TcpCluster::restart(ReplicaId r) {
+  if (nodes_.at(r)) return;
+  auto node = make_node(r, ports_.at(r));
+  install_hooks(*node);
+  if (started_) node->start(peer_table());
+  nodes_.at(r) = std::move(node);
 }
 
 void TcpCluster::submit(ReplicaId r, Command cmd) {
-  nodes_.at(r)->submit(std::move(cmd));
+  auto& node = nodes_.at(r);
+  if (!node) throw std::runtime_error("TcpCluster::submit: replica killed");
+  node->submit(std::move(cmd));
 }
 
 TransportStats TcpCluster::stats() const {
   TransportStats total;
   for (const auto& node : nodes_) {
+    if (!node) continue;
     const TransportStats s = node->transport_stats();
     total.messages_sent += s.messages_sent;
     total.messages_delivered += s.messages_delivered;

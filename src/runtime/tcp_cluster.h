@@ -24,6 +24,12 @@ struct TcpClusterOptions {
   // Applied to every node (listen host/port are managed by the cluster).
   std::size_t max_pending_bytes = 0;
   BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  // Durable nodes: replica i logs to <log_dir>/node-<i> (WAL + checkpoint).
+  // Empty = volatile MemLog. With a log dir set, kill()/restart() give the
+  // crash-restart story its in-process harness.
+  std::string log_dir;
+  bool group_commit = true;
+  std::uint64_t checkpoint_every = 0;
 };
 
 class TcpCluster {
@@ -52,24 +58,49 @@ class TcpCluster {
   void start();
   void stop();
 
+  // Hard-kills replica r: destroys its runtime with no protocol-level
+  // goodbye — the in-process stand-in for `kill -9`. A durable node keeps
+  // exactly what reached its WAL/checkpoint; peers see the connections die
+  // and redial with backoff. Call from the thread that owns start()/stop(),
+  // and only while no submit(r)/executed(r)/node(r) call for THIS replica
+  // can be in flight on another thread (kill/restart swap the node pointer
+  // unsynchronized; accessors to other replicas are unaffected). While r is
+  // dead, submit(r) throws and executed(r) reads 0 — check alive(r).
+  void kill(ReplicaId r);
+  // Recreates replica r from its log directory, rebinds the same port and
+  // starts it; the node replays its WAL and (Clock-RSM with catch-up
+  // enabled) fetches what it missed from live peers.
+  void restart(ReplicaId r);
+  [[nodiscard]] bool alive(ReplicaId r) const { return nodes_.at(r) != nullptr; }
+
   [[nodiscard]] std::size_t num_replicas() const { return nodes_.size(); }
   [[nodiscard]] NodeRuntime& node(ReplicaId r) { return *nodes_.at(r); }
-  [[nodiscard]] std::uint16_t port(ReplicaId r) const {
-    return nodes_.at(r)->port();
-  }
+  [[nodiscard]] std::uint16_t port(ReplicaId r) const { return ports_.at(r); }
 
   // Thread-safe: submits a client command at replica r.
   void submit(ReplicaId r, Command cmd);
 
   [[nodiscard]] std::uint64_t executed(ReplicaId r) const {
-    return nodes_.at(r)->executed();
+    const auto& node = nodes_.at(r);
+    return node ? node->executed() : 0;
   }
 
   // Aggregate wire counters across every node's transport.
   [[nodiscard]] TransportStats stats() const;
 
  private:
+  [[nodiscard]] std::unique_ptr<NodeRuntime> make_node(ReplicaId id,
+                                                       std::uint16_t port) const;
+  void install_hooks(NodeRuntime& node) const;
+  [[nodiscard]] std::vector<TcpPeer> peer_table() const;
+
+  ProtocolFactory protocol_factory_;
+  StateMachineFactory sm_factory_;
+  Options opt_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::vector<std::uint16_t> ports_;  // stable across kill/restart
+  ReplyHook reply_hook_;
+  CommitHook commit_hook_;
   bool started_ = false;
 };
 

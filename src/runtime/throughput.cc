@@ -165,9 +165,10 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
 }
 
 ThroughputResult run_tcp_throughput(const ThroughputOptions& opt,
-                                    const RtCluster::ProtocolFactory& factory) {
+                                    const RtCluster::ProtocolFactory& factory,
+                                    const TcpClusterOptions& copt) {
   TcpCluster cluster(opt.num_replicas, factory,
-                     [] { return std::make_unique<KvStore>(); });
+                     [] { return std::make_unique<KvStore>(); }, copt);
 
   TransportStats before, after;
   const auto [ops, secs] = drive_closed_loop(

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "runtime/rt_cluster.h"
+#include "runtime/tcp_cluster.h"
 
 namespace crsm {
 
@@ -52,7 +53,10 @@ struct ThroughputResult {
 // loopback TCP socket. `sender_batching` is ignored (the TCP write path
 // batches via writev); the CPU-share fields are zero (per-replica busy time
 // is not tracked by the event-loop runtime), so compare `kops_per_sec`.
+// `copt` configures the cluster (durable WAL nodes via copt.log_dir: the
+// group-commit cost measurement).
 [[nodiscard]] ThroughputResult run_tcp_throughput(
-    const ThroughputOptions& opt, const RtCluster::ProtocolFactory& factory);
+    const ThroughputOptions& opt, const RtCluster::ProtocolFactory& factory,
+    const TcpClusterOptions& copt = {});
 
 }  // namespace crsm

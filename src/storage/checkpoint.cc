@@ -1,5 +1,8 @@
 #include "storage/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <fstream>
@@ -57,21 +60,39 @@ Timestamp recover_with_checkpoint(const std::optional<Checkpoint>& cp,
 }
 
 void write_checkpoint_file(const std::string& path, const Checkpoint& cp) {
+  // Atomic and durable: write temp, fdatasync it *before* the rename (an
+  // unsynced rename could publish an empty/partial file across power loss
+  // while the caller goes on to truncate the WAL prefix it covers), then
+  // rename and fsync the directory.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::system_error(errno, std::generic_category(),
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw std::system_error(errno, std::generic_category(),
                                       "checkpoint open " + tmp);
-    const std::string blob = cp.encode();
-    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    out.flush();
-    if (!out) throw std::system_error(errno, std::generic_category(),
-                                      "checkpoint write " + tmp);
+  const std::string blob = cp.encode();
+  std::size_t off = 0;
+  while (off < blob.size()) {
+    const ssize_t n = ::write(fd, blob.data() + off, blob.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw std::system_error(err, std::generic_category(),
+                              "checkpoint write " + tmp);
+    }
+    off += static_cast<std::size_t>(n);
   }
+  if (::fdatasync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "checkpoint sync " + tmp);
+  }
+  ::close(fd);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::system_error(errno, std::generic_category(),
                             "checkpoint rename " + path);
   }
+  fsync_parent_dir(path);
 }
 
 std::optional<Checkpoint> read_checkpoint_file(const std::string& path) {
@@ -79,7 +100,15 @@ std::optional<Checkpoint> read_checkpoint_file(const std::string& path) {
   if (!in) return std::nullopt;
   std::string blob((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
-  return Checkpoint::decode(blob);
+  try {
+    return Checkpoint::decode(blob);
+  } catch (const CodecError&) {
+    // A corrupt checkpoint must not brick the boot: recovery falls back to
+    // the WAL plus peer catch-up (which can ship a fresh checkpoint).
+    std::fprintf(stderr, "warning: discarding corrupt checkpoint %s\n",
+                 path.c_str());
+    return std::nullopt;
+  }
 }
 
 }  // namespace crsm

@@ -37,6 +37,18 @@ std::string encode_framed(const LogRecord& r) {
 
 }  // namespace
 
+// Makes a rename in `path`'s directory durable across power loss. Failure
+// is ignored: the rename itself succeeded, and a directory that cannot be
+// fsynced (some filesystems) still orders the entry eventually.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;
+  (void)::fsync(dfd);
+  ::close(dfd);
+}
+
 void filter_uncommitted_above(std::vector<LogRecord>* records, Timestamp bound,
                               const std::function<bool(const Timestamp&)>& keep) {
   std::unordered_set<Timestamp, TimestampHash> committed;
@@ -142,23 +154,37 @@ void FileLog::truncate_prefix(Timestamp upto) {
 }
 
 void FileLog::rewrite_all() {
-  // Reconfiguration is rare (Section V-C); a full rewrite keeps the format
-  // simple and crash-safe enough for this use (write temp, no rename needed
-  // since reconfiguration re-derives state from a majority anyway).
-  if (::ftruncate(fd_, 0) != 0) throw_errno("FileLog rewrite " + path_);
-  ::lseek(fd_, 0, SEEK_END);
+  // Rewrites (reconfiguration, checkpoint truncation, recovery pruning) are
+  // rare but must be crash-atomic: truncating in place would open a window
+  // where a crash wipes the whole fsynced log. Write a temp file, make it
+  // durable, rename it over the log, then adopt its fd — a crash leaves
+  // either the old bytes or the new, never neither.
+  const std::string tmp = path_ + ".rewrite";
+  int tfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (tfd < 0) throw_errno("FileLog rewrite open " + tmp);
   std::string all;
   for (const LogRecord& r : records_) all += encode_framed(r);
   std::size_t off = 0;
   while (off < all.size()) {
-    ssize_t n = ::write(fd_, all.data() + off, all.size() - off);
+    ssize_t n = ::write(tfd, all.data() + off, all.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw_errno("FileLog rewrite " + path_);
+      ::close(tfd);
+      throw_errno("FileLog rewrite " + tmp);
     }
     off += static_cast<std::size_t>(n);
   }
-  sync();
+  if (::fdatasync(tfd) != 0) {
+    ::close(tfd);
+    throw_errno("FileLog rewrite sync " + tmp);
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::close(tfd);
+    throw_errno("FileLog rewrite rename " + path_);
+  }
+  fsync_parent_dir(path_);
+  ::close(fd_);
+  fd_ = tfd;  // same inode the rename published
 }
 
 }  // namespace crsm

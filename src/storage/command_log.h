@@ -90,4 +90,8 @@ class FileLog final : public CommandLog {
 void filter_uncommitted_above(std::vector<LogRecord>* records, Timestamp bound,
                               const std::function<bool(const Timestamp&)>& keep);
 
+// fsyncs the directory containing `path`, making a completed rename in it
+// durable. Best-effort: errors are ignored (see the definition).
+void fsync_parent_dir(const std::string& path);
+
 }  // namespace crsm

@@ -1,0 +1,136 @@
+#include "storage/replica_storage.h"
+
+#include <filesystem>
+#include <utility>
+
+namespace crsm {
+
+// --- GroupCommitLog --------------------------------------------------------
+
+GroupCommitLog::GroupCommitLog(std::unique_ptr<CommandLog> inner,
+                               bool defer_sync)
+    : inner_(std::move(inner)), defer_sync_(defer_sync) {}
+
+void GroupCommitLog::append(const LogRecord& r) {
+  inner_->append(r);
+  ++batch_appends_;
+  appends_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GroupCommitLog::sync() {
+  sync_requests_.fetch_add(1, std::memory_order_relaxed);
+  sync_pending_ = true;
+  if (!defer_sync_) (void)flush();
+}
+
+std::size_t GroupCommitLog::flush() {
+  if (!sync_pending_) return 0;
+  const std::size_t batch = batch_appends_;
+  inner_->sync();
+  sync_pending_ = false;
+  batch_appends_ = 0;
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  if (batch > max_batch_.load(std::memory_order_relaxed)) {
+    max_batch_.store(batch, std::memory_order_relaxed);
+  }
+  return batch;
+}
+
+void GroupCommitLog::remove_uncommitted_above(
+    Timestamp bound, const std::function<bool(const Timestamp&)>& keep) {
+  // FileLog rewrites + syncs the whole file here, so any owed durability
+  // point is covered; count the batch as flushed.
+  inner_->remove_uncommitted_above(bound, keep);
+  sync_pending_ = false;
+  batch_appends_ = 0;
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GroupCommitLog::truncate_prefix(Timestamp upto) {
+  inner_->truncate_prefix(upto);
+  sync_pending_ = false;
+  batch_appends_ = 0;
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GroupCommitLog::fill_stats(StorageStats* out) const {
+  out->appends = appends_.load(std::memory_order_relaxed);
+  out->sync_requests = sync_requests_.load(std::memory_order_relaxed);
+  out->syncs = syncs_.load(std::memory_order_relaxed);
+  out->max_batch = max_batch_.load(std::memory_order_relaxed);
+}
+
+// --- ReplicaStorage --------------------------------------------------------
+
+ReplicaStorage::ReplicaStorage(StorageOptions opt) : opt_(std::move(opt)) {
+  if (durable()) {
+    std::filesystem::create_directories(opt_.dir);
+    checkpoint_ = read_checkpoint_file(checkpoint_path());
+    // Deferred syncs only make sense for a log that actually hits disk.
+    log_ = std::make_unique<GroupCommitLog>(
+        std::make_unique<FileLog>(wal_path()), opt_.group_commit);
+  } else {
+    log_ = std::make_unique<GroupCommitLog>(std::make_unique<MemLog>(),
+                                            /*defer_sync=*/false);
+  }
+  boot_recovering_ = !log_->records().empty() || checkpoint_.has_value();
+}
+
+std::string ReplicaStorage::wal_path() const { return opt_.dir + "/wal.log"; }
+
+std::string ReplicaStorage::checkpoint_path() const {
+  return opt_.dir + "/checkpoint.bin";
+}
+
+std::string ReplicaStorage::encoded_checkpoint() const {
+  return checkpoint_ ? checkpoint_->encode() : std::string();
+}
+
+bool ReplicaStorage::restore_into(StateMachine& sm) const {
+  if (!checkpoint_) return false;
+  sm.restore(checkpoint_->state);
+  return true;
+}
+
+void ReplicaStorage::install_checkpoint(std::string_view blob,
+                                        StateMachine& sm) {
+  Checkpoint cp = Checkpoint::decode(std::string(blob));
+  sm.restore(cp.state);
+  checkpoint_ = std::move(cp);
+  // Persist before truncating the covered WAL prefix (same order as
+  // note_commit): a crash between the two must leave the prefix in at
+  // least one of the checkpoint file or the log, never neither.
+  if (durable()) persist_checkpoint(*checkpoint_);
+  log_->truncate_prefix(checkpoint_->last_applied);
+}
+
+void ReplicaStorage::note_commit(const StateMachine& sm, Timestamp ts) {
+  if (!durable() || opt_.checkpoint_every == 0) return;
+  if (++commits_since_checkpoint_ < opt_.checkpoint_every) return;
+  commits_since_checkpoint_ = 0;
+  // `ts` is the commit timestamp of the command just executed; execution is
+  // in commit order, so everything at or below it is already applied. The
+  // epoch is carried over from the previous checkpoint: the durable runtime
+  // runs reconfiguration-free (epoch 0), and recovery only consumes
+  // last_applied; plumb the live epoch through ProtocolEnv before enabling
+  // reconfig + durability together.
+  Checkpoint cp = take_checkpoint(sm, ts, checkpoint_ ? checkpoint_->epoch : 0);
+  persist_checkpoint(cp);
+  checkpoint_ = std::move(cp);
+  truncate_covered_prefix(*log_, *checkpoint_);
+}
+
+void ReplicaStorage::persist_checkpoint(const Checkpoint& cp) {
+  write_checkpoint_file(checkpoint_path(), cp);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+}
+
+StorageStats ReplicaStorage::stats() const {
+  StorageStats s;
+  log_->fill_stats(&s);
+  s.held_messages = held_messages_.load(std::memory_order_relaxed);
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace crsm

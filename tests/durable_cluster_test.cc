@@ -1,0 +1,364 @@
+// Crash-restart tests for the durable TCP runtime: a FileLog-backed node in
+// a 3-replica loopback cluster is hard-killed mid-run (its runtime destroyed
+// with no protocol goodbye — the in-process kill -9), restarted from its log
+// directory, and must replay its WAL, catch up over TCP from the live peers
+// and rejoin the total order. The full run has to pass the linearizability
+// checker, and state digests must agree at every replica afterwards.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clockrsm/clock_rsm.h"
+#include "kv/kv_store.h"
+#include "rsm/linearizability.h"
+#include "runtime/tcp_cluster.h"
+#include "storage/command_log.h"
+#include "storage/recovery.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace crsm {
+namespace {
+
+using test::kv_factory;
+using test::kv_put;
+
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds deadline =
+                               std::chrono::milliseconds(30000)) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// Clock-RSM with crash-restart catch-up on, polling fast for test speed.
+TcpCluster::ProtocolFactory durable_clock_rsm_factory(std::size_t n) {
+  ClockRsmOptions o;
+  o.catchup_on_recovery = true;
+  o.catchup_interval_us = 30'000;
+  return clock_rsm_factory(n, o);
+}
+
+class DurableClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("crsm_durable_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  TcpClusterOptions durable_opts(std::uint64_t checkpoint_every = 0) const {
+    TcpClusterOptions o;
+    o.log_dir = dir_.string();
+    o.checkpoint_every = checkpoint_every;
+    return o;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// The acceptance scenario: kill -9 a replica mid-run, restart it from its
+// log dir, and require (a) the cluster finishes every client's workload,
+// (b) the restarted replica converges to the same state, and (c) the
+// recorded history is linearizable.
+TEST_F(DurableClusterTest, KilledReplicaRestartsCatchesUpAndHistoryLinearizable) {
+  TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
+                     durable_opts());
+
+  struct PendingOp {
+    Tick invoke_us = 0;
+    Tick response_us = 0;
+  };
+  std::mutex mu;
+  std::map<std::pair<ClientId, std::uint64_t>, PendingOp> ops;
+  std::vector<std::pair<ClientId, std::uint64_t>> total_order;  // replica 0's
+
+  const auto now_us = [] {
+    return static_cast<Tick>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+
+  cluster.set_reply_hook([&](ReplicaId, const Command& cmd) {
+    std::lock_guard<std::mutex> lk(mu);
+    ops[{cmd.client, cmd.seq}].response_us = now_us();
+  });
+  cluster.set_commit_hook([&](ReplicaId r, const Command& cmd, Timestamp, bool) {
+    if (r != 0) return;
+    std::lock_guard<std::mutex> lk(mu);
+    total_order.emplace_back(cmd.client, cmd.seq);
+  });
+  cluster.start();
+
+  // Closed-loop clients at replicas 0 and 1 (no client talks to the victim:
+  // its in-process reply hooks die with it). Commits stall while replica 2
+  // is down — commit stability needs every configured replica's clock — and
+  // resume once the restart brings it back, so the loops simply pause.
+  constexpr int kOpsPerClient = 24;
+  std::vector<std::thread> clients;
+  for (ReplicaId r = 0; r < 2; ++r) {
+    clients.emplace_back([&, r] {
+      const ClientId id = make_client_id(r, 0);
+      for (int seq = 1; seq <= kOpsPerClient; ++seq) {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          ops[{id, static_cast<std::uint64_t>(seq)}].invoke_us = now_us();
+        }
+        cluster.submit(r, kv_put(id, seq, "key" + std::to_string(r),
+                                 std::to_string(seq)));
+        while (true) {
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            if (ops[{id, static_cast<std::uint64_t>(seq)}].response_us != 0) break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+
+  // Let some traffic commit, then hard-kill replica 2 mid-run.
+  ASSERT_TRUE(eventually([&] { return cluster.executed(0) >= 8; }));
+  cluster.kill(2);
+  EXPECT_FALSE(cluster.alive(2));
+  // Give the cluster a moment with the replica down (submissions keep
+  // arriving and must not commit), then bring it back from its WAL.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  cluster.restart(2);
+  EXPECT_TRUE(cluster.alive(2));
+  EXPECT_TRUE(cluster.node(2).recovering());
+
+  for (auto& t : clients) t.join();
+  const std::uint64_t total = 2 * kOpsPerClient;
+  ASSERT_TRUE(eventually([&] {
+    return cluster.executed(0) == total && cluster.executed(1) == total &&
+           cluster.executed(2) == total;
+  })) << "executed: " << cluster.executed(0) << "/" << cluster.executed(1)
+      << "/" << cluster.executed(2);
+
+  std::vector<std::uint64_t> digests;
+  for (ReplicaId r = 0; r < 3; ++r) digests.push_back(cluster.node(r).state_digest());
+  cluster.stop();
+  EXPECT_EQ(digests[1], digests[0]);
+  EXPECT_EQ(digests[2], digests[0]);
+
+  // Linearizability: real-time order respected by replica 0's total order.
+  std::vector<OpRecord> records;
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    ASSERT_EQ(total_order.size(), total);
+    for (std::size_t i = 0; i < total_order.size(); ++i) {
+      const auto key = total_order[i];
+      const PendingOp& op = ops.at(key);
+      ASSERT_GT(op.invoke_us, 0u);
+      ASSERT_GT(op.response_us, 0u);
+      OpRecord rec;
+      rec.client = key.first;
+      rec.seq = key.second;
+      rec.invoke_us = op.invoke_us;
+      rec.response_us = op.response_us;
+      rec.order_index = i;
+      records.push_back(rec);
+    }
+  }
+  const LinearizabilityResult result = check_real_time_order(std::move(records));
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+// Restart driven by checkpoint + log: with periodic checkpointing the
+// victim's WAL prefix is truncated, so recovery must restore the snapshot
+// first and only replay/catch up above it.
+TEST_F(DurableClusterTest, RestartFromCheckpointPlusLogSuffix) {
+  TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
+                     durable_opts(/*checkpoint_every=*/5));
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  // Per-replica execution traces: on divergence the failure message shows
+  // exactly where the orders split.
+  std::mutex trace_mu;
+  std::vector<std::vector<std::string>> trace(3);
+  cluster.set_commit_hook([&](ReplicaId r, const Command& cmd, Timestamp ts, bool) {
+    std::lock_guard<std::mutex> lk(trace_mu);
+    trace[r].push_back(ts.to_string() + " c" + std::to_string(cmd.client) +
+                       " s" + std::to_string(cmd.seq));
+  });
+  cluster.start();
+
+  constexpr int kPhaseA = 18;
+  for (int i = 1; i <= kPhaseA; ++i) {
+    cluster.submit(0, kv_put(make_client_id(0, 0), i, "k" + std::to_string(i % 4),
+                             std::to_string(i)));
+  }
+  ASSERT_TRUE(eventually([&] {
+    return replies.load() == kPhaseA &&
+           cluster.executed(2) == static_cast<std::uint64_t>(kPhaseA);
+  }));
+
+  cluster.kill(2);
+  cluster.restart(2);
+  ASSERT_TRUE(cluster.node(2).recovering());
+
+  constexpr int kPhaseB = 6;
+  for (int i = 1; i <= kPhaseB; ++i) {
+    cluster.submit(1, kv_put(make_client_id(1, 0), i, "kb", std::to_string(i)));
+  }
+  ASSERT_TRUE(eventually([&] { return replies.load() == kPhaseA + kPhaseB; }));
+
+  // The restarted node converges to the same state; its executed count is
+  // smaller than the total when the checkpoint covered part of the history.
+  ASSERT_TRUE(eventually([&] {
+    return cluster.node(0).state_digest() == cluster.node(2).state_digest();
+  })) << "executed 0/1/2: " << cluster.executed(0) << "/" << cluster.executed(1)
+      << "/" << cluster.executed(2) << [&] {
+        std::lock_guard<std::mutex> lk(trace_mu);
+        std::string out = "\n";
+        for (int r = 0; r < 3; ++r) {
+          out += "replica " + std::to_string(r) + ":";
+          for (const auto& s : trace[r]) out += " [" + s + "]";
+          out += "\n";
+        }
+        return out;
+      }();
+  const std::uint64_t digest0 = cluster.node(0).state_digest();
+  EXPECT_EQ(cluster.node(1).state_digest(), digest0);
+  EXPECT_EQ(cluster.node(2).state_digest(), digest0);
+  cluster.stop();
+}
+
+// Full-cluster restart: every replica is killed, every replica reboots
+// recovering, and they must feed each other's catch-up (no live non-
+// recovering majority exists) and resume service. Regression test for the
+// mutual-catch-up deadlock: recovering replicas must answer CATCHUPREQ.
+TEST_F(DurableClusterTest, WholeClusterKillAndRestartConverges) {
+  TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
+                     durable_opts());
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+
+  constexpr int kPhaseA = 10;
+  for (int i = 1; i <= kPhaseA; ++i) {
+    cluster.submit(0, kv_put(make_client_id(0, 0), i, "k", std::to_string(i)));
+  }
+  ASSERT_TRUE(eventually([&] {
+    return replies.load() == kPhaseA &&
+           cluster.executed(0) == kPhaseA && cluster.executed(1) == kPhaseA &&
+           cluster.executed(2) == kPhaseA;
+  }));
+
+  // Power-cycle the whole cluster.
+  for (ReplicaId r = 0; r < 3; ++r) cluster.kill(r);
+  for (ReplicaId r = 0; r < 3; ++r) cluster.restart(r);
+  for (ReplicaId r = 0; r < 3; ++r) ASSERT_TRUE(cluster.node(r).recovering());
+
+  // Every replica replays its WAL and must exit catch-up (served by its
+  // equally-recovering peers), then order new traffic.
+  constexpr int kPhaseB = 5;
+  for (int i = 1; i <= kPhaseB; ++i) {
+    cluster.submit(1, kv_put(make_client_id(1, 0), i, "kb", std::to_string(i)));
+  }
+  ASSERT_TRUE(eventually([&] { return replies.load() == kPhaseA + kPhaseB; }))
+      << "cluster did not resume after full restart (replies "
+      << replies.load() << ")";
+  ASSERT_TRUE(eventually([&] {
+    return cluster.executed(0) == kPhaseA + kPhaseB &&
+           cluster.executed(1) == kPhaseA + kPhaseB &&
+           cluster.executed(2) == kPhaseA + kPhaseB;
+  }));
+  std::vector<std::uint64_t> digests;
+  for (ReplicaId r = 0; r < 3; ++r) digests.push_back(cluster.node(r).state_digest());
+  cluster.stop();
+  EXPECT_EQ(digests[1], digests[0]);
+  EXPECT_EQ(digests[2], digests[0]);
+}
+
+// The WAL of a hard-killed node must parse and replay cleanly: committed
+// records in timestamp order, no corruption from the abrupt death.
+TEST_F(DurableClusterTest, KilledNodesWalReplaysCleanly) {
+  TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
+                     durable_opts());
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+  constexpr int kOps = 12;
+  for (int i = 1; i <= kOps; ++i) {
+    cluster.submit(0, kv_put(make_client_id(0, 0), i, "k", std::to_string(i)));
+  }
+  ASSERT_TRUE(eventually([&] {
+    return replies.load() == kOps &&
+           cluster.executed(2) == static_cast<std::uint64_t>(kOps);
+  }));
+  cluster.kill(2);
+
+  FileLog wal((dir_ / "node-2" / "wal.log").string());
+  const ReplayResult rr = replay_log(wal.records());
+  // Every client op that was acknowledged had reached a majority; replica
+  // 2 executed all of them before the kill, so its commit marks cover them.
+  EXPECT_EQ(rr.committed.size(), static_cast<std::size_t>(kOps));
+  for (std::size_t i = 1; i < rr.committed.size(); ++i) {
+    EXPECT_LT(rr.committed[i - 1].ts, rr.committed[i].ts);
+  }
+  cluster.stop();
+}
+
+// Group commit batches durability work: under concurrent load the number of
+// fsyncs stays below the number of durability requests, and held messages
+// prove PREPAREOK waited for the batch's durability point.
+TEST_F(DurableClusterTest, GroupCommitBatchesFsyncs) {
+  TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
+                     durable_opts());
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+  constexpr int kOps = 60;
+  for (int i = 1; i <= kOps; ++i) {
+    // Burst across all three origins so every node sees back-to-back
+    // PREPAREs within single loop passes.
+    cluster.submit(static_cast<ReplicaId>(i % 3),
+                   kv_put(make_client_id(i % 3, 0), i / 3 + 1, "k", "v"));
+  }
+  ASSERT_TRUE(eventually([&] { return replies.load() == kOps; }));
+  const StorageStats s = cluster.node(0).storage_stats();
+  cluster.stop();
+  EXPECT_GT(s.appends, 0u);
+  EXPECT_GT(s.sync_requests, 0u);
+  EXPECT_GT(s.syncs, 0u);
+  EXPECT_LE(s.syncs, s.sync_requests);
+  EXPECT_GT(s.held_messages, 0u)
+      << "PREPAREOKs should wait for the group-commit durability point";
+}
+
+// MemLog clusters keep the PR 3 contract: no recovery, no restart support
+// needed, but kill() still takes a node out and the rest stays consistent.
+TEST_F(DurableClusterTest, VolatileClusterStillRunsWithoutLogDir) {
+  TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory());
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+  for (int i = 1; i <= 5; ++i) {
+    cluster.submit(0, kv_put(make_client_id(0, 0), i, "k", "v"));
+  }
+  ASSERT_TRUE(eventually([&] { return replies.load() == 5; }));
+  EXPECT_FALSE(cluster.node(0).recovering());
+  const StorageStats s = cluster.node(0).storage_stats();
+  EXPECT_EQ(s.held_messages, 0u) << "volatile log never defers sends";
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace crsm

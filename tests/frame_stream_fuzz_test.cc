@@ -27,7 +27,8 @@ const MsgType kAllTypes[] = {
     MsgType::kForward,       MsgType::kPhase2a,     MsgType::kPhase2b,
     MsgType::kCommitNotify,  MsgType::kMenPropose,  MsgType::kMenAck,
     MsgType::kSuspend,       MsgType::kSuspendOk,   MsgType::kRetrieveCmds,
-    MsgType::kRetrieveReply, MsgType::kConsPrepare, MsgType::kConsPromise,
+    MsgType::kRetrieveReply, MsgType::kCatchupReq,  MsgType::kCatchupReply,
+    MsgType::kConsPrepare,   MsgType::kConsPromise,
     MsgType::kConsAccept,    MsgType::kConsAccepted, MsgType::kConsDecide,
     MsgType::kClientRequest, MsgType::kClientReply};
 

@@ -94,6 +94,53 @@ TEST_F(FileLogTest, ToleratesTornTail) {
   EXPECT_EQ(again.records()[1].cmd, cmd(3));
 }
 
+TEST_F(FileLogTest, TornTailIsTruncatedOnDiskAtOpen) {
+  {
+    FileLog log(path_.string());
+    log.append(LogRecord::prepare(Timestamp{1, 0}, cmd(1)));
+    log.append(LogRecord::commit(Timestamp{1, 0}));
+    log.sync();
+  }
+  const auto good_size = std::filesystem::file_size(path_);
+  // A torn write leaves a partial frame behind; recovery must not only skip
+  // it in memory but ftruncate it away, or the next crash would leave two
+  // stacked partial frames and a corrupt middle.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out.write("\x0bpartial", 8);  // plausible length prefix, truncated body
+  }
+  ASSERT_GT(std::filesystem::file_size(path_), good_size);
+  {
+    FileLog reopened(path_.string());
+    EXPECT_EQ(reopened.size(), 2u);
+  }
+  EXPECT_EQ(std::filesystem::file_size(path_), good_size)
+      << "torn tail must be truncated on disk, not just skipped";
+}
+
+TEST_F(FileLogTest, GarbageTailWithVarintContinuationBitsIsDiscarded) {
+  {
+    FileLog log(path_.string());
+    log.append(LogRecord::prepare(Timestamp{1, 0}, cmd(1)));
+    log.sync();
+  }
+  // A tail of 0xFF bytes is an unterminated varint length prefix — the
+  // header itself is malformed, not merely incomplete.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    for (int i = 0; i < 12; ++i) out.put('\xff');
+  }
+  FileLog reopened(path_.string());
+  ASSERT_EQ(reopened.size(), 1u);
+  EXPECT_EQ(reopened.records()[0].cmd, cmd(1));
+  // Appends after recovery land where the garbage was and survive reopen.
+  reopened.append(LogRecord::commit(Timestamp{1, 0}));
+  reopened.sync();
+  FileLog again(path_.string());
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again.records()[1].type, LogType::kCommit);
+}
+
 TEST_F(FileLogTest, RemoveUncommittedRewrites) {
   {
     FileLog log(path_.string());

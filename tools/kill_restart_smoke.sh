@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# End-to-end kill -9 / restart smoke over the real binaries: boots a
+# 3-process durable crsm_node cluster, drives client load, SIGKILLs one
+# replica, restarts it from its --log-dir and drives load again — through
+# the restarted replica, which only accepts submissions once recovery and
+# catch-up complete. Exercises exactly the path docs/OPERATIONS.md
+# documents; CI runs it against the Release build.
+#
+# usage: tools/kill_restart_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+NODE=$BUILD/tools/crsm_node
+CLIENT=$BUILD/tools/crsm_client
+[[ -x $NODE && -x $CLIENT ]] || { echo "build tools first: cmake --build $BUILD -j --target crsm_node crsm_client"; exit 2; }
+
+WORK=$(mktemp -d /tmp/crsm_smoke.XXXXXX)
+BASE=$(( 21000 + RANDOM % 20000 ))
+PEERS=127.0.0.1:$BASE,127.0.0.1:$((BASE + 1)),127.0.0.1:$((BASE + 2))
+declare -a PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  [[ ${KEEP_WORK:-0} = 1 ]] || rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_node() {  # $1 = replica id; sets NODE_PID
+  "$NODE" --id "$1" --peers "$PEERS" --log-dir "$WORK/node-$1" \
+      --checkpoint-every 2000 --stats-every 2 \
+      2>>"$WORK/node-$1.log" &
+  NODE_PID=$!
+}
+
+wait_for_port() {  # $1 = port
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null; then exec 3>&-; return 0; fi
+    sleep 0.1
+  done
+  echo "port $1 never came up"; return 1
+}
+
+check_phase() {  # $1 = json file, $2 = phase name
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+ops, errors = r["ops"], r["errors"]
+print(f"{sys.argv[2]}: {ops} ops, {errors} errors, "
+      f"{r['cmds_per_sec']:.0f} cmds/s, p50 {r['latency_p50_ms']:.2f} ms")
+assert ops > 0, f"{sys.argv[2]}: no operation completed"
+assert errors == 0, f"{sys.argv[2]}: client errors"
+EOF
+}
+
+echo "== boot 3-node durable cluster (ports $BASE-$((BASE + 2)), state in $WORK)"
+for i in 0 1 2; do start_node "$i"; PIDS[$i]=$NODE_PID; done
+for i in 0 1 2; do wait_for_port $((BASE + i)); done
+
+echo "== phase 1: drive load through replica 0"
+"$CLIENT" --server "127.0.0.1:$BASE" --clients 4 --duration 2 --json > "$WORK/phase1.json"
+check_phase "$WORK/phase1.json" "phase 1"
+
+echo "== kill -9 replica 2"
+kill -9 "${PIDS[2]}"
+wait "${PIDS[2]}" 2>/dev/null || true
+sleep 0.5
+
+echo "== restart replica 2 from $WORK/node-2"
+start_node 2; PIDS[2]=$NODE_PID
+wait_for_port $((BASE + 2))
+
+echo "== phase 2: drive load through the RESTARTED replica 2"
+# Replica 2 defers client submissions until WAL replay + TCP catch-up
+# finish, so completed ops here prove the whole recovery path.
+"$CLIENT" --server "127.0.0.1:$((BASE + 2))" --clients 4 --duration 2 --json > "$WORK/phase2.json"
+check_phase "$WORK/phase2.json" "phase 2"
+
+grep -q "recovering from prior state" "$WORK/node-2.log" \
+  || { echo "restarted node did not report recovery"; tail -5 "$WORK/node-2.log"; exit 1; }
+
+echo "== smoke OK: killed replica rejoined and served traffic"
