@@ -7,14 +7,36 @@
 namespace crsm {
 
 SimClock::SimClock(std::function<Tick()> sim_now, double skew_us, double rate)
-    : sim_now_(std::move(sim_now)), skew_us_(skew_us), rate_(rate) {
+    : sim_now_(std::move(sim_now)), skew_us_(skew_us), rate_(rate),
+      local_at_anchor_(skew_us) {
   if (!sim_now_) throw std::invalid_argument("SimClock needs a time source");
   if (rate_ <= 0.0) throw std::invalid_argument("clock rate must be positive");
 }
 
+double SimClock::raw_now() const {
+  return local_at_anchor_ +
+         static_cast<double>(sim_now_() - anchor_sim_) * rate_;
+}
+
+void SimClock::rebase() {
+  const Tick now = sim_now_();
+  local_at_anchor_ = raw_now();
+  anchor_sim_ = now;
+}
+
+void SimClock::step_us(double delta_us) {
+  rebase();
+  local_at_anchor_ += delta_us;
+}
+
+void SimClock::set_rate(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("clock rate must be positive");
+  rebase();
+  rate_ = rate;
+}
+
 Tick SimClock::now_us() {
-  const double raw =
-      static_cast<double>(sim_now_()) * rate_ + skew_us_;
+  const double raw = raw_now();
   // Physical clocks never run backwards and the protocols additionally rely
   // on strict monotonicity across reads (to send in timestamp order).
   Tick t = raw <= 0.0 ? 0 : static_cast<Tick>(raw);

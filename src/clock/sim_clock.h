@@ -26,10 +26,29 @@ class SimClock final : public ClockSource {
   [[nodiscard]] double skew_us() const { return skew_us_; }
   [[nodiscard]] double rate() const { return rate_; }
 
+  // Mid-run mutation hooks (DST fault injection). Reads stay strictly
+  // increasing: a backward step makes the clock plateau (advance by 1 us per
+  // read) until raw time catches up, which is exactly how a monotone-clamped
+  // NTP client behaves.
+  //
+  // step_us(): an NTP-style step of the clock by `delta_us` (may be
+  // negative) at the current instant.
+  void step_us(double delta_us);
+  // set_rate(): changes the oscillator rate without stepping the clock —
+  // local time is continuous at the change point, only its slope changes.
+  void set_rate(double rate);
+
  private:
+  [[nodiscard]] double raw_now() const;
+  void rebase();
+
   std::function<Tick()> sim_now_;
-  double skew_us_;
+  double skew_us_;  // initial skew, kept for introspection
   double rate_;
+  // Piecewise-linear local time: raw(sim) = local_at_anchor_ +
+  // (sim - anchor_sim_) * rate_. Mutations rebase the anchor to "now".
+  Tick anchor_sim_ = 0;
+  double local_at_anchor_ = 0.0;
   Tick last_ = 0;
 };
 

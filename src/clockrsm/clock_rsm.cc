@@ -7,6 +7,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/codec.h"
 #include "storage/checkpoint.h"
 #include "storage/recovery.h"
@@ -34,6 +37,15 @@ std::unordered_set<Timestamp, TsHash> commit_marks(
     if (r.type == LogType::kCommit) marks.insert(r.ts);
   }
   return marks;
+}
+
+// Env-gated stderr trace of reconfiguration decisions (CRSM_DEBUG_RECONFIG):
+// DST swarm failures in this machinery are subtle interleavings, and seeing
+// propose/finish with cts, command counts and commit state per replica is
+// how the divergences in docs/TESTING.md were diagnosed.
+bool debug_reconfig() {
+  static const bool on = std::getenv("CRSM_DEBUG_RECONFIG") != nullptr;
+  return on;
 }
 
 }  // namespace
@@ -72,7 +84,17 @@ void ClockRsmReplica::start() {
       // current configuration via reconfiguration. If epochs advanced while
       // we were down, stale SUSPENDs are answered with the corresponding
       // consensus decisions and we catch up epoch by epoch.
+      //
+      // Reconfiguration alone is not enough: when the cluster's epoch never
+      // advanced past ours, the rejoin terminates by (re)applying an old
+      // decision that pre-dates our crash and re-derives nothing — but
+      // survivors may have committed commands during our downtime
+      // (including our own unresolved tail, which they had acked). The
+      // first decision application that lands us in the configuration
+      // therefore follows up with a catch-up round (found by DST; the
+      // minimized scenario is a regression test in tests/dst_test.cc).
       frozen_ = true;  // do not process normal traffic until reintegrated
+      rejoin_catchup_pending_ = true;
       reconfigure(spec_);
     }
   } else if (recovering && opt_.catchup_on_recovery) {
@@ -186,9 +208,22 @@ void ClockRsmReplica::on_message(const Message& m) {
     case MsgType::kClockTime:
       // Normal-case messages are only meaningful within the current epoch
       // (Section V-A: the epoch number lets us ignore messages from older
-      // epochs; newer-epoch messages are dropped too — the consensus
-      // decision will bring us up to date).
+      // epochs). Newer-epoch PREPARE/PREPAREOK are *buffered*, not dropped:
+      // the consensus decision brings us up to date about everything before
+      // it formed, but commands proposed in the new epoch while our
+      // application of the decision lagged are covered by nothing else —
+      // dropping them leaves a hole this replica would later commit around
+      // (found by DST; minimized scenario in tests/dst_test.cc). CLOCKTIME
+      // is pure stability gossip and safe to drop: fresh ones arrive every
+      // delta.
       if (m.epoch != epoch_) {
+        if (m.epoch > epoch_ && m.type != MsgType::kClockTime) {
+          if (future_msgs_.size() < kFutureBufferCap) {
+            future_msgs_.push_back(m);  // copy-on-retain owns the payload
+          } else {
+            future_overflow_ = true;
+          }
+        }
         if (m.epoch < epoch_) {
           // Help a laggard catch up: answer with the decision that created
           // our current epoch (idempotent; decisions are self-contained).
@@ -281,6 +316,16 @@ bool ClockRsmReplica::stable(Timestamp ts) const {
 }
 
 void ClockRsmReplica::maybe_commit() {
+  // A suspended replica must not commit: suspension (Algorithm 3 line 8)
+  // halts normal-case processing *as a whole*. Gating only handle_prepare
+  // is not enough — PREPAREOK/CLOCKTIME still advance LatestTV, and a
+  // frozen replica that discards concurrent PREPAREs while committing its
+  // pending queue on that fresher stability info executes around commands
+  // it never saw (found by DST: a partition outage healing mid-suspension
+  // flushes exactly that message mix). The decision's command set replays
+  // the suspended window consistently instead (finish_decision clears
+  // pending_ and re-derives from a majority).
+  if (frozen_) return;
   // A replica still catching up after a crash must not execute: commands it
   // missed while down may order below its pending head, and only the
   // catch-up replies can reveal them.
@@ -306,11 +351,23 @@ void ClockRsmReplica::maybe_commit() {
     }
     if (!stable(ts)) break;
 
+    if (debug_reconfig()) {
+      std::string who;
+      for (ReplicaId r : rc->second) who += std::to_string(r) + ",";
+      std::fprintf(stderr, "[r%u] normal-commit ts=%s ackers=%s clock=%llu\n",
+                   env_.self(), ts.to_string().c_str(), who.c_str(),
+                   static_cast<unsigned long long>(env_.clock_now()));
+    }
     Command cmd = std::move(it->second.cmd);
     pending_.erase(it);
     rep_counter_.erase(rc);
 
     env_.log().append(LogRecord::commit(ts));
+    // Durability point for the client reply: the commit mark must survive a
+    // crash, or a restarted replica would replay a shorter history than the
+    // one it acknowledged (caught by the DST durability invariant under
+    // power-loss crash semantics).
+    env_.log().sync();
     last_commit_ts_ = ts;
     ++stats_.committed;
     env_.deliver(cmd, ts, ts.origin == env_.self());
@@ -364,6 +421,12 @@ void ClockRsmReplica::reconfigure(std::vector<ReplicaId> new_config) {
   }
   if (new_config.size() < majority(spec_.size())) {
     throw std::invalid_argument("new configuration below majority of spec");
+  }
+  if (debug_reconfig()) {
+    std::fprintf(stderr, "[r%u] propose e=%llu ncfg=%zu last_commit=%s clock=%llu\n",
+                 env_.self(), static_cast<unsigned long long>(epoch_ + 1),
+                 new_config.size(), last_commit_ts_.to_string().c_str(),
+                 static_cast<unsigned long long>(env_.clock_now()));
   }
   reconfig_in_progress_ = true;
   proposed_epoch_ = epoch_ + 1;
@@ -422,21 +485,36 @@ void ClockRsmReplica::handle_suspend_ok(const Message& m) {
     for (const auto& [ts, cmd] : collected_cmds_) {
       dec.cmds.push_back(LogRecord::prepare(ts, cmd));
     }
+    dec.collectors.assign(suspend_oks_.begin(), suspend_oks_.end());
     consensus(proposed_epoch_).propose(dec.encode());
   }
 }
 
 void ClockRsmReplica::handle_retrieve_cmds(const Message& m) {
   // Lines 29-31: return logged commands with from < ts <= to.
+  //
+  // The requester executes everything we hand back as committed (it is
+  // fetching the prefix under a decision's cts), so only prepares with an
+  // actual COMMIT mark may be served: an unmarked prepare may be an orphan
+  // that was superseded without ever committing anywhere, and handing it
+  // out would make the fetcher execute a command the rest of the cluster
+  // never will (found by DST: an orphaned proposal surviving a catch-up's
+  // majority fallback was later state-transferred back to its own origin
+  // rejoining after a crash). The reply carries our commit bound; commits
+  // are gap-free in timestamp order, so a bound covering the range proves
+  // the served set is the *complete* committed range.
   const Timestamp from = m.ts;
   const Timestamp to{m.clock_ts, static_cast<ReplicaId>(m.a)};
   Message r;
   r.type = MsgType::kRetrieveReply;
   r.epoch = m.epoch;
+  r.ts = last_commit_ts_;
+  const auto marks = commit_marks(env_.log().records());
   std::unordered_set<Timestamp, TsHash> seen;
   for (const LogRecord& rec : env_.log().records()) {
-    if (rec.type == LogType::kPrepare && rec.ts > from && rec.ts <= to &&
-        seen.insert(rec.ts).second) {
+    if (rec.type != LogType::kPrepare || rec.ts <= from || rec.ts > to) continue;
+    if (!marks.contains(rec.ts)) continue;
+    if (seen.insert(rec.ts).second) {
       r.records.push_back(rec);
     }
   }
@@ -446,12 +524,19 @@ void ClockRsmReplica::handle_retrieve_cmds(const Message& m) {
 void ClockRsmReplica::handle_retrieve_reply(const Message& m) {
   if (!fetching_for_epoch_ || m.epoch != *fetching_for_epoch_) return;
   if (!fetch_replies_.insert(m.from).second) return;
+  if (m.ts >= fetch_to_) fetch_complete_seen_ = true;
   for (const LogRecord& rec : m.records) {
     if (rec.ts > last_commit_ts_ && rec.ts <= fetch_to_) {
       fetched_cmds_.emplace(rec.ts, rec.cmd);
     }
   }
-  if (fetch_replies_.size() >= majority(spec_.size())) {
+  // Completion needs a majority AND at least one server whose commit bound
+  // covered the whole range — only that proves no committed command in
+  // (last_commit, cts] is missing from the union (servers behind the range
+  // serve committed subsets). apply_decision's retry timer keeps asking
+  // until such a server exists; the decision's cts is some replica's commit
+  // bound, so one always will.
+  if (fetch_complete_seen_ && fetch_replies_.size() >= majority(spec_.size())) {
     const Epoch e = *fetching_for_epoch_;
     fetching_for_epoch_.reset();
     auto it = undelivered_decisions_.find(e);
@@ -483,10 +568,22 @@ void ClockRsmReplica::handle_retrieve_reply(const Message& m) {
 // --------------------------------------------------------------------------
 
 void ClockRsmReplica::begin_catchup() {
+  if (catching_up_) return;  // a round is already in flight
   bool has_peer = false;
   for (ReplicaId r : config_) has_peer |= (r != env_.self());
   if (!has_peer) return;  // single-replica group: replay was everything
   catching_up_ = true;
+  // Fresh barrier per round: catch-up may run more than once per instance
+  // (crash recovery, post-rejoin, future-buffer overflow). The session
+  // token kills any timer chain a cancelled round left behind; the poll
+  // counter gives each round its own fallback grace period.
+  ++catchup_session_;
+  catchup_round_polls_ = 0;
+  catchup_barrier_known_ = false;
+  catchup_all_replied_ = false;
+  catchup_barrier_ = kZeroTimestamp;
+  catchup_candidate_barrier_ = kZeroTimestamp;
+  catchup_replied_.clear();
   // Re-stage the replayed log's unresolved tail (PREPAREs with no COMMIT
   // mark) and re-announce it. If a peer also holds one of these it can now
   // reach majority again and commit — essential when *several* replicas
@@ -520,14 +617,15 @@ void ClockRsmReplica::send_catchup_request() {
 }
 
 void ClockRsmReplica::arm_catchup_timer() {
-  env_.schedule_after(opt_.catchup_interval_us, [this] {
-    if (!catching_up_) return;
+  env_.schedule_after(opt_.catchup_interval_us, [this, session = catchup_session_] {
+    if (!catching_up_ || session != catchup_session_) return;
     // Barrier fallback: if some peer never answers (it crashed too), settle
     // for a majority of replies after a grace period instead of hanging.
-    constexpr std::uint64_t kFallbackRounds = 20;
-    maybe_set_catchup_barrier(stats_.catchup_rounds >= kFallbackRounds);
+    constexpr std::uint64_t kFallbackPolls = 20;
+    ++catchup_round_polls_;
+    maybe_set_catchup_barrier(catchup_round_polls_ >= kFallbackPolls);
     maybe_finish_catchup();
-    if (!catching_up_) return;
+    if (!catching_up_ || session != catchup_session_) return;
     send_catchup_request();
     arm_catchup_timer();
   });
@@ -566,13 +664,21 @@ void ClockRsmReplica::handle_catchup_reply(const Message& m) {
 
   // The barrier only grows from *first* replies: anything a later reply
   // adds arrived over the fresh (reliable) connections and is not at risk.
-  Timestamp peer_max = m.ts;
+  //
+  // It covers peers' COMMIT bounds, not their open prepares: every command
+  // committed anywhere is at or under some peer's bound (all-replied case)
+  // or majority-logged and therefore staged below (fallback case), while
+  // open prepares the replies carry are staged into pending_ and acked —
+  // once staged they can never be committed *around*, so they need not
+  // commit before catch-up ends. Waiting for them would deadlock when
+  // several replicas catch up at once: each would defer exactly the
+  // commits the others' barriers wait for.
+  const Timestamp peer_bound = m.ts;
   for (const LogRecord& rec : m.records) {
-    peer_max = std::max(peer_max, rec.ts);
     catchup_restaged_.erase(rec.ts);  // a peer holds it too: not an orphan
   }
   if (catchup_replied_.insert(m.from).second) {
-    catchup_candidate_barrier_ = std::max(catchup_candidate_barrier_, peer_max);
+    catchup_candidate_barrier_ = std::max(catchup_candidate_barrier_, peer_bound);
     maybe_set_catchup_barrier(/*fallback=*/false);
   }
 
@@ -617,6 +723,11 @@ void ClockRsmReplica::handle_catchup_reply(const Message& m) {
       in_log.insert(ts);
     }
     appended = true;
+    if (debug_reconfig()) {
+      std::fprintf(stderr, "[r%u] catchup-commit ts=%s from=%u bound=%s\n",
+                   env_.self(), ts.to_string().c_str(), m.from,
+                   m.ts.to_string().c_str());
+    }
     env_.log().append(LogRecord::commit(ts));
     last_commit_ts_ = ts;
     ++stats_.committed;
@@ -751,20 +862,45 @@ void ClockRsmReplica::apply_decision(Epoch e, const ReconfigDecision& dec) {
     fetch_to_ = dec.cts;
     fetch_replies_.clear();
     fetched_cmds_.clear();
-    Message m;
-    m.type = MsgType::kRetrieveCmds;
-    m.epoch = e;
-    m.ts = last_commit_ts_;
-    m.clock_ts = dec.cts.ticks;
-    m.a = dec.cts.origin;
-    env_.multicast(spec_, m);
+    fetch_complete_seen_ = false;
+    send_retrieve_cmds(e);
     return;
   }
   finish_decision(e, dec, {});
 }
 
+void ClockRsmReplica::send_retrieve_cmds(Epoch e) {
+  Message m;
+  m.type = MsgType::kRetrieveCmds;
+  m.epoch = e;
+  m.ts = last_commit_ts_;
+  m.clock_ts = fetch_to_.ticks;
+  m.a = fetch_to_.origin;
+  env_.multicast(spec_, m);
+  // Keep asking until some server's commit bound covers the range (see
+  // handle_retrieve_reply): servers still catching up toward cts answer
+  // with partial content at first. Duplicate replies are deduplicated by
+  // sender, so retries are idempotent.
+  env_.schedule_after(opt_.consensus_retry_us, [this, e] {
+    if (fetching_for_epoch_ && *fetching_for_epoch_ == e) {
+      fetch_replies_.clear();
+      send_retrieve_cmds(e);
+    }
+  });
+}
+
 void ClockRsmReplica::finish_decision(Epoch e, const ReconfigDecision& dec,
                                       std::map<Timestamp, Command> extra) {
+  if (debug_reconfig()) {
+    std::fprintf(stderr,
+                 "[r%u] finish e=%llu cts=%s cmds=%zu extra=%zu last_commit=%s "
+                 "ncfg=%zu pending=%zu clock=%llu\n",
+                 env_.self(), static_cast<unsigned long long>(e),
+                 dec.cts.to_string().c_str(), dec.cmds.size(), extra.size(),
+                 last_commit_ts_.to_string().c_str(), dec.config.size(),
+                 pending_.size(), static_cast<unsigned long long>(env_.clock_now()));
+  }
+
   // `extra` holds state-transferred commands in (last_commit_ts, dec.cts];
   // dec.cmds holds every command above dec.cts that could have committed.
   std::map<Timestamp, Command> to_apply = std::move(extra);
@@ -812,9 +948,66 @@ void ClockRsmReplica::finish_decision(Epoch e, const ReconfigDecision& dec,
   collected_cmds_.clear();
   if (fd_) fd_->reset_all(env_.clock_now());
 
+  // A catch-up round that started before this decision is now stale: its
+  // staged open entries, barrier and orphan bookkeeping may be exactly what
+  // the decision just truncated, and letting it keep re-staging and
+  // re-acking them can resurrect a dead command at a subset of replicas
+  // (found by DST: three independently catching-up replicas re-acked a
+  // decision-wiped proposal back to a fake majority). Cancel it — the
+  // trigger below starts a fresh round, against post-truncation logs, when
+  // one is still needed.
+  catching_up_ = false;
+  catchup_restaged_.clear();
+  catchup_replied_.clear();
+  catchup_barrier_known_ = false;
+  catchup_all_replied_ = false;
+
+  // Ways this application can be blind to committed commands:
+  //  * first decision since a crash-restart (see start()) — survivors may
+  //    have committed during our downtime;
+  //  * we were not among the decision's collectors — it was formed without
+  //    our log, and anything proposed between its collection and our (late)
+  //    application is covered by nothing we hold; the pending_ clear above
+  //    may just have wiped exactly those entries.
+  // Either way, recover from peers before executing past the gap. This must
+  // start BEFORE the buffered-message replay below: catch-up defers
+  // execution (maybe_commit gates on catching_up_), so a buffered
+  // PREPAREOK quorum cannot make us commit around a hole the catch-up is
+  // about to repair. The collectors themselves (a majority) never defer
+  // here, so catch-up always completes.
+  const bool collector = contains(dec.collectors, env_.self());
+  if (rejoin_catchup_pending_ || !collector) {
+    rejoin_catchup_pending_ = false;
+    begin_catchup();
+  }
+
+  // Replay normal-case messages that arrived for this epoch before we
+  // entered it (see the buffer in on_message). They are handled exactly as
+  // if they arrived now, in their original order — without this, a replica
+  // whose decision application lagged (asymmetric links, state-transfer
+  // round trips) permanently loses the new epoch's first commands and
+  // later commits around the hole (found by DST; see docs/TESTING.md).
+  std::vector<Message> buffered;
+  buffered.swap(future_msgs_);
+  for (Message& bm : buffered) {
+    if (bm.epoch == epoch_) {
+      on_message(bm);
+    } else if (bm.epoch > epoch_) {
+      future_msgs_.push_back(std::move(bm));  // still ahead of us
+    }
+  }
+  if (future_overflow_) {
+    // The buffer could not hold everything we missed: fall back to a
+    // catch-up round, which re-derives the gap from peers' logs (no-op if
+    // one is already in flight).
+    future_overflow_ = false;
+    begin_catchup();
+  }
+
   if (in_config()) {
-    // Resume processing queued client requests.
-    while (!deferred_submits_.empty()) {
+    // Resume processing queued client requests. While catching up they stay
+    // deferred; maybe_finish_catchup drains the queue when it ends.
+    while (!catching_up_ && !deferred_submits_.empty()) {
       Command c = std::move(deferred_submits_.front());
       deferred_submits_.pop_front();
       handle_request(std::move(c));

@@ -124,6 +124,7 @@ class ClockRsmReplica final : public ReplicaProtocol {
   void on_consensus_decide(Epoch instance, const std::string& blob);
   void try_apply_decisions();
   void apply_decision(Epoch e, const ReconfigDecision& dec);
+  void send_retrieve_cmds(Epoch e);
   void finish_decision(Epoch e, const ReconfigDecision& dec,
                        std::map<Timestamp, Command> extra);
   SingleDecreePaxos& consensus(Epoch instance);
@@ -171,10 +172,28 @@ class ClockRsmReplica final : public ReplicaProtocol {
   std::map<Timestamp, Command> collected_cmds_;
   std::unordered_map<Epoch, std::unique_ptr<SingleDecreePaxos>> consensus_;
   std::map<Epoch, ReconfigDecision> undelivered_decisions_;
+  // Normal-case messages from epochs ahead of ours, in arrival order. A
+  // replica whose application of an epoch decision lags (asymmetric links,
+  // state-transfer round trips) would otherwise permanently miss the new
+  // epoch's first PREPAREs/PREPAREOKs — the decision only covers commands
+  // from before it formed — and later commit around the hole.
+  // finish_decision replays these on epoch entry; on overflow (extreme lag)
+  // it falls back to a catch-up round instead.
+  static constexpr std::size_t kFutureBufferCap = 16384;
+  std::vector<Message> future_msgs_;
+  bool future_overflow_ = false;
+  // Crash-restart under reconfiguration: the first decision application
+  // that lands us in the configuration runs a catch-up round (see start()).
+  bool rejoin_catchup_pending_ = false;
+
   // State-transfer-in-progress bookkeeping (per pending decision epoch).
+  // The fetch completes only after a reply whose server commit bound covers
+  // the full range arrived (fetch_complete_seen_); send_retrieve_cmds
+  // re-asks periodically until then.
   std::optional<Epoch> fetching_for_epoch_;
   Timestamp fetch_to_;
   std::set<ReplicaId> fetch_replies_;
+  bool fetch_complete_seen_ = false;
   std::map<Timestamp, Command> fetched_cmds_;
   std::deque<Command> deferred_submits_;
   std::unique_ptr<FailureDetector> fd_;
@@ -185,6 +204,12 @@ class ClockRsmReplica final : public ReplicaProtocol {
   bool catching_up_ = false;
   bool catchup_barrier_known_ = false;
   bool catchup_all_replied_ = false;  // barrier built from every peer
+  // Catch-up can run several times per instance (crash recovery, rejoin,
+  // non-collector decisions); the session token invalidates a cancelled
+  // round's timer chain, and polls are counted per round so the
+  // majority-fallback grace period applies to each round, not the lifetime.
+  std::uint64_t catchup_session_ = 0;
+  std::uint64_t catchup_round_polls_ = 0;
   Timestamp catchup_barrier_;
   Timestamp catchup_candidate_barrier_;
   std::set<ReplicaId> catchup_replied_;  // peers whose first reply arrived

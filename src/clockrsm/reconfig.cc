@@ -13,6 +13,8 @@ std::string ReconfigDecision::encode() const {
   e.timestamp(cts);
   e.var(cmds.size());
   for (const LogRecord& r : cmds) encode_log_record(r, &out);
+  e.var(collectors.size());
+  for (ReplicaId r : collectors) e.u32(r);
   return out;
 }
 
@@ -26,6 +28,9 @@ ReconfigDecision ReconfigDecision::decode(std::string_view blob) {
   const std::uint64_t nr = d.var();
   out.cmds.reserve(nr);
   for (std::uint64_t i = 0; i < nr; ++i) out.cmds.push_back(decode_log_record(d));
+  const std::uint64_t nk = d.var();
+  out.collectors.reserve(nk);
+  for (std::uint64_t i = 0; i < nk; ++i) out.collectors.push_back(d.u32());
   if (!d.done()) throw CodecError("trailing bytes in ReconfigDecision");
   return out;
 }

@@ -18,6 +18,14 @@ struct ReconfigDecision {
   std::vector<ReplicaId> config;
   Timestamp cts;
   std::vector<LogRecord> cmds;  // kPrepare records, any order
+  // The replicas whose SUSPENDOK logs formed `cmds` (the proposer plus the
+  // majority that answered its SUSPEND). A member of this set has, by
+  // construction, nothing in its log or pending queue the decision does not
+  // cover. A replica *outside* it applies the decision late and blind — any
+  // command proposed between the collection and its application is covered
+  // by nothing it holds — so it must run a catch-up round before resuming
+  // execution (see ClockRsmReplica::finish_decision).
+  std::vector<ReplicaId> collectors;
 
   friend bool operator==(const ReconfigDecision&, const ReconfigDecision&) = default;
 

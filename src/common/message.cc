@@ -6,28 +6,11 @@ namespace crsm {
 
 const char* msg_type_name(MsgType t) {
   switch (t) {
-    case MsgType::kPrepare: return "PREPARE";
-    case MsgType::kPrepareOk: return "PREPAREOK";
-    case MsgType::kClockTime: return "CLOCKTIME";
-    case MsgType::kForward: return "FORWARD";
-    case MsgType::kPhase2a: return "PHASE2A";
-    case MsgType::kPhase2b: return "PHASE2B";
-    case MsgType::kCommitNotify: return "COMMIT";
-    case MsgType::kMenPropose: return "M-PROPOSE";
-    case MsgType::kMenAck: return "M-ACK";
-    case MsgType::kSuspend: return "SUSPEND";
-    case MsgType::kSuspendOk: return "SUSPENDOK";
-    case MsgType::kRetrieveCmds: return "RETRIEVECMDS";
-    case MsgType::kRetrieveReply: return "RETRIEVEREPLY";
-    case MsgType::kCatchupReq: return "CATCHUPREQ";
-    case MsgType::kCatchupReply: return "CATCHUPREPLY";
-    case MsgType::kConsPrepare: return "C-PREPARE";
-    case MsgType::kConsPromise: return "C-PROMISE";
-    case MsgType::kConsAccept: return "C-ACCEPT";
-    case MsgType::kConsAccepted: return "C-ACCEPTED";
-    case MsgType::kConsDecide: return "C-DECIDE";
-    case MsgType::kClientRequest: return "CLIENTREQ";
-    case MsgType::kClientReply: return "CLIENTREPLY";
+#define CRSM_MSG_NAME_CASE(id, value, name) \
+  case MsgType::id:                         \
+    return name;
+    CRSM_MSG_TYPE_LIST(CRSM_MSG_NAME_CASE)
+#undef CRSM_MSG_NAME_CASE
   }
   return "UNKNOWN";
 }
@@ -112,7 +95,11 @@ Shape shape_of(MsgType t) {
     case MsgType::kSuspend: return {.ts = true};
     case MsgType::kSuspendOk: return {.records = true};
     case MsgType::kRetrieveCmds: return {.ts = true, .clock_ts = true, .a = true};
-    case MsgType::kRetrieveReply: return {.a = true, .records = true};
+    case MsgType::kRetrieveReply:
+      // ts = the serving replica's last commit bound: the requester may only
+      // treat the transferred range as complete once some reply's bound
+      // covers it (a server behind the range can serve a committed subset).
+      return {.ts = true, .a = true, .records = true};
     case MsgType::kCatchupReq: return {.ts = true};
     case MsgType::kCatchupReply:
       // ts = responder's last commit bound; a = 1 when blob carries the

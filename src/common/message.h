@@ -17,43 +17,60 @@
 
 namespace crsm {
 
+// The single authoritative list of wire message types: X(identifier, value,
+// wire-name). The enum, the canonical kAllMsgTypes array (which the codec
+// property tests and both wire fuzzers iterate) and msg_type_name are all
+// generated from it, so adding a type here automatically puts it under
+// round-trip, truncation and frame-stream fuzz coverage — forgetting is a
+// compile error, not a review hazard (PR 3 and PR 4 each had to patch the
+// fuzzers' hand-written lists).
+//
+// Groups (values leave gaps for future members):
+//   1..3   Clock-RSM (Algorithm 1 + 2)
+//  10..13  Multi-Paxos / Paxos-bcast
+//  20..21  Mencius-bcast
+//  30..33  Reconfiguration (Algorithm 3)
+//  34..35  Crash-restart catch-up (Section V-B, durable runtime)
+//  40..44  Single-decree Paxos used by reconfiguration PROPOSE/DECIDE
+//  50..51  Client <-> node wire protocol (crsm_node / crsm_client)
+#define CRSM_MSG_TYPE_LIST(X)                                                  \
+  X(kPrepare, 1, "PREPARE")         /* <PREPARE cmd, ts> */                    \
+  X(kPrepareOk, 2, "PREPAREOK")     /* <PREPAREOK ts, clockTs> */              \
+  X(kClockTime, 3, "CLOCKTIME")     /* <CLOCKTIME ts> */                       \
+  X(kForward, 10, "FORWARD")        /* non-leader forwards a cmd to leader */  \
+  X(kPhase2a, 11, "PHASE2A")        /* leader -> all: accept(slot, cmd) */     \
+  X(kPhase2b, 12, "PHASE2B")        /* acceptor ack (to leader or bcast) */    \
+  X(kCommitNotify, 13, "COMMIT")    /* leader -> all (classic mode only) */    \
+  X(kMenPropose, 20, "M-PROPOSE")   /* owner -> all: propose(slot, cmd) */     \
+  X(kMenAck, 21, "M-ACK")           /* bcast ack(slot) + sender skip bound */  \
+  X(kSuspend, 30, "SUSPEND")        /* <SUSPEND e, cts> */                     \
+  X(kSuspendOk, 31, "SUSPENDOK")    /* <SUSPENDOK e, cmds> */                  \
+  X(kRetrieveCmds, 32, "RETRIEVECMDS")   /* <RETRIEVECMDS from, to> */         \
+  X(kRetrieveReply, 33, "RETRIEVEREPLY") /* <RETRIEVEREPLY cmds> */            \
+  X(kCatchupReq, 34, "CATCHUPREQ")  /* <CATCHUPREQ from-ts>, open-ended */     \
+  X(kCatchupReply, 35, "CATCHUPREPLY") /* <commit-bound, prepares, ckpt?> */   \
+  X(kConsPrepare, 40, "C-PREPARE")  /* phase 1a (ballot) */                    \
+  X(kConsPromise, 41, "C-PROMISE")  /* phase 1b (ballot, accepted b, value) */ \
+  X(kConsAccept, 42, "C-ACCEPT")    /* phase 2a (ballot, value) */             \
+  X(kConsAccepted, 43, "C-ACCEPTED") /* phase 2b (ballot) */                   \
+  X(kConsDecide, 44, "C-DECIDE")    /* learned decision (value) */             \
+  X(kClientRequest, 50, "CLIENTREQ") /* client -> node: cmd to replicate */    \
+  X(kClientReply, 51, "CLIENTREPLY") /* node -> client: echo + output blob */
+
 enum class MsgType : std::uint8_t {
-  // --- Clock-RSM (Algorithm 1 + 2) ---
-  kPrepare = 1,    // <PREPARE cmd, ts>
-  kPrepareOk = 2,  // <PREPAREOK ts, clockTs>
-  kClockTime = 3,  // <CLOCKTIME ts>
-
-  // --- Multi-Paxos / Paxos-bcast ---
-  kForward = 10,   // non-leader forwards a client command to the leader
-  kPhase2a = 11,   // leader -> all: accept(slot, cmd, origin)
-  kPhase2b = 12,   // acceptor ack; to leader (classic) or broadcast (bcast)
-  kCommitNotify = 13,  // leader -> all (classic mode only)
-
-  // --- Mencius-bcast ---
-  kMenPropose = 20,  // owner -> all: propose(slot, cmd)
-  kMenAck = 21,      // broadcast ack(slot) carrying the sender's skip bound
-
-  // --- Reconfiguration (Algorithm 3) ---
-  kSuspend = 30,        // <SUSPEND e, cts>
-  kSuspendOk = 31,      // <SUSPENDOK e, cmds>
-  kRetrieveCmds = 32,   // <RETRIEVECMDS from, to>
-  kRetrieveReply = 33,  // <RETRIEVEREPLY cmds>
-
-  // --- Crash-restart catch-up (Section V-B, durable runtime) ---
-  kCatchupReq = 34,    // <CATCHUPREQ from-ts>: log-range retrieve, open-ended
-  kCatchupReply = 35,  // <CATCHUPREPLY commit-bound, prepares, checkpoint?>
-
-  // --- Single-decree Paxos used by reconfiguration PROPOSE/DECIDE ---
-  kConsPrepare = 40,   // phase 1a (ballot)
-  kConsPromise = 41,   // phase 1b (ballot, accepted ballot, accepted value)
-  kConsAccept = 42,    // phase 2a (ballot, value)
-  kConsAccepted = 43,  // phase 2b (ballot)
-  kConsDecide = 44,    // learned decision (value)
-
-  // --- Client <-> node wire protocol (crsm_node / crsm_client) ---
-  kClientRequest = 50,  // client -> node: cmd to replicate
-  kClientReply = 51,    // node -> client: cmd (client/seq echo), blob = output
+#define CRSM_MSG_ENUM_MEMBER(id, value, name) id = value,
+  CRSM_MSG_TYPE_LIST(CRSM_MSG_ENUM_MEMBER)
+#undef CRSM_MSG_ENUM_MEMBER
 };
+
+// Every wire message type, in declaration order.
+inline constexpr MsgType kAllMsgTypes[] = {
+#define CRSM_MSG_ARRAY_MEMBER(id, value, name) MsgType::id,
+    CRSM_MSG_TYPE_LIST(CRSM_MSG_ARRAY_MEMBER)
+#undef CRSM_MSG_ARRAY_MEMBER
+};
+inline constexpr std::size_t kNumMsgTypes =
+    sizeof(kAllMsgTypes) / sizeof(kAllMsgTypes[0]);
 
 [[nodiscard]] const char* msg_type_name(MsgType t);
 

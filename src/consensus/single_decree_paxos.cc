@@ -35,8 +35,8 @@ void SingleDecreePaxos::propose(std::string value) {
 void SingleDecreePaxos::begin_round() {
   if (decided_) return;
   ballot_ = next_ballot();
-  promises_ = 0;
-  accepts_ = 0;
+  promised_from_.clear();
+  accepted_from_.clear();
   in_phase2_ = false;
   best_accepted_ballot_ = 0;
   best_accepted_value_.clear();
@@ -88,12 +88,12 @@ void SingleDecreePaxos::on_message(const Message& m) {
     }
     case MsgType::kConsPromise: {
       if (decided_ || !proposing_ || in_phase2_ || m.a != ballot_) return;
-      ++promises_;
+      promised_from_.insert(m.from);
       if (m.b > best_accepted_ballot_) {
         best_accepted_ballot_ = m.b;
         best_accepted_value_ = m.blob.str();  // retain: copy out of the frame
       }
-      if (static_cast<std::size_t>(promises_) >= majority(participants_.size())) {
+      if (promised_from_.size() >= majority(participants_.size())) {
         in_phase2_ = true;
         phase2_value_ =
             best_accepted_ballot_ > 0 ? best_accepted_value_ : my_value_;
@@ -129,8 +129,8 @@ void SingleDecreePaxos::on_message(const Message& m) {
     }
     case MsgType::kConsAccepted: {
       if (decided_ || !proposing_ || !in_phase2_ || m.a != ballot_) return;
-      ++accepts_;
-      if (static_cast<std::size_t>(accepts_) >= majority(participants_.size())) {
+      accepted_from_.insert(m.from);
+      if (accepted_from_.size() >= majority(participants_.size())) {
         Message d;
         d.type = MsgType::kConsDecide;
         d.blob = phase2_value_;

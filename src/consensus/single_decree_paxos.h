@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,16 +54,19 @@ class SingleDecreePaxos {
   DecideFn on_decide_;
   Tick retry_us_;
 
-  // proposer
+  // proposer. Quorums track *distinct* responders: channels may deliver
+  // duplicates (crash-restart re-sends, DST duplicate injection), and a
+  // plain counter would let one acceptor's duplicated PROMISE/ACCEPTED form
+  // a fake majority — two dueling proposers could then decide differently.
   bool proposing_ = false;
   std::string my_value_;
   std::uint64_t ballot_ = 0;        // current round's ballot (0 = none)
   std::uint64_t round_ = 0;
-  int promises_ = 0;
+  std::set<ReplicaId> promised_from_;
   std::uint64_t best_accepted_ballot_ = 0;
   std::string best_accepted_value_;
   std::string phase2_value_;
-  int accepts_ = 0;
+  std::set<ReplicaId> accepted_from_;
   bool in_phase2_ = false;
   std::uint64_t retry_token_ = 0;   // invalidates stale retry timers
 

@@ -1,0 +1,157 @@
+#include "dst/generator.h"
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace crsm::dst {
+
+namespace {
+
+// Kinds of windowed fault the sampler can lay onto the timeline.
+enum class WindowKind {
+  kCrashRestart,
+  kPartition,
+  kOneWay,
+  kDelaySpike,
+  kDuplicates,
+};
+
+bool crash_allowed(Protocol p) {
+  return p != Protocol::kConsensus;
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorOptions& opt) {
+  // Decorrelate neighboring seeds (the Rng is an mt19937_64; similar seeds
+  // otherwise start in similar states).
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL);
+
+  ScenarioSpec spec;
+  spec.seed = seed;
+  if (opt.protocol) {
+    spec.protocol = *opt.protocol;
+  } else {
+    constexpr Protocol kMenu[] = {Protocol::kClockRsm, Protocol::kClockRsm,
+                                  Protocol::kPaxos,    Protocol::kPaxosBcast,
+                                  Protocol::kMencius,  Protocol::kConsensus};
+    spec.protocol = kMenu[rng.uniform_int(0, std::size(kMenu) - 1)];
+  }
+  if (spec.protocol == Protocol::kClockRsm) spec.reconfig = rng.bernoulli(0.5);
+
+  spec.replicas = rng.bernoulli(0.3) ? 5 : 3;
+  spec.latency_ms = static_cast<double>(rng.uniform_int(5, 40));
+  spec.jitter_ms = rng.bernoulli(0.5) ? rng.uniform(0.0, 3.0) : 0.0;
+  spec.clock_skew_ms = rng.uniform(0.0, 3.0);
+  spec.clock_drift = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.02) : 0.0;
+  spec.lossy_crash = true;
+  spec.sync_is_noop = opt.inject_sync_noop_bug;
+  spec.clients_per_replica = 2;
+  spec.think_max_ms = static_cast<double>(rng.uniform_int(20, 60));
+  spec.load_until_us = 2'500'000;
+  spec.quiesce_us = 4'000'000;
+  spec.end_us = 15'000'000;
+
+  // --- windowed faults: sequential, inside [300ms, quiesce - 300ms] --------
+  const Tick window_floor = 300'000;
+  const Tick window_ceil = spec.quiesce_us - 300'000;
+  Tick cursor = window_floor;
+  const std::size_t windows = rng.uniform_int(1, 4);
+  for (std::size_t i = 0; i < windows; ++i) {
+    const Tick gap = ms_to_us(static_cast<double>(rng.uniform_int(50, 250)));
+    const Tick len = ms_to_us(static_cast<double>(rng.uniform_int(300, 800)));
+    if (cursor + gap + len >= window_ceil) break;
+    const Tick start = cursor + gap;
+    const Tick stop = start + len;
+    cursor = stop;
+
+    std::vector<WindowKind> menu = {WindowKind::kPartition, WindowKind::kOneWay,
+                                    WindowKind::kDelaySpike,
+                                    WindowKind::kDuplicates};
+    if (crash_allowed(spec.protocol)) {
+      // Crashes are the bread-and-butter schedule: over-weight them.
+      menu.push_back(WindowKind::kCrashRestart);
+      menu.push_back(WindowKind::kCrashRestart);
+    }
+    const WindowKind kind = menu[rng.uniform_int(0, menu.size() - 1)];
+
+    auto pick_replica = [&](bool never_leader) {
+      const ReplicaId lo = never_leader ? 1 : 0;
+      return static_cast<ReplicaId>(
+          rng.uniform_int(lo, spec.replicas - 1));
+    };
+    auto pick_pair = [&](ReplicaId* a, ReplicaId* b) {
+      *a = static_cast<ReplicaId>(rng.uniform_int(0, spec.replicas - 1));
+      do {
+        *b = static_cast<ReplicaId>(rng.uniform_int(0, spec.replicas - 1));
+      } while (*b == *a);
+    };
+
+    switch (kind) {
+      case WindowKind::kCrashRestart: {
+        // Never the Paxos leader: with no election, its crash ends progress.
+        const bool classic_leader_pinned = spec.protocol == Protocol::kPaxos ||
+                                           spec.protocol == Protocol::kPaxosBcast;
+        const ReplicaId victim = pick_replica(classic_leader_pinned);
+        spec.faults.push_back({start, FaultKind::kCrash, victim, 0, 0.0});
+        spec.faults.push_back({stop, FaultKind::kRestart, victim, 0, 0.0});
+        break;
+      }
+      case WindowKind::kPartition: {
+        ReplicaId a, b;
+        pick_pair(&a, &b);
+        spec.faults.push_back({start, FaultKind::kPartition, a, b, 0.0});
+        spec.faults.push_back({stop, FaultKind::kHeal, a, b, 0.0});
+        break;
+      }
+      case WindowKind::kOneWay: {
+        ReplicaId a, b;
+        pick_pair(&a, &b);
+        spec.faults.push_back({start, FaultKind::kOneWay, a, b, 0.0});
+        spec.faults.push_back({stop, FaultKind::kOneWayHeal, a, b, 0.0});
+        break;
+      }
+      case WindowKind::kDelaySpike: {
+        // Bounded below the reconfiguration failure-detector timeout so a
+        // slow network is never mistaken for a dead replica.
+        const double extra_ms = rng.uniform(5.0, 100.0);
+        spec.faults.push_back({start, FaultKind::kDelaySpike, 0, 0, extra_ms});
+        spec.faults.push_back({stop, FaultKind::kDelayClear, 0, 0, 0.0});
+        break;
+      }
+      case WindowKind::kDuplicates: {
+        const double p = rng.uniform(0.02, 0.15);
+        spec.faults.push_back({start, FaultKind::kDupStart, 0, 0, p});
+        spec.faults.push_back({stop, FaultKind::kDupStop, 0, 0, 0.0});
+        break;
+      }
+    }
+  }
+
+  // --- instantaneous clock chaos, anywhere in the fault span ---------------
+  const std::size_t jumps = rng.uniform_int(0, 2);
+  for (std::size_t i = 0; i < jumps; ++i) {
+    const Tick at =
+        window_floor + rng.uniform_int(0, window_ceil - window_floor);
+    const ReplicaId a = static_cast<ReplicaId>(rng.uniform_int(0, spec.replicas - 1));
+    const double magnitude_ms = rng.uniform(10.0, 300.0);
+    const double jump = rng.bernoulli(0.5) ? magnitude_ms : -magnitude_ms;
+    spec.faults.push_back({at, FaultKind::kClockJump, a, 0, jump});
+  }
+  const std::size_t drifts = rng.uniform_int(0, 2);
+  for (std::size_t i = 0; i < drifts; ++i) {
+    const Tick at =
+        window_floor + rng.uniform_int(0, window_ceil - window_floor);
+    const ReplicaId a = static_cast<ReplicaId>(rng.uniform_int(0, spec.replicas - 1));
+    spec.faults.push_back({at, FaultKind::kClockDrift, a, 0, rng.uniform(0.95, 1.05)});
+  }
+
+  std::sort(spec.faults.begin(), spec.faults.end(),
+            [](const FaultEvent& x, const FaultEvent& y) { return x.at_us < y.at_us; });
+  return spec;
+}
+
+}  // namespace crsm::dst

@@ -1,0 +1,41 @@
+// Deterministic simulation testing (DST): seeded scenario generation.
+//
+// generate_scenario(seed) samples a complete ScenarioSpec — cluster size,
+// protocol, network shape, clock chaos and a fault schedule — from nothing
+// but the seed, so a swarm is fully described by a seed range and any
+// failure is replayed by its seed alone.
+//
+// The sampler is protocol-aware so that generated schedules are *fair*: it
+// only emits fault patterns the protocol under test claims to survive.
+//  * Crash/restart windows go to Clock-RSM (both recovery modes), Paxos
+//    followers and Mencius; never to the fixed Paxos leader (no election)
+//    and never to the consensus synod (in-memory acceptor state by design).
+//  * Windowed faults (crash, partition, one-way partition, delay spike,
+//    duplication) are laid out sequentially — at most one window active at
+//    any instant — and always end before the quiesce point.
+//  * Clock jumps are bounded (±300 ms, at most two per run) so commit
+//    stalls they cause fit inside the post-quiesce drain.
+//  * Probabilistic message drops are never generated: without a
+//    retransmission layer they make liveness unprovable. Hand-written
+//    safety-only specs can still use the drop knobs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dst/scenario.h"
+
+namespace crsm::dst {
+
+struct GeneratorOptions {
+  // Pin the protocol; otherwise one is sampled per seed.
+  std::optional<Protocol> protocol;
+  // Harness self-test: generate the scenario with sync_is_noop set, so a
+  // crash loses acknowledged state and the durability invariant must fire.
+  bool inject_sync_noop_bug = false;
+};
+
+[[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed,
+                                             const GeneratorOptions& opt = {});
+
+}  // namespace crsm::dst

@@ -1,0 +1,56 @@
+// Deterministic simulation testing (DST): scenario execution + invariants.
+//
+// run_scenario() builds a SimWorld from a ScenarioSpec, drives a closed-loop
+// KV workload while applying the spec's fault schedule, force-heals at the
+// quiesce point, then checks the protocol-wide invariants:
+//
+//  * timestamp order    — every replica executes in strictly increasing
+//                         timestamp/slot order;
+//  * prefix agreement   — any two replicas' execution traces agree on their
+//                         common prefix (a replica that missed messages may
+//                         lag as a stale learner, but never diverges);
+//  * convergence        — replicas untouched by faults end with identical
+//                         traces and state digests;
+//  * linearizability    — the completed client history respects real time
+//                         (rsm/linearizability.h via rsm/history.h);
+//  * durability         — every client-acknowledged op survives in the
+//                         agreed order, across crashes and restarts;
+//  * progress           — probe commands submitted after faults quiesce
+//                         commit at every untouched replica (skipped when
+//                         the schedule contains message-drop windows: there
+//                         is no retransmission layer, so drops only make
+//                         safety-mode scenarios).
+//
+// Runs are bit-for-bit deterministic: the same spec yields the same
+// RunResult::trace, byte for byte. That is the foundation for replaying a
+// failing swarm seed and for shrinking its schedule (shrink.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "dst/scenario.h"
+
+namespace crsm::dst {
+
+struct RunResult {
+  bool ok = true;
+  // First violated invariant, prefixed with its category ("agreement:",
+  // "durability:", "progress:", ...). The shrinker matches on the category
+  // so minimization never drifts to a different failure.
+  std::string failure;
+  // Deterministic run log: applied faults, probes, per-replica outcomes.
+  std::string trace;
+  std::size_t completed_ops = 0;
+  std::size_t faults_applied = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+[[nodiscard]] RunResult run_scenario(const ScenarioSpec& spec);
+
+// The invariant category of a failure string ("durability" for
+// "durability: op(...) ..."); empty for passes.
+[[nodiscard]] std::string failure_category(const std::string& failure);
+
+}  // namespace crsm::dst

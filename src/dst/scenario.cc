@@ -1,0 +1,243 @@
+#include "dst/scenario.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace crsm::dst {
+
+namespace {
+
+struct ProtocolName {
+  Protocol p;
+  const char* name;
+};
+
+constexpr ProtocolName kProtocolNames[] = {
+    {Protocol::kClockRsm, "clockrsm"},
+    {Protocol::kPaxos, "paxos"},
+    {Protocol::kPaxosBcast, "paxos-bcast"},
+    {Protocol::kMencius, "mencius"},
+    {Protocol::kConsensus, "consensus"},
+};
+
+struct FaultKindName {
+  FaultKind k;
+  const char* name;
+};
+
+constexpr FaultKindName kFaultKindNames[] = {
+    {FaultKind::kCrash, "crash"},
+    {FaultKind::kRestart, "restart"},
+    {FaultKind::kPartition, "partition"},
+    {FaultKind::kHeal, "heal"},
+    {FaultKind::kOneWay, "oneway"},
+    {FaultKind::kOneWayHeal, "oneway-heal"},
+    {FaultKind::kClockJump, "clock-jump"},
+    {FaultKind::kClockDrift, "clock-drift"},
+    {FaultKind::kDelaySpike, "delay-spike"},
+    {FaultKind::kDelayClear, "delay-clear"},
+    {FaultKind::kDupStart, "dup-start"},
+    {FaultKind::kDupStop, "dup-stop"},
+    {FaultKind::kDropStart, "drop-start"},
+    {FaultKind::kDropStop, "drop-stop"},
+};
+
+// Doubles print with enough digits to round-trip exactly.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+[[noreturn]] void parse_error(const std::string& what) {
+  throw std::runtime_error("ScenarioSpec::decode: " + what);
+}
+
+}  // namespace
+
+const char* protocol_name(Protocol p) {
+  for (const auto& [proto, name] : kProtocolNames) {
+    if (proto == p) return name;
+  }
+  return "unknown";
+}
+
+bool protocol_from_name(const std::string& name, Protocol* out) {
+  for (const auto& [proto, pname] : kProtocolNames) {
+    if (name == pname) {
+      *out = proto;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* fault_kind_name(FaultKind k) {
+  for (const auto& [kind, name] : kFaultKindNames) {
+    if (kind == k) return name;
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << "fault " << at_us << ' ' << fault_kind_name(kind);
+  switch (kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kRestart:
+      os << ' ' << a;
+      break;
+    case FaultKind::kPartition:
+    case FaultKind::kHeal:
+    case FaultKind::kOneWay:
+    case FaultKind::kOneWayHeal:
+      os << ' ' << a << ' ' << b;
+      break;
+    case FaultKind::kClockJump:
+    case FaultKind::kClockDrift:
+      os << ' ' << a << ' ' << fmt_double(value);
+      break;
+    case FaultKind::kDelaySpike:
+    case FaultKind::kDupStart:
+    case FaultKind::kDropStart:
+      os << ' ' << fmt_double(value);
+      break;
+    case FaultKind::kDelayClear:
+    case FaultKind::kDupStop:
+    case FaultKind::kDropStop:
+      break;
+  }
+  return os.str();
+}
+
+std::string ScenarioSpec::summary() const {
+  std::ostringstream os;
+  os << protocol_name(protocol) << " n=" << replicas << " seed=" << seed
+     << " faults=" << faults.size() << " lat=" << latency_ms << "ms";
+  if (reconfig) os << " reconfig";
+  if (lossy_crash) os << " lossy-crash";
+  if (sync_is_noop) os << " BUG:sync-noop";
+  return os.str();
+}
+
+std::string ScenarioSpec::encode() const {
+  std::ostringstream os;
+  os << "protocol " << protocol_name(protocol) << '\n'
+     << "replicas " << replicas << '\n'
+     << "seed " << seed << '\n'
+     << "latency_ms " << fmt_double(latency_ms) << '\n'
+     << "jitter_ms " << fmt_double(jitter_ms) << '\n'
+     << "clock_skew_ms " << fmt_double(clock_skew_ms) << '\n'
+     << "clock_drift " << fmt_double(clock_drift) << '\n'
+     << "reconfig " << (reconfig ? 1 : 0) << '\n'
+     << "lossy_crash " << (lossy_crash ? 1 : 0) << '\n'
+     << "sync_is_noop " << (sync_is_noop ? 1 : 0) << '\n'
+     << "clients_per_replica " << clients_per_replica << '\n'
+     << "think_max_ms " << fmt_double(think_max_ms) << '\n'
+     << "load_until_us " << load_until_us << '\n'
+     << "quiesce_us " << quiesce_us << '\n'
+     << "end_us " << end_us << '\n';
+  for (const FaultEvent& f : faults) os << f.to_string() << '\n';
+  return os.str();
+}
+
+ScenarioSpec ScenarioSpec::decode(const std::string& text) {
+  ScenarioSpec spec;
+  spec.faults.clear();
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "protocol") {
+      std::string name;
+      ls >> name;
+      if (!protocol_from_name(name, &spec.protocol)) {
+        parse_error("unknown protocol '" + name + "'");
+      }
+    } else if (key == "replicas") {
+      ls >> spec.replicas;
+    } else if (key == "seed") {
+      ls >> spec.seed;
+    } else if (key == "latency_ms") {
+      ls >> spec.latency_ms;
+    } else if (key == "jitter_ms") {
+      ls >> spec.jitter_ms;
+    } else if (key == "clock_skew_ms") {
+      ls >> spec.clock_skew_ms;
+    } else if (key == "clock_drift") {
+      ls >> spec.clock_drift;
+    } else if (key == "reconfig") {
+      int v = 0;
+      ls >> v;
+      spec.reconfig = v != 0;
+    } else if (key == "lossy_crash") {
+      int v = 0;
+      ls >> v;
+      spec.lossy_crash = v != 0;
+    } else if (key == "sync_is_noop") {
+      int v = 0;
+      ls >> v;
+      spec.sync_is_noop = v != 0;
+    } else if (key == "clients_per_replica") {
+      ls >> spec.clients_per_replica;
+    } else if (key == "think_max_ms") {
+      ls >> spec.think_max_ms;
+    } else if (key == "load_until_us") {
+      ls >> spec.load_until_us;
+    } else if (key == "quiesce_us") {
+      ls >> spec.quiesce_us;
+    } else if (key == "end_us") {
+      ls >> spec.end_us;
+    } else if (key == "fault") {
+      FaultEvent f;
+      std::string kind;
+      ls >> f.at_us >> kind;
+      bool known = false;
+      for (const auto& [k, name] : kFaultKindNames) {
+        if (kind == name) {
+          f.kind = k;
+          known = true;
+          break;
+        }
+      }
+      if (!known) parse_error("unknown fault kind '" + kind + "'");
+      switch (f.kind) {
+        case FaultKind::kCrash:
+        case FaultKind::kRestart:
+          ls >> f.a;
+          break;
+        case FaultKind::kPartition:
+        case FaultKind::kHeal:
+        case FaultKind::kOneWay:
+        case FaultKind::kOneWayHeal:
+          ls >> f.a >> f.b;
+          break;
+        case FaultKind::kClockJump:
+        case FaultKind::kClockDrift:
+          ls >> f.a >> f.value;
+          break;
+        case FaultKind::kDelaySpike:
+        case FaultKind::kDupStart:
+        case FaultKind::kDropStart:
+          ls >> f.value;
+          break;
+        case FaultKind::kDelayClear:
+        case FaultKind::kDupStop:
+        case FaultKind::kDropStop:
+          break;
+      }
+      spec.faults.push_back(f);
+    } else {
+      parse_error("unknown key '" + key + "'");
+    }
+    if (ls.fail()) parse_error("malformed line '" + line + "'");
+  }
+  if (spec.replicas == 0) parse_error("replicas must be positive");
+  return spec;
+}
+
+}  // namespace crsm::dst

@@ -1,0 +1,110 @@
+// Deterministic simulation testing (DST): scenario specification.
+//
+// A ScenarioSpec is a complete, self-contained description of one simulated
+// run — cluster shape, protocol, client workload and a schedule of fault
+// events — with a line-oriented text encoding. The same spec always produces
+// the same run, byte for byte (see runner.h), which is what makes failures
+// replayable and shrinkable: `tools/dst_swarm` prints the spec of every
+// failing seed, and the shrinker (shrink.h) minimizes it by deleting fault
+// events while the failure still reproduces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace crsm::dst {
+
+// Protocols a scenario can exercise. kConsensus drives the single-decree
+// Paxos synod (reconfiguration's PROPOSE/DECIDE primitive) directly, with
+// one dueling proposal per replica instead of a KV workload.
+enum class Protocol : std::uint8_t {
+  kClockRsm,
+  kPaxos,
+  kPaxosBcast,
+  kMencius,
+  kConsensus,
+};
+
+[[nodiscard]] const char* protocol_name(Protocol p);
+// Returns true and sets *out when `name` is a known protocol name.
+[[nodiscard]] bool protocol_from_name(const std::string& name, Protocol* out);
+
+enum class FaultKind : std::uint8_t {
+  kCrash,        // a: replica (power loss under SimWorldOptions::lossy_crash)
+  kRestart,      // a: replica (recover from stable storage)
+  kPartition,    // a, b: block both directions
+  kHeal,         // a, b: unblock both directions
+  kOneWay,       // a, b: block a -> b only
+  kOneWayHeal,   // a, b: unblock a -> b
+  kClockJump,    // a: replica; value: NTP step in ms (may be negative)
+  kClockDrift,   // a: replica; value: new oscillator rate (e.g. 1.02)
+  kDelaySpike,   // value: extra one-way delay in ms on every link
+  kDelayClear,   // remove the delay surcharge
+  kDupStart,     // value: per-message duplicate probability
+  kDupStop,
+  kDropStart,    // value: per-message drop probability (safety-only runs)
+  kDropStop,
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  Tick at_us = 0;
+  FaultKind kind = FaultKind::kCrash;
+  ReplicaId a = 0;
+  ReplicaId b = 0;
+  double value = 0.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ScenarioSpec {
+  Protocol protocol = Protocol::kClockRsm;
+  std::size_t replicas = 3;
+  std::uint64_t seed = 1;
+
+  // Network and clocks.
+  double latency_ms = 10.0;     // uniform one-way latency
+  double jitter_ms = 0.0;
+  double clock_skew_ms = 2.0;   // initial per-replica skew ~ U(-s, +s)
+  double clock_drift = 0.0;     // initial per-replica rate ~ 1 ± U(0, d)
+
+  // Clock-RSM recovery mode: reconfigure around crashes (Algorithm 3) when
+  // true; plain log-replay restart when false. Ignored by other protocols.
+  bool reconfig = false;
+
+  // Storage model: power-loss crashes (un-synced log tail lost) when true.
+  bool lossy_crash = true;
+  // Deliberate bug injection (harness self-test): log sync() is a no-op, so
+  // crashes lose acknowledged state. A correct protocol + harness MUST fail
+  // the durability invariant under this flag.
+  bool sync_is_noop = false;
+
+  // Closed-loop KV workload (ignored by kConsensus).
+  std::size_t clients_per_replica = 2;
+  double think_max_ms = 30.0;
+
+  // Phases, in simulated time: clients issue until load_until_us; every
+  // fault is scheduled before quiesce_us (the runner force-heals at
+  // quiesce_us regardless); progress probes are submitted at quiesce_us and
+  // must complete by end_us.
+  Tick load_until_us = 3'000'000;
+  Tick quiesce_us = 5'000'000;
+  Tick end_us = 30'000'000;
+
+  std::vector<FaultEvent> faults;
+
+  // One-line human summary ("mencius n=3 seed=7 faults=6 ...").
+  [[nodiscard]] std::string summary() const;
+
+  // Text round-trip. decode() throws std::runtime_error on malformed input.
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static ScenarioSpec decode(const std::string& text);
+};
+
+}  // namespace crsm::dst

@@ -1,0 +1,35 @@
+#include "dst/shrink.h"
+
+#include <utility>
+
+namespace crsm::dst {
+
+ShrinkResult shrink_scenario(const ScenarioSpec& failing, std::size_t max_attempts) {
+  ShrinkResult res;
+  res.spec = failing;
+  res.run = run_scenario(failing);
+  ++res.attempts;
+  if (res.run.ok) return res;  // nothing to shrink; caller decides what to do
+  const std::string category = failure_category(res.run.failure);
+
+  bool improved = true;
+  while (improved && res.attempts < max_attempts) {
+    improved = false;
+    for (std::size_t i = 0; i < res.spec.faults.size(); ++i) {
+      if (res.attempts >= max_attempts) break;
+      ScenarioSpec candidate = res.spec;
+      candidate.faults.erase(candidate.faults.begin() + static_cast<long>(i));
+      RunResult r = run_scenario(candidate);
+      ++res.attempts;
+      if (!r.ok && failure_category(r.failure) == category) {
+        res.spec = std::move(candidate);
+        res.run = std::move(r);
+        improved = true;
+        --i;  // the same index now names the next event
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace crsm::dst

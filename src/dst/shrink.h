@@ -1,0 +1,31 @@
+// Deterministic simulation testing (DST): greedy schedule shrinking.
+//
+// Given a failing scenario, repeatedly tries to delete one fault event at a
+// time, keeping a deletion whenever the run still fails with the *same
+// invariant category* (failure_category in runner.h) — matching the
+// category, not the exact message, keeps minimization from drifting onto an
+// unrelated failure while still tolerating cosmetic differences (indices,
+// timestamps). The result is a locally minimal schedule: removing any single
+// remaining event makes the failure disappear. Runs are deterministic, so
+// the minimized spec is a permanent, replayable reproduction.
+#pragma once
+
+#include <cstddef>
+
+#include "dst/runner.h"
+#include "dst/scenario.h"
+
+namespace crsm::dst {
+
+struct ShrinkResult {
+  ScenarioSpec spec;     // minimized scenario (still failing)
+  RunResult run;         // its run (run.failure describes the violation)
+  std::size_t attempts = 0;  // scenario executions spent shrinking
+};
+
+// `failing` must fail when run (the caller typically just ran it); the
+// shrink budget bounds the number of candidate executions.
+[[nodiscard]] ShrinkResult shrink_scenario(const ScenarioSpec& failing,
+                                           std::size_t max_attempts = 400);
+
+}  // namespace crsm::dst

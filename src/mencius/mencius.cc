@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "storage/recovery.h"
+
 namespace crsm {
 
 MenciusReplica::MenciusReplica(ProtocolEnv& env, std::vector<ReplicaId> replicas)
@@ -32,10 +34,47 @@ void MenciusReplica::broadcast(const Message& m) {
   env_.multicast(replicas_, m);
 }
 
+void MenciusReplica::start() {
+  const auto& records = env_.log().records();
+  if (records.empty()) return;
+  // Crash recovery: committed slots replay in slot order; unresolved
+  // PREPAREs are restaged (a proposed slot must never be executed as a
+  // skip); the replica continues as a learner (see the class comment for
+  // why neither proposing nor skip-executing is sound after a restart).
+  learner_mode_ = true;
+  ReplayResult rr = replay_log(records);
+  for (const LogRecord& r : rr.committed) {
+    ++stats_.executed;
+    env_.deliver(r.cmd, r.ts, /*local_origin=*/false);
+  }
+  if (!rr.committed.empty()) next_exec_ = rr.committed.back().ts.ticks + 1;
+  for (const LogRecord& r : rr.unresolved) {
+    if (r.ts.ticks < next_exec_) continue;
+    SlotState& st = slots_[r.ts.ticks];
+    st.cmd = r.cmd;
+    st.has_cmd = true;
+  }
+  Slot floor = next_exec_;
+  for (const LogRecord& r : records) floor = std::max(floor, r.ts.ticks + 1);
+  next_own_ = std::max(next_own_, next_own_slot_from(floor));
+}
+
 void MenciusReplica::submit(Command cmd) {
+  if (learner_mode_) {
+    // See the class comment: a restarted replica must not propose. The
+    // client sees no reply and retries elsewhere (at-least-once).
+    (void)cmd;
+    ++stats_.rejected;
+    return;
+  }
   const Slot s = next_own_;
   next_own_ = s + replicas_.size();
   ++stats_.proposed;
+  // Write-ahead: the proposal reaches stable storage before any replica can
+  // see it, so a crash between broadcast and restart can never lead to the
+  // same slot being proposed again with a different command.
+  env_.log().append(LogRecord::prepare(Timestamp{s, env_.self()}, cmd));
+  env_.log().sync();
   Message m;
   m.type = MsgType::kMenPropose;
   m.slot = s;
@@ -64,8 +103,12 @@ void MenciusReplica::handle_propose(const Message& m) {
     SlotState& st = slots_[m.slot];
     st.cmd = m.cmd;
     st.has_cmd = true;
-    env_.log().append(LogRecord::prepare(Timestamp{m.slot, m.from}, m.cmd));
-    env_.log().sync();
+    // Our own loopback already hit stable storage in submit() (write-ahead);
+    // re-appending would double the WAL and pay a second fsync per proposal.
+    if (m.from != env_.self()) {
+      env_.log().append(LogRecord::prepare(Timestamp{m.slot, m.from}, m.cmd));
+      env_.log().sync();
+    }
   }
 
   // Owners propose their slots in increasing order and announce skips before
@@ -112,6 +155,7 @@ void MenciusReplica::try_execute() {
       const ReplicaId own = owner(next_exec_);
       const Timestamp ts{next_exec_, own};
       env_.log().append(LogRecord::commit(ts));
+      env_.log().sync();  // durability point for the client reply
       ++next_exec_;
       ++stats_.executed;
       env_.deliver(done.cmd, ts, own == env_.self());
@@ -121,8 +165,11 @@ void MenciusReplica::try_execute() {
     // not to use it. Acknowledgements prove a slot *was* proposed, so a
     // slot with recorded acks (entry present) always waits for its payload:
     // senders announce skips before proposing past them, and channels are
-    // FIFO, so a skip bound never overtakes the proposal it covers.
-    if (it == slots_.end() &&
+    // FIFO, so a skip bound never overtakes the proposal it covers. That
+    // inference needs channel continuity, which a restarted replica lost —
+    // in learner mode a missing slot is indistinguishable from a missed
+    // proposal, so it is never skipped (the learner stalls at its gap).
+    if (it == slots_.end() && !learner_mode_ &&
         skip_bound_[next_exec_ % replicas_.size()] > next_exec_) {
       ++next_exec_;
       continue;

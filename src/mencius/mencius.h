@@ -31,6 +31,21 @@ class MenciusReplica final : public ReplicaProtocol {
  public:
   MenciusReplica(ProtocolEnv& env, std::vector<ReplicaId> replicas);
 
+  // Crash-restart recovery: re-delivers the committed prefix from the log,
+  // then rejoins as a *learner*. Without Mencius' revocation mechanism a
+  // restarted replica can neither propose nor skip-execute safely:
+  //  * proposing may reuse an own slot a pre-crash skip promise already
+  //    burned at some peers (the promise is soft state, not in the WAL), so
+  //    peers would split between skip and fill;
+  //  * skip-executing trusts "skip bound B + FIFO => every used slot < B
+  //    was already delivered to me", which a channel discontinuity voids —
+  //    the bound jumps over proposals that were delivered only to others.
+  // (Both divergences were found by the DST swarm; minimized scenarios are
+  // regression tests in tests/dst_test.cc.) A learner still acks — its skip
+  // promises let the survivors resume — and still executes contiguously
+  // filled slots, but it stalls at the first slot it cannot prove, and
+  // rejects new client commands (stats().rejected counts them).
+  void start() override;
   void submit(Command cmd) override;
   void on_message(const Message& m) override;
   [[nodiscard]] std::string name() const override { return "Mencius-bcast"; }
@@ -44,8 +59,10 @@ class MenciusReplica final : public ReplicaProtocol {
     std::uint64_t proposed = 0;
     std::uint64_t executed = 0;
     std::uint64_t skipped = 0;
+    std::uint64_t rejected = 0;  // submits refused in learner (post-crash) mode
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool learner_mode() const { return learner_mode_; }
 
  private:
   struct SlotState {
@@ -72,6 +89,7 @@ class MenciusReplica final : public ReplicaProtocol {
   std::vector<Slot> skip_bound_;
   Slot next_own_ = 0;   // smallest own slot not yet used or skipped
   Slot next_exec_ = 0;  // next slot to execute
+  bool learner_mode_ = false;  // set by crash recovery; see class comment
   Stats stats_;
 };
 

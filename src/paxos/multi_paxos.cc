@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "storage/recovery.h"
+
 namespace crsm {
 
 PaxosReplica::PaxosReplica(ProtocolEnv& env, std::vector<ReplicaId> replicas,
@@ -18,6 +20,32 @@ PaxosReplica::PaxosReplica(ProtocolEnv& env, std::vector<ReplicaId> replicas,
 void PaxosReplica::broadcast(const Message& m) {
   // Encode-once fan-out via the environment's transport.
   env_.multicast(replicas_, m);
+}
+
+void PaxosReplica::start() {
+  const auto& records = env_.log().records();
+  if (records.empty()) return;
+  // Crash recovery: committed slots replay in slot order; unresolved
+  // PREPAREs are restaged so a later commit notification can still execute
+  // them. next_slot_ advances past every slot this replica has ever logged —
+  // with the write-ahead append in leader_propose that covers every slot a
+  // restarted leader could have proposed, so slots are never reused.
+  ReplayResult rr = replay_log(records);
+  for (const LogRecord& r : rr.committed) {
+    ++stats_.executed;
+    env_.deliver(r.cmd, r.ts, /*local_origin=*/false);
+  }
+  if (!rr.committed.empty()) next_exec_ = rr.committed.back().ts.ticks + 1;
+  for (const LogRecord& r : rr.unresolved) {
+    if (r.ts.ticks < next_exec_) continue;
+    SlotState& st = slots_[r.ts.ticks];
+    st.cmd = r.cmd;
+    st.origin = r.ts.origin;
+    st.has_cmd = true;
+  }
+  for (const LogRecord& r : records) {
+    next_slot_ = std::max(next_slot_, r.ts.ticks + 1);
+  }
 }
 
 void PaxosReplica::submit(Command cmd) {
@@ -38,6 +66,11 @@ void PaxosReplica::submit(Command cmd) {
 void PaxosReplica::leader_propose(Command cmd, ReplicaId origin) {
   const Slot slot = next_slot_++;
   ++stats_.proposed;
+  // Write-ahead: the slot assignment reaches stable storage before any
+  // replica can learn of it, so a leader that crashes mid-broadcast can
+  // never reuse the slot for a different command after restart.
+  env_.log().append(LogRecord::prepare(Timestamp{slot, origin}, cmd));
+  env_.log().sync();
   Message m;
   m.type = MsgType::kPhase2a;
   m.slot = slot;
@@ -70,9 +103,14 @@ void PaxosReplica::handle_phase2a(const Message& m) {
   st.cmd = m.cmd;
   st.origin = static_cast<ReplicaId>(m.a);
   st.has_cmd = true;
-  env_.log().append(
-      LogRecord::prepare(Timestamp{m.slot, st.origin}, st.cmd));
-  env_.log().sync();
+  // The leader's own loopback already hit stable storage in leader_propose
+  // (write-ahead); re-appending would double the WAL and pay a second
+  // fsync per locally-assigned slot.
+  if (m.from != env_.self()) {
+    env_.log().append(
+        LogRecord::prepare(Timestamp{m.slot, st.origin}, st.cmd));
+    env_.log().sync();
+  }
 
   Message ack;
   ack.type = MsgType::kPhase2b;
@@ -123,6 +161,7 @@ void PaxosReplica::try_execute() {
     slots_.erase(it);
     const Timestamp ts{next_exec_, st.origin};
     env_.log().append(LogRecord::commit(ts));
+    env_.log().sync();  // durability point for the client reply
     ++next_exec_;
     ++stats_.executed;
     env_.deliver(st.cmd, ts, st.origin == env_.self());

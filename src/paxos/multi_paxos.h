@@ -37,6 +37,13 @@ class PaxosReplica final : public ReplicaProtocol {
   PaxosReplica(ProtocolEnv& env, std::vector<ReplicaId> replicas,
                ReplicaId leader, PaxosMode mode);
 
+  // Crash-restart recovery: re-delivers the committed prefix from the log,
+  // restages unresolved PREPAREs and (leader) never reuses an assigned
+  // slot. A restarted replica that missed commits while down resumes as a
+  // stale-but-safe learner: it executes nothing past the first gap (there
+  // is no retransmission), but never diverges. Leader failover remains out
+  // of scope (see above).
+  void start() override;
   void submit(Command cmd) override;
   void on_message(const Message& m) override;
   [[nodiscard]] std::string name() const override {

@@ -1,0 +1,78 @@
+#include "rsm/history.h"
+
+namespace crsm {
+
+namespace {
+
+std::string op_name(ClientId client, std::uint64_t seq) {
+  return "op(client=" + std::to_string(client) + ", seq=" + std::to_string(seq) +
+         ")";
+}
+
+}  // namespace
+
+void HistoryChecker::on_invoke(ClientId client, std::uint64_t seq, Tick now_us) {
+  Op& op = ops_[{client, seq}];
+  op.invoke_us = now_us;
+}
+
+void HistoryChecker::on_response(ClientId client, std::uint64_t seq, Tick now_us) {
+  auto it = ops_.find({client, seq});
+  if (it == ops_.end()) return;  // response for an op we never saw invoked
+  it->second.responded = true;
+  it->second.response_us = now_us;
+}
+
+void HistoryChecker::on_commit(ClientId client, std::uint64_t seq) {
+  auto it = ops_.find({client, seq});
+  if (it == ops_.end()) return;  // untracked command (probe, background)
+  Op& op = it->second;
+  if (!op.committed) {
+    op.committed = true;
+    op.order_index = next_order_index_;
+  }
+  ++op.commit_count;
+  ++next_order_index_;
+}
+
+std::size_t HistoryChecker::completed_ops() const {
+  std::size_t n = 0;
+  for (const auto& [key, op] : ops_) n += op.responded ? 1 : 0;
+  return n;
+}
+
+HistoryChecker::Report HistoryChecker::check(bool allow_duplicates) const {
+  Report rep;
+  std::vector<OpRecord> completed;
+  for (const auto& [key, op] : ops_) {
+    ++rep.invoked;
+    if (op.committed) ++rep.committed;
+    if (op.commit_count > 1 && !allow_duplicates) {
+      rep.ok = false;
+      rep.violation = op_name(key.first, key.second) + " committed " +
+                      std::to_string(op.commit_count) + " times";
+      return rep;
+    }
+    if (!op.responded) continue;
+    ++rep.completed;
+    if (!op.committed) {
+      // The client got a reply but the op is gone from the total order: a
+      // durability violation (e.g. an acked command lost to a crash).
+      rep.ok = false;
+      rep.violation = op_name(key.first, key.second) +
+                      " was acknowledged to its client but is missing from "
+                      "the committed order";
+      return rep;
+    }
+    completed.push_back(OpRecord{key.first, key.second, op.invoke_us,
+                                 op.response_us, op.order_index});
+  }
+  const LinearizabilityResult lin = check_real_time_order(std::move(completed));
+  if (!lin.ok) {
+    rep.ok = false;
+    rep.violation = "linearizability: " + lin.violation;
+  }
+  return rep;
+}
+
+}  // namespace crsm

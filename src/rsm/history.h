@@ -1,0 +1,70 @@
+// Client-visible history accounting for fault-injection harnesses.
+//
+// Wraps the real-time-order linearizability checker (linearizability.h) with
+// the two properties it cannot see on its own:
+//
+//  * durability — an operation whose client got the reply must appear in the
+//    agreed total order afterwards, no matter which replicas crashed (the
+//    paper's majority-logged commit rule is exactly what makes this hold);
+//  * uniqueness — an operation commits at most once, unless the caller
+//    explicitly allows at-least-once duplicates (transport-level duplicate
+//    injection can legitimately double-propose a forwarded command).
+//
+// Used by the DST scenario runner (src/dst) and reusable by any harness that
+// observes invokes, responses and one replica's commit order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "rsm/linearizability.h"
+
+namespace crsm {
+
+class HistoryChecker {
+ public:
+  // A client issued (client, seq) at local time `now_us`.
+  void on_invoke(ClientId client, std::uint64_t seq, Tick now_us);
+  // The client received the reply (the op committed at its home replica).
+  void on_response(ClientId client, std::uint64_t seq, Tick now_us);
+  // Feed the agreed total order, one committed command at a time, in order
+  // (use the longest live replica's execution trace). Commands that are not
+  // tracked client ops (probes, background traffic) are ignored.
+  void on_commit(ClientId client, std::uint64_t seq);
+
+  struct Report {
+    bool ok = true;
+    std::string violation;  // first failure, human-readable
+    std::size_t invoked = 0;
+    std::size_t completed = 0;  // responses received
+    std::size_t committed = 0;  // tracked ops present in the total order
+
+    explicit operator bool() const { return ok; }
+  };
+
+  // Verifies durability (every completed op is in the commit order),
+  // commit uniqueness (unless `allow_duplicates`; the first occurrence then
+  // defines the op's order index) and linearizability of the completed
+  // history via check_real_time_order.
+  [[nodiscard]] Report check(bool allow_duplicates = false) const;
+
+  [[nodiscard]] std::size_t completed_ops() const;
+
+ private:
+  struct Op {
+    Tick invoke_us = 0;
+    Tick response_us = 0;
+    bool responded = false;
+    bool committed = false;
+    std::uint64_t order_index = 0;  // first commit position
+    std::size_t commit_count = 0;
+  };
+
+  std::map<std::pair<ClientId, std::uint64_t>, Op> ops_;
+  std::uint64_t next_order_index_ = 0;
+};
+
+}  // namespace crsm

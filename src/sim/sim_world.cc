@@ -23,6 +23,7 @@ struct SimWorld::ReplicaCtx final : public ProtocolEnv {
   std::optional<Checkpoint> checkpoint;  // durable across crash/restart
   Timestamp floor = kZeroTimestamp;      // installed checkpoint's coverage
   std::string log_path;                  // non-empty when file-backed
+  CrashLossyLog* lossy_log = nullptr;    // set when opt.lossy_crash
 
   // --- ProtocolEnv ---
   [[nodiscard]] ReplicaId self() const override { return id; }
@@ -85,7 +86,12 @@ SimWorld::SimWorld(SimWorldOptions opt, ProtocolFactory protocol_factory,
             ? 1.0 + clock_rng.uniform(-opt_.clock_drift, opt_.clock_drift)
             : 1.0;
     ctx->clk = std::make_unique<SimClock>([this] { return sim_.now(); }, skew_us, rate);
-    if (opt_.log_dir.empty()) {
+    if (opt_.log_dir.empty() && opt_.lossy_crash) {
+      auto lossy = std::make_unique<CrashLossyLog>();
+      lossy->set_sync_is_noop(opt_.sync_is_noop);
+      ctx->lossy_log = lossy.get();
+      ctx->log_store = std::move(lossy);
+    } else if (opt_.log_dir.empty()) {
       ctx->log_store = std::make_unique<MemLog>();
     } else {
       ctx->log_path = opt_.log_dir + "/replica-" + std::to_string(i) + ".log";
@@ -130,6 +136,8 @@ void SimWorld::crash(ReplicaId i) {
   ReplicaCtx* ctx = replicas_.at(i).get();
   ctx->alive = false;
   ++ctx->generation;
+  // Power loss: the un-fsynced log tail does not survive the crash.
+  if (ctx->lossy_log) ctx->lossy_log->drop_unsynced();
   network_->crash(i);
 }
 

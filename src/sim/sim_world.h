@@ -37,6 +37,15 @@ struct SimWorldOptions {
   // <log_dir>/replica-<i>.log instead of in-memory logs; restart() then
   // exercises the real on-disk recovery path.
   std::string log_dir;
+  // Power-loss crash semantics (DST): in-memory logs become CrashLossyLogs
+  // and crash(i) discards the replica's un-synced log tail, so protocols
+  // must sync at their durability points to survive. Ignored when log_dir is
+  // set (FileLog already persists exactly what reached the OS).
+  bool lossy_crash = false;
+  // Deliberate bug injection for DST harness validation: log sync() becomes
+  // a no-op, so every crash loses the full tail even though the protocol
+  // called sync at the right points. Only meaningful with lossy_crash.
+  bool sync_is_noop = false;
 };
 
 // Owns the simulator, network, clocks, logs, state machines and protocol

@@ -84,6 +84,24 @@ void erase_prefix(std::vector<LogRecord>* records, Timestamp upto) {
 
 void MemLog::truncate_prefix(Timestamp upto) { erase_prefix(&records_, upto); }
 
+void CrashLossyLog::remove_uncommitted_above(
+    Timestamp bound, const std::function<bool(const Timestamp&)>& keep) {
+  filter_uncommitted_above(&records_, bound, keep);
+  // A structural rewrite persists the full surviving content, exactly like
+  // FileLog's crash-atomic rewrite_all (+fsync). Merely clamping the
+  // watermark instead would slide appended-but-unsynced tail records under
+  // it whenever the rewrite removed records from the durable prefix,
+  // silently weakening the power-loss model.
+  durable_ = records_.size();
+}
+
+void CrashLossyLog::truncate_prefix(Timestamp upto) {
+  erase_prefix(&records_, upto);
+  durable_ = records_.size();  // structural rewrite: see above
+}
+
+void CrashLossyLog::drop_unsynced() { records_.resize(durable_); }
+
 FileLog::FileLog(std::string path) : path_(std::move(path)) {
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) throw_errno("FileLog open " + path_);

@@ -57,6 +57,38 @@ class MemLog final : public CommandLog {
   std::vector<LogRecord> records_;
 };
 
+// In-memory log with power-loss crash semantics, for deterministic
+// simulation testing (src/dst). Records appended after the last sync() live
+// in the "volatile tail"; a simulated power loss (drop_unsynced, called by
+// SimWorld::crash in lossy mode) discards that tail, exactly like a real
+// disk losing an un-fsynced page cache. Protocols that sync at their
+// durability points (before acking a PREPARE, after a commit mark) survive
+// this; a protocol that acks before syncing is caught by the DST durability
+// invariant. `set_sync_is_noop(true)` is the deliberate-bug injection used
+// to prove the harness catches exactly that class of violation.
+class CrashLossyLog final : public CommandLog {
+ public:
+  void append(const LogRecord& r) override { records_.push_back(r); }
+  void sync() override {
+    if (!sync_is_noop_) durable_ = records_.size();
+  }
+  [[nodiscard]] const std::vector<LogRecord>& records() const override { return records_; }
+  void remove_uncommitted_above(Timestamp bound,
+                                const std::function<bool(const Timestamp&)>& keep) override;
+  void truncate_prefix(Timestamp upto) override;
+
+  // Simulated power loss: discards every record appended since the last
+  // effective sync().
+  void drop_unsynced();
+  [[nodiscard]] std::size_t unsynced() const { return records_.size() - durable_; }
+  void set_sync_is_noop(bool v) { sync_is_noop_ = v; }
+
+ private:
+  std::vector<LogRecord> records_;
+  std::size_t durable_ = 0;
+  bool sync_is_noop_ = false;
+};
+
 // File-backed log with a write-through in-memory mirror. Records are framed
 // with a length prefix; a truncated tail (torn write at crash) is tolerated
 // and discarded at open.

@@ -40,17 +40,40 @@ void SimTransport::send(ReplicaId from, ReplicaId to, const WireFrame& f) {
     ++stats_.messages_dropped;
     return;
   }
+  if (link.outage) {
+    // The link is down but the stack retransmits: queue for the heal.
+    link.backlog.push_back(f.shared_msg());
+    return;
+  }
+  // Probabilistic faults never touch self-delivery: a replica's loopback
+  // models its local event queue, not a network link.
+  if (from != to && drop_prob_ > 0.0 && rng_.bernoulli(drop_prob_)) {
+    ++stats_.messages_dropped;
+    ++stats_.messages_fault_dropped;
+    return;
+  }
 
+  const bool duplicate =
+      from != to && dup_prob_ > 0.0 && rng_.bernoulli(dup_prob_);
+  if (duplicate) ++stats_.messages_duplicated;
+  deliver(link, from, to, f.shared_msg());
+  if (duplicate) deliver(link, from, to, f.shared_msg());
+}
+
+void SimTransport::deliver(LinkState& link, ReplicaId from, ReplicaId to,
+                           std::shared_ptr<const Message> m) {
   Tick arrival = sim_.now() + matrix_.oneway_us(from, to);
+  if (from != to) arrival += extra_delay_us_;
   if (opt_.jitter_ms > 0.0 && from != to) {
     arrival += ms_to_us(rng_.uniform(0.0, opt_.jitter_ms));
   }
-  // FIFO per link: never deliver before an earlier message on the same link.
+  // FIFO per link: never deliver before an earlier message on the same
+  // link; a duplicate arrives immediately after its original.
   if (arrival <= link.last_arrival) arrival = link.last_arrival + 1;
   link.last_arrival = arrival;
 
   // All destinations of a multicast share one immutable Message.
-  sim_.at(arrival, [this, to, m = f.shared_msg()]() {
+  sim_.at(arrival, [this, to, m = std::move(m)]() {
     if (crashed_[to] || !handlers_[to]) {
       ++stats_.messages_dropped;
       return;
@@ -63,6 +86,12 @@ void SimTransport::send(ReplicaId from, ReplicaId to, const WireFrame& f) {
 void SimTransport::crash(ReplicaId id) {
   if (id >= crashed_.size()) throw std::out_of_range("crash");
   crashed_[id] = true;
+  // The process died: its own retransmission backlogs die with it. Peers'
+  // backlogs *to* the crashed replica survive (their stacks keep retrying),
+  // though delivery still checks liveness at arrival time.
+  for (std::size_t to = 0; to < crashed_.size(); ++to) {
+    links_[link_index(id, static_cast<ReplicaId>(to))].backlog.clear();
+  }
 }
 
 void SimTransport::recover(ReplicaId id) {
@@ -76,8 +105,57 @@ bool SimTransport::crashed(ReplicaId id) const {
 }
 
 void SimTransport::set_partitioned(ReplicaId a, ReplicaId b, bool blocked) {
-  links_[link_index(a, b)].blocked = blocked;
-  links_[link_index(b, a)].blocked = blocked;
+  set_link_blocked(a, b, blocked);
+  set_link_blocked(b, a, blocked);
+}
+
+void SimTransport::set_link_blocked(ReplicaId from, ReplicaId to, bool blocked) {
+  if (from >= handlers_.size() || to >= handlers_.size()) {
+    throw std::out_of_range("set_link_blocked");
+  }
+  links_[link_index(from, to)].blocked = blocked;
+}
+
+bool SimTransport::link_blocked(ReplicaId from, ReplicaId to) const {
+  if (from >= handlers_.size() || to >= handlers_.size()) {
+    throw std::out_of_range("link_blocked");
+  }
+  return links_[link_index(from, to)].blocked;
+}
+
+void SimTransport::set_link_outage(ReplicaId from, ReplicaId to, bool outage) {
+  if (from >= handlers_.size() || to >= handlers_.size()) {
+    throw std::out_of_range("set_link_outage");
+  }
+  LinkState& link = links_[link_index(from, to)];
+  if (link.outage == outage) return;
+  link.outage = outage;
+  if (!outage) {
+    // Heal: flush the retransmission backlog, in order, ahead of anything
+    // sent from now on (deliver()'s FIFO clamp chains the arrivals).
+    std::vector<std::shared_ptr<const Message>> backlog;
+    backlog.swap(link.backlog);
+    for (auto& m : backlog) deliver(link, from, to, std::move(m));
+  }
+}
+
+void SimTransport::set_outage(ReplicaId a, ReplicaId b, bool outage) {
+  set_link_outage(a, b, outage);
+  set_link_outage(b, a, outage);
+}
+
+void SimTransport::clear_faults() {
+  drop_prob_ = 0.0;
+  dup_prob_ = 0.0;
+  extra_delay_us_ = 0;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i].blocked = false;
+    if (links_[i].outage) {
+      const ReplicaId from = static_cast<ReplicaId>(i / matrix_.size());
+      const ReplicaId to = static_cast<ReplicaId>(i % matrix_.size());
+      set_link_outage(from, to, false);
+    }
+  }
 }
 
 }  // namespace crsm

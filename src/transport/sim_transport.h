@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/message.h"
@@ -17,6 +18,12 @@ namespace crsm {
 // Reliable, per-link FIFO transport over a LatencyMatrix, with optional
 // symmetric jitter, crash and partition injection, and traffic accounting
 // (used to verify the paper's message-complexity claims).
+//
+// For deterministic simulation testing (src/dst) the transport additionally
+// supports one-way partitions, probabilistic message drop and duplication,
+// and a global delay surcharge ("delay spike"). All fault knobs preserve
+// per-link FIFO order and consume randomness only while enabled, so runs
+// with the knobs off are byte-identical to runs of older builds.
 //
 // Delivery hands the frame's shared decoded Message to the destination
 // handler — one fan-out shares a single Message and (when byte counting is
@@ -55,6 +62,39 @@ class SimTransport final : public Transport {
   // Blocks/unblocks both directions between a and b.
   void set_partitioned(ReplicaId a, ReplicaId b, bool blocked);
 
+  // One-way partition: blocks/unblocks only the from -> to direction.
+  // Messages sent while blocked are dropped (not delayed), like a real
+  // asymmetric routing failure.
+  void set_link_blocked(ReplicaId from, ReplicaId to, bool blocked);
+  [[nodiscard]] bool link_blocked(ReplicaId from, ReplicaId to) const;
+
+  // Link outage: while set, messages on the from -> to link are *queued*;
+  // ending the outage flushes the backlog in FIFO order. This models what
+  // the real stack (TcpTransport's reconnect backlogs, PR 3) gives a
+  // transient partition: delay and burstiness, but no loss. Protocols whose
+  // safety argument assumes reliable FIFO channels (Clock-RSM's stability
+  // rule in particular) are partition-tolerant under outages but NOT under
+  // blocked links — the DST runner injects partitions as outages for
+  // exactly that reason, and dst/README in docs/TESTING.md shows the
+  // commit-around-the-hole divergence that blocked links cause.
+  void set_link_outage(ReplicaId from, ReplicaId to, bool outage);
+  // Both directions between a and b.
+  void set_outage(ReplicaId a, ReplicaId b, bool outage);
+
+  // Probabilistic faults on non-self links. Drop loses the message entirely;
+  // duplicate delivers a second copy immediately after the first (FIFO order
+  // per link is preserved either way).
+  void set_drop_prob(double p) { drop_prob_ = p; }
+  void set_dup_prob(double p) { dup_prob_ = p; }
+
+  // Adds `extra_us` to the one-way delay of every non-self message sent from
+  // now on (a congestion spike). In-flight messages keep their arrival time.
+  void set_extra_delay_us(Tick extra_us) { extra_delay_us_ = extra_us; }
+
+  // Heals every injected fault: link blocks (one- and two-way), drop/dup
+  // probabilities and the delay surcharge. Crashed endpoints stay crashed.
+  void clear_faults();
+
   [[nodiscard]] TransportStats stats() const override { return stats_; }
   [[nodiscard]] std::uint64_t messages_sent() const { return stats_.messages_sent; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return stats_.messages_delivered; }
@@ -68,9 +108,15 @@ class SimTransport final : public Transport {
   struct LinkState {
     Tick last_arrival = 0;
     bool blocked = false;
+    bool outage = false;
+    // Messages queued while the link is in outage, flushed FIFO on heal.
+    std::vector<std::shared_ptr<const Message>> backlog;
   };
 
   [[nodiscard]] std::size_t link_index(ReplicaId from, ReplicaId to) const;
+  // Schedules one message on a live link, preserving per-link FIFO order.
+  void deliver(LinkState& link, ReplicaId from, ReplicaId to,
+               std::shared_ptr<const Message> m);
 
   Simulator& sim_;
   LatencyMatrix matrix_;
@@ -79,6 +125,9 @@ class SimTransport final : public Transport {
   std::vector<Handler> handlers_;
   std::vector<bool> crashed_;
   std::vector<LinkState> links_;
+  double drop_prob_ = 0.0;
+  double dup_prob_ = 0.0;
+  Tick extra_delay_us_ = 0;
   TransportStats stats_;
 };
 

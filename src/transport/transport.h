@@ -36,6 +36,11 @@ struct TransportStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t encode_calls = 0;
   std::uint64_t backpressure_blocks = 0;
+  // Fault-injection accounting (SimTransport DST knobs): messages dropped by
+  // the probabilistic drop knob and extra copies delivered by the duplicate
+  // knob. Both are also reflected in messages_dropped / messages_delivered.
+  std::uint64_t messages_fault_dropped = 0;
+  std::uint64_t messages_duplicated = 0;
 };
 
 // What a bounded send queue does when an outbound link is over its byte

@@ -251,12 +251,24 @@ TEST(ClockRsmUnit, SuspendOkCarriesOnlyEntriesAboveCts) {
   EXPECT_EQ(oks[0].msg.records[0].ts, (Timestamp{6500, 2}));
 }
 
-TEST(ClockRsmUnit, RetrieveCmdsReturnsRequestedRange) {
+TEST(ClockRsmUnit, RetrieveCmdsReturnsCommittedRequestedRangeOnly) {
+  // The fetcher executes everything a RETRIEVEREPLY carries as committed,
+  // so the server must hand out only committed (marked) prepares — an
+  // uncommitted in-range prepare may be an orphan no replica ever executes
+  // — and must report its commit bound so the fetcher can tell a complete
+  // range from a partial one.
   Fixture f;
   f.env.set_clock(5000);
   f.replica.on_message(prepare(1, Timestamp{1000, 1}, 1));
   f.replica.on_message(prepare(1, Timestamp{2000, 1}, 2));
-  f.replica.on_message(prepare(2, Timestamp{3000, 2}, 3));
+  for (ReplicaId r = 0; r < 3; ++r) {
+    f.replica.on_message(prepare_ok(r, Timestamp{1000, 1}, 4000 + r));
+  }
+  for (ReplicaId r = 0; r < 3; ++r) {
+    f.replica.on_message(prepare_ok(r, Timestamp{2000, 1}, 4100 + r));
+  }
+  ASSERT_EQ(f.env.delivered.size(), 2u);  // both committed here
+  f.replica.on_message(prepare(2, Timestamp{2200, 2}, 3));  // uncommitted
   f.env.clear_sent();
 
   Message r;
@@ -271,6 +283,8 @@ TEST(ClockRsmUnit, RetrieveCmdsReturnsRequestedRange) {
   ASSERT_EQ(replies.size(), 1u);
   ASSERT_EQ(replies[0].msg.records.size(), 1u);
   EXPECT_EQ(replies[0].msg.records[0].ts, (Timestamp{2000, 1}));
+  // The reply advertises the server's commit bound.
+  EXPECT_EQ(replies[0].msg.ts, (Timestamp{2000, 1}));
   EXPECT_EQ(replies[0].to, 2u);
 }
 

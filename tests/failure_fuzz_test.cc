@@ -4,8 +4,11 @@
 // diverge, and the system keeps committing whenever a majority is up.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <memory>
+#include <string>
+#include <tuple>
 
 #include "clockrsm/clock_rsm.h"
 #include "test_util.h"
@@ -109,6 +112,123 @@ TEST_P(FailureFuzzTest, CrashRestartCyclesNeverDiverge) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FailureFuzzTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// --- crash/restart fuzz for the baseline protocols -------------------------
+//
+// Paxos and Mencius have no reconfiguration: a restarted replica recovers
+// from its log and continues as a (possibly stale) learner — Paxos replays
+// and restages, Mencius additionally stops proposing (see mencius.h). The
+// invariants are accordingly weaker than Clock-RSM's digest equality:
+//  * prefix agreement — every replica's execution is a prefix of the
+//    longest one (same slots, same commands, same order);
+//  * progress — replicas that never crashed keep committing fresh commands
+//    after the last restart.
+// The Paxos leader (replica 0) is never crashed: without leader election
+// its loss is permanent by design.
+
+class BaselineCrashFuzz
+    : public ::testing::TestWithParam<std::tuple<const char*, std::uint64_t>> {
+ protected:
+  SimWorld::ProtocolFactory factory(std::size_t n) const {
+    const std::string p = std::get<0>(GetParam());
+    if (p == "paxos") return paxos_factory(n, 0, false);
+    if (p == "paxos-bcast") return paxos_factory(n, 0, true);
+    return mencius_factory(n);
+  }
+};
+
+TEST_P(BaselineCrashFuzz, CrashRestartCyclesNeverDiverge) {
+  const std::uint64_t seed = std::get<1>(GetParam());
+  constexpr std::size_t kReplicas = 5;
+  SimWorldOptions o = world_opts(LatencyMatrix::uniform(kReplicas, 10.0), seed);
+  o.lossy_crash = true;  // power-loss semantics: un-synced log tails vanish
+  SimWorld w(o, factory(kReplicas), kv_factory());
+  w.start();
+
+  Rng rng(seed * 6151 + 3);
+  std::uint64_t next_seq = 1;
+  Tick now_ms = 100;
+  std::vector<bool> ever_crashed(kReplicas, false);
+
+  ReplicaId down = kNoReplica;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      ReplicaId origin;
+      do {
+        // Submit only at never-crashed replicas: a restarted Mencius
+        // learner rejects commands, and a stale Paxos follower may never
+        // answer its client.
+        origin = static_cast<ReplicaId>(rng.uniform_int(0, kReplicas - 1));
+      } while (origin == down || ever_crashed[origin]);
+      const std::uint64_t seq = next_seq++;
+      w.sim().after(ms_to_us(static_cast<double>(now_ms + i * 20)),
+                    [&w, origin, seq] {
+                      w.submit(origin, kv_put(1, seq, "k" + std::to_string(seq % 5),
+                                              std::to_string(seq)));
+                    });
+    }
+    now_ms += 300;
+    w.sim().run_until(ms_to_us(static_cast<double>(now_ms)));
+
+    if (down == kNoReplica) {
+      down = static_cast<ReplicaId>(rng.uniform_int(1, kReplicas - 1));
+      w.crash(down);
+      ever_crashed[down] = true;
+      now_ms += 500;
+      w.sim().run_until(ms_to_us(static_cast<double>(now_ms)));
+    } else {
+      w.restart(down);
+      down = kNoReplica;
+      now_ms += 1'000;
+      w.sim().run_until(ms_to_us(static_cast<double>(now_ms)));
+    }
+  }
+  if (down != kNoReplica) w.restart(down);
+  w.sim().run_until(ms_to_us(static_cast<double>(now_ms + 5'000)));
+
+  // Liveness first (it also flushes commits everywhere live): fresh probes
+  // from a never-crashed replica must commit at every never-crashed replica.
+  const std::uint64_t probe = next_seq++;
+  w.submit(0, kv_put(2, probe, "probe", "alive"));
+  w.sim().run_until(ms_to_us(static_cast<double>(now_ms + 15'000)));
+  for (ReplicaId r = 0; r < kReplicas; ++r) {
+    if (ever_crashed[r]) continue;
+    const auto& exec = w.execution(r);
+    const bool found = std::any_of(exec.begin(), exec.end(), [&](const ExecRecord& e) {
+      return e.cmd.client == 2 && e.cmd.seq == probe;
+    });
+    EXPECT_TRUE(found) << "probe missing at never-crashed replica " << r;
+  }
+
+  // Prefix agreement across every replica, restarted learners included.
+  ReplicaId longest = 0;
+  for (ReplicaId r = 1; r < kReplicas; ++r) {
+    if (w.execution(r).size() > w.execution(longest).size()) longest = r;
+  }
+  const auto& ref = w.execution(longest);
+  for (ReplicaId r = 0; r < kReplicas; ++r) {
+    const auto& exec = w.execution(r);
+    ASSERT_LE(exec.size(), ref.size());
+    for (std::size_t i = 0; i < exec.size(); ++i) {
+      ASSERT_EQ(exec[i].ts, ref[i].ts)
+          << "replica " << r << " diverged in order at " << i;
+      ASSERT_EQ(exec[i].cmd, ref[i].cmd)
+          << "replica " << r << " diverged in content at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsAndSeeds, BaselineCrashFuzz,
+    ::testing::Combine(::testing::Values("paxos", "paxos-bcast", "mencius"),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param);
+      for (char& c : s) {
+        if (c == '-') c = '_';
+      }
+      return s + "_seed" + std::to_string(std::get<1>(info.param));
+    });
 
 TEST(FailureFuzz, FileBackedLogsSurviveRestartCycles) {
   // Same invariant with real on-disk logs: restart reopens and replays the

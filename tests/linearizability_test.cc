@@ -2,9 +2,11 @@
 // every protocol produces linearizable histories (paper Claim 5).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <unordered_map>
 
+#include "rsm/history.h"
 #include "rsm/linearizability.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -70,6 +72,135 @@ TEST(LinearizabilityChecker, DetectsDuplicateOrderIndex) {
 
 TEST(LinearizabilityChecker, DetectsResponseBeforeInvoke) {
   EXPECT_FALSE(check_real_time_order({op(1, 1, 50, 40, 0)}).ok);
+}
+
+// --- adversarial histories: the classic anomalies, phrased as op records ---
+
+TEST(LinearizabilityChecker, RejectsStaleRead) {
+  // write(x=1) completes at t=10; a read invoked at t=20 is ordered *before*
+  // the write — i.e. it observed the stale pre-write value. The order
+  // contradicts real time, so the checker must reject it.
+  const auto r = check_real_time_order({
+      op(/*writer*/ 1, 1, 0, 10, 1),
+      op(/*reader*/ 2, 1, 20, 30, 0),
+  });
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(LinearizabilityChecker, RejectsLostUpdate) {
+  // Two sequential writes to the same key; the agreed order put the second
+  // write before the first, so the first write "wins" and the second's
+  // effect is lost despite completing strictly later.
+  const auto r = check_real_time_order({
+      op(1, 1, 0, 10, 1),    // write x=a, completes first
+      op(1, 2, 20, 30, 0),   // write x=b, invoked after, yet ordered first
+  });
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(LinearizabilityChecker, RejectsCrossClientReorder) {
+  // Client 1 completes, tells client 2 out of band, client 2 then issues —
+  // the "real-time edge across clients" case. Ordering client 2's op first
+  // violates it even though each client's own ops stay in order.
+  const auto r = check_real_time_order({
+      op(1, 1, 0, 100, 2),
+      op(1, 2, 110, 200, 3),
+      op(2, 1, 250, 300, 0),  // invoked after everything above completed
+      op(2, 2, 310, 400, 1),
+  });
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("client=2"), std::string::npos);
+}
+
+TEST(LinearizabilityChecker, AcceptsFullyConcurrentBatchAnyOrder) {
+  // All ops overlap [0, 1000]: any permutation is linearizable.
+  std::vector<OpRecord> ops;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ops.push_back(op(i + 1, 1, 0, 1000, 63 - i));  // reversed order
+  }
+  EXPECT_TRUE(check_real_time_order(std::move(ops)).ok);
+}
+
+TEST(LinearizabilityChecker, TenThousandOpsStayFastAndCorrect) {
+  // Complexity regression guard: the checker is O(n log n); a naive
+  // pairwise check (O(n^2) = 10^8 comparisons here) would blow well past
+  // the bound. Checked both for a passing history and for a violation
+  // buried mid-history.
+  std::vector<OpRecord> ops;
+  ops.reserve(10'000);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    ops.push_back(op(1 + (i % 7), i, i * 10, i * 10 + 25, i));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(check_real_time_order(ops).ok);
+  std::swap(ops[2'000].order_index, ops[8'000].order_index);
+  EXPECT_FALSE(check_real_time_order(ops).ok);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            2'000)
+      << "checker no longer scales to 10k-op histories";
+}
+
+// --- HistoryChecker: the durability/uniqueness wrapper (rsm/history.h) -----
+
+TEST(HistoryChecker, PassesCompleteCommittedHistory) {
+  HistoryChecker h;
+  h.on_invoke(1, 1, 0);
+  h.on_response(1, 1, 50);
+  h.on_invoke(2, 1, 60);
+  h.on_response(2, 1, 90);
+  h.on_commit(1, 1);
+  h.on_commit(2, 1);
+  const auto rep = h.check();
+  EXPECT_TRUE(rep.ok) << rep.violation;
+  EXPECT_EQ(rep.completed, 2u);
+  EXPECT_EQ(rep.committed, 2u);
+}
+
+TEST(HistoryChecker, DetectsAcknowledgedOpMissingFromOrder) {
+  // The op got its client reply but is absent from the agreed order: an
+  // acknowledged write was lost (e.g. to a crash) — a durability violation.
+  HistoryChecker h;
+  h.on_invoke(1, 1, 0);
+  h.on_response(1, 1, 50);
+  const auto rep = h.check();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violation.find("missing from the committed order"),
+            std::string::npos);
+}
+
+TEST(HistoryChecker, DetectsDuplicateCommitUnlessAllowed) {
+  HistoryChecker h;
+  h.on_invoke(1, 1, 0);
+  h.on_response(1, 1, 50);
+  h.on_commit(1, 1);
+  h.on_commit(1, 1);  // committed twice (e.g. a duplicated FORWARD)
+  EXPECT_FALSE(h.check().ok);
+  // With transport-level duplicate injection, at-least-once is expected;
+  // the first occurrence defines the op's place in the order.
+  EXPECT_TRUE(h.check(/*allow_duplicates=*/true).ok);
+}
+
+TEST(HistoryChecker, WrapsRealTimeOrderViolations) {
+  HistoryChecker h;
+  h.on_invoke(1, 1, 0);
+  h.on_response(1, 1, 10);
+  h.on_invoke(2, 1, 20);  // invoked after op 1 completed
+  h.on_response(2, 1, 40);
+  h.on_commit(2, 1);  // ...yet ordered first
+  h.on_commit(1, 1);
+  const auto rep = h.check();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violation.find("linearizability"), std::string::npos);
+}
+
+TEST(HistoryChecker, IgnoresUntrackedCommits) {
+  HistoryChecker h;
+  h.on_invoke(1, 1, 0);
+  h.on_response(1, 1, 50);
+  h.on_commit(99, 7);  // a probe command the harness never tracked
+  h.on_commit(1, 1);
+  EXPECT_TRUE(h.check().ok);
 }
 
 // --- end-to-end: all four protocols produce linearizable histories ---

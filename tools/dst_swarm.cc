@@ -1,0 +1,395 @@
+// dst_swarm: deterministic simulation-testing swarm driver.
+//
+// Fans generated fault scenarios (src/dst) across worker processes, one
+// seed per scenario, and prints a pass/fail table. Every failure is written
+// to --out as a replayable spec (plus the run trace), greedily shrunk to a
+// locally minimal fault schedule first, and the table shows the exact
+// replay command line. Worker processes also isolate the swarm from a
+// crashing scenario: a dead worker marks its remaining seeds CRASH instead
+// of taking the swarm down.
+//
+// Usage:
+//   dst_swarm [--seeds N] [--start-seed S] [--protocol P] [--jobs W]
+//             [--no-shrink] [--verify-determinism] [--inject-bug sync-noop]
+//             [--out DIR]
+//   dst_swarm --seed S [--protocol P] [...]     replay one generated seed
+//   dst_swarm --spec FILE [...]                 replay a written spec file
+//
+// --protocol: clockrsm | paxos | paxos-bcast | mencius | consensus | all
+// --inject-bug sync-noop: harness self-test — log fsync becomes a no-op, so
+//   power-loss crashes lose acknowledged state; the swarm MUST fail with
+//   durability violations (and shrink them to a handful of crash events).
+// Exit status: 0 iff every scenario passed.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dst/generator.h"
+#include "dst/runner.h"
+#include "dst/scenario.h"
+#include "dst/shrink.h"
+
+using namespace crsm;
+using namespace crsm::dst;
+
+namespace {
+
+struct Args {
+  std::uint64_t seeds = 20;
+  std::uint64_t start_seed = 1;
+  std::string protocol = "all";
+  std::size_t jobs = 0;  // 0 = auto
+  bool shrink = true;
+  bool verify_determinism = false;
+  bool inject_sync_noop = false;
+  std::string out_dir = "dst-failures";
+  // Single-run modes.
+  bool have_single_seed = false;
+  std::uint64_t single_seed = 0;
+  std::string spec_file;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::fprintf(stderr, "dst_swarm: %s (try --help)\n", msg.c_str());
+  std::exit(2);
+}
+
+std::uint64_t parse_u64(const char* raw, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    usage_error(std::string("bad value for ") + flag + ": '" + raw + "'");
+  }
+  return v;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) usage_error(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--seeds") {
+      a.seeds = parse_u64(next("--seeds"), "--seeds");
+    } else if (flag == "--start-seed") {
+      a.start_seed = parse_u64(next("--start-seed"), "--start-seed");
+    } else if (flag == "--protocol") {
+      a.protocol = next("--protocol");
+    } else if (flag == "--jobs") {
+      a.jobs = parse_u64(next("--jobs"), "--jobs");
+    } else if (flag == "--no-shrink") {
+      a.shrink = false;
+    } else if (flag == "--verify-determinism") {
+      a.verify_determinism = true;
+    } else if (flag == "--inject-bug") {
+      const std::string bug = next("--inject-bug");
+      if (bug != "sync-noop") usage_error("unknown --inject-bug '" + bug + "'");
+      a.inject_sync_noop = true;
+    } else if (flag == "--out") {
+      a.out_dir = next("--out");
+    } else if (flag == "--seed") {
+      a.have_single_seed = true;
+      a.single_seed = parse_u64(next("--seed"), "--seed");
+    } else if (flag == "--spec") {
+      a.spec_file = next("--spec");
+    } else if (flag == "--help" || flag == "-h") {
+      std::printf(
+          "usage: dst_swarm [--seeds N] [--start-seed S] [--protocol P]\n"
+          "                 [--jobs W] [--no-shrink] [--verify-determinism]\n"
+          "                 [--inject-bug sync-noop] [--out DIR]\n"
+          "       dst_swarm --seed S [--protocol P]\n"
+          "       dst_swarm --spec FILE\n"
+          "protocols: clockrsm paxos paxos-bcast mencius consensus all\n");
+      std::exit(0);
+    } else {
+      usage_error("unknown flag " + flag);
+    }
+  }
+  if (a.protocol != "all") {
+    Protocol p;
+    if (!protocol_from_name(a.protocol, &p)) {
+      usage_error("unknown protocol '" + a.protocol + "'");
+    }
+  }
+  return a;
+}
+
+GeneratorOptions generator_options(const Args& a) {
+  GeneratorOptions g;
+  if (a.protocol != "all") {
+    Protocol p;
+    protocol_from_name(a.protocol, &p);
+    g.protocol = p;
+  }
+  g.inject_sync_noop_bug = a.inject_sync_noop;
+  return g;
+}
+
+// Runs one scenario with the swarm's options; returns the (possibly shrunk)
+// failing state. `category` is empty on pass.
+struct Outcome {
+  bool ok = true;
+  std::string category;
+  std::string detail;
+  ScenarioSpec spec;
+  RunResult run;
+};
+
+Outcome run_one(const ScenarioSpec& spec, const Args& a) {
+  Outcome out;
+  out.spec = spec;
+  out.run = run_scenario(spec);
+  if (out.run.ok && a.verify_determinism) {
+    const RunResult again = run_scenario(spec);
+    if (again.trace != out.run.trace) {
+      out.ok = false;
+      out.category = "determinism";
+      out.detail = "two runs of the same spec produced different traces";
+      // Make the written artifact diagnosable: record the violation and
+      // keep BOTH traces (the divergence between them is the evidence).
+      out.run.ok = false;
+      out.run.failure = "determinism: two runs of the same spec produced "
+                        "different traces";
+      out.run.trace += "--- second run of the same spec (should be "
+                       "byte-identical) ---\n" +
+                       again.trace;
+      return out;
+    }
+  }
+  if (out.run.ok) return out;
+  out.ok = false;
+  if (a.shrink) {
+    ShrinkResult s = shrink_scenario(spec);
+    out.spec = std::move(s.spec);
+    out.run = std::move(s.run);
+  }
+  out.category = failure_category(out.run.failure);
+  out.detail = out.run.failure;
+  return out;
+}
+
+// Writes the failing spec + trace under out_dir; returns the spec path.
+std::string write_failure(const Outcome& out, const Args& a, std::uint64_t seed) {
+  std::error_code ec;
+  std::filesystem::create_directories(a.out_dir, ec);
+  const std::string base = a.out_dir + "/seed-" + std::to_string(seed);
+  {
+    std::ofstream f(base + ".spec");
+    f << "# " << out.run.failure << '\n'
+      << "# replay: dst_swarm --spec " << base << ".spec\n"
+      << out.spec.encode();
+  }
+  {
+    std::ofstream f(base + ".trace");
+    f << out.run.trace;
+  }
+  return base + ".spec";
+}
+
+int run_single_spec(const ScenarioSpec& spec, const Args& a, std::uint64_t seed) {
+  const Outcome out = run_one(spec, a);
+  std::fputs(out.run.trace.c_str(), stdout);
+  if (out.ok) {
+    std::printf("PASS %s\n", spec.summary().c_str());
+    return 0;
+  }
+  std::printf("FAIL %s\n  %s\n", out.spec.summary().c_str(), out.detail.c_str());
+  if (a.shrink && out.spec.faults.size() != spec.faults.size()) {
+    std::printf("shrunk: %zu -> %zu fault events\n", spec.faults.size(),
+                out.spec.faults.size());
+  }
+  const std::string path = write_failure(out, a, seed);
+  std::printf("spec written to %s\n", path.c_str());
+  return 1;
+}
+
+// One worker: handles every seed s in [start, start+count) with
+// s %% stripe == lane, writing one result line per seed into `fd` as soon
+// as the seed finishes — so a scenario that crashes the worker loses only
+// the seeds that never ran, not the results already produced.
+void worker_main(int fd, const Args& a, std::size_t lane, std::size_t stripe) {
+  const GeneratorOptions gopt = generator_options(a);
+  for (std::uint64_t k = 0; k < a.seeds; ++k) {
+    if (k % stripe != lane) continue;
+    const std::uint64_t seed = a.start_seed + k;
+    const ScenarioSpec spec = generate_scenario(seed, gopt);
+    const Outcome out = run_one(spec, a);
+    std::string spec_path = "-";
+    if (!out.ok) spec_path = write_failure(out, a, seed);
+    std::ostringstream line;
+    line << "R " << seed << ' ' << protocol_name(out.spec.protocol) << ' '
+         << (out.ok ? 1 : 0) << ' ' << out.run.completed_ops << ' '
+         << out.spec.faults.size() << ' ' << (out.ok ? "-" : out.category)
+         << ' ' << spec_path << '\n';
+    const std::string s = line.str();
+    std::size_t off = 0;
+    while (off < s.size()) {
+      const ssize_t w = ::write(fd, s.data() + off, s.size() - off);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+  }
+  ::close(fd);
+  std::_Exit(0);
+}
+
+struct SeedRow {
+  std::uint64_t seed = 0;
+  std::string protocol;
+  bool ok = false;
+  std::uint64_t ops = 0;
+  std::uint64_t faults = 0;
+  std::string category;
+  std::string spec_path;
+  bool reported = false;
+};
+
+int run_swarm(const Args& a) {
+  std::size_t jobs = a.jobs;
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 4 : hw;
+  }
+  jobs = std::max<std::size_t>(1, std::min<std::size_t>(jobs, a.seeds));
+
+  std::vector<pid_t> pids(jobs);
+  std::vector<int> read_fds(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      std::perror("pipe");
+      return 2;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 2;
+    }
+    if (pid == 0) {
+      ::close(pipefd[0]);
+      for (std::size_t prev = 0; prev < w; ++prev) ::close(read_fds[prev]);
+      worker_main(pipefd[1], a, w, jobs);
+    }
+    ::close(pipefd[1]);
+    pids[w] = pid;
+    read_fds[w] = pipefd[0];
+  }
+
+  std::map<std::uint64_t, SeedRow> rows;
+  for (std::uint64_t k = 0; k < a.seeds; ++k) {
+    SeedRow row;
+    row.seed = a.start_seed + k;
+    rows[row.seed] = row;
+  }
+
+  bool worker_crashed = false;
+  for (std::size_t w = 0; w < jobs; ++w) {
+    std::string buf;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t r = ::read(read_fds[w], chunk, sizeof chunk);
+      if (r <= 0) break;
+      buf.append(chunk, static_cast<std::size_t>(r));
+    }
+    ::close(read_fds[w]);
+    int status = 0;
+    ::waitpid(pids[w], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) worker_crashed = true;
+
+    std::istringstream in(buf);
+    std::string tag;
+    while (in >> tag) {
+      if (tag != "R") break;
+      SeedRow row;
+      int ok = 0;
+      in >> row.seed >> row.protocol >> ok >> row.ops >> row.faults >>
+          row.category >> row.spec_path;
+      row.ok = ok != 0;
+      row.reported = true;
+      rows[row.seed] = row;
+    }
+  }
+
+  std::size_t passed = 0, failed = 0, crashed = 0;
+  std::printf("%-8s %-12s %-7s %6s %7s  %s\n", "seed", "protocol", "result",
+              "ops", "faults", "detail");
+  for (const auto& [seed, row] : rows) {
+    if (!row.reported) {
+      ++crashed;
+      std::printf("%-8llu %-12s %-7s %6s %7s  worker died; replay: dst_swarm --seed %llu%s\n",
+                  static_cast<unsigned long long>(seed), "?", "CRASH", "-", "-",
+                  static_cast<unsigned long long>(seed),
+                  a.protocol == "all" ? "" : (" --protocol " + a.protocol).c_str());
+      continue;
+    }
+    if (row.ok) {
+      ++passed;
+      std::printf("%-8llu %-12s %-7s %6llu %7llu\n",
+                  static_cast<unsigned long long>(seed), row.protocol.c_str(),
+                  "PASS", static_cast<unsigned long long>(row.ops),
+                  static_cast<unsigned long long>(row.faults));
+    } else {
+      ++failed;
+      std::printf("%-8llu %-12s %-7s %6llu %7llu  %s; replay: dst_swarm --spec %s  (or --seed %llu%s%s)\n",
+                  static_cast<unsigned long long>(seed), row.protocol.c_str(),
+                  "FAIL", static_cast<unsigned long long>(row.ops),
+                  static_cast<unsigned long long>(row.faults),
+                  row.category.c_str(), row.spec_path.c_str(),
+                  static_cast<unsigned long long>(seed),
+                  a.protocol == "all" ? "" : " --protocol ",
+                  a.protocol == "all" ? "" : a.protocol.c_str());
+    }
+  }
+  std::printf("\n%zu/%llu passed", passed,
+              static_cast<unsigned long long>(a.seeds));
+  if (failed) std::printf(", %zu FAILED (specs in %s/)", failed, a.out_dir.c_str());
+  if (crashed) std::printf(", %zu CRASHED", crashed);
+  std::printf("\n");
+  return failed == 0 && crashed == 0 && !worker_crashed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+
+  if (!a.spec_file.empty()) {
+    std::ifstream f(a.spec_file);
+    if (!f) {
+      std::fprintf(stderr, "dst_swarm: cannot open %s\n", a.spec_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << f.rdbuf();
+    ScenarioSpec spec;
+    try {
+      spec = ScenarioSpec::decode(text.str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dst_swarm: %s\n", e.what());
+      return 2;
+    }
+    return run_single_spec(spec, a, spec.seed);
+  }
+
+  if (a.have_single_seed) {
+    const ScenarioSpec spec =
+        generate_scenario(a.single_seed, generator_options(a));
+    std::fputs(spec.encode().c_str(), stdout);
+    return run_single_spec(spec, a, a.single_seed);
+  }
+
+  return run_swarm(a);
+}
