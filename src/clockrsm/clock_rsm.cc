@@ -48,6 +48,15 @@ bool debug_reconfig() {
   return on;
 }
 
+// CRSM_DEBUG_READS traces the pending-read drain: each attempt prints the
+// head read timestamp against the stability vector and the pending-write
+// head — the two conditions that hold a read — which is how the staged-entry
+// head-block fixed in handle_catchup_reply was found.
+bool debug_reads() {
+  static const bool on = std::getenv("CRSM_DEBUG_READS") != nullptr;
+  return on;
+}
+
 }  // namespace
 
 ClockRsmReplica::ClockRsmReplica(ProtocolEnv& env, std::vector<ReplicaId> spec,
@@ -155,6 +164,69 @@ void ClockRsmReplica::submit(Command cmd) {
     return;
   }
   handle_request(std::move(cmd));
+}
+
+void ClockRsmReplica::submit_read(Command cmd) {
+  // The read timestamp comes from the same monotonic counter that stamps
+  // our outgoing messages: it exceeds every timestamp this replica has sent
+  // (and, transitively, the timestamp of every write whose commit anywhere
+  // depended on one of our acks or clock gossips), so a read invoked after a
+  // write completed is always ordered after that write.
+  const Tick rts = next_send_ticks();
+  ++stats_.reads_submitted;
+  pending_reads_.emplace(rts, std::move(cmd));
+  maybe_serve_reads();
+}
+
+bool ClockRsmReplica::read_stable(Tick read_ts) const {
+  // Like stable(), but the replica's own entry is exempt: our future sends
+  // are bounded below by last_sent_, which the read timestamp already
+  // reserved, so no local write can ever be assigned a smaller timestamp.
+  // Waiting for our own CLOCKTIME to loop back would only add latency.
+  for (ReplicaId r : config_) {
+    if (r == env_.self()) continue;
+    auto it = latest_tv_.find(r);
+    if ((it == latest_tv_.end() ? 0 : it->second) < read_ts) return false;
+  }
+  return true;
+}
+
+void ClockRsmReplica::maybe_serve_reads() {
+  if (debug_reads() && !pending_reads_.empty()) {
+    std::string tvs;
+    for (ReplicaId r : config_) {
+      auto it = latest_tv_.find(r);
+      tvs += std::to_string(r) + "=" +
+             std::to_string(it == latest_tv_.end() ? 0 : it->second) + " ";
+    }
+    std::fprintf(stderr,
+                 "[r%u] serve_reads rts=%llu frozen=%d catchup=%d tv: %s "
+                 "pending_head=%llu\n",
+                 env_.self(),
+                 static_cast<unsigned long long>(pending_reads_.begin()->first),
+                 frozen_ ? 1 : 0, catching_up_ ? 1 : 0, tvs.c_str(),
+                 static_cast<unsigned long long>(
+                     pending_.empty() ? 0 : pending_.begin()->first.ticks));
+  }
+  // Held, not served stale: a frozen replica's state may be about to be
+  // rewritten by a reconfiguration decision, and a catching-up replica's
+  // state misses commands lost to its crash. A replica outside the
+  // configuration receives no stability gossip at all.
+  if (frozen_ || catching_up_ || !in_config()) return;
+  while (!pending_reads_.empty()) {
+    const auto it = pending_reads_.begin();
+    const Tick rts = it->first;
+    // (1) No smaller-timestamped write can still arrive from any peer.
+    if (!read_stable(rts)) break;
+    // (2) Every write already pending at or below the read timestamp has
+    // executed here (maybe_commit drains in timestamp order, so checking
+    // the head suffices).
+    if (!pending_.empty() && pending_.begin()->first.ticks <= rts) break;
+    Command cmd = std::move(it->second);
+    pending_reads_.erase(it);
+    ++stats_.reads_served;
+    env_.deliver_read(cmd, Timestamp{rts, env_.self()});
+  }
 }
 
 void ClockRsmReplica::handle_request(Command cmd) {
@@ -372,6 +444,10 @@ void ClockRsmReplica::maybe_commit() {
     ++stats_.committed;
     env_.deliver(cmd, ts, ts.origin == env_.self());
   }
+  // Stability just advanced (or the blocking pending head committed):
+  // queued reads may now be servable. Every stability-advancing message
+  // (PREPARE, PREPAREOK, CLOCKTIME) funnels through here.
+  maybe_serve_reads();
 }
 
 // --------------------------------------------------------------------------
@@ -469,6 +545,7 @@ void ClockRsmReplica::handle_suspend(const Message& m) {
     }
   }
   env_.send(m.from, r);
+  contributed_epochs_.insert(m.epoch);
 }
 
 void ClockRsmReplica::handle_suspend_ok(const Message& m) {
@@ -742,8 +819,18 @@ void ClockRsmReplica::handle_catchup_reply(const Message& m) {
   // again (idempotent — the counter tracks distinct ackers). As in
   // handle_prepare, the durability request precedes the ack, so a durable
   // environment holds the PREPAREOK until the append is actually stable.
+  //
+  // The responder counts as an acker of every open entry its reply carries:
+  // the reply is read from its log, and a stably logged PREPARE is exactly
+  // what a PREPAREOK attests. This substitutes for the acks broadcast while
+  // we were down (lost with the crash) — without it, a staged entry whose
+  // live peers already hold a majority would wait here for re-acks that are
+  // never coming, head-blocking maybe_commit at this replica forever while
+  // the rest of the cluster commits it and moves on.
   for (const auto& [ts, cmd] : open) {
-    if (ts <= last_commit_ts_ || pending_.contains(ts)) continue;
+    if (ts <= last_commit_ts_) continue;
+    rep_counter_[ts].insert(m.from);
+    if (pending_.contains(ts)) continue;
     if (!in_log.contains(ts)) {
       env_.log().append(LogRecord::prepare(ts, cmd));
       in_log.insert(ts);
@@ -826,6 +913,8 @@ void ClockRsmReplica::maybe_finish_catchup() {
     handle_request(std::move(c));
   }
   maybe_commit();
+  // Reads held during catch-up now observe the recovered state.
+  maybe_serve_reads();
 }
 
 void ClockRsmReplica::on_consensus_decide(Epoch instance, const std::string& blob) {
@@ -975,7 +1064,20 @@ void ClockRsmReplica::finish_decision(Epoch e, const ReconfigDecision& dec,
   // PREPAREOK quorum cannot make us commit around a hole the catch-up is
   // about to repair. The collectors themselves (a majority) never defer
   // here, so catch-up always completes.
-  const bool collector = contains(dec.collectors, env_.self());
+  //
+  // Being listed in dec.collectors only counts if *this incarnation* handed
+  // its log to the collection: a restarted replica replaying the decisions
+  // of epochs it slept through may find its pre-crash self among the
+  // collectors, but that log is gone and covers nothing committed since the
+  // collection formed. A rejoin applies those decisions in sequence, and
+  // each application cancels the in-flight catch-up and clears pending_ —
+  // honoring the stale listing here let the last one wipe the catch-up's
+  // staged entries without starting a replacement, and the replica then
+  // committed around the wiped commands forever (found by DST; minimized
+  // scenario pinned in tests/dst_test.cc). Live collectors keep the
+  // exemption, so the majority-progress argument above is unchanged.
+  const bool collector = contains(dec.collectors, env_.self()) &&
+                         contributed_epochs_.contains(e);
   if (rejoin_catchup_pending_ || !collector) {
     rejoin_catchup_pending_ = false;
     begin_catchup();
@@ -1020,6 +1122,9 @@ void ClockRsmReplica::finish_decision(Epoch e, const ReconfigDecision& dec,
     std::sort(cfg.begin(), cfg.end());
     reconfigure(std::move(cfg));
   }
+  // Reads held while frozen resume against the post-decision state (no-op
+  // when we left the configuration or a catch-up round is now running).
+  maybe_serve_reads();
 }
 
 void ClockRsmReplica::arm_failure_detector_timer() {

@@ -74,6 +74,20 @@ class ClockRsmReplica final : public ReplicaProtocol {
   void on_message(const Message& m) override;
   [[nodiscard]] std::string name() const override { return "Clock-RSM"; }
 
+  // Linearizable local reads (rides the paper's stability rule; see
+  // docs/ARCHITECTURE.md "Linearizable local reads"). The read is assigned a
+  // timestamp from this replica's monotonic send clock and queued; it is
+  // served via ProtocolEnv::deliver_read once (1) every *peer's* LatestTV
+  // passed the read timestamp — no smaller-timestamped write can still
+  // arrive from anyone (our own sends are bounded below by the same counter
+  // the read timestamp came from) — and (2) no pending write at or below the
+  // read timestamp remains uncommitted. Reads are held, never served stale,
+  // while the replica is frozen (reconfiguration), catching up after a
+  // crash, or outside the configuration. Queued reads are soft state: a
+  // crash drops them and clients retry.
+  void submit_read(Command cmd) override;
+  [[nodiscard]] bool supports_local_reads() const override { return true; }
+
   // Manually initiates reconfiguration to `new_config` (subset of Spec).
   // Also invoked automatically on failure suspicion when reconfig_enabled.
   void reconfigure(std::vector<ReplicaId> new_config);
@@ -84,6 +98,9 @@ class ClockRsmReplica final : public ReplicaProtocol {
   [[nodiscard]] const std::vector<ReplicaId>& spec() const { return spec_; }
   [[nodiscard]] Timestamp last_commit_ts() const { return last_commit_ts_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_read_count() const {
+    return pending_reads_.size();
+  }
   [[nodiscard]] bool frozen() const { return frozen_; }
   [[nodiscard]] bool catching_up() const { return catching_up_; }
   [[nodiscard]] bool in_config() const;
@@ -96,6 +113,8 @@ class ClockRsmReplica final : public ReplicaProtocol {
     std::uint64_t reconfigurations = 0;
     std::uint64_t catchup_rounds = 0;   // CATCHUPREQ broadcasts sent
     std::uint64_t catchup_commits = 0;  // commands committed via catch-up
+    std::uint64_t reads_submitted = 0;  // local reads accepted
+    std::uint64_t reads_served = 0;     // local reads answered
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -112,6 +131,10 @@ class ClockRsmReplica final : public ReplicaProtocol {
   void handle_clock_time(const Message& m);
   void maybe_commit();
   [[nodiscard]] bool stable(Timestamp ts) const;
+
+  // --- local read path ---
+  void maybe_serve_reads();
+  [[nodiscard]] bool read_stable(Tick read_ts) const;
 
   // --- Algorithm 2 ---
   void arm_clocktime_timer();
@@ -158,6 +181,10 @@ class ClockRsmReplica final : public ReplicaProtocol {
   // repeated sender could inflate.
   std::map<Timestamp, Pending> pending_;
   std::map<Timestamp, std::set<ReplicaId>> rep_counter_;
+  // Reads waiting for their timestamp to become stable, keyed by read
+  // timestamp (ticks from next_send_ticks(), so strictly increasing;
+  // multimap because the key is a bare tick, defensive against reuse).
+  std::multimap<Tick, Command> pending_reads_;
   std::unordered_map<ReplicaId, Tick> latest_tv_;
   Timestamp last_commit_ts_;
   Tick last_sent_ = 0;  // enforces sending in strictly increasing ts order
@@ -170,6 +197,12 @@ class ClockRsmReplica final : public ReplicaProtocol {
   Timestamp proposed_cts_;
   std::set<ReplicaId> suspend_oks_;
   std::map<Timestamp, Command> collected_cmds_;
+  // Epochs whose collection *this incarnation* handed its log to (recorded
+  // when the SUSPENDOK leaves). Deliberately volatile: after a crash the set
+  // is empty, so re-applying an old decision that lists us among its
+  // collectors no longer skips the follow-up catch-up — the log that earned
+  // the listing died with the previous incarnation (see finish_decision).
+  std::set<Epoch> contributed_epochs_;
   std::unordered_map<Epoch, std::unique_ptr<SingleDecreePaxos>> consensus_;
   std::map<Epoch, ReconfigDecision> undelivered_decisions_;
   // Normal-case messages from epochs ahead of ours, in arrival order. A

@@ -113,6 +113,8 @@ Shape shape_of(MsgType t) {
     case MsgType::kConsDecide: return {.blob = true};
     case MsgType::kClientRequest: return {.cmd = true};
     case MsgType::kClientReply: return {.cmd = true, .blob = true};
+    case MsgType::kClientRead: return {.cmd = true};
+    case MsgType::kClientReadReply: return {.cmd = true, .blob = true};
   }
   return {};
 }

@@ -32,7 +32,7 @@ namespace crsm {
 //  30..33  Reconfiguration (Algorithm 3)
 //  34..35  Crash-restart catch-up (Section V-B, durable runtime)
 //  40..44  Single-decree Paxos used by reconfiguration PROPOSE/DECIDE
-//  50..51  Client <-> node wire protocol (crsm_node / crsm_client)
+//  50..53  Client <-> node wire protocol (crsm_node / crsm_client)
 #define CRSM_MSG_TYPE_LIST(X)                                                  \
   X(kPrepare, 1, "PREPARE")         /* <PREPARE cmd, ts> */                    \
   X(kPrepareOk, 2, "PREPAREOK")     /* <PREPAREOK ts, clockTs> */              \
@@ -55,7 +55,9 @@ namespace crsm {
   X(kConsAccepted, 43, "C-ACCEPTED") /* phase 2b (ballot) */                   \
   X(kConsDecide, 44, "C-DECIDE")    /* learned decision (value) */             \
   X(kClientRequest, 50, "CLIENTREQ") /* client -> node: cmd to replicate */    \
-  X(kClientReply, 51, "CLIENTREPLY") /* node -> client: echo + output blob */
+  X(kClientReply, 51, "CLIENTREPLY") /* node -> client: echo + output blob */  \
+  X(kClientRead, 52, "CLIENTREAD")   /* client -> node: local read cmd */      \
+  X(kClientReadReply, 53, "CLIENTREADREPLY") /* node -> client: read output */
 
 enum class MsgType : std::uint8_t {
 #define CRSM_MSG_ENUM_MEMBER(id, value, name) id = value,

@@ -42,6 +42,17 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorOptions& opt) 
   }
   if (spec.protocol == Protocol::kClockRsm) spec.reconfig = rng.bernoulli(0.5);
 
+  // Read-heavy category: local reads ride the stability point, so the
+  // schedules that stress it are the ones that stall or pervert stability —
+  // clock jumps and one-way partitions. Only Clock-RSM has a local read
+  // path; other protocols' reads would just ride the log.
+  bool read_heavy = false;
+  if (spec.protocol == Protocol::kClockRsm &&
+      (opt.read_heavy || rng.bernoulli(0.35))) {
+    read_heavy = true;
+    spec.read_fraction = rng.uniform(0.5, 0.95);
+  }
+
   spec.replicas = rng.bernoulli(0.3) ? 5 : 3;
   spec.latency_ms = static_cast<double>(rng.uniform_int(5, 40));
   spec.jitter_ms = rng.bernoulli(0.5) ? rng.uniform(0.0, 3.0) : 0.0;
@@ -75,6 +86,13 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorOptions& opt) 
       // Crashes are the bread-and-butter schedule: over-weight them.
       menu.push_back(WindowKind::kCrashRestart);
       menu.push_back(WindowKind::kCrashRestart);
+    }
+    if (read_heavy) {
+      // One-way partitions starve the victim of CLOCKTIME gossip: its reads
+      // must stall, not go stale. Crash/restart of a serving replica kills
+      // its queued reads mid-flight.
+      menu.push_back(WindowKind::kOneWay);
+      if (crash_allowed(spec.protocol)) menu.push_back(WindowKind::kCrashRestart);
     }
     const WindowKind kind = menu[rng.uniform_int(0, menu.size() - 1)];
 
@@ -132,7 +150,10 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorOptions& opt) 
   }
 
   // --- instantaneous clock chaos, anywhere in the fault span ---------------
-  const std::size_t jumps = rng.uniform_int(0, 2);
+  // Read-heavy schedules always get at least one jump: a backward step is
+  // the classic way to hand out a non-monotonic read timestamp.
+  const std::size_t jumps = read_heavy ? rng.uniform_int(1, 3)
+                                       : rng.uniform_int(0, 2);
   for (std::size_t i = 0; i < jumps; ++i) {
     const Tick at =
         window_floor + rng.uniform_int(0, window_ceil - window_floor);

@@ -18,6 +18,9 @@
 //  * Probabilistic message drops are never generated: without a
 //    retransmission layer they make liveness unprovable. Hand-written
 //    safety-only specs can still use the drop knobs.
+//  * Clock-RSM scenarios are read-heavy (read_fraction in [0.5, 0.95])
+//    about a third of the time, biased toward clock jumps and one-way
+//    partitions — the schedules most likely to surface a stale local read.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +36,10 @@ struct GeneratorOptions {
   // Harness self-test: generate the scenario with sync_is_noop set, so a
   // crash loses acknowledged state and the durability invariant must fire.
   bool inject_sync_noop_bug = false;
+  // Force every Clock-RSM scenario into the read-heavy category (reads
+  // sampled in [0.5, 0.95]) instead of the default ~35% chance. Dedicated
+  // stale-read hunting (`dst_swarm --read-heavy`).
+  bool read_heavy = false;
 };
 
 [[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed,

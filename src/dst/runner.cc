@@ -112,6 +112,17 @@ Command make_put(ClientId client, std::uint64_t seq, const std::string& key,
   return c;
 }
 
+Command make_get(ClientId client, std::uint64_t seq, const std::string& key) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  KvRequest r;
+  r.op = KvOp::kGet;
+  r.key = key;
+  c.payload = r.encode();
+  return c;
+}
+
 std::string hex64(std::uint64_t v) {
   char buf[19];
   std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
@@ -122,6 +133,7 @@ struct ClientState {
   ReplicaId home = 0;
   std::uint64_t next_seq = 1;
   std::uint64_t awaiting_seq = 0;
+  bool awaiting_read = false;
   bool stopped = false;
 };
 
@@ -155,6 +167,12 @@ RunResult run_scenario(const ScenarioSpec& spec) {
   std::map<ClientId, ClientState> clients;
   Rng load_rng(spec.seed * 0x9e3779b97f4a7c15ULL + 1);
 
+  // Reads go through the local read path, which only Clock-RSM has; for any
+  // other protocol submit_read would fall back to riding the log and the
+  // read hook below would never fire.
+  const bool reads_enabled =
+      spec.protocol == Protocol::kClockRsm && spec.read_fraction > 0.0;
+
   std::function<void(ClientId)> issue = [&](ClientId id) {
     ClientState& c = clients.at(id);
     if (c.stopped || w.sim().now() >= spec.load_until_us) return;
@@ -166,9 +184,37 @@ RunResult run_scenario(const ScenarioSpec& spec) {
     }
     const std::uint64_t seq = c.next_seq++;
     c.awaiting_seq = seq;
-    history.on_invoke(id, seq, w.sim().now());
-    w.submit(c.home, make_put(id, seq, "k" + std::to_string(id % 7),
-                              std::to_string(seq)));
+    if (reads_enabled && load_rng.bernoulli(spec.read_fraction)) {
+      // Half the reads target the client's own write key (read-your-writes
+      // pressure), half roam the shared key space.
+      const std::string key =
+          "k" + std::to_string(load_rng.bernoulli(0.5)
+                                   ? id % 7
+                                   : load_rng.uniform_int(0, 6));
+      c.awaiting_read = true;
+      history.on_invoke_read(id, seq, key, w.sim().now());
+      w.submit_read(c.home, make_get(id, seq, key));
+      // Pending reads are protocol memory, not log entries: a crash of the
+      // serving replica silently drops them. Reissue after a generous
+      // timeout so the closed loop survives; the abandoned read simply
+      // never responds and constrains nothing.
+      w.sim().after(2'000'000, [&, id, seq] {
+        ClientState& cs = clients.at(id);
+        if (cs.awaiting_seq != seq || !cs.awaiting_read) return;
+        cs.awaiting_seq = 0;
+        cs.awaiting_read = false;
+        issue(id);
+      });
+      return;
+    }
+    c.awaiting_read = false;
+    // Values carry "client:seq" so they are unique per key — the contract
+    // the read checker's value->version mapping rests on.
+    const std::string key = "k" + std::to_string(id % 7);
+    const std::string value =
+        std::to_string(id) + ":" + std::to_string(seq);
+    history.on_invoke_write(id, seq, key, value, w.sim().now());
+    w.submit(c.home, make_put(id, seq, key, value));
   };
 
   w.set_commit_hook([&](ReplicaId r, const Command& cmd, Timestamp, bool local) {
@@ -176,9 +222,32 @@ RunResult run_scenario(const ScenarioSpec& spec) {
     auto it = clients.find(cmd.client);
     if (it == clients.end()) return;
     ClientState& c = it->second;
-    if (r != c.home || cmd.seq != c.awaiting_seq) return;
+    if (r != c.home || cmd.seq != c.awaiting_seq || c.awaiting_read) return;
     c.awaiting_seq = 0;
     history.on_response(cmd.client, cmd.seq, w.sim().now());
+    const Tick think = ms_to_us(load_rng.uniform(0.0, spec.think_max_ms));
+    const ClientId id = cmd.client;
+    w.sim().after(think, [&issue, id] { issue(id); });
+  });
+
+  // Read completions (workload reads and post-quiesce read probes alike)
+  // arrive here; reads never show up in commit hooks or execution traces.
+  std::map<ClientId, bool> read_probes;  // id -> responded
+  w.set_read_hook([&](ReplicaId r, const Command& cmd, Timestamp,
+                      std::string_view out) {
+    history.on_response_read(cmd.client, cmd.seq, std::string(out),
+                             w.sim().now());
+    auto pit = read_probes.find(cmd.client);
+    if (pit != read_probes.end()) {
+      pit->second = true;
+      return;
+    }
+    auto it = clients.find(cmd.client);
+    if (it == clients.end()) return;
+    ClientState& c = it->second;
+    if (r != c.home || cmd.seq != c.awaiting_seq || !c.awaiting_read) return;
+    c.awaiting_seq = 0;
+    c.awaiting_read = false;
     const Tick think = ms_to_us(load_rng.uniform(0.0, spec.think_max_ms));
     const ClientId id = cmd.client;
     w.sim().after(think, [&issue, id] { issue(id); });
@@ -310,6 +379,23 @@ RunResult run_scenario(const ScenarioSpec& spec) {
       }
     });
   }
+  if (spec.protocol == Protocol::kClockRsm) {
+    // Read probes: after quiesce, every untainted replica must be able to
+    // serve a local read — i.e. its stability point must pass a fresh read
+    // timestamp. A replica whose reads hang forever is a liveness bug even
+    // if its log is healthy. The probes also feed the stale-read checker.
+    w.sim().at(spec.quiesce_us + 400'000, [&] {
+      for (ReplicaId r = 0; r < n; ++r) {
+        if (tainted[r]) continue;
+        const ClientId id = make_client_id(r, 2000);
+        read_probes.emplace(id, false);
+        trace << "read-probe t=" << w.sim().now() << " replica=" << r << '\n';
+        const std::string key = "k" + std::to_string(r % 7);
+        history.on_invoke_read(id, 1, key, w.sim().now());
+        w.submit_read(r, make_get(id, 1, key));
+      }
+    });
+  }
 
   w.sim().run_until(spec.end_us);
 
@@ -393,7 +479,9 @@ RunResult run_scenario(const ScenarioSpec& spec) {
   result.completed_ops = hist.completed;
   if (result.ok && !hist.ok) {
     const std::string cat =
-        hist.violation.find("linearizability") == 0 ? "linearizability" : "durability";
+        hist.violation.rfind("stale-read", 0) == 0 ? "stale-read"
+        : hist.violation.find("linearizability") == 0 ? "linearizability"
+                                                      : "durability";
     fail(cat, hist.violation);
   }
 
@@ -426,6 +514,16 @@ RunResult run_scenario(const ScenarioSpec& spec) {
           }
         }
       }
+      // Read probes complete via the read hook, not the commit order.
+      for (const auto& [probe, responded] : read_probes) {
+        if (!result.ok) break;
+        if (!responded) {
+          fail("progress", "read probe at untainted replica " +
+                               std::to_string(client_home(probe)) +
+                               " never served (stability never passed its "
+                               "read timestamp)");
+        }
+      }
     }
   }
 
@@ -454,7 +552,8 @@ RunResult run_scenario(const ScenarioSpec& spec) {
     }
   }
   trace << "history invoked=" << hist.invoked << " completed=" << hist.completed
-        << " committed=" << hist.committed << '\n';
+        << " committed=" << hist.committed << " reads=" << hist.reads
+        << " reads_completed=" << hist.reads_completed << '\n';
   trace << "result " << (result.ok ? "PASS" : "FAIL " + result.failure) << '\n';
   result.trace = trace.str();
   return result;

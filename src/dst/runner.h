@@ -15,11 +15,17 @@
 //                         (rsm/linearizability.h via rsm/history.h);
 //  * durability         — every client-acknowledged op survives in the
 //                         agreed order, across crashes and restarts;
+//  * no stale reads     — local reads (Clock-RSM's stability-based read
+//                         path; they never enter the log) return values at
+//                         least as new as every write that completed before
+//                         the read was invoked, and reads on a key never go
+//                         backwards in real time (rsm/history.h);
 //  * progress           — probe commands submitted after faults quiesce
-//                         commit at every untouched replica (skipped when
-//                         the schedule contains message-drop windows: there
-//                         is no retransmission layer, so drops only make
-//                         safety-mode scenarios).
+//                         commit at every untouched replica, and read
+//                         probes at untouched Clock-RSM replicas are served
+//                         (skipped when the schedule contains message-drop
+//                         windows: there is no retransmission layer, so
+//                         drops only make safety-mode scenarios).
 //
 // Runs are bit-for-bit deterministic: the same spec yields the same
 // RunResult::trace, byte for byte. That is the foundation for replaying a
@@ -36,8 +42,8 @@ namespace crsm::dst {
 struct RunResult {
   bool ok = true;
   // First violated invariant, prefixed with its category ("agreement:",
-  // "durability:", "progress:", ...). The shrinker matches on the category
-  // so minimization never drifts to a different failure.
+  // "durability:", "stale-read:", "progress:", ...). The shrinker matches
+  // on the category so minimization never drifts to a different failure.
   std::string failure;
   // Deterministic run log: applied faults, probes, per-replica outcomes.
   std::string trace;

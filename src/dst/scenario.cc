@@ -117,6 +117,7 @@ std::string ScenarioSpec::summary() const {
      << " faults=" << faults.size() << " lat=" << latency_ms << "ms";
   if (reconfig) os << " reconfig";
   if (lossy_crash) os << " lossy-crash";
+  if (read_fraction > 0.0) os << " reads=" << read_fraction;
   if (sync_is_noop) os << " BUG:sync-noop";
   return os.str();
 }
@@ -135,6 +136,7 @@ std::string ScenarioSpec::encode() const {
      << "sync_is_noop " << (sync_is_noop ? 1 : 0) << '\n'
      << "clients_per_replica " << clients_per_replica << '\n'
      << "think_max_ms " << fmt_double(think_max_ms) << '\n'
+     << "read_fraction " << fmt_double(read_fraction) << '\n'
      << "load_until_us " << load_until_us << '\n'
      << "quiesce_us " << quiesce_us << '\n'
      << "end_us " << end_us << '\n';
@@ -186,6 +188,8 @@ ScenarioSpec ScenarioSpec::decode(const std::string& text) {
       ls >> spec.clients_per_replica;
     } else if (key == "think_max_ms") {
       ls >> spec.think_max_ms;
+    } else if (key == "read_fraction") {
+      ls >> spec.read_fraction;
     } else if (key == "load_until_us") {
       ls >> spec.load_until_us;
     } else if (key == "quiesce_us") {

@@ -88,6 +88,10 @@ struct ScenarioSpec {
   // Closed-loop KV workload (ignored by kConsensus).
   std::size_t clients_per_replica = 2;
   double think_max_ms = 30.0;
+  // Probability that each client op is a local read (kClientRead path)
+  // instead of a put. Only meaningful for kClockRsm, the one protocol with
+  // a stability-based read path; other protocols keep it at 0.
+  double read_fraction = 0.0;
 
   // Phases, in simulated time: clients issue until load_until_us; every
   // fault is scheduled before quiesce_us (the runner force-heals at

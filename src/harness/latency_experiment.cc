@@ -1,6 +1,7 @@
 #include "harness/latency_experiment.h"
 
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 
@@ -18,15 +19,22 @@ LatencyStats LatencyExperimentResult::aggregate() const {
   return all;
 }
 
+LatencyStats LatencyExperimentResult::aggregate_reads() const {
+  LatencyStats all;
+  for (const LatencyStats& s : read_per_replica) all.merge(s);
+  return all;
+}
+
 namespace {
 
-// One closed-loop client: submit, wait for the commit reply at the home
-// replica, think, repeat.
+// One closed-loop client: submit, wait for the reply at the home replica
+// (commit for writes, read service for reads), think, repeat.
 struct ClientState {
   ClientId id = 0;
   ReplicaId home = 0;
   std::uint64_t next_seq = 1;
   std::uint64_t awaiting_seq = 0;
+  bool awaiting_read = false;
   Tick sent_at = 0;
 };
 
@@ -47,6 +55,7 @@ LatencyExperimentResult run_latency_experiment(
   LatencyExperimentResult result;
   result.protocol = world.protocol(0).name();
   result.per_replica.resize(n);
+  result.read_per_replica.resize(n);
 
   const Tick warmup_us = static_cast<Tick>(opt.warmup_s * 1e6);
   const Tick end_us = warmup_us + static_cast<Tick>(opt.duration_s * 1e6);
@@ -60,26 +69,33 @@ LatencyExperimentResult run_latency_experiment(
     Command cmd;
     cmd.client = c.id;
     cmd.seq = c.next_seq++;
-    cmd.payload = KvRequest::sized_put(key, opt.workload.payload_bytes).encode();
     c.awaiting_seq = cmd.seq;
     c.sent_at = world.sim().now();
+    if (opt.workload.read_fraction > 0.0 &&
+        rng.bernoulli(opt.workload.read_fraction)) {
+      KvRequest r;
+      r.op = KvOp::kGet;
+      r.key = key;
+      cmd.payload = r.encode();
+      c.awaiting_read = true;
+      world.submit_read(c.home, std::move(cmd));
+      return;
+    }
+    cmd.payload = KvRequest::sized_put(key, opt.workload.payload_bytes).encode();
+    c.awaiting_read = false;
     world.submit(c.home, std::move(cmd));
   };
 
-  // Reply handling: when the home replica executes a client's outstanding
-  // command, record the commit latency and schedule the next request.
-  world.set_commit_hook([&](ReplicaId replica, const Command& cmd, Timestamp,
-                            bool local_origin) {
-    if (!local_origin) return;
-    auto it = clients.find(cmd.client);
-    if (it == clients.end()) return;
-    ClientState& c = it->second;
-    if (replica != c.home || cmd.seq != c.awaiting_seq) return;
+  // Shared completion path: record the op's latency and schedule the next
+  // request after think time.
+  auto complete = [&](ClientState& c, bool read) {
     c.awaiting_seq = 0;
+    c.awaiting_read = false;
     const Tick now = world.sim().now();
     if (now > warmup_us && now <= end_us) {
-      result.per_replica[c.home].add(us_to_ms(now - c.sent_at));
-      ++result.total_commands;
+      auto& stats = read ? result.read_per_replica : result.per_replica;
+      stats[c.home].add(us_to_ms(now - c.sent_at));
+      ++(read ? result.total_reads : result.total_commands);
     }
     if (now < end_us) {
       const double think =
@@ -91,7 +107,32 @@ LatencyExperimentResult run_latency_experiment(
         if (cit != clients.end()) issue(cit->second);
       });
     }
+  };
+
+  // Reply handling: when the home replica executes a client's outstanding
+  // command, record the commit latency and schedule the next request. A
+  // read that rode the log (protocol without local reads) also lands here.
+  world.set_commit_hook([&](ReplicaId replica, const Command& cmd, Timestamp,
+                            bool local_origin) {
+    if (!local_origin) return;
+    auto it = clients.find(cmd.client);
+    if (it == clients.end()) return;
+    ClientState& c = it->second;
+    if (replica != c.home || cmd.seq != c.awaiting_seq) return;
+    complete(c, c.awaiting_read);
   });
+
+  // Locally served reads (Clock-RSM's stability-based read path).
+  world.set_read_hook(
+      [&](ReplicaId replica, const Command& cmd, Timestamp, std::string_view) {
+        auto it = clients.find(cmd.client);
+        if (it == clients.end()) return;
+        ClientState& c = it->second;
+        if (replica != c.home || cmd.seq != c.awaiting_seq || !c.awaiting_read) {
+          return;
+        }
+        complete(c, true);
+      });
 
   world.start();
 

@@ -33,8 +33,15 @@ struct LatencyExperimentResult {
   std::vector<LatencyStats> per_replica;
   std::uint64_t total_commands = 0;
   std::uint64_t messages_sent = 0;
+  // Read-op latency per home replica, when workload.read_fraction > 0.
+  // Clock-RSM serves these from the local stability point; protocols
+  // without a local read path answer them through the log, so their read
+  // latency matches commit latency.
+  std::vector<LatencyStats> read_per_replica;
+  std::uint64_t total_reads = 0;
 
   [[nodiscard]] LatencyStats aggregate() const;
+  [[nodiscard]] LatencyStats aggregate_reads() const;
 };
 
 // Builds a SimWorld with the given protocol factory, attaches closed-loop
@@ -50,6 +57,12 @@ struct LatencyExperimentResult {
 // Full-options variant (durable runtimes enable catchup_on_recovery here).
 [[nodiscard]] SimWorld::ProtocolFactory clock_rsm_factory(
     std::size_t n, const ClockRsmOptions& opt);
+// clock_rsm_factory(n, {}) would silently pick the bool overload above
+// ({} -> false disables CLOCKTIME, starving stability between writes);
+// this deleted overload makes the empty braced list ambiguous instead,
+// so callers must spell clock_rsm_factory(n, ClockRsmOptions{}).
+SimWorld::ProtocolFactory clock_rsm_factory(std::size_t n,
+                                            std::nullptr_t) = delete;
 [[nodiscard]] SimWorld::ProtocolFactory paxos_factory(std::size_t n, ReplicaId leader,
                                                       bool broadcast);
 [[nodiscard]] SimWorld::ProtocolFactory mencius_factory(std::size_t n);

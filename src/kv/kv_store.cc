@@ -15,6 +15,7 @@ std::string KvRequest::encode() const {
   e.u8(static_cast<std::uint8_t>(op));
   e.bytes(key);
   if (op == KvOp::kPut) e.bytes(value);
+  if (op == KvOp::kScan) e.var(scan_limit);
   return out;
 }
 
@@ -22,12 +23,28 @@ KvRequest KvRequest::decode(std::string_view payload) {
   Decoder d(payload);
   KvRequest r;
   r.op = static_cast<KvOp>(d.u8());
-  if (r.op != KvOp::kPut && r.op != KvOp::kGet && r.op != KvOp::kDel) {
+  if (r.op != KvOp::kPut && r.op != KvOp::kGet && r.op != KvOp::kDel &&
+      r.op != KvOp::kScan) {
     throw CodecError("bad kv op");
   }
   r.key = d.bytes();
   if (r.op == KvOp::kPut) r.value = d.bytes();
+  if (r.op == KvOp::kScan) r.scan_limit = d.var();
   return r;
+}
+
+std::vector<std::pair<std::string, std::string>> KvRequest::decode_scan_result(
+    std::string_view blob) {
+  Decoder d(blob);
+  const std::uint64_t n = d.var();
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = d.bytes();
+    out.emplace_back(std::move(key), d.bytes());
+  }
+  if (!d.done()) throw CodecError("trailing bytes in scan result");
+  return out;
 }
 
 KvRequest KvRequest::sized_put(const std::string& key, std::size_t payload_bytes) {
@@ -64,15 +81,53 @@ std::string KvStore::apply(const Command& cmd) {
     case KvOp::kPut:
       map_[r.key] = r.value;
       return "OK";
-    case KvOp::kGet: {
-      auto it = map_.find(r.key);
-      return it == map_.end() ? std::string() : it->second;
-    }
+    case KvOp::kGet:
+    case KvOp::kScan:
+      return read_op(r);
     case KvOp::kDel:
       map_.erase(r.key);
       return "OK";
   }
   return {};
+}
+
+std::string KvStore::apply_read(const Command& cmd) const {
+  const KvRequest r = KvRequest::decode(cmd.payload);
+  if (!r.is_read()) return "ERR:write-op-on-read-path";
+  return read_op(r);
+}
+
+std::string KvStore::read_op(const KvRequest& r) const {
+  switch (r.op) {
+    case KvOp::kGet: {
+      auto it = map_.find(r.key);
+      return it == map_.end() ? std::string() : it->second;
+    }
+    case KvOp::kScan:
+      return scan(r.key, r.scan_limit);
+    default:
+      return {};
+  }
+}
+
+std::string KvStore::scan(const std::string& prefix,
+                          std::uint64_t limit) const {
+  // Deterministic: matching entries sorted by key, truncated to `limit`.
+  std::vector<const std::pair<const std::string, std::string>*> entries;
+  for (const auto& kv : map_) {
+    if (kv.first.compare(0, prefix.size(), prefix) == 0) entries.push_back(&kv);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  if (limit != 0 && entries.size() > limit) entries.resize(limit);
+  std::string out;
+  Encoder e(&out);
+  e.var(entries.size());
+  for (const auto* kv : entries) {
+    e.bytes(kv->first);
+    e.bytes(kv->second);
+  }
+  return out;
 }
 
 std::uint64_t KvStore::state_digest() const {

@@ -9,6 +9,8 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "rsm/state_machine.h"
 
@@ -19,12 +21,22 @@ enum class KvOp : std::uint8_t {
   kPut = 1,
   kGet = 2,
   kDel = 3,
+  kScan = 4,  // prefix scan; key = prefix, scan_limit = max entries (0 = all)
 };
+
+// True for operations that never mutate the store and may be served off the
+// local-read path (stability-gated, outside the replicated log).
+[[nodiscard]] constexpr bool kv_op_is_read(KvOp op) {
+  return op == KvOp::kGet || op == KvOp::kScan;
+}
 
 struct KvRequest {
   KvOp op = KvOp::kPut;
-  std::string key;
+  std::string key;  // kScan: the key prefix
   std::string value;  // kPut only
+  std::uint64_t scan_limit = 0;  // kScan only; 0 = unbounded
+
+  [[nodiscard]] bool is_read() const { return kv_op_is_read(op); }
 
   [[nodiscard]] std::string encode() const;
   // Accepts any byte view (Command::payload converts implicitly).
@@ -34,6 +46,10 @@ struct KvRequest {
   // the value), matching the paper's fixed-size update commands.
   [[nodiscard]] static KvRequest sized_put(const std::string& key,
                                            std::size_t payload_bytes);
+
+  // Decodes a kScan output blob back into (key, value) pairs, sorted by key.
+  [[nodiscard]] static std::vector<std::pair<std::string, std::string>>
+  decode_scan_result(std::string_view blob);
 };
 
 // Stable 64-bit FNV-1a hash of a key. This is the canonical key hash for
@@ -42,12 +58,14 @@ struct KvRequest {
 // the same shard.
 [[nodiscard]] std::uint64_t kv_key_hash(std::string_view key);
 
-// Deterministic string -> string map. GETs flow through replication too
-// (the paper's clients only issue updates, but the store supports reads for
-// the examples).
+// Deterministic string -> string map. Reads (kGet/kScan) are also accepted
+// through apply() so protocols without a local-read fast path can still ride
+// them through the replicated log; apply_read() serves the same operations
+// against the current state without mutating it.
 class KvStore final : public StateMachine {
  public:
   std::string apply(const Command& cmd) override;
+  [[nodiscard]] std::string apply_read(const Command& cmd) const override;
   [[nodiscard]] std::uint64_t state_digest() const override;
   [[nodiscard]] std::string snapshot() const override;
   void restore(const std::string& snapshot) override;
@@ -56,6 +74,10 @@ class KvStore final : public StateMachine {
   [[nodiscard]] const std::string* get(const std::string& key) const;
 
  private:
+  [[nodiscard]] std::string read_op(const KvRequest& r) const;
+  [[nodiscard]] std::string scan(const std::string& prefix,
+                                 std::uint64_t limit) const;
+
   std::unordered_map<std::string, std::string> map_;
 };
 

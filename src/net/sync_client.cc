@@ -45,18 +45,33 @@ void SyncClient::send_request(const Command& cmd) {
   write_all(m.encode());
 }
 
-Message SyncClient::read_reply(int timeout_ms) {
+void SyncClient::send_read(const Command& cmd) {
+  Message m;
+  m.type = MsgType::kClientRead;
+  m.cmd = cmd;
+  write_all(m.encode());
+}
+
+Message SyncClient::read_typed(MsgType want, int timeout_ms) {
   for (;;) {
     const std::string_view frames = assembler_.complete_prefix();
     if (!frames.empty()) {
       std::size_t pos = 0;
       const Message m = Message::decode_stream(frames, &pos);
       assembler_.consume(pos);
-      if (m.type == MsgType::kClientReply) return m;
+      if (m.type == want) return m;
       continue;  // ignore anything else
     }
     read_into_assembler(timeout_ms);
   }
+}
+
+Message SyncClient::read_reply(int timeout_ms) {
+  return read_typed(MsgType::kClientReply, timeout_ms);
+}
+
+Message SyncClient::read_read_reply(int timeout_ms) {
+  return read_typed(MsgType::kClientReadReply, timeout_ms);
 }
 
 std::string SyncClient::call(const Command& cmd, int timeout_ms) {
@@ -67,6 +82,16 @@ std::string SyncClient::call(const Command& cmd, int timeout_ms) {
       return reply.blob.str();
     }
     // A stale reply from an earlier (timed out or duplicate) request.
+  }
+}
+
+std::string SyncClient::read_call(const Command& cmd, int timeout_ms) {
+  send_read(cmd);
+  for (;;) {
+    const Message reply = read_read_reply(timeout_ms);
+    if (reply.cmd.client == cmd.client && reply.cmd.seq == cmd.seq) {
+      return reply.blob.str();
+    }
   }
 }
 

@@ -27,16 +27,25 @@ class SyncClient {
 
   // Fire-and-forget request.
   void send_request(const Command& cmd);
+  // Fire-and-forget read (kClientRead): served at this node once its
+  // stability point passes the read timestamp, without a log round.
+  void send_read(const Command& cmd);
 
   // Blocks until the next kClientReply frame (any client/seq) or the
   // timeout; throws NetError on timeout or disconnect.
   [[nodiscard]] Message read_reply(int timeout_ms = -1);
+  // Same, for kClientReadReply frames.
+  [[nodiscard]] Message read_read_reply(int timeout_ms = -1);
 
   // send_request + read replies until one matches (cmd.client, cmd.seq);
   // returns the execution output (reply blob).
   [[nodiscard]] std::string call(const Command& cmd, int timeout_ms = -1);
+  // send_read + read read-replies until one matches; returns the read's
+  // output (the value for kGet, the encoded entry list for kScan).
+  [[nodiscard]] std::string read_call(const Command& cmd, int timeout_ms = -1);
 
  private:
+  [[nodiscard]] Message read_typed(MsgType want, int timeout_ms);
   void write_all(const std::string& bytes);
   void read_into_assembler(int timeout_ms);  // one blocking read
 

@@ -1,5 +1,8 @@
 #include "rsm/history.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace crsm {
 
 namespace {
@@ -9,11 +12,42 @@ std::string op_name(ClientId client, std::uint64_t seq) {
          ")";
 }
 
+std::string read_name(ClientId client, std::uint64_t seq) {
+  return "read(client=" + std::to_string(client) + ", seq=" +
+         std::to_string(seq) + ")";
+}
+
 }  // namespace
 
 void HistoryChecker::on_invoke(ClientId client, std::uint64_t seq, Tick now_us) {
   Op& op = ops_[{client, seq}];
   op.invoke_us = now_us;
+}
+
+void HistoryChecker::on_invoke_write(ClientId client, std::uint64_t seq,
+                                     std::string key, std::string value,
+                                     Tick now_us) {
+  Op& op = ops_[{client, seq}];
+  op.invoke_us = now_us;
+  op.has_kv = true;
+  op.key = std::move(key);
+  op.value = std::move(value);
+}
+
+void HistoryChecker::on_invoke_read(ClientId client, std::uint64_t seq,
+                                    std::string key, Tick now_us) {
+  ReadOp& op = reads_[{client, seq}];
+  op.invoke_us = now_us;
+  op.key = std::move(key);
+}
+
+void HistoryChecker::on_response_read(ClientId client, std::uint64_t seq,
+                                      std::string value, Tick now_us) {
+  auto it = reads_.find({client, seq});
+  if (it == reads_.end()) return;  // response for a read we never saw invoked
+  it->second.responded = true;
+  it->second.response_us = now_us;
+  it->second.value = std::move(value);
 }
 
 void HistoryChecker::on_response(ClientId client, std::uint64_t seq, Tick now_us) {
@@ -41,8 +75,16 @@ std::size_t HistoryChecker::completed_ops() const {
   return n;
 }
 
+std::size_t HistoryChecker::completed_reads() const {
+  std::size_t n = 0;
+  for (const auto& [key, op] : reads_) n += op.responded ? 1 : 0;
+  return n;
+}
+
 HistoryChecker::Report HistoryChecker::check(bool allow_duplicates) const {
   Report rep;
+  rep.reads = reads_.size();
+  rep.reads_completed = completed_reads();
   std::vector<OpRecord> completed;
   for (const auto& [key, op] : ops_) {
     ++rep.invoked;
@@ -71,8 +113,146 @@ HistoryChecker::Report HistoryChecker::check(bool allow_duplicates) const {
   if (!lin.ok) {
     rep.ok = false;
     rep.violation = "linearizability: " + lin.violation;
+    return rep;
+  }
+  const std::string read_violation = check_reads();
+  if (!read_violation.empty()) {
+    rep.ok = false;
+    rep.violation = "stale-read: " + read_violation;
   }
   return rep;
+}
+
+std::string HistoryChecker::check_reads() const {
+  if (reads_.empty()) return {};
+
+  // Committed writes with key/value info, per key, in commit order. The
+  // rank of a write within its key's list is the key's version number; a
+  // read's returned value identifies the version it observed (values are
+  // unique per key by the harness contract in history.h).
+  struct Version {
+    std::uint64_t order = 0;
+    Tick invoke_us = 0;
+    Tick response_us = 0;
+    bool responded = false;
+    const std::string* value = nullptr;
+  };
+  std::map<std::string, std::vector<Version>> by_key;
+  for (const auto& [id, op] : ops_) {
+    if (!op.committed || !op.has_kv) continue;
+    by_key[op.key].push_back(
+        Version{op.order_index, op.invoke_us, op.response_us, op.responded,
+                &op.value});
+  }
+  for (auto& [k, versions] : by_key) {
+    std::sort(versions.begin(), versions.end(),
+              [](const Version& a, const Version& b) { return a.order < b.order; });
+  }
+
+  // Per-read version assignment plus the two point constraints.
+  struct ReadPoint {
+    Tick invoke_us = 0;
+    Tick response_us = 0;
+    long long rank = -1;  // -1 = initial (absent) state
+    ClientId client = 0;
+    std::uint64_t seq = 0;
+  };
+  std::map<std::string, std::vector<ReadPoint>> reads_by_key;
+  for (const auto& [id, r] : reads_) {
+    if (!r.responded) continue;
+    const auto vit = by_key.find(r.key);
+    const std::vector<Version>* versions =
+        vit == by_key.end() ? nullptr : &vit->second;
+
+    // The observed version: the newest committed write producing the
+    // returned value that was invoked before the read responded ("" = the
+    // initial absent state, rank -1).
+    long long rank = -1;
+    if (!r.value.empty()) {
+      bool value_known = false;
+      if (versions) {
+        for (std::size_t i = versions->size(); i-- > 0;) {
+          const Version& v = (*versions)[i];
+          if (*v.value != r.value) continue;
+          value_known = true;
+          if (v.invoke_us <= r.response_us) {
+            rank = static_cast<long long>(i);
+            break;
+          }
+        }
+      }
+      if (rank < 0) {
+        return read_name(id.first, id.second) + " on key '" + r.key +
+               "' returned value '" + r.value +
+               (value_known
+                    ? "' written only by an op invoked after the read completed"
+                    : "' that no committed write produced");
+      }
+    }
+
+    // No stale read: every write to the key whose response preceded the
+    // read's invoke must be covered by the observed version.
+    long long newest_completed = -1;
+    if (versions) {
+      for (std::size_t i = versions->size(); i-- > 0;) {
+        const Version& v = (*versions)[i];
+        if (v.responded && v.response_us < r.invoke_us) {
+          newest_completed = static_cast<long long>(i);
+          break;
+        }
+      }
+    }
+    if (rank < newest_completed) {
+      return read_name(id.first, id.second) + " on key '" + r.key +
+             "' observed version " + std::to_string(rank) +
+             " but a write of version " + std::to_string(newest_completed) +
+             " completed before the read was invoked";
+    }
+
+    reads_by_key[r.key].push_back(
+        ReadPoint{r.invoke_us, r.response_us, rank, id.first, id.second});
+  }
+
+  // Read monotonicity: of two reads on a key ordered by real time, the
+  // later one must not observe an older version (catches cross-client read
+  // reorder even when no write completed in between). Sweep in invoke
+  // order, folding in completed reads as their responses pass.
+  for (auto& [k, points] : reads_by_key) {
+    std::vector<const ReadPoint*> by_invoke;
+    std::vector<const ReadPoint*> by_response;
+    by_invoke.reserve(points.size());
+    for (const ReadPoint& p : points) {
+      by_invoke.push_back(&p);
+      by_response.push_back(&p);
+    }
+    std::sort(by_invoke.begin(), by_invoke.end(),
+              [](const ReadPoint* a, const ReadPoint* b) {
+                return a->invoke_us < b->invoke_us;
+              });
+    std::sort(by_response.begin(), by_response.end(),
+              [](const ReadPoint* a, const ReadPoint* b) {
+                return a->response_us < b->response_us;
+              });
+    std::size_t next = 0;
+    const ReadPoint* best = nullptr;
+    for (const ReadPoint* r : by_invoke) {
+      while (next < by_response.size() &&
+             by_response[next]->response_us < r->invoke_us) {
+        if (!best || by_response[next]->rank > best->rank) {
+          best = by_response[next];
+        }
+        ++next;
+      }
+      if (best && r->rank < best->rank) {
+        return "reads on key '" + k + "' went backwards in real time: " +
+               read_name(r->client, r->seq) + " observed version " +
+               std::to_string(r->rank) + " after " +
+               read_name(best->client, best->seq) + " observed version " +
+               std::to_string(best->rank);
+      }
+    }
+  }
+  return {};
 }
 
 }  // namespace crsm

@@ -28,11 +28,35 @@ class HistoryChecker {
  public:
   // A client issued (client, seq) at local time `now_us`.
   void on_invoke(ClientId client, std::uint64_t seq, Tick now_us);
+  // Like on_invoke, but records the write's key and value so read-only ops
+  // on the same key can be checked (see on_invoke_read). Read checking
+  // assumes values are unique per key across the workload — harnesses
+  // issuing reads must encode a unique token (e.g. "client:seq") into every
+  // value.
+  void on_invoke_write(ClientId client, std::uint64_t seq, std::string key,
+                       std::string value, Tick now_us);
   // The client received the reply (the op committed at its home replica).
   void on_response(ClientId client, std::uint64_t seq, Tick now_us);
+  // A client issued a read-only op on `key`. Reads never enter the commit
+  // order (local reads bypass the log entirely), so they linearize by the
+  // value they return plus real-time bounds instead of a commit index:
+  //  * no stale read — the returned value must be at least as new as the
+  //    newest write to the key whose response preceded the read's invoke;
+  //  * no future read — the returned value must come from a write that was
+  //    invoked before the read responded (or be the initial empty state);
+  //  * read monotonicity — of two reads on a key ordered by real time
+  //    (response before invoke), the later read must not return an older
+  //    version, regardless of which clients or replicas were involved.
+  void on_invoke_read(ClientId client, std::uint64_t seq, std::string key,
+                      Tick now_us);
+  // The read returned `value` ("" = key absent). A read with no response
+  // recorded is treated as never completed and constrains nothing.
+  void on_response_read(ClientId client, std::uint64_t seq, std::string value,
+                        Tick now_us);
   // Feed the agreed total order, one committed command at a time, in order
   // (use the longest live replica's execution trace). Commands that are not
-  // tracked client ops (probes, background traffic) are ignored.
+  // tracked client ops (probes, background traffic, reads that rode the
+  // log) are ignored.
   void on_commit(ClientId client, std::uint64_t seq);
 
   struct Report {
@@ -41,6 +65,8 @@ class HistoryChecker {
     std::size_t invoked = 0;
     std::size_t completed = 0;  // responses received
     std::size_t committed = 0;  // tracked ops present in the total order
+    std::size_t reads = 0;            // read ops invoked
+    std::size_t reads_completed = 0;  // read responses received
 
     explicit operator bool() const { return ok; }
   };
@@ -48,10 +74,12 @@ class HistoryChecker {
   // Verifies durability (every completed op is in the commit order),
   // commit uniqueness (unless `allow_duplicates`; the first occurrence then
   // defines the op's order index) and linearizability of the completed
-  // history via check_real_time_order.
+  // history via check_real_time_order. Read violations are reported with a
+  // "stale-read: " prefix so harnesses can categorize them separately.
   [[nodiscard]] Report check(bool allow_duplicates = false) const;
 
   [[nodiscard]] std::size_t completed_ops() const;
+  [[nodiscard]] std::size_t completed_reads() const;
 
  private:
   struct Op {
@@ -61,9 +89,23 @@ class HistoryChecker {
     bool committed = false;
     std::uint64_t order_index = 0;  // first commit position
     std::size_t commit_count = 0;
+    bool has_kv = false;  // registered via on_invoke_write
+    std::string key;
+    std::string value;
   };
 
+  struct ReadOp {
+    Tick invoke_us = 0;
+    Tick response_us = 0;
+    bool responded = false;
+    std::string key;
+    std::string value;  // returned value; "" = key absent
+  };
+
+  [[nodiscard]] std::string check_reads() const;  // "" = ok
+
   std::map<std::pair<ClientId, std::uint64_t>, Op> ops_;
+  std::map<std::pair<ClientId, std::uint64_t>, ReadOp> reads_;
   std::uint64_t next_order_index_ = 0;
 };
 

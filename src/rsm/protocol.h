@@ -4,6 +4,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/command.h"
@@ -50,6 +51,18 @@ class ProtocolEnv {
   // originated the command (and therefore owes its client a reply).
   virtual void deliver(const Command& cmd, Timestamp ts, bool local_origin) = 0;
 
+  // Reports a read-only command as servable against the replica's current
+  // state: every write with a timestamp <= `read_ts` has been executed here
+  // and no smaller-timestamped write can still arrive. The environment
+  // executes it via StateMachine::apply_read and routes the output to the
+  // waiting client. Reads never enter the replicated log or the execution
+  // trace, so this is distinct from deliver(). Default no-op: environments
+  // that never issue reads need no read plumbing.
+  virtual void deliver_read(const Command& cmd, Timestamp read_ts) {
+    (void)cmd;
+    (void)read_ts;
+  }
+
   // Highest commit timestamp covered by an installed checkpoint, if any
   // (Section V-B). Recovery replays the log only above this floor; the
   // environment is responsible for restoring the state machine from the
@@ -79,6 +92,17 @@ class ReplicaProtocol {
 
   // A local client's <REQUEST cmd>.
   virtual void submit(Command cmd) = 0;
+
+  // A local client's read-only command. Protocols with a stability-based
+  // local read path (Clock-RSM) serve it at this replica via
+  // ProtocolEnv::deliver_read once it is safe; the default falls back to the
+  // replicated log, so reads stay linearizable everywhere at full commit
+  // cost.
+  virtual void submit_read(Command cmd) { submit(std::move(cmd)); }
+
+  // True iff submit_read() bypasses the log (answers via deliver_read).
+  // Runtimes use this to decide which reply path a read will take.
+  [[nodiscard]] virtual bool supports_local_reads() const { return false; }
 
   // A message from a peer replica.
   virtual void on_message(const Message& m) = 0;

@@ -17,6 +17,16 @@ class StateMachine {
   // Executes one command atomically and returns its output.
   virtual std::string apply(const Command& cmd) = 0;
 
+  // Executes a read-only command against the current state and returns its
+  // output. Must not mutate state: the read path (Section "Linearizable
+  // local reads" in docs/ARCHITECTURE.md) serves these outside the
+  // replicated log, so any side effect would silently diverge replicas.
+  // The default refuses, so only state machines that opt in are readable.
+  [[nodiscard]] virtual std::string apply_read(const Command& cmd) const {
+    (void)cmd;
+    return {};
+  }
+
   // A digest of the current state, used by tests to check replica agreement.
   [[nodiscard]] virtual std::uint64_t state_digest() const = 0;
 

@@ -50,6 +50,15 @@ void NodeRuntime::submit(Command cmd) {
   });
 }
 
+void NodeRuntime::submit_read(Command cmd) {
+  loop_.post([this, cmd = std::move(cmd)]() mutable {
+    if (!proto_->supports_local_reads()) {
+      logged_reads_.insert({cmd.client, cmd.seq});
+    }
+    proto_->submit_read(std::move(cmd));
+  });
+}
+
 std::uint64_t NodeRuntime::state_digest() {
   // Stopped (or never started): the loop thread is gone, so a posted task
   // would never run — but with no loop thread the state machine is also
@@ -123,6 +132,15 @@ void NodeRuntime::deliver(const Command& cmd, Timestamp ts, bool local_origin) {
   storage_.note_commit(*sm_, ts);
   if (commit_hook_) commit_hook_(cmd, ts, local_origin);
   if (!local_origin) return;
+  // A read that rode the log (protocol without a local read path) completes
+  // here; it owes a read reply, not a write acknowledgment.
+  const auto rit = logged_reads_.find({cmd.client, cmd.seq});
+  if (rit != logged_reads_.end()) {
+    logged_reads_.erase(rit);
+    reads_served_.fetch_add(1, std::memory_order_relaxed);
+    finish_read(cmd, output);
+    return;
+  }
   if (reply_hook_) reply_hook_(cmd);
   // Networked client: route the reply to the socket that carried the
   // request (if it is still up; a vanished client just loses its reply and
@@ -141,11 +159,45 @@ void NodeRuntime::deliver(const Command& cmd, Timestamp ts, bool local_origin) {
   dispatch(HeldSend{{}, it->second, true, FrameWriter(cfg_.id).frame(reply)});
 }
 
+void NodeRuntime::deliver_read(const Command& cmd, Timestamp read_ts) {
+  (void)read_ts;
+  const std::string output = sm_->apply_read(cmd);
+  reads_served_.fetch_add(1, std::memory_order_relaxed);
+  finish_read(cmd, output);
+}
+
+void NodeRuntime::finish_read(const Command& cmd, const std::string& output) {
+  if (read_hook_) read_hook_(cmd, output);
+  auto it = client_routes_.find(cmd.client);
+  if (it == client_routes_.end()) return;
+  Message reply;
+  reply.type = MsgType::kClientReadReply;
+  reply.cmd.client = cmd.client;
+  reply.cmd.seq = cmd.seq;
+  reply.blob = output;
+  if (!storage_.durable()) {
+    transport_.send_to_client(it->second, FrameWriter(cfg_.id).frame(reply));
+    return;
+  }
+  // The read itself owes no durability, but its reply must not overtake
+  // frames held for the pass-end fsync on the same connection (FIFO).
+  dispatch(HeldSend{{}, it->second, true, FrameWriter(cfg_.id).frame(reply)});
+}
+
 // --- inbound ---------------------------------------------------------------
 
 void NodeRuntime::on_peer_message(const Message& m) { proto_->on_message(m); }
 
 void NodeRuntime::on_client_message(std::uint64_t conn, const Message& m) {
+  if (m.type == MsgType::kClientRead) {
+    client_routes_[m.cmd.client] = conn;
+    Command owned = m.cmd;  // copy-on-retain: m views the receive buffer
+    if (!proto_->supports_local_reads()) {
+      logged_reads_.insert({owned.client, owned.seq});
+    }
+    proto_->submit_read(std::move(owned));
+    return;
+  }
   if (m.type != MsgType::kClientRequest) return;  // protocol misuse; ignore
   client_routes_[m.cmd.client] = conn;
   // The decoded command views the connection's receive buffer; copying into

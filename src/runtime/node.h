@@ -28,9 +28,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "clock/system_clock.h"
@@ -65,6 +68,10 @@ class NodeRuntime final : private StorageBackedEnv {
   // Runs on the loop thread for every executed command (any origin), in
   // execution order — the basis for agreement/linearizability checks.
   using CommitHook = std::function<void(const Command&, Timestamp ts, bool local)>;
+  // Runs on the loop thread when a read submitted at this node completes
+  // (locally via the protocol's stability-gated read path, or — for
+  // protocols without one — through the replicated log).
+  using ReadHook = std::function<void(const Command&, std::string_view output)>;
 
   // Binds the listening socket immediately: with transport.listen_port == 0
   // the kernel-assigned port is readable via port() before start().
@@ -80,6 +87,7 @@ class NodeRuntime final : private StorageBackedEnv {
 
   void set_reply_hook(ReplyHook hook) { reply_hook_ = std::move(hook); }
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+  void set_read_hook(ReadHook hook) { read_hook_ = std::move(hook); }
 
   // Spawns the loop thread, starts accepting/dialing (peers[id] is this
   // node's own address) and calls the protocol's start().
@@ -91,8 +99,17 @@ class NodeRuntime final : private StorageBackedEnv {
   // equivalent of a kClientRequest).
   void submit(Command cmd);
 
+  // Thread-safe: submits a read-only command at this replica (the
+  // in-process equivalent of a kClientRead). Served locally once stability
+  // passes the read timestamp when the protocol supports it, else through
+  // the log; either way the read hook fires with the output.
+  void submit_read(Command cmd);
+
   [[nodiscard]] std::uint64_t executed() const {
     return executed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reads_served() const {
+    return reads_served_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] TransportStats transport_stats() const {
     return transport_.stats();
@@ -115,8 +132,10 @@ class NodeRuntime final : private StorageBackedEnv {
   [[nodiscard]] Tick clock_now() override { return clock_.now_us(); }
   void schedule_after(Tick delay_us, std::function<void()> fn) override;
   void deliver(const Command& cmd, Timestamp ts, bool local_origin) override;
+  void deliver_read(const Command& cmd, Timestamp read_ts) override;
   void install_checkpoint(std::string_view blob) override;
 
+  void finish_read(const Command& cmd, const std::string& output);
   void on_peer_message(const Message& m);
   void on_client_message(std::uint64_t conn, const Message& m);
   void on_client_closed(std::uint64_t conn);
@@ -140,14 +159,19 @@ class NodeRuntime final : private StorageBackedEnv {
   std::unique_ptr<ReplicaProtocol> proto_;
   ReplyHook reply_hook_;
   CommitHook commit_hook_;
+  ReadHook read_hook_;
   std::vector<HeldSend> held_;
 
   // client id -> client connection that most recently requested with it.
   std::unordered_map<ClientId, std::uint64_t> client_routes_;
+  // Reads riding the replicated log (protocols without a local read path):
+  // their delivery must answer with kClientReadReply, not kClientReply.
+  std::set<std::pair<ClientId, std::uint64_t>> logged_reads_;
 
   std::thread thread_;
   bool started_ = false;
   std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> reads_served_{0};
 };
 
 }  // namespace crsm

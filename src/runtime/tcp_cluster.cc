@@ -33,6 +33,12 @@ void TcpCluster::install_hooks(NodeRuntime& node) const {
       hook(r, cmd, ts, local);
     });
   }
+  if (read_hook_) {
+    node.set_read_hook([hook = read_hook_, r = node.id()](
+                           const Command& cmd, std::string_view output) {
+      hook(r, cmd, output);
+    });
+  }
 }
 
 std::vector<TcpPeer> TcpCluster::peer_table() const {
@@ -67,6 +73,13 @@ void TcpCluster::set_reply_hook(ReplyHook hook) {
 
 void TcpCluster::set_commit_hook(CommitHook hook) {
   commit_hook_ = std::move(hook);
+  for (auto& node : nodes_) {
+    if (node) install_hooks(*node);
+  }
+}
+
+void TcpCluster::set_read_hook(ReadHook hook) {
+  read_hook_ = std::move(hook);
   for (auto& node : nodes_) {
     if (node) install_hooks(*node);
   }
@@ -107,6 +120,12 @@ void TcpCluster::submit(ReplicaId r, Command cmd) {
   auto& node = nodes_.at(r);
   if (!node) throw std::runtime_error("TcpCluster::submit: replica killed");
   node->submit(std::move(cmd));
+}
+
+void TcpCluster::submit_read(ReplicaId r, Command cmd) {
+  auto& node = nodes_.at(r);
+  if (!node) throw std::runtime_error("TcpCluster::submit_read: replica killed");
+  node->submit_read(std::move(cmd));
 }
 
 TransportStats TcpCluster::stats() const {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/command.h"
@@ -39,6 +40,8 @@ class TcpCluster {
   using ReplyHook = std::function<void(ReplicaId, const Command&)>;
   using CommitHook =
       std::function<void(ReplicaId, const Command&, Timestamp, bool)>;
+  using ReadHook =
+      std::function<void(ReplicaId, const Command&, std::string_view)>;
   using Options = TcpClusterOptions;
 
   // Binds every node's listener (ephemeral ports) but starts nothing.
@@ -52,6 +55,7 @@ class TcpCluster {
   // Hooks run on the owning node's loop thread; install before start().
   void set_reply_hook(ReplyHook hook);
   void set_commit_hook(CommitHook hook);
+  void set_read_hook(ReadHook hook);
 
   // Starts all nodes. Links come up asynchronously; messages sent before a
   // link finishes connecting queue at the transport and flush on connect.
@@ -79,10 +83,17 @@ class TcpCluster {
 
   // Thread-safe: submits a client command at replica r.
   void submit(ReplicaId r, Command cmd);
+  // Thread-safe: submits a read-only command at replica r (answered via the
+  // read hook; served locally when the protocol supports it).
+  void submit_read(ReplicaId r, Command cmd);
 
   [[nodiscard]] std::uint64_t executed(ReplicaId r) const {
     const auto& node = nodes_.at(r);
     return node ? node->executed() : 0;
+  }
+  [[nodiscard]] std::uint64_t reads_served(ReplicaId r) const {
+    const auto& node = nodes_.at(r);
+    return node ? node->reads_served() : 0;
   }
 
   // Aggregate wire counters across every node's transport.
@@ -101,6 +112,7 @@ class TcpCluster {
   std::vector<std::uint16_t> ports_;  // stable across kill/restart
   ReplyHook reply_hook_;
   CommitHook commit_hook_;
+  ReadHook read_hook_;
   bool started_ = false;
 };
 

@@ -18,6 +18,7 @@ struct SimWorld::ReplicaCtx final : public ProtocolEnv {
   std::unique_ptr<StateMachine> sm;
   std::unique_ptr<ReplicaProtocol> proto;
   std::vector<ExecRecord> executed;
+  std::uint64_t reads_served = 0;  // cumulative, survives restart()
   bool alive = true;
   std::uint64_t generation = 0;
   std::optional<Checkpoint> checkpoint;  // durable across crash/restart
@@ -56,6 +57,12 @@ struct SimWorld::ReplicaCtx final : public ProtocolEnv {
     const std::string out = sm->apply(cmd);
     executed.push_back(ExecRecord{ts, cmd, world->sim_.now()});
     if (world->commit_hook_) world->commit_hook_(id, cmd, ts, local_origin);
+  }
+
+  void deliver_read(const Command& cmd, Timestamp read_ts) override {
+    const std::string out = sm->apply_read(cmd);
+    ++reads_served;
+    if (world->read_hook_) world->read_hook_(id, cmd, read_ts, out);
   }
 };
 
@@ -126,6 +133,17 @@ void SimWorld::submit(ReplicaId i, Command cmd) {
   sim_.after(0, [ctx, cmd = std::move(cmd)]() {
     if (ctx->alive) ctx->proto->submit(cmd);
   });
+}
+
+void SimWorld::submit_read(ReplicaId i, Command cmd) {
+  ReplicaCtx* ctx = replicas_.at(i).get();
+  sim_.after(0, [ctx, cmd = std::move(cmd)]() {
+    if (ctx->alive) ctx->proto->submit_read(cmd);
+  });
+}
+
+std::uint64_t SimWorld::reads_served(ReplicaId i) const {
+  return replicas_.at(i)->reads_served;
 }
 
 const std::vector<ExecRecord>& SimWorld::execution(ReplicaId i) const {

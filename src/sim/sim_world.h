@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "clock/sim_clock.h"
@@ -58,6 +59,12 @@ class SimWorld {
   using StateMachineFactory = std::function<std::unique_ptr<StateMachine>()>;
   // (replica, cmd, ts, local_origin) for every delivery at every replica.
   using CommitHook = std::function<void(ReplicaId, const Command&, Timestamp, bool)>;
+  // (replica, cmd, read_ts, output) for every locally served read. Reads
+  // never appear in execution() traces: they are not part of the replicated
+  // order, and per-replica read interleavings would fail the agreement
+  // checks that compare those traces.
+  using ReadHook =
+      std::function<void(ReplicaId, const Command&, Timestamp, std::string_view)>;
 
   SimWorld(SimWorldOptions opt, ProtocolFactory protocol_factory,
            StateMachineFactory sm_factory);
@@ -81,7 +88,17 @@ class SimWorld {
   // Enqueues a client command at replica i (runs via the event loop).
   void submit(ReplicaId i, Command cmd);
 
+  // Enqueues a read-only client command at replica i. Protocols with a local
+  // read path answer it via the read hook once the replica's stability point
+  // passes the read timestamp; others ride it through the log (commit hook).
+  void submit_read(ReplicaId i, Command cmd);
+
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+  void set_read_hook(ReadHook hook) { read_hook_ = std::move(hook); }
+
+  // Local reads served at replica i since construction (cumulative across
+  // restarts).
+  [[nodiscard]] std::uint64_t reads_served(ReplicaId i) const;
 
   // Executed commands in execution order, per replica.
   [[nodiscard]] const std::vector<ExecRecord>& execution(ReplicaId i) const;
@@ -114,6 +131,7 @@ class SimWorld {
   std::unique_ptr<SimNetwork> network_;
   std::vector<std::unique_ptr<ReplicaCtx>> replicas_;
   CommitHook commit_hook_;
+  ReadHook read_hook_;
 };
 
 }  // namespace crsm

@@ -24,6 +24,11 @@ struct WorkloadOptions {
   double think_max_ms = 80.0;
   std::size_t payload_bytes = 64;
   std::size_t key_space = 1000;
+  // Fraction of ops that are reads (kGet of a uniform-random key), issued
+  // through the protocol's read path: Clock-RSM serves them locally once
+  // its stability point passes the read timestamp, other protocols fall
+  // back to riding the log. 0 is the paper's pure update workload.
+  double read_fraction = 0.0;
   // Replicas with clients attached; empty means every replica (balanced).
   std::vector<ReplicaId> active_replicas;
 
@@ -35,6 +40,24 @@ struct WorkloadOptions {
     return false;
   }
 };
+
+// YCSB-style read/write mixes over the same closed loop (workload A is the
+// 50/50 update-heavy mix, B the 95/5 read-heavy mix, C read-only).
+[[nodiscard]] inline WorkloadOptions ycsb_a() {
+  WorkloadOptions w;
+  w.read_fraction = 0.5;
+  return w;
+}
+[[nodiscard]] inline WorkloadOptions ycsb_b() {
+  WorkloadOptions w;
+  w.read_fraction = 0.95;
+  return w;
+}
+[[nodiscard]] inline WorkloadOptions ycsb_c() {
+  WorkloadOptions w;
+  w.read_fraction = 1.0;
+  return w;
+}
 
 // Packs (home replica, client index) into a globally unique non-zero id.
 // Layout: bits 48..63 shard (0 for unsharded), 32..47 home replica,

@@ -19,6 +19,11 @@
 //  * clockrsm-orphan-transfer    — reconfiguration state transfer served
 //    uncommitted orphaned prepares as committed state (fixed: retrieve
 //    serves marked prepares only and replies carry the commit bound);
+//  * clockrsm-stale-collector    — a restarted replica replaying the epoch
+//    decisions it slept through found its pre-crash self among the last
+//    decision's collectors and skipped the follow-up catch-up (fixed:
+//    collector listings only count for the incarnation that handed its log
+//    over — the first failure the read-heavy category surfaced);
 //  * mencius-skip-over-filled    — a restarted Mencius replica skip-executed
 //    slots that were filled while it was down (fixed: learner mode).
 #include <gtest/gtest.h>
@@ -166,6 +171,28 @@ fault 2399000 crash 4
 fault 3085000 restart 4
 )";
 
+constexpr const char* kStaleCollectorSpec = R"(protocol clockrsm
+replicas 3
+seed 10
+latency_ms 10
+jitter_ms 2.5096200448100054
+clock_skew_ms 1.1703737355168331
+clock_drift 0
+reconfig 1
+lossy_crash 1
+sync_is_noop 0
+clients_per_replica 2
+think_max_ms 55
+read_fraction 0.6197335615937658
+load_until_us 2500000
+quiesce_us 4000000
+end_us 15000000
+fault 1149000 oneway 0 2
+fault 1730000 oneway-heal 0 2
+fault 1931000 crash 1
+fault 2352000 restart 1
+)";
+
 constexpr const char* kMenSkipSpec = R"(protocol mencius
 replicas 3
 seed 220
@@ -222,6 +249,20 @@ TEST(DstScenario, EncodeDecodeRoundTrips) {
   EXPECT_EQ(decoded.encode(), spec.encode());
 }
 
+TEST(DstScenario, ReadFractionRoundTripsAndDefaultsToZero) {
+  GeneratorOptions opt;
+  opt.protocol = Protocol::kClockRsm;
+  opt.read_heavy = true;
+  const ScenarioSpec spec = dst::generate_scenario(42, opt);
+  ASSERT_GT(spec.read_fraction, 0.0);
+  const ScenarioSpec decoded = ScenarioSpec::decode(spec.encode());
+  EXPECT_EQ(decoded.read_fraction, spec.read_fraction);
+  EXPECT_EQ(decoded.encode(), spec.encode());
+  // Pre-read-path specs carry no read_fraction line and decode to a pure
+  // write workload, keeping the pinned regression scenarios byte-stable.
+  EXPECT_EQ(ScenarioSpec::decode(kFrozenSpec).read_fraction, 0.0);
+}
+
 TEST(DstScenario, DecodeRejectsMalformedInput) {
   EXPECT_THROW((void)ScenarioSpec::decode("protocol nosuch\n"), std::runtime_error);
   EXPECT_THROW((void)ScenarioSpec::decode("fault 10 nosuch-kind 1\n"),
@@ -267,6 +308,24 @@ TEST(DstGenerator, RespectsProtocolPinAndConstraints) {
   }
 }
 
+TEST(DstGenerator, ReadHeavyForcesClockRsmReadMix) {
+  GeneratorOptions opt;
+  opt.protocol = Protocol::kClockRsm;
+  opt.read_heavy = true;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ScenarioSpec spec = dst::generate_scenario(seed, opt);
+    EXPECT_GE(spec.read_fraction, 0.5) << "seed " << seed;
+    EXPECT_LE(spec.read_fraction, 0.95) << "seed " << seed;
+  }
+  // Only Clock-RSM has a local read path; other protocols stay write-only
+  // even when the swarm asks for read-heavy scenarios.
+  opt.protocol = Protocol::kMencius;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_EQ(dst::generate_scenario(seed, opt).read_fraction, 0.0)
+        << "seed " << seed;
+  }
+}
+
 // --- runner: determinism and generated smoke -------------------------------
 
 TEST(DstRunner, SameSpecByteIdenticalTrace) {
@@ -286,6 +345,42 @@ TEST(DstRunner, GeneratedSeedsPassAllInvariants) {
     EXPECT_TRUE(r.ok) << "seed " << seed << " (" << spec.summary()
                       << "): " << r.failure;
   }
+}
+
+TEST(DstRunner, ReadHeavyScenariosPassAndStayDeterministic) {
+  GeneratorOptions opt;
+  opt.protocol = Protocol::kClockRsm;
+  opt.read_heavy = true;
+  for (std::uint64_t seed : {2u, 9u, 21u}) {
+    const ScenarioSpec spec = dst::generate_scenario(seed, opt);
+    const RunResult a = dst::run_scenario(spec);
+    const RunResult b = dst::run_scenario(spec);
+    EXPECT_TRUE(a.ok) << "seed " << seed << " (" << spec.summary()
+                      << "): " << a.failure;
+    EXPECT_EQ(a.trace, b.trace) << "seed " << seed;
+    EXPECT_EQ(a.ok, b.ok);
+  }
+}
+
+TEST(DstRunner, HandWrittenReadScenarioExercisesStaleReadChecker) {
+  // Reads riding through a backward clock jump, a one-way outage against a
+  // serving replica, and a crash-restart of a replica holding pending
+  // reads: the extended checker sees every read and must find none stale,
+  // and the post-quiesce read probes must all be served.
+  const ScenarioSpec spec = ScenarioSpec::decode(
+      spec_header("clockrsm", 3, 11, 18,
+                  "reconfig 0\n"
+                  "read_fraction 0.9\n"
+                  "clock_skew_ms 1.5\n"
+                  "fault 500000 clock-jump 1 -60\n"
+                  "fault 700000 oneway 2 0\n"
+                  "fault 1400000 oneway-heal 2 0\n"
+                  "fault 1800000 crash 1\n"
+                  "fault 2400000 restart 1\n"));
+  const RunResult r = dst::run_scenario(spec);
+  EXPECT_TRUE(r.ok) << r.failure;
+  // The trace records the read half of the workload.
+  EXPECT_NE(r.trace.find("reads="), std::string::npos);
 }
 
 // --- pinned regressions (minimized by the shrinker from real swarm runs) ---
@@ -356,6 +451,19 @@ TEST(DstRegression, ClockRsmStaleCatchupCancelledOnEpochDecision) {
                           "fault 1259000 crash 3\n"
                           "fault 1613000 restart 3\n"),
               "stale-catchup-cancel");
+}
+
+TEST(DstRegression, ClockRsmRestartedCollectorStillRunsCatchup) {
+  // Swarm seed 10, the first failure the read-heavy category surfaced: a
+  // one-way outage forces two reconfigurations (drop replica 0, re-add it),
+  // then replica 1 crashes and restarts. The rejoin replays both old
+  // decisions in sequence; each application clears pending_ and cancels the
+  // in-flight catch-up, and the *last* one found the replica listed among
+  // its collectors — a listing earned by the pre-crash incarnation's log —
+  // so it skipped the replacement catch-up and committed around a command
+  // proposed during the downtime. Collector listings now only count for the
+  // incarnation that actually handed its log over.
+  expect_pass(kStaleCollectorSpec, "stale-collector-listing");
 }
 
 TEST(DstRegression, MenciusRestartMustNotSkipFilledSlots) {

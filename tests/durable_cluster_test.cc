@@ -14,6 +14,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -341,6 +342,71 @@ TEST_F(DurableClusterTest, GroupCommitBatchesFsyncs) {
   EXPECT_LE(s.syncs, s.sync_requests);
   EXPECT_GT(s.held_messages, 0u)
       << "PREPAREOKs should wait for the group-commit durability point";
+}
+
+// The read path across a hard kill: reads whose stability point needs the
+// dead replica's clock stall rather than serve stale, and drain with the
+// post-recovery state once the victim restarts from its WAL and its clock
+// resumes feeding stability.
+TEST_F(DurableClusterTest, ReadBurstStallsAcrossKillAndDrainsAfterRestart) {
+  TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
+                     durable_opts());
+  std::atomic<int> replies{0};
+  std::mutex mu;
+  std::map<ClientId, std::string> read_values;
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.set_read_hook(
+      [&](ReplicaId, const Command& cmd, std::string_view out) {
+        std::lock_guard<std::mutex> lk(mu);
+        read_values[cmd.client] = std::string(out);
+      });
+  cluster.start();
+
+  cluster.submit(0, kv_put(make_client_id(0, 0), 1, "rk", "before"));
+  ASSERT_TRUE(eventually([&] { return replies.load() == 1; }));
+
+  // A first wave of reads serves normally while the cluster is whole.
+  constexpr int kWave = 6;
+  for (int i = 0; i < kWave; ++i) {
+    cluster.submit_read(0, test::kv_get(make_client_id(0, 1 + i), 1, "rk"));
+  }
+  ASSERT_TRUE(eventually([&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return read_values.size() == static_cast<std::size_t>(kWave);
+  }));
+
+  // kill -9 mid-burst: replica 2's clock stops feeding stability. A write
+  // submitted now cannot commit, and reads submitted after it are held
+  // twice over — behind the uncommitted smaller-timestamp write AND behind
+  // stability itself.
+  cluster.kill(2);
+  cluster.submit(0, kv_put(make_client_id(0, 0), 2, "rk", "during"));
+  for (int i = 0; i < kWave; ++i) {
+    cluster.submit_read(0, test::kv_get(make_client_id(0, 100 + i), 1, "rk"));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_EQ(read_values.size(), static_cast<std::size_t>(kWave))
+        << "reads served while a config replica's clock was dead";
+  }
+  EXPECT_EQ(replies.load(), 1);
+
+  // Restart from the WAL: the write commits, and every held read drains
+  // with the post-recovery value — never "before".
+  cluster.restart(2);
+  ASSERT_TRUE(eventually([&] { return replies.load() == 2; }));
+  ASSERT_TRUE(eventually([&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return read_values.size() == static_cast<std::size_t>(2 * kWave);
+  }));
+  EXPECT_GE(cluster.reads_served(0), static_cast<std::uint64_t>(2 * kWave));
+  cluster.stop();
+  std::lock_guard<std::mutex> lk(mu);
+  for (int i = 0; i < kWave; ++i) {
+    EXPECT_EQ(read_values[make_client_id(0, 1 + i)], "before");
+    EXPECT_EQ(read_values[make_client_id(0, 100 + i)], "during");
+  }
 }
 
 // MemLog clusters keep the PR 3 contract: no recovery, no restart support

@@ -203,6 +203,139 @@ TEST(HistoryChecker, IgnoresUntrackedCommits) {
   EXPECT_TRUE(h.check().ok);
 }
 
+// --- HistoryChecker read model: reads that never enter the log ------------
+//
+// Local reads linearize by returned value + real-time bounds (rsm/history.h)
+// instead of a commit index. The harness contract: every written value is
+// unique per key.
+
+TEST(HistoryCheckerReads, StaleReadAfterPartitionHealIsRejected) {
+  // The classic stale-read shape: a partitioned replica heals, its stability
+  // point lurches forward, and it serves a read from before the writes it
+  // missed. write x=v1 and x=v2 both complete; a read invoked strictly
+  // after v2's response returns v1.
+  HistoryChecker h;
+  h.on_invoke_write(1, 1, "x", "v1", 0);
+  h.on_response(1, 1, 10);
+  h.on_invoke_write(1, 2, "x", "v2", 20);
+  h.on_response(1, 2, 30);
+  h.on_commit(1, 1);
+  h.on_commit(1, 2);
+  h.on_invoke_read(2, 1, "x", 40);
+  h.on_response_read(2, 1, "v1", 50);  // stale: v2 completed at t=30
+  const auto rep = h.check();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.violation.rfind("stale-read", 0), 0u) << rep.violation;
+}
+
+TEST(HistoryCheckerReads, ReadYourWritesAcrossReplicas) {
+  // A client's write completes at its home replica; its follow-up read —
+  // served by a *different* replica, hence no shared commit index — must
+  // observe the write. Returning the pre-write value is a violation even
+  // though the read never touched the log.
+  HistoryChecker h;
+  h.on_invoke_write(1, 1, "x", "old", 0);
+  h.on_response(1, 1, 10);
+  h.on_invoke_write(1, 2, "x", "new", 20);
+  h.on_response(1, 2, 30);
+  h.on_commit(1, 1);
+  h.on_commit(1, 2);
+  h.on_invoke_read(1, 3, "x", 40);
+  h.on_response_read(1, 3, "new", 55);
+  EXPECT_TRUE(h.check().ok) << h.check().violation;
+
+  h.on_invoke_read(1, 4, "x", 60);
+  h.on_response_read(1, 4, "old", 70);  // own completed write not visible
+  EXPECT_FALSE(h.check().ok);
+}
+
+TEST(HistoryCheckerReads, CrossClientReadReorderIsRejected) {
+  // Read monotonicity across clients: one replica serves v2, then another
+  // replica — strictly later in real time — serves v1. Neither read is
+  // stale relative to the *writes* (v2's write never completed), but
+  // together they travel back in time.
+  HistoryChecker h;
+  h.on_invoke_write(1, 1, "x", "v1", 0);
+  h.on_response(1, 1, 10);
+  h.on_invoke_write(1, 2, "x", "v2", 20);  // committed but no response seen
+  h.on_commit(1, 1);
+  h.on_commit(1, 2);
+  h.on_invoke_read(2, 1, "x", 40);
+  h.on_response_read(2, 1, "v2", 50);
+  h.on_invoke_read(3, 1, "x", 60);  // invoked after the v2 read responded
+  h.on_response_read(3, 1, "v1", 70);
+  const auto rep = h.check();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violation.find("backwards"), std::string::npos)
+      << rep.violation;
+}
+
+TEST(HistoryCheckerReads, ConcurrentReadMayReturnEitherValue) {
+  // A read overlapping a write may linearize on either side of it.
+  HistoryChecker h;
+  h.on_invoke_write(1, 1, "x", "v1", 0);
+  h.on_response(1, 1, 10);
+  h.on_invoke_write(1, 2, "x", "v2", 20);
+  h.on_response(1, 2, 60);
+  h.on_commit(1, 1);
+  h.on_commit(1, 2);
+  h.on_invoke_read(2, 1, "x", 30);  // concurrent with the v2 write
+  h.on_response_read(2, 1, "v1", 40);
+  EXPECT_TRUE(h.check().ok) << h.check().violation;
+
+  HistoryChecker h2;
+  h2.on_invoke_write(1, 1, "x", "v1", 0);
+  h2.on_response(1, 1, 10);
+  h2.on_invoke_write(1, 2, "x", "v2", 20);
+  h2.on_response(1, 2, 60);
+  h2.on_commit(1, 1);
+  h2.on_commit(1, 2);
+  h2.on_invoke_read(2, 1, "x", 30);
+  h2.on_response_read(2, 1, "v2", 40);  // the new value is fine too
+  EXPECT_TRUE(h2.check().ok) << h2.check().violation;
+}
+
+TEST(HistoryCheckerReads, ValueNoCommittedWriteProducedIsRejected) {
+  HistoryChecker h;
+  h.on_invoke_write(1, 1, "x", "v1", 0);
+  h.on_response(1, 1, 10);
+  h.on_commit(1, 1);
+  h.on_invoke_read(2, 1, "x", 20);
+  h.on_response_read(2, 1, "phantom", 30);
+  const auto rep = h.check();
+  EXPECT_FALSE(rep.ok);
+  EXPECT_EQ(rep.violation.rfind("stale-read", 0), 0u) << rep.violation;
+}
+
+TEST(HistoryCheckerReads, EmptyAfterCompletedWriteIsRejected) {
+  // "" means key-absent; after a write to the key completed, absence is as
+  // stale as any old value.
+  HistoryChecker h;
+  h.on_invoke_write(1, 1, "x", "v1", 0);
+  h.on_response(1, 1, 10);
+  h.on_commit(1, 1);
+  h.on_invoke_read(2, 1, "x", 20);
+  h.on_response_read(2, 1, "", 30);
+  EXPECT_FALSE(h.check().ok);
+}
+
+TEST(HistoryCheckerReads, UnansweredReadsConstrainNothing) {
+  // A read abandoned by the harness (e.g. its serving replica crashed)
+  // never responded: it must not fail any invariant, but still counts as
+  // invoked in the report.
+  HistoryChecker h;
+  h.on_invoke_write(1, 1, "x", "v1", 0);
+  h.on_response(1, 1, 10);
+  h.on_commit(1, 1);
+  h.on_invoke_read(2, 1, "x", 20);  // no response
+  h.on_invoke_read(2, 2, "x", 40);
+  h.on_response_read(2, 2, "v1", 50);
+  const auto rep = h.check();
+  EXPECT_TRUE(rep.ok) << rep.violation;
+  EXPECT_EQ(rep.reads, 2u);
+  EXPECT_EQ(rep.reads_completed, 1u);
+}
+
 // --- end-to-end: all four protocols produce linearizable histories ---
 
 class ProtocolLinearizabilityTest

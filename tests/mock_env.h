@@ -24,6 +24,10 @@ class MockEnv final : public ProtocolEnv {
     Timestamp ts;
     bool local_origin;
   };
+  struct DeliveredRead {
+    Command cmd;
+    Timestamp read_ts;
+  };
   struct Timer {
     Tick due;
     std::function<void()> fn;
@@ -45,6 +49,9 @@ class MockEnv final : public ProtocolEnv {
   [[nodiscard]] CommandLog& log() override { return log_; }
   void deliver(const Command& cmd, Timestamp ts, bool local_origin) override {
     delivered.push_back({cmd, ts, local_origin});
+  }
+  void deliver_read(const Command& cmd, Timestamp read_ts) override {
+    delivered_reads.push_back({cmd, read_ts});
   }
   [[nodiscard]] Timestamp recovery_floor() const override { return floor; }
 
@@ -87,6 +94,7 @@ class MockEnv final : public ProtocolEnv {
 
   std::vector<Sent> sent;
   std::vector<Delivered> delivered;
+  std::vector<DeliveredRead> delivered_reads;
   std::vector<Timer> timers;
   Timestamp floor = kZeroTimestamp;
 

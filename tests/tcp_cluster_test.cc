@@ -224,6 +224,129 @@ TEST(TcpClusterClientPath, SyncClientRoundTripsThroughAnyReplica) {
   cluster.stop();
 }
 
+// --- the local read path over real sockets ---------------------------------
+
+// A completed write is visible to a local read at EVERY replica, not just
+// the write's origin: the stability rule holds the read until the write's
+// PREPARE has arrived and executed.
+TEST(TcpClusterReads, LocalReadsServeAtEveryReplica) {
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory());
+  std::atomic<int> replies{0};
+  std::mutex mu;
+  std::map<ClientId, std::string> read_values;
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.set_read_hook(
+      [&](ReplicaId, const Command& cmd, std::string_view out) {
+        std::lock_guard<std::mutex> lk(mu);
+        read_values[cmd.client] = std::string(out);
+      });
+  cluster.start();
+  cluster.submit(0, kv_put(1, 1, "rk", "rv"));
+  ASSERT_TRUE(eventually([&] { return replies.load() == 1; }));
+  for (ReplicaId r = 0; r < 3; ++r) {
+    cluster.submit_read(r, test::kv_get(100 + r, 1, "rk"));
+  }
+  ASSERT_TRUE(eventually([&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return read_values.size() == 3;
+  }));
+  std::uint64_t served = 0;
+  for (ReplicaId r = 0; r < 3; ++r) served += cluster.reads_served(r);
+  cluster.stop();
+  for (ReplicaId r = 0; r < 3; ++r) {
+    EXPECT_EQ(read_values[100 + r], "rv") << "read at replica " << r;
+  }
+  EXPECT_EQ(served, 3u);
+}
+
+// Interleaved writes and cross-replica reads under load: every read is
+// answered, reads never enter the replicated order (executed() counts only
+// the writes), and the cluster still agrees.
+TEST(TcpClusterReads, MixedReadWriteBurstOverRealSockets) {
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory());
+  std::atomic<int> replies{0};
+  std::atomic<int> reads_done{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.set_read_hook([&](ReplicaId, const Command&, std::string_view) {
+    ++reads_done;
+  });
+  cluster.start();
+  constexpr int kRounds = 10;
+  for (int i = 1; i <= kRounds; ++i) {
+    for (ReplicaId r = 0; r < 3; ++r) {
+      cluster.submit(r, kv_put(make_client_id(r, 0), i,
+                               "k" + std::to_string(r), std::to_string(i)));
+      // Each read targets another replica's key, from that replica's POV a
+      // remote writer — the interesting interleaving.
+      cluster.submit_read(r, test::kv_get(make_client_id(r, 1), i,
+                                          "k" + std::to_string((r + 1) % 3)));
+    }
+  }
+  EXPECT_TRUE(eventually([&] {
+    return replies.load() == 3 * kRounds && reads_done.load() == 3 * kRounds;
+  }));
+  // Writes only in the replicated order; reads counted separately.
+  EXPECT_TRUE(eventually([&] {
+    return cluster.executed(0) == 3 * kRounds &&
+           cluster.executed(1) == 3 * kRounds &&
+           cluster.executed(2) == 3 * kRounds;
+  }));
+  std::uint64_t served = 0;
+  for (ReplicaId r = 0; r < 3; ++r) served += cluster.reads_served(r);
+  EXPECT_EQ(served, 3u * kRounds);
+  cluster.stop();
+}
+
+// kClientRead/kClientReadReply over the wire: a follower serves the read
+// locally, and a missing key reads back as the empty value.
+TEST(TcpClusterClientPath, SyncClientReadCallServesFollowerReads) {
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory());
+  cluster.start();
+  net::SyncClient writer("127.0.0.1", cluster.port(0));
+  EXPECT_EQ(writer.call(kv_put(make_client_id(0, 7), 1, "wire", "value"),
+                        /*timeout_ms=*/5000),
+            "OK");
+  net::SyncClient reader("127.0.0.1", cluster.port(1));
+  EXPECT_EQ(reader.read_call(test::kv_get(make_client_id(1, 7), 1, "wire"),
+                             /*timeout_ms=*/5000),
+            "value");
+  EXPECT_EQ(reader.read_call(test::kv_get(make_client_id(1, 7), 2, "absent"),
+                             /*timeout_ms=*/5000),
+            "");
+  EXPECT_GE(cluster.reads_served(1), 2u);
+  cluster.stop();
+}
+
+// Protocols without a local read path fall back to riding the log: the read
+// commits like a write but is answered through the read hook (and, over the
+// wire, as a kClientReadReply) so clients see one uniform read interface.
+TEST(TcpClusterReads, ProtocolsWithoutLocalReadsAnswerViaTheLog) {
+  TcpCluster cluster(3, paxos_factory(3, 0, false), kv_factory());
+  std::mutex mu;
+  std::string got = "<unserved>";
+  cluster.set_read_hook(
+      [&](ReplicaId, const Command&, std::string_view out) {
+        std::lock_guard<std::mutex> lk(mu);
+        got = std::string(out);
+      });
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+  cluster.submit(0, kv_put(1, 1, "pk", "pv"));
+  ASSERT_TRUE(eventually([&] { return replies.load() == 1; }));
+  cluster.submit_read(0, test::kv_get(2, 1, "pk"));
+  ASSERT_TRUE(eventually([&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return got != "<unserved>";
+  }));
+  // The logged read IS part of the replicated order here.
+  EXPECT_TRUE(eventually([&] { return cluster.executed(0) == 2; }));
+  EXPECT_EQ(cluster.reads_served(0), 1u);
+  cluster.stop();
+  std::lock_guard<std::mutex> lk(mu);
+  EXPECT_EQ(got, "pv");
+}
+
 // Encode-once over TCP: a Clock-RSM broadcast is serialized once and
 // written to every peer socket, so encode_calls stays well below
 // messages_sent (the same acceptance bound the other transports meet).

@@ -57,6 +57,31 @@ inline Command kv_put(ClientId client, std::uint64_t seq, const std::string& key
   return c;
 }
 
+inline Command kv_get(ClientId client, std::uint64_t seq,
+                      const std::string& key) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  KvRequest r;
+  r.op = KvOp::kGet;
+  r.key = key;
+  c.payload = r.encode();
+  return c;
+}
+
+inline Command kv_scan(ClientId client, std::uint64_t seq,
+                       const std::string& prefix, std::uint64_t limit = 0) {
+  Command c;
+  c.client = client;
+  c.seq = seq;
+  KvRequest r;
+  r.op = KvOp::kScan;
+  r.key = prefix;
+  r.scan_limit = limit;
+  c.payload = r.encode();
+  return c;
+}
+
 // Asserts every live replica executed the same command sequence (same
 // commands, same order) and that the state machines agree.
 inline void expect_agreement(SimWorld& w) {

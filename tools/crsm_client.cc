@@ -1,11 +1,14 @@
 // crsm_client: closed-loop load driver for a crsm_node cluster.
 //
 //   crsm_client --server host:port [--clients K] [--duration S]
-//               [--payload BYTES] [--seed N] [--json]
+//               [--payload BYTES] [--read-fraction F] [--seed N] [--json]
 //
-// Opens K connections to one node, each running a closed loop of
-// kClientRequest KV puts (one outstanding request per connection), and
-// reports throughput plus client-observed commit latency percentiles.
+// Opens K connections to one node, each running a closed loop of KV ops
+// (one outstanding request per connection) and reports throughput plus
+// client-observed latency percentiles. With --read-fraction F each op is a
+// kClientRead get with probability F and a kClientRequest put otherwise;
+// reads are served from the connected replica's local stability point (any
+// replica, not just a leader) and are reported separately from writes.
 #include <unistd.h>
 
 #include <atomic>
@@ -21,6 +24,7 @@
 #include "bench_common.h"
 #include "kv/kv_store.h"
 #include "net/sync_client.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "workload/workload.h"
 
@@ -29,7 +33,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --server host:port [--clients K] [--duration S]\n"
-               "          [--payload BYTES] [--seed N] [--json]\n",
+               "          [--payload BYTES] [--read-fraction F] [--seed N]\n"
+               "          [--json]\n",
                argv0);
   std::exit(2);
 }
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
   std::size_t clients = 8;
   double duration_s = 5.0;
   std::size_t payload = 64;
+  double read_fraction = 0.0;
   std::uint64_t seed = 42;
   bool json = false;
 
@@ -66,6 +72,9 @@ int main(int argc, char** argv) {
         duration_s = std::stod(next());
       } else if (a == "--payload") {
         payload = std::stoul(next());
+      } else if (a == "--read-fraction") {
+        read_fraction = std::stod(next());
+        if (read_fraction < 0.0 || read_fraction > 1.0) usage(argv[0]);
       } else if (a == "--seed") {
         seed = std::stoull(next());
       } else if (a == "--json") {
@@ -80,7 +89,6 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
   if (port == 0) usage(argv[0]);
-  (void)seed;  // reserved for future randomized workloads; accepted uniformly
 
   // Disambiguate client ids across concurrently running crsm_client
   // processes: the node routes replies by (client, seq), so two drivers
@@ -90,13 +98,22 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(::getpid() % 0xFFFF) * 0x10000;
 
   std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> reads{0};
   std::atomic<std::uint64_t> errors{0};
   std::mutex stats_mu;
   LatencyStats latency;
+  LatencyStats read_latency;
 
-  const std::string payload_bytes =
+  const std::string put_payload =
       KvRequest::sized_put("key", payload).encode();
+  std::string get_payload;
+  {
+    KvRequest r;
+    r.op = KvOp::kGet;
+    r.key = "key";
+    get_payload = r.encode();
+  }
 
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < clients; ++c) {
@@ -104,21 +121,37 @@ int main(int argc, char** argv) {
       try {
         net::SyncClient conn(host, port);
         const ClientId id = make_client_id(conn.server_id(), index_base + c);
+        Rng rng(seed + c);
         LatencyStats local;
+        LatencyStats local_reads;
         std::uint64_t seq = 0;
         while (!stop.load(std::memory_order_acquire)) {
+          const bool is_read =
+              read_fraction > 0.0 && rng.bernoulli(read_fraction);
           Command cmd;
           cmd.client = id;
           cmd.seq = ++seq;
-          cmd.payload = payload_bytes;
+          cmd.payload = is_read ? get_payload : put_payload;
           const auto t0 = std::chrono::steady_clock::now();
-          (void)conn.call(cmd, /*timeout_ms=*/10'000);
+          if (is_read) {
+            (void)conn.read_call(cmd, /*timeout_ms=*/10'000);
+          } else {
+            (void)conn.call(cmd, /*timeout_ms=*/10'000);
+          }
           const auto t1 = std::chrono::steady_clock::now();
-          local.add(std::chrono::duration<double, std::milli>(t1 - t0).count());
-          ops.fetch_add(1, std::memory_order_relaxed);
+          const double ms =
+              std::chrono::duration<double, std::milli>(t1 - t0).count();
+          if (is_read) {
+            local_reads.add(ms);
+            reads.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            local.add(ms);
+            writes.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         std::lock_guard<std::mutex> lk(stats_mu);
         latency.merge(local);
+        read_latency.merge(local_reads);
       } catch (const std::exception& e) {
         errors.fetch_add(1, std::memory_order_relaxed);
         std::fprintf(stderr, "client %zu: %s\n", c, e.what());
@@ -134,30 +167,51 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  const double cmds_per_sec = static_cast<double>(ops.load()) / secs;
+  const std::uint64_t total_ops = writes.load() + reads.load();
+  const double cmds_per_sec = static_cast<double>(total_ops) / secs;
   if (json) {
     bench::JsonResult jr("crsm_client");
     jr.add("server", host + ":" + std::to_string(port));
     jr.add("clients", static_cast<std::uint64_t>(clients));
     jr.add("payload_bytes", static_cast<std::uint64_t>(payload));
+    jr.add("read_fraction", read_fraction);
     jr.add("duration_s", secs);
-    jr.add("ops", ops.load());
+    jr.add("ops", total_ops);
+    jr.add("writes", writes.load());
+    jr.add("reads", reads.load());
     jr.add("cmds_per_sec", cmds_per_sec);
+    jr.add("reads_per_sec", static_cast<double>(reads.load()) / secs);
     jr.add("errors", errors.load());
     jr.add("latency_mean_ms", latency.empty() ? 0.0 : latency.mean());
     jr.add("latency_p50_ms", latency.empty() ? 0.0 : latency.percentile(50));
     jr.add("latency_p95_ms", latency.empty() ? 0.0 : latency.percentile(95));
     jr.add("latency_p99_ms", latency.empty() ? 0.0 : latency.percentile(99));
+    jr.add("read_latency_mean_ms",
+           read_latency.empty() ? 0.0 : read_latency.mean());
+    jr.add("read_latency_p50_ms",
+           read_latency.empty() ? 0.0 : read_latency.percentile(50));
+    jr.add("read_latency_p95_ms",
+           read_latency.empty() ? 0.0 : read_latency.percentile(95));
+    jr.add("read_latency_p99_ms",
+           read_latency.empty() ? 0.0 : read_latency.percentile(99));
     jr.print(std::cout);
   } else {
-    std::printf("crsm_client: %llu ops in %.2fs -> %.1f cmds/s (%zu clients, "
-                "%zuB payload)\n",
-                static_cast<unsigned long long>(ops.load()), secs, cmds_per_sec,
-                clients, payload);
+    std::printf("crsm_client: %llu ops (%llu writes, %llu reads) in %.2fs -> "
+                "%.1f ops/s (%zu clients, %zuB payload)\n",
+                static_cast<unsigned long long>(total_ops),
+                static_cast<unsigned long long>(writes.load()),
+                static_cast<unsigned long long>(reads.load()), secs,
+                cmds_per_sec, clients, payload);
     if (!latency.empty()) {
-      std::printf("latency ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+      std::printf("write ms: mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
                   latency.mean(), latency.percentile(50), latency.percentile(95),
                   latency.percentile(99), latency.max());
+    }
+    if (!read_latency.empty()) {
+      std::printf("read ms:  mean %.3f  p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n",
+                  read_latency.mean(), read_latency.percentile(50),
+                  read_latency.percentile(95), read_latency.percentile(99),
+                  read_latency.max());
     }
     if (errors.load() > 0) {
       std::printf("errors: %llu\n", static_cast<unsigned long long>(errors.load()));

@@ -11,7 +11,7 @@
 // Usage:
 //   dst_swarm [--seeds N] [--start-seed S] [--protocol P] [--jobs W]
 //             [--no-shrink] [--verify-determinism] [--inject-bug sync-noop]
-//             [--out DIR]
+//             [--read-heavy] [--out DIR]
 //   dst_swarm --seed S [--protocol P] [...]     replay one generated seed
 //   dst_swarm --spec FILE [...]                 replay a written spec file
 //
@@ -19,6 +19,9 @@
 // --inject-bug sync-noop: harness self-test — log fsync becomes a no-op, so
 //   power-loss crashes lose acknowledged state; the swarm MUST fail with
 //   durability violations (and shrink them to a handful of crash events).
+// --read-heavy: every Clock-RSM scenario carries a read-heavy workload
+//   (read fraction in [0.5, 0.95]) for dedicated stale-read hunting;
+//   without it roughly a third of Clock-RSM seeds are read-heavy anyway.
 // Exit status: 0 iff every scenario passed.
 #include <sys/wait.h>
 #include <unistd.h>
@@ -53,6 +56,7 @@ struct Args {
   bool shrink = true;
   bool verify_determinism = false;
   bool inject_sync_noop = false;
+  bool read_heavy = false;
   std::string out_dir = "dst-failures";
   // Single-run modes.
   bool have_single_seed = false;
@@ -98,6 +102,8 @@ Args parse_args(int argc, char** argv) {
       const std::string bug = next("--inject-bug");
       if (bug != "sync-noop") usage_error("unknown --inject-bug '" + bug + "'");
       a.inject_sync_noop = true;
+    } else if (flag == "--read-heavy") {
+      a.read_heavy = true;
     } else if (flag == "--out") {
       a.out_dir = next("--out");
     } else if (flag == "--seed") {
@@ -109,7 +115,7 @@ Args parse_args(int argc, char** argv) {
       std::printf(
           "usage: dst_swarm [--seeds N] [--start-seed S] [--protocol P]\n"
           "                 [--jobs W] [--no-shrink] [--verify-determinism]\n"
-          "                 [--inject-bug sync-noop] [--out DIR]\n"
+          "                 [--inject-bug sync-noop] [--read-heavy] [--out DIR]\n"
           "       dst_swarm --seed S [--protocol P]\n"
           "       dst_swarm --spec FILE\n"
           "protocols: clockrsm paxos paxos-bcast mencius consensus all\n");
@@ -135,6 +141,7 @@ GeneratorOptions generator_options(const Args& a) {
     g.protocol = p;
   }
   g.inject_sync_noop_bug = a.inject_sync_noop;
+  g.read_heavy = a.read_heavy;
   return g;
 }
 
