@@ -82,6 +82,8 @@ int main(int argc, char** argv) {
     jr.add(metric_key(w.label) + "_msgs_per_cmd", w.r.msgs_per_cmd);
     jr.add(metric_key(w.label) + "_bytes_per_cmd", w.r.bytes_per_cmd);
     jr.add(metric_key(w.label) + "_encodes_per_cmd", w.r.encodes_per_cmd);
+    jr.add(metric_key(w.label) + "_flushes_per_cmd", w.r.flushes_per_cmd);
+    jr.add(metric_key(w.label) + "_frames_per_flush", w.r.frames_per_flush);
   }
   if (args.json) {
     jr.print(std::cout);
@@ -90,12 +92,15 @@ int main(int argc, char** argv) {
   t.print(std::cout);
 
   // Wire-pipeline counters (100B commands). With the encode-once fan-out
-  // pipeline, encodes/cmd is ~msgs/cmd divided by the broadcast fan-out.
+  // pipeline, encodes/cmd is ~msgs/cmd divided by the broadcast fan-out;
+  // flushes/cmd counts queue handoffs (== msgs/cmd here: this figure runs
+  // unbatched; the fig10 sweep shows coalescing pull it below msgs/cmd).
   std::printf("\nWire counters per committed command (100B):\n");
   for (const WireRow& w : wire_rows) {
-    std::printf("  %-14s msgs/cmd %6.2f   bytes/cmd %8.1f   encodes/cmd %6.2f\n",
-                w.label, w.r.msgs_per_cmd, w.r.bytes_per_cmd,
-                w.r.encodes_per_cmd);
+    std::printf("  %-14s msgs/cmd %6.2f   flushes/cmd %6.2f   bytes/cmd %8.1f"
+                "   encodes/cmd %6.2f\n",
+                w.label, w.r.msgs_per_cmd, w.r.flushes_per_cmd,
+                w.r.bytes_per_cmd, w.r.encodes_per_cmd);
   }
 
   std::printf("\nPaper shape to check: Clock-RSM ~ Mencius-bcast at all "

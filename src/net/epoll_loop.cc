@@ -1,0 +1,84 @@
+#include "net/epoll_loop.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace crsm::net {
+
+namespace {
+constexpr int kMaxEvents = 64;
+}  // namespace
+
+EpollEventLoop::EpollEventLoop() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) throw NetError("epoll_create1 failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd();
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd(), &ev) < 0) {
+    ::close(epfd_);
+    epfd_ = -1;
+    throw NetError("epoll_ctl(wake_fd) failed");
+  }
+}
+
+EpollEventLoop::~EpollEventLoop() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void EpollEventLoop::add_fd(int fd, std::uint32_t interest, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = interest;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw NetError(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+  }
+  fds_[fd] = std::move(cb);
+}
+
+void EpollEventLoop::mod_fd(int fd, std::uint32_t interest) {
+  epoll_event ev{};
+  ev.events = interest;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw NetError(std::string("epoll_ctl(MOD): ") + std::strerror(errno));
+  }
+}
+
+void EpollEventLoop::del_fd(int fd) {
+  // The fd may already be closed (EBADF) — deregistration must not throw on
+  // teardown paths.
+  (void)::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  fds_.erase(fd);
+}
+
+void EpollEventLoop::poll_io(int timeout_ms) {
+  epoll_event events[kMaxEvents];
+  const int n = ::epoll_wait(epfd_, events, kMaxEvents, timeout_ms);
+  if (n < 0 && errno != EINTR) {
+    throw NetError(std::string("epoll_wait: ") + std::strerror(errno));
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd()) {
+      drain_wake_fd();
+      continue;
+    }
+    // Look the callback up per event: an earlier callback in this batch
+    // may have deregistered this fd (e.g. a peer close tearing down a
+    // sibling connection).
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) continue;
+    // Copy: the callback may del_fd(fd) (invalidating `it`) or add fds.
+    FdCallback cb = it->second;
+    cb(events[i].events);
+  }
+}
+
+}  // namespace crsm::net

@@ -1,0 +1,33 @@
+// The portable EventLoop backend: level-triggered epoll_wait readiness,
+// with reads/writes issued synchronously by the callbacks (read() loops,
+// sendmsg per flush). No recv-stream or queued-send fast paths — callers
+// fall back to the readiness API, which this backend serves exactly as the
+// pre-uring event loop did.
+#pragma once
+
+#include "net/event_loop.h"
+
+namespace crsm::net {
+
+class EpollEventLoop final : public EventLoop {
+ public:
+  EpollEventLoop();
+  ~EpollEventLoop() override;
+
+  [[nodiscard]] IoBackend backend() const override {
+    return IoBackend::kEpoll;
+  }
+
+  void add_fd(int fd, std::uint32_t interest, FdCallback cb) override;
+  void mod_fd(int fd, std::uint32_t interest) override;
+  void del_fd(int fd) override;
+
+ protected:
+  void poll_io(int timeout_ms) override;
+
+ private:
+  int epfd_ = -1;
+  std::unordered_map<int, FdCallback> fds_;
+};
+
+}  // namespace crsm::net

@@ -15,7 +15,9 @@ namespace crsm::net {
 
 namespace {
 constexpr std::size_t kReadChunk = 64 * 1024;
-constexpr int kMaxIov = 16;
+// Frames gathered per kernel handoff. Coalescing batches whole passes into
+// one writev, so give it room well past the old per-send fan-out.
+constexpr std::size_t kMaxIov = 64;
 }  // namespace
 
 std::string encode_hello(std::uint32_t id) {
@@ -32,8 +34,8 @@ bool parse_hello(std::string_view buf, std::uint32_t* id) {
   return magic == kHelloMagic;
 }
 
-FrameConn::FrameConn(EventLoop& loop, Socket sock)
-    : loop_(loop), sock_(std::move(sock)) {
+FrameConn::FrameConn(EventLoop& loop, Socket sock, WireMetrics* metrics)
+    : loop_(loop), sock_(std::move(sock)), metrics_(metrics) {
   set_tcp_nodelay(sock_.fd());
 }
 
@@ -44,7 +46,17 @@ void FrameConn::start(std::uint32_t hello_id, HelloHandler on_hello,
   on_hello_ = std::move(on_hello);
   on_message_ = std::move(on_message);
   on_close_ = std::move(on_close);
-  loop_.add_fd(sock_.fd(), EPOLLIN,
+  // Prefer the backend's zero-syscall inbound stream (uring multishot
+  // recv); EPOLLIN + read() is the fallback. Either way a poll
+  // registration stays armed for write interest and error reporting.
+  recv_stream_ =
+      loop_.add_recv_stream(sock_.fd(), [this](std::string_view data,
+                                               bool eof) {
+        if (closed_) return;
+        if (!data.empty()) assembler_.append(data);
+        process_inbound(eof);
+      });
+  loop_.add_fd(sock_.fd(), recv_stream_ ? 0 : EPOLLIN,
                [this](std::uint32_t events) { handle_events(events); });
   pending_bytes_ += 8;
   out_.push_back(Pending{
@@ -57,29 +69,64 @@ void FrameConn::send(std::shared_ptr<const std::string> frame) {
   if (closed_ || frame->empty()) return;
   pending_bytes_ += frame->size();
   out_.push_back(Pending{std::move(frame), 0, /*is_hello=*/false});
-  (void)flush();
+  if (!coalesce_) (void)flush();
 }
 
 bool FrameConn::flush() {
   if (closed_) return false;
-  while (!out_.empty()) {
+  committed_ = out_.size();
+  return drain_committed();
+}
+
+bool FrameConn::drain_committed() {
+  while (committed_ > 0) {
     if (!write_some()) return false;
-    if (want_write_) break;  // kernel buffer full; EPOLLOUT armed
+    // Kernel buffer full (EPOLLOUT armed) or an async send is in flight
+    // (its completion continues the drain).
+    if (want_write_ || inflight_send_ != 0) break;
   }
   return true;
 }
 
 bool FrameConn::write_some() {
+  if (inflight_send_ != 0) return true;
+  std::size_t nent = committed_;
+  if (nent > kMaxIov) nent = kMaxIov;
+  if (nent == 0) return true;
+
+  if (loop_.supports_send_queue()) {
+    // Async path: one SENDMSG SQE, submitted with everything else in the
+    // next pass's single io_uring_enter. The batch keeps the iov array and
+    // frame buffers alive for the kernel even across a teardown.
+    auto batch = std::make_shared<SendBatch>();
+    batch->iov.reserve(nent);
+    batch->bufs.reserve(nent);
+    for (const Pending& p : out_) {
+      if (batch->iov.size() == nent) break;
+      batch->iov.push_back(
+          iovec{const_cast<char*>(p.buf->data() + p.offset),
+                p.buf->size() - p.offset});
+      batch->bufs.push_back(p.buf);
+    }
+    const iovec* iov = batch->iov.data();
+    const std::uint64_t id = loop_.queue_send(
+        sock_.fd(), iov, static_cast<int>(nent), batch,
+        [this](ssize_t n) { on_send_complete(n); });
+    if (id != 0) {
+      inflight_send_ = id;
+      inflight_entries_ = nent;
+      return true;
+    }
+  }
+
   iovec iov[kMaxIov];
   int niov = 0;
   for (const Pending& p : out_) {
-    if (niov == kMaxIov) break;
-    iov[niov].iov_base =
-        const_cast<char*>(p.buf->data() + p.offset);
+    if (static_cast<std::size_t>(niov) == nent) break;
+    iov[niov].iov_base = const_cast<char*>(p.buf->data() + p.offset);
     iov[niov].iov_len = p.buf->size() - p.offset;
     ++niov;
   }
-  if (niov == 0) return true;
   // sendmsg + MSG_NOSIGNAL rather than writev: a peer that died (or was
   // kill -9'd) can reset the connection between our readiness check and
   // this write, and a raw writev would then raise SIGPIPE and kill the
@@ -88,39 +135,71 @@ bool FrameConn::write_some() {
   msg.msg_iov = iov;
   msg.msg_iovlen = static_cast<std::size_t>(niov);
   const ssize_t n = ::sendmsg(sock_.fd(), &msg, MSG_NOSIGNAL);
-  if (n < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-      if (!want_write_) {
-        want_write_ = true;
-        update_interest();
+  return handle_write_result(n < 0 ? -errno : n);
+}
+
+bool FrameConn::handle_write_result(ssize_t n) {
+  if (n >= 0) {
+    if (n > 0) {
+      if (metrics_) {
+        metrics_->flushes.fetch_add(1, std::memory_order_relaxed);
       }
-      return true;
+      advance_out(static_cast<std::size_t>(n));
     }
-    fail();
-    return false;
+    if (committed_ == 0 && want_write_) {
+      want_write_ = false;
+      update_interest();
+    }
+    return true;
   }
-  std::size_t left = static_cast<std::size_t>(n);
-  pending_bytes_ -= left;
+  if (n == -EAGAIN || n == -EWOULDBLOCK || n == -EINTR) {
+    if (!want_write_) {
+      want_write_ = true;
+      update_interest();
+    }
+    return true;
+  }
+  fail();
+  return false;
+}
+
+void FrameConn::on_send_complete(ssize_t n) {
+  inflight_send_ = 0;
+  inflight_entries_ = 0;
+  if (closed_) return;
+  if (!handle_write_result(n)) return;
+  // A partial write (or committed frames beyond the iov cap) left bytes
+  // owed to the wire: keep draining unless the socket just said EAGAIN.
+  // Frames queued coalescing while this send was in flight stay queued
+  // until their own flush().
+  if (committed_ > 0 && !want_write_) (void)drain_committed();
+}
+
+void FrameConn::advance_out(std::size_t n) {
+  pending_bytes_ -= n;
+  std::size_t left = n;
   while (left > 0) {
     Pending& p = out_.front();
     const std::size_t rest = p.buf->size() - p.offset;
     if (left < rest) {
+      // Torn write: keep the head frame, advanced to the exact unsent
+      // tail — the next writev resumes mid-frame, never resending bytes.
       p.offset += left;
       left = 0;
     } else {
       left -= rest;
+      if (metrics_ && !p.is_hello) {
+        metrics_->frames_flushed.fetch_add(1, std::memory_order_relaxed);
+      }
       out_.pop_front();
+      if (committed_ > 0) --committed_;  // written entries were committed
     }
   }
-  if (out_.empty() && want_write_) {
-    want_write_ = false;
-    update_interest();
-  }
-  return true;
 }
 
 void FrameConn::update_interest() {
-  loop_.mod_fd(sock_.fd(), EPOLLIN | (want_write_ ? EPOLLOUT : 0));
+  const std::uint32_t base = recv_stream_ ? 0 : EPOLLIN;
+  loop_.mod_fd(sock_.fd(), base | (want_write_ ? EPOLLOUT : 0));
 }
 
 void FrameConn::handle_events(std::uint32_t events) {
@@ -130,9 +209,9 @@ void FrameConn::handle_events(std::uint32_t events) {
     return;
   }
   if (events & EPOLLOUT) {
-    if (!flush()) return;
+    if (!drain_committed()) return;
   }
-  if (events & EPOLLIN) handle_readable();
+  if ((events & EPOLLIN) && !recv_stream_) handle_readable();
 }
 
 void FrameConn::handle_readable() {
@@ -152,7 +231,10 @@ void FrameConn::handle_readable() {
     eof = true;
     break;
   }
+  process_inbound(eof);
+}
 
+void FrameConn::process_inbound(bool eof) {
   if (!hello_received_) {
     if (assembler_.buffered() < 8) {
       if (eof) fail();
@@ -190,11 +272,16 @@ void FrameConn::handle_readable() {
 
 std::deque<std::shared_ptr<const std::string>> FrameConn::take_pending() {
   std::deque<std::shared_ptr<const std::string>> frames;
+  std::size_t i = 0;
   for (Pending& p : out_) {
-    if (!p.is_hello) frames.push_back(std::move(p.buf));
+    // Entries covered by an in-flight async send are "handed to a socket
+    // that then died": possibly delivered, so requeueing could duplicate.
+    const bool covered = i++ < inflight_entries_;
+    if (!covered && !p.is_hello) frames.push_back(std::move(p.buf));
   }
   out_.clear();
   pending_bytes_ = 0;
+  committed_ = 0;
   return frames;
 }
 
@@ -202,6 +289,8 @@ void FrameConn::close() {
   if (closed_) return;
   closed_ = true;
   if (sock_.valid()) {
+    if (recv_stream_) loop_.del_recv_stream(sock_.fd());
+    if (inflight_send_ != 0) loop_.discard_send(inflight_send_);
     loop_.del_fd(sock_.fd());
     sock_.reset();
   }

@@ -1,0 +1,279 @@
+#include "net/uring.h"
+
+#include <linux/time_types.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "net/socket.h"
+
+namespace crsm::net {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+int sys_io_uring_register(int fd, unsigned opcode, void* arg, unsigned nr) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr));
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw NetError(std::string(what) + ": " + std::strerror(errno));
+}
+
+unsigned load_acquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+
+void store_release(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+}  // namespace
+
+Uring::Uring(unsigned sq_entries, unsigned cq_entries) {
+  params_.flags = IORING_SETUP_CLAMP | IORING_SETUP_CQSIZE;
+  params_.cq_entries = cq_entries;
+  fd_ = sys_io_uring_setup(sq_entries, &params_);
+  if (fd_ < 0) throw_errno("io_uring_setup");
+
+  // EXT_ARG (5.11) carries the per-pass wait timeout; SINGLE_MMAP (5.4)
+  // keeps the mapping logic simple. Both predate every kernel with the
+  // multishot-recv support the loop needs, so require rather than branch.
+  if (!(params_.features & IORING_FEAT_SINGLE_MMAP) ||
+      !(params_.features & IORING_FEAT_EXT_ARG)) {
+    ::close(fd_);
+    fd_ = -1;
+    throw NetError("io_uring: kernel lacks SINGLE_MMAP/EXT_ARG features");
+  }
+
+  const std::size_t sq_sz =
+      params_.sq_off.array + params_.sq_entries * sizeof(unsigned);
+  const std::size_t cq_sz =
+      params_.cq_off.cqes + params_.cq_entries * sizeof(io_uring_cqe);
+  ring_sz_ = sq_sz > cq_sz ? sq_sz : cq_sz;
+  ring_ptr_ = ::mmap(nullptr, ring_sz_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQ_RING);
+  if (ring_ptr_ == MAP_FAILED) {
+    ring_ptr_ = nullptr;
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("io_uring mmap(rings)");
+  }
+  sqes_sz_ = params_.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<io_uring_sqe*>(
+      ::mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, fd_, IORING_OFF_SQES));
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    ::munmap(ring_ptr_, ring_sz_);
+    ring_ptr_ = nullptr;
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("io_uring mmap(sqes)");
+  }
+
+  auto* base = static_cast<char*>(ring_ptr_);
+  sq_khead_ = reinterpret_cast<unsigned*>(base + params_.sq_off.head);
+  sq_ktail_ = reinterpret_cast<unsigned*>(base + params_.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(base + params_.sq_off.ring_mask);
+  sq_entries_ = params_.sq_entries;
+  sq_array_ = reinterpret_cast<unsigned*>(base + params_.sq_off.array);
+  cq_khead_ = reinterpret_cast<unsigned*>(base + params_.cq_off.head);
+  cq_ktail_ = reinterpret_cast<unsigned*>(base + params_.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(base + params_.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(base + params_.cq_off.cqes);
+
+  // SQE index i always lives at slot i; fill the indirection array once.
+  for (unsigned i = 0; i < sq_entries_; ++i) sq_array_[i] = i;
+}
+
+Uring::~Uring() {
+  // Provided buffers die with the ring fd; only the pool mapping is ours.
+  if (buf_pool_) ::munmap(buf_pool_, buf_pool_sz_);
+  if (sqes_) ::munmap(sqes_, sqes_sz_);
+  if (ring_ptr_) ::munmap(ring_ptr_, ring_sz_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+io_uring_sqe* Uring::get_sqe() {
+  if (sqe_tail_ - load_acquire(sq_khead_) == sq_entries_) {
+    submit();  // SQ full mid-pass: flush to make room
+  }
+  io_uring_sqe* sqe = &sqes_[sqe_tail_ & sq_mask_];
+  std::memset(sqe, 0, sizeof(*sqe));
+  ++sqe_tail_;
+  return sqe;
+}
+
+void Uring::count_submit(unsigned to_submit) {
+  sqe_submits_.fetch_add(1, std::memory_order_relaxed);
+  sqes_submitted_.fetch_add(to_submit, std::memory_order_relaxed);
+}
+
+void Uring::submit() {
+  const unsigned to_submit = sqe_tail_ - sqe_submitted_;
+  if (to_submit == 0) return;
+  store_release(sq_ktail_, sqe_tail_);
+  const int r = sys_io_uring_enter(fd_, to_submit, 0, 0, nullptr, 0);
+  if (r < 0 && errno != EINTR && errno != EBUSY) {
+    throw_errno("io_uring_enter(submit)");
+  }
+  sqe_submitted_ = sqe_tail_;
+  count_submit(to_submit);
+}
+
+void Uring::submit_and_wait(int timeout_ms) {
+  const unsigned to_submit = sqe_tail_ - sqe_submitted_;
+  if (to_submit != 0) store_release(sq_ktail_, sqe_tail_);
+  __kernel_timespec ts{};
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+  io_uring_getevents_arg arg{};
+  arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+  const int r = sys_io_uring_enter(
+      fd_, to_submit, 1, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg,
+      sizeof(arg));
+  if (r < 0 && errno != ETIME && errno != EINTR && errno != EBUSY) {
+    throw_errno("io_uring_enter(submit_and_wait)");
+  }
+  if (to_submit != 0) {
+    sqe_submitted_ = sqe_tail_;
+    count_submit(to_submit);
+  }
+}
+
+void Uring::quiesce() {
+  io_uring_sqe* sqe = get_sqe();
+  sqe->opcode = IORING_OP_ASYNC_CANCEL;
+  sqe->cancel_flags = IORING_ASYNC_CANCEL_ANY | IORING_ASYNC_CANCEL_ALL;
+  sqe->user_data = kProvideUserData;
+  submit();
+  // Wait for the cancel-all's own CQE, then keep draining until the ring
+  // goes quiet: the canceled ops' -ECANCELED CQEs (whose generation is what
+  // releases their file references) may post just after it.
+  // The canceled ops' -ECANCELED CQEs post via task work on a later enter,
+  // so keep entering (1 ms waits) until a quiet interval follows the
+  // cancel's completion — returning on the first empty reap would leave the
+  // references held.
+  bool cancel_seen = false;
+  for (int spins = 0; spins < 1000; ++spins) {
+    std::vector<Cqe> cqes;
+    if (reap(cqes) == 0) {
+      __kernel_timespec ts{};
+      ts.tv_nsec = 1000000;  // 1 ms
+      io_uring_getevents_arg arg{};
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+      const int r = sys_io_uring_enter(
+          fd_, 0, 1, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg,
+          sizeof(arg));
+      if (r < 0 && errno != ETIME && errno != EINTR) return;
+      // A quiet millisecond after the cancel completed: ring is drained.
+      if (r < 0 && errno == ETIME && cancel_seen) return;
+      continue;
+    }
+    for (const Cqe& c : cqes) {
+      if (c.user_data == kProvideUserData) cancel_seen = true;
+    }
+  }
+}
+
+std::size_t Uring::reap(std::vector<Cqe>& out) {
+  unsigned head = *cq_khead_;  // only this thread advances it
+  const unsigned tail = load_acquire(cq_ktail_);
+  const std::size_t before = out.size();
+  for (; head != tail; ++head) {
+    const io_uring_cqe& c = cqes_[head & cq_mask_];
+    out.push_back(Cqe{c.user_data, c.res, c.flags});
+  }
+  store_release(cq_khead_, head);
+  return out.size() - before;
+}
+
+void Uring::register_buf_ring(unsigned entries, unsigned buf_size,
+                              unsigned short bgid) {
+  // Classic provided buffers (IORING_OP_PROVIDE_BUFFERS), not the newer
+  // IORING_REGISTER_PBUF_RING mapping. Some kernels (observed on a 6.18
+  // microVM build) accept the PBUF_RING registration but never see the
+  // published tail — every buffer-select op then fails -ENOBUFS with no
+  // error at registration time. The provide op completes with a real CQE,
+  // so this path is verified synchronously here: a kernel that cannot do
+  // buffer selection throws now and the factory falls back to epoll,
+  // instead of the loop wedging at the first recv.
+  buf_pool_sz_ = static_cast<std::size_t>(entries) * buf_size;
+  void* pool = ::mmap(nullptr, buf_pool_sz_, PROT_READ | PROT_WRITE,
+                      MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (pool == MAP_FAILED) throw_errno("mmap(buf_pool)");
+
+  buf_pool_ = static_cast<char*>(pool);
+  buf_entries_ = entries;
+  buf_size_ = buf_size;
+  buf_bgid_ = bgid;
+
+  io_uring_sqe* sqe = get_sqe();
+  sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+  sqe->fd = static_cast<int>(entries);  // number of buffers
+  sqe->addr = reinterpret_cast<std::uint64_t>(buf_pool_);
+  sqe->len = buf_size;
+  sqe->buf_group = bgid;
+  sqe->off = 0;  // first bid
+  sqe->user_data = kProvideUserData;
+  submit();
+  // Wait for the provide CQE: nothing else is in flight this early (the
+  // loop registers its buffers before arming any I/O).
+  for (;;) {
+    std::vector<Cqe> cqes;
+    if (reap(cqes) == 0) {
+      const int r = sys_io_uring_enter(fd_, 0, 1, IORING_ENTER_GETEVENTS,
+                                       nullptr, 0);
+      if (r < 0 && errno != EINTR) throw_errno("io_uring_enter(getevents)");
+      continue;
+    }
+    for (const Cqe& c : cqes) {
+      if (c.user_data != kProvideUserData) continue;  // none expected
+      if (c.res < 0) {
+        ::munmap(buf_pool_, buf_pool_sz_);
+        buf_pool_ = nullptr;
+        errno = -c.res;
+        throw_errno("io_uring PROVIDE_BUFFERS");
+      }
+      return;
+    }
+  }
+}
+
+std::string_view Uring::buffer(unsigned short bid, std::size_t len) const {
+  return std::string_view(
+      buf_pool_ + static_cast<std::size_t>(bid) * buf_size_, len);
+}
+
+void Uring::recycle(unsigned short bid) {
+  // Re-provide the single consumed buffer. The SQE rides the next submit of
+  // the pass, so it reaches the kernel before (or with) any recv rearm
+  // queued after it — an -ENOBUFS rearm therefore finds the pool refilled.
+  // Its CQE carries the sentinel user_data and is dropped by the dispatcher.
+  io_uring_sqe* sqe = get_sqe();
+  sqe->opcode = IORING_OP_PROVIDE_BUFFERS;
+  sqe->fd = 1;  // one buffer
+  sqe->addr = reinterpret_cast<std::uint64_t>(
+      buf_pool_ + static_cast<std::size_t>(bid) * buf_size_);
+  sqe->len = buf_size_;
+  sqe->buf_group = buf_bgid_;
+  sqe->off = bid;
+  sqe->user_data = kProvideUserData;
+}
+
+}  // namespace crsm::net

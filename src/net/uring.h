@@ -1,0 +1,125 @@
+// Minimal raw-syscall io_uring wrapper — the vendored replacement for
+// liburing (which the build environment does not ship). Covers exactly what
+// UringEventLoop needs:
+//
+//   - ring setup with CQSIZE clamp, SQ/CQ mmaps (single-mmap feature
+//     required; every >= 6.x kernel has it),
+//   - SQE acquisition with automatic mid-pass flush when the SQ fills,
+//   - one submit_and_wait (io_uring_enter with EXT_ARG timeout) per pass,
+//   - CQE reaping into a caller-owned vector,
+//   - a provided-buffer pool (classic IORING_OP_PROVIDE_BUFFERS; see
+//     register_buf_ring for why not IORING_REGISTER_PBUF_RING) backing
+//     multishot recv, with per-buffer re-provide recycling.
+//
+// Throws NetError from the constructor when the kernel or seccomp profile
+// refuses any required piece; callers treat that as "backend unavailable"
+// and fall back to epoll.
+#pragma once
+
+#include <linux/io_uring.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace crsm::net {
+
+class Uring {
+ public:
+  struct Cqe {
+    std::uint64_t user_data;
+    std::int32_t res;
+    std::uint32_t flags;
+  };
+
+  Uring(unsigned sq_entries, unsigned cq_entries);
+  ~Uring();
+
+  Uring(const Uring&) = delete;
+  Uring& operator=(const Uring&) = delete;
+
+  // Next free SQE, zeroed. Flushes the ring to the kernel first if it is
+  // full (counted as an extra submit).
+  [[nodiscard]] io_uring_sqe* get_sqe();
+
+  // Publishes pending SQEs to the kernel without waiting for completions.
+  void submit();
+
+  // The once-per-pass syscall: submits everything queued since the last
+  // submit and waits up to `timeout_ms` for at least one completion.
+  void submit_and_wait(int timeout_ms);
+
+  // Appends every available CQE to `out`; returns the number appended.
+  std::size_t reap(std::vector<Cqe>& out);
+
+  // Cancels every in-flight op (IORING_ASYNC_CANCEL_ANY|ALL) and drains the
+  // resulting CQEs. Run before teardown: in-flight multishot polls/recvs
+  // hold kernel file references on their sockets, and the ring's own exit
+  // work releases them asynchronously — late enough that a restarted node
+  // binding the same port races EADDRINUSE against the old listener.
+  void quiesce();
+
+  // Registers `entries` buffers of `buf_size` bytes as provided-buffer
+  // group `bgid` for IOSQE_BUFFER_SELECT ops, and synchronously verifies
+  // the kernel accepted them (throws NetError otherwise — the caller falls
+  // back to epoll).
+  void register_buf_ring(unsigned entries, unsigned buf_size,
+                         unsigned short bgid);
+  // The bytes a CQE with IORING_CQE_F_BUFFER delivered into buffer `bid`.
+  [[nodiscard]] std::string_view buffer(unsigned short bid,
+                                        std::size_t len) const;
+  // Returns `bid` to the kernel's pool (an SQE on the next submit).
+  void recycle(unsigned short bid);
+
+  // user_data of buffer-provide SQEs; their CQEs are dropped by dispatch.
+  static constexpr std::uint64_t kProvideUserData = ~0ULL;
+
+  [[nodiscard]] std::uint64_t sqe_submits() const {
+    return sqe_submits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sqes_submitted() const {
+    return sqes_submitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void count_submit(unsigned to_submit);
+
+  int fd_ = -1;
+  io_uring_params params_{};
+
+  // Ring mappings (SQ and CQ share one mapping; IORING_FEAT_SINGLE_MMAP).
+  void* ring_ptr_ = nullptr;
+  std::size_t ring_sz_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqes_sz_ = 0;
+
+  // SQ kernel-shared fields.
+  unsigned* sq_khead_ = nullptr;
+  unsigned* sq_ktail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned* sq_array_ = nullptr;
+  // CQ kernel-shared fields.
+  unsigned* cq_khead_ = nullptr;
+  unsigned* cq_ktail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  unsigned sqe_tail_ = 0;       // next SQE slot we will fill
+  unsigned sqe_submitted_ = 0;  // SQEs already handed to the kernel
+
+  // Provided-buffer pool.
+  char* buf_pool_ = nullptr;
+  std::size_t buf_pool_sz_ = 0;
+  unsigned buf_entries_ = 0;
+  unsigned buf_size_ = 0;
+  unsigned short buf_bgid_ = 0;
+
+  // Read from stats() off-thread; written only by the loop thread.
+  std::atomic<std::uint64_t> sqe_submits_{0};
+  std::atomic<std::uint64_t> sqes_submitted_{0};
+};
+
+}  // namespace crsm::net

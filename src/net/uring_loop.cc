@@ -1,0 +1,330 @@
+#include "net/uring_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/utsname.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "net/socket.h"
+
+namespace crsm::net {
+
+namespace {
+// One enter per pass wants room for a full pass of sends + rearms; CQ gets
+// headroom for multishot recv bursts (kernel >= 5.5 buffers overflow
+// anyway, at a performance cost).
+constexpr unsigned kSqEntries = 256;
+constexpr unsigned kCqEntries = 4096;
+// Provided-buffer pool for multishot recv: 128 x 32 KiB = 4 MiB per loop.
+// Buffers are returned the moment the recv callback has consumed them, so
+// the pool only has to cover one reaped batch.
+constexpr unsigned kBufEntries = 128;
+constexpr unsigned kBufSize = 32 * 1024;
+constexpr unsigned short kBufGroup = 0;
+
+void require_multishot_recv_kernel() {
+  utsname u{};
+  if (::uname(&u) != 0) throw NetError("uname failed");
+  int major = 0;
+  int minor = 0;
+  if (std::sscanf(u.release, "%d.%d", &major, &minor) < 1 || major < 6) {
+    throw NetError(std::string("kernel ") + u.release +
+                   " lacks multishot recv (need >= 6.0)");
+  }
+}
+
+}  // namespace
+
+UringEventLoop::UringEventLoop()
+    : ring_((require_multishot_recv_kernel(), kSqEntries), kCqEntries) {
+  ring_.register_buf_ring(kBufEntries, kBufSize, kBufGroup);
+  // The wakeup eventfd rides the same multishot-poll machinery as sockets.
+  wake_op_ = next_op_++;
+  Op op;
+  op.kind = Op::Kind::kWake;
+  op.fd = wake_fd();
+  op.mask = EPOLLIN;
+  auto [it, inserted] = ops_.emplace(wake_op_, std::move(op));
+  arm_poll(wake_op_, it->second);
+}
+
+UringEventLoop::~UringEventLoop() {
+  // Cancel and drain any in-flight ops before ring_'s destructor closes
+  // the ring fd. For a loop that ran, on_run_exit() already quiesced on the
+  // loop thread (where the kernel's completion task work executes — see
+  // event_loop.cc); this covers loops that were constructed but never run,
+  // whose ops were submitted from this thread.
+  ring_.quiesce();
+}
+
+void UringEventLoop::arm_poll(std::uint64_t id, const Op& op) {
+  io_uring_sqe* sqe = ring_.get_sqe();
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = op.fd;
+  sqe->len = IORING_POLL_ADD_MULTI;
+  // ERR/HUP are always reported by poll; OR-ing them in keeps the mask
+  // nonzero even for a "notify me of errors only" registration.
+  sqe->poll32_events = op.mask | EPOLLERR | EPOLLHUP;
+  sqe->user_data = id;
+}
+
+void UringEventLoop::arm_recv(std::uint64_t id, const Op& op) {
+  io_uring_sqe* sqe = ring_.get_sqe();
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = op.fd;
+  sqe->ioprio = IORING_RECV_MULTISHOT;
+  sqe->flags = IOSQE_BUFFER_SELECT;
+  sqe->buf_group = kBufGroup;
+  sqe->user_data = id;
+}
+
+void UringEventLoop::queue_cancel(std::uint64_t target) {
+  io_uring_sqe* sqe = ring_.get_sqe();
+  sqe->opcode = IORING_OP_ASYNC_CANCEL;
+  sqe->addr = target;
+  sqe->user_data = 0;  // completion intentionally unmatched (dropped)
+}
+
+void UringEventLoop::add_fd(int fd, std::uint32_t interest, FdCallback cb) {
+  const std::uint64_t id = next_op_++;
+  Op op;
+  op.kind = Op::Kind::kPoll;
+  op.fd = fd;
+  op.mask = interest;
+  op.on_events = std::move(cb);
+  auto [it, inserted] = ops_.emplace(id, std::move(op));
+  poll_ops_[fd] = id;
+  arm_poll(id, it->second);
+}
+
+void UringEventLoop::mod_fd(int fd, std::uint32_t interest) {
+  auto pit = poll_ops_.find(fd);
+  if (pit == poll_ops_.end()) throw NetError("mod_fd: fd not registered");
+  auto oit = ops_.find(pit->second);
+  if (oit == ops_.end()) throw NetError("mod_fd: poll op missing");
+  if (oit->second.mask == interest) return;
+  // A multishot poll's mask is fixed at arm time: retire the old op and arm
+  // a fresh one. POLL_ADD checks current readiness at arm, so an event that
+  // fires into the doomed op's window is re-observed by the new one.
+  FdCallback cb = oit->second.on_events;
+  oit->second.dead = true;
+  queue_cancel(pit->second);
+  const std::uint64_t id = next_op_++;
+  Op op;
+  op.kind = Op::Kind::kPoll;
+  op.fd = fd;
+  op.mask = interest;
+  op.on_events = std::move(cb);
+  auto [nit, inserted] = ops_.emplace(id, std::move(op));
+  pit->second = id;
+  arm_poll(id, nit->second);
+}
+
+void UringEventLoop::del_fd(int fd) {
+  auto pit = poll_ops_.find(fd);
+  if (pit == poll_ops_.end()) return;  // teardown paths may double-del
+  auto oit = ops_.find(pit->second);
+  if (oit != ops_.end()) {
+    oit->second.dead = true;
+    queue_cancel(pit->second);
+  }
+  poll_ops_.erase(pit);
+}
+
+bool UringEventLoop::add_recv_stream(int fd, RecvCallback cb) {
+  const std::uint64_t id = next_op_++;
+  Op op;
+  op.kind = Op::Kind::kRecv;
+  op.fd = fd;
+  op.on_data = std::move(cb);
+  auto [it, inserted] = ops_.emplace(id, std::move(op));
+  recv_ops_[fd] = id;
+  arm_recv(id, it->second);
+  return true;
+}
+
+void UringEventLoop::del_recv_stream(int fd) {
+  auto rit = recv_ops_.find(fd);
+  if (rit == recv_ops_.end()) return;
+  auto oit = ops_.find(rit->second);
+  if (oit != ops_.end()) {
+    oit->second.dead = true;
+    queue_cancel(rit->second);
+  }
+  recv_ops_.erase(rit);
+}
+
+std::uint64_t UringEventLoop::queue_send(int fd, const iovec* iov, int iovcnt,
+                                         std::shared_ptr<void> keepalive,
+                                         SendCallback cb) {
+  const std::uint64_t id = next_op_++;
+  Op op;
+  op.kind = Op::Kind::kSend;
+  op.fd = fd;
+  op.on_sent = std::move(cb);
+  op.keepalive = std::move(keepalive);
+  auto [it, inserted] = ops_.emplace(id, std::move(op));
+  Op& o = it->second;
+  o.msg.msg_iov = const_cast<iovec*>(iov);
+  o.msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  io_uring_sqe* sqe = ring_.get_sqe();
+  sqe->opcode = IORING_OP_SENDMSG;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(&o.msg);
+  // DONTWAIT keeps sendmsg semantics: a full socket buffer completes with
+  // -EAGAIN instead of parking the SQE, and the caller arms write interest
+  // exactly as on the sync path.
+  sqe->msg_flags = MSG_NOSIGNAL | MSG_DONTWAIT;
+  sqe->user_data = id;
+  return id;
+}
+
+void UringEventLoop::discard_send(std::uint64_t id) {
+  auto it = ops_.find(id);
+  if (it != ops_.end() && it->second.kind == Op::Kind::kSend) {
+    it->second.dead = true;
+    it->second.on_sent = nullptr;
+  }
+}
+
+void UringEventLoop::pump_writes() {
+  ring_.submit();
+  std::vector<Uring::Cqe> cqes;
+  ring_.reap(cqes);
+  for (const Uring::Cqe& c : cqes) dispatch_cqe(c, /*sends_only=*/true);
+}
+
+void UringEventLoop::poll_io(int timeout_ms) {
+  if (!deferred_.empty()) {
+    // CQEs a pump_writes reaped mid-pass but could not dispatch (they
+    // belong to polls/recvs, not sends): deliver them first and only sweep
+    // the ring for new completions, without blocking.
+    std::vector<Uring::Cqe> d;
+    d.swap(deferred_);
+    for (const Uring::Cqe& c : d) dispatch_cqe(c, /*sends_only=*/false);
+    timeout_ms = 0;
+  }
+  ring_.submit_and_wait(timeout_ms);
+  cqes_.clear();
+  ring_.reap(cqes_);
+  for (const Uring::Cqe& c : cqes_) dispatch_cqe(c, /*sends_only=*/false);
+}
+
+void UringEventLoop::dispatch_cqe(const Uring::Cqe& c, bool sends_only) {
+  auto it = ops_.find(c.user_data);
+  if (it == ops_.end()) {
+    // Stale (op already erased) or a cancel's own completion. A selected
+    // buffer must still go back to the pool.
+    if (c.flags & IORING_CQE_F_BUFFER) {
+      ring_.recycle(
+          static_cast<unsigned short>(c.flags >> IORING_CQE_BUFFER_SHIFT));
+    }
+    return;
+  }
+  Op& op = it->second;  // node-based map: reference stays valid
+  if (sends_only && op.kind != Op::Kind::kSend) {
+    deferred_.push_back(c);
+    return;
+  }
+  switch (op.kind) {
+    case Op::Kind::kWake: {
+      drain_wake_fd();
+      if (!(c.flags & IORING_CQE_F_MORE)) arm_poll(c.user_data, op);
+      break;
+    }
+    case Op::Kind::kPoll:
+      dispatch_poll_cqe(c, op);
+      break;
+    case Op::Kind::kRecv:
+      dispatch_recv_cqe(c, op);
+      break;
+    case Op::Kind::kSend: {
+      SendCallback cb = std::move(op.on_sent);
+      const bool dead = op.dead;
+      ops_.erase(it);
+      if (!dead && cb) cb(static_cast<ssize_t>(c.res));
+      break;
+    }
+  }
+}
+
+void UringEventLoop::deregister_poll(int fd) {
+  poll_ops_.erase(fd);
+}
+
+void UringEventLoop::dispatch_poll_cqe(const Uring::Cqe& c, Op& op) {
+  const std::uint64_t id = c.user_data;
+  const bool more = (c.flags & IORING_CQE_F_MORE) != 0;
+  if (op.dead || c.res == -ECANCELED) {
+    if (!more) ops_.erase(id);
+    return;
+  }
+  const std::uint32_t events =
+      c.res >= 0 ? static_cast<std::uint32_t>(c.res)
+                 : static_cast<std::uint32_t>(EPOLLERR | EPOLLHUP);
+  // Copy: the callback may del_fd/add_fd and mutate the maps.
+  FdCallback cb = op.on_events;
+  cb(events);
+  auto it = ops_.find(id);
+  if (it == ops_.end() || more) return;
+  if (it->second.dead) {
+    ops_.erase(it);
+    return;
+  }
+  if (c.res < 0) {
+    // The poll itself broke; callers saw EPOLLERR and are tearing down.
+    auto pit = poll_ops_.find(it->second.fd);
+    if (pit != poll_ops_.end() && pit->second == id) poll_ops_.erase(pit);
+    ops_.erase(it);
+    return;
+  }
+  arm_poll(id, it->second);  // kernel ended the multishot sequence: rearm
+}
+
+void UringEventLoop::dispatch_recv_cqe(const Uring::Cqe& c, Op& op) {
+  const std::uint64_t id = c.user_data;
+  const bool more = (c.flags & IORING_CQE_F_MORE) != 0;
+  const bool has_buf = (c.flags & IORING_CQE_F_BUFFER) != 0;
+  const auto bid =
+      static_cast<unsigned short>(c.flags >> IORING_CQE_BUFFER_SHIFT);
+  if (op.dead) {
+    if (has_buf) ring_.recycle(bid);
+    if (!more) ops_.erase(id);
+    return;
+  }
+  if (c.res > 0 && has_buf) {
+    RecvCallback cb = op.on_data;  // copy: callback may mutate the maps
+    cb(ring_.buffer(bid, static_cast<std::size_t>(c.res)), false);
+    ring_.recycle(bid);
+    auto it = ops_.find(id);
+    if (it == ops_.end()) return;
+    if (it->second.dead) {
+      if (!more) ops_.erase(it);
+      return;
+    }
+    if (!more) arm_recv(id, it->second);
+    return;
+  }
+  if (has_buf) ring_.recycle(bid);
+  if (c.res == -ENOBUFS) {
+    // Pool momentarily exhausted; the buffers come back as this reaped
+    // batch is consumed, so rearming is enough.
+    if (!more) arm_recv(id, op);
+    return;
+  }
+  // res == 0 (EOF) or a hard error: terminal for the stream.
+  RecvCallback cb = std::move(op.on_data);
+  auto rit = recv_ops_.find(op.fd);
+  if (rit != recv_ops_.end() && rit->second == id) recv_ops_.erase(rit);
+  if (more) {
+    op.dead = true;
+  } else {
+    ops_.erase(id);
+  }
+  cb(std::string_view{}, true);
+}
+
+}  // namespace crsm::net

@@ -1,0 +1,105 @@
+// The io_uring EventLoop backend. Three op families, all identified by a
+// monotonically increasing 64-bit user_data id (never a raw fd — ids make
+// CQEs from a previous registration of a reused fd harmless):
+//
+//   kPoll — multishot IORING_OP_POLL_ADD carrying an fd readiness callback
+//     (the generic add_fd API, also how EPOLLOUT-style write interest and
+//     the wakeup eventfd are served). Rearmed if the kernel ends the
+//     multishot sequence.
+//   kRecv — multishot IORING_OP_RECV with IOSQE_BUFFER_SELECT into the
+//     shared provided-buffer ring: inbound bytes arrive as CQEs with a
+//     borrowed pool buffer, no read() syscalls at all.
+//   kSend — one IORING_OP_SENDMSG SQE per queued gathered write, with
+//     MSG_DONTWAIT so -EAGAIN surfaces to the caller exactly like a
+//     synchronous sendmsg would.
+//
+// All SQEs queued during a pass — sends coalesced by the wire-flush hook,
+// rearms, cancels — are handed to the kernel by the single
+// io_uring_enter(GETEVENTS|EXT_ARG) at the top of the next pass, which also
+// waits for and reaps completions: one syscall per pass in steady state.
+#pragma once
+
+#include <sys/socket.h>
+
+#include "net/event_loop.h"
+#include "net/uring.h"
+
+namespace crsm::net {
+
+class UringEventLoop final : public EventLoop {
+ public:
+  // Throws NetError when the kernel/seccomp profile cannot run this
+  // backend (setup refused, buffer rings or multishot recv unsupported).
+  UringEventLoop();
+  ~UringEventLoop() override;
+
+  [[nodiscard]] IoBackend backend() const override {
+    return IoBackend::kUring;
+  }
+
+  void add_fd(int fd, std::uint32_t interest, FdCallback cb) override;
+  void mod_fd(int fd, std::uint32_t interest) override;
+  void del_fd(int fd) override;
+
+  [[nodiscard]] bool supports_send_queue() const override { return true; }
+  bool add_recv_stream(int fd, RecvCallback cb) override;
+  void del_recv_stream(int fd) override;
+  std::uint64_t queue_send(int fd, const iovec* iov, int iovcnt,
+                           std::shared_ptr<void> keepalive,
+                           SendCallback cb) override;
+  void discard_send(std::uint64_t id) override;
+  void pump_writes() override;
+
+  [[nodiscard]] IoRingStats ring_stats() const override {
+    return IoRingStats{ring_.sqe_submits(), ring_.sqes_submitted()};
+  }
+
+ protected:
+  void poll_io(int timeout_ms) override;
+  // Cancels and drains every in-flight op on the loop thread itself: its
+  // task context is what the kernel uses for completion work, so file
+  // references (listen ports included) are released before run() returns
+  // instead of by the asynchronous ring-exit path after the thread dies.
+  void on_run_exit() override { ring_.quiesce(); }
+
+ private:
+  struct Op {
+    enum class Kind : std::uint8_t { kPoll, kRecv, kSend, kWake };
+    Kind kind;
+    // Deregistered; CQEs still in flight are dropped and the entry is
+    // erased at the terminal CQE (no IORING_CQE_F_MORE).
+    bool dead = false;
+    int fd = -1;
+    std::uint32_t mask = 0;  // caller's poll interest
+    FdCallback on_events;
+    RecvCallback on_data;
+    SendCallback on_sent;
+    msghdr msg{};  // kSend: must outlive the SQE (map nodes are stable)
+    // kSend: owns the iov array and data buffers until the terminal CQE,
+    // even if the issuing connection is destroyed first.
+    std::shared_ptr<void> keepalive;
+  };
+
+  void arm_poll(std::uint64_t id, const Op& op);
+  void arm_recv(std::uint64_t id, const Op& op);
+  void queue_cancel(std::uint64_t target);
+  void deregister_poll(int fd);
+  void dispatch_cqe(const Uring::Cqe& c, bool sends_only);
+  void dispatch_poll_cqe(const Uring::Cqe& c, Op& op);
+  void dispatch_recv_cqe(const Uring::Cqe& c, Op& op);
+
+  std::unordered_map<std::uint64_t, Op> ops_;
+  std::unordered_map<int, std::uint64_t> poll_ops_;  // fd -> live poll op
+  std::unordered_map<int, std::uint64_t> recv_ops_;  // fd -> live recv op
+  std::uint64_t next_op_ = 1;
+  std::uint64_t wake_op_ = 0;
+
+  std::vector<Uring::Cqe> cqes_;      // per-pass scratch
+  std::vector<Uring::Cqe> deferred_;  // non-send CQEs reaped by pump_writes
+
+  // Last member: destroyed first, which quiesces every in-flight kernel op
+  // before the Op map (send keepalives included) is torn down.
+  Uring ring_;
+};
+
+}  // namespace crsm::net

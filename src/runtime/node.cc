@@ -9,7 +9,8 @@ NodeRuntime::NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
                          StateMachineFactory sm_factory)
     : StorageBackedEnv(cfg.storage),
       cfg_(cfg),
-      transport_(loop_, cfg.id, cfg.transport),
+      loop_(net::make_event_loop(cfg.io_backend, &io_fell_back_)),
+      transport_(*loop_, cfg.id, cfg.transport),
       sm_(sm_factory()) {
   // The checkpoint (if any) must be in the state machine before the
   // protocol exists: start() replays the WAL only above recovery_floor().
@@ -19,7 +20,7 @@ NodeRuntime::NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
   transport_.set_client_handlers(
       [this](std::uint64_t conn, const Message& m) { on_client_message(conn, m); },
       [this](std::uint64_t conn) { on_client_closed(conn); });
-  loop_.set_pass_end_hook([this] { flush_durability(); });
+  loop_->set_pass_end_hook([this] { flush_durability(); });
 }
 
 NodeRuntime::~NodeRuntime() { stop(); }
@@ -29,29 +30,29 @@ void NodeRuntime::start(std::vector<TcpPeer> peers) {
   started_ = true;
   // All initialization that touches the loop (fd registration, protocol
   // timers) runs as the loop's first task, on the loop thread.
-  loop_.post([this, peers = std::move(peers)]() mutable {
+  loop_->post([this, peers = std::move(peers)]() mutable {
     transport_.start(std::move(peers));
     proto_->start();
   });
-  thread_ = std::thread([this] { loop_.run(); });
+  thread_ = std::thread([this] { loop_->run(); });
 }
 
 void NodeRuntime::stop() {
   if (!started_) return;
   started_ = false;
-  loop_.post([this] { transport_.shutdown(); });
-  loop_.stop();
+  loop_->post([this] { transport_.shutdown(); });
+  loop_->stop();
   if (thread_.joinable()) thread_.join();
 }
 
 void NodeRuntime::submit(Command cmd) {
-  loop_.post([this, cmd = std::move(cmd)]() mutable {
+  loop_->post([this, cmd = std::move(cmd)]() mutable {
     proto_->submit(std::move(cmd));
   });
 }
 
 void NodeRuntime::submit_read(Command cmd) {
-  loop_.post([this, cmd = std::move(cmd)]() mutable {
+  loop_->post([this, cmd = std::move(cmd)]() mutable {
     if (!proto_->supports_local_reads()) {
       logged_reads_.insert({cmd.client, cmd.seq});
     }
@@ -66,7 +67,7 @@ std::uint64_t NodeRuntime::state_digest() {
   if (!started_) return sm_->state_digest();
   std::promise<std::uint64_t> p;
   auto f = p.get_future();
-  loop_.post([this, &p] { p.set_value(sm_->state_digest()); });
+  loop_->post([this, &p] { p.set_value(sm_->state_digest()); });
   return f.get();
 }
 
@@ -119,7 +120,7 @@ void NodeRuntime::multicast(const std::vector<ReplicaId>& tos, const Message& m)
 }
 
 void NodeRuntime::schedule_after(Tick delay_us, std::function<void()> fn) {
-  (void)loop_.schedule_after(delay_us, std::move(fn));
+  (void)loop_->schedule_after(delay_us, std::move(fn));
 }
 
 void NodeRuntime::install_checkpoint(std::string_view blob) {

@@ -55,6 +55,10 @@ struct NodeConfig {
   // storage.dir empty = volatile MemLog (PR 3 behavior); set = durable,
   // restartable node. See StorageOptions.
   StorageOptions storage;
+  // Which kernel I/O interface drives the node's event loop. Requesting
+  // kUring on a kernel/seccomp profile without io_uring falls back to epoll
+  // with a logged warning (io_backend() reports what actually runs).
+  net::IoBackend io_backend = net::IoBackend::kEpoll;
 };
 
 class NodeRuntime final : private StorageBackedEnv {
@@ -112,8 +116,15 @@ class NodeRuntime final : private StorageBackedEnv {
     return reads_served_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] TransportStats transport_stats() const {
-    return transport_.stats();
+    TransportStats s = transport_.stats();
+    if (io_fell_back_) s.uring_fallbacks = 1;
+    return s;
   }
+  // The backend actually running (kEpoll after a uring fallback).
+  [[nodiscard]] net::IoBackend io_backend() const {
+    return loop_->backend();
+  }
+  [[nodiscard]] bool io_fell_back() const { return io_fell_back_; }
   [[nodiscard]] StorageStats storage_stats() const { return storage_.stats(); }
   // True when boot found prior durable state (the node is a restart).
   [[nodiscard]] bool recovering() const { return storage_.recovering(); }
@@ -152,7 +163,8 @@ class NodeRuntime final : private StorageBackedEnv {
   void flush_durability();
 
   NodeConfig cfg_;
-  net::EventLoop loop_;
+  bool io_fell_back_ = false;
+  std::unique_ptr<net::EventLoop> loop_;  // before transport_ (uses it)
   TcpTransport transport_;
   SystemClock clock_;
   std::unique_ptr<StateMachine> sm_;

@@ -13,6 +13,8 @@ std::unique_ptr<NodeRuntime> TcpCluster::make_node(ReplicaId id,
   cfg.transport.listen_port = port;  // 0 = ephemeral; resolved before start()
   cfg.transport.max_pending_bytes = opt_.max_pending_bytes;
   cfg.transport.policy = opt_.policy;
+  cfg.transport.max_coalesce_bytes = opt_.max_coalesce_bytes;
+  cfg.io_backend = opt_.io_backend;
   if (!opt_.log_dir.empty()) {
     cfg.storage.dir = opt_.log_dir + "/node-" + std::to_string(id);
     cfg.storage.group_commit = opt_.group_commit;
@@ -139,6 +141,11 @@ TransportStats TcpCluster::stats() const {
     total.bytes_sent += s.bytes_sent;
     total.encode_calls += s.encode_calls;
     total.backpressure_blocks += s.backpressure_blocks;
+    total.wire_flushes += s.wire_flushes;
+    total.frames_flushed += s.frames_flushed;
+    total.sqe_submits += s.sqe_submits;
+    total.sqes_submitted += s.sqes_submitted;
+    total.uring_fallbacks += s.uring_fallbacks;
   }
   return total;
 }

@@ -17,6 +17,7 @@
 
 #include "common/command.h"
 #include "common/types.h"
+#include "net/event_loop.h"
 #include "runtime/node.h"
 
 namespace crsm {
@@ -31,6 +32,12 @@ struct TcpClusterOptions {
   std::string log_dir;
   bool group_commit = true;
   std::uint64_t checkpoint_every = 0;
+  // I/O backend for every node's event loop. kUring falls back to epoll
+  // (logged, counted in stats().uring_fallbacks) when the kernel refuses.
+  net::IoBackend io_backend = net::IoBackend::kEpoll;
+  // Per-pass wire coalescing budget per connection; 0 disables coalescing
+  // (every send flushes immediately). See TcpTransportOptions.
+  std::size_t max_coalesce_bytes = 256 * 1024;
 };
 
 class TcpCluster {

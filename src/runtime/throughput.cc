@@ -120,6 +120,19 @@ void fill_per_cmd(ThroughputResult* res, const TransportStats& before,
       static_cast<double>(after.bytes_sent - before.bytes_sent) / ops;
   res->encodes_per_cmd =
       static_cast<double>(after.encode_calls - before.encode_calls) / ops;
+  const std::uint64_t flushes = after.wire_flushes - before.wire_flushes;
+  const std::uint64_t frames = after.frames_flushed - before.frames_flushed;
+  res->flushes_per_cmd = static_cast<double>(flushes) / ops;
+  if (flushes > 0) {
+    res->frames_per_flush =
+        static_cast<double>(frames) / static_cast<double>(flushes);
+  }
+  const std::uint64_t submits = after.sqe_submits - before.sqe_submits;
+  if (submits > 0) {
+    res->sqes_per_submit =
+        static_cast<double>(after.sqes_submitted - before.sqes_submitted) /
+        static_cast<double>(submits);
+  }
 }
 
 }  // namespace
@@ -128,6 +141,7 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
                                 const RtCluster::ProtocolFactory& factory) {
   RtCluster::Options copt;
   copt.sender_batching = opt.sender_batching;
+  copt.max_coalesce_bytes = opt.thread_coalesce_bytes;
   RtCluster cluster(opt.num_replicas, factory,
                     [] { return std::make_unique<KvStore>(); }, copt);
 

@@ -21,6 +21,9 @@ struct ThroughputOptions {
   int only_replica = -1;
   // Forwarded to RtCluster::Options::sender_batching.
   bool sender_batching = false;
+  // Forwarded to RtCluster::Options::max_coalesce_bytes (per-pass
+  // coalescing budget of the thread transport; 0 = unbounded batch).
+  std::size_t thread_coalesce_bytes = 256 * 1024;
 };
 
 struct ThroughputResult {
@@ -41,6 +44,15 @@ struct ThroughputResult {
   double msgs_per_cmd = 0.0;
   double bytes_per_cmd = 0.0;
   double encodes_per_cmd = 0.0;
+  // Wire coalescing at work: kernel/queue handoffs per committed command
+  // (flushes_per_cmd < msgs_per_cmd means frames shared a flush) and frames
+  // carried per flush (the achieved batching factor). Zero when the
+  // transport doesn't coalesce.
+  double flushes_per_cmd = 0.0;
+  double frames_per_flush = 0.0;
+  // io_uring submission batching: SQEs per io_uring_enter that submitted
+  // work. Zero on epoll / thread runtimes.
+  double sqes_per_submit = 0.0;
 };
 
 // Spawns closed-loop client threads against an RtCluster running the given

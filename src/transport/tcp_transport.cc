@@ -16,11 +16,48 @@ TcpTransport::TcpTransport(net::EventLoop& loop, ReplicaId self, Options opt)
 
 TcpTransport::~TcpTransport() { shutdown(); }
 
+std::unique_ptr<net::FrameConn> TcpTransport::make_conn(net::Socket sock) {
+  auto conn =
+      std::make_unique<net::FrameConn>(loop_, std::move(sock), &wire_metrics_);
+  conn->set_coalescing(coalescing());
+  return conn;
+}
+
+void TcpTransport::mark_dirty(net::FrameConn* c) {
+  if (!coalescing() || c == nullptr || c->closed()) return;
+  if (!c->flush_queued()) {
+    c->set_flush_queued(true);
+    dirty_.push_back(c);
+  }
+  // Budget guard: a conn that crossed max_coalesce_bytes mid-pass flushes
+  // now instead of letting one pass accumulate unbounded wire data. It
+  // stays on the dirty list for the pass-end flush of whatever remains.
+  if (c->pending_bytes() >= opt_.max_coalesce_bytes) (void)c->flush();
+}
+
+void TcpTransport::flush_pass() {
+  if (dirty_.empty()) return;
+  std::vector<net::FrameConn*> dirty;
+  dirty.swap(dirty_);
+  for (net::FrameConn* c : dirty) {
+    c->set_flush_queued(false);
+    // A flush failure fails the conn and runs its close handler inline;
+    // bury() defers destruction past this loop, so later entries are at
+    // worst closed, never dangling.
+    if (!c->closed()) (void)c->flush();
+  }
+}
+
 void TcpTransport::start(std::vector<TcpPeer> peers) {
   if (started_) return;
   started_ = true;
   peers_.resize(peers.size());
   for (std::size_t i = 0; i < peers.size(); ++i) peers_[i].addr = peers[i];
+  if (coalescing()) {
+    // This transport owns the loop's wire-flush slot for its lifetime (one
+    // transport per loop); shutdown() releases it.
+    loop_.set_wire_flush_hook([this] { flush_pass(); });
+  }
   acceptor_.start([this](net::Socket&& s) { on_accept(std::move(s)); });
   // Deterministic dial direction — the lower id dials the higher — gives
   // each unordered pair exactly one socket regardless of startup order.
@@ -30,6 +67,8 @@ void TcpTransport::start(std::vector<TcpPeer> peers) {
 void TcpTransport::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
+  if (started_ && coalescing()) loop_.set_wire_flush_hook(nullptr);
+  dirty_.clear();
   acceptor_.stop();
   routes_.clear();
   for (PeerLink& link : peers_) {
@@ -51,8 +90,7 @@ void TcpTransport::dial(ReplicaId to) {
         loop_, link.addr.host, link.addr.port, opt_.reconnect);
   }
   link.connector->start([this, to](net::Socket&& s) {
-    auto conn = std::make_unique<net::FrameConn>(loop_, std::move(s));
-    adopt_peer_conn(to, std::move(conn), /*needs_start=*/true);
+    adopt_peer_conn(to, make_conn(std::move(s)), /*needs_start=*/true);
   });
 }
 
@@ -105,11 +143,12 @@ void TcpTransport::adopt_peer_conn(ReplicaId id,
     link.backlog.pop_front();
     link.backlog_bytes -= frame->size();
     link.conn->send(std::move(frame));
+    mark_dirty(link.conn.get());
   }
 }
 
 void TcpTransport::on_accept(net::Socket&& sock) {
-  auto conn = std::make_unique<net::FrameConn>(loop_, std::move(sock));
+  auto conn = make_conn(std::move(sock));
   net::FrameConn* raw = conn.get();
   const std::uint64_t gen = ++accept_gen_;
   pending_.emplace(raw, PendingConn{std::move(conn), gen});
@@ -208,6 +247,10 @@ void TcpTransport::on_conn_closed(net::FrameConn* raw) {
 void TcpTransport::bury(std::unique_ptr<net::FrameConn> conn) {
   if (!conn) return;
   conn->close();
+  if (conn->flush_queued()) {
+    dirty_.erase(std::remove(dirty_.begin(), dirty_.end(), conn.get()),
+                 dirty_.end());
+  }
   graveyard_.push_back(std::move(conn));
   if (graveyard_.size() == 1) {
     // Destroy once the callback stack that closed it has unwound.
@@ -278,6 +321,7 @@ void TcpTransport::send_on_loop(ReplicaId to,
     return;
   }
   link.conn->send(std::move(bytes));
+  mark_dirty(link.conn.get());
   if (limit > 0 && opt_.policy == BackpressurePolicy::kBlock &&
       link.conn && link.conn->pending_bytes() > limit) {
     apply_backpressure(link);
@@ -299,7 +343,12 @@ void TcpTransport::apply_backpressure(PeerLink& link) {
          net::EventLoop::mono_us() < deadline_us) {
     pollfd p{link.conn->fd(), POLLOUT, 0};
     (void)::poll(&p, 1, 50);
-    if (link.conn && !link.conn->closed()) (void)link.conn->flush();
+    if (link.conn && !link.conn->closed()) {
+      (void)link.conn->flush();
+      // On the uring backend a flush only queues an SQE; pump it to the
+      // kernel and take the completion now, or this spin never drains.
+      loop_.pump_writes();
+    }
   }
 }
 
@@ -315,6 +364,7 @@ void TcpTransport::send_to_client(std::uint64_t conn, const WireFrame& f) {
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
   bytes_sent_.fetch_add(bytes->size(), std::memory_order_relaxed);
   it->second->send(std::move(bytes));
+  mark_dirty(it->second.get());
 }
 
 std::size_t TcpTransport::connected_peers() const {
@@ -329,6 +379,12 @@ TransportStats TcpTransport::stats() const {
   s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   s.encode_calls = encode_calls_.load(std::memory_order_relaxed);
   s.backpressure_blocks = backpressure_blocks_.load(std::memory_order_relaxed);
+  s.wire_flushes = wire_metrics_.flushes.load(std::memory_order_relaxed);
+  s.frames_flushed =
+      wire_metrics_.frames_flushed.load(std::memory_order_relaxed);
+  const net::IoRingStats rs = loop_.ring_stats();
+  s.sqe_submits = rs.sqe_submits;
+  s.sqes_submitted = rs.sqes_submitted;
   return s;
 }
 

@@ -62,6 +62,11 @@ struct TcpTransportOptions {
   // connection buffer). 0 = unbounded.
   std::size_t max_pending_bytes = 0;
   BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  // Per-pass wire coalescing budget: frames queued to one peer during an
+  // event-loop pass are flushed as one writev/SQE at pass end, or sooner
+  // once a connection's pending bytes reach this budget. 0 = off (every
+  // send flushes immediately, the pre-coalescing behaviour).
+  std::size_t max_coalesce_bytes = 256 * 1024;
   net::ConnectorOptions reconnect;
   // Accepted connections must identify themselves within this window or be
   // dropped — otherwise silent connections (port scanners, wedged peers)
@@ -146,6 +151,17 @@ class TcpTransport final : public Transport {
     std::uint64_t id = 0;
   };
 
+  [[nodiscard]] bool coalescing() const {
+    return opt_.max_coalesce_bytes > 0;
+  }
+  // Builds a conn wired for this transport's coalescing mode and metrics.
+  [[nodiscard]] std::unique_ptr<net::FrameConn> make_conn(net::Socket sock);
+  // Queues `c` for the pass-end flush (coalescing mode only; flushes early
+  // when the conn crosses the coalescing budget).
+  void mark_dirty(net::FrameConn* c);
+  // The wire-flush hook: one flush per dirty conn, end of every pass.
+  void flush_pass();
+
   void send_on_loop(ReplicaId to, std::shared_ptr<const std::string> bytes);
   void dial(ReplicaId to);
   void adopt_peer_conn(ReplicaId id, std::unique_ptr<net::FrameConn> conn,
@@ -181,6 +197,10 @@ class TcpTransport final : public Transport {
   // Closed connections awaiting safe (post-callback) destruction.
   std::vector<std::unique_ptr<net::FrameConn>> graveyard_;
   std::atomic<std::size_t> connected_count_{0};
+  // Conns with frames queued this pass, flushed by flush_pass(). Scrubbed
+  // on bury/shutdown so it never holds a dangling pointer.
+  std::vector<net::FrameConn*> dirty_;
+  net::WireMetrics wire_metrics_;
 
   Handler handler_;
   ClientHandler client_handler_;

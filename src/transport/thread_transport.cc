@@ -60,8 +60,17 @@ void ThreadTransport::send(ReplicaId from, ReplicaId to, const WireFrame& f) {
   }
 
   if (opt_.sender_batching && to != from) {
-    peers_[from]->out_bufs[to].append(bytes);
-    peers_[from]->out_counts[to] += 1;
+    Peer& p = *peers_[from];
+    p.out_bufs[to].append(bytes);
+    p.out_counts[to] += 1;
+    // Coalescing budget: hand over early rather than letting one pass grow
+    // an unbounded batch (keeps receiver latency and memory bounded).
+    if (opt_.max_coalesce_bytes > 0 &&
+        p.out_bufs[to].size() >= opt_.max_coalesce_bytes) {
+      write_link(from, to, p.out_bufs[to], p.out_counts[to]);
+      p.out_bufs[to].clear();
+      p.out_counts[to] = 0;
+    }
     return;
   }
   write_link(from, to, bytes, /*msg_count=*/1);
@@ -126,6 +135,8 @@ void ThreadTransport::write_link(ReplicaId from, ReplicaId to,
     }
     link.buf.append(bytes);
   }
+  wire_flushes_.fetch_add(1, std::memory_order_relaxed);
+  frames_flushed_.fetch_add(msg_count, std::memory_order_relaxed);
   // Self-sends are drained by the current loop pass; no wake needed.
   if (to != from && dst.wake) dst.wake();
 }
@@ -163,6 +174,8 @@ TransportStats ThreadTransport::stats() const {
   s.encode_calls = encode_calls();
   s.messages_dropped = messages_dropped_.load(std::memory_order_relaxed);
   s.backpressure_blocks = backpressure_blocks_.load(std::memory_order_relaxed);
+  s.wire_flushes = wire_flushes_.load(std::memory_order_relaxed);
+  s.frames_flushed = frames_flushed_.load(std::memory_order_relaxed);
   return s;
 }
 

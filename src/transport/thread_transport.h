@@ -49,6 +49,11 @@ class ThreadTransport final : public Transport {
     // Sender-side batching: buffer outbound bytes per destination during a
     // processing pass; flush() hands each buffer over in one queue op.
     bool sender_batching = false;
+    // Per-pass coalescing budget: a destination's batch buffer is handed
+    // over early once it reaches this many bytes, bounding how much one
+    // pass can accumulate (mirrors TcpTransportOptions::max_coalesce_bytes).
+    // 0 = unbounded within the pass. Only meaningful with sender_batching.
+    std::size_t max_coalesce_bytes = 256 * 1024;
     // Bounded send queue: max bytes buffered per (sender, receiver) link.
     // 0 = unbounded. Over the limit, `overflow` decides: kBlock stalls the
     // sending thread until the receiver drains (backpressure_blocks in
@@ -140,6 +145,11 @@ class ThreadTransport final : public Transport {
   std::atomic<std::uint64_t> encode_calls_{0};
   std::atomic<std::uint64_t> messages_dropped_{0};
   std::atomic<std::uint64_t> backpressure_blocks_{0};
+  // One wire_flush per link handoff (write_link append); frames_flushed
+  // counts the frames it carried, so frames_flushed / wire_flushes is the
+  // achieved coalescing factor — comparable with the TCP transport's.
+  std::atomic<std::uint64_t> wire_flushes_{0};
+  std::atomic<std::uint64_t> frames_flushed_{0};
 };
 
 }  // namespace crsm

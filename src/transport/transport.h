@@ -41,6 +41,19 @@ struct TransportStats {
   // knob. Both are also reflected in messages_dropped / messages_delivered.
   std::uint64_t messages_fault_dropped = 0;
   std::uint64_t messages_duplicated = 0;
+  // Per-pass wire coalescing (TCP and thread transports): one "flush" is
+  // one kernel/queue handoff; frames_flushed / wire_flushes is the achieved
+  // frames-per-flush batching factor.
+  std::uint64_t wire_flushes = 0;
+  std::uint64_t frames_flushed = 0;
+  // io_uring submission batching: io_uring_enter calls that submitted SQEs
+  // and the SQEs they carried (sqes_submitted / sqe_submits = SQE batch
+  // size). Zero on the epoll backend.
+  std::uint64_t sqe_submits = 0;
+  std::uint64_t sqes_submitted = 0;
+  // Times a node asked for the uring backend and was handed epoll instead
+  // (kernel/seccomp refused io_uring).
+  std::uint64_t uring_fallbacks = 0;
 };
 
 // What a bounded send queue does when an outbound link is over its byte

@@ -52,18 +52,34 @@ TcpCluster::ProtocolFactory durable_clock_rsm_factory(std::size_t n) {
   return clock_rsm_factory(n, o);
 }
 
-class DurableClusterTest : public ::testing::Test {
+// Every crash-restart scenario runs under both io backends: recovery and
+// held-until-durable ordering must hold whether frames leave through
+// writev or through io_uring SQEs. Uring cases skip where unavailable.
+class DurableClusterTest : public ::testing::TestWithParam<net::IoBackend> {
  protected:
   void SetUp() override {
+    if (GetParam() == net::IoBackend::kUring && !net::uring_available()) {
+      GTEST_SKIP() << "io_uring unavailable on this kernel";
+    }
+    std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : name) {
+      if (c == '/') c = '_';
+    }
     dir_ = std::filesystem::temp_directory_path() /
-           ("crsm_durable_test_" + std::to_string(::getpid()) + "_" +
-            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+           ("crsm_durable_test_" + std::to_string(::getpid()) + "_" + name);
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
-  TcpClusterOptions durable_opts(std::uint64_t checkpoint_every = 0) const {
+  TcpClusterOptions volatile_opts() const {
     TcpClusterOptions o;
+    o.io_backend = GetParam();
+    return o;
+  }
+
+  TcpClusterOptions durable_opts(std::uint64_t checkpoint_every = 0) const {
+    TcpClusterOptions o = volatile_opts();
     o.log_dir = dir_.string();
     o.checkpoint_every = checkpoint_every;
     return o;
@@ -72,11 +88,18 @@ class DurableClusterTest : public ::testing::Test {
   std::filesystem::path dir_;
 };
 
+INSTANTIATE_TEST_SUITE_P(
+    Backends, DurableClusterTest,
+    ::testing::Values(net::IoBackend::kEpoll, net::IoBackend::kUring),
+    [](const ::testing::TestParamInfo<net::IoBackend>& info) {
+      return std::string(net::io_backend_name(info.param));
+    });
+
 // The acceptance scenario: kill -9 a replica mid-run, restart it from its
 // log dir, and require (a) the cluster finishes every client's workload,
 // (b) the restarted replica converges to the same state, and (c) the
 // recorded history is linearizable.
-TEST_F(DurableClusterTest, KilledReplicaRestartsCatchesUpAndHistoryLinearizable) {
+TEST_P(DurableClusterTest, KilledReplicaRestartsCatchesUpAndHistoryLinearizable) {
   TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
                      durable_opts());
 
@@ -184,7 +207,7 @@ TEST_F(DurableClusterTest, KilledReplicaRestartsCatchesUpAndHistoryLinearizable)
 // Restart driven by checkpoint + log: with periodic checkpointing the
 // victim's WAL prefix is truncated, so recovery must restore the snapshot
 // first and only replay/catch up above it.
-TEST_F(DurableClusterTest, RestartFromCheckpointPlusLogSuffix) {
+TEST_P(DurableClusterTest, RestartFromCheckpointPlusLogSuffix) {
   TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
                      durable_opts(/*checkpoint_every=*/5));
   std::atomic<int> replies{0};
@@ -245,7 +268,7 @@ TEST_F(DurableClusterTest, RestartFromCheckpointPlusLogSuffix) {
 // recovering, and they must feed each other's catch-up (no live non-
 // recovering majority exists) and resume service. Regression test for the
 // mutual-catch-up deadlock: recovering replicas must answer CATCHUPREQ.
-TEST_F(DurableClusterTest, WholeClusterKillAndRestartConverges) {
+TEST_P(DurableClusterTest, WholeClusterKillAndRestartConverges) {
   TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
                      durable_opts());
   std::atomic<int> replies{0};
@@ -290,7 +313,7 @@ TEST_F(DurableClusterTest, WholeClusterKillAndRestartConverges) {
 
 // The WAL of a hard-killed node must parse and replay cleanly: committed
 // records in timestamp order, no corruption from the abrupt death.
-TEST_F(DurableClusterTest, KilledNodesWalReplaysCleanly) {
+TEST_P(DurableClusterTest, KilledNodesWalReplaysCleanly) {
   TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
                      durable_opts());
   std::atomic<int> replies{0};
@@ -320,7 +343,7 @@ TEST_F(DurableClusterTest, KilledNodesWalReplaysCleanly) {
 // Group commit batches durability work: under concurrent load the number of
 // fsyncs stays below the number of durability requests, and held messages
 // prove PREPAREOK waited for the batch's durability point.
-TEST_F(DurableClusterTest, GroupCommitBatchesFsyncs) {
+TEST_P(DurableClusterTest, GroupCommitBatchesFsyncs) {
   TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
                      durable_opts());
   std::atomic<int> replies{0};
@@ -348,7 +371,7 @@ TEST_F(DurableClusterTest, GroupCommitBatchesFsyncs) {
 // dead replica's clock stall rather than serve stale, and drain with the
 // post-recovery state once the victim restarts from its WAL and its clock
 // resumes feeding stability.
-TEST_F(DurableClusterTest, ReadBurstStallsAcrossKillAndDrainsAfterRestart) {
+TEST_P(DurableClusterTest, ReadBurstStallsAcrossKillAndDrainsAfterRestart) {
   TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
                      durable_opts());
   std::atomic<int> replies{0};
@@ -411,8 +434,9 @@ TEST_F(DurableClusterTest, ReadBurstStallsAcrossKillAndDrainsAfterRestart) {
 
 // MemLog clusters keep the PR 3 contract: no recovery, no restart support
 // needed, but kill() still takes a node out and the rest stays consistent.
-TEST_F(DurableClusterTest, VolatileClusterStillRunsWithoutLogDir) {
-  TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory());
+TEST_P(DurableClusterTest, VolatileClusterStillRunsWithoutLogDir) {
+  TcpCluster cluster(3, durable_clock_rsm_factory(3), kv_factory(),
+                     volatile_opts());
   std::atomic<int> replies{0};
   cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
   cluster.start();

@@ -1,9 +1,13 @@
 // Tests for the src/net building blocks: EventLoop timers/posts,
 // FrameAssembler reassembly, Acceptor/Connector establishment (including
-// connect-before-listen retry) and FrameConn round trips on loopback.
+// connect-before-listen retry) and FrameConn round trips on loopback — all
+// parameterized over both io backends (epoll and io_uring; uring cases skip
+// on kernels without it). Plus the io_uring fallback path and the
+// exact-tail requeue of a torn coalesced writev.
 #include <gtest/gtest.h>
 
 #include <sys/epoll.h>
+#include <sys/socket.h>
 
 #include <atomic>
 #include <chrono>
@@ -28,20 +32,24 @@ using net::Connector;
 using net::EventLoop;
 using net::FrameAssembler;
 using net::FrameConn;
+using net::IoBackend;
 using net::Socket;
 
-// Runs an EventLoop on a background thread for a test's duration.
+// Runs an EventLoop (of the requested backend) on a background thread for a
+// test's duration.
 class LoopThread {
  public:
-  LoopThread() : thread_([this] { loop_.run(); }) {}
+  explicit LoopThread(IoBackend backend = IoBackend::kEpoll)
+      : loop_(net::make_event_loop(backend)),
+        thread_([this] { loop_->run(); }) {}
   ~LoopThread() {
-    loop_.stop();
+    loop_->stop();
     thread_.join();
   }
-  EventLoop& loop() { return loop_; }
+  EventLoop& loop() { return *loop_; }
 
  private:
-  EventLoop loop_;
+  std::unique_ptr<EventLoop> loop_;
   std::thread thread_;
 };
 
@@ -56,10 +64,28 @@ bool eventually(Pred pred, std::chrono::milliseconds deadline =
   return pred();
 }
 
+// Every loop-level and conn-level test runs under both backends; uring
+// cases skip (not silently pass) where the kernel lacks io_uring.
+class NetBackendTest : public ::testing::TestWithParam<IoBackend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == IoBackend::kUring && !net::uring_available()) {
+      GTEST_SKIP() << "io_uring unavailable on this kernel";
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, NetBackendTest,
+    ::testing::Values(IoBackend::kEpoll, IoBackend::kUring),
+    [](const ::testing::TestParamInfo<IoBackend>& info) {
+      return std::string(net::io_backend_name(info.param));
+    });
+
 // --- EventLoop -------------------------------------------------------------
 
-TEST(EventLoop, PostRunsOnLoopThreadInOrder) {
-  LoopThread lt;
+TEST_P(NetBackendTest, PostRunsOnLoopThreadInOrder) {
+  LoopThread lt(GetParam());
   std::vector<int> order;
   std::atomic<bool> done{false};
   for (int i = 0; i < 10; ++i) {
@@ -73,8 +99,8 @@ TEST(EventLoop, PostRunsOnLoopThreadInOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
 }
 
-TEST(EventLoop, TimersFireInDeadlineOrder) {
-  LoopThread lt;
+TEST_P(NetBackendTest, TimersFireInDeadlineOrder) {
+  LoopThread lt(GetParam());
   std::vector<int> order;
   std::atomic<int> fired{0};
   lt.loop().post([&] {
@@ -86,12 +112,13 @@ TEST(EventLoop, TimersFireInDeadlineOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventLoop, CancelledTimerDoesNotFire) {
-  LoopThread lt;
+TEST_P(NetBackendTest, CancelledTimerDoesNotFire) {
+  LoopThread lt(GetParam());
   std::atomic<bool> fired{false};
   std::atomic<bool> late{false};
   lt.loop().post([&] {
-    const net::TimerId id = lt.loop().schedule_after(10'000, [&] { fired = true; });
+    const net::TimerId id =
+        lt.loop().schedule_after(10'000, [&] { fired = true; });
     lt.loop().cancel_timer(id);
     lt.loop().schedule_after(50'000, [&] { late = true; });
   });
@@ -99,10 +126,43 @@ TEST(EventLoop, CancelledTimerDoesNotFire) {
   EXPECT_FALSE(fired.load());
 }
 
-TEST(EventLoop, StopBeforeRunReturnsImmediately) {
-  EventLoop loop;
-  loop.stop();
-  loop.run();  // must not hang
+TEST_P(NetBackendTest, StopBeforeRunReturnsImmediately) {
+  auto loop = net::make_event_loop(GetParam());
+  loop->stop();
+  loop->run();  // must not hang
+}
+
+// --- io_uring availability & fallback --------------------------------------
+
+TEST(IoBackendFactory, FallsBackToEpollWhenUringUnavailable) {
+  net::force_uring_unavailable_for_test(true);
+  EXPECT_FALSE(net::uring_available());
+  bool fell_back = false;
+  auto loop = net::make_event_loop(IoBackend::kUring, &fell_back);
+  net::force_uring_unavailable_for_test(false);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_TRUE(fell_back);
+  EXPECT_EQ(loop->backend(), IoBackend::kEpoll);
+  // The fallback loop is a working loop, not a stub.
+  loop->stop();
+  loop->run();
+}
+
+TEST(IoBackendFactory, EpollRequestNeverFallsBack) {
+  bool fell_back = true;
+  auto loop = net::make_event_loop(IoBackend::kEpoll, &fell_back);
+  EXPECT_FALSE(fell_back);
+  EXPECT_EQ(loop->backend(), IoBackend::kEpoll);
+}
+
+TEST(IoBackendFactory, ParseNames) {
+  IoBackend b = IoBackend::kEpoll;
+  EXPECT_TRUE(net::parse_io_backend("uring", &b));
+  EXPECT_EQ(b, IoBackend::kUring);
+  EXPECT_TRUE(net::parse_io_backend("epoll", &b));
+  EXPECT_EQ(b, IoBackend::kEpoll);
+  EXPECT_FALSE(net::parse_io_backend("kqueue", &b));
+  EXPECT_STREQ(net::io_backend_name(IoBackend::kUring), "uring");
 }
 
 // --- FrameAssembler --------------------------------------------------------
@@ -154,8 +214,8 @@ TEST(WireFrame, SharedBytesIsCachedAndMatchesEncode) {
 
 // One established FrameConn pair over loopback: frames sent from one end
 // arrive decoded on the other, hellos carry identity both ways.
-TEST(FrameConnLoopback, HelloAndFramesRoundTrip) {
-  LoopThread lt;
+TEST_P(NetBackendTest, FrameConnHelloAndFramesRoundTrip) {
+  LoopThread lt(GetParam());
   EventLoop& loop = lt.loop();
 
   std::unique_ptr<Acceptor> acceptor;
@@ -217,8 +277,8 @@ TEST(FrameConnLoopback, HelloAndFramesRoundTrip) {
 
 // A connector started before any listener exists must keep retrying with
 // backoff and succeed once the listener appears — the reconnect primitive.
-TEST(ConnectorRetry, ConnectsAfterListenerAppears) {
-  LoopThread lt;
+TEST_P(NetBackendTest, ConnectorConnectsAfterListenerAppears) {
+  LoopThread lt(GetParam());
   EventLoop& loop = lt.loop();
 
   // Reserve an ephemeral port, remember it, and close the listener so the
@@ -257,6 +317,142 @@ TEST(ConnectorRetry, ConnectsAfterListenerAppears) {
   loop.post([&] {
     connector.reset();
     acceptor.reset();
+    cleaned = true;
+  });
+  ASSERT_TRUE(eventually([&] { return cleaned.load(); }));
+}
+
+// --- Torn coalesced writev: exact-tail requeue ------------------------------
+
+// A coalesced flush over a socket with a tiny send buffer is guaranteed to
+// tear: the kernel accepts only part of the gathered write, possibly
+// mid-frame. The conn must requeue the exact unsent tail — every frame
+// arrives whole, in order, with no bytes duplicated or lost. Runs on both
+// backends (epoll partial sendmsg; uring partial SENDMSG CQE).
+TEST_P(NetBackendTest, TornCoalescedWritevRequeuesExactTail) {
+  LoopThread lt(GetParam());
+  EventLoop& loop = lt.loop();
+
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink both directions' buffers so a ~130 KiB flush cannot fit: the
+  // kernel clamps to a floor (~4 KiB), which is all we need.
+  const int tiny = 1;
+  ASSERT_EQ(::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)),
+            0);
+  ASSERT_EQ(::setsockopt(fds[1], SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny)),
+            0);
+  net::set_nonblocking(fds[0]);
+  net::set_nonblocking(fds[1]);
+
+  constexpr std::uint64_t kFrames = 64;
+  const std::string big_value(2048, 'v');
+  // Every frame carries the same ~2 KiB KvRequest encoding; any torn or
+  // duplicated byte range would corrupt a payload (or desync the framing).
+  const std::string expect_payload =
+      test::kv_put(7, 1, "key", big_value).payload.str();
+
+  std::unique_ptr<FrameConn> writer, reader;
+  std::atomic<std::uint64_t> got{0};
+  std::atomic<bool> order_ok{true};
+  std::atomic<bool> payload_ok{true};
+  std::atomic<bool> died{false};
+  std::atomic<std::size_t> queued_bytes{0};
+
+  std::atomic<bool> started{false};
+  loop.post([&] {
+    reader = std::make_unique<FrameConn>(loop, Socket(fds[1]));
+    reader->start(
+        /*hello_id=*/1, [](std::uint32_t) {},
+        [&](const Message& m) {
+          // kClientRequest encodes only the command; seq carries the order.
+          const std::uint64_t expect = got.load() + 1;
+          if (m.cmd.seq != expect) order_ok = false;
+          if (m.cmd.payload.view() != expect_payload) payload_ok = false;
+          ++got;
+        },
+        [&] { died = true; });
+
+    writer = std::make_unique<FrameConn>(loop, Socket(fds[0]));
+    writer->set_coalescing(true);
+    writer->start(
+        /*hello_id=*/2, [](std::uint32_t) {}, [](const Message&) {},
+        [&] { died = true; });
+    for (std::uint64_t i = 0; i < kFrames; ++i) {
+      Message m;
+      m.type = MsgType::kClientRequest;
+      m.cmd = test::kv_put(7, i + 1, "key", big_value);
+      writer->send(WireFrame(std::move(m)).shared_bytes());
+    }
+    // Far more queued than the send buffer admits: this one flush MUST
+    // tear, exercising the partial-write requeue path repeatedly as the
+    // reader drains.
+    queued_bytes = writer->pending_bytes();
+    (void)writer->flush();
+    started = true;
+  });
+  ASSERT_TRUE(eventually([&] { return started.load(); }));
+  EXPECT_GT(queued_bytes.load(), 64u * 1024u);
+
+  ASSERT_TRUE(eventually([&] { return got.load() == kFrames || died.load(); }));
+  EXPECT_FALSE(died.load());
+  EXPECT_EQ(got.load(), kFrames);
+  EXPECT_TRUE(order_ok.load());
+  EXPECT_TRUE(payload_ok.load());
+
+  std::atomic<bool> cleaned{false};
+  loop.post([&] {
+    writer.reset();
+    reader.reset();
+    cleaned = true;
+  });
+  ASSERT_TRUE(eventually([&] { return cleaned.load(); }));
+}
+
+// Coalescing mode really defers: send() alone puts nothing on the wire
+// until flush() (the transport's pass-end hook in production).
+TEST_P(NetBackendTest, CoalescedSendDefersUntilFlush) {
+  LoopThread lt(GetParam());
+  EventLoop& loop = lt.loop();
+
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  net::set_nonblocking(fds[0]);
+  net::set_nonblocking(fds[1]);
+
+  std::unique_ptr<FrameConn> writer, reader;
+  std::atomic<std::uint64_t> got{0};
+  std::atomic<bool> armed{false};
+  loop.post([&] {
+    reader = std::make_unique<FrameConn>(loop, Socket(fds[1]));
+    reader->start(
+        /*hello_id=*/1, [](std::uint32_t) {},
+        [&](const Message&) { ++got; }, [] {});
+    writer = std::make_unique<FrameConn>(loop, Socket(fds[0]));
+    writer->set_coalescing(true);
+    writer->start(
+        /*hello_id=*/2, [](std::uint32_t) {}, [](const Message&) {}, [] {});
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      Message m;
+      m.type = MsgType::kMenAck;
+      m.slot = i;
+      writer->send(WireFrame(std::move(m)).shared_bytes());
+    }
+    armed = true;
+  });
+  ASSERT_TRUE(eventually([&] { return armed.load(); }));
+
+  // Nothing (beyond the hello) flows while the frames sit coalesced.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(got.load(), 0u);
+
+  loop.post([&] { (void)writer->flush(); });
+  ASSERT_TRUE(eventually([&] { return got.load() == 8; }));
+
+  std::atomic<bool> cleaned{false};
+  loop.post([&] {
+    writer.reset();
+    reader.reset();
     cleaned = true;
   });
   ASSERT_TRUE(eventually([&] { return cleaned.load(); }));

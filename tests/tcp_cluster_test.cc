@@ -3,7 +3,10 @@
 // genuine sockets, the recorded history must pass the linearizability
 // checker, the client wire path (SyncClient speaking
 // kClientRequest/kClientReply) must work, and the transport's encode-once
-// fan-out and backpressure accounting must hold.
+// fan-out, coalescing and backpressure accounting must hold.
+//
+// Everything runs under both io backends (epoll and io_uring); uring cases
+// skip with a message on kernels without it.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -12,6 +15,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "kv/kv_store.h"
@@ -24,6 +28,7 @@
 namespace crsm {
 namespace {
 
+using net::IoBackend;
 using test::kv_factory;
 using test::kv_put;
 
@@ -38,19 +43,39 @@ bool eventually(Pred pred, std::chrono::milliseconds deadline =
   return pred();
 }
 
-class TcpClusterTest : public ::testing::TestWithParam<const char*> {
+void skip_unless_backend_available(IoBackend b) {
+  if (b == IoBackend::kUring && !net::uring_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+}
+
+std::string backend_suffix(IoBackend b) {
+  return std::string(net::io_backend_name(b));
+}
+
+// Protocol agreement suite: every protocol x every io backend.
+class TcpClusterTest
+    : public ::testing::TestWithParam<std::tuple<const char*, IoBackend>> {
  protected:
+  void SetUp() override {
+    skip_unless_backend_available(std::get<1>(GetParam()));
+  }
   TcpCluster::ProtocolFactory factory(std::size_t n) const {
-    const std::string p = GetParam();
+    const std::string p = std::get<0>(GetParam());
     if (p == "clockrsm") return clock_rsm_factory(n);
     if (p == "paxos") return paxos_factory(n, 0, false);
     if (p == "paxos-bcast") return paxos_factory(n, 0, true);
     return mencius_factory(n);
   }
+  TcpClusterOptions opts() const {
+    TcpClusterOptions o;
+    o.io_backend = std::get<1>(GetParam());
+    return o;
+  }
 };
 
 TEST_P(TcpClusterTest, CommandsCommitAtAllReplicasOverTcp) {
-  TcpCluster cluster(3, factory(3), kv_factory());
+  TcpCluster cluster(3, factory(3), kv_factory(), opts());
   std::atomic<int> replies{0};
   cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
   cluster.start();
@@ -63,7 +88,7 @@ TEST_P(TcpClusterTest, CommandsCommitAtAllReplicasOverTcp) {
 }
 
 TEST_P(TcpClusterTest, ConcurrentOriginsAgreeAndStateDigestsMatch) {
-  TcpCluster cluster(3, factory(3), kv_factory());
+  TcpCluster cluster(3, factory(3), kv_factory(), opts());
   std::atomic<int> replies{0};
   // Per-replica execution order, recorded on each node's loop thread.
   std::mutex mu;
@@ -104,22 +129,42 @@ TEST_P(TcpClusterTest, ConcurrentOriginsAgreeAndStateDigestsMatch) {
   EXPECT_EQ(digests[2], digests[0]);
 }
 
-INSTANTIATE_TEST_SUITE_P(Protocols, TcpClusterTest,
-                         ::testing::Values("clockrsm", "paxos", "paxos-bcast",
-                                           "mencius"),
-                         [](const auto& info) {
-                           std::string s = info.param;
-                           for (char& c : s) {
-                             if (c == '-') c = '_';
-                           }
-                           return s;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, TcpClusterTest,
+    ::testing::Combine(::testing::Values("clockrsm", "paxos", "paxos-bcast",
+                                         "mencius"),
+                       ::testing::Values(IoBackend::kEpoll, IoBackend::kUring)),
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param);
+      for (char& c : s) {
+        if (c == '-') c = '_';
+      }
+      return s + "_" + backend_suffix(std::get<1>(info.param));
+    });
+
+// Single-protocol suites, still run under both backends.
+class TcpBackendTest : public ::testing::TestWithParam<IoBackend> {
+ protected:
+  void SetUp() override { skip_unless_backend_available(GetParam()); }
+  TcpClusterOptions opts() const {
+    TcpClusterOptions o;
+    o.io_backend = GetParam();
+    return o;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, TcpBackendTest,
+    ::testing::Values(IoBackend::kEpoll, IoBackend::kUring),
+    [](const ::testing::TestParamInfo<IoBackend>& info) {
+      return backend_suffix(info.param);
+    });
 
 // The acceptance criterion: a 3-replica Clock-RSM cluster over real TCP
 // sockets reaches agreement and its recorded history passes the
 // linearizability checker (real-time order respected by the total order).
-TEST(TcpClusterLinearizability, ClockRsmHistoryIsLinearizable) {
-  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory());
+TEST_P(TcpBackendTest, ClockRsmHistoryIsLinearizable) {
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory(), opts());
 
   struct PendingOp {
     Tick invoke_us = 0;
@@ -204,8 +249,8 @@ TEST(TcpClusterLinearizability, ClockRsmHistoryIsLinearizable) {
 
 // Clients over real sockets: SyncClient handshakes, sends kClientRequest
 // frames and gets routed replies carrying the state machine's output.
-TEST(TcpClusterClientPath, SyncClientRoundTripsThroughAnyReplica) {
-  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory());
+TEST_P(TcpBackendTest, SyncClientRoundTripsThroughAnyReplica) {
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory(), opts());
   cluster.start();
 
   for (ReplicaId r = 0; r < 3; ++r) {
@@ -229,8 +274,8 @@ TEST(TcpClusterClientPath, SyncClientRoundTripsThroughAnyReplica) {
 // A completed write is visible to a local read at EVERY replica, not just
 // the write's origin: the stability rule holds the read until the write's
 // PREPARE has arrived and executed.
-TEST(TcpClusterReads, LocalReadsServeAtEveryReplica) {
-  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory());
+TEST_P(TcpBackendTest, LocalReadsServeAtEveryReplica) {
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory(), opts());
   std::atomic<int> replies{0};
   std::mutex mu;
   std::map<ClientId, std::string> read_values;
@@ -262,8 +307,8 @@ TEST(TcpClusterReads, LocalReadsServeAtEveryReplica) {
 // Interleaved writes and cross-replica reads under load: every read is
 // answered, reads never enter the replicated order (executed() counts only
 // the writes), and the cluster still agrees.
-TEST(TcpClusterReads, MixedReadWriteBurstOverRealSockets) {
-  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory());
+TEST_P(TcpBackendTest, MixedReadWriteBurstOverRealSockets) {
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory(), opts());
   std::atomic<int> replies{0};
   std::atomic<int> reads_done{0};
   cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
@@ -299,8 +344,8 @@ TEST(TcpClusterReads, MixedReadWriteBurstOverRealSockets) {
 
 // kClientRead/kClientReadReply over the wire: a follower serves the read
 // locally, and a missing key reads back as the empty value.
-TEST(TcpClusterClientPath, SyncClientReadCallServesFollowerReads) {
-  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory());
+TEST_P(TcpBackendTest, SyncClientReadCallServesFollowerReads) {
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory(), opts());
   cluster.start();
   net::SyncClient writer("127.0.0.1", cluster.port(0));
   EXPECT_EQ(writer.call(kv_put(make_client_id(0, 7), 1, "wire", "value"),
@@ -320,8 +365,8 @@ TEST(TcpClusterClientPath, SyncClientReadCallServesFollowerReads) {
 // Protocols without a local read path fall back to riding the log: the read
 // commits like a write but is answered through the read hook (and, over the
 // wire, as a kClientReadReply) so clients see one uniform read interface.
-TEST(TcpClusterReads, ProtocolsWithoutLocalReadsAnswerViaTheLog) {
-  TcpCluster cluster(3, paxos_factory(3, 0, false), kv_factory());
+TEST_P(TcpBackendTest, ProtocolsWithoutLocalReadsAnswerViaTheLog) {
+  TcpCluster cluster(3, paxos_factory(3, 0, false), kv_factory(), opts());
   std::mutex mu;
   std::string got = "<unserved>";
   cluster.set_read_hook(
@@ -350,9 +395,11 @@ TEST(TcpClusterReads, ProtocolsWithoutLocalReadsAnswerViaTheLog) {
 // Encode-once over TCP: a Clock-RSM broadcast is serialized once and
 // written to every peer socket, so encode_calls stays well below
 // messages_sent (the same acceptance bound the other transports meet).
-TEST(TcpClusterEncodeOnce, EncodeCallsDropBelowMessages) {
+// With per-pass coalescing on (the default), the wire counters must also
+// show batching: fewer kernel handoffs than frames, frames/flush > 1.
+TEST_P(TcpBackendTest, EncodeOnceAndCoalescingCountersHold) {
   const std::size_t n = 3;
-  TcpCluster cluster(n, clock_rsm_factory(n), kv_factory());
+  TcpCluster cluster(n, clock_rsm_factory(n), kv_factory(), opts());
   std::atomic<int> replies{0};
   cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
   cluster.start();
@@ -363,6 +410,7 @@ TEST(TcpClusterEncodeOnce, EncodeCallsDropBelowMessages) {
   }
   ASSERT_TRUE(eventually([&] { return replies.load() == kCmds; }));
   const TransportStats s = cluster.stats();
+  const bool uring = GetParam() == IoBackend::kUring;
   cluster.stop();
   EXPECT_GT(s.messages_sent, 0u);
   EXPECT_GT(s.bytes_sent, 0u);
@@ -370,14 +418,50 @@ TEST(TcpClusterEncodeOnce, EncodeCallsDropBelowMessages) {
   // Every Clock-RSM message is a 3-replica broadcast: ~3 sends per encode.
   EXPECT_LE(s.encode_calls * 2, s.messages_sent)
       << "fan-out encode-once not in effect over TCP";
+  // Per-pass coalescing: frames leave through counted flushes, and a burst
+  // of 30 commands cannot have taken one kernel handoff per frame (frames
+  // still queued at the sampling instant keep this a strict < comparison,
+  // not an exact accounting identity).
+  EXPECT_GT(s.wire_flushes, 0u);
+  EXPECT_LT(s.wire_flushes, s.frames_flushed)
+      << "coalescing never batched two frames into one flush";
+  if (uring) {
+    // The uring backend must actually batch SQE submission.
+    EXPECT_GT(s.sqe_submits, 0u);
+    EXPECT_GE(s.sqes_submitted, s.sqe_submits);
+    EXPECT_EQ(s.uring_fallbacks, 0u);
+  } else {
+    EXPECT_EQ(s.sqe_submits, 0u);
+  }
+}
+
+// Requesting uring on a kernel (or test-forced environment) without it
+// must yield a working epoll cluster and surface the fallback in stats.
+TEST(TcpClusterFallback, UringRequestFallsBackToWorkingEpollCluster) {
+  net::force_uring_unavailable_for_test(true);
+  TcpClusterOptions o;
+  o.io_backend = IoBackend::kUring;
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory(), o);
+  net::force_uring_unavailable_for_test(false);
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+  for (ReplicaId r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.node(r).io_backend(), IoBackend::kEpoll);
+    EXPECT_TRUE(cluster.node(r).io_fell_back());
+  }
+  for (int i = 0; i < 5; ++i) cluster.submit(0, kv_put(1, i + 1, "k", "v"));
+  EXPECT_TRUE(eventually([&] { return replies.load() == 5; }));
+  EXPECT_EQ(cluster.stats().uring_fallbacks, 3u);
+  cluster.stop();
 }
 
 // Bounded send queues on the TCP transport: with a kDrop policy and a dead
 // peer, the per-link backlog sheds beyond the byte limit and the drops are
 // visible in TransportStats (the overload-test contract).
-TEST(TcpTransportBackpressure, DropPolicyBoundsDisconnectedBacklog) {
-  net::EventLoop loop;
-  std::thread loop_thread([&] { loop.run(); });
+TEST_P(TcpBackendTest, DropPolicyBoundsDisconnectedBacklog) {
+  auto loop = net::make_event_loop(GetParam());
+  std::thread loop_thread([&] { loop->run(); });
 
   TcpTransport::Options opt;
   opt.max_pending_bytes = 256;
@@ -388,9 +472,9 @@ TEST(TcpTransportBackpressure, DropPolicyBoundsDisconnectedBacklog) {
     net::Socket probe = net::tcp_listen("127.0.0.1", 0);
     dead_port = net::local_port(probe.fd());
   }
-  auto transport = std::make_unique<TcpTransport>(loop, /*self=*/0, opt);
+  auto transport = std::make_unique<TcpTransport>(*loop, /*self=*/0, opt);
   std::atomic<bool> started{false};
-  loop.post([&] {
+  loop->post([&] {
     transport->start({TcpPeer{"127.0.0.1", transport->port()},
                       TcpPeer{"127.0.0.1", dead_port}});
     started = true;
@@ -414,12 +498,12 @@ TEST(TcpTransportBackpressure, DropPolicyBoundsDisconnectedBacklog) {
   EXPECT_EQ(s.backpressure_blocks, 0u);
 
   std::atomic<bool> cleaned{false};
-  loop.post([&] {
+  loop->post([&] {
     transport->shutdown();
     cleaned = true;
   });
   ASSERT_TRUE(eventually([&] { return cleaned.load(); }));
-  loop.stop();
+  loop->stop();
   loop_thread.join();
 }
 
