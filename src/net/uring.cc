@@ -124,16 +124,38 @@ void Uring::count_submit(unsigned to_submit) {
   sqes_submitted_.fetch_add(to_submit, std::memory_order_relaxed);
 }
 
-void Uring::submit() {
-  const unsigned to_submit = sqe_tail_ - sqe_submitted_;
-  if (to_submit == 0) return;
-  store_release(sq_ktail_, sqe_tail_);
-  const int r = sys_io_uring_enter(fd_, to_submit, 0, 0, nullptr, 0);
-  if (r < 0 && errno != EINTR && errno != EBUSY) {
+unsigned Uring::flush_sqes() {
+  unsigned submitted = 0;
+  while (sqe_submitted_ != sqe_tail_) {
+    const unsigned to_submit = sqe_tail_ - sqe_submitted_;
+    const int r = sys_io_uring_enter(fd_, to_submit, 0, 0, nullptr, 0);
+    if (r >= 0) {
+      // The return value is the number of SQEs the kernel actually
+      // consumed — assuming full consumption on EBUSY would silently drop
+      // ops (a lost SENDMSG wedges its connection forever) and let a later
+      // full-ring flush overwrite the still-unconsumed slots.
+      sqe_submitted_ += static_cast<unsigned>(r);
+      submitted += static_cast<unsigned>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EBUSY) {
+      // CQ ring full (overflow list non-empty): the kernel refuses new
+      // SQEs until completions are consumed. Reap into the stash — the
+      // next reap() delivers them first — and retry with room freed.
+      reap_ring(stash_);
+      continue;
+    }
     throw_errno("io_uring_enter(submit)");
   }
-  sqe_submitted_ = sqe_tail_;
-  count_submit(to_submit);
+  return submitted;
+}
+
+void Uring::submit() {
+  if (sqe_tail_ == sqe_submitted_) return;
+  store_release(sq_ktail_, sqe_tail_);
+  const unsigned submitted = flush_sqes();
+  if (submitted != 0) count_submit(submitted);
 }
 
 void Uring::submit_and_wait(int timeout_ms) {
@@ -147,20 +169,31 @@ void Uring::submit_and_wait(int timeout_ms) {
   const int r = sys_io_uring_enter(
       fd_, to_submit, 1, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG, &arg,
       sizeof(arg));
-  if (r < 0 && errno != ETIME && errno != EINTR && errno != EBUSY) {
+  unsigned submitted = 0;
+  if (r >= 0) {
+    // io_uring_enter reports the SQE consume count even when the wait leg
+    // was cut short; it can be less than to_submit.
+    submitted = static_cast<unsigned>(r);
+    sqe_submitted_ += submitted;
+  } else if (errno != ETIME && errno != EINTR && errno != EBUSY) {
     throw_errno("io_uring_enter(submit_and_wait)");
   }
-  if (to_submit != 0) {
-    sqe_submitted_ = sqe_tail_;
-    count_submit(to_submit);
-  }
+  // EBUSY/EINTR (or a partial consume) left SQEs pending: finish the
+  // submission now rather than deferring to the next pass — the caller is
+  // about to reap, and held-back rearms/sends would stall the loop. The
+  // cut-short wait is harmless; poll_io tolerates spurious early returns.
+  if (sqe_tail_ != sqe_submitted_) submitted += flush_sqes();
+  if (submitted != 0) count_submit(submitted);
 }
 
 void Uring::quiesce() {
   io_uring_sqe* sqe = get_sqe();
   sqe->opcode = IORING_OP_ASYNC_CANCEL;
   sqe->cancel_flags = IORING_ASYNC_CANCEL_ANY | IORING_ASYNC_CANCEL_ALL;
-  sqe->user_data = kProvideUserData;
+  // Own sentinel, not kProvideUserData: pending buffer-recycle CQEs share
+  // that one, and mistaking a recycle for the cancel-all's completion lets
+  // quiesce return after one quiet millisecond with ops still in flight.
+  sqe->user_data = kCancelUserData;
   submit();
   // Wait for the cancel-all's own CQE, then keep draining until the ring
   // goes quiet: the canceled ops' -ECANCELED CQEs (whose generation is what
@@ -186,12 +219,12 @@ void Uring::quiesce() {
       continue;
     }
     for (const Cqe& c : cqes) {
-      if (c.user_data == kProvideUserData) cancel_seen = true;
+      if (c.user_data == kCancelUserData) cancel_seen = true;
     }
   }
 }
 
-std::size_t Uring::reap(std::vector<Cqe>& out) {
+std::size_t Uring::reap_ring(std::vector<Cqe>& out) {
   unsigned head = *cq_khead_;  // only this thread advances it
   const unsigned tail = load_acquire(cq_ktail_);
   const std::size_t before = out.size();
@@ -201,6 +234,30 @@ std::size_t Uring::reap(std::vector<Cqe>& out) {
   }
   store_release(cq_khead_, head);
   return out.size() - before;
+}
+
+std::size_t Uring::reap(std::vector<Cqe>& out) {
+  std::size_t n = 0;
+  if (!stash_.empty()) {
+    // CQEs reaped early to clear EBUSY submission backpressure — deliver
+    // them in completion order, ahead of anything still in the ring.
+    n = stash_.size();
+    out.insert(out.end(), stash_.begin(), stash_.end());
+    stash_.clear();
+  }
+  return n + reap_ring(out);
+}
+
+bool Uring::neutralize_if_unsubmitted(unsigned seq, std::uint64_t user_data) {
+  // Unsubmitted window is [sqe_submitted_, sqe_tail_); wrap-safe compare.
+  if (seq - sqe_submitted_ >= sqe_tail_ - sqe_submitted_) return false;
+  io_uring_sqe* sqe = &sqes_[seq & sq_mask_];
+  if (sqe->user_data != user_data) return false;  // not the caller's SQE
+  std::memset(sqe, 0, sizeof(*sqe));
+  sqe->opcode = IORING_OP_NOP;
+  sqe->fd = -1;
+  sqe->user_data = user_data;  // the NOP's CQE still retires the op
+  return true;
 }
 
 void Uring::register_buf_ring(unsigned entries, unsigned buf_size,

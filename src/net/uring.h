@@ -44,6 +44,20 @@ class Uring {
   // full (counted as an extra submit).
   [[nodiscard]] io_uring_sqe* get_sqe();
 
+  // Sequence number of the SQE most recently returned by get_sqe().
+  // Sequence numbers identify a slot in the unbounded submission stream
+  // (not a ring index), so a flushed-and-reused slot never matches.
+  [[nodiscard]] unsigned last_sqe_seq() const { return sqe_tail_ - 1; }
+
+  // If the SQE with sequence `seq` has not yet been handed to the kernel,
+  // rewrites it in place to an IORING_OP_NOP that keeps `user_data` (so its
+  // CQE still retires the caller's op) and returns true. Returns false when
+  // the SQE was already submitted. Used to defuse a queued SENDMSG whose fd
+  // is about to be closed: the raw fd number can be reused by an
+  // accept/connect before the next io_uring_enter, and the stale send would
+  // then write onto the wrong connection.
+  bool neutralize_if_unsubmitted(unsigned seq, std::uint64_t user_data);
+
   // Publishes pending SQEs to the kernel without waiting for completions.
   void submit();
 
@@ -75,6 +89,10 @@ class Uring {
 
   // user_data of buffer-provide SQEs; their CQEs are dropped by dispatch.
   static constexpr std::uint64_t kProvideUserData = ~0ULL;
+  // user_data of quiesce()'s cancel-all SQE. Distinct from the provide
+  // sentinel: a pending buffer-recycle CQE must not be mistaken for the
+  // cancel's completion, or quiesce returns with ops still in flight.
+  static constexpr std::uint64_t kCancelUserData = ~0ULL - 1;
 
   [[nodiscard]] std::uint64_t sqe_submits() const {
     return sqe_submits_.load(std::memory_order_relaxed);
@@ -85,6 +103,14 @@ class Uring {
 
  private:
   void count_submit(unsigned to_submit);
+  // Hands every pending SQE to the kernel, advancing sqe_submitted_ by the
+  // kernel's actual consume count; loops on EINTR and on EBUSY (reaping
+  // CQEs into stash_ to clear the CQ backpressure that causes it). Returns
+  // the number of SQEs submitted.
+  unsigned flush_sqes();
+  // Drains the kernel CQ ring into `out` (head advanced); the stash-aware
+  // public reap() wraps this.
+  std::size_t reap_ring(std::vector<Cqe>& out);
 
   int fd_ = -1;
   io_uring_params params_{};
@@ -109,6 +135,10 @@ class Uring {
 
   unsigned sqe_tail_ = 0;       // next SQE slot we will fill
   unsigned sqe_submitted_ = 0;  // SQEs already handed to the kernel
+
+  // CQEs reaped early (to relieve EBUSY backpressure during submission);
+  // delivered ahead of ring CQEs by the next reap().
+  std::vector<Cqe> stash_;
 
   // Provided-buffer pool.
   char* buf_pool_ = nullptr;

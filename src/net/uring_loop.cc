@@ -179,6 +179,7 @@ std::uint64_t UringEventLoop::queue_send(int fd, const iovec* iov, int iovcnt,
   // exactly as on the sync path.
   sqe->msg_flags = MSG_NOSIGNAL | MSG_DONTWAIT;
   sqe->user_data = id;
+  o.sqe_seq = ring_.last_sqe_seq();
   return id;
 }
 
@@ -187,6 +188,15 @@ void UringEventLoop::discard_send(std::uint64_t id) {
   if (it != ops_.end() && it->second.kind == Op::Kind::kSend) {
     it->second.dead = true;
     it->second.on_sent = nullptr;
+    // The caller (FrameConn::close) closes the fd right after this call.
+    // If the SENDMSG SQE is still queued user-side, it targets the raw fd
+    // number: an accept/connect later in the same pass can reuse it before
+    // the next io_uring_enter, and the kernel would then write the stale
+    // frame batch onto the wrong connection. Rewrite the queued SQE to a
+    // NOP (keeping user_data, so its CQE still erases this op). A SQE
+    // already handed to the kernel is safe: MSG_DONTWAIT sends complete
+    // inline during io_uring_enter, before the fd could have been closed.
+    ring_.neutralize_if_unsubmitted(it->second.sqe_seq, id);
   }
 }
 

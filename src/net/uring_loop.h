@@ -74,6 +74,9 @@ class UringEventLoop final : public EventLoop {
     FdCallback on_events;
     RecvCallback on_data;
     SendCallback on_sent;
+    // kSend: sequence of the SENDMSG SQE, so discard_send can neutralize
+    // it if it has not yet been handed to the kernel.
+    unsigned sqe_seq = 0;
     msghdr msg{};  // kSend: must outlive the SQE (map nodes are stable)
     // kSend: owns the iov array and data buffers until the terminal CQE,
     // even if the issuing connection is destroyed first.

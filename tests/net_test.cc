@@ -409,6 +409,79 @@ TEST_P(NetBackendTest, TornCoalescedWritevRequeuesExactTail) {
   ASSERT_TRUE(eventually([&] { return cleaned.load(); }));
 }
 
+// --- Discarded send vs fd reuse ---------------------------------------------
+
+// A SENDMSG SQE queued but not yet handed to the kernel targets a raw fd
+// number. If the connection closes (discard_send + close) and the number is
+// reused before the pass-end io_uring_enter, the stale batch must NOT be
+// written onto the unrelated new socket. dup2 re-points the exact fd number
+// deterministically, standing in for the accept/connect reuse race.
+TEST(UringDiscardSend, QueuedSendNeutralizedBeforeFdReuse) {
+  if (!net::uring_available()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel";
+  }
+  LoopThread lt(IoBackend::kUring);
+  EventLoop& loop = lt.loop();
+  ASSERT_TRUE(loop.supports_send_queue());
+
+  int a[2] = {-1, -1};  // doomed connection
+  int b[2] = {-1, -1};  // innocent bystander that inherits a[0]'s number
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, a), 0);
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, b), 0);
+  net::set_nonblocking(b[1]);
+
+  struct Batch {
+    iovec iov;
+    std::shared_ptr<std::string> buf;
+  };
+  std::atomic<bool> stale_cb{false};
+  std::atomic<bool> staged{false};
+  loop.post([&] {
+    auto batch = std::make_shared<Batch>();
+    batch->buf = std::make_shared<std::string>("STALE FRAME BYTES");
+    batch->iov = iovec{batch->buf->data(), batch->buf->size()};
+    const std::uint64_t id = loop.queue_send(
+        a[0], &batch->iov, 1, batch, [&](ssize_t) { stale_cb = true; });
+    ASSERT_NE(id, 0u);
+    // FrameConn::close() in miniature: discard, close — then the fd number
+    // is reused before the queued SQE could reach the kernel.
+    loop.discard_send(id);
+    ::close(a[0]);
+    ASSERT_EQ(::dup2(b[0], a[0]), a[0]);
+    staged = true;
+  });
+  ASSERT_TRUE(eventually([&] { return staged.load(); }));
+
+  // Positive control through the very same fd number: an undiscarded send
+  // queued now must land on b's peer — proving this harness would observe
+  // any stale bytes the neutralized SQE leaked.
+  std::atomic<bool> live_cb{false};
+  loop.post([&] {
+    auto batch = std::make_shared<Batch>();
+    batch->buf = std::make_shared<std::string>("live");
+    batch->iov = iovec{batch->buf->data(), batch->buf->size()};
+    (void)loop.queue_send(a[0], &batch->iov, 1, batch,
+                          [&](ssize_t) { live_cb = true; });
+  });
+  ASSERT_TRUE(eventually([&] { return live_cb.load(); }));
+
+  char rx[64];
+  ASSERT_TRUE(eventually([&] {
+    const ssize_t n = ::recv(b[1], rx, sizeof(rx), MSG_PEEK | MSG_DONTWAIT);
+    return n > 0;
+  }));
+  const ssize_t n = ::recv(b[1], rx, sizeof(rx), MSG_DONTWAIT);
+  // Only the live payload — had the stale SQE reached the kernel, its bytes
+  // would precede (or follow) it on this socket.
+  EXPECT_EQ(std::string(rx, static_cast<std::size_t>(n)), "live");
+  EXPECT_FALSE(stale_cb.load());  // discarded sends never call back
+
+  ::close(a[0]);
+  ::close(a[1]);
+  ::close(b[0]);
+  ::close(b[1]);
+}
+
 // Coalescing mode really defers: send() alone puts nothing on the wire
 // until flush() (the transport's pass-end hook in production).
 TEST_P(NetBackendTest, CoalescedSendDefersUntilFlush) {
