@@ -11,17 +11,23 @@
 
 #include "harness/latency_experiment.h"
 #include "harness/report.h"
+#include "runtime/throughput.h"
 #include "util/topology.h"
 
 namespace crsm::bench {
 
 // The CLI contract every bench binary shares (micro_* excepted: those are
 // google-benchmark binaries and follow its --benchmark_* conventions):
-//   --seed N   re-seeds the workload/jitter RNG (default 42)
-//   --json     print one flat JSON object on stdout instead of the tables
+//   --seed N            re-seeds the workload/jitter RNG (default 42)
+//   --json              print one flat JSON object on stdout instead of tables
+//   --stage-breakdown   benches with a TCP-runtime component (fig10, fig11)
+//                       additionally trace the commit pipeline and report
+//                       per-stage p50/p99 (queue/broadcast/wal/ack/
+//                       stability/execute/reply); ignored elsewhere
 struct BenchArgs {
   std::uint64_t seed = 42;
   bool json = false;
+  bool stage_breakdown = false;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -38,8 +44,11 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       }
     } else if (flag == "--json") {
       args.json = true;
+    } else if (flag == "--stage-breakdown") {
+      args.stage_breakdown = true;
     } else if (flag == "--help" || flag == "-h") {
-      std::printf("usage: %s [--seed N] [--json]\n", argv[0]);
+      std::printf("usage: %s [--seed N] [--json] [--stage-breakdown]\n",
+                  argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", flag.c_str());
@@ -99,6 +108,23 @@ inline void print_result(const BenchArgs& args, const JsonResult& jr,
     jr.print(std::cout);
   } else {
     t.print(std::cout);
+  }
+}
+
+// Emits a TCP-runtime commit-pipeline stage breakdown (--stage-breakdown)
+// as `<prefix>stage_<name>_{p50,p99}_us` JSON fields and, when `t` is
+// given, one table row per stage.
+inline void add_stage_breakdown(JsonResult& jr, const std::string& prefix,
+                                const std::vector<StageLatency>& stages,
+                                Table* t = nullptr,
+                                const std::string& row_label = "") {
+  for (const StageLatency& s : stages) {
+    jr.add(prefix + "stage_" + s.stage + "_p50_us", s.p50_us);
+    jr.add(prefix + "stage_" + s.stage + "_p99_us", s.p99_us);
+    if (t != nullptr) {
+      t->add_row({row_label, s.stage, std::to_string(s.count),
+                  fmt_count(s.p50_us, 1), fmt_count(s.p99_us, 1)});
+    }
   }
 }
 

@@ -92,6 +92,7 @@ int main(int argc, char** argv) {
 
   Table t({"protocol", "transport", "backend", "coalesce", "kcmds/s",
            "msgs/cmd", "flushes/cmd", "frames/flush", "sqes/submit"});
+  Table stage_t({"row", "stage", "count", "p50 us", "p99 us"});
   for (const Proto& p : protos) {
     ThroughputOptions opt;
     opt.num_replicas = n;
@@ -99,6 +100,7 @@ int main(int argc, char** argv) {
     opt.payload_bytes = 100;
     opt.warmup_s = 0.5;
     opt.duration_s = 2.0;
+    opt.stage_breakdown = args.stage_breakdown;  // TCP rows only
 
     double tcp_baseline = 0.0, wal_kops = 0.0;
     for (const Row& row : rows) {
@@ -149,6 +151,12 @@ int main(int argc, char** argv) {
       jr.add(prefix + "flushes_per_cmd", r.flushes_per_cmd);
       jr.add(prefix + "frames_per_flush", r.frames_per_flush);
       if (uring_row) jr.add(prefix + "sqes_per_submit", r.sqes_per_submit);
+      if (!r.stages.empty()) {
+        add_stage_breakdown(jr, prefix, r.stages,
+                            args.json ? nullptr : &stage_t,
+                            std::string(p.label) + " " + row.transport + "/" +
+                                backend_label);
+      }
       t.add_row({p.label, row.transport, backend_label,
                  row.coalesce ? "on" : "off", fmt_count(r.kops_per_sec, 2),
                  fmt_count(r.msgs_per_cmd, 2), fmt_count(r.flushes_per_cmd, 2),
@@ -173,6 +181,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   t.print(std::cout);
+  if (args.stage_breakdown) {
+    std::printf("\nCommit-pipeline stage breakdown (sampled, per-stage "
+                "latency at the origin):\n");
+    stage_t.print(std::cout);
+  }
 
   std::printf("\nShape to check: per-command msgs/bytes/encodes match across "
               "rows (same\nprotocol, same frames). Coalescing shows up as "

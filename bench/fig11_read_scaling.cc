@@ -73,7 +73,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  Table stage_t({"row", "stage", "count", "p50 us", "p99 us"});
+  if (args.stage_breakdown) {
+    // Supplemental TCP-runtime run (3 replicas, 90 % reads, loopback): the
+    // simulated sweep above has no commit-pipeline tracing, so record the
+    // read path's decomposition — stability wait vs serve — from the real
+    // event-loop runtime alongside it.
+    ThroughputOptions topt;
+    topt.num_replicas = 3;
+    topt.clients_per_replica = 16;
+    topt.payload_bytes = 64;
+    topt.warmup_s = 0.5;
+    topt.duration_s = 2.0;
+    topt.read_fraction = 0.9;
+    topt.stage_breakdown = true;
+    const ThroughputResult tr =
+        run_tcp_throughput(topt, clock_rsm_factory(3));
+    jr.add("tcp_mix90_ops_per_sec", tr.kops_per_sec * 1000.0);
+    jr.add("tcp_mix90_reads_per_sec", tr.reads_per_sec);
+    add_stage_breakdown(jr, "tcp_mix90_", tr.stages,
+                        args.json ? nullptr : &stage_t,
+                        "clock-rsm tcp 90% reads");
+  }
+
   print_result(args, jr, t);
+  if (args.stage_breakdown && !args.json) {
+    std::printf("\nTCP-runtime stage breakdown (3 replicas, 90%% reads, "
+                "loopback):\n");
+    stage_t.print(std::cout);
+  }
   if (!args.json) {
     std::printf("\nPaper shape to check: reads/s grows 3 -> 5 replicas at "
                 "the 90%% and 95%% mixes\n(each added replica serves its own "

@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "common/codec.h"
+#include "obs/trace.h"
 #include "storage/checkpoint.h"
 #include "storage/recovery.h"
 
@@ -61,7 +62,8 @@ bool debug_reads() {
 
 ClockRsmReplica::ClockRsmReplica(ProtocolEnv& env, std::vector<ReplicaId> spec,
                                  ClockRsmOptions opt)
-    : env_(env), opt_(opt), spec_(std::move(spec)), config_(spec_) {
+    : env_(env), opt_(opt), tracer_(env.tracer()), spec_(std::move(spec)),
+      config_(spec_) {
   if (spec_.empty()) throw std::invalid_argument("empty replica specification");
   if (!contains(spec_, env_.self())) {
     throw std::invalid_argument("replica not in specification");
@@ -225,6 +227,11 @@ void ClockRsmReplica::maybe_serve_reads() {
     Command cmd = std::move(it->second);
     pending_reads_.erase(it);
     ++stats_.reads_served;
+    if (tracer_ != nullptr && tracer_->active()) {
+      // Read-path "stability wait satisfied" point.
+      tracer_->stamp(cmd.client, cmd.seq, obs::Stage::kStable,
+                     obs::trace_now_us());
+    }
     env_.deliver_read(cmd, Timestamp{rts, env_.self()});
   }
 }
@@ -235,9 +242,17 @@ void ClockRsmReplica::handle_request(Command cmd) {
   m.type = MsgType::kPrepare;
   m.epoch = epoch_;
   m.ts = Timestamp{next_send_ticks(), env_.self()};
+  if (tracer_ != nullptr && tracer_->active()) {
+    // From here on the command is known protocol-wide by its timestamp;
+    // later stamp sites (ack quorum, commit scan) key by it.
+    tracer_->bind_ts(cmd.client, cmd.seq, m.ts);
+  }
   m.cmd = std::move(cmd);
   ++stats_.prepares_sent;
   broadcast(m);
+  if (tracer_ != nullptr && tracer_->active()) {
+    tracer_->stamp_ts(m.ts, obs::Stage::kBroadcast, obs::trace_now_us());
+  }
 }
 
 void ClockRsmReplica::on_message(const Message& m) {
@@ -336,6 +351,11 @@ void ClockRsmReplica::handle_prepare(const Message& m) {
   tv = std::max(tv, m.ts.ticks);
   env_.log().append(LogRecord::prepare(m.ts, m.cmd));
   env_.log().sync();
+  if (tracer_ != nullptr && m.ts.origin == env_.self() && tracer_->active()) {
+    // Own PREPARE looped back: the origin's WAL record is (group-commit
+    // pending) durable from here.
+    tracer_->stamp_ts(m.ts, obs::Stage::kWalAppend, obs::trace_now_us());
+  }
 
   // Lines 8-10: wait until ts < Clock, then acknowledge to all replicas.
   // The wait is highly unlikely with reasonably synchronized clocks; it only
@@ -368,7 +388,12 @@ void ClockRsmReplica::handle_prepare_ok(const Message& m) {
   auto& tv = latest_tv_[m.from];
   tv = std::max(tv, m.clock_ts);
   if (m.ts > last_commit_ts_) {
-    rep_counter_[m.ts].insert(m.from);
+    auto& ackers = rep_counter_[m.ts];
+    ackers.insert(m.from);
+    if (tracer_ != nullptr && m.ts.origin == env_.self() &&
+        ackers.size() >= majority(spec_.size()) && tracer_->active()) {
+      tracer_->stamp_ts(m.ts, obs::Stage::kQuorumAck, obs::trace_now_us());
+    }
   }
   maybe_commit();
 }
@@ -422,6 +447,9 @@ void ClockRsmReplica::maybe_commit() {
       break;
     }
     if (!stable(ts)) break;
+    if (tracer_ != nullptr && ts.origin == env_.self() && tracer_->active()) {
+      tracer_->stamp_ts(ts, obs::Stage::kStable, obs::trace_now_us());
+    }
 
     if (debug_reconfig()) {
       std::string who;
@@ -1146,6 +1174,21 @@ void ClockRsmReplica::arm_failure_detector_timer() {
     }
     arm_failure_detector_timer();
   });
+}
+
+void ClockRsmReplica::fill_metrics(const obs::MetricSink& sink) const {
+  sink("crsm_proto_committed_total", stats_.committed);
+  sink("crsm_proto_prepares_sent_total", stats_.prepares_sent);
+  sink("crsm_proto_clocktimes_sent_total", stats_.clocktimes_sent);
+  sink("crsm_proto_clock_waits_total", stats_.clock_waits);
+  sink("crsm_proto_reconfigurations_total", stats_.reconfigurations);
+  sink("crsm_proto_catchup_rounds_total", stats_.catchup_rounds);
+  sink("crsm_proto_catchup_commits_total", stats_.catchup_commits);
+  sink("crsm_proto_reads_submitted_total", stats_.reads_submitted);
+  sink("crsm_proto_reads_served_total", stats_.reads_served);
+  sink("crsm_proto_pending", pending_.size());
+  sink("crsm_proto_pending_reads", pending_reads_.size());
+  sink("crsm_proto_epoch", epoch_);
 }
 
 }  // namespace crsm

@@ -73,6 +73,7 @@ class ClockRsmReplica final : public ReplicaProtocol {
   void submit(Command cmd) override;
   void on_message(const Message& m) override;
   [[nodiscard]] std::string name() const override { return "Clock-RSM"; }
+  void fill_metrics(const obs::MetricSink& sink) const override;
 
   // Linearizable local reads (rides the paper's stability rule; see
   // docs/ARCHITECTURE.md "Linearizable local reads"). The read is assigned a
@@ -169,6 +170,10 @@ class ClockRsmReplica final : public ReplicaProtocol {
 
   ProtocolEnv& env_;
   ClockRsmOptions opt_;
+  // Commit-pipeline tracer, cached from the env at construction (nullptr in
+  // untraced environments). Every stamp site checks active() first, so the
+  // cost without live spans is one pointer test.
+  obs::CommitTracer* tracer_ = nullptr;
 
   // Hard state (beyond the log, which lives in the env).
   std::vector<ReplicaId> spec_;

@@ -79,12 +79,14 @@ std::string KvStore::apply(const Command& cmd) {
   const KvRequest r = KvRequest::decode(cmd.payload);
   switch (r.op) {
     case KvOp::kPut:
+      ++puts_;
       map_[r.key] = r.value;
       return "OK";
     case KvOp::kGet:
     case KvOp::kScan:
       return read_op(r);
     case KvOp::kDel:
+      ++dels_;
       map_.erase(r.key);
       return "OK";
   }
@@ -100,10 +102,12 @@ std::string KvStore::apply_read(const Command& cmd) const {
 std::string KvStore::read_op(const KvRequest& r) const {
   switch (r.op) {
     case KvOp::kGet: {
+      ++gets_;
       auto it = map_.find(r.key);
       return it == map_.end() ? std::string() : it->second;
     }
     case KvOp::kScan:
+      ++scans_;
       return scan(r.key, r.scan_limit);
     default:
       return {};
@@ -148,6 +152,14 @@ std::uint64_t KvStore::state_digest() const {
     acc ^= h;
   }
   return acc;
+}
+
+void KvStore::fill_metrics(const obs::MetricSink& sink) const {
+  sink("crsm_kv_puts_total", puts_);
+  sink("crsm_kv_gets_total", gets_);
+  sink("crsm_kv_dels_total", dels_);
+  sink("crsm_kv_scans_total", scans_);
+  sink("crsm_kv_keys", map_.size());
 }
 
 const std::string* KvStore::get(const std::string& key) const {

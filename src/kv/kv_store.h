@@ -69,6 +69,7 @@ class KvStore final : public StateMachine {
   [[nodiscard]] std::uint64_t state_digest() const override;
   [[nodiscard]] std::string snapshot() const override;
   void restore(const std::string& snapshot) override;
+  void fill_metrics(const obs::MetricSink& sink) const override;
 
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   [[nodiscard]] const std::string* get(const std::string& key) const;
@@ -79,6 +80,13 @@ class KvStore final : public StateMachine {
                                  std::uint64_t limit) const;
 
   std::unordered_map<std::string, std::string> map_;
+  // Per-op counts; mutable because reads arrive through const apply_read.
+  // Same-thread as every other state-machine entry point (replica context),
+  // so plain integers suffice.
+  mutable std::uint64_t puts_ = 0;
+  mutable std::uint64_t gets_ = 0;
+  mutable std::uint64_t dels_ = 0;
+  mutable std::uint64_t scans_ = 0;
 };
 
 }  // namespace crsm

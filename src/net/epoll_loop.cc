@@ -60,7 +60,9 @@ void EpollEventLoop::del_fd(int fd) {
 
 void EpollEventLoop::poll_io(int timeout_ms) {
   epoll_event events[kMaxEvents];
+  const std::uint64_t wait_begin = observer() ? mono_us() : 0;
   const int n = ::epoll_wait(epfd_, events, kMaxEvents, timeout_ms);
+  if (observer()) observer()->note_poll_wait(mono_us() - wait_begin);
   if (n < 0 && errno != EINTR) {
     throw NetError(std::string("epoll_wait: ") + std::strerror(errno));
   }

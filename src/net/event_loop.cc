@@ -124,11 +124,24 @@ void EventLoop::run() {
   // stop() may legitimately arrive before run() does: a `stop_requested_`
   // latch (instead of a running flag set here) makes that race benign.
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (observer_ == nullptr) {
+      poll_io(next_timeout_ms());
+      drain_posted();
+      fire_due_timers();
+      if (pass_end_hook_) pass_end_hook_();
+      if (wire_flush_hook_) wire_flush_hook_();
+      continue;
+    }
+    observer_->begin_pass(mono_us());
     poll_io(next_timeout_ms());
+    observer_->poll_done(mono_us());
     drain_posted();
     fire_due_timers();
+    observer_->tasks_done(mono_us());
     if (pass_end_hook_) pass_end_hook_();
+    observer_->fsync_done(mono_us());
     if (wire_flush_hook_) wire_flush_hook_();
+    observer_->end_pass(mono_us());
   }
   // Run tasks posted between the final dispatch and stop(), so shutdown
   // work posted from other threads is not silently dropped.

@@ -53,6 +53,23 @@ struct IoRingStats {
   std::uint64_t sqes_submitted = 0;
 };
 
+// Pass-phase observer (obs::LoopProfiler implements this). run() stamps the
+// phase boundaries of every pass; the backend additionally reports time it
+// actually blocked inside the kernel wait, so an observer can split the
+// poll phase into idle wait vs fd-dispatch work. All calls are made on the
+// loop thread. Timestamps are EventLoop::mono_us().
+class LoopObserver {
+ public:
+  virtual ~LoopObserver() = default;
+  virtual void begin_pass(std::uint64_t now_us) = 0;
+  virtual void poll_done(std::uint64_t now_us) = 0;   // poll_io returned
+  virtual void tasks_done(std::uint64_t now_us) = 0;  // posted + timers done
+  virtual void fsync_done(std::uint64_t now_us) = 0;  // pass-end hook done
+  virtual void end_pass(std::uint64_t now_us) = 0;    // wire flush done
+  // Time blocked in epoll_wait / io_uring_enter within the current pass.
+  virtual void note_poll_wait(std::uint64_t wait_us) = 0;
+};
+
 class EventLoop {
  public:
   // `events` is the ready-mask (EPOLLIN/EPOLLOUT/EPOLLERR...; the uring
@@ -146,6 +163,11 @@ class EventLoop {
     wire_flush_hook_ = std::move(fn);
   }
 
+  // Installs (or clears, with nullptr) the pass-phase observer. Not owned;
+  // must outlive the loop or be cleared first. Set before run() (or from
+  // the loop thread).
+  void set_observer(LoopObserver* obs) { observer_ = obs; }
+
   // Runs until stop(). The calling thread becomes the loop thread.
   void run();
   // Thread-safe; run() returns after finishing the current dispatch pass.
@@ -176,6 +198,12 @@ class EventLoop {
   [[nodiscard]] int wake_fd() const { return wake_fd_; }
   void drain_wake_fd();
 
+  // For backends: the installed observer (nullptr when none). Backends wrap
+  // their blocking kernel wait with mono_us() stamps and report the blocked
+  // time via note_poll_wait — only when an observer is installed, so the
+  // unobserved hot path pays no extra clock reads.
+  [[nodiscard]] LoopObserver* observer() const { return observer_; }
+
   [[nodiscard]] int next_timeout_ms() const;
 
  private:
@@ -204,6 +232,7 @@ class EventLoop {
 
   std::atomic<bool> stop_requested_{false};
   std::thread::id loop_thread_;
+  LoopObserver* observer_ = nullptr;
 };
 
 // True if this kernel/seccomp profile supports everything UringEventLoop

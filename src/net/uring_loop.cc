@@ -217,7 +217,9 @@ void UringEventLoop::poll_io(int timeout_ms) {
     for (const Uring::Cqe& c : d) dispatch_cqe(c, /*sends_only=*/false);
     timeout_ms = 0;
   }
+  const std::uint64_t wait_begin = observer() ? mono_us() : 0;
   ring_.submit_and_wait(timeout_ms);
+  if (observer()) observer()->note_poll_wait(mono_us() - wait_begin);
   cqes_.clear();
   ring_.reap(cqes_);
   for (const Uring::Cqe& c : cqes_) dispatch_cqe(c, /*sends_only=*/false);

@@ -1,0 +1,59 @@
+#include "obs/loop_profiler.h"
+
+namespace crsm::obs {
+
+LoopProfiler::LoopProfiler(Registry& reg) {
+  pass_us_ = &reg.histogram("crsm_loop_pass_us", "full event-loop pass");
+  poll_wait_us_ = &reg.histogram("crsm_loop_poll_wait_us",
+                                 "blocked in the kernel I/O wait");
+  io_dispatch_us_ = &reg.histogram("crsm_loop_io_dispatch_us",
+                                   "fd event dispatch (poll minus wait)");
+  protocol_us_ =
+      &reg.histogram("crsm_loop_protocol_us", "posted tasks and timers");
+  fsync_us_ = &reg.histogram("crsm_loop_fsync_us",
+                             "pass-end hook (WAL group commit)");
+  wire_flush_us_ =
+      &reg.histogram("crsm_loop_wire_flush_us", "outbound coalescing flush");
+  busy_us_ = &reg.histogram("crsm_loop_busy_us", "pass minus kernel wait");
+  cmds_per_pass_ = &reg.histogram("crsm_loop_cmds_per_pass",
+                                  "commands released per durability flush");
+  passes_total_ = &reg.counter("crsm_loop_passes_total", "event-loop passes");
+}
+
+void LoopProfiler::begin_pass(std::uint64_t now_us) {
+  t_begin_ = now_us;
+  wait_us_ = 0;
+}
+
+void LoopProfiler::note_poll_wait(std::uint64_t wait_us) {
+  wait_us_ += wait_us;
+}
+
+void LoopProfiler::poll_done(std::uint64_t now_us) {
+  t_poll_ = now_us;
+  const std::uint64_t poll = now_us - t_begin_;
+  poll_wait_us_->observe(wait_us_ < poll ? wait_us_ : poll);
+  io_dispatch_us_->observe(poll > wait_us_ ? poll - wait_us_ : 0);
+}
+
+void LoopProfiler::tasks_done(std::uint64_t now_us) {
+  t_tasks_ = now_us;
+  protocol_us_->observe(now_us - t_poll_);
+}
+
+void LoopProfiler::fsync_done(std::uint64_t now_us) {
+  t_fsync_ = now_us;
+  fsync_us_->observe(now_us - t_tasks_);
+}
+
+void LoopProfiler::end_pass(std::uint64_t now_us) {
+  wire_flush_us_->observe(now_us - t_fsync_);
+  const std::uint64_t pass = now_us - t_begin_;
+  pass_us_->observe(pass);
+  busy_us_->observe(pass > wait_us_ ? pass - wait_us_ : 0);
+  passes_total_->inc();
+}
+
+void LoopProfiler::note_batch(std::uint64_t n) { cmds_per_pass_->observe(n); }
+
+}  // namespace crsm::obs

@@ -1,0 +1,20 @@
+// The dependency-free seam between instrumented components and the metrics
+// registry. Components that keep their own cumulative counters (a protocol's
+// Stats struct, a state machine's op counts) expose them by implementing a
+// fill_metrics(MetricSink) virtual; the NodeRuntime collector calls it at
+// snapshot time and folds each (name, value) pair into the registry. Names
+// ending in "_total" register as Prometheus counters, anything else as a
+// gauge. This keeps src/rsm and src/kv free of any obs dependency beyond
+// this one header of std types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace crsm::obs {
+
+using MetricSink =
+    std::function<void(std::string_view name, std::uint64_t value)>;
+
+}  // namespace crsm::obs

@@ -1,0 +1,316 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace crsm::obs {
+
+// --- LatencyHistogram -------------------------------------------------------
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t us) {
+  if (us < kSub) return static_cast<std::size_t>(us);
+  int w = std::bit_width(us);  // >= kSubBits + 1
+  if (w > 42) w = 42;          // clamp: everything above shares the top octave
+  const std::uint64_t clamped =
+      std::min<std::uint64_t>(us, (std::uint64_t{1} << 42) - 1);
+  const int shift = w - kSubBits - 1;
+  const std::uint64_t sub = (clamped >> shift) - kSub;
+  return static_cast<std::size_t>(kSub + (w - kSubBits - 1) * kSub + sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_lower_us(std::size_t idx) {
+  if (idx < kSub) return idx;
+  const std::uint64_t octave = (idx - kSub) / kSub;  // 0-based; width-4 first
+  const std::uint64_t sub = (idx - kSub) % kSub;
+  return (kSub + sub) << octave;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_us(std::size_t idx) {
+  if (idx < kSub) return idx;
+  const std::uint64_t octave = (idx - kSub) / kSub;
+  return bucket_lower_us(idx) + (1ULL << octave) - 1;
+}
+
+void LatencyHistogram::observe(std::uint64_t us) {
+  buckets_[bucket_index(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+  // Monotone max via CAS; contention is nil (single writer in practice).
+  std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (us > prev &&
+         !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_us_.fetch_add(other.sum_us(), std::memory_order_relaxed);
+  std::uint64_t om = other.max_us();
+  std::uint64_t prev = max_us_.load(std::memory_order_relaxed);
+  while (om > prev &&
+         !max_us_.compare_exchange_weak(prev, om, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_us() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_us()) / static_cast<double>(n);
+}
+
+double LatencyHistogram::percentile_us(double p) const {
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      // Interpolate linearly inside the bucket by the rank's position.
+      const double lo = static_cast<double>(bucket_lower_us(i));
+      const double hi = static_cast<double>(bucket_upper_us(i));
+      const double frac =
+          c == 1 ? 0.0
+                 : static_cast<double>(rank - seen - 1) /
+                       static_cast<double>(c - 1);
+      return lo + (hi - lo) * frac;
+    }
+    seen += c;
+  }
+  return static_cast<double>(max_us());  // racing writer; best effort
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry::Entry& Registry::entry(std::string_view name, std::string_view help,
+                                 MetricKind kind) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.help = std::string(help);
+    e.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        e.hist = std::make_unique<LatencyHistogram>();
+        break;
+    }
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + std::string(name) +
+                           "' re-registered as a different kind");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  return *entry(name, help, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  return *entry(name, help, MetricKind::kGauge).gauge;
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name,
+                                      std::string_view help) {
+  return *entry(name, help, MetricKind::kHistogram).hist;
+}
+
+void Registry::add_collector(std::function<void(Registry&)> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+Snapshot Registry::snapshot() {
+  std::vector<std::function<void(Registry&)>> collectors;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    collectors = collectors_;
+  }
+  // Outside the lock: collectors register/update metrics themselves.
+  for (auto& fn : collectors) fn(*this);
+
+  Snapshot s;
+  std::lock_guard<std::mutex> lk(mu_);
+  s.metrics.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    MetricValue v;
+    v.name = name;
+    v.help = e.help;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        v.counter = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        v.gauge = e.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const LatencyHistogram& h = *e.hist;
+        v.hist.count = h.count();
+        v.hist.sum_us = h.sum_us();
+        v.hist.max_us = h.max_us();
+        v.hist.p50_us = h.percentile_us(50);
+        v.hist.p90_us = h.percentile_us(90);
+        v.hist.p99_us = h.percentile_us(99);
+        // Coarse cumulative view at power-of-two boundaries: enough shape
+        // for dashboards without emitting all fine-grained buckets.
+        std::uint64_t cum = 0;
+        std::size_t bucket = 0;
+        for (int k = 0; k <= 30; ++k) {
+          const std::uint64_t le = 1ULL << k;
+          while (bucket < LatencyHistogram::kNumBuckets &&
+                 LatencyHistogram::bucket_upper_us(bucket) <= le) {
+            cum += h.bucket_count(bucket);
+            ++bucket;
+          }
+          v.hist.cumulative.emplace_back(le, cum);
+        }
+        break;
+      }
+    }
+    s.metrics.push_back(std::move(v));
+  }
+  return s;
+}
+
+const MetricValue* Snapshot::find(std::string_view name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+  const MetricValue* m = find(name);
+  return m == nullptr ? 0 : m->counter;
+}
+
+// --- export -----------------------------------------------------------------
+
+namespace {
+
+// %g-style but never scientific for integers; Prometheus accepts both, JSON
+// consumers prefer plain numbers.
+std::string fmt_double(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& s) {
+  std::string out;
+  out.reserve(4096);
+  for (const MetricValue& m : s.metrics) {
+    if (!m.help.empty()) {
+      out += "# HELP " + m.name + " " + m.help + "\n";
+    }
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + m.name + " counter\n";
+        out += m.name + " " + std::to_string(m.counter) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + m.name + " gauge\n";
+        out += m.name + " " + fmt_double(m.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        out += "# TYPE " + m.name + " histogram\n";
+        for (const auto& [le, cum] : m.hist.cumulative) {
+          out += m.name + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+                 std::to_string(cum) + "\n";
+        }
+        out += m.name + "_bucket{le=\"+Inf\"} " + std::to_string(m.hist.count) +
+               "\n";
+        out += m.name + "_sum " + std::to_string(m.hist.sum_us) + "\n";
+        out += m.name + "_count " + std::to_string(m.hist.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& s) {
+  std::string out = "{";
+  bool first = true;
+  auto emit = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + key + "\": " + value;
+  };
+  for (const MetricValue& m : s.metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        emit(m.name, std::to_string(m.counter));
+        break;
+      case MetricKind::kGauge:
+        emit(m.name, fmt_double(m.gauge));
+        break;
+      case MetricKind::kHistogram:
+        emit(m.name + "_count", std::to_string(m.hist.count));
+        emit(m.name + "_sum_us", std::to_string(m.hist.sum_us));
+        emit(m.name + "_p50_us", fmt_double(m.hist.p50_us));
+        emit(m.name + "_p90_us", fmt_double(m.hist.p90_us));
+        emit(m.name + "_p99_us", fmt_double(m.hist.p99_us));
+        emit(m.name + "_max_us", std::to_string(m.hist.max_us));
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_kv_line(const Snapshot& s) {
+  std::string out;
+  auto emit = [&](const std::string& key, const std::string& value) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + value;
+  };
+  for (const MetricValue& m : s.metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        emit(m.name, std::to_string(m.counter));
+        break;
+      case MetricKind::kGauge:
+        emit(m.name, fmt_double(m.gauge));
+        break;
+      case MetricKind::kHistogram:
+        emit(m.name + "_count", std::to_string(m.hist.count));
+        emit(m.name + "_p99_us", fmt_double(m.hist.p99_us));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace crsm::obs

@@ -1,0 +1,197 @@
+// Observability substrate: named counters, gauges and bounded log-scale
+// latency histograms with atomic snapshots and Prometheus/JSON export.
+//
+// The paper's whole argument is a latency *decomposition* (Section IV):
+// where commit time goes across clock wait, quorum acks and stability. The
+// runtime layers each grew their own counter structs (TransportStats,
+// StorageStats, IoRingStats, ClockRsmReplica::Stats) but nothing unified
+// them, and nothing measured distributions. MetricsRegistry is the one
+// source of truth: every layer either owns registry metrics directly or is
+// folded in at snapshot time by a collector, and one snapshot feeds every
+// consumer — the /metrics HTTP endpoint (metrics_http.h), the crsm_node
+// periodic stats line and the bench harness stage breakdowns.
+//
+// Threading contract: metric *values* are relaxed atomics — the hot-path
+// writer (the node's event-loop thread) never takes a lock, and snapshot()
+// may read them from any thread. Metric *registration* and collector
+// installation take a mutex; they happen at startup and are cheap.
+// Collectors, however, may read loop-thread-only state (protocol internals)
+// — a registry whose collectors do must only be snapshotted from the loop
+// thread (NodeRuntime::metrics_snapshot posts for exactly this reason).
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crsm::obs {
+
+// Monotonically increasing event count. set() exists for adapter use only:
+// collectors folding an externally maintained cumulative counter (e.g.
+// TransportStats::messages_sent) overwrite the value at snapshot time.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Point-in-time value (queue depths, batch sizes, 0/1 flags).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Bounded log-scale histogram of microsecond samples.
+//
+// HdrHistogram-style bucketing: values below 2^kSubBits are exact; above,
+// each power-of-two octave is split into 2^kSubBits sub-buckets, so any
+// recorded value is off by at most 1/2^(kSubBits+1) (6.25 % with 3 sub-bits)
+// of itself. Memory is a fixed ~2.5 KB of relaxed atomics regardless of how
+// many samples are recorded — safe for multi-day nodes — and two histograms
+// merge by adding bucket counts, which is what lets per-replica and
+// per-client instances aggregate without keeping samples.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr std::uint64_t kSub = 1ULL << kSubBits;  // sub-buckets/octave
+  // Values clamp to ~2^42 us (= 52 days); octaves above that share the top
+  // bucket. 8 exact low buckets + 8 per octave for widths 4..42.
+  static constexpr std::size_t kNumBuckets = kSub + (42 - kSubBits) * kSub;
+
+  void observe(std::uint64_t us);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum_us() const {
+    return sum_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_us() const {
+    return max_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean_us() const;
+  // Nearest-rank percentile with linear interpolation inside the landing
+  // bucket; p in [0, 100]. Relative error bounded by the bucket width
+  // (<= 6.25 % of the value).
+  [[nodiscard]] double percentile_us(double p) const;
+
+  // Which bucket a value lands in, and that bucket's inclusive value range.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t us);
+  [[nodiscard]] static std::uint64_t bucket_lower_us(std::size_t idx);
+  [[nodiscard]] static std::uint64_t bucket_upper_us(std::size_t idx);
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t idx) const {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+// --- snapshots --------------------------------------------------------------
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum_us = 0;
+  std::uint64_t max_us = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  // Cumulative counts at power-of-two microsecond boundaries (le = 2^k us,
+  // k = 0..30, then +Inf) — the coarse view the Prometheus exposition emits.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> cumulative;
+};
+
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;
+  double gauge = 0.0;
+  HistogramSnapshot hist;
+};
+
+// One atomic-enough view of the registry: every value read once, metrics
+// sorted by name (so two snapshots diff cleanly and the kv line is stable).
+struct Snapshot {
+  std::vector<MetricValue> metrics;
+
+  // nullptr when the name is absent.
+  [[nodiscard]] const MetricValue* find(std::string_view name) const;
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+};
+
+class Registry {
+ public:
+  // Idempotent by name: re-registering returns the existing metric (the
+  // help string of the first registration wins). A name registered as one
+  // kind must not be re-registered as another (throws std::logic_error).
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  LatencyHistogram& histogram(std::string_view name, std::string_view help = "");
+
+  // Runs at every snapshot(), before values are read — the fold-in point
+  // for externally maintained stats structs. Collectors that touch
+  // single-threaded state restrict which threads may call snapshot(); see
+  // the file comment.
+  void add_collector(std::function<void(Registry&)> fn);
+
+  [[nodiscard]] Snapshot snapshot();
+
+ private:
+  struct Entry {
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> hist;
+  };
+  Entry& entry(std::string_view name, std::string_view help, MetricKind kind);
+
+  mutable std::mutex mu_;  // registration + collector list only
+  std::map<std::string, Entry, std::less<>> metrics_;
+  std::vector<std::function<void(Registry&)>> collectors_;
+};
+
+// --- export -----------------------------------------------------------------
+
+// Prometheus text exposition format (version 0.0.4): HELP/TYPE comments,
+// counters/gauges as bare samples, histograms as cumulative `_bucket{le=}`
+// series (boundaries in microseconds) plus `_sum`/`_count`.
+[[nodiscard]] std::string to_prometheus(const Snapshot& s);
+
+// One flat JSON object: counters/gauges by name; histograms expanded to
+// name_count/name_sum_us/name_p50_us/name_p90_us/name_p99_us/name_max_us.
+[[nodiscard]] std::string to_json(const Snapshot& s);
+
+// One `k=v k=v ...` line in sorted-name order — the crsm_node periodic
+// stats format. Histograms contribute name_count and name_p99_us.
+[[nodiscard]] std::string to_kv_line(const Snapshot& s);
+
+}  // namespace crsm::obs

@@ -1,0 +1,220 @@
+#include "obs/metrics_http.h"
+
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace crsm::obs {
+
+MetricsHttpServer::MetricsHttpServer(net::EventLoop& loop, Registry& registry,
+                                     const std::string& host,
+                                     std::uint16_t port)
+    : loop_(loop), registry_(registry), acceptor_(loop, host, port) {
+  scrapes_ = &registry_.counter("crsm_metrics_scrapes_total",
+                                "metrics endpoint requests served");
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::start() {
+  acceptor_.start([this](net::Socket&& s) { on_accept(std::move(s)); });
+}
+
+void MetricsHttpServer::stop() {
+  for (auto& [id, c] : conns_) {
+    if (c->sock.valid()) loop_.del_fd(c->sock.fd());
+  }
+  conns_.clear();
+  acceptor_.stop();
+}
+
+void MetricsHttpServer::on_accept(net::Socket&& s) {
+  const std::uint64_t id = next_id_++;
+  auto conn = std::make_unique<Conn>();
+  conn->sock = std::move(s);
+  const int fd = conn->sock.fd();
+  conns_.emplace(id, std::move(conn));
+  loop_.add_fd(fd, EPOLLIN, [this, id](std::uint32_t ev) { on_event(id, ev); });
+}
+
+void MetricsHttpServer::close_conn(std::uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  if (it->second->sock.valid()) loop_.del_fd(it->second->sock.fd());
+  conns_.erase(it);
+}
+
+void MetricsHttpServer::on_event(std::uint64_t id, std::uint32_t events) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    close_conn(id);
+    return;
+  }
+  if (c.responding) {
+    try_write(id, c);
+    return;
+  }
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(c.sock.fd(), buf, sizeof(buf));
+    if (n > 0) {
+      c.in.append(buf, static_cast<std::size_t>(n));
+      if (c.in.size() > 8192) {  // no legitimate scrape request is this big
+        close_conn(id);
+        return;
+      }
+      if (c.in.find("\r\n\r\n") != std::string::npos ||
+          c.in.find("\n\n") != std::string::npos) {
+        handle_request(id, c);
+        return;
+      }
+      continue;
+    }
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+      close_conn(id);
+    }
+    return;  // EAGAIN: wait for more
+  }
+}
+
+void MetricsHttpServer::handle_request(std::uint64_t id, Conn& c) {
+  // Request line: METHOD SP PATH SP VERSION.
+  std::string method;
+  std::string path;
+  {
+    const std::size_t sp1 = c.in.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos : c.in.find(' ', sp1 + 1);
+    if (sp2 != std::string::npos) {
+      method = c.in.substr(0, sp1);
+      path = c.in.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+  }
+
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (path == "/metrics") {
+    scrapes_->inc();
+    body = to_prometheus(registry_.snapshot());
+  } else if (path == "/metrics.json") {
+    scrapes_->inc();
+    content_type = "application/json";
+    body = to_json(registry_.snapshot());
+  } else {
+    status = "404 Not Found";
+    body = "not found; try /metrics or /metrics.json\n";
+  }
+
+  c.out = "HTTP/1.1 " + status +
+          "\r\n"
+          "Content-Type: " +
+          content_type +
+          "\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n"
+          "\r\n" +
+          body;
+  c.responding = true;
+  try_write(id, c);
+}
+
+void MetricsHttpServer::try_write(std::uint64_t id, Conn& c) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(c.sock.fd(), c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_.mod_fd(c.sock.fd(), EPOLLOUT);  // finish off writability
+      return;
+    }
+    break;  // peer gone
+  }
+  close_conn(id);
+}
+
+// --- http_get ---------------------------------------------------------------
+
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& path, int timeout_ms) {
+  bool in_progress = false;
+  net::Socket sock = net::tcp_connect(host, port, &in_progress);
+  if (in_progress) {
+    pollfd pf{sock.fd(), POLLOUT, 0};
+    if (::poll(&pf, 1, timeout_ms) <= 0) {
+      throw net::NetError("http_get: connect timeout");
+    }
+    if (net::connect_result(sock.fd()) != 0) {
+      throw net::NetError("http_get: connect failed");
+    }
+  }
+  const std::string req = "GET " + path +
+                          " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n =
+        ::send(sock.fd(), req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pf{sock.fd(), POLLOUT, 0};
+      if (::poll(&pf, 1, timeout_ms) <= 0) {
+        throw net::NetError("http_get: send timeout");
+      }
+      continue;
+    }
+    throw net::NetError("http_get: send failed");
+  }
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(sock.fd(), buf, sizeof(buf));
+    if (n > 0) {
+      resp.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // Connection: close delimits the body
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pf{sock.fd(), POLLIN, 0};
+      if (::poll(&pf, 1, timeout_ms) <= 0) {
+        throw net::NetError("http_get: read timeout");
+      }
+      continue;
+    }
+    throw net::NetError("http_get: read failed");
+  }
+  std::size_t hdr_end = resp.find("\r\n\r\n");
+  std::size_t body_at = hdr_end + 4;
+  if (hdr_end == std::string::npos) {
+    hdr_end = resp.find("\n\n");
+    body_at = hdr_end + 2;
+  }
+  if (hdr_end == std::string::npos) {
+    throw net::NetError("http_get: malformed response (no header terminator)");
+  }
+  if (resp.rfind("HTTP/1.1 200", 0) != 0 && resp.rfind("HTTP/1.0 200", 0) != 0) {
+    throw net::NetError("http_get: non-200 response: " +
+                        resp.substr(0, resp.find('\n')));
+  }
+  return resp.substr(body_at);
+}
+
+}  // namespace crsm::obs

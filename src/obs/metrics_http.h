@@ -1,0 +1,74 @@
+// Minimal metrics HTTP endpoint on the node's EventLoop.
+//
+// Serves GET /metrics (Prometheus text exposition 0.0.4) and GET
+// /metrics.json (one flat JSON object) straight off the loop thread:
+// snapshot(), registration collectors and all — which is exactly why the
+// registry's loop-thread-only collectors are safe to install. One request
+// per connection (Connection: close); requests are tiny, responses are a
+// few KB, and scrapers reconnect per scrape, so there is no keep-alive
+// machinery to get wrong. Partial writes are finished off EPOLLOUT
+// readiness before the connection closes.
+//
+// Lifecycle mirrors Acceptor: construction binds (so an ephemeral port is
+// readable before the loop runs), start()/stop() are loop-thread only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/acceptor.h"
+#include "net/event_loop.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace crsm::obs {
+
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer(net::EventLoop& loop, Registry& registry,
+                    const std::string& host, std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return acceptor_.port(); }
+
+  // Loop-thread only.
+  void start();
+  void stop();
+
+ private:
+  struct Conn {
+    net::Socket sock;
+    std::string in;       // request bytes until the blank line
+    std::string out;      // response; sent from out_off
+    std::size_t out_off = 0;
+    bool responding = false;
+  };
+
+  void on_accept(net::Socket&& s);
+  void on_event(std::uint64_t id, std::uint32_t events);
+  void handle_request(std::uint64_t id, Conn& c);
+  void try_write(std::uint64_t id, Conn& c);
+  void close_conn(std::uint64_t id);
+
+  net::EventLoop& loop_;
+  Registry& registry_;
+  net::Acceptor acceptor_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_id_ = 1;
+  Counter* scrapes_;
+};
+
+// Blocking one-shot HTTP GET helper for tests and the bench client: fetches
+// http://host:port/path with a timeout and returns the response *body*
+// (headers stripped). Throws net::NetError on connect/timeout/protocol
+// failure. Runs on the caller's thread — never call from a loop thread.
+[[nodiscard]] std::string http_get(const std::string& host, std::uint16_t port,
+                                   const std::string& path,
+                                   int timeout_ms = 2000);
+
+}  // namespace crsm::obs

@@ -1,0 +1,209 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace crsm::obs {
+
+std::uint64_t trace_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kRecv:
+      return "recv";
+    case Stage::kSubmit:
+      return "submit";
+    case Stage::kBroadcast:
+      return "broadcast";
+    case Stage::kWalAppend:
+      return "wal";
+    case Stage::kQuorumAck:
+      return "ack";
+    case Stage::kStable:
+      return "stability";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kReply:
+      return "reply";
+  }
+  return "?";
+}
+
+namespace {
+
+// Histogram names follow the stage the *delta ends at*: crsm_stage_ack_us is
+// the time from WAL durability to the quorum ack, etc.
+constexpr const char* kStageHistName[kNumStages] = {
+    nullptr,  // kRecv starts the span; no delta ends here
+    "crsm_stage_queue_us",
+    "crsm_stage_broadcast_us",
+    "crsm_stage_wal_us",
+    "crsm_stage_ack_us",
+    "crsm_stage_stability_us",
+    "crsm_stage_execute_us",
+    "crsm_stage_reply_us",
+};
+constexpr const char* kStageHistHelp[kNumStages] = {
+    nullptr,
+    "client recv to protocol submit",
+    "submit to PREPARE broadcast",
+    "broadcast to own WAL record durable",
+    "WAL durable to majority PREPAREOK",
+    "quorum ack to stability (commit point)",
+    "commit point to state-machine apply",
+    "apply to reply on the wire",
+};
+
+}  // namespace
+
+CommitTracer::CommitTracer(Registry& reg, Options opt) : opt_(opt) {
+  for (std::size_t i = 1; i < kNumStages; ++i) {
+    stage_hist_[i] = &reg.histogram(kStageHistName[i], kStageHistHelp[i]);
+  }
+  commit_total_ =
+      &reg.histogram("crsm_commit_total_us", "client recv to reply, writes");
+  read_wait_ =
+      &reg.histogram("crsm_read_wait_us", "read recv to stability wait done");
+  read_total_ = &reg.histogram("crsm_read_total_us", "read recv to serve");
+  spans_total_ = &reg.counter("crsm_trace_spans_total", "commands traced");
+  slow_total_ =
+      &reg.counter("crsm_trace_slow_total", "traced commands over slow_us");
+  dropped_total_ = &reg.counter("crsm_trace_dropped_total",
+                                "spans evicted before completion");
+}
+
+std::uint64_t CommitTracer::span_key(ClientId client, std::uint64_t seq) {
+  // splitmix64-style mix of the pair; collisions merely mis-attribute one
+  // sampled span, they cannot affect correctness.
+  std::uint64_t x = client * 0x9e3779b97f4a7c15ULL ^ seq;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x | 1;  // never 0 (0 = "no key")
+}
+
+CommitTracer::Span* CommitTracer::find(ClientId client, std::uint64_t seq) {
+  auto it = spans_.find(span_key(client, seq));
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
+void CommitTracer::evict_oldest() {
+  while (!order_.empty() && spans_.size() >= opt_.max_spans) {
+    const std::uint64_t key = order_.front();
+    order_.pop_front();
+    auto it = spans_.find(key);
+    if (it == spans_.end()) continue;  // already finished
+    if (it->second.ts_key != 0) by_ts_.erase(it->second.ts_key);
+    spans_.erase(it);
+    dropped_total_->inc();
+  }
+}
+
+bool CommitTracer::begin(ClientId client, std::uint64_t seq,
+                         std::uint64_t now_us) {
+  if (!enabled()) return false;
+  if (decide_counter_++ % opt_.sample_every != 0) return false;
+  evict_oldest();
+  const std::uint64_t key = span_key(client, seq);
+  Span& s = spans_[key];
+  s.t[static_cast<std::size_t>(Stage::kRecv)] = now_us;
+  order_.push_back(key);
+  return true;
+}
+
+bool CommitTracer::begin_read(ClientId client, std::uint64_t seq,
+                              std::uint64_t now_us) {
+  if (!begin(client, seq, now_us)) return false;
+  find(client, seq)->read = true;
+  return true;
+}
+
+void CommitTracer::stamp(ClientId client, std::uint64_t seq, Stage st,
+                         std::uint64_t now_us) {
+  Span* s = find(client, seq);
+  if (s == nullptr) return;
+  std::uint64_t& slot = s->t[static_cast<std::size_t>(st)];
+  if (slot == 0) slot = now_us;  // first arrival wins (retries re-stamp)
+}
+
+void CommitTracer::bind_ts(ClientId client, std::uint64_t seq, Timestamp ts) {
+  Span* s = find(client, seq);
+  if (s == nullptr) return;
+  s->ts_key = pack_ts(ts);
+  by_ts_[s->ts_key] = span_key(client, seq);
+}
+
+void CommitTracer::stamp_ts(Timestamp ts, Stage st, std::uint64_t now_us) {
+  auto it = by_ts_.find(pack_ts(ts));
+  if (it == by_ts_.end()) return;
+  auto sit = spans_.find(it->second);
+  if (sit == spans_.end()) return;
+  std::uint64_t& slot = sit->second.t[static_cast<std::size_t>(st)];
+  if (slot == 0) slot = now_us;
+}
+
+void CommitTracer::record(const Span& s, std::uint64_t now_us) {
+  const std::uint64_t recv = s.t[static_cast<std::size_t>(Stage::kRecv)];
+  spans_total_->inc();
+  if (s.read) {
+    const std::uint64_t stable = s.t[static_cast<std::size_t>(Stage::kStable)];
+    if (stable >= recv && stable != 0) read_wait_->observe(stable - recv);
+    if (now_us >= recv) read_total_->observe(now_us - recv);
+    return;
+  }
+  // Delta between consecutive *stamped* stages: a skipped stage (e.g. no
+  // broadcast on a single-replica config) folds into the next delta.
+  std::uint64_t prev = recv;
+  for (std::size_t i = 1; i < kNumStages; ++i) {
+    const std::uint64_t t = s.t[i];
+    if (t == 0) continue;
+    if (t >= prev) stage_hist_[i]->observe(t - prev);
+    prev = t;
+  }
+  if (now_us >= recv) commit_total_->observe(now_us - recv);
+}
+
+void CommitTracer::finish(ClientId client, std::uint64_t seq,
+                          std::uint64_t now_us) {
+  const std::uint64_t key = span_key(client, seq);
+  auto it = spans_.find(key);
+  if (it == spans_.end()) return;
+  Span& s = it->second;
+  s.t[static_cast<std::size_t>(Stage::kReply)] = now_us;
+  record(s, now_us);
+
+  const std::uint64_t recv = s.t[static_cast<std::size_t>(Stage::kRecv)];
+  const std::uint64_t total = now_us >= recv ? now_us - recv : 0;
+  if (opt_.slow_us != 0 && total >= opt_.slow_us) {
+    slow_total_->inc();
+    if (now_us - last_slow_log_us_ >= opt_.slow_log_interval_us) {
+      last_slow_log_us_ = now_us;
+      std::fprintf(stderr,
+                   "slow-command client=%" PRIu64 " seq=%" PRIu64
+                   " total_us=%" PRIu64,
+                   client, seq, total);
+      std::uint64_t prev = recv;
+      for (std::size_t i = 1; i < kNumStages; ++i) {
+        if (s.t[i] == 0) continue;
+        const std::uint64_t d = s.t[i] >= prev ? s.t[i] - prev : 0;
+        std::fprintf(stderr, " %s_us=%" PRIu64,
+                     stage_name(static_cast<Stage>(i)), d);
+        prev = s.t[i];
+      }
+      std::fprintf(stderr, "\n");
+    }
+  }
+
+  if (s.ts_key != 0) by_ts_.erase(s.ts_key);
+  spans_.erase(it);
+}
+
+}  // namespace crsm::obs

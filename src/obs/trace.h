@@ -1,0 +1,126 @@
+// Commit-pipeline stage tracing: sampled per-command spans.
+//
+// The commit path of one command crosses several pipeline stages (Section IV
+// of the paper decomposes commit latency into exactly these): client recv →
+// submit → broadcast → WAL append → quorum ack → stability → execute →
+// reply; a local read crosses recv → stability wait → serve. CommitTracer
+// samples every Nth command at its origin replica, timestamps each stage as
+// the protocol/runtime reaches it, and on completion folds the per-stage
+// deltas into registry histograms (crsm_stage_*_us) so /metrics shows where
+// commit time goes. Outliers above a threshold additionally print a
+// rate-limited slow-command line with the full breakdown.
+//
+// Identity: a span starts keyed by (client, seq) — the only identity the
+// runtime has at recv time. Once Clock-RSM assigns the command its
+// timestamp, bind_ts() registers a second key so protocol internals that
+// only know the Timestamp (quorum accounting, the commit scan) can stamp
+// without a pending-table lookup. Both maps are bounded; when full, the
+// oldest span is evicted (counted in crsm_trace_dropped_total).
+//
+// Threading: loop-thread only, like the protocol it traces. The sampling
+// decision is a deterministic counter (every sample_every-th origin
+// command), so identical runs trace identical commands.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace crsm::obs {
+
+// Pipeline stages in origin-replica real-time order. Read-path spans use
+// kRecv / kStable (stability wait satisfied) / kReply (served).
+enum class Stage : std::uint8_t {
+  kRecv = 0,    // client frame decoded / submit() entered
+  kSubmit,      // handed to the protocol reactor
+  kBroadcast,   // PREPARE fan-out sent
+  kWalAppend,   // own log record durable (self-PREPARE applied after sync)
+  kQuorumAck,   // majority of PREPAREOKs in
+  kStable,      // stability + prefix check passed (commit point)
+  kExecute,     // applied to the state machine
+  kReply,       // reply frame handed to the transport
+};
+inline constexpr std::size_t kNumStages = 8;
+
+[[nodiscard]] const char* stage_name(Stage s);
+
+// Monotonic microseconds for stage stamps (steady_clock — the same timeline
+// as net::EventLoop::mono_us(), redeclared here so protocol code can stamp
+// without a net dependency).
+[[nodiscard]] std::uint64_t trace_now_us();
+
+class CommitTracer {
+ public:
+  struct Options {
+    // Trace every Nth origin command (0 disables tracing entirely).
+    std::uint32_t sample_every = 64;
+    // Spans slower end-to-end than this print a breakdown line (0 = never).
+    std::uint64_t slow_us = 0;
+    // At most one slow-command line per this interval.
+    std::uint64_t slow_log_interval_us = 1'000'000;
+    // Bound on concurrently live spans; oldest evicted beyond it.
+    std::size_t max_spans = 1024;
+  };
+
+  CommitTracer(Registry& reg, Options opt);
+
+  [[nodiscard]] bool enabled() const { return opt_.sample_every != 0; }
+  // Cheap fast path for stamp sites: no live span, nothing to do.
+  [[nodiscard]] bool active() const { return !spans_.empty(); }
+
+  // Sampling decision + span start for a write; returns true when this
+  // command is traced. `now_us` also stamps kRecv.
+  bool begin(ClientId client, std::uint64_t seq, std::uint64_t now_us);
+  // Same for a local read (separate histograms on finish).
+  bool begin_read(ClientId client, std::uint64_t seq, std::uint64_t now_us);
+
+  void stamp(ClientId client, std::uint64_t seq, Stage st, std::uint64_t now_us);
+
+  // Registers `ts` as an alias key for the span, so later stages can stamp
+  // by timestamp alone.
+  void bind_ts(ClientId client, std::uint64_t seq, Timestamp ts);
+  void stamp_ts(Timestamp ts, Stage st, std::uint64_t now_us);
+
+  // Final stamp (kReply); folds the span into the stage histograms, maybe
+  // emits a slow-command line, and retires the span.
+  void finish(ClientId client, std::uint64_t seq, std::uint64_t now_us);
+
+ private:
+  struct Span {
+    std::uint64_t t[kNumStages] = {};  // mono us; 0 = stage not reached
+    std::uint64_t ts_key = 0;          // packed alias key, 0 = none
+    bool read = false;
+  };
+
+  static std::uint64_t span_key(ClientId client, std::uint64_t seq);
+  static std::uint64_t pack_ts(Timestamp ts) {
+    return (ts.ticks << 8) | static_cast<std::uint64_t>(ts.origin & 0xff);
+  }
+  Span* find(ClientId client, std::uint64_t seq);
+  void record(const Span& s, std::uint64_t now_us);
+  void evict_oldest();
+
+  Options opt_;
+  std::uint64_t decide_counter_ = 0;
+
+  std::unordered_map<std::uint64_t, Span> spans_;
+  std::unordered_map<std::uint64_t, std::uint64_t> by_ts_;  // packed ts -> key
+  std::deque<std::uint64_t> order_;  // insertion order, for bounded eviction
+
+  // Stage delta histograms (write path), indexed so that stage_hist_[i]
+  // holds (t[i] - t[previous stamped stage]).
+  LatencyHistogram* stage_hist_[kNumStages] = {};
+  LatencyHistogram* commit_total_;
+  LatencyHistogram* read_wait_;
+  LatencyHistogram* read_total_;
+  Counter* spans_total_;
+  Counter* slow_total_;
+  Counter* dropped_total_;
+
+  std::uint64_t last_slow_log_us_ = 0;
+};
+
+}  // namespace crsm::obs

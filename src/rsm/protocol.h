@@ -10,9 +10,14 @@
 #include "common/command.h"
 #include "common/message.h"
 #include "common/types.h"
+#include "obs/metric_sink.h"
 #include "storage/command_log.h"
 
 namespace crsm {
+
+namespace obs {
+class CommitTracer;
+}  // namespace obs
 
 // Everything a protocol reactor may do to the outside world. Implemented by
 // the discrete-event simulator (SimEnv) and by the real-thread runtime
@@ -79,6 +84,12 @@ class ProtocolEnv {
   // recovery_floor(). Default no-op: scripted/simulated environments do not
   // support remote checkpoints.
   virtual void install_checkpoint(std::string_view blob) { (void)blob; }
+
+  // Commit-pipeline tracer (obs/trace.h), or nullptr when the environment
+  // does not trace (simulator, scripted tests). Protocols cache the pointer
+  // at construction and stamp pipeline stages through it; every stamp site
+  // must tolerate nullptr, so untraced environments stay zero-cost.
+  [[nodiscard]] virtual obs::CommitTracer* tracer() { return nullptr; }
 };
 
 // A replication protocol instance at one replica: an event-driven reactor.
@@ -108,6 +119,12 @@ class ReplicaProtocol {
   virtual void on_message(const Message& m) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  // Reports the protocol's cumulative counters into `sink`, one
+  // (name, value) pair per counter (names end in "_total"). Called at
+  // metrics-snapshot time on the protocol's execution thread. Default:
+  // nothing to report.
+  virtual void fill_metrics(const obs::MetricSink& sink) const { (void)sink; }
 };
 
 }  // namespace crsm

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/command.h"
+#include "obs/metric_sink.h"
 
 namespace crsm {
 
@@ -35,6 +36,11 @@ class StateMachine {
   [[nodiscard]] virtual std::string snapshot() const = 0;
   // Replaces the current state with a previously taken snapshot.
   virtual void restore(const std::string& snapshot) = 0;
+
+  // Reports application-level counters (op counts, sizes) into `sink` at
+  // metrics-snapshot time, on the replica's execution thread. Names ending
+  // in "_total" register as counters, others as gauges. Default: nothing.
+  virtual void fill_metrics(const obs::MetricSink& sink) const { (void)sink; }
 };
 
 }  // namespace crsm

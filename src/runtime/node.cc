@@ -12,10 +12,26 @@ NodeRuntime::NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
       loop_(net::make_event_loop(cfg.io_backend, &io_fell_back_)),
       transport_(*loop_, cfg.id, cfg.transport),
       sm_(sm_factory()) {
+  if (cfg_.obs.trace_sample_every != 0) {
+    obs::CommitTracer::Options topt;
+    topt.sample_every = cfg_.obs.trace_sample_every;
+    topt.slow_us = cfg_.obs.trace_slow_us;
+    tracer_ = std::make_unique<obs::CommitTracer>(registry_, topt);
+  }
+  if (cfg_.obs.profile_loop) {
+    profiler_ = std::make_unique<obs::LoopProfiler>(registry_);
+    loop_->set_observer(profiler_.get());
+  }
+  if (cfg_.obs.metrics_http) {
+    // Binds now, so an ephemeral port is readable before start().
+    metrics_http_ = std::make_unique<obs::MetricsHttpServer>(
+        *loop_, registry_, cfg_.obs.metrics_host, cfg_.obs.metrics_port);
+  }
+  registry_.add_collector([this](obs::Registry& r) { collect_metrics(r); });
   // The checkpoint (if any) must be in the state machine before the
   // protocol exists: start() replays the WAL only above recovery_floor().
   storage_.restore_into(*sm_);
-  proto_ = protocol_factory(*this, cfg_.id);
+  proto_ = protocol_factory(*this, cfg_.id);  // caches tracer() — after it
   transport_.register_handler([this](const Message& m) { on_peer_message(m); });
   transport_.set_client_handlers(
       [this](std::uint64_t conn, const Message& m) { on_client_message(conn, m); },
@@ -32,6 +48,7 @@ void NodeRuntime::start(std::vector<TcpPeer> peers) {
   // timers) runs as the loop's first task, on the loop thread.
   loop_->post([this, peers = std::move(peers)]() mutable {
     transport_.start(std::move(peers));
+    if (metrics_http_) metrics_http_->start();
     proto_->start();
   });
   thread_ = std::thread([this] { loop_->run(); });
@@ -40,13 +57,22 @@ void NodeRuntime::start(std::vector<TcpPeer> peers) {
 void NodeRuntime::stop() {
   if (!started_) return;
   started_ = false;
-  loop_->post([this] { transport_.shutdown(); });
+  loop_->post([this] {
+    if (metrics_http_) metrics_http_->stop();
+    transport_.shutdown();
+  });
   loop_->stop();
   if (thread_.joinable()) thread_.join();
 }
 
 void NodeRuntime::submit(Command cmd) {
   loop_->post([this, cmd = std::move(cmd)]() mutable {
+    const ClientId client = cmd.client;
+    const std::uint64_t seq = cmd.seq;
+    if (tracer_ && tracer_->begin(client, seq, net::EventLoop::mono_us())) {
+      tracer_->stamp(client, seq, obs::Stage::kSubmit,
+                     net::EventLoop::mono_us());
+    }
     proto_->submit(std::move(cmd));
   });
 }
@@ -56,6 +82,7 @@ void NodeRuntime::submit_read(Command cmd) {
     if (!proto_->supports_local_reads()) {
       logged_reads_.insert({cmd.client, cmd.seq});
     }
+    if (tracer_) tracer_->begin_read(cmd.client, cmd.seq, net::EventLoop::mono_us());
     proto_->submit_read(std::move(cmd));
   });
 }
@@ -69,6 +96,61 @@ std::uint64_t NodeRuntime::state_digest() {
   auto f = p.get_future();
   loop_->post([this, &p] { p.set_value(sm_->state_digest()); });
   return f.get();
+}
+
+obs::Snapshot NodeRuntime::metrics_snapshot() {
+  // Same posting discipline as state_digest(): the registry's collector
+  // reads protocol and state-machine internals owned by the loop thread.
+  if (!started_) return registry_.snapshot();
+  std::promise<obs::Snapshot> p;
+  auto f = p.get_future();
+  loop_->post([this, &p] { p.set_value(registry_.snapshot()); });
+  return f.get();
+}
+
+void NodeRuntime::collect_metrics(obs::Registry& r) {
+  // Fold every externally maintained stats struct into the registry. Runs
+  // on the loop thread at snapshot time; set() overwrites with the current
+  // cumulative value, so scrapes stay monotone as long as the sources are.
+  const obs::MetricSink sink = [&r](std::string_view name, std::uint64_t v) {
+    if (name.size() > 6 && name.substr(name.size() - 6) == "_total") {
+      r.counter(name).set(v);
+    } else {
+      r.gauge(name).set(static_cast<double>(v));
+    }
+  };
+
+  const TransportStats ts = transport_stats();
+  sink("crsm_transport_messages_sent_total", ts.messages_sent);
+  sink("crsm_transport_messages_delivered_total", ts.messages_delivered);
+  sink("crsm_transport_messages_dropped_total", ts.messages_dropped);
+  sink("crsm_transport_bytes_sent_total", ts.bytes_sent);
+  sink("crsm_transport_encode_calls_total", ts.encode_calls);
+  sink("crsm_transport_backpressure_blocks_total", ts.backpressure_blocks);
+  sink("crsm_transport_wire_flushes_total", ts.wire_flushes);
+  sink("crsm_transport_frames_flushed_total", ts.frames_flushed);
+  sink("crsm_io_uring_fallbacks_total", ts.uring_fallbacks);
+
+  const net::IoRingStats rs = loop_->ring_stats();
+  sink("crsm_io_sqe_submits_total", rs.sqe_submits);
+  sink("crsm_io_sqes_submitted_total", rs.sqes_submitted);
+  sink("crsm_io_uring_active",
+       loop_->backend() == net::IoBackend::kUring ? 1 : 0);
+
+  const StorageStats ss = storage_.stats();
+  sink("crsm_storage_appends_total", ss.appends);
+  sink("crsm_storage_sync_requests_total", ss.sync_requests);
+  sink("crsm_storage_syncs_total", ss.syncs);
+  sink("crsm_storage_held_messages_total", ss.held_messages);
+  sink("crsm_storage_checkpoints_total", ss.checkpoints);
+  sink("crsm_storage_max_batch", ss.max_batch);
+
+  sink("crsm_executed_total", executed_.load(std::memory_order_relaxed));
+  sink("crsm_reads_served_total",
+       reads_served_.load(std::memory_order_relaxed));
+
+  proto_->fill_metrics(sink);
+  sm_->fill_metrics(sink);
 }
 
 // --- ProtocolEnv -----------------------------------------------------------
@@ -98,6 +180,7 @@ void NodeRuntime::flush_durability() {
   if (held_.empty()) return;
   std::vector<HeldSend> held;
   held.swap(held_);
+  if (profiler_) profiler_->note_batch(held.size());
   for (HeldSend& h : held) dispatch(std::move(h));
 }
 
@@ -133,6 +216,11 @@ void NodeRuntime::deliver(const Command& cmd, Timestamp ts, bool local_origin) {
   storage_.note_commit(*sm_, ts);
   if (commit_hook_) commit_hook_(cmd, ts, local_origin);
   if (!local_origin) return;
+  const bool traced = tracer_ && tracer_->active();
+  if (traced) {
+    tracer_->stamp(cmd.client, cmd.seq, obs::Stage::kExecute,
+                   net::EventLoop::mono_us());
+  }
   // A read that rode the log (protocol without a local read path) completes
   // here; it owes a read reply, not a write acknowledgment.
   const auto rit = logged_reads_.find({cmd.client, cmd.seq});
@@ -147,17 +235,19 @@ void NodeRuntime::deliver(const Command& cmd, Timestamp ts, bool local_origin) {
   // request (if it is still up; a vanished client just loses its reply and
   // retries, Section II-B's at-least-once client contract).
   auto it = client_routes_.find(cmd.client);
-  if (it == client_routes_.end()) return;
-  Message reply;
-  reply.type = MsgType::kClientReply;
-  reply.cmd.client = cmd.client;
-  reply.cmd.seq = cmd.seq;
-  reply.blob = output;
-  if (!storage_.durable()) {
-    transport_.send_to_client(it->second, FrameWriter(cfg_.id).frame(reply));
-    return;
+  if (it != client_routes_.end()) {
+    Message reply;
+    reply.type = MsgType::kClientReply;
+    reply.cmd.client = cmd.client;
+    reply.cmd.seq = cmd.seq;
+    reply.blob = output;
+    if (!storage_.durable()) {
+      transport_.send_to_client(it->second, FrameWriter(cfg_.id).frame(reply));
+    } else {
+      dispatch(HeldSend{{}, it->second, true, FrameWriter(cfg_.id).frame(reply)});
+    }
   }
-  dispatch(HeldSend{{}, it->second, true, FrameWriter(cfg_.id).frame(reply)});
+  if (traced) tracer_->finish(cmd.client, cmd.seq, net::EventLoop::mono_us());
 }
 
 void NodeRuntime::deliver_read(const Command& cmd, Timestamp read_ts) {
@@ -168,6 +258,9 @@ void NodeRuntime::deliver_read(const Command& cmd, Timestamp read_ts) {
 }
 
 void NodeRuntime::finish_read(const Command& cmd, const std::string& output) {
+  if (tracer_ && tracer_->active()) {
+    tracer_->finish(cmd.client, cmd.seq, net::EventLoop::mono_us());
+  }
   if (read_hook_) read_hook_(cmd, output);
   auto it = client_routes_.find(cmd.client);
   if (it == client_routes_.end()) return;
@@ -196,6 +289,9 @@ void NodeRuntime::on_client_message(std::uint64_t conn, const Message& m) {
     if (!proto_->supports_local_reads()) {
       logged_reads_.insert({owned.client, owned.seq});
     }
+    if (tracer_) {
+      tracer_->begin_read(owned.client, owned.seq, net::EventLoop::mono_us());
+    }
     proto_->submit_read(std::move(owned));
     return;
   }
@@ -204,6 +300,11 @@ void NodeRuntime::on_client_message(std::uint64_t conn, const Message& m) {
   // The decoded command views the connection's receive buffer; copying into
   // an owned Command here is the copy-on-retain point.
   Command owned = m.cmd;
+  const ClientId client = owned.client;
+  const std::uint64_t seq = owned.seq;
+  if (tracer_ && tracer_->begin(client, seq, net::EventLoop::mono_us())) {
+    tracer_->stamp(client, seq, obs::Stage::kSubmit, net::EventLoop::mono_us());
+  }
   proto_->submit(std::move(owned));
 }
 

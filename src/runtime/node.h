@@ -42,12 +42,36 @@
 #include "common/types.h"
 #include "common/wire_frame.h"
 #include "net/event_loop.h"
+#include "obs/loop_profiler.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
+#include "obs/trace.h"
 #include "rsm/protocol.h"
 #include "rsm/state_machine.h"
 #include "storage/replica_storage.h"
 #include "transport/tcp_transport.h"
 
 namespace crsm {
+
+// Observability knobs (src/obs). The registry itself always exists — its
+// hot-path cost is a handful of relaxed atomics — these only control the
+// optional machinery around it.
+struct NodeObsOptions {
+  // Serve GET /metrics and /metrics.json from the node's loop thread.
+  // metrics_port 0 binds an ephemeral port, readable via
+  // NodeRuntime::metrics_port() (tests); crsm_node passes a fixed one.
+  bool metrics_http = false;
+  std::string metrics_host = "127.0.0.1";
+  std::uint16_t metrics_port = 0;
+  // Commit-pipeline tracing: stamp every Nth origin command through the
+  // pipeline stages (obs/trace.h). 0 disables tracing entirely (the
+  // protocol sees a null tracer and pays nothing).
+  std::uint32_t trace_sample_every = 64;
+  // Traced commands slower than this print a rate-limited breakdown line.
+  std::uint64_t trace_slow_us = 0;
+  // Per-pass event-loop phase profiling (obs/loop_profiler.h).
+  bool profile_loop = true;
+};
 
 struct NodeConfig {
   ReplicaId id = 0;
@@ -59,6 +83,7 @@ struct NodeConfig {
   // kUring on a kernel/seccomp profile without io_uring falls back to epoll
   // with a logged warning (io_backend() reports what actually runs).
   net::IoBackend io_backend = net::IoBackend::kEpoll;
+  NodeObsOptions obs;
 };
 
 class NodeRuntime final : private StorageBackedEnv {
@@ -134,6 +159,18 @@ class NodeRuntime final : private StorageBackedEnv {
   // directly. Call from the thread that controls start()/stop().
   [[nodiscard]] std::uint64_t state_digest();
 
+  // One unified metrics snapshot: registry values plus every folded stats
+  // struct (transport, storage, io ring, protocol, state machine). The
+  // registry's collectors touch loop-thread-only state, so while running
+  // this posts to the loop thread (blocking the caller, like
+  // state_digest()); once stopped it reads directly.
+  [[nodiscard]] obs::Snapshot metrics_snapshot();
+  // The /metrics listening port (0 when obs.metrics_http is off). Readable
+  // before start(), like port().
+  [[nodiscard]] std::uint16_t metrics_port() const {
+    return metrics_http_ ? metrics_http_->port() : 0;
+  }
+
  private:
   // --- ProtocolEnv (loop thread only; log()/recovery_floor()/
   // encoded_checkpoint() come from StorageBackedEnv) ---
@@ -145,8 +182,10 @@ class NodeRuntime final : private StorageBackedEnv {
   void deliver(const Command& cmd, Timestamp ts, bool local_origin) override;
   void deliver_read(const Command& cmd, Timestamp read_ts) override;
   void install_checkpoint(std::string_view blob) override;
+  [[nodiscard]] obs::CommitTracer* tracer() override { return tracer_.get(); }
 
   void finish_read(const Command& cmd, const std::string& output);
+  void collect_metrics(obs::Registry& r);  // loop-thread collector body
   void on_peer_message(const Message& m);
   void on_client_message(std::uint64_t conn, const Message& m);
   void on_client_closed(std::uint64_t conn);
@@ -164,8 +203,12 @@ class NodeRuntime final : private StorageBackedEnv {
 
   NodeConfig cfg_;
   bool io_fell_back_ = false;
+  obs::Registry registry_;  // before everything that registers metrics
   std::unique_ptr<net::EventLoop> loop_;  // before transport_ (uses it)
   TcpTransport transport_;
+  std::unique_ptr<obs::CommitTracer> tracer_;  // before proto_ (caches it)
+  std::unique_ptr<obs::LoopProfiler> profiler_;
+  std::unique_ptr<obs::MetricsHttpServer> metrics_http_;
   SystemClock clock_;
   std::unique_ptr<StateMachine> sm_;
   std::unique_ptr<ReplicaProtocol> proto_;

@@ -15,6 +15,8 @@ std::unique_ptr<NodeRuntime> TcpCluster::make_node(ReplicaId id,
   cfg.transport.policy = opt_.policy;
   cfg.transport.max_coalesce_bytes = opt_.max_coalesce_bytes;
   cfg.io_backend = opt_.io_backend;
+  cfg.obs = opt_.obs;
+  cfg.obs.metrics_port = 0;  // per-node ephemeral; fixed ports would collide
   if (!opt_.log_dir.empty()) {
     cfg.storage.dir = opt_.log_dir + "/node-" + std::to_string(id);
     cfg.storage.group_commit = opt_.group_commit;

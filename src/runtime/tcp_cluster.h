@@ -38,6 +38,9 @@ struct TcpClusterOptions {
   // Per-pass wire coalescing budget per connection; 0 disables coalescing
   // (every send flushes immediately). See TcpTransportOptions.
   std::size_t max_coalesce_bytes = 256 * 1024;
+  // Observability knobs applied to every node (metrics_port stays 0:
+  // ephemeral per node, readable via node(r).metrics_port()).
+  NodeObsOptions obs;
 };
 
 class TcpCluster {

@@ -1,7 +1,9 @@
 #include "runtime/throughput.h"
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <iterator>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -13,6 +15,7 @@
 
 #include "kv/kv_store.h"
 #include "runtime/tcp_cluster.h"
+#include "util/rng.h"
 #include "workload/workload.h"
 
 namespace crsm {
@@ -42,11 +45,16 @@ struct Completion {
 
 // The shared closed-loop driver behind both runtimes. Works against any
 // cluster exposing set_reply_hook/(start|stop)/submit with the RtCluster
-// signatures. Returns (committed ops in the window, window seconds); the
-// caller snapshots its own counters in the two callbacks, which run right
-// before and right after the measurement window while the cluster is live.
+// signatures. The caller snapshots its own counters in the two callbacks,
+// which run right before and right after the measurement window while the
+// cluster is live.
+struct LoopWindow {
+  std::uint64_t ops = 0;    // all completed ops in the window (incl. reads)
+  std::uint64_t reads = 0;  // reads among them
+  double secs = 0.0;
+};
 template <typename Cluster>
-std::pair<std::uint64_t, double> drive_closed_loop(
+LoopWindow drive_closed_loop(
     Cluster& cluster, const ThroughputOptions& opt,
     const std::function<void()>& on_measure_start,
     const std::function<void()>& on_measure_end) {
@@ -61,32 +69,61 @@ std::pair<std::uint64_t, double> drive_closed_loop(
     auto it = completions.find(cmd.client);
     if (it != completions.end()) it->second->complete(cmd.seq);
   });
+  if constexpr (requires { cluster.set_read_hook(TcpCluster::ReadHook{}); }) {
+    if (opt.read_fraction > 0.0) {
+      cluster.set_read_hook(
+          [&completions](ReplicaId, const Command& cmd, std::string_view) {
+            auto it = completions.find(cmd.client);
+            if (it != completions.end()) it->second->complete(cmd.seq);
+          });
+    }
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<bool> measuring{false};
   std::atomic<std::uint64_t> measured_ops{0};
+  std::atomic<std::uint64_t> measured_reads{0};
 
   cluster.start();
 
   const std::string payload =
       KvRequest::sized_put("key", opt.payload_bytes).encode();
+  std::string read_payload;
+  {
+    KvRequest r;
+    r.op = KvOp::kGet;
+    r.key = "key";
+    read_payload = r.encode();
+  }
 
   std::vector<std::thread> clients;
   for (auto& [id, completion] : completions) {
     clients.emplace_back([&, id = id, comp = completion.get()] {
       const ReplicaId home = client_home(id);
+      Rng rng(0x7470ull ^ id);
       std::uint64_t seq = 0;
       while (!stop.load(std::memory_order_acquire)) {
+        const bool is_read =
+            opt.read_fraction > 0.0 && rng.bernoulli(opt.read_fraction);
         Command cmd;
         cmd.client = id;
         cmd.seq = ++seq;
-        cmd.payload = payload;
-        cluster.submit(home, std::move(cmd));
+        cmd.payload = is_read ? read_payload : payload;
+        if (is_read) {
+          // Only the TCP cluster exposes submit_read; callers enforce
+          // read_fraction == 0 on the thread runtime.
+          if constexpr (requires { cluster.submit_read(home, std::move(cmd)); }) {
+            cluster.submit_read(home, std::move(cmd));
+          }
+        } else {
+          cluster.submit(home, std::move(cmd));
+        }
         if (!comp->wait_for_seq(seq, std::chrono::milliseconds(2000))) {
           break;  // stuck or shutting down
         }
         if (measuring.load(std::memory_order_relaxed)) {
           measured_ops.fetch_add(1, std::memory_order_relaxed);
+          if (is_read) measured_reads.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
@@ -105,7 +142,8 @@ std::pair<std::uint64_t, double> drive_closed_loop(
   for (std::thread& t : clients) t.join();
   cluster.stop();
 
-  return {measured_ops.load(), std::chrono::duration<double>(t1 - t0).count()};
+  return {measured_ops.load(), measured_reads.load(),
+          std::chrono::duration<double>(t1 - t0).count()};
 }
 
 void fill_per_cmd(ThroughputResult* res, const TransportStats& before,
@@ -137,8 +175,11 @@ void fill_per_cmd(ThroughputResult* res, const TransportStats& before,
 
 }  // namespace
 
-ThroughputResult run_throughput(const ThroughputOptions& opt,
+ThroughputResult run_throughput(const ThroughputOptions& optin,
                                 const RtCluster::ProtocolFactory& factory) {
+  ThroughputOptions opt = optin;
+  opt.read_fraction = 0.0;  // reads/stage tracing are TCP-runtime options
+  opt.stage_breakdown = false;
   RtCluster::Options copt;
   copt.sender_batching = opt.sender_batching;
   copt.max_coalesce_bytes = opt.thread_coalesce_bytes;
@@ -148,7 +189,7 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
   TransportStats before, after;
   std::vector<std::uint64_t> busy_before(opt.num_replicas);
   std::uint64_t max_busy = 0, total_busy = 0;
-  const auto [ops, secs] = drive_closed_loop(
+  const LoopWindow w = drive_closed_loop(
       cluster, opt,
       [&] {
         before = cluster.transport().stats();
@@ -164,6 +205,8 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
           total_busy += b;
         }
       });
+  const std::uint64_t ops = w.ops;
+  const double secs = w.secs;
 
   ThroughputResult res;
   res.total_ops = ops;
@@ -180,18 +223,69 @@ ThroughputResult run_throughput(const ThroughputOptions& opt,
 
 ThroughputResult run_tcp_throughput(const ThroughputOptions& opt,
                                     const RtCluster::ProtocolFactory& factory,
-                                    const TcpClusterOptions& copt) {
+                                    const TcpClusterOptions& coptin) {
+  TcpClusterOptions copt = coptin;
+  if (opt.stage_breakdown) {
+    copt.obs.trace_sample_every = 16;  // dense enough for 2 s windows
+  }
   TcpCluster cluster(opt.num_replicas, factory,
                      [] { return std::make_unique<KvStore>(); }, copt);
 
+  // Stage histogram metric -> short stage label. The hists are cumulative
+  // over the run; collected in the end-of-window callback while nodes live.
+  static constexpr struct {
+    const char* metric;
+    const char* stage;
+  } kStages[] = {
+      {"crsm_stage_queue_us", "queue"},
+      {"crsm_stage_broadcast_us", "broadcast"},
+      {"crsm_stage_wal_us", "wal"},
+      {"crsm_stage_ack_us", "ack"},
+      {"crsm_stage_stability_us", "stability"},
+      {"crsm_stage_execute_us", "execute"},
+      {"crsm_stage_reply_us", "reply"},
+      {"crsm_commit_total_us", "total"},
+      {"crsm_read_wait_us", "read_wait"},
+      {"crsm_read_total_us", "read_total"},
+  };
+  constexpr std::size_t kNumStages = std::size(kStages);
+  std::array<StageLatency, kNumStages> stages{};
+
   TransportStats before, after;
-  const auto [ops, secs] = drive_closed_loop(
+  const LoopWindow w = drive_closed_loop(
       cluster, opt, [&] { before = cluster.stats(); },
-      [&] { after = cluster.stats(); });
+      [&] {
+        after = cluster.stats();
+        if (!opt.stage_breakdown) return;
+        for (ReplicaId r = 0; r < opt.num_replicas; ++r) {
+          if (!cluster.alive(r)) continue;
+          const obs::Snapshot snap = cluster.node(r).metrics_snapshot();
+          for (std::size_t i = 0; i < kNumStages; ++i) {
+            const obs::MetricValue* m = snap.find(kStages[i].metric);
+            if (m == nullptr || m->hist.count == 0) continue;
+            const auto c = static_cast<double>(m->hist.count);
+            stages[i].count += m->hist.count;
+            stages[i].p50_us += m->hist.p50_us * c;  // weighted; divided below
+            stages[i].p99_us += m->hist.p99_us * c;
+          }
+        }
+      });
+  const std::uint64_t ops = w.ops;
+  const double secs = w.secs;
 
   ThroughputResult res;
   res.total_ops = ops;
   res.kops_per_sec = res.total_ops / secs / 1000.0;
+  res.reads_per_sec = static_cast<double>(w.reads) / secs;
+  if (opt.stage_breakdown) {
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      if (stages[i].count == 0) continue;
+      const auto c = static_cast<double>(stages[i].count);
+      res.stages.push_back(StageLatency{kStages[i].stage, stages[i].count,
+                                        stages[i].p50_us / c,
+                                        stages[i].p99_us / c});
+    }
+  }
   // Per-replica busy time is not tracked by the event-loop runtime;
   // kops_per_sec_bottleneck/max_cpu_share stay zero (see throughput.h).
   fill_per_cmd(&res, before, after, secs);

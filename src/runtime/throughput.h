@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "runtime/rt_cluster.h"
 #include "runtime/tcp_cluster.h"
@@ -24,6 +25,24 @@ struct ThroughputOptions {
   // Forwarded to RtCluster::Options::max_coalesce_bytes (per-pass
   // coalescing budget of the thread transport; 0 = unbounded batch).
   std::size_t thread_coalesce_bytes = 256 * 1024;
+  // Fraction of each client's ops issued as local reads (TCP runtime only;
+  // run_throughput requires 0 — the thread runtime has no read API here).
+  double read_fraction = 0.0;
+  // Enable commit-pipeline tracing on every node and fill
+  // ThroughputResult::stages from the nodes' stage histograms (TCP runtime
+  // only). Sampled (every 16th origin command), so the overhead it measures
+  // is also the overhead it costs.
+  bool stage_breakdown = false;
+};
+
+// One commit-pipeline stage over the whole run: count-weighted p50/p99
+// across replicas (each replica traces its own origin commands).
+struct StageLatency {
+  std::string stage;  // queue, broadcast, wal, ack, stability, execute,
+                      // reply, total, read_wait, read_total
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
 };
 
 struct ThroughputResult {
@@ -53,6 +72,12 @@ struct ThroughputResult {
   // io_uring submission batching: SQEs per io_uring_enter that submitted
   // work. Zero on epoll / thread runtimes.
   double sqes_per_submit = 0.0;
+  // Committed reads per second (only with ThroughputOptions::read_fraction;
+  // reads are excluded from the write-pipeline per-cmd counters above).
+  double reads_per_sec = 0.0;
+  // Commit-pipeline stage breakdown (ThroughputOptions::stage_breakdown;
+  // TCP runtime only). Cumulative over warmup + measurement.
+  std::vector<StageLatency> stages;
 };
 
 // Spawns closed-loop client threads against an RtCluster running the given

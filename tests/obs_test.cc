@@ -1,0 +1,291 @@
+// Unit tests for the observability substrate: registry semantics, histogram
+// bucket math / merge / percentile accuracy, export formats, tracer
+// sampling determinism and span accounting, loop-pass profiler phases.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <string>
+
+#include "obs/loop_profiler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace crsm::obs {
+namespace {
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(Registry, RegistrationIsIdempotentByName) {
+  Registry reg;
+  Counter& a = reg.counter("crsm_test_total", "first help wins");
+  Counter& b = reg.counter("crsm_test_total", "ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  Registry reg;
+  (void)reg.counter("crsm_test_total");
+  EXPECT_THROW((void)reg.gauge("crsm_test_total"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("crsm_test_total"), std::logic_error);
+}
+
+TEST(Registry, SnapshotIsSortedAndFindable) {
+  Registry reg;
+  reg.counter("crsm_zzz_total").inc(7);
+  reg.gauge("crsm_aaa").set(2.5);
+  reg.histogram("crsm_mid_us").observe(10);
+  const Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.metrics.size(), 3u);
+  for (std::size_t i = 1; i < s.metrics.size(); ++i) {
+    EXPECT_LT(s.metrics[i - 1].name, s.metrics[i].name);
+  }
+  EXPECT_EQ(s.counter_value("crsm_zzz_total"), 7u);
+  const MetricValue* g = s.find("crsm_aaa");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->gauge, 2.5);
+  EXPECT_EQ(s.find("crsm_absent"), nullptr);
+}
+
+TEST(Registry, CollectorsRunAtSnapshot) {
+  Registry reg;
+  int runs = 0;
+  reg.add_collector([&runs](Registry& r) {
+    r.counter("crsm_collected_total").set(static_cast<std::uint64_t>(++runs));
+  });
+  EXPECT_EQ(reg.snapshot().counter_value("crsm_collected_total"), 1u);
+  EXPECT_EQ(reg.snapshot().counter_value("crsm_collected_total"), 2u);
+}
+
+// --- LatencyHistogram -------------------------------------------------------
+
+TEST(LatencyHistogram, BucketBoundsContainValue) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 7ull, 8ull, 9ull, 100ull, 1023ull, 1024ull, 123456ull,
+        1ull << 30, (1ull << 42) - 1, 1ull << 43}) {
+    const std::size_t idx = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+    const std::uint64_t clamped =
+        std::min<std::uint64_t>(v, (std::uint64_t{1} << 42) - 1);
+    EXPECT_LE(LatencyHistogram::bucket_lower_us(idx), clamped) << v;
+    EXPECT_GE(LatencyHistogram::bucket_upper_us(idx), clamped) << v;
+  }
+}
+
+TEST(LatencyHistogram, BucketRelativeWidthBounded) {
+  // The accuracy claim: with 8 sub-buckets per octave, every bucket spans at
+  // most 1/8 of its lower bound (so the midpoint is within +-6.25 % of any
+  // value that lands in it).
+  for (std::size_t idx = LatencyHistogram::kSub;
+       idx < LatencyHistogram::kNumBuckets; ++idx) {
+    const double lo = static_cast<double>(LatencyHistogram::bucket_lower_us(idx));
+    const double hi = static_cast<double>(LatencyHistogram::bucket_upper_us(idx));
+    EXPECT_LE((hi - lo) / lo, 0.125 + 1e-9) << idx;
+  }
+}
+
+TEST(LatencyHistogram, PercentileAccuracyWithinBucketWidth) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.observe(v);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.max_us(), 10000u);
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double expect = p / 100.0 * 10000.0;
+    EXPECT_NEAR(h.percentile_us(p), expect, expect * 0.0625 + 1.0) << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.observe(100);
+  for (int i = 0; i < 100; ++i) b.observe(10000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.max_us(), 10000u);
+  EXPECT_EQ(a.sum_us(), 100u * 100 + 100u * 10000);
+  // Half the mass at ~100, half at ~10000: p25 near 100, p75 near 10000.
+  EXPECT_NEAR(a.percentile_us(25), 100.0, 100.0 * 0.0625 + 1.0);
+  EXPECT_NEAR(a.percentile_us(75), 10000.0, 10000.0 * 0.0625 + 1.0);
+}
+
+TEST(LatencyHistogram, SnapshotCumulativeIsMonotone) {
+  Registry reg;
+  LatencyHistogram& h = reg.histogram("crsm_x_us");
+  std::mt19937_64 gen(5);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 1 << 20);
+  for (int i = 0; i < 5000; ++i) h.observe(dist(gen));
+  const Snapshot s = reg.snapshot();
+  const MetricValue* m = s.find("crsm_x_us");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->hist.count, 5000u);
+  ASSERT_FALSE(m->hist.cumulative.empty());
+  std::uint64_t prev_le = 0, prev_cum = 0;
+  for (const auto& [le, cum] : m->hist.cumulative) {
+    EXPECT_GT(le, prev_le);
+    EXPECT_GE(cum, prev_cum);
+    prev_le = le;
+    prev_cum = cum;
+  }
+  // The +Inf-equivalent tail equals the total count.
+  EXPECT_EQ(m->hist.cumulative.back().second, 5000u);
+}
+
+// --- export formats ---------------------------------------------------------
+
+TEST(Export, PrometheusShapeAndKvLine) {
+  Registry reg;
+  reg.counter("crsm_ops_total", "ops").inc(12);
+  reg.gauge("crsm_depth", "queue depth").set(3);
+  reg.histogram("crsm_lat_us", "latency").observe(42);
+  const Snapshot s = reg.snapshot();
+
+  const std::string prom = to_prometheus(s);
+  EXPECT_NE(prom.find("# TYPE crsm_ops_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE crsm_depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE crsm_lat_us histogram"), std::string::npos);
+  EXPECT_NE(prom.find("crsm_ops_total 12"), std::string::npos);
+  EXPECT_NE(prom.find("crsm_lat_us_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("crsm_lat_us_count 1"), std::string::npos);
+
+  const std::string json = to_json(s);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"crsm_ops_total\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"crsm_lat_us_count\": 1"), std::string::npos);
+
+  const std::string kv = to_kv_line(s);
+  EXPECT_NE(kv.find("crsm_ops_total=12"), std::string::npos);
+  EXPECT_NE(kv.find("crsm_lat_us_count=1"), std::string::npos);
+  // Sorted key order: crsm_depth before crsm_lat before crsm_ops.
+  EXPECT_LT(kv.find("crsm_depth"), kv.find("crsm_lat_us_count"));
+  EXPECT_LT(kv.find("crsm_lat_us_count"), kv.find("crsm_ops_total"));
+}
+
+// --- CommitTracer -----------------------------------------------------------
+
+TEST(CommitTracer, SamplingIsDeterministicEveryNth) {
+  Registry reg;
+  CommitTracer t(reg, {.sample_every = 4});
+  int sampled = 0;
+  for (std::uint64_t seq = 1; seq <= 100; ++seq) {
+    if (t.begin(7, seq, 1000 + seq)) {
+      ++sampled;
+      EXPECT_EQ((seq - 1) % 4, 0u) << seq;  // exactly every 4th decision
+      t.finish(7, seq, 2000 + seq);
+    }
+  }
+  EXPECT_EQ(sampled, 25);
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counter_value("crsm_trace_spans_total"), 25u);
+  EXPECT_EQ(s.counter_value("crsm_trace_dropped_total"), 0u);
+}
+
+TEST(CommitTracer, ZeroSampleEveryDisables) {
+  Registry reg;
+  CommitTracer t(reg, {.sample_every = 0});
+  EXPECT_FALSE(t.enabled());
+  EXPECT_FALSE(t.begin(1, 1, 100));
+  EXPECT_FALSE(t.active());
+}
+
+TEST(CommitTracer, WriteSpanStageDeltas) {
+  Registry reg;
+  CommitTracer t(reg, {.sample_every = 1});
+  const ClientId c = 3;
+  ASSERT_TRUE(t.begin(c, 1, 1000));  // recv
+  EXPECT_TRUE(t.active());
+  t.stamp(c, 1, Stage::kSubmit, 1010);
+  t.bind_ts(c, 1, Timestamp{500, 2});
+  t.stamp_ts(Timestamp{500, 2}, Stage::kBroadcast, 1030);
+  t.stamp_ts(Timestamp{500, 2}, Stage::kWalAppend, 1100);
+  t.stamp_ts(Timestamp{500, 2}, Stage::kQuorumAck, 1400);
+  t.stamp_ts(Timestamp{500, 2}, Stage::kStable, 1500);
+  t.stamp(c, 1, Stage::kExecute, 1510);
+  t.finish(c, 1, 1520);  // reply
+  EXPECT_FALSE(t.active());
+
+  const Snapshot s = reg.snapshot();
+  const auto stage_sum = [&s](const char* name) {
+    const MetricValue* m = s.find(name);
+    return m == nullptr ? ~0ull : m->hist.sum_us;
+  };
+  EXPECT_EQ(stage_sum("crsm_stage_queue_us"), 10u);      // 1010 - 1000
+  EXPECT_EQ(stage_sum("crsm_stage_broadcast_us"), 20u);  // 1030 - 1010
+  EXPECT_EQ(stage_sum("crsm_stage_wal_us"), 70u);        // 1100 - 1030
+  EXPECT_EQ(stage_sum("crsm_stage_ack_us"), 300u);       // 1400 - 1100
+  EXPECT_EQ(stage_sum("crsm_stage_stability_us"), 100u);
+  EXPECT_EQ(stage_sum("crsm_stage_execute_us"), 10u);
+  EXPECT_EQ(stage_sum("crsm_stage_reply_us"), 10u);
+  EXPECT_EQ(stage_sum("crsm_commit_total_us"), 520u);
+}
+
+TEST(CommitTracer, SkippedStageFoldsIntoNextDelta) {
+  Registry reg;
+  CommitTracer t(reg, {.sample_every = 1});
+  ASSERT_TRUE(t.begin(9, 1, 1000));
+  // No submit/broadcast/wal stamps (e.g. stage not reached on this path):
+  t.bind_ts(9, 1, Timestamp{7, 0});
+  t.stamp_ts(Timestamp{7, 0}, Stage::kQuorumAck, 1200);
+  t.finish(9, 1, 1300);
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.find("crsm_stage_queue_us")->hist.count, 0u);
+  EXPECT_EQ(s.find("crsm_stage_ack_us")->hist.sum_us, 200u);  // folds recv->ack
+  EXPECT_EQ(s.find("crsm_stage_reply_us")->hist.sum_us, 100u);
+}
+
+TEST(CommitTracer, ReadSpanRecordsWaitAndTotal) {
+  Registry reg;
+  CommitTracer t(reg, {.sample_every = 1});
+  ASSERT_TRUE(t.begin_read(4, 1, 2000));
+  t.stamp(4, 1, Stage::kStable, 2150);  // stability wait satisfied
+  t.finish(4, 1, 2200);
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.find("crsm_read_wait_us")->hist.sum_us, 150u);
+  EXPECT_EQ(s.find("crsm_read_total_us")->hist.sum_us, 200u);
+  EXPECT_EQ(s.find("crsm_commit_total_us")->hist.count, 0u);
+}
+
+TEST(CommitTracer, BoundedSpansEvictOldest) {
+  Registry reg;
+  CommitTracer t(reg, {.sample_every = 1, .max_spans = 8});
+  for (std::uint64_t seq = 1; seq <= 100; ++seq) {
+    ASSERT_TRUE(t.begin(1, seq, 1000 + seq));  // never finished
+  }
+  const Snapshot s = reg.snapshot();
+  EXPECT_GE(s.counter_value("crsm_trace_dropped_total"), 90u);
+  // Finishing an evicted span is a no-op, not a crash.
+  t.finish(1, 1, 5000);
+}
+
+// --- LoopProfiler -----------------------------------------------------------
+
+TEST(LoopProfiler, PhaseHistogramsFromObserverCalls) {
+  Registry reg;
+  LoopProfiler p(reg);
+  // One synthetic pass: begin 1000, poll done 1200 (150 of it blocked),
+  // tasks done 1300, fsync done 1350, end 1400.
+  p.begin_pass(1000);
+  p.note_poll_wait(150);
+  p.poll_done(1200);
+  p.tasks_done(1300);
+  p.fsync_done(1350);
+  p.end_pass(1400);
+  p.note_batch(4);
+
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counter_value("crsm_loop_passes_total"), 1u);
+  EXPECT_EQ(s.find("crsm_loop_pass_us")->hist.sum_us, 400u);
+  EXPECT_EQ(s.find("crsm_loop_poll_wait_us")->hist.sum_us, 150u);
+  EXPECT_EQ(s.find("crsm_loop_io_dispatch_us")->hist.sum_us, 50u);  // 200-150
+  EXPECT_EQ(s.find("crsm_loop_protocol_us")->hist.sum_us, 100u);
+  EXPECT_EQ(s.find("crsm_loop_fsync_us")->hist.sum_us, 50u);
+  EXPECT_EQ(s.find("crsm_loop_wire_flush_us")->hist.sum_us, 50u);
+  EXPECT_EQ(s.find("crsm_loop_busy_us")->hist.sum_us, 250u);  // 400 - 150
+  EXPECT_EQ(s.find("crsm_loop_cmds_per_pass")->hist.sum_us, 4u);
+}
+
+}  // namespace
+}  // namespace crsm::obs

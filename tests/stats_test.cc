@@ -109,6 +109,83 @@ TEST(LatencyStats, StddevOfConstantIsZero) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
+TEST(LatencyStats, DegradesPastCapWithBoundedError) {
+  LatencyStats s(100);  // tiny cap to force histogram mode
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  EXPECT_FALSE(s.exact());
+  EXPECT_TRUE(s.samples().empty());
+  EXPECT_EQ(s.count(), 1000u);
+  // Moments stay exact across the degradation.
+  EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+  // Percentiles answer from the log-scale histogram: <= 6.25 % relative err.
+  EXPECT_NEAR(s.percentile(50), 500.0, 500.0 * 0.0625);
+  EXPECT_NEAR(s.percentile(95), 950.0, 950.0 * 0.0625);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 1000.0);
+}
+
+TEST(LatencyStats, DegradedCdfIsMonotoneAndEndsAtMax) {
+  LatencyStats s(50);
+  std::mt19937 gen(11);
+  std::uniform_real_distribution<double> dist(10.0, 20.0);
+  for (int i = 0; i < 500; ++i) s.add(dist(gen));
+  ASSERT_FALSE(s.exact());
+  const auto cdf = s.cdf(40);
+  ASSERT_EQ(cdf.size(), 40u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().first, s.max());
+}
+
+TEST(LatencyStats, MergeAcrossRegimes) {
+  LatencyStats degraded(10);
+  for (int i = 0; i < 100; ++i) degraded.add(5.0);
+  ASSERT_FALSE(degraded.exact());
+
+  LatencyStats exact;
+  exact.add(1.0);
+  exact.add(9.0);
+
+  // exact <- degraded: the exact side must give up its sample vector.
+  LatencyStats a = exact;
+  a.merge(degraded);
+  EXPECT_FALSE(a.exact());
+  EXPECT_EQ(a.count(), 102u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+
+  // degraded <- exact: samples fold into the histogram.
+  LatencyStats b = degraded;
+  b.merge(exact);
+  EXPECT_EQ(b.count(), 102u);
+  EXPECT_NEAR(b.percentile(50), 5.0, 5.0 * 0.0625);
+}
+
+TEST(LatencyStats, CopyOfDegradedIsIndependent) {
+  LatencyStats s(10);
+  for (int i = 0; i < 50; ++i) s.add(2.0);
+  LatencyStats copy = s;
+  copy.add(2.0);
+  EXPECT_EQ(s.count(), 50u);
+  EXPECT_EQ(copy.count(), 51u);
+  EXPECT_NEAR(copy.percentile(99), 2.0, 2.0 * 0.0625);
+}
+
+TEST(LatencyStats, DegradedHistogramCountsAllSamples) {
+  LatencyStats s(10);
+  for (int i = 0; i < 200; ++i) s.add(1.0 + (i % 3));  // 1, 2, 3 ms
+  ASSERT_FALSE(s.exact());
+  const auto bins = s.histogram(0.0, 4.0, 4);
+  std::size_t total = 0;
+  for (std::size_t b : bins) total += b;
+  EXPECT_EQ(total, 200u);
+}
+
 TEST(PaperMedian, OddSet) {
   // {0, 10, 20}: index 1 -> 10.
   EXPECT_DOUBLE_EQ(paper_median({20.0, 0.0, 10.0}), 10.0);

@@ -18,8 +18,14 @@
 #include <tuple>
 #include <vector>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "kv/kv_store.h"
 #include "net/sync_client.h"
+#include "obs/metrics.h"
+#include "obs/metrics_http.h"
 #include "rsm/linearizability.h"
 #include "runtime/tcp_cluster.h"
 #include "test_util.h"
@@ -505,6 +511,95 @@ TEST_P(TcpBackendTest, DropPolicyBoundsDisconnectedBacklog) {
   ASSERT_TRUE(eventually([&] { return cleaned.load(); }));
   loop->stop();
   loop_thread.join();
+}
+
+// The observability acceptance case: a 3-replica durable cluster scraped
+// mid-run over GET /metrics must (a) emit well-formed Prometheus exposition
+// with the commit pipeline decomposed into separate WAL/ack/stability/
+// execute histograms, (b) report counters that agree with the raw
+// TransportStats/StorageStats structs, and (c) be monotone across scrapes.
+TEST_P(TcpBackendTest, MetricsScrapeAgreesWithStatsAndIsMonotone) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("crsm_metrics_test_" + std::to_string(::getpid()) + "_" +
+       backend_suffix(GetParam()));
+  std::filesystem::remove_all(dir);
+  TcpClusterOptions o = opts();
+  o.log_dir = dir.string();      // durable: the WAL stage histogram is live
+  o.obs.metrics_http = true;     // ephemeral port per node
+  o.obs.trace_sample_every = 1;  // trace every origin command
+  TcpCluster cluster(3, clock_rsm_factory(3), kv_factory(), o);
+  std::atomic<int> replies{0};
+  cluster.set_reply_hook([&](ReplicaId, const Command&) { ++replies; });
+  cluster.start();
+  for (int i = 0; i < 30; ++i) cluster.submit(0, kv_put(1, i + 1, "k", "v"));
+  ASSERT_TRUE(eventually([&] {
+    return replies.load() == 30 && cluster.executed(0) == 30 &&
+           cluster.executed(1) == 30 && cluster.executed(2) == 30;
+  }));
+
+  const std::uint16_t mport = cluster.node(0).metrics_port();
+  ASSERT_NE(mport, 0);
+
+  // (a) Prometheus text exposition, stage decomposition present.
+  const std::string prom = obs::http_get("127.0.0.1", mport, "/metrics");
+  for (const char* series :
+       {"crsm_stage_wal_us", "crsm_stage_ack_us", "crsm_stage_stability_us",
+        "crsm_stage_execute_us"}) {
+    EXPECT_NE(prom.find(std::string("# TYPE ") + series + " histogram"),
+              std::string::npos)
+        << series;
+    EXPECT_NE(prom.find(std::string(series) + "_bucket{le=\"+Inf\"}"),
+              std::string::npos)
+        << series;
+  }
+
+  // (b) Agreement with the raw stats structs. The counters advance while we
+  // look, so bracket the snapshot between two raw reads.
+  const TransportStats t1 = cluster.node(0).transport_stats();
+  const StorageStats s1 = cluster.node(0).storage_stats();
+  const obs::Snapshot snap1 = cluster.node(0).metrics_snapshot();
+  const TransportStats t2 = cluster.node(0).transport_stats();
+  const StorageStats s2 = cluster.node(0).storage_stats();
+  const std::uint64_t sent =
+      snap1.counter_value("crsm_transport_messages_sent_total");
+  EXPECT_GE(sent, t1.messages_sent);
+  EXPECT_LE(sent, t2.messages_sent);
+  const std::uint64_t appends =
+      snap1.counter_value("crsm_storage_appends_total");
+  EXPECT_GE(appends, s1.appends);
+  EXPECT_LE(appends, s2.appends);
+  EXPECT_EQ(snap1.counter_value("crsm_executed_total"), 30u);
+  EXPECT_GT(snap1.counter_value("crsm_trace_spans_total"), 0u);
+
+  // (c) Monotone across scrapes with load in between; stage histograms fill.
+  for (int i = 0; i < 20; ++i) cluster.submit(0, kv_put(1, 31 + i, "k", "v"));
+  ASSERT_TRUE(eventually([&] { return replies.load() == 50; }));
+  const obs::Snapshot snap2 = cluster.node(0).metrics_snapshot();
+  for (const obs::MetricValue& m : snap1.metrics) {
+    const obs::MetricValue* later = snap2.find(m.name);
+    ASSERT_NE(later, nullptr) << m.name;
+    if (m.kind == obs::MetricKind::kCounter) {
+      EXPECT_GE(later->counter, m.counter) << m.name;
+    } else if (m.kind == obs::MetricKind::kHistogram) {
+      EXPECT_GE(later->hist.count, m.hist.count) << m.name;
+    }
+  }
+  EXPECT_EQ(snap2.counter_value("crsm_executed_total"), 50u);
+  const obs::MetricValue* wal = snap2.find("crsm_stage_wal_us");
+  ASSERT_NE(wal, nullptr);
+  EXPECT_GT(wal->hist.count, 0u);
+  const obs::MetricValue* stab = snap2.find("crsm_stage_stability_us");
+  ASSERT_NE(stab, nullptr);
+  EXPECT_GT(stab->hist.count, 0u);
+
+  // The JSON endpoint serves the same registry as one flat object.
+  const std::string json = obs::http_get("127.0.0.1", mport, "/metrics.json");
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"crsm_executed_total\": 50"), std::string::npos);
+
+  cluster.stop();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

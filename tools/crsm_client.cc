@@ -24,6 +24,7 @@
 #include "bench_common.h"
 #include "kv/kv_store.h"
 #include "net/sync_client.h"
+#include "obs/metrics_http.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "workload/workload.h"
@@ -34,9 +35,38 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --server host:port [--clients K] [--duration S]\n"
                "          [--payload BYTES] [--read-fraction F] [--seed N]\n"
-               "          [--json]\n",
+               "          [--json] [--stage-breakdown host:port]\n",
                argv0);
   std::exit(2);
+}
+
+// Pulls the commit-pipeline fields out of the node's flat /metrics.json
+// object: every "key": number pair whose key starts with crsm_stage_,
+// crsm_commit_ or crsm_read_ and carries a _count/_p50_us/_p99_us suffix.
+std::vector<std::pair<std::string, double>> extract_stage_fields(
+    const std::string& json) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = 0;
+  while ((pos = json.find('"', pos)) != std::string::npos) {
+    const std::size_t end = json.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    const std::string key = json.substr(pos + 1, end - pos - 1);
+    pos = end + 1;
+    const std::size_t colon = json.find(':', pos);
+    if (colon == std::string::npos) break;
+    const bool stage_key = key.rfind("crsm_stage_", 0) == 0 ||
+                           key.rfind("crsm_commit_", 0) == 0 ||
+                           key.rfind("crsm_read_", 0) == 0;
+    const bool wanted_suffix =
+        key.size() > 7 && (key.compare(key.size() - 6, 6, "_count") == 0 ||
+                           key.compare(key.size() - 7, 7, "_p50_us") == 0 ||
+                           key.compare(key.size() - 7, 7, "_p99_us") == 0);
+    if (stage_key && wanted_suffix) {
+      out.emplace_back(key, std::strtod(json.c_str() + colon + 1, nullptr));
+    }
+    pos = colon + 1;
+  }
+  return out;
 }
 
 }  // namespace
@@ -52,6 +82,8 @@ int main(int argc, char** argv) {
   double read_fraction = 0.0;
   std::uint64_t seed = 42;
   bool json = false;
+  std::string metrics_host;
+  std::uint16_t metrics_port = 0;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -79,6 +111,16 @@ int main(int argc, char** argv) {
         seed = std::stoull(next());
       } else if (a == "--json") {
         json = true;
+      } else if (a == "--stage-breakdown") {
+        // The node's --metrics-port address: after the run, scrape
+        // /metrics.json and report the server-side stage histograms next to
+        // the client-observed latency.
+        const std::string entry = next();
+        const std::size_t colon = entry.rfind(':');
+        if (colon == std::string::npos) usage(argv[0]);
+        metrics_host = entry.substr(0, colon);
+        metrics_port =
+            static_cast<std::uint16_t>(std::stoul(entry.substr(colon + 1)));
       } else {
         std::fprintf(stderr, "unknown flag %s\n", a.c_str());
         usage(argv[0]);
@@ -169,6 +211,16 @@ int main(int argc, char** argv) {
 
   const std::uint64_t total_ops = writes.load() + reads.load();
   const double cmds_per_sec = static_cast<double>(total_ops) / secs;
+
+  std::vector<std::pair<std::string, double>> stage_fields;
+  if (metrics_port != 0) {
+    try {
+      stage_fields = extract_stage_fields(
+          obs::http_get(metrics_host, metrics_port, "/metrics.json"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "stage-breakdown scrape failed: %s\n", e.what());
+    }
+  }
   if (json) {
     bench::JsonResult jr("crsm_client");
     jr.add("server", host + ":" + std::to_string(port));
@@ -194,6 +246,9 @@ int main(int argc, char** argv) {
            read_latency.empty() ? 0.0 : read_latency.percentile(95));
     jr.add("read_latency_p99_ms",
            read_latency.empty() ? 0.0 : read_latency.percentile(99));
+    for (const auto& [key, value] : stage_fields) {
+      jr.add("server_" + key, value);
+    }
     jr.print(std::cout);
   } else {
     std::printf("crsm_client: %llu ops (%llu writes, %llu reads) in %.2fs -> "
@@ -212,6 +267,12 @@ int main(int argc, char** argv) {
                   read_latency.mean(), read_latency.percentile(50),
                   read_latency.percentile(95), read_latency.percentile(99),
                   read_latency.max());
+    }
+    if (!stage_fields.empty()) {
+      std::printf("server commit-pipeline (sampled, cumulative):\n");
+      for (const auto& [key, value] : stage_fields) {
+        std::printf("  %s = %.1f\n", key.c_str(), value);
+      }
     }
     if (errors.load() > 0) {
       std::printf("errors: %llu\n", static_cast<unsigned long long>(errors.load()));

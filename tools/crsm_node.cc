@@ -7,10 +7,19 @@
 //   crsm_node --id 0 --peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002 \
 //             [--protocol clockrsm|paxos|paxos-bcast|mencius] [--stats-every 5] \
 //             [--log-dir DIR] [--checkpoint-every N] [--no-group-commit] \
-//             [--io-backend epoll|uring] [--max-coalesce-bytes N]
+//             [--io-backend epoll|uring] [--max-coalesce-bytes N] \
+//             [--metrics-port P] [--trace-sample N] [--slow-ms MS]
 //
-// The listen address is peers[id]. Runs until SIGINT/SIGTERM, printing
-// periodic wire/commit counters to stderr.
+// The listen address is peers[id]. Runs until SIGINT/SIGTERM, printing a
+// periodic one-line metrics snapshot (sorted k=v pairs) to stderr.
+//
+// --metrics-port serves GET /metrics (Prometheus text exposition 0.0.4) and
+// GET /metrics.json from the node's loop thread — one unified registry
+// covering wire, WAL, protocol, KV, commit-pipeline stage histograms and
+// event-loop pass profile (see docs/OPERATIONS.md for the series reference).
+// --trace-sample N stamps every Nth origin command through the commit
+// pipeline (0 disables tracing); --slow-ms prints a rate-limited per-stage
+// breakdown for traced commands slower than MS milliseconds.
 //
 // With --log-dir the node is durable and restartable: commands are logged
 // to DIR/wal.log (group-commit fsync batching unless --no-group-commit), a
@@ -54,7 +63,9 @@ void on_signal(int) { g_stop.store(true); }
                "          [--log-dir DIR] [--checkpoint-every N] "
                "[--no-group-commit] \\\n"
                "          [--io-backend epoll|uring] "
-               "[--max-coalesce-bytes N]\n",
+               "[--max-coalesce-bytes N] \\\n"
+               "          [--metrics-port P] [--trace-sample N] "
+               "[--slow-ms MS]\n",
                argv0);
   std::exit(2);
 }
@@ -92,6 +103,7 @@ int main(int argc, char** argv) {
   StorageOptions storage;
   net::IoBackend io_backend = net::IoBackend::kEpoll;
   std::size_t max_coalesce_bytes = 256 * 1024;
+  NodeObsOptions obs;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -123,6 +135,14 @@ int main(int argc, char** argv) {
         }
       } else if (a == "--max-coalesce-bytes") {
         max_coalesce_bytes = std::stoull(next());
+      } else if (a == "--metrics-port") {
+        obs.metrics_http = true;
+        obs.metrics_host = "0.0.0.0";
+        obs.metrics_port = static_cast<std::uint16_t>(std::stoul(next()));
+      } else if (a == "--trace-sample") {
+        obs.trace_sample_every = static_cast<std::uint32_t>(std::stoul(next()));
+      } else if (a == "--slow-ms") {
+        obs.trace_slow_us = std::stoull(next()) * 1000;
       } else {
         std::fprintf(stderr, "unknown flag %s\n", a.c_str());
         usage(argv[0]);
@@ -170,6 +190,7 @@ int main(int argc, char** argv) {
   cfg.transport.max_coalesce_bytes = max_coalesce_bytes;
   cfg.storage = storage;
   cfg.io_backend = io_backend;
+  cfg.obs = obs;
 
   NodeRuntime node(cfg, factory, [] { return std::make_unique<KvStore>(); });
 
@@ -193,6 +214,10 @@ int main(int argc, char** argv) {
                  storage.group_commit ? "group commit" : "sync per append",
                  node.recovering() ? ", recovering from prior state" : "");
   }
+  if (obs.metrics_http) {
+    std::fprintf(stderr, "crsm_node[%u]: metrics on http://%s:%u/metrics\n", id,
+                 obs.metrics_host.c_str(), node.metrics_port());
+  }
 
   std::uint64_t last_executed = 0;
   auto last = std::chrono::steady_clock::now();
@@ -203,25 +228,14 @@ int main(int argc, char** argv) {
         now - last >= std::chrono::seconds(stats_every)) {
       const double secs = std::chrono::duration<double>(now - last).count();
       const std::uint64_t exec = node.executed();
-      const TransportStats s = node.transport_stats();
-      const StorageStats st = node.storage_stats();
-      std::fprintf(stderr,
-                   "crsm_node[%u]: %.0f cmds/s | executed %llu | sent %llu msgs "
-                   "%llu bytes | encodes %llu | flushes %llu (%llu frames) | "
-                   "dropped %llu | blocks %llu | "
-                   "wal %llu app %llu fsync (max batch %llu)\n",
-                   id, static_cast<double>(exec - last_executed) / secs,
-                   static_cast<unsigned long long>(exec),
-                   static_cast<unsigned long long>(s.messages_sent),
-                   static_cast<unsigned long long>(s.bytes_sent),
-                   static_cast<unsigned long long>(s.encode_calls),
-                   static_cast<unsigned long long>(s.wire_flushes),
-                   static_cast<unsigned long long>(s.frames_flushed),
-                   static_cast<unsigned long long>(s.messages_dropped),
-                   static_cast<unsigned long long>(s.backpressure_blocks),
-                   static_cast<unsigned long long>(st.appends),
-                   static_cast<unsigned long long>(st.syncs),
-                   static_cast<unsigned long long>(st.max_batch));
+      // One unified registry snapshot in stable sorted k=v order: wire, WAL,
+      // protocol (incl. reads served, catch-up rounds), KV, held messages —
+      // everything the old hand-rolled printf covered and the counters it
+      // missed, greppable field-by-field across runs.
+      const obs::Snapshot snap = node.metrics_snapshot();
+      std::fprintf(stderr, "crsm_node[%u]: %.0f cmds/s %s\n", id,
+                   static_cast<double>(exec - last_executed) / secs,
+                   obs::to_kv_line(snap).c_str());
       last_executed = exec;
       last = now;
     }

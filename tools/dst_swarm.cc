@@ -27,6 +27,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -145,6 +146,52 @@ GeneratorOptions generator_options(const Args& a) {
   return g;
 }
 
+// Scenario category for the timing summary: which fault families the
+// schedule exercises (crash, netsplit, clock, noise — joined with '+'),
+// with a "/reads" suffix for read-heavy Clock-RSM schedules. Derived from
+// the spec so replays and generated seeds classify identically.
+std::string scenario_category(const ScenarioSpec& spec) {
+  bool crash = false, split = false, clock = false, noise = false;
+  for (const FaultEvent& f : spec.faults) {
+    switch (f.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRestart:
+        crash = true;
+        break;
+      case FaultKind::kPartition:
+      case FaultKind::kHeal:
+      case FaultKind::kOneWay:
+      case FaultKind::kOneWayHeal:
+        split = true;
+        break;
+      case FaultKind::kClockJump:
+      case FaultKind::kClockDrift:
+        clock = true;
+        break;
+      case FaultKind::kDelaySpike:
+      case FaultKind::kDelayClear:
+      case FaultKind::kDupStart:
+      case FaultKind::kDupStop:
+      case FaultKind::kDropStart:
+      case FaultKind::kDropStop:
+        noise = true;
+        break;
+    }
+  }
+  std::string cat;
+  auto append = [&](const char* part) {
+    if (!cat.empty()) cat += '+';
+    cat += part;
+  };
+  if (crash) append("crash");
+  if (split) append("netsplit");
+  if (clock) append("clock");
+  if (noise) append("noise");
+  if (cat.empty()) cat = "faultless";
+  if (spec.read_fraction > 0.0) cat += "/reads";
+  return cat;
+}
+
 // Runs one scenario with the swarm's options; returns the (possibly shrunk)
 // failing state. `category` is empty on pass.
 struct Outcome {
@@ -233,13 +280,21 @@ void worker_main(int fd, const Args& a, std::size_t lane, std::size_t stripe) {
     if (k % stripe != lane) continue;
     const std::uint64_t seed = a.start_seed + k;
     const ScenarioSpec spec = generate_scenario(seed, gopt);
+    const auto t0 = std::chrono::steady_clock::now();
     const Outcome out = run_one(spec, a);
+    // Per-seed wall-time: the full cost of the seed as the swarm paid it,
+    // including determinism re-runs and shrinking on failure.
+    const std::uint64_t wall_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     std::string spec_path = "-";
     if (!out.ok) spec_path = write_failure(out, a, seed);
     std::ostringstream line;
     line << "R " << seed << ' ' << protocol_name(out.spec.protocol) << ' '
          << (out.ok ? 1 : 0) << ' ' << out.run.completed_ops << ' '
-         << out.spec.faults.size() << ' ' << (out.ok ? "-" : out.category)
+         << out.spec.faults.size() << ' ' << wall_ms << ' '
+         << scenario_category(spec) << ' ' << (out.ok ? "-" : out.category)
          << ' ' << spec_path << '\n';
     const std::string s = line.str();
     std::size_t off = 0;
@@ -259,6 +314,8 @@ struct SeedRow {
   bool ok = false;
   std::uint64_t ops = 0;
   std::uint64_t faults = 0;
+  std::uint64_t wall_ms = 0;
+  std::string scenario;
   std::string category;
   std::string spec_path;
   bool reported = false;
@@ -323,7 +380,7 @@ int run_swarm(const Args& a) {
       SeedRow row;
       int ok = 0;
       in >> row.seed >> row.protocol >> ok >> row.ops >> row.faults >>
-          row.category >> row.spec_path;
+          row.wall_ms >> row.scenario >> row.category >> row.spec_path;
       row.ok = ok != 0;
       row.reported = true;
       rows[row.seed] = row;
@@ -331,35 +388,67 @@ int run_swarm(const Args& a) {
   }
 
   std::size_t passed = 0, failed = 0, crashed = 0;
-  std::printf("%-8s %-12s %-7s %6s %7s  %s\n", "seed", "protocol", "result",
-              "ops", "faults", "detail");
+  std::printf("%-8s %-12s %-7s %6s %7s %7s %-22s %s\n", "seed", "protocol",
+              "result", "ops", "faults", "ms", "scenario", "detail");
   for (const auto& [seed, row] : rows) {
     if (!row.reported) {
       ++crashed;
-      std::printf("%-8llu %-12s %-7s %6s %7s  worker died; replay: dst_swarm --seed %llu%s\n",
+      std::printf("%-8llu %-12s %-7s %6s %7s %7s %-22s worker died; replay: dst_swarm --seed %llu%s\n",
                   static_cast<unsigned long long>(seed), "?", "CRASH", "-", "-",
-                  static_cast<unsigned long long>(seed),
+                  "-", "-", static_cast<unsigned long long>(seed),
                   a.protocol == "all" ? "" : (" --protocol " + a.protocol).c_str());
       continue;
     }
     if (row.ok) {
       ++passed;
-      std::printf("%-8llu %-12s %-7s %6llu %7llu\n",
+      std::printf("%-8llu %-12s %-7s %6llu %7llu %7llu %-22s\n",
                   static_cast<unsigned long long>(seed), row.protocol.c_str(),
                   "PASS", static_cast<unsigned long long>(row.ops),
-                  static_cast<unsigned long long>(row.faults));
+                  static_cast<unsigned long long>(row.faults),
+                  static_cast<unsigned long long>(row.wall_ms),
+                  row.scenario.c_str());
     } else {
       ++failed;
-      std::printf("%-8llu %-12s %-7s %6llu %7llu  %s; replay: dst_swarm --spec %s  (or --seed %llu%s%s)\n",
+      std::printf("%-8llu %-12s %-7s %6llu %7llu %7llu %-22s %s; replay: dst_swarm --spec %s  (or --seed %llu%s%s)\n",
                   static_cast<unsigned long long>(seed), row.protocol.c_str(),
                   "FAIL", static_cast<unsigned long long>(row.ops),
                   static_cast<unsigned long long>(row.faults),
+                  static_cast<unsigned long long>(row.wall_ms),
+                  row.scenario.c_str(),
                   row.category.c_str(), row.spec_path.c_str(),
                   static_cast<unsigned long long>(seed),
                   a.protocol == "all" ? "" : " --protocol ",
                   a.protocol == "all" ? "" : a.protocol.c_str());
     }
   }
+
+  // Scenario-category timing rollup: where the swarm's wall-clock went.
+  struct CatStat {
+    std::size_t seeds = 0, failures = 0;
+    std::uint64_t total_ms = 0, max_ms = 0;
+  };
+  std::map<std::string, CatStat> cats;
+  for (const auto& [seed, row] : rows) {
+    if (!row.reported) continue;
+    CatStat& c = cats[row.scenario];
+    ++c.seeds;
+    if (!row.ok) ++c.failures;
+    c.total_ms += row.wall_ms;
+    c.max_ms = std::max(c.max_ms, row.wall_ms);
+  }
+  if (!cats.empty()) {
+    std::printf("\nscenario-category timing:\n");
+    std::printf("%-22s %6s %6s %9s %8s %8s\n", "category", "seeds", "fails",
+                "total ms", "mean ms", "max ms");
+    for (const auto& [name, c] : cats) {
+      std::printf("%-22s %6zu %6zu %9llu %8.0f %8llu\n", name.c_str(), c.seeds,
+                  c.failures, static_cast<unsigned long long>(c.total_ms),
+                  static_cast<double>(c.total_ms) /
+                      static_cast<double>(c.seeds),
+                  static_cast<unsigned long long>(c.max_ms));
+    }
+  }
+
   std::printf("\n%zu/%llu passed", passed,
               static_cast<unsigned long long>(a.seeds));
   if (failed) std::printf(", %zu FAILED (specs in %s/)", failed, a.out_dir.c_str());
