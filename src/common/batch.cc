@@ -1,0 +1,33 @@
+#include "common/batch.h"
+
+#include <string>
+#include <utility>
+
+#include "common/codec.h"
+#include "common/message.h"
+
+namespace crsm {
+
+Command make_batch(const std::vector<Command>& cmds, ReplicaId origin,
+                   std::uint64_t counter) {
+  Message env;
+  env.type = MsgType::kCmdBatch;
+  env.from = origin;
+  env.cmds = cmds;
+  Command out;
+  out.client = kBatchClient;
+  out.seq = (static_cast<std::uint64_t>(origin) << 40) | (counter & ((1ULL << 40) - 1));
+  out.payload = Bytes(env.encode());
+  return out;
+}
+
+std::vector<Command> split_batch(const Command& envelope) {
+  Message env = Message::decode(envelope.payload.view());
+  if (env.type != MsgType::kCmdBatch) {
+    throw CodecError("batch envelope has wrong message type");
+  }
+  if (env.cmds.empty()) throw CodecError("empty batch envelope");
+  return std::move(env.cmds);
+}
+
+}  // namespace crsm

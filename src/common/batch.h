@@ -1,0 +1,48 @@
+// Protocol-level command batching: the batch envelope.
+//
+// A batch of client commands travels through the commit pipeline as ONE
+// opaque Command whose payload is an encoded kCmdBatch Message (the member
+// commands, length-prefixed — see docs/WIRE_FORMAT.md "Batch envelope").
+// The protocols (Clock-RSM, Paxos, Mencius), the WAL, catch-up and
+// reconfiguration never look inside a command payload, so a batch gets one
+// PREPARE, one timestamp/ack round and one WAL record with no protocol
+// changes; the runtimes split the envelope back into member commands at
+// execution time (NodeRuntime::deliver, SimWorld's replica deliver) and
+// fan replies out per member.
+//
+// The envelope command's identity: `client` is the kBatchClient sentinel
+// (never a real client id, so it can't collide with client routing or
+// history checking) and `seq` packs (origin replica << 40 | counter) for
+// uniqueness across concurrent origins. Nothing dedups on the envelope's
+// identity, so a restarted origin reusing counters is harmless.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/command.h"
+#include "common/types.h"
+
+namespace crsm {
+
+// Sentinel client id marking a batch envelope. Real client ids are
+// make_client_id(replica, index) and never reach this value.
+inline constexpr ClientId kBatchClient = ~ClientId{0};
+
+// True iff `cmd` is a batch envelope produced by make_batch().
+[[nodiscard]] inline bool is_batch(const Command& cmd) {
+  return cmd.client == kBatchClient;
+}
+
+// Packs `origin`'s `counter`-th batch into one envelope command. Requires
+// cmds.size() >= 1; a runtime that cut a singleton batch should submit the
+// bare command instead (no envelope overhead for batch size 1).
+[[nodiscard]] Command make_batch(const std::vector<Command>& cmds,
+                                 ReplicaId origin, std::uint64_t counter);
+
+// Splits an envelope back into its member commands (owned copies). Throws
+// CodecError on a corrupt envelope — fail-stop, like any other corrupt
+// replicated state.
+[[nodiscard]] std::vector<Command> split_batch(const Command& envelope);
+
+}  // namespace crsm

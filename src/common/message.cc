@@ -77,6 +77,7 @@ struct Shape {
   bool a = false;
   bool b = false;
   bool cmd = false;
+  bool cmds = false;
   bool records = false;
   bool blob = false;
 };
@@ -86,6 +87,7 @@ Shape shape_of(MsgType t) {
     case MsgType::kPrepare: return {.ts = true, .cmd = true};
     case MsgType::kPrepareOk: return {.ts = true, .clock_ts = true};
     case MsgType::kClockTime: return {.clock_ts = true};
+    case MsgType::kCmdBatch: return {.cmds = true};
     case MsgType::kForward: return {.a = true, .cmd = true};
     case MsgType::kPhase2a: return {.slot = true, .a = true, .cmd = true};
     case MsgType::kPhase2b: return {.slot = true};
@@ -140,6 +142,17 @@ Message decode_stream_impl(std::string_view buf, std::size_t* pos,
   if (s.a) m.a = d.var();
   if (s.b) m.b = d.var();
   if (s.cmd) m.cmd = decode_command_impl(d, view_mode);
+  if (s.cmds) {
+    std::uint64_t n = d.var();
+    // Every command costs >= 3 bytes on the wire (two varints + a length),
+    // so a count above the remaining body is malformed; check before
+    // reserve() so corrupt counts become CodecError, not giant allocations.
+    if (n > d.remaining()) throw CodecError("implausible command count");
+    m.cmds.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      m.cmds.push_back(decode_command_impl(d, view_mode));
+    }
+  }
   if (s.records) {
     std::uint64_t n = d.var();
     // Every record costs >= 13 bytes on the wire, so a count larger than the
@@ -171,6 +184,10 @@ void Message::encode(std::string* out) const {
   if (s.a) e.var(a);
   if (s.b) e.var(b);
   if (s.cmd) encode_command(cmd, &body);
+  if (s.cmds) {
+    e.var(cmds.size());
+    for (const Command& c : cmds) encode_command(c, &body);
+  }
   if (s.records) {
     e.var(records.size());
     for (const LogRecord& r : records) encode_log_record(r, &body);

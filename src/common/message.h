@@ -26,7 +26,7 @@ namespace crsm {
 // fuzzers' hand-written lists).
 //
 // Groups (values leave gaps for future members):
-//   1..3   Clock-RSM (Algorithm 1 + 2)
+//   1..4   Clock-RSM (Algorithm 1 + 2) + the batch envelope
 //  10..13  Multi-Paxos / Paxos-bcast
 //  20..21  Mencius-bcast
 //  30..33  Reconfiguration (Algorithm 3)
@@ -37,6 +37,7 @@ namespace crsm {
   X(kPrepare, 1, "PREPARE")         /* <PREPARE cmd, ts> */                    \
   X(kPrepareOk, 2, "PREPAREOK")     /* <PREPAREOK ts, clockTs> */              \
   X(kClockTime, 3, "CLOCKTIME")     /* <CLOCKTIME ts> */                       \
+  X(kCmdBatch, 4, "CMDBATCH")       /* batch envelope: cmds replicated as 1 */ \
   X(kForward, 10, "FORWARD")        /* non-leader forwards a cmd to leader */  \
   X(kPhase2a, 11, "PHASE2A")        /* leader -> all: accept(slot, cmd) */     \
   X(kPhase2b, 12, "PHASE2B")        /* acceptor ack (to leader or bcast) */    \
@@ -88,6 +89,7 @@ struct Message {
   std::uint64_t b = 0;  // generic: accepted ballot
 
   Command cmd;
+  std::vector<Command> cmds;       // CMDBATCH envelope member commands
   std::vector<LogRecord> records;  // SUSPENDOK / RETRIEVEREPLY payloads
   Bytes blob;                      // consensus value (encoded ReconfigDecision)
 

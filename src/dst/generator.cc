@@ -53,6 +53,23 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorOptions& opt) 
     spec.read_fraction = rng.uniform(0.5, 0.95);
   }
 
+  // Batching category: every write path decision (batch cut, envelope
+  // split, WAL replay of an envelope record, catch-up of a torn tail) now
+  // crosses batch boundaries; crash/partition schedules are what tear them.
+  // The consensus synod replicates no commands, so batching is meaningless
+  // there. Drawn from its own rng stream so batching is an orthogonal axis:
+  // a seed samples the same cluster shape and fault schedule whether or not
+  // the category fires (and the same schedules as before the category
+  // existed).
+  if (spec.protocol != Protocol::kConsensus) {
+    Rng batch_rng(seed * 0xa24baed4963ee407ULL + 0x9fb21c651e98df25ULL);
+    if (opt.batching || batch_rng.bernoulli(0.3)) {
+      constexpr std::size_t kBatchMenu[] = {4, 8, 16};
+      spec.max_batch_cmds =
+          kBatchMenu[batch_rng.uniform_int(0, std::size(kBatchMenu) - 1)];
+    }
+  }
+
   spec.replicas = rng.bernoulli(0.3) ? 5 : 3;
   spec.latency_ms = static_cast<double>(rng.uniform_int(5, 40));
   spec.jitter_ms = rng.bernoulli(0.5) ? rng.uniform(0.0, 3.0) : 0.0;

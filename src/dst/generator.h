@@ -40,6 +40,10 @@ struct GeneratorOptions {
   // sampled in [0.5, 0.95]) instead of the default ~35% chance. Dedicated
   // stale-read hunting (`dst_swarm --read-heavy`).
   bool read_heavy = false;
+  // Force every replicating-protocol scenario into the batching category
+  // (max_batch_cmds sampled from {4, 8, 16}) instead of the default ~30%
+  // chance. Dedicated batch-boundary hunting (`dst_swarm --batching`).
+  bool batching = false;
 };
 
 [[nodiscard]] ScenarioSpec generate_scenario(std::uint64_t seed,

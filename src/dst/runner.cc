@@ -157,6 +157,7 @@ RunResult run_scenario(const ScenarioSpec& spec) {
   wopt.clock_drift = spec.clock_drift;
   wopt.lossy_crash = spec.lossy_crash;
   wopt.sync_is_noop = spec.sync_is_noop;
+  wopt.max_batch_cmds = spec.max_batch_cmds;
 
   SimWorld w(wopt, make_factory(spec),
              [] { return std::make_unique<KvStore>(); });
@@ -406,15 +407,22 @@ RunResult run_scenario(const ScenarioSpec& spec) {
     result.failure = category + ": " + detail;
   };
 
-  // Timestamp order: execution is strictly increasing per replica.
+  // Timestamp order: execution is strictly increasing per replica in the
+  // lexicographic (ts, sub) — commands batched into one envelope share its
+  // timestamp and must execute in envelope order.
   for (ReplicaId r = 0; r < n && result.ok; ++r) {
     const auto& exec = w.execution(r);
     for (std::size_t i = 1; i < exec.size(); ++i) {
-      if (!(exec[i - 1].ts < exec[i].ts)) {
+      const bool ordered =
+          exec[i - 1].ts < exec[i].ts ||
+          (exec[i - 1].ts == exec[i].ts && exec[i - 1].sub < exec[i].sub);
+      if (!ordered) {
         fail("order", "replica " + std::to_string(r) +
                           " executed out of timestamp order at index " +
                           std::to_string(i) + " (" + exec[i - 1].ts.to_string() +
-                          " then " + exec[i].ts.to_string() + ")");
+                          " sub " + std::to_string(exec[i - 1].sub) + " then " +
+                          exec[i].ts.to_string() + " sub " +
+                          std::to_string(exec[i].sub) + ")");
         break;
       }
     }
@@ -546,8 +554,9 @@ RunResult run_scenario(const ScenarioSpec& spec) {
       const auto& exec = w.execution(r);
       for (std::size_t i = 0; i < exec.size(); ++i) {
         trace << "  [" << i << "] ts=" << exec[i].ts.to_string()
-              << " client=" << exec[i].cmd.client << " seq=" << exec[i].cmd.seq
-              << " at=" << exec[i].sim_time_us << '\n';
+              << " sub=" << exec[i].sub << " client=" << exec[i].cmd.client
+              << " seq=" << exec[i].cmd.seq << " at=" << exec[i].sim_time_us
+              << '\n';
       }
     }
   }

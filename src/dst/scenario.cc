@@ -118,6 +118,7 @@ std::string ScenarioSpec::summary() const {
   if (reconfig) os << " reconfig";
   if (lossy_crash) os << " lossy-crash";
   if (read_fraction > 0.0) os << " reads=" << read_fraction;
+  if (max_batch_cmds > 1) os << " batch=" << max_batch_cmds;
   if (sync_is_noop) os << " BUG:sync-noop";
   return os.str();
 }
@@ -140,6 +141,9 @@ std::string ScenarioSpec::encode() const {
      << "load_until_us " << load_until_us << '\n'
      << "quiesce_us " << quiesce_us << '\n'
      << "end_us " << end_us << '\n';
+  // Emitted only when batching is on: pre-batching specs decoded and
+  // re-encoded stay byte-identical.
+  if (max_batch_cmds > 1) os << "max_batch_cmds " << max_batch_cmds << '\n';
   for (const FaultEvent& f : faults) os << f.to_string() << '\n';
   return os.str();
 }
@@ -196,6 +200,9 @@ ScenarioSpec ScenarioSpec::decode(const std::string& text) {
       ls >> spec.quiesce_us;
     } else if (key == "end_us") {
       ls >> spec.end_us;
+    } else if (key == "max_batch_cmds") {
+      ls >> spec.max_batch_cmds;
+      if (spec.max_batch_cmds == 0) spec.max_batch_cmds = 1;
     } else if (key == "fault") {
       FaultEvent f;
       std::string kind;

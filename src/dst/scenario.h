@@ -85,6 +85,13 @@ struct ScenarioSpec {
   // the durability invariant under this flag.
   bool sync_is_noop = false;
 
+  // Protocol-level command batching at every replica's submit path: client
+  // writes enqueued at the same simulated instant replicate as one batch
+  // envelope, cut at this many commands. 1 = batching off. Old encoded
+  // specs have no max_batch_cmds line and decode to 1 (and encode() omits
+  // the line at 1, keeping their encodings byte-identical).
+  std::size_t max_batch_cmds = 1;
+
   // Closed-loop KV workload (ignored by kConsensus).
   std::size_t clients_per_replica = 2;
   double think_max_ms = 30.0;

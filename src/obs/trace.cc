@@ -95,15 +95,29 @@ CommitTracer::Span* CommitTracer::find(ClientId client, std::uint64_t seq) {
   return it == spans_.end() ? nullptr : &it->second;
 }
 
+void CommitTracer::unbind_ts(std::uint64_t ts_key, std::uint64_t span_key) {
+  auto it = by_ts_.find(ts_key);
+  if (it == by_ts_.end()) return;
+  std::vector<std::uint64_t>& keys = it->second;
+  std::erase(keys, span_key);
+  if (keys.empty()) by_ts_.erase(it);
+}
+
 void CommitTracer::evict_oldest() {
   while (!order_.empty() && spans_.size() >= opt_.max_spans) {
     const std::uint64_t key = order_.front();
     order_.pop_front();
     auto it = spans_.find(key);
     if (it == spans_.end()) continue;  // already finished
-    if (it->second.ts_key != 0) by_ts_.erase(it->second.ts_key);
+    if (it->second.ts_key != 0) unbind_ts(it->second.ts_key, key);
     spans_.erase(it);
     dropped_total_->inc();
+  }
+  // Groups whose envelope never got a timestamp bound (e.g. a protocol that
+  // does not bind_ts) must not accumulate.
+  while (group_order_.size() > opt_.max_spans) {
+    groups_.erase(group_order_.front());
+    group_order_.pop_front();
   }
 }
 
@@ -135,19 +149,52 @@ void CommitTracer::stamp(ClientId client, std::uint64_t seq, Stage st,
 }
 
 void CommitTracer::bind_ts(ClientId client, std::uint64_t seq, Timestamp ts) {
+  const std::uint64_t key = span_key(client, seq);
   Span* s = find(client, seq);
-  if (s == nullptr) return;
-  s->ts_key = pack_ts(ts);
-  by_ts_[s->ts_key] = span_key(client, seq);
+  if (s != nullptr) {
+    s->ts_key = pack_ts(ts);
+    by_ts_[s->ts_key].push_back(key);
+    return;
+  }
+  // A batch envelope has no span of its own: fan the alias out to every
+  // member span registered by bind_batch.
+  auto git = groups_.find(key);
+  if (git == groups_.end()) return;
+  const std::uint64_t packed = pack_ts(ts);
+  for (std::uint64_t member : git->second) {
+    auto sit = spans_.find(member);
+    if (sit == spans_.end()) continue;
+    sit->second.ts_key = packed;
+    by_ts_[packed].push_back(member);
+  }
+  groups_.erase(git);
+}
+
+void CommitTracer::bind_batch(
+    ClientId env_client, std::uint64_t env_seq,
+    const std::vector<std::pair<ClientId, std::uint64_t>>& members) {
+  if (!enabled()) return;
+  std::vector<std::uint64_t> keys;
+  for (const auto& [client, seq] : members) {
+    const std::uint64_t key = span_key(client, seq);
+    if (spans_.contains(key)) keys.push_back(key);
+  }
+  if (keys.empty()) return;
+  const std::uint64_t env_key = span_key(env_client, env_seq);
+  if (groups_.emplace(env_key, std::move(keys)).second) {
+    group_order_.push_back(env_key);
+  }
 }
 
 void CommitTracer::stamp_ts(Timestamp ts, Stage st, std::uint64_t now_us) {
   auto it = by_ts_.find(pack_ts(ts));
   if (it == by_ts_.end()) return;
-  auto sit = spans_.find(it->second);
-  if (sit == spans_.end()) return;
-  std::uint64_t& slot = sit->second.t[static_cast<std::size_t>(st)];
-  if (slot == 0) slot = now_us;
+  for (std::uint64_t key : it->second) {
+    auto sit = spans_.find(key);
+    if (sit == spans_.end()) continue;
+    std::uint64_t& slot = sit->second.t[static_cast<std::size_t>(st)];
+    if (slot == 0) slot = now_us;
+  }
 }
 
 void CommitTracer::record(const Span& s, std::uint64_t now_us) {
@@ -202,7 +249,7 @@ void CommitTracer::finish(ClientId client, std::uint64_t seq,
     }
   }
 
-  if (s.ts_key != 0) by_ts_.erase(s.ts_key);
+  if (s.ts_key != 0) unbind_ts(s.ts_key, key);
   spans_.erase(it);
 }
 

@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 #include "obs/metrics.h"
@@ -80,9 +82,18 @@ class CommitTracer {
   void stamp(ClientId client, std::uint64_t seq, Stage st, std::uint64_t now_us);
 
   // Registers `ts` as an alias key for the span, so later stages can stamp
-  // by timestamp alone.
+  // by timestamp alone. When (client, seq) is a batch envelope registered
+  // via bind_batch, the alias fans out to every traced member span instead:
+  // one PREPARE's ack/stability stamps land on each batched command.
   void bind_ts(ClientId client, std::uint64_t seq, Timestamp ts);
   void stamp_ts(Timestamp ts, Stage st, std::uint64_t now_us);
+
+  // Declares (env_client, env_seq) — a batch envelope the runtime is about
+  // to submit — as standing for the given member commands. Members without
+  // a live span (unsampled) are skipped; the group is consumed by the
+  // envelope's bind_ts.
+  void bind_batch(ClientId env_client, std::uint64_t env_seq,
+                  const std::vector<std::pair<ClientId, std::uint64_t>>& members);
 
   // Final stamp (kReply); folds the span into the stage histograms, maybe
   // emits a slow-command line, and retires the span.
@@ -106,9 +117,17 @@ class CommitTracer {
   Options opt_;
   std::uint64_t decide_counter_ = 0;
 
+  void unbind_ts(std::uint64_t ts_key, std::uint64_t span_key);
+
   std::unordered_map<std::uint64_t, Span> spans_;
-  std::unordered_map<std::uint64_t, std::uint64_t> by_ts_;  // packed ts -> key
+  // packed ts -> span keys. A batched PREPARE carries one timestamp for
+  // many commands, so the alias is multi-valued; unbatched spans keep a
+  // single entry.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> by_ts_;
+  // envelope span key -> member span keys, pending the envelope's bind_ts.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> groups_;
   std::deque<std::uint64_t> order_;  // insertion order, for bounded eviction
+  std::deque<std::uint64_t> group_order_;  // same, for unbound groups
 
   // Stage delta histograms (write path), indexed so that stage_hist_[i]
   // holds (t[i] - t[previous stamped stage]).

@@ -3,6 +3,8 @@
 #include <future>
 #include <utility>
 
+#include "common/batch.h"
+
 namespace crsm {
 
 NodeRuntime::NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
@@ -27,6 +29,11 @@ NodeRuntime::NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
     metrics_http_ = std::make_unique<obs::MetricsHttpServer>(
         *loop_, registry_, cfg_.obs.metrics_host, cfg_.obs.metrics_port);
   }
+  if (cfg_.max_batch_cmds > 1) {
+    batch_.reserve(cfg_.max_batch_cmds);
+    batch_size_hist_ = &registry_.histogram(
+        "crsm_batch_cmds", "commands per protocol submission (batch size)");
+  }
   registry_.add_collector([this](obs::Registry& r) { collect_metrics(r); });
   // The checkpoint (if any) must be in the state machine before the
   // protocol exists: start() replays the WAL only above recovery_floor().
@@ -36,7 +43,12 @@ NodeRuntime::NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
   transport_.set_client_handlers(
       [this](std::uint64_t conn, const Message& m) { on_client_message(conn, m); },
       [this](std::uint64_t conn) { on_client_closed(conn); });
-  loop_->set_pass_end_hook([this] { flush_durability(); });
+  // Pass-end order matters: cut the pass's command batch first so its WAL
+  // append lands inside the same fsync the durability flush issues.
+  loop_->set_pass_end_hook([this] {
+    flush_batch();
+    flush_durability();
+  });
 }
 
 NodeRuntime::~NodeRuntime() { stop(); }
@@ -67,13 +79,8 @@ void NodeRuntime::stop() {
 
 void NodeRuntime::submit(Command cmd) {
   loop_->post([this, cmd = std::move(cmd)]() mutable {
-    const ClientId client = cmd.client;
-    const std::uint64_t seq = cmd.seq;
-    if (tracer_ && tracer_->begin(client, seq, net::EventLoop::mono_us())) {
-      tracer_->stamp(client, seq, obs::Stage::kSubmit,
-                     net::EventLoop::mono_us());
-    }
-    proto_->submit(std::move(cmd));
+    if (tracer_) tracer_->begin(cmd.client, cmd.seq, net::EventLoop::mono_us());
+    enqueue_write(std::move(cmd));
   });
 }
 
@@ -149,6 +156,15 @@ void NodeRuntime::collect_metrics(obs::Registry& r) {
   sink("crsm_reads_served_total",
        reads_served_.load(std::memory_order_relaxed));
 
+  const BatchStats bs = batch_stats();
+  sink("crsm_batch_cmds_total", bs.cmds);
+  sink("crsm_batch_submissions_total", bs.submissions);
+  r.gauge("crsm_cmds_per_prepare")
+      .set(bs.submissions == 0
+               ? 0.0
+               : static_cast<double>(bs.cmds) /
+                     static_cast<double>(bs.submissions));
+
   proto_->fill_metrics(sink);
   sm_->fill_metrics(sink);
 }
@@ -173,6 +189,64 @@ void NodeRuntime::dispatch(HeldSend&& send) {
   } else {
     transport_.multicast(cfg_.id, send.tos, send.frame);
   }
+}
+
+void NodeRuntime::enqueue_write(Command cmd) {
+  batch_cmds_.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.max_batch_cmds <= 1) {
+    // Batching off: the pre-batching submit path, one protocol submission
+    // per command. kSubmit coincides with acceptance.
+    if (tracer_ && tracer_->active()) {
+      tracer_->stamp(cmd.client, cmd.seq, obs::Stage::kSubmit,
+                     net::EventLoop::mono_us());
+    }
+    batch_submissions_.fetch_add(1, std::memory_order_relaxed);
+    proto_->submit(std::move(cmd));
+    return;
+  }
+  // Byte cap: cut the running batch before a command that would overflow
+  // it. An oversized command lands in the (now empty) buffer and ships as a
+  // singleton at the next cut — the cap bounds envelopes, not commands.
+  if (!batch_.empty() && cfg_.max_batch_bytes != 0 &&
+      batch_bytes_ + cmd.payload.size() > cfg_.max_batch_bytes) {
+    flush_batch();
+  }
+  batch_bytes_ += cmd.payload.size();
+  batch_.push_back(std::move(cmd));
+  if (batch_.size() >= cfg_.max_batch_cmds) flush_batch();
+}
+
+void NodeRuntime::flush_batch() {
+  if (batch_.empty()) return;
+  batch_submissions_.fetch_add(1, std::memory_order_relaxed);
+  if (batch_size_hist_) batch_size_hist_->observe(batch_.size());
+  const bool traced = tracer_ && tracer_->active();
+  if (traced) {
+    // The batched command's kSubmit is the batch cut: queue-delay up to
+    // here is time spent waiting for the batch to fill / the pass to end.
+    const std::uint64_t now = net::EventLoop::mono_us();
+    for (const Command& c : batch_) {
+      tracer_->stamp(c.client, c.seq, obs::Stage::kSubmit, now);
+    }
+  }
+  if (batch_.size() == 1) {
+    // Singleton cut: no envelope, the bare command replicates as before.
+    Command single = std::move(batch_.front());
+    batch_.clear();
+    batch_bytes_ = 0;
+    proto_->submit(std::move(single));
+    return;
+  }
+  Command env = make_batch(batch_, cfg_.id, batch_counter_++);
+  if (traced) {
+    std::vector<std::pair<ClientId, std::uint64_t>> members;
+    members.reserve(batch_.size());
+    for (const Command& c : batch_) members.emplace_back(c.client, c.seq);
+    tracer_->bind_batch(env.client, env.seq, members);
+  }
+  batch_.clear();
+  batch_bytes_ = 0;
+  proto_->submit(std::move(env));
 }
 
 void NodeRuntime::flush_durability() {
@@ -211,9 +285,25 @@ void NodeRuntime::install_checkpoint(std::string_view blob) {
 }
 
 void NodeRuntime::deliver(const Command& cmd, Timestamp ts, bool local_origin) {
+  if (is_batch(cmd)) {
+    // One replicated entry, many client commands: apply them in envelope
+    // order (every replica splits identically, so execution order agrees).
+    for (const Command& member : split_batch(cmd)) {
+      apply_and_reply(member, ts, local_origin);
+    }
+  } else {
+    apply_and_reply(cmd, ts, local_origin);
+  }
+  // One checkpoint decision per delivered entry, after the whole batch has
+  // applied: a mid-batch checkpoint would cover ts with only a prefix of
+  // the batch in the snapshot.
+  storage_.note_commit(*sm_, ts);
+}
+
+void NodeRuntime::apply_and_reply(const Command& cmd, Timestamp ts,
+                                  bool local_origin) {
   const std::string output = sm_->apply(cmd);
   executed_.fetch_add(1, std::memory_order_relaxed);
-  storage_.note_commit(*sm_, ts);
   if (commit_hook_) commit_hook_(cmd, ts, local_origin);
   if (!local_origin) return;
   const bool traced = tracer_ && tracer_->active();
@@ -300,12 +390,8 @@ void NodeRuntime::on_client_message(std::uint64_t conn, const Message& m) {
   // The decoded command views the connection's receive buffer; copying into
   // an owned Command here is the copy-on-retain point.
   Command owned = m.cmd;
-  const ClientId client = owned.client;
-  const std::uint64_t seq = owned.seq;
-  if (tracer_ && tracer_->begin(client, seq, net::EventLoop::mono_us())) {
-    tracer_->stamp(client, seq, obs::Stage::kSubmit, net::EventLoop::mono_us());
-  }
-  proto_->submit(std::move(owned));
+  if (tracer_) tracer_->begin(owned.client, owned.seq, net::EventLoop::mono_us());
+  enqueue_write(std::move(owned));
 }
 
 void NodeRuntime::on_client_closed(std::uint64_t conn) {

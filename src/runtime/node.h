@@ -83,6 +83,15 @@ struct NodeConfig {
   // kUring on a kernel/seccomp profile without io_uring falls back to epoll
   // with a logged warning (io_backend() reports what actually runs).
   net::IoBackend io_backend = net::IoBackend::kEpoll;
+  // Protocol-level command batching: client write commands arriving within
+  // one event-loop pass accumulate and are replicated as one batch-envelope
+  // command (one PREPARE, one timestamp/ack round, one WAL record). 1
+  // disables batching (every command submits alone); a batch is cut early
+  // when it reaches max_batch_cmds commands or adding a command would push
+  // it past max_batch_bytes of payload (0 = no byte cap; a single oversized
+  // command always ships, alone). Reads are never batched.
+  std::size_t max_batch_cmds = 1;
+  std::size_t max_batch_bytes = 256 * 1024;
   NodeObsOptions obs;
 };
 
@@ -136,6 +145,17 @@ class NodeRuntime final : private StorageBackedEnv {
 
   [[nodiscard]] std::uint64_t executed() const {
     return executed_.load(std::memory_order_relaxed);
+  }
+  // Protocol-batching counters: write commands accepted into the submit
+  // path vs. submissions handed to the protocol (each = one PREPARE round
+  // at the origin). cmds / submissions is the achieved cmds-per-PREPARE.
+  struct BatchStats {
+    std::uint64_t cmds = 0;
+    std::uint64_t submissions = 0;
+  };
+  [[nodiscard]] BatchStats batch_stats() const {
+    return {batch_cmds_.load(std::memory_order_relaxed),
+            batch_submissions_.load(std::memory_order_relaxed)};
   }
   [[nodiscard]] std::uint64_t reads_served() const {
     return reads_served_.load(std::memory_order_relaxed);
@@ -201,6 +221,14 @@ class NodeRuntime final : private StorageBackedEnv {
   void dispatch(HeldSend&& send);
   void flush_durability();
 
+  // Protocol batching: buffers a client write for the pass's batch (or
+  // submits it straight through when batching is off) and cuts the batch
+  // at the caps / at pass end.
+  void enqueue_write(Command cmd);
+  void flush_batch();
+  // The shared per-command tail of deliver(): apply, count, hooks, reply.
+  void apply_and_reply(const Command& cmd, Timestamp ts, bool local_origin);
+
   NodeConfig cfg_;
   bool io_fell_back_ = false;
   obs::Registry registry_;  // before everything that registers metrics
@@ -216,6 +244,14 @@ class NodeRuntime final : private StorageBackedEnv {
   CommitHook commit_hook_;
   ReadHook read_hook_;
   std::vector<HeldSend> held_;
+
+  // Loop-thread-only batch accumulator (flushed at the caps / pass end).
+  std::vector<Command> batch_;
+  std::size_t batch_bytes_ = 0;
+  std::uint64_t batch_counter_ = 0;  // envelope seq counter for this origin
+  obs::LatencyHistogram* batch_size_hist_ = nullptr;
+  std::atomic<std::uint64_t> batch_cmds_{0};
+  std::atomic<std::uint64_t> batch_submissions_{0};
 
   // client id -> client connection that most recently requested with it.
   std::unordered_map<ClientId, std::uint64_t> client_routes_;

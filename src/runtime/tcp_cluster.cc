@@ -15,6 +15,8 @@ std::unique_ptr<NodeRuntime> TcpCluster::make_node(ReplicaId id,
   cfg.transport.policy = opt_.policy;
   cfg.transport.max_coalesce_bytes = opt_.max_coalesce_bytes;
   cfg.io_backend = opt_.io_backend;
+  cfg.max_batch_cmds = opt_.max_batch_cmds;
+  cfg.max_batch_bytes = opt_.max_batch_bytes;
   cfg.obs = opt_.obs;
   cfg.obs.metrics_port = 0;  // per-node ephemeral; fixed ports would collide
   if (!opt_.log_dir.empty()) {
@@ -148,6 +150,17 @@ TransportStats TcpCluster::stats() const {
     total.sqe_submits += s.sqe_submits;
     total.sqes_submitted += s.sqes_submitted;
     total.uring_fallbacks += s.uring_fallbacks;
+  }
+  return total;
+}
+
+NodeRuntime::BatchStats TcpCluster::batch_stats() const {
+  NodeRuntime::BatchStats total;
+  for (const auto& node : nodes_) {
+    if (!node) continue;
+    const NodeRuntime::BatchStats s = node->batch_stats();
+    total.cmds += s.cmds;
+    total.submissions += s.submissions;
   }
   return total;
 }

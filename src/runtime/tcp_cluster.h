@@ -38,6 +38,10 @@ struct TcpClusterOptions {
   // Per-pass wire coalescing budget per connection; 0 disables coalescing
   // (every send flushes immediately). See TcpTransportOptions.
   std::size_t max_coalesce_bytes = 256 * 1024;
+  // Protocol-level command batching, applied to every node (see
+  // NodeConfig::max_batch_cmds / max_batch_bytes). 1 = batching off.
+  std::size_t max_batch_cmds = 1;
+  std::size_t max_batch_bytes = 256 * 1024;
   // Observability knobs applied to every node (metrics_port stays 0:
   // ephemeral per node, readable via node(r).metrics_port()).
   NodeObsOptions obs;
@@ -108,6 +112,10 @@ class TcpCluster {
 
   // Aggregate wire counters across every node's transport.
   [[nodiscard]] TransportStats stats() const;
+
+  // Aggregate batching counters across every live node (cmds accepted /
+  // protocol submissions; their ratio is the achieved cmds-per-PREPARE).
+  [[nodiscard]] NodeRuntime::BatchStats batch_stats() const;
 
  private:
   [[nodiscard]] std::unique_ptr<NodeRuntime> make_node(ReplicaId id,

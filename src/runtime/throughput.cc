@@ -228,6 +228,8 @@ ThroughputResult run_tcp_throughput(const ThroughputOptions& opt,
   if (opt.stage_breakdown) {
     copt.obs.trace_sample_every = 16;  // dense enough for 2 s windows
   }
+  copt.max_batch_cmds = opt.max_batch_cmds;
+  copt.max_batch_bytes = opt.max_batch_bytes;
   TcpCluster cluster(opt.num_replicas, factory,
                      [] { return std::make_unique<KvStore>(); }, copt);
 
@@ -252,10 +254,16 @@ ThroughputResult run_tcp_throughput(const ThroughputOptions& opt,
   std::array<StageLatency, kNumStages> stages{};
 
   TransportStats before, after;
+  NodeRuntime::BatchStats bbefore, bafter;
   const LoopWindow w = drive_closed_loop(
-      cluster, opt, [&] { before = cluster.stats(); },
+      cluster, opt,
+      [&] {
+        before = cluster.stats();
+        bbefore = cluster.batch_stats();
+      },
       [&] {
         after = cluster.stats();
+        bafter = cluster.batch_stats();
         if (!opt.stage_breakdown) return;
         for (ReplicaId r = 0; r < opt.num_replicas; ++r) {
           if (!cluster.alive(r)) continue;
@@ -285,6 +293,11 @@ ThroughputResult run_tcp_throughput(const ThroughputOptions& opt,
                                         stages[i].p50_us / c,
                                         stages[i].p99_us / c});
     }
+  }
+  const std::uint64_t bsubs = bafter.submissions - bbefore.submissions;
+  if (bsubs > 0) {
+    res.cmds_per_prepare = static_cast<double>(bafter.cmds - bbefore.cmds) /
+                           static_cast<double>(bsubs);
   }
   // Per-replica busy time is not tracked by the event-loop runtime;
   // kops_per_sec_bottleneck/max_cpu_share stay zero (see throughput.h).

@@ -33,6 +33,11 @@ struct ThroughputOptions {
   // only). Sampled (every 16th origin command), so the overhead it measures
   // is also the overhead it costs.
   bool stage_breakdown = false;
+  // Protocol-level command batching on every node (TCP runtime only; see
+  // NodeConfig::max_batch_cmds / max_batch_bytes). 1 = off; the thread
+  // runtime always reports cmds_per_prepare = 1.
+  std::size_t max_batch_cmds = 1;
+  std::size_t max_batch_bytes = 256 * 1024;
 };
 
 // One commit-pipeline stage over the whole run: count-weighted p50/p99
@@ -72,6 +77,10 @@ struct ThroughputResult {
   // io_uring submission batching: SQEs per io_uring_enter that submitted
   // work. Zero on epoll / thread runtimes.
   double sqes_per_submit = 0.0;
+  // Protocol batching at work: client write commands carried per protocol
+  // submission (PREPARE round at the origin) over the measurement window.
+  // 1.0 with batching off and on the thread runtime.
+  double cmds_per_prepare = 1.0;
   // Committed reads per second (only with ThroughputOptions::read_fraction;
   // reads are excluded from the write-pipeline per-cmd counters above).
   double reads_per_sec = 0.0;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/batch.h"
 #include "storage/checkpoint.h"
 
 namespace crsm {
@@ -25,6 +26,47 @@ struct SimWorld::ReplicaCtx final : public ProtocolEnv {
   Timestamp floor = kZeroTimestamp;      // installed checkpoint's coverage
   std::string log_path;                  // non-empty when file-backed
   CrashLossyLog* lossy_log = nullptr;    // set when opt.lossy_crash
+
+  // Submit-side batch accumulator (opt.max_batch_cmds > 1). The flush is a
+  // same-time simulator event scheduled when the buffer goes non-empty, so
+  // it runs after every submit already enqueued at this instant — batching
+  // is deterministic. A crash clears the buffer (commands never reached the
+  // protocol, so nothing was acknowledged).
+  std::vector<Command> batch;
+  std::uint64_t batch_counter = 0;
+  bool flush_scheduled = false;
+
+  void enqueue_write(const Command& cmd) {
+    if (world->opt_.max_batch_cmds <= 1) {
+      proto->submit(cmd);
+      return;
+    }
+    batch.push_back(cmd);
+    if (batch.size() >= world->opt_.max_batch_cmds) {
+      flush_batch();
+      return;
+    }
+    if (flush_scheduled) return;
+    flush_scheduled = true;
+    const std::uint64_t gen = generation;
+    world->sim_.after(0, [this, gen] {
+      flush_scheduled = false;
+      if (alive && generation == gen) flush_batch();
+    });
+  }
+
+  void flush_batch() {
+    if (batch.empty()) return;
+    if (batch.size() == 1) {
+      const Command single = std::move(batch.front());
+      batch.clear();
+      proto->submit(single);
+      return;
+    }
+    const Command env = make_batch(batch, id, batch_counter++);
+    batch.clear();
+    proto->submit(env);
+  }
 
   // --- ProtocolEnv ---
   [[nodiscard]] ReplicaId self() const override { return id; }
@@ -54,8 +96,20 @@ struct SimWorld::ReplicaCtx final : public ProtocolEnv {
   [[nodiscard]] Timestamp recovery_floor() const override { return floor; }
 
   void deliver(const Command& cmd, Timestamp ts, bool local_origin) override {
+    if (is_batch(cmd)) {
+      std::uint32_t sub = 0;
+      for (const Command& member : split_batch(cmd)) {
+        apply_one(member, ts, sub++, local_origin);
+      }
+      return;
+    }
+    apply_one(cmd, ts, 0, local_origin);
+  }
+
+  void apply_one(const Command& cmd, Timestamp ts, std::uint32_t sub,
+                 bool local_origin) {
     const std::string out = sm->apply(cmd);
-    executed.push_back(ExecRecord{ts, cmd, world->sim_.now()});
+    executed.push_back(ExecRecord{ts, cmd, world->sim_.now(), sub});
     if (world->commit_hook_) world->commit_hook_(id, cmd, ts, local_origin);
   }
 
@@ -131,7 +185,7 @@ SimClock& SimWorld::clock(ReplicaId i) { return *replicas_.at(i)->clk; }
 void SimWorld::submit(ReplicaId i, Command cmd) {
   ReplicaCtx* ctx = replicas_.at(i).get();
   sim_.after(0, [ctx, cmd = std::move(cmd)]() {
-    if (ctx->alive) ctx->proto->submit(cmd);
+    if (ctx->alive) ctx->enqueue_write(cmd);
   });
 }
 
@@ -154,6 +208,9 @@ void SimWorld::crash(ReplicaId i) {
   ReplicaCtx* ctx = replicas_.at(i).get();
   ctx->alive = false;
   ++ctx->generation;
+  // Un-submitted batch buffer dies with the replica: nothing in it was
+  // acknowledged or replicated.
+  ctx->batch.clear();
   // Power loss: the un-fsynced log tail does not survive the crash.
   if (ctx->lossy_log) ctx->lossy_log->drop_unsynced();
   network_->crash(i);

@@ -25,6 +25,10 @@ struct ExecRecord {
   Timestamp ts;
   Command cmd;
   Tick sim_time_us = 0;
+  // Position inside the batch envelope this command rode in (0 for
+  // singletons): members of one batch share ts, so per-replica execution
+  // order is the lexicographic (ts, sub).
+  std::uint32_t sub = 0;
 };
 
 struct SimWorldOptions {
@@ -47,6 +51,13 @@ struct SimWorldOptions {
   // a no-op, so every crash loses the full tail even though the protocol
   // called sync at the right points. Only meaningful with lossy_crash.
   bool sync_is_noop = false;
+  // Protocol-level command batching: writes submitted at the same simulated
+  // instant at a replica accumulate and replicate as one batch envelope,
+  // cut at this many commands (1 = off). Deterministic: the flush runs as a
+  // same-time simulator event, after every already-enqueued submit. A crash
+  // drops the replica's un-submitted buffer (those commands were never
+  // acknowledged).
+  std::size_t max_batch_cmds = 1;
 };
 
 // Owns the simulator, network, clocks, logs, state machines and protocol

@@ -49,6 +49,14 @@ Message random_message(Rng& rng, MsgType type) {
       m.records.push_back(LogRecord::commit(ts));
     }
   }
+  const std::size_t ncmds = rng.uniform_int(0, 5);
+  for (std::size_t i = 0; i < ncmds; ++i) {
+    Command c;
+    c.client = rng.uniform_int(1, 100);
+    c.seq = rng.uniform_int(1, 100);
+    c.payload = random_bytes(rng, 80);
+    m.cmds.push_back(std::move(c));
+  }
   m.blob = random_bytes(rng, 300);
   return m;
 }

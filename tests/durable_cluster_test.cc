@@ -16,9 +16,11 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "clockrsm/clock_rsm.h"
+#include "common/batch.h"
 #include "kv/kv_store.h"
 #include "rsm/linearizability.h"
 #include "runtime/tcp_cluster.h"
@@ -55,10 +57,16 @@ TcpCluster::ProtocolFactory durable_clock_rsm_factory(std::size_t n) {
 // Every crash-restart scenario runs under both io backends: recovery and
 // held-until-durable ordering must hold whether frames leave through
 // writev or through io_uring SQEs. Uring cases skip where unavailable.
-class DurableClusterTest : public ::testing::TestWithParam<net::IoBackend> {
+// And under batch sizes {1, 16}: a kill -9 must be survivable whether the
+// WAL holds one record per command or one envelope record per batch.
+class DurableClusterTest
+    : public ::testing::TestWithParam<std::tuple<net::IoBackend, std::size_t>> {
  protected:
+  net::IoBackend backend() const { return std::get<0>(GetParam()); }
+  std::size_t batch() const { return std::get<1>(GetParam()); }
+
   void SetUp() override {
-    if (GetParam() == net::IoBackend::kUring && !net::uring_available()) {
+    if (backend() == net::IoBackend::kUring && !net::uring_available()) {
       GTEST_SKIP() << "io_uring unavailable on this kernel";
     }
     std::string name =
@@ -74,7 +82,8 @@ class DurableClusterTest : public ::testing::TestWithParam<net::IoBackend> {
 
   TcpClusterOptions volatile_opts() const {
     TcpClusterOptions o;
-    o.io_backend = GetParam();
+    o.io_backend = backend();
+    o.max_batch_cmds = batch();
     return o;
   }
 
@@ -90,9 +99,12 @@ class DurableClusterTest : public ::testing::TestWithParam<net::IoBackend> {
 
 INSTANTIATE_TEST_SUITE_P(
     Backends, DurableClusterTest,
-    ::testing::Values(net::IoBackend::kEpoll, net::IoBackend::kUring),
-    [](const ::testing::TestParamInfo<net::IoBackend>& info) {
-      return std::string(net::io_backend_name(info.param));
+    ::testing::Combine(
+        ::testing::Values(net::IoBackend::kEpoll, net::IoBackend::kUring),
+        ::testing::Values<std::size_t>(1, 16)),
+    [](const auto& info) {
+      return std::string(net::io_backend_name(std::get<0>(info.param))) +
+             "_b" + std::to_string(std::get<1>(info.param));
     });
 
 // The acceptance scenario: kill -9 a replica mid-run, restart it from its
@@ -333,9 +345,19 @@ TEST_P(DurableClusterTest, KilledNodesWalReplaysCleanly) {
   const ReplayResult rr = replay_log(wal.records());
   // Every client op that was acknowledged had reached a majority; replica
   // 2 executed all of them before the kill, so its commit marks cover them.
-  EXPECT_EQ(rr.committed.size(), static_cast<std::size_t>(kOps));
-  for (std::size_t i = 1; i < rr.committed.size(); ++i) {
-    EXPECT_LT(rr.committed[i - 1].ts, rr.committed[i].ts);
+  // With batching on, a record may be an envelope holding several member
+  // commands — count members, not records. Record timestamps stay strictly
+  // increasing either way: members share their envelope's ts, but each WAL
+  // record carries exactly one (enveloped or bare) command.
+  std::size_t member_cmds = 0;
+  for (std::size_t i = 0; i < rr.committed.size(); ++i) {
+    if (i > 0) EXPECT_LT(rr.committed[i - 1].ts, rr.committed[i].ts);
+    member_cmds +=
+        is_batch(rr.committed[i].cmd) ? split_batch(rr.committed[i].cmd).size() : 1;
+  }
+  EXPECT_EQ(member_cmds, static_cast<std::size_t>(kOps));
+  if (batch() == 1) {
+    EXPECT_EQ(rr.committed.size(), static_cast<std::size_t>(kOps));
   }
   cluster.stop();
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/batch.h"
 #include "common/codec.h"
 #include "common/message.h"
 #include "common/wire_frame.h"
@@ -59,6 +60,14 @@ Message random_message(Rng& rng, MsgType type) {
     } else {
       m.records.push_back(LogRecord::commit(ts));
     }
+  }
+  const std::size_t ncmds = rng.uniform_int(0, 4);
+  for (std::size_t i = 0; i < ncmds; ++i) {
+    Command c;
+    c.client = rng.uniform_int(1, 100);
+    c.seq = rng.uniform_int(1, 100);
+    c.payload = random_bytes(rng, 60);
+    m.cmds.push_back(std::move(c));
   }
   m.blob = random_bytes(rng, 150);
   return m;
@@ -338,6 +347,212 @@ TEST(FrameAssemblerFuzz, PartialTailSurvivesUntilCompleted) {
   std::string reencoded;
   decoded.encode(&reencoded);
   EXPECT_EQ(reencoded, frame);
+}
+
+// --- Batched PREPARE frames ------------------------------------------------
+//
+// With command batching on, a PREPARE's command is a batch envelope: its
+// payload is itself an encoded kCmdBatch frame (common/batch.h). The outer
+// codec treats that payload as opaque bytes, so the nested frame is only
+// decoded at execution time by split_batch(). Two corruption surfaces: the
+// socket can tear or flip the outer PREPARE, and a torn WAL tail or disk
+// corruption can feed split_batch a damaged envelope. Both must fail stop
+// with CodecError — never read out of bounds, never yield a partial batch.
+
+Command random_batch_envelope(Rng& rng, std::size_t n, std::size_t max_payload) {
+  std::vector<Command> members;
+  for (std::size_t i = 0; i < n; ++i) {
+    Command c;
+    c.client = rng.uniform_int(1, 100);
+    c.seq = rng.uniform_int(1, 1'000'000);
+    c.payload = random_bytes(rng, max_payload);
+    members.push_back(std::move(c));
+  }
+  return make_batch(members, static_cast<ReplicaId>(rng.uniform_int(0, 10)),
+                    rng.uniform_int(0, 1'000'000));
+}
+
+Message batched_prepare(Rng& rng, const Command& envelope) {
+  Message m;
+  m.type = MsgType::kPrepare;
+  m.from = static_cast<ReplicaId>(rng.uniform_int(0, 10));
+  m.epoch = rng.uniform_int(0, 100);
+  m.ts = Timestamp{rng.uniform_int(1, 1'000'000),
+                   static_cast<ReplicaId>(rng.uniform_int(0, 10))};
+  m.cmd = envelope;
+  return m;
+}
+
+// Offset of the member-count varint inside an encoded envelope payload.
+// Envelope layout (Message::encode): varint frame length, then the body —
+// u8 type, u32 from, varint epoch, varint count, members. make_batch always
+// writes epoch 0 and a count < 128, so the count is one byte; the assertion
+// in the caller pins that assumption against future layout drift.
+std::size_t batch_count_offset(std::string_view payload) {
+  std::size_t i = 0;
+  while ((static_cast<unsigned char>(payload[i]) & 0x80) != 0) ++i;  // frame len
+  ++i;
+  i += 1 + 4;  // u8 type + u32 from
+  while ((static_cast<unsigned char>(payload[i]) & 0x80) != 0) ++i;  // epoch
+  ++i;
+  return i;
+}
+
+TEST(BatchedPrepareFuzz, EnvelopeSurvivesOuterRoundTrip) {
+  Rng rng(0xBA7C4ED);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = rng.uniform_int(1, 16);
+    std::vector<Command> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      Command c;
+      c.client = rng.uniform_int(1, 100);
+      c.seq = rng.uniform_int(1, 1'000'000);
+      c.payload = random_bytes(rng, 80);
+      members.push_back(std::move(c));
+    }
+    const Command env = make_batch(members, 3, iter);
+    const std::string stream = batched_prepare(rng, env).encode();
+    for (bool view_mode : {false, true}) {
+      const std::vector<Message> decoded = drain(stream, view_mode);
+      ASSERT_EQ(decoded.size(), 1u);
+      // The envelope that comes off the wire splits back into exactly the
+      // member commands that went in, in order.
+      EXPECT_EQ(split_batch(decoded[0].cmd), members);
+    }
+  }
+}
+
+TEST(BatchedPrepareFuzz, TruncationMidEnvelopeThrows) {
+  Rng rng(0x7EA4);
+  const Command env = random_batch_envelope(rng, 8, 60);
+  const std::string stream = batched_prepare(rng, env).encode();
+  // Any mid-frame cut — including every offset inside the nested envelope
+  // bytes — must throw CodecError from the outer decoder.
+  for (std::size_t cut = 0; cut < stream.size(); ++cut) {
+    for (bool view_mode : {false, true}) {
+      std::size_t pos = 0;
+      EXPECT_THROW(
+          (void)(view_mode
+                     ? Message::decode_stream_view(
+                           std::string_view(stream).substr(0, cut), &pos)
+                     : Message::decode_stream(
+                           std::string_view(stream).substr(0, cut), &pos)),
+          CodecError)
+          << "cut at " << cut;
+    }
+  }
+}
+
+TEST(BatchedPrepareFuzz, TruncatedEnvelopePayloadFailsStopInSplit) {
+  // A torn WAL tail can persist a prefix of an envelope payload. Replay
+  // hands that prefix to split_batch, which must throw — a partial batch
+  // must never execute.
+  Rng rng(0x70A2);
+  const Command env = random_batch_envelope(rng, 8, 60);
+  const std::string_view full = env.payload.view();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Command torn = env;
+    torn.payload = std::string(full.substr(0, cut));
+    EXPECT_THROW((void)split_batch(torn), CodecError) << "cut at " << cut;
+  }
+}
+
+TEST(BatchedPrepareFuzz, BitFlippedCommandCountFailsStopOrParses) {
+  Rng rng(0xB17F11);
+  const Command env = random_batch_envelope(rng, 8, 40);
+  const std::string_view payload = env.payload.view();
+  const std::size_t off = batch_count_offset(payload);
+  ASSERT_EQ(static_cast<unsigned char>(payload[off]), 8u)
+      << "count varint not where the layout comment says";
+  for (int bit = 0; bit < 8; ++bit) {
+    Command corrupt = env;
+    std::string raw(payload);
+    raw[off] = static_cast<char>(static_cast<unsigned char>(raw[off]) ^
+                                 (1u << bit));
+    corrupt.payload = std::move(raw);
+    try {
+      // A flipped count either still parses (count landed on a value the
+      // remaining bytes happen to satisfy — then the trailing-byte check or
+      // member decode catches the mismatch) or throws. Never OOB; the CI
+      // sanitizer job backs that claim.
+      (void)split_batch(corrupt);
+    } catch (const CodecError&) {
+      // The only acceptable failure mode.
+    }
+  }
+}
+
+TEST(BatchedPrepareFuzz, ImplausibleCommandCountThrowsBeforeAllocating) {
+  // Two near-empty members, count byte rewritten to 127: far more commands
+  // than the remaining bytes could hold. The decoder's plausibility guard
+  // must reject it up front instead of reserving storage for a length the
+  // attacker chose.
+  Rng rng(0x1337);
+  const Command env = random_batch_envelope(rng, 2, 0);
+  const std::size_t off = batch_count_offset(env.payload.view());
+  Command corrupt = env;
+  std::string raw(env.payload.view());
+  ASSERT_EQ(static_cast<unsigned char>(raw[off]), 2u);
+  raw[off] = 0x7f;
+  corrupt.payload = std::move(raw);
+  EXPECT_THROW((void)split_batch(corrupt), CodecError);
+}
+
+TEST(BatchedPrepareFuzz, ZeroCommandCountFailsStop) {
+  Rng rng(0x0);
+  const Command env = random_batch_envelope(rng, 2, 20);
+  const std::size_t off = batch_count_offset(env.payload.view());
+  Command corrupt = env;
+  std::string raw(env.payload.view());
+  raw[off] = 0;
+  corrupt.payload = std::move(raw);
+  // An envelope with zero members is never produced (singletons ship bare);
+  // decoding one is corruption, not a degenerate batch.
+  EXPECT_THROW((void)split_batch(corrupt), CodecError);
+}
+
+TEST(BatchedPrepareFuzz, OneByteReadsAcrossBatchBoundaries) {
+  // A coalesced flush of batched PREPAREs interleaved with acks, sliced one
+  // byte per read: every envelope boundary and every member boundary inside
+  // each envelope is torn across reads. Reassembly must reproduce each
+  // envelope byte-for-byte, and each reassembled envelope must split into
+  // its original members.
+  Rng rng(0x1B17E);
+  std::string stream;
+  std::vector<std::vector<Command>> expected_members;
+  for (int i = 0; i < 24; ++i) {
+    if (i % 3 == 2) {
+      // Interleave non-batched traffic, as a real pass would.
+      random_message(rng, MsgType::kPrepareOk).encode(&stream);
+      continue;
+    }
+    const std::size_t n = rng.uniform_int(1, 16);
+    std::vector<Command> members;
+    for (std::size_t j = 0; j < n; ++j) {
+      Command c;
+      c.client = rng.uniform_int(1, 100);
+      c.seq = rng.uniform_int(1, 1'000'000);
+      c.payload = random_bytes(rng, 64);
+      members.push_back(std::move(c));
+    }
+    const Command env = make_batch(members, static_cast<ReplicaId>(i % 5),
+                                   static_cast<std::uint64_t>(i));
+    batched_prepare(rng, env).encode(&stream);
+    expected_members.push_back(std::move(members));
+  }
+
+  const std::vector<Message> decoded =
+      drain_chunked(stream, std::vector<std::size_t>(stream.size(), 1));
+  expect_round_trip(decoded, stream, "batched one-byte");
+  std::size_t batch_idx = 0;
+  for (const Message& m : decoded) {
+    if (m.type != MsgType::kPrepare) continue;
+    ASSERT_TRUE(is_batch(m.cmd));
+    ASSERT_LT(batch_idx, expected_members.size());
+    EXPECT_EQ(split_batch(m.cmd), expected_members[batch_idx]);
+    ++batch_idx;
+  }
+  EXPECT_EQ(batch_idx, expected_members.size());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTypes, FrameStreamFuzz,

@@ -8,6 +8,7 @@
 //             [--protocol clockrsm|paxos|paxos-bcast|mencius] [--stats-every 5] \
 //             [--log-dir DIR] [--checkpoint-every N] [--no-group-commit] \
 //             [--io-backend epoll|uring] [--max-coalesce-bytes N] \
+//             [--max-batch-cmds N] [--max-batch-bytes N] \
 //             [--metrics-port P] [--trace-sample N] [--slow-ms MS]
 //
 // The listen address is peers[id]. Runs until SIGINT/SIGTERM, printing a
@@ -32,6 +33,12 @@
 // (multishot recv, one submit per pass); on a kernel without io_uring the
 // node logs a warning and runs on epoll. --max-coalesce-bytes bounds the
 // per-pass wire coalescing budget (0 disables coalescing entirely).
+//
+// --max-batch-cmds N > 1 turns on protocol-level command batching: client
+// writes arriving within one event-loop pass replicate as one batch
+// envelope (one PREPARE, one ack round, one WAL record), cut early at N
+// commands or --max-batch-bytes of payload. See docs/OPERATIONS.md for
+// tuning guidance.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -64,6 +71,7 @@ void on_signal(int) { g_stop.store(true); }
                "[--no-group-commit] \\\n"
                "          [--io-backend epoll|uring] "
                "[--max-coalesce-bytes N] \\\n"
+               "          [--max-batch-cmds N] [--max-batch-bytes N] \\\n"
                "          [--metrics-port P] [--trace-sample N] "
                "[--slow-ms MS]\n",
                argv0);
@@ -103,6 +111,8 @@ int main(int argc, char** argv) {
   StorageOptions storage;
   net::IoBackend io_backend = net::IoBackend::kEpoll;
   std::size_t max_coalesce_bytes = 256 * 1024;
+  std::size_t max_batch_cmds = 1;
+  std::size_t max_batch_bytes = 256 * 1024;
   NodeObsOptions obs;
 
   try {
@@ -135,6 +145,11 @@ int main(int argc, char** argv) {
         }
       } else if (a == "--max-coalesce-bytes") {
         max_coalesce_bytes = std::stoull(next());
+      } else if (a == "--max-batch-cmds") {
+        max_batch_cmds = std::stoull(next());
+        if (max_batch_cmds == 0) max_batch_cmds = 1;
+      } else if (a == "--max-batch-bytes") {
+        max_batch_bytes = std::stoull(next());
       } else if (a == "--metrics-port") {
         obs.metrics_http = true;
         obs.metrics_host = "0.0.0.0";
@@ -190,6 +205,8 @@ int main(int argc, char** argv) {
   cfg.transport.max_coalesce_bytes = max_coalesce_bytes;
   cfg.storage = storage;
   cfg.io_backend = io_backend;
+  cfg.max_batch_cmds = max_batch_cmds;
+  cfg.max_batch_bytes = max_batch_bytes;
   cfg.obs = obs;
 
   NodeRuntime node(cfg, factory, [] { return std::make_unique<KvStore>(); });
@@ -203,11 +220,11 @@ int main(int argc, char** argv) {
   // logged a warning) by this point.
   std::fprintf(stderr,
                "crsm_node: replica %u (%s) listening on %s:%u, %zu peers "
-               "| io %s%s | coalesce %zu bytes\n",
+               "| io %s%s | coalesce %zu bytes | batch %zu cmds\n",
                id, protocol.c_str(), peers[id].host.c_str(), node.port(),
                n - 1, net::io_backend_name(node.io_backend()),
                node.io_fell_back() ? " (fell back from uring)" : "",
-               max_coalesce_bytes);
+               max_coalesce_bytes, max_batch_cmds);
   if (!storage.dir.empty()) {
     std::fprintf(stderr, "crsm_node[%u]: durable in %s (%s)%s\n", id,
                  storage.dir.c_str(),

@@ -11,7 +11,7 @@
 // Usage:
 //   dst_swarm [--seeds N] [--start-seed S] [--protocol P] [--jobs W]
 //             [--no-shrink] [--verify-determinism] [--inject-bug sync-noop]
-//             [--read-heavy] [--out DIR]
+//             [--read-heavy] [--batching] [--out DIR]
 //   dst_swarm --seed S [--protocol P] [...]     replay one generated seed
 //   dst_swarm --spec FILE [...]                 replay a written spec file
 //
@@ -22,6 +22,9 @@
 // --read-heavy: every Clock-RSM scenario carries a read-heavy workload
 //   (read fraction in [0.5, 0.95]) for dedicated stale-read hunting;
 //   without it roughly a third of Clock-RSM seeds are read-heavy anyway.
+// --batching: every replicating-protocol scenario runs with protocol-level
+//   command batching (max_batch_cmds in {4, 8, 16}) for dedicated
+//   batch-boundary hunting; without it roughly 30% of seeds batch anyway.
 // Exit status: 0 iff every scenario passed.
 #include <sys/wait.h>
 #include <unistd.h>
@@ -58,6 +61,7 @@ struct Args {
   bool verify_determinism = false;
   bool inject_sync_noop = false;
   bool read_heavy = false;
+  bool batching = false;
   std::string out_dir = "dst-failures";
   // Single-run modes.
   bool have_single_seed = false;
@@ -105,6 +109,8 @@ Args parse_args(int argc, char** argv) {
       a.inject_sync_noop = true;
     } else if (flag == "--read-heavy") {
       a.read_heavy = true;
+    } else if (flag == "--batching") {
+      a.batching = true;
     } else if (flag == "--out") {
       a.out_dir = next("--out");
     } else if (flag == "--seed") {
@@ -116,7 +122,8 @@ Args parse_args(int argc, char** argv) {
       std::printf(
           "usage: dst_swarm [--seeds N] [--start-seed S] [--protocol P]\n"
           "                 [--jobs W] [--no-shrink] [--verify-determinism]\n"
-          "                 [--inject-bug sync-noop] [--read-heavy] [--out DIR]\n"
+          "                 [--inject-bug sync-noop] [--read-heavy]\n"
+          "                 [--batching] [--out DIR]\n"
           "       dst_swarm --seed S [--protocol P]\n"
           "       dst_swarm --spec FILE\n"
           "protocols: clockrsm paxos paxos-bcast mencius consensus all\n");
@@ -143,6 +150,7 @@ GeneratorOptions generator_options(const Args& a) {
   }
   g.inject_sync_noop_bug = a.inject_sync_noop;
   g.read_heavy = a.read_heavy;
+  g.batching = a.batching;
   return g;
 }
 
@@ -189,6 +197,7 @@ std::string scenario_category(const ScenarioSpec& spec) {
   if (noise) append("noise");
   if (cat.empty()) cat = "faultless";
   if (spec.read_fraction > 0.0) cat += "/reads";
+  if (spec.max_batch_cmds > 1) cat += "/batch";
   return cat;
 }
 
