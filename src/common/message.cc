@@ -117,6 +117,11 @@ Shape shape_of(MsgType t) {
     case MsgType::kClientReply: return {.cmd = true, .blob = true};
     case MsgType::kClientRead: return {.cmd = true};
     case MsgType::kClientReadReply: return {.cmd = true, .blob = true};
+    case MsgType::kClientRedirect:
+      // a = the group that owns the command's key. A multi-group node sends
+      // this instead of applying a command the ShardRouter assigns elsewhere;
+      // the echoed (client, seq) lets the client match it to its request.
+      return {.a = true, .cmd = true};
   }
   return {};
 }

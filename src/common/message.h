@@ -58,7 +58,8 @@ namespace crsm {
   X(kClientRequest, 50, "CLIENTREQ") /* client -> node: cmd to replicate */    \
   X(kClientReply, 51, "CLIENTREPLY") /* node -> client: echo + output blob */  \
   X(kClientRead, 52, "CLIENTREAD")   /* client -> node: local read cmd */      \
-  X(kClientReadReply, 53, "CLIENTREADREPLY") /* node -> client: read output */
+  X(kClientReadReply, 53, "CLIENTREADREPLY") /* node -> client: read output */ \
+  X(kClientRedirect, 54, "CLIENTREDIRECT") /* node -> client: wrong group */
 
 enum class MsgType : std::uint8_t {
 #define CRSM_MSG_ENUM_MEMBER(id, value, name) id = value,

@@ -60,6 +60,9 @@ Message SyncClient::read_typed(MsgType want, int timeout_ms) {
       const Message m = Message::decode_stream(frames, &pos);
       assembler_.consume(pos);
       if (m.type == want) return m;
+      // A redirect must never be skipped: silently dropping it would turn a
+      // mis-routed command into a reply timeout with no diagnosis.
+      if (m.type == MsgType::kClientRedirect) return m;
       continue;  // ignore anything else
     }
     read_into_assembler(timeout_ms);
@@ -78,10 +81,13 @@ std::string SyncClient::call(const Command& cmd, int timeout_ms) {
   send_request(cmd);
   for (;;) {
     const Message reply = read_reply(timeout_ms);
-    if (reply.cmd.client == cmd.client && reply.cmd.seq == cmd.seq) {
-      return reply.blob.str();
+    if (reply.cmd.client != cmd.client || reply.cmd.seq != cmd.seq) {
+      continue;  // stale reply from an earlier (timed out) request
     }
-    // A stale reply from an earlier (timed out or duplicate) request.
+    if (reply.type == MsgType::kClientRedirect) {
+      throw WrongGroupError(static_cast<std::uint32_t>(reply.a));
+    }
+    return reply.blob.str();
   }
 }
 
@@ -89,9 +95,11 @@ std::string SyncClient::read_call(const Command& cmd, int timeout_ms) {
   send_read(cmd);
   for (;;) {
     const Message reply = read_read_reply(timeout_ms);
-    if (reply.cmd.client == cmd.client && reply.cmd.seq == cmd.seq) {
-      return reply.blob.str();
+    if (reply.cmd.client != cmd.client || reply.cmd.seq != cmd.seq) continue;
+    if (reply.type == MsgType::kClientRedirect) {
+      throw WrongGroupError(static_cast<std::uint32_t>(reply.a));
     }
+    return reply.blob.str();
   }
 }
 

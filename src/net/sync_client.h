@@ -16,6 +16,20 @@
 
 namespace crsm::net {
 
+// Thrown by call()/read_call() when a multi-group node answers with
+// kClientRedirect: the command's key belongs to replica group `owner`, and
+// nothing was applied. A shard-aware client (ShardedSyncClient) never sees
+// this unless its router disagrees with the server's — which is a bug worth
+// an exception, not a silent retry loop.
+class WrongGroupError : public NetError {
+ public:
+  WrongGroupError(std::uint32_t owner_group)
+      : NetError("command routed to the wrong replica group (owner is group " +
+                 std::to_string(owner_group) + ")"),
+        owner(owner_group) {}
+  std::uint32_t owner;
+};
+
 class SyncClient {
  public:
   // Connects (blocking), sends the client hello and waits for the server's
@@ -31,20 +45,25 @@ class SyncClient {
   // stability point passes the read timestamp, without a log round.
   void send_read(const Command& cmd);
 
-  // Blocks until the next kClientReply frame (any client/seq) or the
-  // timeout; throws NetError on timeout or disconnect.
+  // Blocks until the next kClientReply — or kClientRedirect, which always
+  // surfaces (check .type) — frame, any client/seq, or the timeout; throws
+  // NetError on timeout or disconnect.
   [[nodiscard]] Message read_reply(int timeout_ms = -1);
   // Same, for kClientReadReply frames.
   [[nodiscard]] Message read_read_reply(int timeout_ms = -1);
 
   // send_request + read replies until one matches (cmd.client, cmd.seq);
-  // returns the execution output (reply blob).
+  // returns the execution output (reply blob). Throws WrongGroupError if the
+  // node bounces the command to another replica group (multi-group nodes).
   [[nodiscard]] std::string call(const Command& cmd, int timeout_ms = -1);
   // send_read + read read-replies until one matches; returns the read's
-  // output (the value for kGet, the encoded entry list for kScan).
+  // output (the value for kGet, the encoded entry list for kScan). Throws
+  // WrongGroupError like call().
   [[nodiscard]] std::string read_call(const Command& cmd, int timeout_ms = -1);
 
  private:
+  // Blocks for the next frame of type `want` — or a kClientRedirect, which
+  // always surfaces (callers must check). Anything else is skipped.
   [[nodiscard]] Message read_typed(MsgType want, int timeout_ms);
   void write_all(const std::string& bytes);
   void read_into_assembler(int timeout_ms);  // one blocking read

@@ -144,6 +144,11 @@ void Registry::add_collector(std::function<void(Registry&)> fn) {
   collectors_.push_back(std::move(fn));
 }
 
+void Registry::set_labels(std::string labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  labels_ = std::move(labels);
+}
+
 Snapshot Registry::snapshot() {
   std::vector<std::function<void(Registry&)>> collectors;
   {
@@ -155,6 +160,7 @@ Snapshot Registry::snapshot() {
 
   Snapshot s;
   std::lock_guard<std::mutex> lk(mu_);
+  s.labels = labels_;
   s.metrics.reserve(metrics_.size());
   for (const auto& [name, e] : metrics_) {
     MetricValue v;
@@ -230,6 +236,12 @@ std::string fmt_double(double v) {
 std::string to_prometheus(const Snapshot& s) {
   std::string out;
   out.reserve(4096);
+  // With snapshot labels set, every sample carries them: `name{group="2"}`,
+  // and histogram buckets splice `le` after them. An empty label set renders
+  // the exact pre-label format (no braces) so existing scrapers see no diff.
+  const std::string plain = s.labels.empty() ? "" : "{" + s.labels + "}";
+  const std::string le_prefix =
+      s.labels.empty() ? "{le=\"" : "{" + s.labels + ",le=\"";
   for (const MetricValue& m : s.metrics) {
     if (!m.help.empty()) {
       out += "# HELP " + m.name + " " + m.help + "\n";
@@ -237,22 +249,24 @@ std::string to_prometheus(const Snapshot& s) {
     switch (m.kind) {
       case MetricKind::kCounter:
         out += "# TYPE " + m.name + " counter\n";
-        out += m.name + " " + std::to_string(m.counter) + "\n";
+        out += m.name + plain + " " + std::to_string(m.counter) + "\n";
         break;
       case MetricKind::kGauge:
         out += "# TYPE " + m.name + " gauge\n";
-        out += m.name + " " + fmt_double(m.gauge) + "\n";
+        out += m.name + plain + " " + fmt_double(m.gauge) + "\n";
         break;
       case MetricKind::kHistogram: {
         out += "# TYPE " + m.name + " histogram\n";
         for (const auto& [le, cum] : m.hist.cumulative) {
-          out += m.name + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+          out += m.name + "_bucket" + le_prefix + std::to_string(le) + "\"} " +
                  std::to_string(cum) + "\n";
         }
-        out += m.name + "_bucket{le=\"+Inf\"} " + std::to_string(m.hist.count) +
+        out += m.name + "_bucket" + le_prefix + "+Inf\"} " +
+               std::to_string(m.hist.count) + "\n";
+        out += m.name + "_sum" + plain + " " + std::to_string(m.hist.sum_us) +
                "\n";
-        out += m.name + "_sum " + std::to_string(m.hist.sum_us) + "\n";
-        out += m.name + "_count " + std::to_string(m.hist.count) + "\n";
+        out += m.name + "_count" + plain + " " + std::to_string(m.hist.count) +
+               "\n";
         break;
       }
     }

@@ -141,6 +141,11 @@ struct MetricValue {
 // sorted by name (so two snapshots diff cleanly and the kv line is stable).
 struct Snapshot {
   std::vector<MetricValue> metrics;
+  // Label set stamped on every Prometheus sample, e.g. `group="2"` — set via
+  // Registry::set_labels by multi-group nodes so N registries scraped into
+  // one Prometheus stay disjoint series. Empty (the default) renders the
+  // unlabeled exposition format exactly as before.
+  std::string labels;
 
   // nullptr when the name is absent.
   [[nodiscard]] const MetricValue* find(std::string_view name) const;
@@ -162,6 +167,10 @@ class Registry {
   // the file comment.
   void add_collector(std::function<void(Registry&)> fn);
 
+  // Inner Prometheus label pairs (`k="v"` comma-joined, no braces) attached
+  // to every sample this registry exports; see Snapshot::labels.
+  void set_labels(std::string labels);
+
   [[nodiscard]] Snapshot snapshot();
 
  private:
@@ -177,6 +186,7 @@ class Registry {
   mutable std::mutex mu_;  // registration + collector list only
   std::map<std::string, Entry, std::less<>> metrics_;
   std::vector<std::function<void(Registry&)>> collectors_;
+  std::string labels_;
 };
 
 // --- export -----------------------------------------------------------------

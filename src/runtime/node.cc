@@ -1,9 +1,15 @@
 #include "runtime/node.h"
 
+#include <pthread.h>
+#include <sched.h>
+
+#include <cstdio>
 #include <future>
 #include <utility>
 
 #include "common/batch.h"
+#include "common/codec.h"
+#include "kv/kv_store.h"
 
 namespace crsm {
 
@@ -14,6 +20,11 @@ NodeRuntime::NodeRuntime(NodeConfig cfg, ProtocolFactory protocol_factory,
       loop_(net::make_event_loop(cfg.io_backend, &io_fell_back_)),
       transport_(*loop_, cfg.id, cfg.transport),
       sm_(sm_factory()) {
+  if (cfg_.num_groups > 1) {
+    // Disjoint Prometheus series per group: a process scraping its N group
+    // registries into one page must not collapse them into one timeline.
+    registry_.set_labels("group=\"" + std::to_string(cfg_.group) + "\"");
+  }
   if (cfg_.obs.trace_sample_every != 0) {
     obs::CommitTracer::Options topt;
     topt.sample_every = cfg_.obs.trace_sample_every;
@@ -64,6 +75,22 @@ void NodeRuntime::start(std::vector<TcpPeer> peers) {
     proto_->start();
   });
   thread_ = std::thread([this] { loop_->run(); });
+  if (cfg_.pin_core >= 0) {
+    // Affinity-pin the loop thread: each group of a multi-group process owns
+    // one core, so protocol CPU scales with groups instead of timeslicing.
+    // Best effort — a core count below the pin target just logs and runs
+    // unpinned (CI containers routinely expose fewer cores than production).
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cfg_.pin_core, &set);
+    if (pthread_setaffinity_np(thread_.native_handle(), sizeof(set), &set) !=
+        0) {
+      std::fprintf(stderr,
+                   "crsm_node[%u]: could not pin loop thread to core %d; "
+                   "running unpinned\n",
+                   cfg_.id, cfg_.pin_core);
+    }
+  }
 }
 
 void NodeRuntime::stop() {
@@ -155,6 +182,11 @@ void NodeRuntime::collect_metrics(obs::Registry& r) {
   sink("crsm_executed_total", executed_.load(std::memory_order_relaxed));
   sink("crsm_reads_served_total",
        reads_served_.load(std::memory_order_relaxed));
+  if (cfg_.num_groups > 1) {
+    r.gauge("crsm_group").set(static_cast<double>(cfg_.group));
+    sink("crsm_wrong_group_rejections_total",
+         wrong_group_rejections_.load(std::memory_order_relaxed));
+  }
 
   const BatchStats bs = batch_stats();
   sink("crsm_batch_cmds_total", bs.cmds);
@@ -372,8 +404,37 @@ void NodeRuntime::finish_read(const Command& cmd, const std::string& output) {
 
 void NodeRuntime::on_peer_message(const Message& m) { proto_->on_message(m); }
 
+bool NodeRuntime::reject_wrong_group(std::uint64_t conn, const Command& cmd) {
+  if (cfg_.num_groups <= 1) return false;
+  ShardId owner;
+  try {
+    owner = ShardRouter(cfg_.num_groups).shard_of(cmd);
+  } catch (const CodecError&) {
+    return false;  // not a KV command; nothing to route by
+  }
+  if (owner == cfg_.group) return false;
+  // Client and server disagree on the key's owner (a stale or buggy client
+  // router). Applying here would split the key across two groups' logs —
+  // the one failure sharding must never produce — so bounce the command,
+  // echoing (client, seq) and naming the owner for the client to redial.
+  wrong_group_rejections_.fetch_add(1, std::memory_order_relaxed);
+  Message redirect;
+  redirect.type = MsgType::kClientRedirect;
+  redirect.cmd.client = cmd.client;
+  redirect.cmd.seq = cmd.seq;
+  redirect.a = owner;
+  if (!storage_.durable()) {
+    transport_.send_to_client(conn, FrameWriter(cfg_.id).frame(redirect));
+  } else {
+    // FIFO with frames held for the pass-end fsync on this connection.
+    dispatch(HeldSend{{}, conn, true, FrameWriter(cfg_.id).frame(redirect)});
+  }
+  return true;
+}
+
 void NodeRuntime::on_client_message(std::uint64_t conn, const Message& m) {
   if (m.type == MsgType::kClientRead) {
+    if (reject_wrong_group(conn, m.cmd)) return;
     client_routes_[m.cmd.client] = conn;
     Command owned = m.cmd;  // copy-on-retain: m views the receive buffer
     if (!proto_->supports_local_reads()) {
@@ -386,6 +447,7 @@ void NodeRuntime::on_client_message(std::uint64_t conn, const Message& m) {
     return;
   }
   if (m.type != MsgType::kClientRequest) return;  // protocol misuse; ignore
+  if (reject_wrong_group(conn, m.cmd)) return;
   client_routes_[m.cmd.client] = conn;
   // The decoded command views the connection's receive buffer; copying into
   // an owned Command here is the copy-on-retain point.

@@ -48,6 +48,7 @@
 #include "obs/trace.h"
 #include "rsm/protocol.h"
 #include "rsm/state_machine.h"
+#include "shard/shard_router.h"
 #include "storage/replica_storage.h"
 #include "transport/tcp_transport.h"
 
@@ -92,6 +93,18 @@ struct NodeConfig {
   // command always ships, alone). Reads are never batched.
   std::size_t max_batch_cmds = 1;
   std::size_t max_batch_bytes = 256 * 1024;
+  // Sharded deployments: this replica serves replica group `group` of
+  // `num_groups` (ShardRouter key space partitioning). With num_groups > 1
+  // the node (a) rejects client commands whose key the router assigns to
+  // another group — kClientRedirect carrying the owner instead of a silent
+  // misapply — and (b) stamps its metrics with a `group` label so the N
+  // registries of one process scrape as disjoint Prometheus series.
+  // num_groups == 1 is the pre-sharding behavior: no checks, no label.
+  ShardId group = 0;
+  std::size_t num_groups = 1;
+  // Pin the loop thread to this CPU core (-1 = unpinned). Multi-group
+  // processes pin one group per core so groups scale instead of timeslicing.
+  int pin_core = -1;
   NodeObsOptions obs;
 };
 
@@ -122,6 +135,12 @@ class NodeRuntime final : private StorageBackedEnv {
 
   [[nodiscard]] std::uint16_t port() const { return transport_.port(); }
   [[nodiscard]] ReplicaId id() const { return cfg_.id; }
+  [[nodiscard]] ShardId group() const { return cfg_.group; }
+  // Client commands bounced with kClientRedirect because their key belongs
+  // to another group (always 0 when num_groups == 1).
+  [[nodiscard]] std::uint64_t wrong_group_rejections() const {
+    return wrong_group_rejections_.load(std::memory_order_relaxed);
+  }
 
   void set_reply_hook(ReplyHook hook) { reply_hook_ = std::move(hook); }
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
@@ -205,6 +224,9 @@ class NodeRuntime final : private StorageBackedEnv {
   [[nodiscard]] obs::CommitTracer* tracer() override { return tracer_.get(); }
 
   void finish_read(const Command& cmd, const std::string& output);
+  // num_groups > 1 only: if the router assigns cmd's key to another group,
+  // bounce it with kClientRedirect (naming the owner) and return true.
+  bool reject_wrong_group(std::uint64_t conn, const Command& cmd);
   void collect_metrics(obs::Registry& r);  // loop-thread collector body
   void on_peer_message(const Message& m);
   void on_client_message(std::uint64_t conn, const Message& m);
@@ -263,6 +285,7 @@ class NodeRuntime final : private StorageBackedEnv {
   bool started_ = false;
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> reads_served_{0};
+  std::atomic<std::uint64_t> wrong_group_rejections_{0};
 };
 
 }  // namespace crsm

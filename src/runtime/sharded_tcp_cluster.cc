@@ -1,0 +1,94 @@
+#include "runtime/sharded_tcp_cluster.h"
+
+#include <utility>
+
+namespace crsm {
+
+ShardedTcpCluster::ShardedTcpCluster(Options opt,
+                                     ProtocolFactory protocol_factory,
+                                     StateMachineFactory sm_factory)
+    : opt_(std::move(opt)), router_(opt_.groups) {
+  clusters_.reserve(opt_.groups);
+  for (std::size_t g = 0; g < opt_.groups; ++g) {
+    TcpClusterOptions copt = opt_.base;
+    copt.group = static_cast<ShardId>(g);
+    copt.num_groups = opt_.groups;
+    if (!copt.log_dir.empty()) {
+      copt.log_dir += "/group-" + std::to_string(g);
+    }
+    if (opt_.pin_cores) {
+      copt.pin_core_base = static_cast<int>(g * opt_.replicas);
+    }
+    if (opt_.tweak) opt_.tweak(static_cast<ShardId>(g), copt);
+    clusters_.push_back(std::make_unique<TcpCluster>(
+        opt_.replicas, protocol_factory, sm_factory, std::move(copt)));
+  }
+}
+
+void ShardedTcpCluster::set_reply_hook(ReplyHook hook) {
+  for (std::size_t g = 0; g < clusters_.size(); ++g) {
+    clusters_[g]->set_reply_hook(
+        [hook, g](ReplicaId r, const Command& cmd) {
+          hook(static_cast<ShardId>(g), r, cmd);
+        });
+  }
+}
+
+void ShardedTcpCluster::set_commit_hook(CommitHook hook) {
+  for (std::size_t g = 0; g < clusters_.size(); ++g) {
+    clusters_[g]->set_commit_hook(
+        [hook, g](ReplicaId r, const Command& cmd, Timestamp ts, bool local) {
+          hook(static_cast<ShardId>(g), r, cmd, ts, local);
+        });
+  }
+}
+
+void ShardedTcpCluster::set_read_hook(ReadHook hook) {
+  for (std::size_t g = 0; g < clusters_.size(); ++g) {
+    clusters_[g]->set_read_hook(
+        [hook, g](ReplicaId r, const Command& cmd, std::string_view output) {
+          hook(static_cast<ShardId>(g), r, cmd, output);
+        });
+  }
+}
+
+void ShardedTcpCluster::start() {
+  for (auto& c : clusters_) c->start();
+}
+
+void ShardedTcpCluster::stop() {
+  for (auto& c : clusters_) c->stop();
+}
+
+void ShardedTcpCluster::submit(ReplicaId r, Command cmd) {
+  clusters_.at(router_.shard_of(cmd))->submit(r, std::move(cmd));
+}
+
+void ShardedTcpCluster::submit_read(ReplicaId r, Command cmd) {
+  clusters_.at(router_.shard_of(cmd))->submit_read(r, std::move(cmd));
+}
+
+void ShardedTcpCluster::kill_process(ReplicaId r) {
+  for (auto& c : clusters_) c->kill(r);
+}
+
+void ShardedTcpCluster::restart_process(ReplicaId r) {
+  for (auto& c : clusters_) c->restart(r);
+}
+
+std::uint64_t ShardedTcpCluster::total_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clusters_) total += c->executed(0);
+  return total;
+}
+
+std::vector<ShardEndpoint> ShardedTcpCluster::endpoints(ReplicaId r) const {
+  std::vector<ShardEndpoint> out;
+  out.reserve(clusters_.size());
+  for (const auto& c : clusters_) {
+    out.push_back(ShardEndpoint{"127.0.0.1", c->port(r)});
+  }
+  return out;
+}
+
+}  // namespace crsm

@@ -1,0 +1,113 @@
+// In-process groups x replicas TCP topology on loopback: the multi-group
+// extension of TcpCluster, and the test/bench harness for the sharded
+// runtime.
+//
+// Boots `groups` independent TcpClusters — every node a full NodeRuntime
+// with its own loop thread, real sockets, and (durable) its own WAL dir
+// under <log_dir>/group-<g>/node-<r> — all carrying group/num_groups in
+// their NodeConfig, so wrong-key rejection and group-labeled metrics are
+// exercised exactly as in a production multi-group process. Submits route
+// by key through a ShardRouter built with the same group count the nodes
+// were given.
+//
+// Process-level faults: in a real deployment replica r of every group lives
+// in one crsm_node process (MultiGroupNode), so kill -9 takes one replica
+// of every group down at once. kill_process(r)/restart_process(r) reproduce
+// exactly that cut across all groups; per-group kill/restart is reachable
+// through group(g).kill(r).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/command.h"
+#include "common/types.h"
+#include "runtime/tcp_cluster.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_client.h"
+
+namespace crsm {
+
+struct ShardedTcpClusterOptions {
+  std::size_t groups = 2;
+  std::size_t replicas = 3;
+  // Applied to every group's TcpCluster. group/num_groups are overwritten
+  // per group; a non-empty log_dir is suffixed with /group-<g>.
+  TcpClusterOptions base;
+  // Pin node (g, r) to core g * replicas + r (mod the online core count):
+  // each group's pipeline owns distinct cores when the host has them.
+  bool pin_cores = false;
+  // Per-group option overrides, applied after the defaults above — the seam
+  // for asymmetric fault injection (e.g. stall only group 0's fsyncs).
+  std::function<void(ShardId, TcpClusterOptions&)> tweak;
+};
+
+class ShardedTcpCluster {
+ public:
+  using ProtocolFactory = NodeRuntime::ProtocolFactory;
+  using StateMachineFactory = NodeRuntime::StateMachineFactory;
+  // Hooks run on the owning node's loop thread, like TcpCluster's.
+  using ReplyHook = std::function<void(ShardId, ReplicaId, const Command&)>;
+  using CommitHook = std::function<void(ShardId, ReplicaId, const Command&,
+                                        Timestamp, bool)>;
+  using ReadHook = std::function<void(ShardId, ReplicaId, const Command&,
+                                      std::string_view)>;
+  using Options = ShardedTcpClusterOptions;
+
+  // The factory pair is shared by every group (each group instantiates its
+  // own protocol/state-machine objects from it; build it for `replicas`).
+  ShardedTcpCluster(Options opt, ProtocolFactory protocol_factory,
+                    StateMachineFactory sm_factory);
+
+  ShardedTcpCluster(const ShardedTcpCluster&) = delete;
+  ShardedTcpCluster& operator=(const ShardedTcpCluster&) = delete;
+
+  void set_reply_hook(ReplyHook hook);
+  void set_commit_hook(CommitHook hook);
+  void set_read_hook(ReadHook hook);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t num_groups() const { return clusters_.size(); }
+  [[nodiscard]] std::size_t num_replicas() const { return opt_.replicas; }
+  [[nodiscard]] const ShardRouter& router() const { return router_; }
+  [[nodiscard]] TcpCluster& group(ShardId g) { return *clusters_.at(g); }
+
+  [[nodiscard]] ShardId shard_of(const Command& cmd) const {
+    return router_.shard_of(cmd);
+  }
+
+  // Thread-safe: routes by the command's KV key to the owning group and
+  // submits at that group's replica r.
+  void submit(ReplicaId r, Command cmd);
+  void submit_read(ReplicaId r, Command cmd);
+
+  // The in-process kill -9 of the whole process hosting replica r: every
+  // group's replica r dies at once (same caveats as TcpCluster::kill).
+  void kill_process(ReplicaId r);
+  void restart_process(ReplicaId r);
+
+  [[nodiscard]] std::uint64_t executed(ShardId g, ReplicaId r) const {
+    return clusters_.at(g)->executed(r);
+  }
+  // Sum of group-leader executed counts — the aggregate commit throughput
+  // counter fig12 rates (replica 0 of each group; any fixed replica works,
+  // every replica of a group executes every command).
+  [[nodiscard]] std::uint64_t total_executed() const;
+
+  // Client-facing endpoints of replica r across groups, in ShardId order —
+  // exactly the vector ShardedSyncClient wants.
+  [[nodiscard]] std::vector<ShardEndpoint> endpoints(ReplicaId r) const;
+
+ private:
+  Options opt_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<TcpCluster>> clusters_;
+};
+
+}  // namespace crsm

@@ -1,5 +1,7 @@
 #include "runtime/tcp_cluster.h"
 
+#include <unistd.h>
+
 #include <stdexcept>
 #include <utility>
 
@@ -17,12 +19,20 @@ std::unique_ptr<NodeRuntime> TcpCluster::make_node(ReplicaId id,
   cfg.io_backend = opt_.io_backend;
   cfg.max_batch_cmds = opt_.max_batch_cmds;
   cfg.max_batch_bytes = opt_.max_batch_bytes;
+  cfg.group = opt_.group;
+  cfg.num_groups = opt_.num_groups;
+  if (opt_.pin_core_base >= 0) {
+    const long ncpu = ::sysconf(_SC_NPROCESSORS_ONLN);
+    cfg.pin_core = (opt_.pin_core_base + static_cast<int>(id)) %
+                   static_cast<int>(ncpu > 0 ? ncpu : 1);
+  }
   cfg.obs = opt_.obs;
   cfg.obs.metrics_port = 0;  // per-node ephemeral; fixed ports would collide
   if (!opt_.log_dir.empty()) {
     cfg.storage.dir = opt_.log_dir + "/node-" + std::to_string(id);
     cfg.storage.group_commit = opt_.group_commit;
     cfg.storage.checkpoint_every = opt_.checkpoint_every;
+    cfg.storage.test_fsync_delay_us = opt_.test_fsync_delay_us;
   }
   return std::make_unique<NodeRuntime>(cfg, protocol_factory_, sm_factory_);
 }

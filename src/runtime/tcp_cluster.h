@@ -42,6 +42,17 @@ struct TcpClusterOptions {
   // NodeConfig::max_batch_cmds / max_batch_bytes). 1 = batching off.
   std::size_t max_batch_cmds = 1;
   std::size_t max_batch_bytes = 256 * 1024;
+  // Sharded topologies (ShardedTcpCluster): every node of this cluster
+  // serves replica group `group` of `num_groups` (wrong-key rejection +
+  // group-labeled metrics, see NodeConfig). Defaults = unsharded.
+  ShardId group = 0;
+  std::size_t num_groups = 1;
+  // >= 0: pin replica r's loop thread to core pin_core_base + r (mod the
+  // online core count). -1 = unpinned.
+  int pin_core_base = -1;
+  // Fault injection: per-fsync sleep applied to every node's WAL (see
+  // StorageOptions::test_fsync_delay_us). Isolation tests stall one group.
+  std::uint64_t test_fsync_delay_us = 0;
   // Observability knobs applied to every node (metrics_port stays 0:
   // ephemeral per node, readable via node(r).metrics_port()).
   NodeObsOptions obs;

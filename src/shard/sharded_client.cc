@@ -1,0 +1,22 @@
+#include "shard/sharded_client.h"
+
+namespace crsm {
+
+ShardedSyncClient::ShardedSyncClient(
+    const std::vector<ShardEndpoint>& endpoints)
+    : router_(endpoints.size()) {
+  conns_.reserve(endpoints.size());
+  for (const ShardEndpoint& e : endpoints) {
+    conns_.push_back(std::make_unique<net::SyncClient>(e.host, e.port));
+  }
+}
+
+std::string ShardedSyncClient::call(const Command& cmd, int timeout_ms) {
+  return conns_.at(router_.shard_of(cmd))->call(cmd, timeout_ms);
+}
+
+std::string ShardedSyncClient::read_call(const Command& cmd, int timeout_ms) {
+  return conns_.at(router_.shard_of(cmd))->read_call(cmd, timeout_ms);
+}
+
+}  // namespace crsm

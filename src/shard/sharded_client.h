@@ -1,0 +1,55 @@
+// Shard-aware blocking client: one SyncClient per replica group, commands
+// routed by the key inside their KvRequest payload.
+//
+// The client side of the multi-group runtime (NodeConfig::num_groups). It
+// holds a connection to one replica of every group and a ShardRouter built
+// with the same group count, so client and servers agree on every key's
+// owner by construction — the server-side kClientRedirect check only ever
+// fires against clients whose router is stale or wrong. Like SyncClient:
+// one instance per thread, no internal locking.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/command.h"
+#include "common/types.h"
+#include "net/sync_client.h"
+#include "shard/shard_router.h"
+
+namespace crsm {
+
+// One replica's client-facing address in one group; index = ShardId.
+struct ShardEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+class ShardedSyncClient {
+ public:
+  // Connects (blocking) to every endpoint; endpoints.size() is the group
+  // count. Throws net::NetError on any connection failure.
+  explicit ShardedSyncClient(const std::vector<ShardEndpoint>& endpoints);
+
+  [[nodiscard]] std::size_t num_groups() const { return conns_.size(); }
+  [[nodiscard]] const ShardRouter& router() const { return router_; }
+
+  // The connection serving group g (for reads at a chosen replica, raw
+  // send/recv, or server_id()).
+  [[nodiscard]] net::SyncClient& group(ShardId g) { return *conns_.at(g); }
+
+  // Routes by the command's KV key and blocks for the matching reply on the
+  // owning group's connection. Throws CodecError if the payload is not a
+  // KvRequest, net::WrongGroupError if the server disagrees with the route.
+  [[nodiscard]] std::string call(const Command& cmd, int timeout_ms = -1);
+  [[nodiscard]] std::string read_call(const Command& cmd, int timeout_ms = -1);
+
+ private:
+  ShardRouter router_;
+  std::vector<std::unique_ptr<net::SyncClient>> conns_;
+};
+
+}  // namespace crsm

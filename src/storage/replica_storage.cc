@@ -1,6 +1,8 @@
 #include "storage/replica_storage.h"
 
+#include <chrono>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 namespace crsm {
@@ -8,8 +10,11 @@ namespace crsm {
 // --- GroupCommitLog --------------------------------------------------------
 
 GroupCommitLog::GroupCommitLog(std::unique_ptr<CommandLog> inner,
-                               bool defer_sync)
-    : inner_(std::move(inner)), defer_sync_(defer_sync) {}
+                               bool defer_sync,
+                               std::uint64_t test_fsync_delay_us)
+    : inner_(std::move(inner)),
+      defer_sync_(defer_sync),
+      test_fsync_delay_us_(test_fsync_delay_us) {}
 
 void GroupCommitLog::append(const LogRecord& r) {
   inner_->append(r);
@@ -26,6 +31,9 @@ void GroupCommitLog::sync() {
 std::size_t GroupCommitLog::flush() {
   if (!sync_pending_) return 0;
   const std::size_t batch = batch_appends_;
+  if (test_fsync_delay_us_ != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(test_fsync_delay_us_));
+  }
   inner_->sync();
   sync_pending_ = false;
   batch_appends_ = 0;
@@ -68,7 +76,8 @@ ReplicaStorage::ReplicaStorage(StorageOptions opt) : opt_(std::move(opt)) {
     checkpoint_ = read_checkpoint_file(checkpoint_path());
     // Deferred syncs only make sense for a log that actually hits disk.
     log_ = std::make_unique<GroupCommitLog>(
-        std::make_unique<FileLog>(wal_path()), opt_.group_commit);
+        std::make_unique<FileLog>(wal_path()), opt_.group_commit,
+        opt_.test_fsync_delay_us);
   } else {
     log_ = std::make_unique<GroupCommitLog>(std::make_unique<MemLog>(),
                                             /*defer_sync=*/false);

@@ -43,6 +43,11 @@ struct StorageOptions {
   // Committed commands between checkpoints (0 = never checkpoint). Each
   // checkpoint truncates the covered log prefix.
   std::uint64_t checkpoint_every = 0;
+  // Fault injection (tests only): sleep this long before every fsync batch,
+  // emulating a slow or stalling device under this replica's WAL. Multi-group
+  // isolation tests stall one group's storage and assert the others keep
+  // committing at full speed.
+  std::uint64_t test_fsync_delay_us = 0;
 };
 
 // Storage-side counters, in the TransportStats mold: sampled from any thread
@@ -63,7 +68,8 @@ struct StorageStats {
 // protocol code is oblivious either way.
 class GroupCommitLog final : public CommandLog {
  public:
-  GroupCommitLog(std::unique_ptr<CommandLog> inner, bool defer_sync);
+  GroupCommitLog(std::unique_ptr<CommandLog> inner, bool defer_sync,
+                 std::uint64_t test_fsync_delay_us = 0);
 
   void append(const LogRecord& r) override;
   void sync() override;
@@ -85,6 +91,7 @@ class GroupCommitLog final : public CommandLog {
  private:
   std::unique_ptr<CommandLog> inner_;
   const bool defer_sync_;
+  const std::uint64_t test_fsync_delay_us_;
   bool sync_pending_ = false;
   std::size_t batch_appends_ = 0;  // appends since the last inner sync
 

@@ -164,6 +164,31 @@ TEST(Export, PrometheusShapeAndKvLine) {
   EXPECT_LT(kv.find("crsm_lat_us_count"), kv.find("crsm_ops_total"));
 }
 
+// Multi-group nodes stamp every sample with a group label so N registries
+// scraped into one Prometheus stay disjoint series; empty labels (the
+// default, asserted above) render the unlabeled legacy format unchanged.
+TEST(Export, PrometheusGroupLabels) {
+  Registry reg;
+  reg.set_labels("group=\"2\"");
+  reg.counter("crsm_ops_total", "ops").inc(12);
+  reg.gauge("crsm_depth", "queue depth").set(3);
+  reg.histogram("crsm_lat_us", "latency").observe(42);
+  const Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.labels, "group=\"2\"");
+
+  const std::string prom = to_prometheus(s);
+  EXPECT_NE(prom.find("crsm_ops_total{group=\"2\"} 12"), std::string::npos);
+  EXPECT_NE(prom.find("crsm_depth{group=\"2\"} 3"), std::string::npos);
+  // Histogram buckets merge the label set with their le: group first.
+  EXPECT_NE(prom.find("crsm_lat_us_bucket{group=\"2\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("crsm_lat_us_sum{group=\"2\"} 42"), std::string::npos);
+  EXPECT_NE(prom.find("crsm_lat_us_count{group=\"2\"} 1"), std::string::npos);
+  // No sample escaped unlabeled ("name<space>" would be such an escape).
+  EXPECT_EQ(prom.find("crsm_ops_total 12"), std::string::npos);
+  EXPECT_EQ(prom.find("crsm_lat_us_bucket{le="), std::string::npos);
+}
+
 // --- CommitTracer -----------------------------------------------------------
 
 TEST(CommitTracer, SamplingIsDeterministicEveryNth) {

@@ -2,6 +2,7 @@
 //
 //   crsm_client --server host:port [--clients K] [--duration S]
 //               [--payload BYTES] [--read-fraction F] [--seed N] [--json]
+//               [--servers h:p,h:p,...] [--key-space N]
 //
 // Opens K connections to one node, each running a closed loop of KV ops
 // (one outstanding request per connection) and reports throughput plus
@@ -9,6 +10,15 @@
 // kClientRead get with probability F and a kClientRequest put otherwise;
 // reads are served from the connected replica's local stability point (any
 // replica, not just a leader) and are reported separately from writes.
+//
+// --servers drives a multi-group deployment (crsm_node --groups): one
+// endpoint per replica group, in group order. Each client becomes a
+// ShardedSyncClient routing every op by its key's ShardRouter owner, so
+// the endpoint count must equal the cluster's group count. --key-space N
+// spreads ops uniformly over N keys (key-0..key-<N-1>) instead of the
+// single default key — required for sharded runs (one key would load one
+// group) and useful for contention-free single-group runs too. Sharded
+// runs default to 16 keys per group when --key-space is not given.
 #include <unistd.h>
 
 #include <atomic>
@@ -25,6 +35,7 @@
 #include "kv/kv_store.h"
 #include "net/sync_client.h"
 #include "obs/metrics_http.h"
+#include "shard/sharded_client.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "workload/workload.h"
@@ -35,7 +46,9 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --server host:port [--clients K] [--duration S]\n"
                "          [--payload BYTES] [--read-fraction F] [--seed N]\n"
-               "          [--json] [--stage-breakdown host:port]\n",
+               "          [--json] [--stage-breakdown host:port]\n"
+               "          [--servers h:p,h:p,... (one per group)] "
+               "[--key-space N]\n",
                argv0);
   std::exit(2);
 }
@@ -76,6 +89,8 @@ int main(int argc, char** argv) {
 
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  std::vector<ShardEndpoint> servers;  // --servers: one endpoint per group
+  std::size_t key_space = 0;           // 0 = default (1, or 16/group sharded)
   std::size_t clients = 8;
   double duration_s = 5.0;
   std::size_t payload = 64;
@@ -98,6 +113,22 @@ int main(int argc, char** argv) {
         if (colon == std::string::npos) usage(argv[0]);
         host = entry.substr(0, colon);
         port = static_cast<std::uint16_t>(std::stoul(entry.substr(colon + 1)));
+      } else if (a == "--servers") {
+        const std::string arg = next();
+        std::size_t start = 0;
+        while (start <= arg.size()) {
+          std::size_t comma = arg.find(',', start);
+          if (comma == std::string::npos) comma = arg.size();
+          const std::string entry = arg.substr(start, comma - start);
+          const std::size_t colon = entry.rfind(':');
+          if (colon == std::string::npos) usage(argv[0]);
+          servers.push_back(ShardEndpoint{
+              entry.substr(0, colon),
+              static_cast<std::uint16_t>(std::stoul(entry.substr(colon + 1)))});
+          start = comma + 1;
+        }
+      } else if (a == "--key-space") {
+        key_space = std::stoul(next());
       } else if (a == "--clients") {
         clients = std::stoul(next());
       } else if (a == "--duration") {
@@ -130,7 +161,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad argument: %s\n", e.what());
     usage(argv[0]);
   }
-  if (port == 0) usage(argv[0]);
+  if (port == 0 && servers.empty()) usage(argv[0]);
 
   // Disambiguate client ids across concurrently running crsm_client
   // processes: the node routes replies by (client, seq), so two drivers
@@ -147,22 +178,39 @@ int main(int argc, char** argv) {
   LatencyStats latency;
   LatencyStats read_latency;
 
-  const std::string put_payload =
-      KvRequest::sized_put("key", payload).encode();
-  std::string get_payload;
-  {
+  // Pre-encode one put and one get payload per key. --key-space 0 keeps the
+  // historic single hot key for unsharded runs; sharded runs need a spread
+  // (every key lives on exactly one group) and default to 16 keys per group.
+  std::size_t nkeys = key_space;
+  if (nkeys == 0) nkeys = servers.size() > 1 ? 16 * servers.size() : 1;
+  std::vector<std::string> put_payloads;
+  std::vector<std::string> get_payloads;
+  put_payloads.reserve(nkeys);
+  get_payloads.reserve(nkeys);
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    const std::string key = nkeys == 1 ? "key" : "key-" + std::to_string(k);
+    put_payloads.push_back(KvRequest::sized_put(key, payload).encode());
     KvRequest r;
     r.op = KvOp::kGet;
-    r.key = "key";
-    get_payload = r.encode();
+    r.key = key;
+    get_payloads.push_back(r.encode());
   }
 
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       try {
-        net::SyncClient conn(host, port);
-        const ClientId id = make_client_id(conn.server_id(), index_base + c);
+        // One connection per group (sharded) or to the one --server node.
+        std::unique_ptr<ShardedSyncClient> sharded;
+        std::unique_ptr<net::SyncClient> single;
+        if (!servers.empty()) {
+          sharded = std::make_unique<ShardedSyncClient>(servers);
+        } else {
+          single = std::make_unique<net::SyncClient>(host, port);
+        }
+        const ClientId id = make_client_id(
+            sharded ? sharded->group(0).server_id() : single->server_id(),
+            index_base + c);
         Rng rng(seed + c);
         LatencyStats local;
         LatencyStats local_reads;
@@ -170,15 +218,19 @@ int main(int argc, char** argv) {
         while (!stop.load(std::memory_order_acquire)) {
           const bool is_read =
               read_fraction > 0.0 && rng.bernoulli(read_fraction);
+          const std::size_t k =
+              nkeys == 1 ? 0 : rng.uniform_int(0, nkeys - 1);
           Command cmd;
           cmd.client = id;
           cmd.seq = ++seq;
-          cmd.payload = is_read ? get_payload : put_payload;
+          cmd.payload = is_read ? get_payloads[k] : put_payloads[k];
           const auto t0 = std::chrono::steady_clock::now();
           if (is_read) {
-            (void)conn.read_call(cmd, /*timeout_ms=*/10'000);
+            (void)(sharded ? sharded->read_call(cmd, /*timeout_ms=*/10'000)
+                           : single->read_call(cmd, /*timeout_ms=*/10'000));
           } else {
-            (void)conn.call(cmd, /*timeout_ms=*/10'000);
+            (void)(sharded ? sharded->call(cmd, /*timeout_ms=*/10'000)
+                           : single->call(cmd, /*timeout_ms=*/10'000));
           }
           const auto t1 = std::chrono::steady_clock::now();
           const double ms =
@@ -221,9 +273,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "stage-breakdown scrape failed: %s\n", e.what());
     }
   }
+  std::string server_desc;
+  if (servers.empty()) {
+    server_desc = host + ":" + std::to_string(port);
+  } else {
+    for (const ShardEndpoint& e : servers) {
+      if (!server_desc.empty()) server_desc += ",";
+      server_desc += e.host + ":" + std::to_string(e.port);
+    }
+  }
   if (json) {
     bench::JsonResult jr("crsm_client");
-    jr.add("server", host + ":" + std::to_string(port));
+    jr.add("server", server_desc);
+    jr.add("groups",
+           static_cast<std::uint64_t>(servers.empty() ? 1 : servers.size()));
+    jr.add("key_space", static_cast<std::uint64_t>(nkeys));
     jr.add("clients", static_cast<std::uint64_t>(clients));
     jr.add("payload_bytes", static_cast<std::uint64_t>(payload));
     jr.add("read_fraction", read_fraction);

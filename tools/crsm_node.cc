@@ -9,10 +9,20 @@
 //             [--log-dir DIR] [--checkpoint-every N] [--no-group-commit] \
 //             [--io-backend epoll|uring] [--max-coalesce-bytes N] \
 //             [--max-batch-cmds N] [--max-batch-bytes N] \
+//             [--groups N] [--pin-cores] \
 //             [--metrics-port P] [--trace-sample N] [--slow-ms MS]
 //
 // The listen address is peers[id]. Runs until SIGINT/SIGTERM, printing a
 // periodic one-line metrics snapshot (sorted k=v pairs) to stderr.
+//
+// --groups N hosts N independent replica groups in this process (one event
+// loop thread each; --pin-cores pins group g to core g). Group g listens on
+// peers[id].port + g and dials peers at their base port + g, logs under
+// --log-dir/group-<g>, serves /metrics on --metrics-port + g with every
+// series labeled {group="g"}, and rejects client commands whose ShardRouter
+// owner is another group (kClientRedirect). Drive it with crsm_client
+// --servers (one endpoint per group). The stats line becomes one line per
+// group, tagged crsm_node[id/gG].
 //
 // --metrics-port serves GET /metrics (Prometheus text exposition 0.0.4) and
 // GET /metrics.json from the node's loop thread — one unified registry
@@ -54,6 +64,7 @@
 #include "harness/latency_experiment.h"
 #include "kv/kv_store.h"
 #include "net/event_loop.h"
+#include "runtime/multi_group_node.h"
 #include "runtime/node.h"
 
 namespace {
@@ -72,6 +83,7 @@ void on_signal(int) { g_stop.store(true); }
                "          [--io-backend epoll|uring] "
                "[--max-coalesce-bytes N] \\\n"
                "          [--max-batch-cmds N] [--max-batch-bytes N] \\\n"
+               "          [--groups N] [--pin-cores] \\\n"
                "          [--metrics-port P] [--trace-sample N] "
                "[--slow-ms MS]\n",
                argv0);
@@ -113,6 +125,7 @@ int main(int argc, char** argv) {
   std::size_t max_coalesce_bytes = 256 * 1024;
   std::size_t max_batch_cmds = 1;
   std::size_t max_batch_bytes = 256 * 1024;
+  MultiGroupOptions mg;
   NodeObsOptions obs;
 
   try {
@@ -150,6 +163,11 @@ int main(int argc, char** argv) {
         if (max_batch_cmds == 0) max_batch_cmds = 1;
       } else if (a == "--max-batch-bytes") {
         max_batch_bytes = std::stoull(next());
+      } else if (a == "--groups") {
+        mg.groups = std::stoull(next());
+        if (mg.groups == 0) mg.groups = 1;
+      } else if (a == "--pin-cores") {
+        mg.pin_cores = true;
       } else if (a == "--metrics-port") {
         obs.metrics_http = true;
         obs.metrics_host = "0.0.0.0";
@@ -209,7 +227,9 @@ int main(int argc, char** argv) {
   cfg.max_batch_bytes = max_batch_bytes;
   cfg.obs = obs;
 
-  NodeRuntime node(cfg, factory, [] { return std::make_unique<KvStore>(); });
+  MultiGroupNode node(cfg, mg, factory,
+                      [] { return std::make_unique<KvStore>(); });
+  const std::size_t groups = node.num_groups();
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -220,23 +240,41 @@ int main(int argc, char** argv) {
   // logged a warning) by this point.
   std::fprintf(stderr,
                "crsm_node: replica %u (%s) listening on %s:%u, %zu peers "
-               "| io %s%s | coalesce %zu bytes | batch %zu cmds\n",
-               id, protocol.c_str(), peers[id].host.c_str(), node.port(),
-               n - 1, net::io_backend_name(node.io_backend()),
-               node.io_fell_back() ? " (fell back from uring)" : "",
-               max_coalesce_bytes, max_batch_cmds);
+               "| io %s%s | coalesce %zu bytes | batch %zu cmds%s\n",
+               id, protocol.c_str(), peers[id].host.c_str(),
+               node.group(0).port(), n - 1,
+               net::io_backend_name(node.group(0).io_backend()),
+               node.group(0).io_fell_back() ? " (fell back from uring)" : "",
+               max_coalesce_bytes, max_batch_cmds,
+               groups > 1
+                   ? (" | " + std::to_string(groups) + " groups (port stride)" +
+                      (mg.pin_cores ? ", pinned" : ""))
+                         .c_str()
+                   : "");
   if (!storage.dir.empty()) {
-    std::fprintf(stderr, "crsm_node[%u]: durable in %s (%s)%s\n", id,
-                 storage.dir.c_str(),
-                 storage.group_commit ? "group commit" : "sync per append",
-                 node.recovering() ? ", recovering from prior state" : "");
+    // One line per group: each has its own WAL dir and recovers on its own.
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::string dir =
+          groups > 1 ? storage.dir + "/group-" + std::to_string(g)
+                     : storage.dir;
+      std::fprintf(stderr, "crsm_node[%u]: durable in %s (%s)%s\n", id,
+                   dir.c_str(),
+                   storage.group_commit ? "group commit" : "sync per append",
+                   node.group(g).recovering()
+                       ? ", recovering from prior state"
+                       : "");
+    }
   }
   if (obs.metrics_http) {
-    std::fprintf(stderr, "crsm_node[%u]: metrics on http://%s:%u/metrics\n", id,
-                 obs.metrics_host.c_str(), node.metrics_port());
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::fprintf(stderr, "crsm_node[%u]: metrics on http://%s:%u/metrics%s\n",
+                   id, obs.metrics_host.c_str(), node.group(g).metrics_port(),
+                   groups > 1 ? (" (group " + std::to_string(g) + ")").c_str()
+                              : "");
+    }
   }
 
-  std::uint64_t last_executed = 0;
+  std::vector<std::uint64_t> last_executed(groups, 0);
   auto last = std::chrono::steady_clock::now();
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
@@ -244,16 +282,25 @@ int main(int argc, char** argv) {
     if (stats_every > 0 &&
         now - last >= std::chrono::seconds(stats_every)) {
       const double secs = std::chrono::duration<double>(now - last).count();
-      const std::uint64_t exec = node.executed();
-      // One unified registry snapshot in stable sorted k=v order: wire, WAL,
-      // protocol (incl. reads served, catch-up rounds), KV, held messages —
-      // everything the old hand-rolled printf covered and the counters it
-      // missed, greppable field-by-field across runs.
-      const obs::Snapshot snap = node.metrics_snapshot();
-      std::fprintf(stderr, "crsm_node[%u]: %.0f cmds/s %s\n", id,
-                   static_cast<double>(exec - last_executed) / secs,
-                   obs::to_kv_line(snap).c_str());
-      last_executed = exec;
+      // One unified registry snapshot per group in stable sorted k=v order:
+      // wire, WAL, protocol (incl. reads served, catch-up rounds), KV, held
+      // messages — greppable field-by-field across runs and across groups.
+      // Single-group keeps the historic crsm_node[id] tag; multi-group tags
+      // each line crsm_node[id/gG].
+      for (std::size_t g = 0; g < groups; ++g) {
+        const std::uint64_t exec = node.group(g).executed();
+        const obs::Snapshot snap = node.group(g).metrics_snapshot();
+        if (groups == 1) {
+          std::fprintf(stderr, "crsm_node[%u]: %.0f cmds/s %s\n", id,
+                       static_cast<double>(exec - last_executed[g]) / secs,
+                       obs::to_kv_line(snap).c_str());
+        } else {
+          std::fprintf(stderr, "crsm_node[%u/g%zu]: %.0f cmds/s %s\n", id, g,
+                       static_cast<double>(exec - last_executed[g]) / secs,
+                       obs::to_kv_line(snap).c_str());
+        }
+        last_executed[g] = exec;
+      }
       last = now;
     }
   }

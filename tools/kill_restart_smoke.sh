@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # End-to-end kill -9 / restart smoke over the real binaries: boots a
-# 3-process durable crsm_node cluster, drives client load, SIGKILLs one
-# replica, restarts it from its --log-dir and drives load again — through
-# the restarted replica, which only accepts submissions once recovery and
-# catch-up complete. Exercises exactly the path docs/OPERATIONS.md
-# documents; CI runs it against the Release build.
+# 3-process durable cluster where every process hosts TWO replica groups
+# (--groups 2: one loop thread, WAL dir and metrics namespace per group,
+# port stride base+g), drives sharded client load across both groups,
+# SIGKILLs one process — taking one replica of EVERY group down at once —
+# restarts it from its --log-dir and drives load again through the
+# restarted process, which only accepts submissions once recovery and
+# catch-up complete on each group. Exercises exactly the path
+# docs/OPERATIONS.md documents; CI runs it against the Release build.
 #
 # usage: tools/kill_restart_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -14,9 +17,13 @@ NODE=$BUILD/tools/crsm_node
 CLIENT=$BUILD/tools/crsm_client
 [[ -x $NODE && -x $CLIENT ]] || { echo "build tools first: cmake --build $BUILD -j --target crsm_node crsm_client"; exit 2; }
 
+GROUPS_N=2
 WORK=$(mktemp -d /tmp/crsm_smoke.XXXXXX)
+# Port stride: group g of process p listens at its base port + g, so base
+# ports (and metrics base ports) are spaced GROUPS_N apart.
 BASE=$(( 21000 + RANDOM % 20000 ))
-PEERS=127.0.0.1:$BASE,127.0.0.1:$((BASE + 1)),127.0.0.1:$((BASE + 2))
+P0=$BASE; P1=$(( BASE + GROUPS_N )); P2=$(( BASE + 2 * GROUPS_N ))
+PEERS=127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2
 declare -a PIDS=()
 
 cleanup() {
@@ -26,28 +33,36 @@ cleanup() {
 }
 trap cleanup EXIT
 
-MBASE=$(( BASE + 100 ))  # metrics ports: MBASE..MBASE+2
+MBASE=$(( BASE + 100 ))  # process p serves group g at MBASE + p*GROUPS_N + g
+
+base_port() { echo $(( BASE + $1 * GROUPS_N )); }
 
 start_node() {  # $1 = replica id; sets NODE_PID
   "$NODE" --id "$1" --peers "$PEERS" --log-dir "$WORK/node-$1" \
+      --groups $GROUPS_N \
       --checkpoint-every 2000 --stats-every 2 \
-      --metrics-port $(( MBASE + $1 )) \
+      --metrics-port $(( MBASE + $1 * GROUPS_N )) \
       2>>"$WORK/node-$1.log" &
   NODE_PID=$!
 }
 
-scrape_metrics() {  # $1 = replica id, $2 = output file
-  curl -fsS --max-time 5 "http://127.0.0.1:$(( MBASE + $1 ))/metrics" > "$2" \
-    || { echo "metrics scrape of replica $1 failed"; return 1; }
+scrape_metrics() {  # $1 = replica id, $2 = group, $3 = output file
+  curl -fsS --max-time 5 \
+      "http://127.0.0.1:$(( MBASE + $1 * GROUPS_N + $2 ))/metrics" > "$3" \
+    || { echo "metrics scrape of replica $1 group $2 failed"; return 1; }
   # Fail on malformed Prometheus text exposition: every non-comment line
-  # must be `name{labels} value`, histograms must carry a +Inf bucket, and
-  # the series the pipeline always touches must be present.
-  python3 - "$2" <<'EOF'
+  # must be `name{labels} value`, histograms must carry a +Inf bucket, the
+  # series the pipeline always touches must be present, and every sample
+  # must carry exactly this group's label — each group endpoint exports a
+  # disjoint label set, so one Prometheus can scrape them all.
+  python3 - "$3" "$2" <<'EOF'
 import re, sys
 lines = open(sys.argv[1]).read().splitlines()
+group = sys.argv[2]
 assert lines, "empty exposition"
 series = set()
 hist_types = set()
+groups_seen = set()
 for ln in lines:
     if not ln:
         continue
@@ -61,13 +76,19 @@ for ln in lines:
                  r'([0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+Inf|NaN)$', ln)
     assert m, f"malformed sample line: {ln!r}"
     series.add(m.group(1))
+    g = re.search(r'group="([^"]*)"', m.group(2) or "")
+    assert g, f"sample without a group label: {ln!r}"
+    groups_seen.add(g.group(1))
 for h in hist_types:
     assert any(f'{h}_bucket' in ln and 'le="+Inf"' in ln for ln in lines), \
         f"histogram {h} lacks a +Inf bucket"
 for required in ("crsm_executed_total", "crsm_storage_appends_total",
-                 "crsm_transport_messages_sent_total"):
+                 "crsm_transport_messages_sent_total", "crsm_group"):
     assert required in series, f"missing series {required}"
-print(f"  {sys.argv[1]}: {len(series)} series, {len(hist_types)} histograms, well-formed")
+assert groups_seen == {group}, \
+    f"expected only group={group!r} series, saw {sorted(groups_seen)}"
+print(f"  {sys.argv[1]}: {len(series)} series, {len(hist_types)} histograms, "
+      f"well-formed, all labeled group=\"{group}\"")
 EOF
 }
 
@@ -85,53 +106,68 @@ import json, sys
 r = json.load(open(sys.argv[1]))
 ops, errors = r["ops"], r["errors"]
 print(f"{sys.argv[2]}: {ops} ops, {errors} errors, "
-      f"{r['cmds_per_sec']:.0f} cmds/s, p50 {r['latency_p50_ms']:.2f} ms")
+      f"{r['cmds_per_sec']:.0f} cmds/s, p50 {r['latency_p50_ms']:.2f} ms "
+      f"({r.get('groups', 1)} groups)")
 assert ops > 0, f"{sys.argv[2]}: no operation completed"
 assert errors == 0, f"{sys.argv[2]}: client errors"
 EOF
 }
 
-echo "== boot 3-node durable cluster (ports $BASE-$((BASE + 2)), state in $WORK)"
-for i in 0 1 2; do start_node "$i"; PIDS[$i]=$NODE_PID; done
-for i in 0 1 2; do wait_for_port $((BASE + i)); done
+servers_at() {  # $1 = replica id: that process's group endpoints, comma-joined
+  local p; p=$(base_port "$1")
+  echo "127.0.0.1:$p,127.0.0.1:$(( p + 1 ))"
+}
 
-echo "== phase 1: drive load through replica 0"
-"$CLIENT" --server "127.0.0.1:$BASE" --clients 4 --duration 2 --json > "$WORK/phase1.json"
+echo "== boot 3-process x $GROUPS_N-group durable cluster (base ports $P0/$P1/$P2, state in $WORK)"
+for i in 0 1 2; do start_node "$i"; PIDS[$i]=$NODE_PID; done
+for i in 0 1 2; do
+  for g in 0 1; do wait_for_port $(( $(base_port $i) + g )); done
+done
+
+echo "== phase 1: drive sharded load through process 0 (both groups)"
+"$CLIENT" --servers "$(servers_at 0)" --clients 4 --duration 2 --json > "$WORK/phase1.json"
 check_phase "$WORK/phase1.json" "phase 1"
 
-echo "== scrape /metrics from all replicas before the kill"
-for i in 0 1 2; do scrape_metrics "$i" "$WORK/metrics-pre-$i.txt"; done
+echo "== scrape /metrics from every group endpoint before the kill"
+for i in 0 1 2; do
+  for g in 0 1; do scrape_metrics "$i" "$g" "$WORK/metrics-pre-$i-g$g.txt"; done
+done
 
-echo "== kill -9 replica 2"
+echo "== kill -9 process 2 (one replica of BOTH groups at once)"
 kill -9 "${PIDS[2]}"
 wait "${PIDS[2]}" 2>/dev/null || true
 sleep 0.5
 
-echo "== restart replica 2 from $WORK/node-2"
+echo "== restart process 2 from $WORK/node-2"
 start_node 2; PIDS[2]=$NODE_PID
-wait_for_port $((BASE + 2))
+for g in 0 1; do wait_for_port $(( $(base_port 2) + g )); done
 
-echo "== phase 2: drive load through the RESTARTED replica 2"
-# Replica 2 defers client submissions until WAL replay + TCP catch-up
-# finish, so completed ops here prove the whole recovery path.
-"$CLIENT" --server "127.0.0.1:$((BASE + 2))" --clients 4 --duration 2 --json > "$WORK/phase2.json"
+echo "== phase 2: drive sharded load through the RESTARTED process 2"
+# Each group of process 2 defers client submissions until its WAL replay +
+# TCP catch-up finish, so completed ops here prove recovery on both groups.
+"$CLIENT" --servers "$(servers_at 2)" --clients 4 --duration 2 --json > "$WORK/phase2.json"
 check_phase "$WORK/phase2.json" "phase 2"
 
-grep -q "recovering from prior state" "$WORK/node-2.log" \
-  || { echo "restarted node did not report recovery"; tail -5 "$WORK/node-2.log"; exit 1; }
+REC=$(grep -c "recovering from prior state" "$WORK/node-2.log" || true)
+[[ $REC -ge $GROUPS_N ]] \
+  || { echo "restarted process reported recovery on $REC/$GROUPS_N groups"; tail -8 "$WORK/node-2.log"; exit 1; }
 
-echo "== scrape /metrics from the restarted replica"
-scrape_metrics 2 "$WORK/metrics-post-2.txt"
-# Counters reset on restart but phase 2 ran through replica 2, so its
-# executed counter must be live again.
-python3 - "$WORK/metrics-post-2.txt" <<'EOF'
-import sys
+echo "== scrape /metrics from both groups of the restarted process"
+for g in 0 1; do scrape_metrics 2 "$g" "$WORK/metrics-post-2-g$g.txt"; done
+# Counters reset on restart but phase 2 ran through process 2, so each
+# group's executed counter must be live again.
+for g in 0 1; do
+  python3 - "$WORK/metrics-post-2-g$g.txt" "$g" <<'EOF'
+import re, sys
 for ln in open(sys.argv[1]):
-    if ln.startswith("crsm_executed_total "):
-        assert float(ln.split()[1]) > 0, "restarted replica executed nothing"
+    m = re.match(r'^crsm_executed_total(\{[^}]*\})? ([0-9.eE+]+)$', ln)
+    if m:
+        assert float(m.group(2)) > 0, \
+            f"restarted group {sys.argv[2]} executed nothing"
         break
 else:
-    sys.exit("restarted replica exports no crsm_executed_total")
+    sys.exit(f"restarted group {sys.argv[2]} exports no crsm_executed_total")
 EOF
+done
 
-echo "== smoke OK: killed replica rejoined and served traffic"
+echo "== smoke OK: killed process rejoined and served traffic on both groups"
